@@ -1,0 +1,230 @@
+//! Full indexing: every node stores the exact network distance of every
+//! object (4 bytes per distance, §6.1).
+//!
+//! Queries read one (possibly multi-page) record and are otherwise free;
+//! the price is `4·|D|` bytes per node — the storage yardstick against
+//! which the signature's ~1-bit categories are compared, and a structure
+//! whose update cost is unbounded (any weight change can invalidate
+//! arbitrarily many exact distances).
+
+use dsi_graph::{sssp, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, INFINITY};
+use dsi_storage::{ccam_order, BufferPool, IoStats, PagedStore};
+
+/// The full distance index.
+pub struct FullIndex {
+    /// Row-major `dists[n * D + o]`.
+    dists: Vec<Dist>,
+    num_objects: usize,
+    store: PagedStore,
+    pool: BufferPool,
+}
+
+impl FullIndex {
+    /// Build by one Dijkstra per object (optionally in parallel).
+    pub fn build(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        pool_pages: usize,
+        parallel: bool,
+    ) -> Self {
+        assert!(!objects.is_empty());
+        let n = net.num_nodes();
+        let d = objects.len();
+        let mut dists = vec![INFINITY; n * d];
+
+        let columns: Vec<Vec<Dist>> = {
+            let run = |o: usize| sssp(net, objects.node_of(ObjectId(o as u32))).dist;
+            let threads = if parallel {
+                std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+            } else {
+                1
+            };
+            if threads <= 1 || d < 4 {
+                (0..d).map(run).collect()
+            } else {
+                let mut out: Vec<Option<Vec<Dist>>> = (0..d).map(|_| None).collect();
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                crossbeam::thread::scope(|s| {
+                    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<Dist>)>();
+                    for _ in 0..threads {
+                        let tx = tx.clone();
+                        let next = &next;
+                        let run = &run;
+                        s.spawn(move |_| loop {
+                            let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if o >= d {
+                                break;
+                            }
+                            tx.send((o, run(o))).expect("collector alive");
+                        });
+                    }
+                    drop(tx);
+                    for (o, col) in rx {
+                        out[o] = Some(col);
+                    }
+                })
+                .expect("build thread panicked");
+                out.into_iter().map(|c| c.expect("all columns")).collect()
+            }
+        };
+        for (o, col) in columns.iter().enumerate() {
+            for (ni, &dist) in col.iter().enumerate() {
+                assert!(dist != INFINITY, "network must be connected");
+                dists[ni * d + o] = dist;
+            }
+        }
+
+        // One record per node: adjacency list + D exact distances.
+        let sizes: Vec<usize> = net
+            .nodes()
+            .map(|v| net.adjacency_record_bytes(v) + 4 * d)
+            .collect();
+        let store = PagedStore::new(&ccam_order(net), &sizes, 0);
+        FullIndex {
+            dists,
+            num_objects: d,
+            store,
+            pool: BufferPool::new(pool_pages),
+        }
+    }
+
+    /// Exact distance from `n` to `o` (reads the node record).
+    pub fn dist(&mut self, n: NodeId, o: ObjectId) -> Dist {
+        self.store.read(n.index(), &mut self.pool);
+        self.dists[n.index() * self.num_objects + o.index()]
+    }
+
+    /// All distances at node `n`, charging one record read.
+    fn row(&mut self, n: NodeId) -> &[Dist] {
+        self.store.read(n.index(), &mut self.pool);
+        &self.dists[n.index() * self.num_objects..(n.index() + 1) * self.num_objects]
+    }
+
+    /// Range query straight off the node record.
+    pub fn range(&mut self, n: NodeId, eps: Dist) -> Vec<ObjectId> {
+        self.row(n)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d <= eps)
+            .map(|(o, _)| ObjectId(o as u32))
+            .collect()
+    }
+
+    /// kNN with exact distances straight off the node record.
+    pub fn knn(&mut self, n: NodeId, k: usize) -> Vec<(ObjectId, Dist)> {
+        let mut all: Vec<(Dist, ObjectId)> = self
+            .row(n)
+            .iter()
+            .enumerate()
+            .map(|(o, &d)| (d, ObjectId(o as u32)))
+            .collect();
+        let k = k.min(all.len());
+        all.select_nth_unstable(k.saturating_sub(1));
+        all.truncate(k);
+        all.sort_unstable();
+        all.into_iter().map(|(d, o)| (o, d)).collect()
+    }
+
+    /// Total on-disk size in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.disk_bytes()
+    }
+
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    pub fn cold_reset(&mut self) {
+        self.pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::{random_planar, PlanarConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (RoadNetwork, ObjectSet, FullIndex) {
+        let mut rng = StdRng::seed_from_u64(71);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 250,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.06, &mut rng);
+        let idx = FullIndex::build(&net, &objects, 32, true);
+        (net, objects, idx)
+    }
+
+    #[test]
+    fn distances_match_dijkstra() {
+        let (net, objects, mut idx) = fixture();
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(19) {
+            for (o, _) in objects.iter() {
+                assert_eq!(idx.dist(n, o), trees[o.index()].dist[n.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn range_and_knn_match_truth() {
+        let (net, objects, mut idx) = fixture();
+        for n in net.nodes().step_by(37) {
+            let tree = sssp(&net, n);
+            let truth: Vec<ObjectId> = objects
+                .iter()
+                .filter(|&(_, h)| tree.dist[h.index()] <= 60)
+                .map(|(o, _)| o)
+                .collect();
+            assert_eq!(idx.range(n, 60), truth);
+
+            let got = idx.knn(n, 4);
+            let mut d_truth: Vec<Dist> =
+                objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+            d_truth.sort_unstable();
+            assert_eq!(
+                got.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+                d_truth[..4].to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn one_query_reads_one_record() {
+        let (net, _, mut idx) = fixture();
+        idx.cold_reset();
+        let _ = idx.knn(NodeId(5), 3);
+        let record_pages = 1 + (4 * idx.num_objects) / dsi_storage::PAGE_SIZE;
+        assert!(idx.io_stats().logical as usize <= record_pages + 1);
+        let _ = net;
+    }
+
+    #[test]
+    fn serial_and_parallel_builds_agree() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 150,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.08, &mut rng);
+        let mut a = FullIndex::build(&net, &objects, 8, true);
+        let mut b = FullIndex::build(&net, &objects, 8, false);
+        for n in net.nodes() {
+            for o in objects.objects() {
+                assert_eq!(a.dist(n, o), b.dist(n, o));
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Incremental network expansion (INE): online Dijkstra from the query
+//! node, reporting objects as their hosts are settled.
+//!
+//! This is the no-index baseline (§2): adjacency lists are paged (CCAM
+//! order) and every settled node charges a record read. Its cost depends on
+//! the *distance* covered, not on how many objects qualify — the exact
+//! weakness the signature index addresses for long distances.
+
+use dsi_graph::dijkstra::DijkstraExpansion;
+use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork};
+use dsi_storage::{ccam_order, BufferPool, IoStats, PagedStore};
+
+/// The INE "index": just the paged adjacency lists.
+pub struct Ine {
+    store: PagedStore,
+    pool: BufferPool,
+}
+
+impl Ine {
+    /// Lay the adjacency lists out in CCAM pages.
+    pub fn new(net: &RoadNetwork, pool_pages: usize) -> Self {
+        let sizes: Vec<usize> = net
+            .nodes()
+            .map(|n| net.adjacency_record_bytes(n))
+            .collect();
+        Ine {
+            store: PagedStore::new(&ccam_order(net), &sizes, 0),
+            pool: BufferPool::new(pool_pages),
+        }
+    }
+
+    /// Total on-disk size in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.disk_bytes()
+    }
+
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    pub fn cold_reset(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Range query: expand until the frontier exceeds `eps`; every object
+    /// on a settled node within range qualifies.
+    pub fn range(
+        &mut self,
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        n: NodeId,
+        eps: Dist,
+    ) -> Vec<ObjectId> {
+        let mut exp = DijkstraExpansion::new(net, n);
+        let mut out = Vec::new();
+        while let Some((v, d)) = exp.next_settled() {
+            if d > eps {
+                break;
+            }
+            self.store.read(v.index(), &mut self.pool);
+            if let Some(o) = objects.object_at(v) {
+                out.push(o);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// kNN with exact distances: expand until `k` objects are settled.
+    pub fn knn(
+        &mut self,
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        n: NodeId,
+        k: usize,
+    ) -> Vec<(ObjectId, Dist)> {
+        let mut exp = DijkstraExpansion::new(net, n);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let Some((v, d)) = exp.next_settled() else {
+                break;
+            };
+            self.store.read(v.index(), &mut self.pool);
+            if let Some(o) = objects.object_at(v) {
+                out.push((o, d));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    use dsi_graph::sssp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (RoadNetwork, ObjectSet) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        (net, objects)
+    }
+
+    #[test]
+    fn range_matches_truth() {
+        let (net, objects) = fixture();
+        let mut ine = Ine::new(&net, 32);
+        for n in net.nodes().step_by(23) {
+            let tree = sssp(&net, n);
+            for eps in [5u32, 50, 500] {
+                let truth: Vec<ObjectId> = objects
+                    .iter()
+                    .filter(|&(_, h)| tree.dist[h.index()] <= eps)
+                    .map(|(o, _)| o)
+                    .collect();
+                assert_eq!(ine.range(&net, &objects, n, eps), truth);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_returns_sorted_exact_distances() {
+        let (net, objects) = fixture();
+        let mut ine = Ine::new(&net, 32);
+        for n in net.nodes().step_by(31) {
+            let tree = sssp(&net, n);
+            let got = ine.knn(&net, &objects, n, 5);
+            assert_eq!(got.len(), 5);
+            let mut truth: Vec<Dist> = objects
+                .iter()
+                .map(|(_, h)| tree.dist[h.index()])
+                .collect();
+            truth.sort_unstable();
+            let got_d: Vec<Dist> = got.iter().map(|&(_, d)| d).collect();
+            assert_eq!(got_d, truth[..5].to_vec());
+            for (o, d) in got {
+                assert_eq!(tree.dist[objects.node_of(o).index()], d);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_beyond_dataset() {
+        let (net, objects) = fixture();
+        let mut ine = Ine::new(&net, 32);
+        let got = ine.knn(&net, &objects, NodeId(0), objects.len() + 10);
+        assert_eq!(got.len(), objects.len());
+    }
+
+    #[test]
+    fn page_cost_grows_with_radius() {
+        let net = grid(30, 30);
+        let objects = ObjectSet::from_nodes(&net, vec![NodeId(0)]);
+        let mut ine = Ine::new(&net, 8);
+        let mut faults = Vec::new();
+        for eps in [2u32, 8, 20] {
+            ine.cold_reset();
+            let _ = ine.range(&net, &objects, NodeId(450), eps);
+            faults.push(ine.io_stats().faults);
+        }
+        assert!(faults[0] <= faults[1] && faults[1] <= faults[2]);
+        assert!(faults[2] > faults[0], "bigger radius must read more pages");
+    }
+}

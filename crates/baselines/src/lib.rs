@@ -1,0 +1,37 @@
+//! Baseline indexes and search algorithms the paper compares against (§2,
+//! §6):
+//!
+//! * [`ine`] — **incremental network expansion**: online Dijkstra from the
+//!   query point over the paged adjacency lists (Papadias et al.). No
+//!   precomputation; the cost grows with distance, not with result size.
+//! * [`full`] — **full indexing**: the exact distance of every object
+//!   stored at every node (4 bytes each). The fastest possible lookups, at
+//!   `4·|D|` bytes per node.
+//! * [`nvd`] — the **Network Voronoi Diagram** index of the VN3 algorithm
+//!   (Kolahdouzan & Shahabi): NVP point location through an R-tree,
+//!   precomputed border-to-border / object-to-border / inner-to-border
+//!   distances, kNN by adjacent-cell expansion, and the paper's custom
+//!   NVP-expansion range algorithm.
+//! * [`nn_list`] — **precomputed NN lists** on condensed nodes (UNICONS's
+//!   index): one-record kNN up to a precomputed depth, nothing else — §1's
+//!   example of a special-purpose structure.
+//! * [`ier`] — **incremental Euclidean restriction** (extension baseline):
+//!   Euclidean kNN candidates from an R-tree, refined by network (A*)
+//!   distances, valid when the Euclidean metric lower-bounds the network
+//!   metric.
+//!
+//! All baselines charge their reads through a [`dsi_storage::BufferPool`]
+//! so their page-access counts are directly comparable with the signature
+//! index's.
+
+pub mod full;
+pub mod ier;
+pub mod ine;
+pub mod nn_list;
+pub mod nvd;
+
+pub use full::FullIndex;
+pub use ier::Ier;
+pub use ine::Ine;
+pub use nn_list::NnList;
+pub use nvd::NvdIndex;

@@ -1,0 +1,239 @@
+//! Precomputed NN lists on condensed nodes — the solution-based index of
+//! UNICONS (Cho & Chung, reviewed in §2): "a solution-based index called NN
+//! lists which precomputes and stores the kNNs for some condensed nodes,
+//! i.e., nodes with large degrees".
+//!
+//! Section 1 uses this structure as the motivating example of a
+//! special-purpose index: it answers kNN (up to the precomputed depth, at
+//! the condensed nodes) in one record read, but it cannot return paths
+//! ("since the NN list does not store the path to the NN objects, it does
+//! not even support kNN queries with path information returned"), cannot
+//! exceed its precomputed `k`, and serves no other query type. Queries it
+//! cannot answer fall back to incremental network expansion.
+
+use dsi_graph::dijkstra::DijkstraExpansion;
+use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork};
+use dsi_storage::{ccam_order, BufferPool, IoStats, PagedStore};
+
+/// The NN-list index.
+pub struct NnList {
+    /// Precomputed `(object, distance)` lists, ascending, for condensed
+    /// nodes (`None` elsewhere).
+    lists: Vec<Option<Vec<(ObjectId, Dist)>>>,
+    /// Precomputation depth: lists hold the `k_max` nearest objects.
+    k_max: usize,
+    /// Adjacency + NN-list records, CCAM-paged.
+    store: PagedStore,
+    pool: BufferPool,
+    num_condensed: usize,
+}
+
+impl NnList {
+    /// Precompute the `k_max` nearest objects for every node of degree
+    /// ≥ `min_degree` (the "condensed" nodes).
+    pub fn build(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        k_max: usize,
+        min_degree: u32,
+        pool_pages: usize,
+    ) -> Self {
+        let k_max = k_max.min(objects.len()).max(1);
+        let mut lists: Vec<Option<Vec<(ObjectId, Dist)>>> = vec![None; net.num_nodes()];
+        let mut num_condensed = 0;
+        for n in net.nodes() {
+            if net.degree(n) < min_degree {
+                continue;
+            }
+            num_condensed += 1;
+            let mut exp = DijkstraExpansion::new(net, n);
+            let mut list = Vec::with_capacity(k_max);
+            while list.len() < k_max {
+                let Some((v, d)) = exp.next_settled() else {
+                    break;
+                };
+                if let Some(o) = objects.object_at(v) {
+                    list.push((o, d));
+                }
+            }
+            lists[n.index()] = Some(list);
+        }
+        // Record: adjacency + 8 bytes per precomputed NN.
+        let sizes: Vec<usize> = net
+            .nodes()
+            .map(|n| {
+                net.adjacency_record_bytes(n)
+                    + lists[n.index()].as_ref().map_or(0, |l| 8 * l.len())
+            })
+            .collect();
+        NnList {
+            lists,
+            k_max,
+            store: PagedStore::new(&ccam_order(net), &sizes, 0),
+            pool: BufferPool::new(pool_pages),
+            num_condensed,
+        }
+    }
+
+    /// Precomputation depth.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Number of condensed nodes carrying a list.
+    pub fn num_condensed(&self) -> usize {
+        self.num_condensed
+    }
+
+    /// Whether `n` carries a precomputed list.
+    pub fn is_condensed(&self, n: NodeId) -> bool {
+        self.lists[n.index()].is_some()
+    }
+
+    /// Total on-disk size in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.disk_bytes()
+    }
+
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    pub fn cold_reset(&mut self) {
+        self.pool.clear();
+    }
+
+    /// kNN at `n`. One record read when `n` is condensed and `k ≤ k_max`
+    /// (the structure's fast path); otherwise falls back to network
+    /// expansion — the generality gap §1 points at.
+    pub fn knn(
+        &mut self,
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        n: NodeId,
+        k: usize,
+    ) -> Vec<(ObjectId, Dist)> {
+        if k <= self.k_max {
+            if let Some(list) = &self.lists[n.index()] {
+                self.store.read(n.index(), &mut self.pool);
+                return list[..k.min(list.len())].to_vec();
+            }
+        }
+        // Fallback: online expansion over the paged adjacency lists.
+        let mut exp = DijkstraExpansion::new(net, n);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k.min(objects.len()) {
+            let Some((v, d)) = exp.next_settled() else {
+                break;
+            };
+            self.store.read(v.index(), &mut self.pool);
+            if let Some(o) = objects.object_at(v) {
+                out.push((o, d));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::{random_planar, PlanarConfig};
+    use dsi_graph::sssp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (RoadNetwork, ObjectSet, NnList) {
+        let mut rng = StdRng::seed_from_u64(606);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        let nn = NnList::build(&net, &objects, 5, 3, 64);
+        (net, objects, nn)
+    }
+
+    #[test]
+    fn knn_matches_truth_on_and_off_the_fast_path() {
+        let (net, objects, mut nn) = fixture();
+        for n in net.nodes().step_by(19) {
+            let tree = sssp(&net, n);
+            let mut truth: Vec<Dist> =
+                objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+            truth.sort_unstable();
+            for k in [1usize, 3, 5, 8] {
+                // k = 8 exceeds k_max → fallback path.
+                let got = nn.knn(&net, &objects, n, k);
+                assert_eq!(
+                    got.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+                    truth[..k.min(truth.len())].to_vec(),
+                    "node {n}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_fast_path_reads_one_record() {
+        let (net, objects, mut nn) = fixture();
+        let condensed = net
+            .nodes()
+            .find(|&n| nn.is_condensed(n))
+            .expect("mean degree 4 network has condensed nodes");
+        nn.cold_reset();
+        let _ = nn.knn(&net, &objects, condensed, nn.k_max());
+        assert!(
+            nn.io_stats().logical <= 2,
+            "fast path must read ~1 record, read {}",
+            nn.io_stats().logical
+        );
+    }
+
+    #[test]
+    fn fallback_is_much_more_expensive() {
+        let (net, objects, mut nn) = fixture();
+        let condensed = net.nodes().find(|&n| nn.is_condensed(n)).unwrap();
+        nn.cold_reset();
+        let _ = nn.knn(&net, &objects, condensed, nn.k_max());
+        let fast = nn.io_stats().logical;
+        nn.cold_reset();
+        let _ = nn.knn(&net, &objects, condensed, nn.k_max() + 1);
+        let slow = nn.io_stats().logical;
+        assert!(slow > 5 * fast.max(1), "fast {fast} vs fallback {slow}");
+    }
+
+    #[test]
+    fn uncondensed_nodes_always_fall_back() {
+        let (net, objects, mut nn) = fixture();
+        let plain = net.nodes().find(|&n| !nn.is_condensed(n));
+        if let Some(plain) = plain {
+            nn.cold_reset();
+            let got = nn.knn(&net, &objects, plain, 2);
+            assert_eq!(got.len(), 2);
+            assert!(nn.io_stats().logical > 1, "no fast path without a list");
+        }
+    }
+
+    #[test]
+    fn size_scales_with_kmax_not_with_dataset() {
+        let mut rng = StdRng::seed_from_u64(607);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 400,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let sparse = ObjectSet::uniform(&net, 0.05, &mut rng);
+        let dense = ObjectSet::uniform(&net, 0.2, &mut rng);
+        let a = NnList::build(&net, &sparse, 5, 3, 16);
+        let b = NnList::build(&net, &dense, 5, 3, 16);
+        // Same k_max ⇒ same per-node record size regardless of D — the
+        // flip side of answering nothing beyond k_max.
+        assert_eq!(a.disk_bytes(), b.disk_bytes());
+    }
+}

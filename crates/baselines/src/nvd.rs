@@ -1,0 +1,487 @@
+//! The Network Voronoi Diagram index behind the VN3 algorithm
+//! (Kolahdouzan & Shahabi, VLDB 2004), as characterized in §2 and used as
+//! the main competitor in §6.
+//!
+//! Construction:
+//! * A multi-source Dijkstra from all objects partitions the nodes into
+//!   network Voronoi cells (NVPs) and yields every node's distance to its
+//!   generator.
+//! * *Border nodes* are nodes adjacent to a different cell. Per cell we
+//!   precompute **border-to-border** (`Bor−Bor`) and **object-to-border**
+//!   (`OPC`) distances, and per node its distances to its own cell's
+//!   borders — exactly the tables whose size explodes as the dataset gets
+//!   sparser, which Figure 6.4 demonstrates.
+//! * Cell bounding boxes are indexed in an R-tree so first-NN search
+//!   reduces to point location.
+//!
+//! Querying builds a small *border graph* (generators + border nodes with
+//! the precomputed distances as edges) and runs Dijkstra on it, expanding
+//! cell by cell; the kth NN is found after settling k generators (the kth
+//! NN is adjacent to some earlier NN's cell). The range algorithm is the
+//! paper's custom one: check the query's own NVP, then expand to adjacent
+//! NVPs while the distance threshold allows.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsi_graph::dijkstra::multi_source;
+use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, INFINITY};
+use dsi_rtree::{RTree, Rect};
+use dsi_storage::{BufferPool, IoStats, PagedStore, PAGE_SIZE};
+
+/// Index of a border node in the global border list.
+type BorderIdx = u32;
+
+/// The NVD index.
+pub struct NvdIndex {
+    /// Cell (generator object index) of each node.
+    cell_of: Vec<u32>,
+    /// Distance from each node to its generator (from the multi-source
+    /// Dijkstra — the "inner" precomputation).
+    dist_to_gen: Vec<Dist>,
+    /// Global border list.
+    borders: Vec<NodeId>,
+    /// Borders of each cell (indices into `borders`).
+    cell_borders: Vec<Vec<BorderIdx>>,
+    /// Distances from each node to the borders of its own cell.
+    node_border_dists: Vec<Vec<(BorderIdx, Dist)>>,
+    /// Border-graph adjacency: generator↔border (OPC), border↔border within
+    /// a cell (Bor−Bor), border↔border across a crossing edge.
+    /// Vertex numbering: `0..D` are generators, `D + i` is border `i`.
+    bgraph: Vec<Vec<(u32, Dist)>>,
+    num_objects: usize,
+    /// Cell bounding boxes → object index.
+    rtree: RTree<u32>,
+    /// Per-cell table records (OPC + Bor−Bor).
+    cell_store: PagedStore,
+    /// Per-node record: adjacency + distances to own borders.
+    node_store: PagedStore,
+    /// Page-id base of the R-tree directory (one node = one page).
+    rtree_base: u32,
+    pool: BufferPool,
+}
+
+impl NvdIndex {
+    pub fn build(net: &RoadNetwork, objects: &ObjectSet, pool_pages: usize) -> Self {
+        assert!(!objects.is_empty());
+        let n = net.num_nodes();
+        let d = objects.len();
+        let hosts: Vec<NodeId> = objects.host_nodes().to_vec();
+        let ms = multi_source(net, &hosts);
+        let cell_of = ms.owner.clone();
+        let dist_to_gen = ms.dist.clone();
+
+        // Border nodes: any node with a neighbour in a different cell.
+        let mut border_index = vec![u32::MAX; n];
+        let mut borders = Vec::new();
+        let mut cell_borders: Vec<Vec<BorderIdx>> = vec![Vec::new(); d];
+        for u in net.nodes() {
+            let cu = cell_of[u.index()];
+            let is_border = net
+                .neighbors(u)
+                .any(|(_, v, w)| w != INFINITY && cell_of[v.index()] != cu);
+            if is_border {
+                let bi = borders.len() as BorderIdx;
+                border_index[u.index()] = bi;
+                borders.push(u);
+                cell_borders[cu as usize].push(bi);
+            }
+        }
+
+        // Border-graph vertices: generators 0..d, borders d..d+|B|.
+        let mut bgraph: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); d + borders.len()];
+        // Per-node distances to own-cell borders.
+        let mut node_border_dists: Vec<Vec<(BorderIdx, Dist)>> = vec![Vec::new(); n];
+
+        // For each border b, a Dijkstra restricted to b's cell gives
+        // border-to-inner (including border-to-generator and
+        // border-to-border) distances within that cell.
+        for (bi, &b) in borders.iter().enumerate() {
+            let cb = cell_of[b.index()];
+            let tree = restricted_sssp(net, b, &cell_of, cb);
+            for v in net.nodes() {
+                if cell_of[v.index()] != cb {
+                    continue;
+                }
+                let dist = tree.1[v.index()];
+                if dist == INFINITY {
+                    continue;
+                }
+                node_border_dists[v.index()].push((bi as BorderIdx, dist));
+                if let Some(vb) = border_idx(&border_index, v) {
+                    if vb > bi as BorderIdx {
+                        bgraph[d + bi].push((d as u32 + vb, dist));
+                        bgraph[d + vb as usize].push((d as u32 + bi as u32, dist));
+                    }
+                }
+            }
+            // Object-to-border (OPC).
+            let gen_host = hosts[cb as usize];
+            let dist = tree.1[gen_host.index()];
+            if dist != INFINITY {
+                bgraph[cb as usize].push((d as u32 + bi as u32, dist));
+                bgraph[d + bi].push((cb as u32, dist));
+            }
+        }
+        // Crossing edges between borders of adjacent cells.
+        for u in net.nodes() {
+            let Some(bu) = border_idx(&border_index, u) else {
+                continue;
+            };
+            for (_, v, w) in net.neighbors(u) {
+                if w == INFINITY || cell_of[v.index()] == cell_of[u.index()] {
+                    continue;
+                }
+                let bv = border_idx(&border_index, v)
+                    .expect("a cross-cell edge endpoint is itself a border");
+                bgraph[d + bu as usize].push((d as u32 + bv, w));
+            }
+        }
+
+        // R-tree over cell bounding boxes.
+        let mut boxes = vec![Rect::empty(); d];
+        for v in net.nodes() {
+            let c = cell_of[v.index()] as usize;
+            let p = net.coord(v);
+            boxes[c] = boxes[c].union(&Rect::point(p.x, p.y));
+        }
+        let rtree = RTree::bulk_load(
+            boxes.into_iter().enumerate().map(|(i, r)| (r, i as u32)).collect(),
+            64,
+        );
+
+        // Disk layout. Cell records: OPC (8 bytes per border) + Bor−Bor
+        // (8 bytes per border pair).
+        let cell_sizes: Vec<usize> = (0..d)
+            .map(|c| {
+                let b = cell_borders[c].len();
+                8 * b + 8 * b * b / 2
+            })
+            .collect();
+        let cell_store = PagedStore::sequential(&cell_sizes, 0);
+        // Node records: adjacency + own border distances.
+        let node_sizes: Vec<usize> = net
+            .nodes()
+            .map(|v| net.adjacency_record_bytes(v) + 8 * node_border_dists[v.index()].len())
+            .collect();
+        let node_store = PagedStore::new(
+            &dsi_storage::ccam_order(net),
+            &node_sizes,
+            cell_store.end_page(),
+        );
+        let rtree_base = node_store.end_page();
+
+        NvdIndex {
+            cell_of,
+            dist_to_gen,
+            borders,
+            cell_borders,
+            node_border_dists,
+            bgraph,
+            num_objects: d,
+            rtree,
+            cell_store,
+            node_store,
+            rtree_base,
+            pool: BufferPool::new(pool_pages),
+        }
+    }
+
+    /// Total on-disk size in bytes: cell tables + node records + R-tree
+    /// directory (one page per R-tree node).
+    pub fn disk_bytes(&self) -> u64 {
+        self.cell_store.disk_bytes()
+            + self.node_store.disk_bytes()
+            + self.rtree.num_nodes() as u64 * PAGE_SIZE as u64
+    }
+
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    pub fn cold_reset(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Number of border nodes (diagnostics).
+    pub fn num_borders(&self) -> usize {
+        self.borders.len()
+    }
+
+    /// Border nodes of one cell (diagnostics; the per-cell table sizes that
+    /// dominate the NVD index on sparse datasets are quadratic in this).
+    pub fn borders_of_cell(&self, cell: ObjectId) -> Vec<NodeId> {
+        self.cell_borders[cell.index()]
+            .iter()
+            .map(|&bi| self.borders[bi as usize])
+            .collect()
+    }
+
+    /// First nearest neighbour by NVP point location: the R-tree locates
+    /// candidate cells for the query coordinate, the exact cell assignment
+    /// confirms, and the stored inner distance answers.
+    pub fn first_nn(&mut self, net: &RoadNetwork, n: NodeId) -> (ObjectId, Dist) {
+        let p = net.coord(n);
+        let pool = &mut self.pool;
+        let base = self.rtree_base;
+        let _candidates = self.rtree.locate_point(p.x, p.y, |node| {
+            pool.access(base + node);
+        });
+        let c = self.cell_of[n.index()];
+        self.node_store.read(n.index(), pool);
+        (ObjectId(c), self.dist_to_gen[n.index()])
+    }
+
+    /// kNN by expansion over the border graph (VN3's search pattern).
+    pub fn knn(&mut self, net: &RoadNetwork, n: NodeId, k: usize) -> Vec<(ObjectId, Dist)> {
+        let k = k.min(self.num_objects);
+        if k == 0 {
+            return Vec::new();
+        }
+        let d = self.num_objects;
+        // Seed: the query's own generator plus its own cell's borders (from
+        // the per-node record).
+        let (first, d0) = self.first_nn(net, n);
+        let mut dist = vec![INFINITY; self.bgraph.len()];
+        let mut settled = vec![false; self.bgraph.len()];
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        dist[first.index()] = d0;
+        heap.push(Reverse((d0, first.0)));
+        for &(bi, bd) in &self.node_border_dists[n.index()] {
+            let v = d as u32 + bi;
+            if bd < dist[v as usize] {
+                dist[v as usize] = bd;
+                heap.push(Reverse((bd, v)));
+            }
+        }
+        let mut cells_read = vec![false; d];
+        let mut out: Vec<(ObjectId, Dist)> = Vec::with_capacity(k);
+        while let Some(Reverse((dd, v))) = heap.pop() {
+            if settled[v as usize] {
+                continue;
+            }
+            settled[v as usize] = true;
+            if (v as usize) < d {
+                out.push((ObjectId(v), dd));
+                if out.len() == k {
+                    break;
+                }
+            } else {
+                // Charge the cell record of the border's cell on first use.
+                let c = self.cell_of[self.borders[v as usize - d].index()] as usize;
+                if !cells_read[c] {
+                    cells_read[c] = true;
+                    self.cell_store.read(c, &mut self.pool);
+                }
+            }
+            for &(u, w) in &self.bgraph[v as usize] {
+                if !settled[u as usize] && dd + w < dist[u as usize] {
+                    dist[u as usize] = dd + w;
+                    heap.push(Reverse((dd + w, u)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's NVP-expansion range query (§6): check the own cell's
+    /// object, then expand to adjacent NVPs until the threshold is passed.
+    pub fn range(&mut self, net: &RoadNetwork, n: NodeId, eps: Dist) -> Vec<ObjectId> {
+        // Same engine as kNN, but cut by distance instead of count.
+        let d = self.num_objects;
+        let (first, d0) = self.first_nn(net, n);
+        let mut dist = vec![INFINITY; self.bgraph.len()];
+        let mut settled = vec![false; self.bgraph.len()];
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        dist[first.index()] = d0;
+        heap.push(Reverse((d0, first.0)));
+        for &(bi, bd) in &self.node_border_dists[n.index()] {
+            let v = d as u32 + bi;
+            if bd < dist[v as usize] {
+                dist[v as usize] = bd;
+                heap.push(Reverse((bd, v)));
+            }
+        }
+        let mut cells_read = vec![false; d];
+        let mut out = Vec::new();
+        while let Some(Reverse((dd, v))) = heap.pop() {
+            if settled[v as usize] || dd > eps {
+                if dd > eps {
+                    break;
+                }
+                continue;
+            }
+            settled[v as usize] = true;
+            if (v as usize) < d {
+                out.push(ObjectId(v));
+            } else {
+                let c = self.cell_of[self.borders[v as usize - d].index()] as usize;
+                if !cells_read[c] {
+                    cells_read[c] = true;
+                    self.cell_store.read(c, &mut self.pool);
+                }
+            }
+            for &(u, w) in &self.bgraph[v as usize] {
+                if !settled[u as usize] && dd + w < dist[u as usize] {
+                    dist[u as usize] = dd + w;
+                    heap.push(Reverse((dd + w, u)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn border_idx(border_index: &[u32], v: NodeId) -> Option<BorderIdx> {
+    match border_index[v.index()] {
+        u32::MAX => None,
+        i => Some(i),
+    }
+}
+
+/// Dijkstra from `src` that never leaves cell `cell`; returns
+/// `(source, dist)`. Border nodes of other cells are unreachable by
+/// construction.
+fn restricted_sssp(
+    net: &RoadNetwork,
+    src: NodeId,
+    cell_of: &[u32],
+    cell: u32,
+) -> (NodeId, Vec<Dist>) {
+    let n = net.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut settled = vec![false; n];
+    dist[src.index()] = 0;
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((dd, u))) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for (_, v, w) in net.neighbors(u) {
+            if w == INFINITY || cell_of[v.index()] != cell || settled[v.index()] {
+                continue;
+            }
+            if dd + w < dist[v.index()] {
+                dist[v.index()] = dd + w;
+                heap.push(Reverse((dd + w, v)));
+            }
+        }
+    }
+    (src, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::{random_planar, PlanarConfig};
+    use dsi_graph::sssp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(p: f64) -> (RoadNetwork, ObjectSet, NvdIndex) {
+        let mut rng = StdRng::seed_from_u64(83);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, p, &mut rng);
+        let idx = NvdIndex::build(&net, &objects, 64);
+        (net, objects, idx)
+    }
+
+    #[test]
+    fn first_nn_matches_truth() {
+        let (net, objects, mut idx) = fixture(0.05);
+        for n in net.nodes().step_by(11) {
+            let tree = sssp(&net, n);
+            let best = objects
+                .iter()
+                .map(|(_, h)| tree.dist[h.index()])
+                .min()
+                .unwrap();
+            let (_, d) = idx.first_nn(&net, n);
+            assert_eq!(d, best, "first NN distance at {n}");
+        }
+    }
+
+    #[test]
+    fn knn_distances_match_truth() {
+        let (net, objects, mut idx) = fixture(0.06);
+        for n in net.nodes().step_by(23) {
+            let tree = sssp(&net, n);
+            let mut truth: Vec<Dist> =
+                objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+            truth.sort_unstable();
+            for k in [1usize, 3, 6] {
+                let got = idx.knn(&net, n, k);
+                assert_eq!(
+                    got.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+                    truth[..k].to_vec(),
+                    "kNN at {n}, k={k}"
+                );
+                // Each reported distance must be that object's true one.
+                for (o, d) in got {
+                    assert_eq!(tree.dist[objects.node_of(o).index()], d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_truth() {
+        let (net, objects, mut idx) = fixture(0.05);
+        for n in net.nodes().step_by(29) {
+            let tree = sssp(&net, n);
+            for eps in [10u32, 80, 400] {
+                let truth: Vec<ObjectId> = objects
+                    .iter()
+                    .filter(|&(_, h)| tree.dist[h.index()] <= eps)
+                    .map(|(o, _)| o)
+                    .collect();
+                assert_eq!(idx.range(&net, n, eps), truth, "range at {n} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparser_datasets_store_more_per_object() {
+        // Figure 6.4's phenomenon: NVD per-object cost explodes for sparse
+        // datasets because cells (hence border tables) grow.
+        let (_, o1, i1) = fixture(0.02);
+        let (_, o2, i2) = fixture(0.1);
+        let per1 = i1.disk_bytes() as f64 / o1.len() as f64;
+        let per2 = i2.disk_bytes() as f64 / o2.len() as f64;
+        assert!(
+            per1 > per2,
+            "sparse per-object {per1} should exceed dense {per2}"
+        );
+    }
+
+    #[test]
+    fn single_object_owns_everything() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 120,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::from_nodes(&net, vec![NodeId(7)]);
+        let mut idx = NvdIndex::build(&net, &objects, 16);
+        assert_eq!(idx.num_borders(), 0);
+        let tree = sssp(&net, NodeId(60));
+        let got = idx.knn(&net, NodeId(60), 1);
+        assert_eq!(got, vec![(ObjectId(0), tree.dist[7])]);
+    }
+}

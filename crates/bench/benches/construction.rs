@@ -1,0 +1,40 @@
+//! Construction benchmarks (Figure 6.4(b) at criterion scale), including
+//! the encoding/compression ablation: raw vs encoded-only vs
+//! encoded+compressed signature builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsi_baselines::{FullIndex, NvdIndex};
+use dsi_bench::{paper_dataset, paper_network, Scale};
+use dsi_signature::{SignatureConfig, SignatureIndex};
+
+fn bench_construction(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 2000,
+        queries: 1,
+        seed: 13,
+    };
+    let net = paper_network(&scale);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.bench_function("signature_compressed", |b| {
+        b.iter(|| SignatureIndex::build(&net, &objects, &SignatureConfig::default()))
+    });
+    group.bench_function("signature_uncompressed", |b| {
+        let cfg = SignatureConfig {
+            compress: false,
+            ..Default::default()
+        };
+        b.iter(|| SignatureIndex::build(&net, &objects, &cfg))
+    });
+    group.bench_function("full_index", |b| {
+        b.iter(|| FullIndex::build(&net, &objects, 64, true))
+    });
+    group.bench_function("nvd_index", |b| b.iter(|| NvdIndex::build(&net, &objects, 64)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

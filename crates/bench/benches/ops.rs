@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the §3.2 basic operations: exact/approximate
+//! retrieval, exact/approximate comparison, and distance sorting — plus the
+//! ablation "approximate initial sort vs exact-only sort".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsi_bench::{paper_dataset, query_nodes, Scale};
+use dsi_signature::category::DistRange;
+use dsi_signature::{SignatureConfig, SignatureIndex};
+
+fn bench_ops(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 3000,
+        queries: 64,
+        seed: 7,
+    };
+    let net = dsi_bench::paper_network(&scale);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+    let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    let queries = query_nodes(&net, scale.queries, scale.seed);
+    let mut rng = StdRng::seed_from_u64(99);
+    let d = objects.len() as u32;
+
+    let mut group = c.benchmark_group("ops");
+    group.sample_size(20);
+
+    group.bench_function("retrieve_exact", |b| {
+        let mut sess = idx.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let n = queries[i % queries.len()];
+            let o = dsi_graph::ObjectId(i as u32 % d);
+            i += 1;
+            sess.retrieve_exact(n, o)
+        })
+    });
+
+    group.bench_function("retrieve_approx_eps50", |b| {
+        let mut sess = idx.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let n = queries[i % queries.len()];
+            let o = dsi_graph::ObjectId(i as u32 % d);
+            i += 1;
+            sess.retrieve_approx(n, o, DistRange::exact(50))
+        })
+    });
+
+    group.bench_function("compare_exact", |b| {
+        let mut sess = idx.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let n = queries[i % queries.len()];
+            let a = dsi_graph::ObjectId(i as u32 % d);
+            let bb = dsi_graph::ObjectId((i as u32 + 1) % d);
+            i += 1;
+            sess.compare_exact(n, a, bb)
+        })
+    });
+
+    group.bench_function("compare_approx", |b| {
+        let mut sess = idx.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let n = queries[i % queries.len()];
+            let a = dsi_graph::ObjectId(i as u32 % d);
+            let bb = dsi_graph::ObjectId((i as u32 + 1) % d);
+            i += 1;
+            sess.compare_approx(n, a, bb)
+        })
+    });
+
+    // Ablation: full sort with approximate initial pass (Algorithm 4) vs
+    // exact comparisons only.
+    let sample: Vec<dsi_graph::ObjectId> = (0..d.min(16)).map(dsi_graph::ObjectId).collect();
+    group.bench_function("sort_with_approx_initial", |b| {
+        let mut sess = idx.session(&net);
+        b.iter_batched(
+            || sample.clone(),
+            |mut objs| {
+                let n = queries[rng.gen_range(0..queries.len())];
+                sess.sort_objects(n, &mut objs);
+                objs
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sort_exact_only", |b| {
+        let mut sess = idx.session(&net);
+        let mut rng2 = StdRng::seed_from_u64(100);
+        b.iter_batched(
+            || sample.clone(),
+            |mut objs| {
+                let n = queries[rng2.gen_range(0..queries.len())];
+                // Insertion sort with exact comparisons only.
+                for i in 1..objs.len() {
+                    let mut j = i;
+                    while j > 0
+                        && sess.compare_exact(n, objs[j - 1], objs[j])
+                            == std::cmp::Ordering::Greater
+                    {
+                        objs.swap(j - 1, j);
+                        j -= 1;
+                    }
+                }
+                objs
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Query benchmarks across all four engines: signature vs full vs NVD vs
+//! INE (plus IER for kNN), mirroring Figures 6.5/6.6 at criterion scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsi_baselines::{FullIndex, Ier, Ine, NvdIndex};
+use dsi_bench::{paper_dataset, paper_network, query_nodes, Scale};
+use dsi_signature::query::knn::{knn, KnnType};
+use dsi_signature::query::range::range_query;
+use dsi_signature::{SignatureConfig, SignatureIndex};
+
+fn bench_queries(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 3000,
+        queries: 64,
+        seed: 11,
+    };
+    let net = paper_network(&scale);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+    let queries = query_nodes(&net, scale.queries, scale.seed);
+
+    let sig = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    let mut full = FullIndex::build(&net, &objects, 64, true);
+    let mut nvd = NvdIndex::build(&net, &objects, 64);
+    let mut ine = Ine::new(&net, 64);
+    let mut ier = Ier::new(&net, &objects, 64);
+
+    let mut group = c.benchmark_group("range_r100");
+    group.sample_size(20);
+    group.bench_function("signature", |b| {
+        let mut sess = sig.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            range_query(&mut sess, q, 100)
+        })
+    });
+    group.bench_function("full", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            full.range(q, 100)
+        })
+    });
+    group.bench_function("nvd", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            nvd.range(&net, q, 100)
+        })
+    });
+    group.bench_function("ine", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            ine.range(&net, &objects, q, 100)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("knn_k10");
+    group.sample_size(20);
+    group.bench_function("signature_type3", |b| {
+        let mut sess = sig.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            knn(&mut sess, q, 10, KnnType::Type3)
+        })
+    });
+    group.bench_function("signature_type1", |b| {
+        let mut sess = sig.session(&net);
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            knn(&mut sess, q, 10, KnnType::Type1)
+        })
+    });
+    group.bench_function("full", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            full.knn(q, 10)
+        })
+    });
+    group.bench_function("nvd", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            nvd.knn(&net, q, 10)
+        })
+    });
+    group.bench_function("ine", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            ine.knn(&net, &objects, q, 10)
+        })
+    });
+    group.bench_function("ier", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            ier.knn(&net, &objects, q, 10)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Substrate micro-benchmarks: bit codec, buffer pool, CCAM layout,
+//! R-tree, and the shortest-path engines everything else is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsi_bench::{paper_network, Scale};
+use dsi_graph::dijkstra::{sssp, sssp_bounded};
+use dsi_graph::NodeId;
+use dsi_rtree::{RTree, Rect};
+use dsi_signature::bits::BitWriter;
+use dsi_signature::encode::ReverseZeroPadding;
+use dsi_storage::{ccam_order, BufferPool, PagedStore};
+
+fn bench_substrates(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 5000,
+        queries: 1,
+        seed: 23,
+    };
+    let net = paper_network(&scale);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let mut group = c.benchmark_group("dijkstra");
+    group.sample_size(20);
+    group.bench_function("full_sssp_5k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 997) % net.num_nodes() as u32;
+            sssp(&net, NodeId(i))
+        })
+    });
+    group.bench_function("bounded_radius_50", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 997) % net.num_nodes() as u32;
+            sssp_bounded(&net, NodeId(i), 50)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(30);
+    group.bench_function("ccam_order_5k", |b| b.iter(|| ccam_order(&net)));
+    let sizes = vec![120usize; net.num_nodes()];
+    let store = PagedStore::new(&ccam_order(&net), &sizes, 0);
+    group.bench_function("pool_access_mixed", |b| {
+        let mut pool = BufferPool::new(256);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 31 + 17) % net.num_nodes();
+            store.read(i, &mut pool);
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(20);
+    let pts: Vec<(Rect, u32)> = (0..20_000u32)
+        .map(|i| {
+            (
+                Rect::point(rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0),
+                i,
+            )
+        })
+        .collect();
+    group.bench_function("bulk_load_20k", |b| {
+        b.iter(|| RTree::bulk_load(pts.clone(), 64))
+    });
+    let tree = RTree::bulk_load(pts.clone(), 64);
+    group.bench_function("window_query", |b| {
+        let mut i = 0.0f64;
+        b.iter(|| {
+            i = (i + 37.0) % 950.0;
+            tree.search_rect(&Rect::new(i, i, i + 50.0, i + 50.0), |_| {})
+        })
+    });
+    group.bench_function("nearest_10", |b| {
+        let mut i = 0.0f64;
+        b.iter(|| {
+            i = (i + 37.0) % 1000.0;
+            tree.nearest_iter(i, 1000.0 - i).take(10).count()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("codec");
+    let code = ReverseZeroPadding::new(8);
+    let cats: Vec<u8> = (0..4096).map(|i| (i % 8) as u8).collect();
+    group.bench_function("encode_4k_entries", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &cat in &cats {
+                code.encode(cat, &mut w);
+                w.push_bits(0b101, 3);
+            }
+            w.finish()
+        })
+    });
+    let blob = {
+        let mut w = BitWriter::new();
+        for &cat in &cats {
+            code.encode(cat, &mut w);
+            w.push_bits(0b101, 3);
+        }
+        w.finish()
+    };
+    group.bench_function("decode_4k_entries", |b| {
+        b.iter(|| {
+            let mut r = blob.reader();
+            let mut sum = 0u32;
+            for _ in 0..cats.len() {
+                sum += code.decode(&mut r) as u32;
+                let _ = r.read_bits(3);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Update benchmarks (§5.4): per-edge-update maintenance of the spanning
+//! forest and the signature index, vs the full-rebuild yardstick.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsi_bench::{paper_dataset, paper_network, Scale};
+use dsi_graph::{NodeId, INFINITY};
+use dsi_signature::{SignatureConfig, SignatureIndex, SignatureMaintainer};
+
+fn bench_updates(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 1500,
+        queries: 1,
+        seed: 17,
+    };
+    let net0 = paper_network(&scale);
+    let objects = paper_dataset(&net0, "0.01", scale.seed);
+
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+
+    group.bench_function("edge_weight_increase", |b| {
+        let mut net = net0.clone();
+        let mut idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut maint = SignatureMaintainer::new(&net, &objects);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let (u, v, w) = random_edge(&net, &mut rng);
+            maint.update_edge(&mut net, &mut idx, u, v, w + 1)
+        })
+    });
+
+    group.bench_function("edge_weight_decrease", |b| {
+        let mut net = net0.clone();
+        let mut idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut maint = SignatureMaintainer::new(&net, &objects);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let (u, v, w) = random_edge(&net, &mut rng);
+            maint.update_edge(&mut net, &mut idx, u, v, w.max(2) - 1)
+        })
+    });
+
+    group.bench_function("full_rebuild_yardstick", |b| {
+        b.iter_batched(
+            || net0.clone(),
+            |net| SignatureIndex::build(&net, &objects, &SignatureConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn random_edge(net: &dsi_graph::RoadNetwork, rng: &mut StdRng) -> (NodeId, NodeId, u32) {
+    loop {
+        let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+        let nbrs: Vec<_> = net
+            .neighbors(u)
+            .filter(|&(_, _, w)| w != INFINITY)
+            .collect();
+        if nbrs.is_empty() {
+            continue;
+        }
+        let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
+        return (u, v, w);
+    }
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

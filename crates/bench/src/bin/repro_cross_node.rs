@@ -1,0 +1,69 @@
+//! §7 future work — cross-node compression ablation.
+//!
+//! Measures the cross-node delta scheme against the paper's per-node
+//! encoding+compression across the five datasets, splitting the payload
+//! into category bits (where nearby-node similarity helps) and link bits
+//! (node-local adjacency slots, which cannot be delta-coded), and reporting
+//! the access-cost penalty (chain reads per lookup).
+
+use dsi_bench::{paper_dataset, paper_network, print_table, Scale, DATASET_LABELS};
+use dsi_signature::cross::{CrossNodeIndex, DEFAULT_CHAIN};
+use dsi_signature::SignatureIndex;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "§7 cross-node compression — nodes={} chain={} seed={}",
+        scale.nodes, DEFAULT_CHAIN, scale.seed
+    );
+    let net = paper_network(&scale);
+
+    let header: Vec<String> = [
+        "dataset",
+        "plain Mbit",
+        "cross Mbit",
+        "ratio",
+        "cat-only ratio",
+        "changed %",
+        "avg reads",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for label in DATASET_LABELS {
+        let objects = paper_dataset(&net, label, scale.seed);
+        let idx = SignatureIndex::build(&net, &objects, &dsi_bench::paper_signature_config(&net));
+        let cross = CrossNodeIndex::build(&idx, &net, DEFAULT_CHAIN);
+        let r = &cross.report;
+        let entries = idx.num_nodes() as u64 * idx.num_objects() as u64;
+        // The cross encoding stores every link; the plain (global-anchor)
+        // scheme omits links of flagged entries. Subtract each side's own
+        // link payload to isolate the category bits.
+        let cross_cat = r.cross_bits - entries * idx.link_bits() as u64;
+        let plain_cat = r.plain_bits
+            - (entries - idx.report.compressed_entries) * idx.link_bits() as u64;
+        let cat_ratio = cross_cat as f64 / plain_cat.max(1) as f64;
+        let avg_reads = (1..=idx.num_nodes())
+            .map(|i| cross.access_cost(dsi_graph::NodeId(i as u32 - 1)) as f64)
+            .sum::<f64>()
+            / idx.num_nodes() as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", r.plain_bits as f64 / 1e6),
+            format!("{:.2}", r.cross_bits as f64 / 1e6),
+            format!("{:.2}", r.ratio()),
+            format!("{cat_ratio:.2}"),
+            format!("{:.1}%", 100.0 * r.mean_changed_fraction),
+            format!("{avg_reads:.1}"),
+        ]);
+    }
+    print_table(
+        "§7 ablation: per-node (§5.3) vs cross-node compression",
+        &header,
+        &rows,
+    );
+    println!("\nfinding: categories delta-code well (few change across CCAM-adjacent nodes);");
+    println!("backtracking links are node-local slots and do not, capping the total gain —");
+    println!("and each lookup pays a chain of reads, the update/search overhead §7 anticipates.");
+}

@@ -1,0 +1,69 @@
+//! Figure 6.7 — impact of the partition parameters on the signature index:
+//! 25 indexes (T ∈ {5,10,15,20,25} × c ∈ {2,3,4,5,6}), 5NN clock time, on
+//! the 0.01 dataset.
+//!
+//! Expected shape (paper): all 25 within a factor ≈ 2 (robustness); for any
+//! T the best c is 3 (consistent with the analytical e); the best T falls
+//! as c grows (T* = sqrt(SP/c)).
+
+use dsi_bench::{paper_dataset, paper_network, print_table, query_nodes, timed, Scale};
+use dsi_signature::query::knn::{knn, KnnType};
+use dsi_signature::{SignatureConfig, SignatureIndex};
+
+const TS: [u32; 5] = [5, 10, 15, 20, 25];
+const CS: [f64; 5] = [2.0, 3.0, 4.0, 5.0, 6.0];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Figure 6.7 reproduction — nodes={} queries={} seed={}",
+        scale.nodes, scale.queries, scale.seed
+    );
+    let net = paper_network(&scale);
+    let queries = query_nodes(&net, scale.queries, scale.seed);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+
+    let mut header = vec!["T \\ c".to_string()];
+    header.extend(CS.iter().map(|c| format!("c={c}")));
+    let mut rows = Vec::new();
+    let mut best = (f64::INFINITY, 0u32, 0.0f64);
+    let mut worst = 0.0f64;
+    for &t in &TS {
+        let mut row = vec![format!("T={t}")];
+        for &c in &CS {
+            let cfg = SignatureConfig {
+                c,
+                t: Some(t),
+                spreading: Some(dsi_bench::paper_spreading(&net)),
+                pool_pages: dsi_bench::POOL_PAGES,
+                ..Default::default()
+            };
+            let idx = SignatureIndex::build(&net, &objects, &cfg);
+            let mut sess = idx.session(&net);
+            let (_, secs) = timed(|| {
+                for &q in &queries {
+                    let _ = knn(&mut sess, q, 5, KnnType::Type3);
+                }
+            });
+            let ms = 1000.0 * secs / queries.len() as f64;
+            if ms < best.0 {
+                best = (ms, t, c);
+            }
+            worst = worst.max(ms);
+            row.push(format!("{ms:.2}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 6.7: 5NN clock time (ms/query) across 25 signature indexes",
+        &header,
+        &rows,
+    );
+    println!(
+        "\nbest: {:.2} ms at (T={}, c={}); worst/best ratio = {:.2} (paper: all within ~2x, best c = 3)",
+        best.0,
+        best.1,
+        best.2,
+        worst / best.0
+    );
+}

@@ -1,0 +1,69 @@
+//! Section 5.1 — the analytical cost model and optimal category partition.
+//!
+//! Evaluates the grid-model cost (Equations 1–3) over a (c, T) grid, prints
+//! the surface, the numeric argmin, and the paper's closed form
+//! `(c, T) = (e, sqrt(SP/e))`, plus the Huffman-optimality criterion of
+//! Theorem 5.1 for the partition's category populations.
+
+use dsi_bench::print_table;
+use dsi_signature::analysis::{
+    closed_form_optimum, expected_query_cost, numeric_optimum, objects_within,
+};
+use dsi_signature::encode::{huffman_criterion_holds, ReverseZeroPadding};
+use dsi_signature::CategoryPartition;
+
+fn main() {
+    let sp = 1000.0;
+    let p = 0.01;
+    let d = objects_within(p, sp); // all objects inside the spreading
+
+    println!("Section 5.1 reproduction — grid model, SP={sp}, p={p}");
+
+    // Cost surface over the Figure 6.7 parameter grid.
+    let cs = [2.0, 3.0, 4.0, 5.0, 6.0];
+    let ts = [5.0, 10.0, 15.0, 20.0, 25.0];
+    let mut header = vec!["T \\ c".to_string()];
+    header.extend(cs.iter().map(|c| format!("c={c}")));
+    let mut rows = Vec::new();
+    for &t in &ts {
+        let mut row = vec![format!("T={t}")];
+        for &c in &cs {
+            row.push(format!("{:.3e}", expected_query_cost(c, t, sp, p, d)));
+        }
+        rows.push(row);
+    }
+    print_table("Eq. 1–3 expected query cost (bits)", &header, &rows);
+
+    let (c_star, t_star, cost_star) = numeric_optimum(sp, p, d);
+    let (ce, te) = closed_form_optimum(sp);
+    let cost_e = expected_query_cost(ce, te, sp, p, d);
+    println!("\nnumeric argmin: c={c_star:.2}, T={t_star:.1}, cost={cost_star:.3e}");
+    println!("closed form (paper): c=e={ce:.3}, T=sqrt(SP/e)={te:.1}, cost={cost_e:.3e}");
+    println!("closed-form/argmin cost ratio: {:.2}", cost_e / cost_star);
+
+    // Theorem 5.1: reverse zero padding is Huffman-optimal when each
+    // category outweighs all earlier ones (c > 3/2 on the uniform grid).
+    let part = CategoryPartition::optimal(sp as u32);
+    let counts: Vec<u64> = (0..part.num_categories() as u8)
+        .map(|cat| {
+            let r = part.range_of(cat);
+            let hi = (r.hi as f64).min(sp);
+            let lo = r.lo as f64;
+            if hi <= lo {
+                0
+            } else {
+                (objects_within(p, hi) - objects_within(p, lo)).max(0.0) as u64
+            }
+        })
+        .collect();
+    println!(
+        "\ncategory populations on the grid: {counts:?}\nHuffman criterion (Thm 5.1) holds: {}",
+        huffman_criterion_holds(&counts)
+    );
+    let code = ReverseZeroPadding::new(part.num_categories());
+    println!(
+        "average code length: {:.2} bits (asymptotic c²/(c²−1) at c=e: {:.2})",
+        code.average_code_len(&counts),
+        ReverseZeroPadding::theoretical_average_len(std::f64::consts::E)
+    );
+}

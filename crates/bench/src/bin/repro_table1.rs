@@ -1,0 +1,55 @@
+//! Table 1 — effect of the encoding and compression algorithms on the
+//! signature index, per dataset: raw size, encoded size and ratio,
+//! compressed size and ratio.
+//!
+//! Expected shape (paper): encoding ratio ≈ 0.74 across datasets
+//! (≈ 3 bits → 1.4 bits per category id); compression ratio ≈ 0.75–0.9,
+//! improving (smaller) as density grows.
+
+use dsi_bench::{mb, paper_dataset, paper_network, print_table, Scale, DATASET_LABELS};
+use dsi_signature::SignatureIndex;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Table 1 reproduction — nodes={} seed={}",
+        scale.nodes, scale.seed
+    );
+    let net = paper_network(&scale);
+
+    let header: Vec<String> = [
+        "dataset",
+        "D",
+        "raw MB",
+        "encoded MB",
+        "ratio",
+        "compressed MB",
+        "ratio",
+        "flagged %",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for label in DATASET_LABELS {
+        let objects = paper_dataset(&net, label, scale.seed);
+        let idx = SignatureIndex::build(&net, &objects, &dsi_bench::paper_signature_config(&net));
+        let r = &idx.report;
+        rows.push(vec![
+            label.to_string(),
+            objects.len().to_string(),
+            mb(r.raw_bits / 8),
+            mb(r.encoded_bits / 8),
+            format!("{:.0}%", 100.0 * r.encoding_ratio()),
+            mb(r.compressed_bits / 8),
+            format!("{:.0}%", 100.0 * r.compression_ratio()),
+            format!("{:.0}%", 100.0 * r.compressed_fraction()),
+        ]);
+    }
+    print_table(
+        "Table 1: encoding and compression on signatures",
+        &header,
+        &rows,
+    );
+    println!("\npaper: encoding ratio ≈ 74%, compression ratio 75–90%, ~70% of entries flagged");
+}

@@ -1,0 +1,209 @@
+//! Shared experiment harness: the paper's workloads, scaled to the local
+//! machine, plus measurement and table-printing helpers.
+//!
+//! Every `repro_*` binary regenerates one table or figure of the paper's
+//! Section 6 (see DESIGN.md's experiment index). Scale knobs come from the
+//! environment so a laptop run finishes in minutes while a full-scale run
+//! (the paper's 183,231-node network) remains one variable away:
+//!
+//! * `DSI_NODES` — synthetic network size (default 20,000).
+//! * `DSI_QUERIES` — queries per workload point (default 200; the paper
+//!   uses 500–1000).
+//! * `DSI_SEED` — RNG seed (default 42).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::{NodeId, ObjectSet, RoadNetwork};
+
+/// Scale knobs read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub nodes: usize,
+    pub queries: usize,
+    pub seed: u64,
+}
+
+impl Scale {
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Scale {
+            nodes: get("DSI_NODES", 20_000),
+            queries: get("DSI_QUERIES", 200),
+            seed: get("DSI_SEED", 42) as u64,
+        }
+    }
+}
+
+/// The five datasets of §6.1: uniform densities 0.0005, 0.001, 0.01, 0.05
+/// and the clustered "0.01(nu)" (100 clusters).
+pub const DATASET_LABELS: [&str; 5] = ["0.0005", "0.001", "0.01", "0.01(nu)", "0.05"];
+
+/// Build the paper's synthetic road network at the configured scale:
+/// random planar points, neighbour edges, weights 1–10, mean degree 4.
+pub fn paper_network(scale: &Scale) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    random_planar(
+        &PlanarConfig {
+            num_nodes: scale.nodes,
+            mean_degree: 4.0,
+            max_weight: 10,
+        },
+        &mut rng,
+    )
+}
+
+/// Build dataset by §6.1 label (see [`DATASET_LABELS`]).
+pub fn paper_dataset(net: &RoadNetwork, label: &str, seed: u64) -> ObjectSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    match label {
+        "0.0005" => ObjectSet::uniform(net, 0.0005, &mut rng),
+        "0.001" => ObjectSet::uniform(net, 0.001, &mut rng),
+        "0.01" => ObjectSet::uniform(net, 0.01, &mut rng),
+        "0.05" => ObjectSet::uniform(net, 0.05, &mut rng),
+        "0.01(nu)" => ObjectSet::clustered(net, 0.01, 100, &mut rng),
+        other => panic!("unknown dataset label {other}"),
+    }
+}
+
+/// Buffer-pool capacity for experiments: 4096 pages = 16 MiB, a small
+/// fraction of the paper's 512 MB testbed but enough that, as there, hot
+/// index pages stay resident across a query workload.
+pub const POOL_PAGES: usize = 4096;
+
+/// Estimate the maximum *query* spreading `SP` for a network: a quarter of
+/// the eccentricity of node 0. Queries are interested in local areas (the
+/// paper's premise); a spreading far below the network diameter is what
+/// concentrates remote objects in the open-ended last category and yields
+/// the paper's ~1.4-bit average category codes (Table 1).
+pub fn paper_spreading(net: &RoadNetwork) -> dsi_graph::Dist {
+    let tree = dsi_graph::sssp(net, NodeId(0));
+    let ecc = tree
+        .dist
+        .iter()
+        .copied()
+        .filter(|&d| d != dsi_graph::INFINITY)
+        .max()
+        .unwrap_or(1);
+    (ecc / 4).max(40)
+}
+
+/// The signature configuration of §6.1: `c = e`, `T = 10`, query-local
+/// spreading, and an experiment-size buffer pool. (The library default
+/// derives `T` from an estimated spreading instead; the paper pins these
+/// for its experiments.)
+pub fn paper_signature_config(net: &RoadNetwork) -> dsi_signature::SignatureConfig {
+    dsi_signature::SignatureConfig {
+        c: std::f64::consts::E,
+        t: Some(10),
+        spreading: Some(paper_spreading(net)),
+        pool_pages: POOL_PAGES,
+        ..Default::default()
+    }
+}
+
+/// Uniformly random query nodes.
+pub fn query_nodes(net: &RoadNetwork, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ed2701);
+    (0..count)
+        .map(|_| NodeId(rng.gen_range(0..net.num_nodes() as u32)))
+        .collect()
+}
+
+/// Wall-clock a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Mean of an `f64` slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Pretty-print a table: header row then aligned data rows.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format bytes as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults() {
+        let s = Scale {
+            nodes: 100,
+            queries: 5,
+            seed: 1,
+        };
+        let net = paper_network(&s);
+        assert_eq!(net.num_nodes(), 100);
+        let q = query_nodes(&net, 5, 1);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn datasets_by_label() {
+        let s = Scale {
+            nodes: 2000,
+            queries: 1,
+            seed: 2,
+        };
+        let net = paper_network(&s);
+        for label in DATASET_LABELS {
+            let ds = paper_dataset(&net, label, 2);
+            assert!(!ds.is_empty(), "{label}");
+        }
+        assert_eq!(paper_dataset(&net, "0.01", 2).len(), 20);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mb(1024 * 1024), "1.00");
+        let (v, secs) = timed(|| 7);
+        assert_eq!(v, 7);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Object datasets: sets of objects placed on network nodes.
+//!
+//! The paper evaluates with uniformly distributed datasets of density
+//! `p ∈ {0.0005, 0.001, 0.01, 0.05}` (ratio of objects to nodes) plus one
+//! non-uniform dataset composed of 100 clusters at `p = 0.01` (§6.1).
+
+use rand::Rng;
+
+use crate::dijkstra::DijkstraExpansion;
+use crate::ids::{NodeId, ObjectId};
+use crate::network::RoadNetwork;
+
+/// A dataset of objects, each located on a distinct node.
+#[derive(Clone, Debug)]
+pub struct ObjectSet {
+    /// `nodes[o]` — the node hosting object `o`.
+    nodes: Vec<NodeId>,
+    /// `object_at[n]` — the object on node `n`, `u32::MAX` if none.
+    object_at: Vec<u32>,
+}
+
+impl ObjectSet {
+    /// Build from explicit host nodes (must be distinct and in range).
+    pub fn from_nodes(net: &RoadNetwork, nodes: Vec<NodeId>) -> Self {
+        let mut object_at = vec![u32::MAX; net.num_nodes()];
+        for (i, &n) in nodes.iter().enumerate() {
+            assert!(n.index() < net.num_nodes(), "object node out of range");
+            assert_eq!(
+                object_at[n.index()],
+                u32::MAX,
+                "two objects on node {n}"
+            );
+            object_at[n.index()] = i as u32;
+        }
+        ObjectSet { nodes, object_at }
+    }
+
+    /// Uniform dataset: exactly `round(p * |V|)` objects (at least 1) on
+    /// distinct nodes drawn uniformly at random.
+    pub fn uniform<R: Rng>(net: &RoadNetwork, density: f64, rng: &mut R) -> Self {
+        let n = net.num_nodes();
+        let count = ((density * n as f64).round() as usize).clamp(1, n);
+        Self::from_nodes(net, sample_distinct(n, count, rng))
+    }
+
+    /// Clustered dataset: `round(p * |V|)` objects grouped around
+    /// `num_clusters` random cluster seeds (§6.1's "0.01(nu)" dataset uses
+    /// 100 clusters). Members are drawn from the network neighbourhood of
+    /// each seed by expanding Dijkstra and keeping nodes with probability
+    /// 1/2, which yields compact, irregular clusters.
+    pub fn clustered<R: Rng>(
+        net: &RoadNetwork,
+        density: f64,
+        num_clusters: usize,
+        rng: &mut R,
+    ) -> Self {
+        let n = net.num_nodes();
+        let count = ((density * n as f64).round() as usize).clamp(1, n);
+        let num_clusters = num_clusters.clamp(1, count);
+        let seeds = sample_distinct(n, num_clusters, rng);
+        let mut taken = vec![false; n];
+        let mut nodes = Vec::with_capacity(count);
+        // Round-robin quotas so cluster sizes are balanced (±1).
+        let base = count / num_clusters;
+        let extra = count % num_clusters;
+        for (ci, &seed) in seeds.iter().enumerate() {
+            let quota = base + usize::from(ci < extra);
+            let mut got = 0;
+            let mut exp = DijkstraExpansion::new(net, seed);
+            while got < quota {
+                match exp.next_settled() {
+                    Some((v, _)) => {
+                        if !taken[v.index()] && rng.gen_bool(0.5) {
+                            taken[v.index()] = true;
+                            nodes.push(v);
+                            got += 1;
+                        }
+                    }
+                    None => break, // component exhausted
+                }
+            }
+        }
+        // Top up from anywhere if clusters ran dry (tiny networks).
+        while nodes.len() < count {
+            let v = NodeId(rng.gen_range(0..n as u32));
+            if !taken[v.index()] {
+                taken[v.index()] = true;
+                nodes.push(v);
+            }
+        }
+        Self::from_nodes(net, nodes)
+    }
+
+    /// Number of objects (`D`, the dataset cardinality).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Host node of object `o`.
+    #[inline]
+    pub fn node_of(&self, o: ObjectId) -> NodeId {
+        self.nodes[o.index()]
+    }
+
+    /// Object located on node `n`, if any.
+    #[inline]
+    pub fn object_at(&self, n: NodeId) -> Option<ObjectId> {
+        match self.object_at[n.index()] {
+            u32::MAX => None,
+            i => Some(ObjectId(i)),
+        }
+    }
+
+    /// Iterate over object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.len() as u32).map(ObjectId)
+    }
+
+    /// Iterate over `(object, host node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, NodeId)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (ObjectId(i as u32), n))
+    }
+
+    /// Host nodes slice (indexed by object id).
+    pub fn host_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Dataset density `p = D / |V|`.
+    pub fn density(&self, net: &RoadNetwork) -> f64 {
+        self.len() as f64 / net.num_nodes() as f64
+    }
+}
+
+/// Sample `k` distinct values from `0..n` (partial Fisher–Yates).
+fn sample_distinct<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<NodeId> {
+    assert!(k <= n);
+    // For small k relative to n, rejection sampling is cheaper than
+    // materializing 0..n.
+    if k * 8 < n {
+        let mut seen = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let v = rng.gen_range(0..n as u32);
+            if seen.insert(v) {
+                out.push(NodeId(v));
+            }
+        }
+        out
+    } else {
+        let mut pool: Vec<u32> = (0..n as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool.into_iter().map(NodeId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::grid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_count_matches_density() {
+        let g = grid(20, 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = ObjectSet::uniform(&g, 0.05, &mut rng);
+        assert_eq!(ds.len(), 20);
+        assert!((ds.density(&g) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_hosts_are_distinct() {
+        let g = grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = ObjectSet::uniform(&g, 0.3, &mut rng);
+        let mut hosts: Vec<_> = ds.host_nodes().to_vec();
+        hosts.sort();
+        hosts.dedup();
+        assert_eq!(hosts.len(), ds.len());
+    }
+
+    #[test]
+    fn object_at_round_trips() {
+        let g = grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = ObjectSet::uniform(&g, 0.1, &mut rng);
+        for (o, n) in ds.iter() {
+            assert_eq!(ds.object_at(n), Some(o));
+            assert_eq!(ds.node_of(o), n);
+        }
+        let non_host = g.nodes().find(|&n| ds.object_at(n).is_none()).unwrap();
+        assert_eq!(ds.object_at(non_host), None);
+    }
+
+    #[test]
+    fn minimum_one_object() {
+        let g = grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = ObjectSet::uniform(&g, 0.0001, &mut rng);
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn clustered_count_and_distinctness() {
+        let g = grid(40, 40);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = ObjectSet::clustered(&g, 0.05, 8, &mut rng);
+        assert_eq!(ds.len(), 80);
+        let mut hosts: Vec<_> = ds.host_nodes().to_vec();
+        hosts.sort();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 80);
+    }
+
+    #[test]
+    fn clustered_is_more_concentrated_than_uniform() {
+        // Mean pairwise Euclidean distance should be smaller for the
+        // clustered dataset than for a uniform one of the same size.
+        let g = grid(50, 50);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cl = ObjectSet::clustered(&g, 0.02, 3, &mut rng);
+        let un = ObjectSet::uniform(&g, 0.02, &mut rng);
+        let mean = |ds: &ObjectSet| {
+            let mut s = 0.0;
+            let mut c = 0u32;
+            for (i, &a) in ds.host_nodes().iter().enumerate() {
+                for &b in &ds.host_nodes()[i + 1..] {
+                    s += g.coord(a).dist(g.coord(b));
+                    c += 1;
+                }
+            }
+            s / c as f64
+        };
+        assert!(
+            mean(&cl) < mean(&un),
+            "clustered {} should beat uniform {}",
+            mean(&cl),
+            mean(&un)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two objects on node")]
+    fn duplicate_hosts_rejected() {
+        let g = grid(3, 3);
+        ObjectSet::from_nodes(&g, vec![NodeId(1), NodeId(1)]);
+    }
+}

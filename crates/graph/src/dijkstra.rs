@@ -1,0 +1,494 @@
+//! Shortest-path algorithms: Dijkstra (full / bounded / incremental
+//! expansion), multi-source Dijkstra, and A*.
+//!
+//! All variants record, for every settled node `v`, the *parent slot*: the
+//! adjacency slot of `v`'s shortest-path predecessor within `v`'s own
+//! adjacency list. When the source is an object `o`, that slot is exactly the
+//! backtracking link `s(v)[o].link` of the paper (§3.1): the next hop from
+//! `v` towards `o`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{Dist, NodeId, INFINITY, NO_NODE};
+use crate::network::{RoadNetwork, Slot};
+
+/// A single-source shortest-path tree.
+#[derive(Clone, Debug)]
+pub struct SsspTree {
+    pub source: NodeId,
+    /// `dist[v]` — network distance from the source; `INFINITY` if
+    /// unreachable.
+    pub dist: Vec<Dist>,
+    /// `parent[v]` — predecessor of `v` on the shortest path from the source
+    /// (equivalently: the next hop from `v` *towards* the source). `NO_NODE`
+    /// for the source itself and unreachable nodes.
+    pub parent: Vec<NodeId>,
+    /// `parent_slot[v]` — slot of `parent[v]` within `v`'s adjacency list;
+    /// undefined where `parent[v] == NO_NODE`.
+    pub parent_slot: Vec<Slot>,
+}
+
+impl SsspTree {
+    /// Shortest path from the source to `v` (inclusive of both endpoints),
+    /// or `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[v.index()] == INFINITY {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[cur.index()];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Full single-source Dijkstra over finite-weight edges.
+pub fn sssp(net: &RoadNetwork, source: NodeId) -> SsspTree {
+    sssp_bounded(net, source, INFINITY)
+}
+
+/// Dijkstra truncated at `radius`: nodes strictly farther than `radius` keep
+/// `dist == INFINITY`. With `radius == INFINITY` this is plain Dijkstra.
+pub fn sssp_bounded(net: &RoadNetwork, source: NodeId, radius: Dist) -> SsspTree {
+    let mut exp = DijkstraExpansion::new(net, source);
+    while let Some((_, d)) = exp.next_settled() {
+        if d > radius {
+            // The frontier is monotone: everything after this is farther.
+            exp.unsettle_last();
+            break;
+        }
+    }
+    exp.into_tree()
+}
+
+/// Incremental network expansion: Dijkstra exposed as an iterator over
+/// settled nodes in non-decreasing distance order.
+///
+/// This is the engine of the INE baseline (Papadias et al., reviewed in §2)
+/// and of the NVD construction; callers observe each settled node and decide
+/// when to stop, and can charge page accesses per visited node.
+pub struct DijkstraExpansion<'a> {
+    net: &'a RoadNetwork,
+    dist: Vec<Dist>,
+    parent: Vec<NodeId>,
+    parent_slot: Vec<Slot>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<(Reverse<Dist>, NodeId)>,
+    source: NodeId,
+    last: Option<NodeId>,
+    /// Count of heap relaxations performed (a CPU-cost proxy).
+    pub relaxations: u64,
+}
+
+impl<'a> DijkstraExpansion<'a> {
+    pub fn new(net: &'a RoadNetwork, source: NodeId) -> Self {
+        let n = net.num_nodes();
+        let mut dist = vec![INFINITY; n];
+        dist[source.index()] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push((Reverse(0), source));
+        DijkstraExpansion {
+            net,
+            dist,
+            parent: vec![NO_NODE; n],
+            parent_slot: vec![0; n],
+            settled: vec![false; n],
+            heap,
+            source,
+            last: None,
+            relaxations: 0,
+        }
+    }
+
+    /// Settle and return the next-nearest unsettled node, or `None` when the
+    /// reachable component is exhausted.
+    pub fn next_settled(&mut self) -> Option<(NodeId, Dist)> {
+        while let Some((Reverse(d), u)) = self.heap.pop() {
+            if self.settled[u.index()] {
+                continue; // stale heap entry
+            }
+            self.settled[u.index()] = true;
+            self.last = Some(u);
+            for (slot, v, w) in self.net.neighbors(u) {
+                if w == INFINITY || self.settled[v.index()] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < self.dist[v.index()] {
+                    self.dist[v.index()] = nd;
+                    self.parent[v.index()] = u;
+                    // Slot of u within v's list = reverse of (u, slot).
+                    self.parent_slot[v.index()] = self.net.reverse_slot(u, slot);
+                    self.heap.push((Reverse(nd), v));
+                    self.relaxations += 1;
+                }
+            }
+            return Some((u, d));
+        }
+        None
+    }
+
+    /// Distance to `v` as currently known (exact once `v` was settled).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        self.dist[v.index()]
+    }
+
+    /// Whether `v` has been settled (its distance finalized).
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settled[v.index()]
+    }
+
+    /// Number of settled nodes so far.
+    pub fn settled_count(&self) -> usize {
+        self.settled.iter().filter(|&&s| s).count()
+    }
+
+    /// Roll back the most recent settlement — used by the bounded variant
+    /// when the frontier first exceeds the radius.
+    fn unsettle_last(&mut self) {
+        if let Some(u) = self.last.take() {
+            self.settled[u.index()] = false;
+            self.dist[u.index()] = INFINITY;
+            self.parent[u.index()] = NO_NODE;
+        }
+    }
+
+    /// Finalize into an [`SsspTree`]; unsettled nodes keep `INFINITY`.
+    pub fn into_tree(mut self) -> SsspTree {
+        // Unsettled nodes may carry tentative labels; reset them so the tree
+        // only reports finalized distances.
+        for v in 0..self.dist.len() {
+            if !self.settled[v] {
+                self.dist[v] = INFINITY;
+                self.parent[v] = NO_NODE;
+            }
+        }
+        SsspTree {
+            source: self.source,
+            dist: self.dist,
+            parent: self.parent,
+            parent_slot: self.parent_slot,
+        }
+    }
+}
+
+/// Result of a multi-source Dijkstra: the network Voronoi assignment.
+#[derive(Clone, Debug)]
+pub struct MultiSourceResult {
+    /// `owner[v]` — index (into the `sources` slice) of the nearest source;
+    /// `u32::MAX` if unreachable. Ties broken towards the lower source index
+    /// (deterministic).
+    pub owner: Vec<u32>,
+    /// Distance to the nearest source.
+    pub dist: Vec<Dist>,
+    /// Predecessor towards the owning source (`NO_NODE` at sources).
+    pub parent: Vec<NodeId>,
+    /// Slot of `parent[v]` in `v`'s adjacency list.
+    pub parent_slot: Vec<Slot>,
+}
+
+/// Multi-source Dijkstra: grows all sources simultaneously, assigning every
+/// node to its nearest source. This computes the Network Voronoi Diagram used
+/// by the VN3 baseline (§2) in one pass.
+pub fn multi_source(net: &RoadNetwork, sources: &[NodeId]) -> MultiSourceResult {
+    let n = net.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut owner = vec![u32::MAX; n];
+    let mut parent = vec![NO_NODE; n];
+    let mut parent_slot = vec![0 as Slot; n];
+    let mut settled = vec![false; n];
+    // Heap entries carry the owner so ties resolve deterministically by
+    // (distance, owner index, node id).
+    let mut heap: BinaryHeap<Reverse<(Dist, u32, NodeId)>> = BinaryHeap::new();
+    for (i, &s) in sources.iter().enumerate() {
+        let i = i as u32;
+        // A node hosting several sources keeps the first.
+        if dist[s.index()] == 0 && owner[s.index()] != u32::MAX {
+            continue;
+        }
+        dist[s.index()] = 0;
+        owner[s.index()] = i;
+        heap.push(Reverse((0, i, s)));
+    }
+    while let Some(Reverse((d, o, u))) = heap.pop() {
+        if settled[u.index()] || owner[u.index()] != o || dist[u.index()] != d {
+            continue;
+        }
+        settled[u.index()] = true;
+        for (slot, v, w) in net.neighbors(u) {
+            if w == INFINITY || settled[v.index()] {
+                continue;
+            }
+            let nd = d + w;
+            let better = nd < dist[v.index()] || (nd == dist[v.index()] && o < owner[v.index()]);
+            if better {
+                dist[v.index()] = nd;
+                owner[v.index()] = o;
+                parent[v.index()] = u;
+                parent_slot[v.index()] = net.reverse_slot(u, slot);
+                heap.push(Reverse((nd, o, v)));
+            }
+        }
+    }
+    MultiSourceResult {
+        owner,
+        dist,
+        parent,
+        parent_slot,
+    }
+}
+
+/// The largest factor `f` such that `f * euclidean(u, v) <= w(u, v)` for
+/// every finite edge — i.e. the scale making Euclidean distance an admissible
+/// A* heuristic on this network. Returns `0.0` when a zero-length edge exists
+/// (heuristic degenerates to Dijkstra).
+pub fn euclidean_lower_bound_scale(net: &RoadNetwork) -> f64 {
+    let mut scale = f64::INFINITY;
+    for u in net.nodes() {
+        for (_, v, w) in net.neighbors(u) {
+            if w == INFINITY {
+                continue;
+            }
+            let e = net.coord(u).dist(net.coord(v));
+            if e <= f64::EPSILON {
+                return 0.0;
+            }
+            scale = scale.min(w as f64 / e);
+        }
+    }
+    if scale.is_finite() {
+        scale
+    } else {
+        0.0
+    }
+}
+
+/// A* point-to-point search with the heuristic `h(v) = h_scale *
+/// euclidean(v, target)`. `h_scale` must make `h` a lower bound on network
+/// distance (see [`euclidean_lower_bound_scale`]); `h_scale = 0` reduces to
+/// plain Dijkstra. Returns `(distance, path)` or `None` when disconnected.
+pub fn astar(
+    net: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    h_scale: f64,
+) -> Option<(Dist, Vec<NodeId>)> {
+    let n = net.num_nodes();
+    let tp = net.coord(target);
+    let h = |v: NodeId| -> Dist { (h_scale * net.coord(v).dist(tp)).floor() as Dist };
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![NO_NODE; n];
+    let mut settled = vec![false; n];
+    dist[source.index()] = 0;
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((h(source), source)));
+    while let Some(Reverse((_, u))) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        if u == target {
+            let mut path = vec![u];
+            let mut cur = u;
+            while cur != source {
+                cur = parent[cur.index()];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some((dist[target.index()], path));
+        }
+        let du = dist[u.index()];
+        for (_, v, w) in net.neighbors(u) {
+            if w == INFINITY || settled[v.index()] {
+                continue;
+            }
+            let nd = du + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = u;
+                heap.push(Reverse((nd + h(v), v)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::grid;
+    use crate::network::NetworkBuilder;
+    use crate::point::Point;
+
+    fn line(weights: &[Dist]) -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<NodeId> = (0..=weights.len())
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        for (i, &w) in weights.iter().enumerate() {
+            b.add_edge(ids[i], ids[i + 1], w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sssp_on_a_line() {
+        let g = line(&[2, 3, 4]);
+        let t = sssp(&g, NodeId(0));
+        assert_eq!(t.dist, vec![0, 2, 5, 9]);
+        assert_eq!(t.parent[3], NodeId(2));
+        assert_eq!(t.parent[0], NO_NODE);
+    }
+
+    #[test]
+    fn parent_slot_points_to_parent() {
+        let g = grid(5, 5);
+        let t = sssp(&g, NodeId(12));
+        for v in g.nodes() {
+            if t.parent[v.index()] != NO_NODE {
+                let (p, _) = g.neighbor_at(v, t.parent_slot[v.index()]);
+                assert_eq!(p, t.parent[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        // Unit-weight grid: shortest path = Manhattan distance.
+        let g = grid(6, 6);
+        let t = sssp(&g, NodeId(0)); // corner (0,0)
+        for r in 0..6u32 {
+            for c in 0..6u32 {
+                let v = NodeId(r * 6 + c);
+                assert_eq!(t.dist[v.index()], r + c, "node ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_reconstructs_shortest_path() {
+        let g = grid(4, 4);
+        let t = sssp(&g, NodeId(0));
+        let p = t.path_to(NodeId(15)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(15)));
+        assert_eq!(p.len() as Dist - 1, t.dist[15]);
+        // Consecutive path nodes are adjacent.
+        for w in p.windows(2) {
+            assert!(g.edge_weight(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn bounded_sssp_truncates() {
+        let g = grid(8, 8);
+        let t = sssp_bounded(&g, NodeId(0), 3);
+        for v in g.nodes() {
+            let d = t.dist[v.index()];
+            assert!(d == INFINITY || d <= 3);
+        }
+        // Everything within the radius must be settled.
+        let full = sssp(&g, NodeId(0));
+        for v in g.nodes() {
+            if full.dist[v.index()] <= 3 {
+                assert_eq!(t.dist[v.index()], full.dist[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_is_monotone() {
+        let g = grid(7, 7);
+        let mut exp = DijkstraExpansion::new(&g, NodeId(24));
+        let mut prev = 0;
+        let mut count = 0;
+        while let Some((_, d)) = exp.next_settled() {
+            assert!(d >= prev);
+            prev = d;
+            count += 1;
+        }
+        assert_eq!(count, 49);
+    }
+
+    #[test]
+    fn removed_edges_are_skipped() {
+        let mut g = line(&[1, 1, 1]);
+        g.set_edge_weight(NodeId(1), NodeId(2), INFINITY);
+        let t = sssp(&g, NodeId(0));
+        assert_eq!(t.dist[1], 1);
+        assert_eq!(t.dist[2], INFINITY);
+        assert_eq!(t.dist[3], INFINITY);
+    }
+
+    #[test]
+    fn multi_source_assigns_nearest_owner() {
+        let g = line(&[1, 1, 1, 1]); // 5 nodes in a row
+        let r = multi_source(&g, &[NodeId(0), NodeId(4)]);
+        assert_eq!(r.owner[0], 0);
+        assert_eq!(r.owner[1], 0);
+        assert_eq!(r.owner[2], 0, "tie breaks toward lower source index");
+        assert_eq!(r.owner[3], 1);
+        assert_eq!(r.owner[4], 1);
+        assert_eq!(r.dist, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn multi_source_matches_individual_dijkstras() {
+        let g = grid(9, 9);
+        let sources = [NodeId(0), NodeId(40), NodeId(80)];
+        let r = multi_source(&g, &sources);
+        let trees: Vec<SsspTree> = sources.iter().map(|&s| sssp(&g, s)).collect();
+        for v in g.nodes() {
+            let best = trees
+                .iter()
+                .map(|t| t.dist[v.index()])
+                .min()
+                .unwrap();
+            assert_eq!(r.dist[v.index()], best);
+            assert_eq!(
+                trees[r.owner[v.index()] as usize].dist[v.index()],
+                best,
+                "owner must be a nearest source"
+            );
+        }
+    }
+
+    #[test]
+    fn astar_matches_dijkstra() {
+        let g = grid(10, 10);
+        let scale = euclidean_lower_bound_scale(&g);
+        assert!(scale > 0.0);
+        let t = sssp(&g, NodeId(3));
+        for &target in &[NodeId(97), NodeId(0), NodeId(55)] {
+            let (d, path) = astar(&g, NodeId(3), target, scale).unwrap();
+            assert_eq!(d, t.dist[target.index()]);
+            assert_eq!(path.first(), Some(&NodeId(3)));
+            assert_eq!(path.last(), Some(&target));
+        }
+    }
+
+    #[test]
+    fn astar_disconnected_returns_none() {
+        let mut g = line(&[1, 1]);
+        g.set_edge_weight(NodeId(0), NodeId(1), INFINITY);
+        assert!(astar(&g, NodeId(0), NodeId(2), 0.0).is_none());
+    }
+
+    #[test]
+    fn euclidean_scale_is_admissible() {
+        let g = grid(6, 6);
+        let s = euclidean_lower_bound_scale(&g);
+        let t = sssp(&g, NodeId(0));
+        for v in g.nodes() {
+            let h = s * g.coord(NodeId(0)).dist(g.coord(v));
+            assert!(h <= t.dist[v.index()] as f64 + 1e-9);
+        }
+    }
+}

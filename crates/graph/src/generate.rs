@@ -1,0 +1,394 @@
+//! Network generators.
+//!
+//! Two families, matching the paper:
+//!
+//! * [`grid`] — the uniform grid of Section 5.1: every interior node has
+//!   degree 4 and all edge weights are 1. Used to validate the analytical
+//!   cost model and the optimal category partition (c = e, T = sqrt(SP/e)).
+//! * [`random_planar`] — the synthetic evaluation network of Section 6:
+//!   planar points connected to nearby points, random integer weights in
+//!   `1..=10`, node degrees following an exponential distribution with mean
+//!   4 (the degree of a two-road intersection). The generated graph is
+//!   post-processed to be connected so that all network distances exist.
+
+use rand::Rng;
+
+use crate::ids::{Dist, NodeId};
+use crate::network::{NetworkBuilder, RoadNetwork};
+use crate::point::Point;
+
+/// Build a `width x height` uniform grid with unit edge weights.
+///
+/// Node `(row, col)` has id `row * width + col` and coordinate
+/// `(col, row)`; shortest-path distance equals Manhattan distance.
+pub fn grid(width: u32, height: u32) -> RoadNetwork {
+    assert!(width >= 1 && height >= 1);
+    let mut b = NetworkBuilder::with_capacity((width * height) as usize);
+    for r in 0..height {
+        for c in 0..width {
+            b.add_node(Point::new(c as f64, r as f64));
+        }
+    }
+    let id = |r: u32, c: u32| NodeId(r * width + c);
+    for r in 0..height {
+        for c in 0..width {
+            if c + 1 < width {
+                b.add_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if r + 1 < height {
+                b.add_edge(id(r, c), id(r + 1, c), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Parameters for [`random_planar`].
+#[derive(Clone, Debug)]
+pub struct PlanarConfig {
+    /// Number of nodes (the paper uses 183,231).
+    pub num_nodes: usize,
+    /// Mean of the exponential degree distribution (paper: 4).
+    pub mean_degree: f64,
+    /// Edge weights are drawn uniformly from `1..=max_weight` (paper: 10).
+    pub max_weight: Dist,
+}
+
+impl Default for PlanarConfig {
+    fn default() -> Self {
+        PlanarConfig {
+            num_nodes: 10_000,
+            mean_degree: 4.0,
+            max_weight: 10,
+        }
+    }
+}
+
+/// Generate a connected random planar-style road network.
+///
+/// Points are sampled uniformly in a square with unit point density; each
+/// node draws a target degree from an exponential distribution with the
+/// configured mean (clamped to `1..=12`) and connects to its nearest
+/// not-yet-connected neighbours found through a spatial hash grid. A final
+/// pass links connected components through their nearest node pairs so the
+/// result is a single component.
+pub fn random_planar<R: Rng>(cfg: &PlanarConfig, rng: &mut R) -> RoadNetwork {
+    let n = cfg.num_nodes;
+    assert!(n >= 2);
+    let side = (n as f64).sqrt().ceil();
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect();
+
+    // Spatial hash with ~1 point per cell on average.
+    let hash = SpatialHash::new(&pts, side);
+
+    let mut b = NetworkBuilder::with_capacity(n);
+    for &p in &pts {
+        b.add_node(p);
+    }
+
+    // Target degrees: exponential with the configured mean, clamped to 6 so
+    // that with the +2 stitching overshoot the maximum degree stays ≤ 8 —
+    // keeping backtracking links at 3 bits, like the paper's road networks
+    // (a two-road intersection has degree 4).
+    let lambda = 1.0 / cfg.mean_degree;
+    let target: Vec<u32> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let d = (-u.ln() / lambda).round();
+            (d as u32).clamp(1, 6)
+        })
+        .collect();
+    let mut degree = vec![0u32; n];
+
+    // Visit nodes in random order; greedily connect to nearest candidates.
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, rng);
+    let mut candidates = Vec::new();
+    for &u in &order {
+        if degree[u] >= target[u] {
+            continue;
+        }
+        let want = (target[u] - degree[u]) as usize;
+        hash.nearest(&pts, u, want + 4, &mut candidates);
+        for &v in candidates.iter() {
+            if degree[u] >= target[u] {
+                break;
+            }
+            if v == u || b.has_edge(NodeId(u as u32), NodeId(v as u32)) {
+                continue;
+            }
+            // Respect the partner's headroom loosely: allow +2 overshoot so
+            // low-degree pockets still get stitched together.
+            if degree[v] >= target[v] + 2 {
+                continue;
+            }
+            let w = rng.gen_range(1..=cfg.max_weight);
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), w);
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+    }
+
+    connect_components(&mut b, &pts, cfg.max_weight, rng);
+    b.build()
+}
+
+/// Union-find over node indices.
+struct Dsu(Vec<u32>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n as u32).collect())
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.0[r as usize] != r {
+            r = self.0[r as usize];
+        }
+        // Path compression.
+        let mut c = x;
+        while self.0[c as usize] != r {
+            let next = self.0[c as usize];
+            self.0[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra as usize] = rb;
+        true
+    }
+}
+
+/// Stitch the builder's components together via nearest cross-component
+/// point pairs (greedy, adequate for a synthetic benchmark network).
+fn connect_components<R: Rng>(
+    b: &mut NetworkBuilder,
+    pts: &[Point],
+    max_weight: Dist,
+    rng: &mut R,
+) {
+    let n = pts.len();
+    let mut dsu = Dsu::new(n);
+    for u in 0..n {
+        for &(v, _) in b.adjacency_of(NodeId(u as u32)) {
+            dsu.union(u as u32, v.0);
+        }
+    }
+    // Representative list per component.
+    loop {
+        let mut roots: Vec<u32> = (0..n as u32).filter(|&x| dsu.find(x) == x).collect();
+        if roots.len() <= 1 {
+            break;
+        }
+        shuffle(&mut roots, rng);
+        let main = dsu.find(roots[0]);
+        for &r in &roots[1..] {
+            if dsu.find(r) == dsu.find(main) {
+                continue;
+            }
+            // Nearest pair between component of r and the rest: scan members
+            // of the (typically tiny) stray component against all points.
+            let comp_root = dsu.find(r);
+            let members: Vec<u32> = (0..n as u32)
+                .filter(|&x| dsu.find(x) == comp_root)
+                .collect();
+            let mut best = (f64::INFINITY, 0u32, 0u32);
+            for &m in &members {
+                for v in 0..n as u32 {
+                    if dsu.find(v) == comp_root {
+                        continue;
+                    }
+                    let d = pts[m as usize].dist_sq(pts[v as usize]);
+                    if d < best.0 {
+                        best = (d, m, v);
+                    }
+                }
+            }
+            let (_, m, v) = best;
+            if !b.has_edge(NodeId(m), NodeId(v)) {
+                let w = rng.gen_range(1..=max_weight);
+                b.add_edge(NodeId(m), NodeId(v), w);
+            }
+            dsu.union(m, v);
+        }
+    }
+}
+
+fn shuffle<T, R: Rng>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Bucketed point index for nearest-neighbour candidate generation.
+struct SpatialHash {
+    cells: Vec<Vec<u32>>,
+    dim: usize,
+    cell: f64,
+}
+
+impl SpatialHash {
+    fn new(pts: &[Point], side: f64) -> Self {
+        let dim = (side.ceil() as usize).max(1);
+        let cell = side / dim as f64;
+        let mut cells = vec![Vec::new(); dim * dim];
+        for (i, p) in pts.iter().enumerate() {
+            let cx = ((p.x / cell) as usize).min(dim - 1);
+            let cy = ((p.y / cell) as usize).min(dim - 1);
+            cells[cy * dim + cx].push(i as u32);
+        }
+        SpatialHash { cells, dim, cell }
+    }
+
+    /// Collect the `k` nearest points to `pts[u]` (excluding `u`) into `out`,
+    /// sorted by distance, by scanning rings of cells outward.
+    fn nearest(&self, pts: &[Point], u: usize, k: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let p = pts[u];
+        let cx = ((p.x / self.cell) as isize).min(self.dim as isize - 1);
+        let cy = ((p.y / self.cell) as isize).min(self.dim as isize - 1);
+        let mut ring = 0isize;
+        let mut found: Vec<(f64, usize)> = Vec::new();
+        while ring < self.dim as isize {
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // only the ring's border cells are new
+                    }
+                    let (x, y) = (cx + dx, cy + dy);
+                    if x < 0 || y < 0 || x >= self.dim as isize || y >= self.dim as isize {
+                        continue;
+                    }
+                    for &i in &self.cells[y as usize * self.dim + x as usize] {
+                        let i = i as usize;
+                        if i != u {
+                            found.push((p.dist_sq(pts[i]), i));
+                        }
+                    }
+                }
+            }
+            // Points in the next ring can only be nearer than `ring * cell`,
+            // so once we have k points within that radius we can stop.
+            if found.len() >= k {
+                let safe = (ring as f64 * self.cell).powi(2);
+                found.sort_by(|a, b| a.0.total_cmp(&b.0));
+                if found.len() >= k && found[k - 1].0 <= safe {
+                    break;
+                }
+            }
+            ring += 1;
+        }
+        found.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out.extend(found.into_iter().take(k).map(|(_, i)| i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::sssp;
+    use crate::ids::INFINITY;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_dimensions() {
+        let g = grid(4, 3);
+        assert_eq!(g.num_nodes(), 12);
+        // 3 rows x 3 horizontal edges + 2 x 4 vertical edges
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid_corner_degree() {
+        let g = grid(5, 5);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(12)), 4); // center
+    }
+
+    #[test]
+    fn grid_1x1_is_single_node() {
+        let g = grid(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn planar_is_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_planar(
+            &PlanarConfig {
+                num_nodes: 500,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(g.num_nodes(), 500);
+        let t = sssp(&g, NodeId(0));
+        assert!(
+            t.dist.iter().all(|&d| d != INFINITY),
+            "network must be connected"
+        );
+    }
+
+    #[test]
+    fn planar_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                max_weight: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        for u in g.nodes() {
+            for (_, _, w) in g.neighbors(u) {
+                assert!((1..=10).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn planar_mean_degree_near_target() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = random_planar(
+            &PlanarConfig {
+                num_nodes: 2000,
+                mean_degree: 4.0,
+                max_weight: 10,
+            },
+            &mut rng,
+        );
+        let mean = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            (2.5..=5.5).contains(&mean),
+            "mean degree {mean} should be near 4"
+        );
+    }
+
+    #[test]
+    fn planar_is_deterministic_per_seed() {
+        let cfg = PlanarConfig {
+            num_nodes: 200,
+            ..Default::default()
+        };
+        let g1 = random_planar(&cfg, &mut StdRng::seed_from_u64(3));
+        let g2 = random_planar(&cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for u in g1.nodes() {
+            let a: Vec<_> = g1.neighbors(u).collect();
+            let b: Vec<_> = g2.neighbors(u).collect();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Road-network substrate for the distance-signature reproduction.
+//!
+//! This crate provides everything the index layers above need from a spatial
+//! network database (SNDB) model, as in Section 1 of the paper:
+//!
+//! * [`RoadNetwork`] — a simple undirected weighted graph in CSR form, where
+//!   vertices are road junctions with planar coordinates, edges are road
+//!   segments, and edge weights are distances along the road.
+//! * [`ObjectSet`] — a dataset of objects (hospitals, restaurants, …)
+//!   placed on network nodes, with uniform and clustered generators.
+//! * Generators for the two network families used in the paper's analysis and
+//!   evaluation: the uniform grid of Section 5.1 and the synthetic random
+//!   planar network of Section 6.
+//! * Shortest-path machinery: binary-heap Dijkstra (full, bounded, and
+//!   incremental expansion), multi-source Dijkstra, A*, and per-object
+//!   shortest-path spanning trees (the intermediate structures kept for
+//!   signature maintenance in Section 5.4).
+//!
+//! Distances are `u32` ([`Dist`]); edge weights in the paper are integers in
+//! `1..=10`, so path lengths stay far below `u32::MAX`.
+
+pub mod dataset;
+pub mod dijkstra;
+pub mod generate;
+pub mod ids;
+pub mod io;
+pub mod network;
+pub mod point;
+pub mod spanning;
+
+pub use dataset::ObjectSet;
+pub use dijkstra::{
+    astar, multi_source, sssp, sssp_bounded, DijkstraExpansion, MultiSourceResult, SsspTree,
+};
+pub use ids::{Dist, NodeId, ObjectId, INFINITY};
+pub use network::{NetworkBuilder, RoadNetwork};
+pub use point::Point;
+pub use spanning::SpanningForest;

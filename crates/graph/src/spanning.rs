@@ -1,0 +1,645 @@
+//! Per-object shortest-path spanning trees and their incremental maintenance
+//! under edge updates (paper Section 5.4).
+//!
+//! The signature construction runs one Dijkstra per object; the resulting
+//! spanning trees are "the intermediate results during signature
+//! construction" that the paper keeps around to support updates. This module
+//! owns those trees and implements both update directions:
+//!
+//! * **Adding an edge / decreasing a weight** (§5.4.1): test the endpoints
+//!   and propagate improvements outward until no distance changes.
+//! * **Removing an edge / increasing a weight** (§5.4.2): find the trees that
+//!   actually use the edge, recompute the subtree hanging below it, and
+//!   propagate.
+//!
+//! Edge insertion/removal is expressed as weight changes to/from
+//! [`INFINITY`], which keeps adjacency slots (and hence backtracking links)
+//! stable. The paper additionally keeps a reverse index from edges to the
+//! spanning trees containing them; [`ReverseEdgeIndex`] provides it as an
+//! optional accelerator — with a moderate dataset cardinality `D` (the
+//! paper's own operating assumption) the `O(D)` parent check is equally fast
+//! and needs no extra memory, so [`SpanningForest::update_edge`] uses the
+//! scan and the index is validated against it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::dataset::ObjectSet;
+use crate::dijkstra::{sssp, SsspTree};
+use crate::ids::{dist_add, Dist, NodeId, ObjectId, INFINITY, NO_NODE};
+use crate::network::RoadNetwork;
+
+/// One shortest-path spanning tree per object.
+#[derive(Clone, Debug)]
+pub struct SpanningForest {
+    trees: Vec<SsspTree>,
+}
+
+/// Nodes whose distance, parent, or parent slot changed in one tree.
+#[derive(Clone, Debug)]
+pub struct TreeDelta {
+    pub object: ObjectId,
+    /// `(node, old distance, new distance)`; parents may change even when
+    /// the two distances are equal only on rebuild-free improvements, which
+    /// we do not generate — every entry here has `old != new` or a parent
+    /// change.
+    pub changed: Vec<(NodeId, Dist, Dist)>,
+}
+
+/// Per-object deltas produced by a single edge update.
+#[derive(Clone, Debug, Default)]
+pub struct ForestDelta {
+    pub per_object: Vec<TreeDelta>,
+}
+
+impl ForestDelta {
+    /// Total number of `(object, node)` entries touched.
+    pub fn touched_entries(&self) -> usize {
+        self.per_object.iter().map(|d| d.changed.len()).sum()
+    }
+}
+
+impl SpanningForest {
+    /// Build the forest by running one Dijkstra per object.
+    pub fn build(net: &RoadNetwork, objects: &ObjectSet) -> Self {
+        let trees = objects
+            .iter()
+            .map(|(_, host)| sssp(net, host))
+            .collect();
+        SpanningForest { trees }
+    }
+
+    /// Number of trees (= number of objects).
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The spanning tree of object `o`.
+    pub fn tree(&self, o: ObjectId) -> &SsspTree {
+        &self.trees[o.index()]
+    }
+
+    /// Distance from node `n` to object `o`.
+    #[inline]
+    pub fn dist(&self, o: ObjectId, n: NodeId) -> Dist {
+        self.trees[o.index()].dist[n.index()]
+    }
+
+    /// Objects whose spanning tree uses edge `{a, b}` (the `O(D)` scan that
+    /// replaces the paper's reverse index; see module docs).
+    pub fn objects_using_edge(&self, a: NodeId, b: NodeId) -> Vec<ObjectId> {
+        self.trees
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.parent[b.index()] == a || t.parent[a.index()] == b)
+            .map(|(i, _)| ObjectId(i as u32))
+            .collect()
+    }
+
+    /// Apply an edge-weight update (insertion = from `INFINITY`, removal =
+    /// to `INFINITY`) to the network and repair every affected tree,
+    /// returning what changed. This is the entry point of Section 5.4.
+    pub fn update_edge(
+        &mut self,
+        net: &mut RoadNetwork,
+        a: NodeId,
+        b: NodeId,
+        new_w: Dist,
+    ) -> ForestDelta {
+        let old_w = net
+            .edge_weight(a, b)
+            .expect("update_edge: nodes are not adjacent");
+        if old_w == new_w {
+            return ForestDelta::default();
+        }
+        // Which trees use the edge must be decided *before* mutating, for
+        // the increase case.
+        let users: Vec<ObjectId> = if new_w > old_w {
+            self.objects_using_edge(a, b)
+        } else {
+            Vec::new()
+        };
+        net.set_edge_weight(a, b, new_w);
+
+        let mut out = ForestDelta::default();
+        if new_w < old_w {
+            // §5.4.1 — every tree may improve through the cheaper edge.
+            for (i, tree) in self.trees.iter_mut().enumerate() {
+                let mut delta = TreeDelta {
+                    object: ObjectId(i as u32),
+                    changed: Vec::new(),
+                };
+                decrease_propagate(net, tree, a, b, new_w, &mut delta.changed);
+                decrease_propagate(net, tree, b, a, new_w, &mut delta.changed);
+                if !delta.changed.is_empty() {
+                    out.per_object.push(delta);
+                }
+            }
+        } else {
+            // §5.4.2 — only trees whose shortest paths ran through the edge
+            // are affected.
+            for o in users {
+                let tree = &mut self.trees[o.index()];
+                // Child endpoint: the one whose parent is across the edge.
+                let child = if tree.parent[b.index()] == a { b } else { a };
+                let mut delta = TreeDelta {
+                    object: o,
+                    changed: Vec::new(),
+                };
+                repair_subtree(net, tree, child, &mut delta.changed);
+                if !delta.changed.is_empty() {
+                    out.per_object.push(delta);
+                }
+            }
+        }
+        out
+    }
+
+    /// Verify every tree against a fresh Dijkstra (test support; O(D·N log N)).
+    pub fn validate(&self, net: &RoadNetwork, objects: &ObjectSet) -> Result<(), String> {
+        for (o, host) in objects.iter() {
+            let fresh = sssp(net, host);
+            let t = self.tree(o);
+            if t.dist != fresh.dist {
+                for n in net.nodes() {
+                    if t.dist[n.index()] != fresh.dist[n.index()] {
+                        return Err(format!(
+                            "tree {o}: dist[{n}] = {} but Dijkstra says {}",
+                            t.dist[n.index()],
+                            fresh.dist[n.index()]
+                        ));
+                    }
+                }
+            }
+            // Parents must be distance-consistent even if they differ from
+            // the fresh tree (shortest paths are not unique).
+            for n in net.nodes() {
+                let p = t.parent[n.index()];
+                if p != NO_NODE {
+                    let w = net
+                        .edge_weight(n, p)
+                        .ok_or_else(|| format!("tree {o}: parent of {n} not adjacent"))?;
+                    if dist_add(t.dist[p.index()], w) != t.dist[n.index()] {
+                        return Err(format!("tree {o}: parent of {n} not on a shortest path"));
+                    }
+                    let (via_slot, _) = net.neighbor_at(n, t.parent_slot[n.index()]);
+                    if via_slot != p {
+                        return Err(format!("tree {o}: parent_slot of {n} wrong"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// §5.4.1: if `dist[from] + w < dist[to]`, adopt the edge and propagate the
+/// improvement with a label-correcting Dijkstra pass.
+fn decrease_propagate(
+    net: &RoadNetwork,
+    tree: &mut SsspTree,
+    from: NodeId,
+    to: NodeId,
+    w: Dist,
+    changed: &mut Vec<(NodeId, Dist, Dist)>,
+) {
+    let seed = dist_add(tree.dist[from.index()], w);
+    if seed >= tree.dist[to.index()] {
+        return;
+    }
+    record(changed, to, tree.dist[to.index()], seed);
+    tree.dist[to.index()] = seed;
+    tree.parent[to.index()] = from;
+    tree.parent_slot[to.index()] = net
+        .slot_of(to, from)
+        .expect("decrease_propagate: endpoints not adjacent");
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((seed, to)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > tree.dist[u.index()] {
+            continue; // stale
+        }
+        for (slot, v, ew) in net.neighbors(u) {
+            if ew == INFINITY {
+                continue;
+            }
+            let nd = dist_add(d, ew);
+            if nd < tree.dist[v.index()] {
+                record(changed, v, tree.dist[v.index()], nd);
+                tree.dist[v.index()] = nd;
+                tree.parent[v.index()] = u;
+                tree.parent_slot[v.index()] = net.reverse_slot(u, slot);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+}
+
+/// §5.4.2: the subtree below `child` lost its supporting edge; recompute its
+/// distances from the boundary with the rest of the tree.
+fn repair_subtree(
+    net: &RoadNetwork,
+    tree: &mut SsspTree,
+    child: NodeId,
+    changed: &mut Vec<(NodeId, Dist, Dist)>,
+) {
+    let n = net.num_nodes();
+    // Mark the subtree by climbing parent pointers with memoization:
+    // 0 = unknown, 1 = inside, 2 = outside.
+    let mut mark = vec![0u8; n];
+    mark[child.index()] = 1;
+    let mut stack = Vec::new();
+    for v0 in 0..n as u32 {
+        let mut v = NodeId(v0);
+        if mark[v.index()] != 0 || tree.dist[v.index()] == INFINITY {
+            if tree.dist[v.index()] == INFINITY && mark[v.index()] == 0 {
+                // Already unreachable: it may become reachable only through
+                // a *decrease*, not an increase, so it stays outside.
+                mark[v.index()] = 2;
+            }
+            continue;
+        }
+        stack.clear();
+        let verdict = loop {
+            stack.push(v);
+            let p = tree.parent[v.index()];
+            if p == NO_NODE {
+                break 2; // reached the root without passing `child`
+            }
+            match mark[p.index()] {
+                0 => v = p,
+                m => break m,
+            }
+        };
+        for &s in &stack {
+            mark[s.index()] = verdict;
+        }
+    }
+
+    // Save old labels, then reset the subtree.
+    let mut old: HashMap<NodeId, (Dist, NodeId)> = HashMap::new();
+    for v0 in 0..n as u32 {
+        let v = NodeId(v0);
+        if mark[v.index()] == 1 {
+            old.insert(v, (tree.dist[v.index()], tree.parent[v.index()]));
+            tree.dist[v.index()] = INFINITY;
+            tree.parent[v.index()] = NO_NODE;
+        }
+    }
+
+    // Seed a repair Dijkstra from the boundary: any outside neighbour offers
+    // `dist[outside] + w`. (The updated edge itself participates here with
+    // its new weight, covering the "consider all of b's adjacent nodes
+    // including a" step of the paper.)
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    for (&v, _) in old.iter() {
+        let mut best: Option<(Dist, NodeId, u8)> = None;
+        for (slot, u, w) in net.neighbors(v) {
+            if w == INFINITY || mark[u.index()] == 1 {
+                continue;
+            }
+            let cand = dist_add(tree.dist[u.index()], w);
+            if cand < INFINITY && best.is_none_or(|(bd, _, _)| cand < bd) {
+                // `slot` indexes v's own adjacency list, which is exactly
+                // what parent_slot stores.
+                best = Some((cand, u, slot));
+            }
+        }
+        if let Some((d, u, s)) = best {
+            if d < tree.dist[v.index()] {
+                tree.dist[v.index()] = d;
+                tree.parent[v.index()] = u;
+                tree.parent_slot[v.index()] = s;
+                heap.push(Reverse((d, v)));
+            }
+        }
+    }
+    // Interior relaxation within the subtree.
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > tree.dist[u.index()] {
+            continue;
+        }
+        for (slot, v, w) in net.neighbors(u) {
+            if w == INFINITY || mark[v.index()] != 1 {
+                continue;
+            }
+            let nd = dist_add(d, w);
+            if nd < tree.dist[v.index()] {
+                tree.dist[v.index()] = nd;
+                tree.parent[v.index()] = u;
+                tree.parent_slot[v.index()] = net.reverse_slot(u, slot);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+
+    for (v, (old_d, old_p)) in old {
+        let nd = tree.dist[v.index()];
+        if nd != old_d || tree.parent[v.index()] != old_p {
+            record(changed, v, old_d, nd);
+        }
+    }
+}
+
+fn record(changed: &mut Vec<(NodeId, Dist, Dist)>, v: NodeId, old: Dist, new: Dist) {
+    // A node can improve repeatedly during propagation; keep its *original*
+    // old distance and overwrite the new one.
+    if let Some(e) = changed.iter_mut().find(|e| e.0 == v) {
+        e.2 = new;
+    } else {
+        changed.push((v, old, new));
+    }
+}
+
+/// Edge → spanning-trees reverse index (paper §5.4), mapping each undirected
+/// edge to the objects whose tree uses it. Optional accelerator; kept
+/// consistent by re-deriving entries from [`ForestDelta`]s.
+#[derive(Clone, Debug, Default)]
+pub struct ReverseEdgeIndex {
+    map: HashMap<(NodeId, NodeId), Vec<ObjectId>>,
+}
+
+fn edge_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl ReverseEdgeIndex {
+    /// Build from the current forest.
+    pub fn build(forest: &SpanningForest) -> Self {
+        let mut map: HashMap<(NodeId, NodeId), Vec<ObjectId>> = HashMap::new();
+        for o in 0..forest.len() as u32 {
+            let t = forest.tree(ObjectId(o));
+            for (vi, &p) in t.parent.iter().enumerate() {
+                if p != NO_NODE {
+                    map.entry(edge_key(NodeId(vi as u32), p))
+                        .or_default()
+                        .push(ObjectId(o));
+                }
+            }
+        }
+        ReverseEdgeIndex { map }
+    }
+
+    /// Objects whose spanning tree uses `{a, b}`.
+    pub fn users(&self, a: NodeId, b: NodeId) -> &[ObjectId] {
+        self.map
+            .get(&edge_key(a, b))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Refresh the index after a forest update: each changed node's old
+    /// parent edge entry is dropped and the new one inserted.
+    pub fn apply(&mut self, forest: &SpanningForest, delta: &ForestDelta) {
+        for td in &delta.per_object {
+            let t = forest.tree(td.object);
+            for &(v, _, _) in &td.changed {
+                // Drop any stale entries for v: scan v's incident edges.
+                for key in self
+                    .map
+                    .keys()
+                    .filter(|&&(x, y)| x == v || y == v)
+                    .copied()
+                    .collect::<Vec<_>>()
+                {
+                    if let Some(users) = self.map.get_mut(&key) {
+                        users.retain(|&o| {
+                            if o != td.object {
+                                return true;
+                            }
+                            // Keep only if this is still v's (or its
+                            // counterpart's) parent edge.
+                            let (x, y) = key;
+                            t.parent[x.index()] == y || t.parent[y.index()] == x
+                        });
+                        if users.is_empty() {
+                            self.map.remove(&key);
+                        }
+                    }
+                }
+                let p = t.parent[v.index()];
+                if p != NO_NODE {
+                    let users = self.map.entry(edge_key(v, p)).or_default();
+                    if !users.contains(&td.object) {
+                        users.push(td.object);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of indexed edges.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid, random_planar, PlanarConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64) -> (RoadNetwork, ObjectSet, SpanningForest) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objs = ObjectSet::uniform(&net, 0.03, &mut rng);
+        let forest = SpanningForest::build(&net, &objs);
+        (net, objs, forest)
+    }
+
+    #[test]
+    fn build_matches_dijkstra() {
+        let (net, objs, forest) = setup(1);
+        forest.validate(&net, &objs).unwrap();
+    }
+
+    #[test]
+    fn decrease_weight_repairs_forest() {
+        let (mut net, objs, mut forest) = setup(2);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            let nbrs: Vec<_> = net.neighbors(u).collect();
+            let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
+            if w > 1 {
+                forest.update_edge(&mut net, u, v, w - 1);
+            }
+        }
+        forest.validate(&net, &objs).unwrap();
+    }
+
+    #[test]
+    fn increase_weight_repairs_forest() {
+        let (mut net, objs, mut forest) = setup(3);
+        let mut rng = StdRng::seed_from_u64(100);
+        for _ in 0..20 {
+            let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            let nbrs: Vec<_> = net.neighbors(u).collect();
+            let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
+            if w != INFINITY {
+                forest.update_edge(&mut net, u, v, w + 7);
+            }
+        }
+        forest.validate(&net, &objs).unwrap();
+    }
+
+    #[test]
+    fn remove_and_reinsert_edge_repairs_forest() {
+        let (mut net, objs, mut forest) = setup(4);
+        // Remove a well-used edge.
+        let (a, b) = {
+            let mut best = (NodeId(0), NodeId(0), 0usize);
+            for u in net.nodes() {
+                for (_, v, _) in net.neighbors(u) {
+                    if u < v {
+                        let c = forest.objects_using_edge(u, v).len();
+                        if c > best.2 {
+                            best = (u, v, c);
+                        }
+                    }
+                }
+            }
+            (best.0, best.1)
+        };
+        let old_w = net.edge_weight(a, b).unwrap();
+        let delta = forest.update_edge(&mut net, a, b, INFINITY);
+        assert!(!delta.per_object.is_empty(), "removing a used edge changes trees");
+        forest.validate(&net, &objs).unwrap();
+        forest.update_edge(&mut net, a, b, old_w);
+        forest.validate(&net, &objs).unwrap();
+    }
+
+    #[test]
+    fn unused_edge_increase_changes_nothing() {
+        let (mut net, _objs, mut forest) = setup(5);
+        // Find an edge used by no tree.
+        let mut target = None;
+        'outer: for u in net.nodes() {
+            for (_, v, w) in net.neighbors(u) {
+                if u < v && w != INFINITY && forest.objects_using_edge(u, v).is_empty() {
+                    target = Some((u, v, w));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((u, v, w)) = target {
+            let delta = forest.update_edge(&mut net, u, v, w + 1);
+            assert_eq!(delta.touched_entries(), 0);
+        }
+    }
+
+    #[test]
+    fn delta_reports_exact_changes() {
+        let (mut net, objs, mut forest) = setup(6);
+        let before: Vec<Vec<Dist>> = objs
+            .objects()
+            .map(|o| forest.tree(o).dist.clone())
+            .collect();
+        let u = NodeId(0);
+        let (_, v, w) = net.neighbors(u).next().unwrap();
+        let delta = forest.update_edge(&mut net, u, v, if w > 1 { w - 1 } else { w + 5 });
+        for td in &delta.per_object {
+            for &(n, old_d, new_d) in &td.changed {
+                assert_eq!(before[td.object.index()][n.index()], old_d);
+                assert_eq!(forest.dist(td.object, n), new_d);
+            }
+        }
+        // Nodes not in the delta are untouched.
+        for (oi, old_dists) in before.iter().enumerate() {
+            let touched: Vec<NodeId> = delta
+                .per_object
+                .iter()
+                .filter(|td| td.object.index() == oi)
+                .flat_map(|td| td.changed.iter().map(|c| c.0))
+                .collect();
+            for n in net.nodes() {
+                if !touched.contains(&n) {
+                    assert_eq!(old_dists[n.index()], forest.dist(ObjectId(oi as u32), n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_index_matches_scan() {
+        let (net, _objs, forest) = setup(7);
+        let idx = ReverseEdgeIndex::build(&forest);
+        for u in net.nodes() {
+            for (_, v, _) in net.neighbors(u) {
+                if u < v {
+                    let mut a = idx.users(u, v).to_vec();
+                    let mut b = forest.objects_using_edge(u, v);
+                    a.sort();
+                    b.sort();
+                    assert_eq!(a, b, "edge {u}-{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_index_stays_consistent_after_updates() {
+        let (mut net, _objs, mut forest) = setup(8);
+        let mut idx = ReverseEdgeIndex::build(&forest);
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..10 {
+            let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            let nbrs: Vec<_> = net.neighbors(u).collect();
+            let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
+            let new_w = if round % 2 == 0 { w + 3 } else { w.max(2) - 1 };
+            let delta = forest.update_edge(&mut net, u, v, new_w);
+            idx.apply(&forest, &delta);
+        }
+        let fresh = ReverseEdgeIndex::build(&forest);
+        for u in net.nodes() {
+            for (_, v, _) in net.neighbors(u) {
+                if u < v {
+                    let mut a = idx.users(u, v).to_vec();
+                    let mut b = fresh.users(u, v).to_vec();
+                    a.sort();
+                    b.sort();
+                    assert_eq!(a, b, "edge {u}-{v} after updates");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_update_is_local() {
+        // On a big grid, a small weight change far from most objects should
+        // touch only a bounded region — the locality claim of §5.4.
+        let net0 = grid(30, 30);
+        let mut net = net0.clone();
+        let objs = ObjectSet::from_nodes(&net, vec![NodeId(0), NodeId(899)]);
+        let mut forest = SpanningForest::build(&net, &objs);
+        // Bump one central edge's weight slightly.
+        let delta = forest.update_edge(&mut net, NodeId(435), NodeId(436), 2);
+        let total: usize = delta.touched_entries();
+        assert!(
+            total < 2 * net.num_nodes() / 2,
+            "update touched {total} entries; should be a fraction of the grid"
+        );
+        forest.validate(&net, &objs).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the shortest-path machinery: Dijkstra against a
+//! Bellman–Ford reference, and spanning-forest maintenance against
+//! rebuilds, on randomly generated connected networks.
+
+use dsi_graph::spanning::SpanningForest;
+use dsi_graph::{
+    astar, multi_source, sssp, Dist, NetworkBuilder, NodeId, ObjectSet, Point, RoadNetwork,
+    INFINITY,
+};
+use proptest::prelude::*;
+
+/// Ring + random chords: always connected, arbitrary weights.
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (
+        3usize..24,
+        proptest::collection::vec((0usize..24, 0usize..24, 1u32..30), 0..30),
+        proptest::collection::vec(1u32..30, 24),
+    )
+        .prop_map(|(n, chords, ring_w)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Point::new(i as f64, (i * i % 7) as f64)))
+                .collect();
+            for i in 0..n {
+                b.add_edge(ids[i], ids[(i + 1) % n], ring_w[i]);
+            }
+            for (u, v, w) in chords {
+                let (u, v) = (u % n, v % n);
+                if u != v && !b.has_edge(ids[u], ids[v]) {
+                    b.add_edge(ids[u], ids[v], w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Textbook Bellman–Ford as an independent oracle.
+fn bellman_ford(net: &RoadNetwork, src: NodeId) -> Vec<Dist> {
+    let n = net.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    dist[src.index()] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in net.nodes() {
+            if dist[u.index()] == INFINITY {
+                continue;
+            }
+            for (_, v, w) in net.neighbors(u) {
+                if w == INFINITY {
+                    continue;
+                }
+                let nd = dist[u.index()] + w;
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(net in arb_network(), src in 0usize..24) {
+        let src = NodeId((src % net.num_nodes()) as u32);
+        let tree = sssp(&net, src);
+        prop_assert_eq!(tree.dist, bellman_ford(&net, src));
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_everywhere(net in arb_network(), src in 0usize..24, dst in 0usize..24) {
+        let src = NodeId((src % net.num_nodes()) as u32);
+        let dst = NodeId((dst % net.num_nodes()) as u32);
+        let scale = dsi_graph::dijkstra::euclidean_lower_bound_scale(&net);
+        let tree = sssp(&net, src);
+        let got = astar(&net, src, dst, scale).map(|(d, _)| d);
+        prop_assert_eq!(got, Some(tree.dist[dst.index()]));
+    }
+
+    #[test]
+    fn multi_source_is_pointwise_minimum(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..24, 1..5),
+    ) {
+        let sources: Vec<NodeId> = {
+            let mut seen = std::collections::HashSet::new();
+            picks
+                .iter()
+                .map(|&p| NodeId((p % net.num_nodes()) as u32))
+                .filter(|&v| seen.insert(v))
+                .collect()
+        };
+        let ms = multi_source(&net, &sources);
+        let trees: Vec<_> = sources.iter().map(|&s| sssp(&net, s)).collect();
+        for v in net.nodes() {
+            let best = trees.iter().map(|t| t.dist[v.index()]).min().unwrap();
+            prop_assert_eq!(ms.dist[v.index()], best);
+            prop_assert_eq!(trees[ms.owner[v.index()] as usize].dist[v.index()], best);
+        }
+    }
+
+    #[test]
+    fn forest_maintenance_equals_rebuild(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..24, 1..4),
+        updates in proptest::collection::vec((0usize..24, 0u8..4, 1u32..40), 1..12),
+    ) {
+        let mut net = net;
+        let hosts: Vec<NodeId> = {
+            let mut seen = std::collections::HashSet::new();
+            picks
+                .iter()
+                .map(|&p| NodeId((p % net.num_nodes()) as u32))
+                .filter(|&v| seen.insert(v))
+                .collect()
+        };
+        let objects = ObjectSet::from_nodes(&net, hosts);
+        let mut forest = SpanningForest::build(&net, &objects);
+        let mut removed: Vec<(NodeId, NodeId, Dist)> = Vec::new();
+        for (pick, kind, w) in updates {
+            let u = NodeId((pick % net.num_nodes()) as u32);
+            let nbrs: Vec<_> = net
+                .neighbors(u)
+                .filter(|&(_, _, ew)| ew != INFINITY)
+                .collect();
+            match kind {
+                0 | 1 if !nbrs.is_empty() => {
+                    let (_, v, _) = nbrs[pick % nbrs.len()];
+                    forest.update_edge(&mut net, u, v, w);
+                }
+                2 if !nbrs.is_empty() => {
+                    let (_, v, old) = nbrs[pick % nbrs.len()];
+                    // Never disconnect an object from everything: a removal
+                    // is fine (INFINITY dists are legal), just do it.
+                    forest.update_edge(&mut net, u, v, INFINITY);
+                    removed.push((u, v, old));
+                }
+                _ => {
+                    if let Some((a, b, old)) = removed.pop() {
+                        forest.update_edge(&mut net, a, b, old);
+                    }
+                }
+            }
+        }
+        // Maintained distances equal a rebuild's.
+        let fresh = SpanningForest::build(&net, &objects);
+        for o in objects.objects() {
+            prop_assert_eq!(&forest.tree(o).dist, &fresh.tree(o).dist);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! A 2-D R-tree.
+//!
+//! The NVD baseline of the paper indexes network Voronoi polygons with an
+//! R-tree to reduce first-nearest-neighbour search to point location (§2,
+//! citing Kolahdouzan & Shahabi's VN3); the IER baseline uses an R-tree over
+//! object locations. This crate provides the shared substrate: STR bulk
+//! loading, least-enlargement insertion with quadratic splits, and rectangle
+//! /point/nearest-neighbour searches.
+//!
+//! Search methods accept a node visitor so callers can charge one simulated
+//! disk page per visited tree node (R-tree nodes are sized to pages).
+
+pub mod rect;
+pub mod tree;
+
+pub use rect::Rect;
+pub use tree::{RTree, DEFAULT_FANOUT};

@@ -1,0 +1,150 @@
+//! Axis-aligned bounding rectangles.
+
+/// An axis-aligned rectangle; degenerate (point) rectangles are allowed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// A rectangle from corner coordinates (normalized so min ≤ max).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            min_x: x0.min(x1),
+            min_y: y0.min(y1),
+            max_x: x0.max(x1),
+            max_y: y0.max(y1),
+        }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    pub fn point(x: f64, y: f64) -> Self {
+        Rect {
+            min_x: x,
+            min_y: y,
+            max_x: x,
+            max_y: y,
+        }
+    }
+
+    /// The empty rectangle (identity for [`union`](Self::union)).
+    pub fn empty() -> Self {
+        Rect {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_x - self.min_x) * (self.max_y - self.min_y)
+        }
+    }
+
+    /// Area increase needed to absorb `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    pub fn contains_point(&self, x: f64, y: f64) -> bool {
+        x >= self.min_x && x <= self.max_x && y >= self.min_y && y <= self.max_y
+    }
+
+    /// Squared minimum distance from a point to this rectangle (0 inside).
+    pub fn min_dist_sq(&self, x: f64, y: f64) -> f64 {
+        let dx = (self.min_x - x).max(0.0).max(x - self.max_x);
+        let dy = (self.min_y - y).max(0.0).max(y - self.max_y);
+        dx * dx + dy * dy
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(3.0, 4.0, 1.0, 2.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn union_and_area() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 4.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 3.0, 4.0));
+        assert_eq!(a.area(), 1.0);
+        assert_eq!(b.area(), 2.0);
+        assert_eq!(u.area(), 12.0);
+        assert_eq!(a.enlargement(&b), 11.0);
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(Rect::empty().union(&a), a);
+        assert!(Rect::empty().is_empty());
+        assert_eq!(Rect::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(a.intersects(&Rect::new(1.0, 1.0, 3.0, 3.0)));
+        assert!(a.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0)), "touching counts");
+        assert!(!a.intersects(&Rect::new(2.1, 2.1, 3.0, 3.0)));
+        assert!(!a.intersects(&Rect::empty()));
+    }
+
+    #[test]
+    fn point_containment_and_distance() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains_point(1.0, 1.0));
+        assert!(r.contains_point(2.0, 0.0), "boundary counts");
+        assert!(!r.contains_point(2.5, 1.0));
+        assert_eq!(r.min_dist_sq(1.0, 1.0), 0.0);
+        assert_eq!(r.min_dist_sq(5.0, 2.0), 9.0);
+        assert_eq!(r.min_dist_sq(5.0, 6.0), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn center_of_point_rect() {
+        assert_eq!(Rect::point(3.0, 7.0).center(), (3.0, 7.0));
+    }
+}

@@ -1,0 +1,538 @@
+//! The R-tree proper: arena-backed nodes, STR bulk loading, quadratic-split
+//! insertion, and traversals with a node visitor for I/O accounting.
+
+use crate::rect::Rect;
+
+/// Default maximum node fanout. With 40-byte entries (4 × f64 rect + id) a
+/// 4 KiB page holds ~100 entries; 64 keeps splits snappy while staying
+/// page-realistic.
+pub const DEFAULT_FANOUT: usize = 64;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    /// Child node indices.
+    Internal(Vec<u32>),
+    /// Entry indices.
+    Leaf(Vec<u32>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    rect: Rect,
+    kind: NodeKind,
+}
+
+/// An R-tree over `(Rect, T)` entries.
+#[derive(Clone, Debug)]
+pub struct RTree<T> {
+    nodes: Vec<Node>,
+    entries: Vec<(Rect, T)>,
+    root: u32,
+    max_fanout: usize,
+    height: usize,
+}
+
+impl<T> RTree<T> {
+    /// Empty tree with the given maximum fanout (≥ 4).
+    pub fn new(max_fanout: usize) -> Self {
+        assert!(max_fanout >= 4);
+        RTree {
+            nodes: vec![Node {
+                rect: Rect::empty(),
+                kind: NodeKind::Leaf(Vec::new()),
+            }],
+            entries: Vec::new(),
+            root: 0,
+            max_fanout,
+            height: 1,
+        }
+    }
+
+    /// Bulk-load with the Sort-Tile-Recursive algorithm.
+    pub fn bulk_load(mut items: Vec<(Rect, T)>, max_fanout: usize) -> Self {
+        assert!(max_fanout >= 4);
+        if items.is_empty() {
+            return Self::new(max_fanout);
+        }
+        // STR: sort by center x, slice into vertical strips of
+        // ceil(sqrt(n/M)) tiles, sort each strip by center y, cut leaves.
+        let n = items.len();
+        let leaves_needed = n.div_ceil(max_fanout);
+        let strips = (leaves_needed as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        items.sort_by(|a, b| a.0.center().0.total_cmp(&b.0.center().0));
+
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            entries: Vec::new(),
+            root: 0,
+            max_fanout,
+            height: 1,
+        };
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        let mut iter = items.into_iter().peekable();
+        while iter.peek().is_some() {
+            let mut strip: Vec<(Rect, T)> = Vec::with_capacity(per_strip);
+            for _ in 0..per_strip {
+                match iter.next() {
+                    Some(e) => strip.push(e),
+                    None => break,
+                }
+            }
+            strip.sort_by(|a, b| a.0.center().1.total_cmp(&b.0.center().1));
+            let mut rect = Rect::empty();
+            let mut ids: Vec<u32> = Vec::with_capacity(max_fanout);
+            for e in strip {
+                rect = rect.union(&e.0);
+                ids.push(tree.entries.len() as u32);
+                tree.entries.push(e);
+                if ids.len() == max_fanout {
+                    leaf_ids.push(tree.nodes.len() as u32);
+                    tree.nodes.push(Node {
+                        rect,
+                        kind: NodeKind::Leaf(std::mem::take(&mut ids)),
+                    });
+                    rect = Rect::empty();
+                }
+            }
+            if !ids.is_empty() {
+                leaf_ids.push(tree.nodes.len() as u32);
+                tree.nodes.push(Node {
+                    rect,
+                    kind: NodeKind::Leaf(ids),
+                });
+            }
+        }
+        // Build internal levels bottom-up.
+        let mut level = leaf_ids;
+        let mut height = 1;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(max_fanout));
+            for chunk in level.chunks(max_fanout) {
+                let rect = chunk
+                    .iter()
+                    .fold(Rect::empty(), |r, &c| r.union(&tree.nodes[c as usize].rect));
+                next.push(tree.nodes.len() as u32);
+                tree.nodes.push(Node {
+                    rect,
+                    kind: NodeKind::Internal(chunk.to_vec()),
+                });
+            }
+            level = next;
+            height += 1;
+        }
+        tree.root = level[0];
+        tree.height = height;
+        tree
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of tree nodes (≈ pages the directory occupies).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (levels).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Insert an entry (least-enlargement descent, quadratic split).
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        let eid = self.entries.len() as u32;
+        self.entries.push((rect, value));
+        if let Some((r2, n2)) = self.insert_rec(self.root, rect, eid) {
+            // Root split: grow the tree.
+            let old_root = self.root;
+            let r1 = self.nodes[old_root as usize].rect;
+            let new_root = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                rect: r1.union(&r2),
+                kind: NodeKind::Internal(vec![old_root, n2]),
+            });
+            self.root = new_root;
+            self.height += 1;
+        }
+    }
+
+    fn insert_rec(&mut self, node: u32, rect: Rect, eid: u32) -> Option<(Rect, u32)> {
+        self.nodes[node as usize].rect = self.nodes[node as usize].rect.union(&rect);
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(_) => {
+                if let NodeKind::Leaf(ids) = &mut self.nodes[node as usize].kind {
+                    ids.push(eid);
+                }
+                self.maybe_split(node)
+            }
+            NodeKind::Internal(children) => {
+                // Least enlargement, ties by smaller area.
+                let mut best = (f64::INFINITY, f64::INFINITY, children[0]);
+                for &c in children {
+                    let cr = self.nodes[c as usize].rect;
+                    let enl = cr.enlargement(&rect);
+                    let area = cr.area();
+                    if (enl, area) < (best.0, best.1) {
+                        best = (enl, area, c);
+                    }
+                }
+                let child = best.2;
+                if let Some((r2, n2)) = self.insert_rec(child, rect, eid) {
+                    if let NodeKind::Internal(ch) = &mut self.nodes[node as usize].kind {
+                        ch.push(n2);
+                    }
+                    self.nodes[node as usize].rect =
+                        self.nodes[node as usize].rect.union(&r2);
+                    self.maybe_split(node)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Split `node` if over-full; returns the new sibling's (rect, id).
+    fn maybe_split(&mut self, node: u32) -> Option<(Rect, u32)> {
+        let over = match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(ids) => ids.len() > self.max_fanout,
+            NodeKind::Internal(ch) => ch.len() > self.max_fanout,
+        };
+        if !over {
+            return None;
+        }
+        let is_leaf = matches!(self.nodes[node as usize].kind, NodeKind::Leaf(_));
+        let members: Vec<u32> = match &mut self.nodes[node as usize].kind {
+            NodeKind::Leaf(ids) => std::mem::take(ids),
+            NodeKind::Internal(ch) => std::mem::take(ch),
+        };
+        let rect_of = |this: &Self, m: u32| -> Rect {
+            if is_leaf {
+                this.entries[m as usize].0
+            } else {
+                this.nodes[m as usize].rect
+            }
+        };
+        // Quadratic split: pick the pair wasting the most area as seeds.
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let ri = rect_of(self, members[i]);
+                let rj = rect_of(self, members[j]);
+                let waste = ri.union(&rj).area() - ri.area() - rj.area();
+                if waste > worst {
+                    (s1, s2, worst) = (i, j, waste);
+                }
+            }
+        }
+        let min_fill = self.max_fanout / 2;
+        let mut g1 = vec![members[s1]];
+        let mut g2 = vec![members[s2]];
+        let mut r1 = rect_of(self, members[s1]);
+        let mut r2 = rect_of(self, members[s2]);
+        let mut rest: Vec<u32> = members
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != s1 && i != s2)
+            .map(|(_, &m)| m)
+            .collect();
+        while let Some(m) = rest.pop() {
+            let remaining = rest.len() + 1;
+            if g1.len() + remaining <= min_fill {
+                r1 = r1.union(&rect_of(self, m));
+                g1.push(m);
+                continue;
+            }
+            if g2.len() + remaining <= min_fill {
+                r2 = r2.union(&rect_of(self, m));
+                g2.push(m);
+                continue;
+            }
+            let mr = rect_of(self, m);
+            if r1.enlargement(&mr) <= r2.enlargement(&mr) {
+                r1 = r1.union(&mr);
+                g1.push(m);
+            } else {
+                r2 = r2.union(&mr);
+                g2.push(m);
+            }
+        }
+        let mk = |g: Vec<u32>| {
+            if is_leaf {
+                NodeKind::Leaf(g)
+            } else {
+                NodeKind::Internal(g)
+            }
+        };
+        self.nodes[node as usize] = Node {
+            rect: r1,
+            kind: mk(g1),
+        };
+        let sibling = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            rect: r2,
+            kind: mk(g2),
+        });
+        Some((r2, sibling))
+    }
+
+    /// All entries whose rectangle intersects `query`. `on_node` is invoked
+    /// once per visited tree node (for page accounting).
+    pub fn search_rect(&self, query: &Rect, mut on_node: impl FnMut(u32)) -> Vec<&T> {
+        let mut out = Vec::new();
+        if self.entries.is_empty() {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            on_node(n);
+            let node = &self.nodes[n as usize];
+            if !node.rect.intersects(query) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(ch) => {
+                    stack.extend(ch.iter().filter(|&&c| {
+                        self.nodes[c as usize].rect.intersects(query)
+                    }));
+                }
+                NodeKind::Leaf(ids) => {
+                    for &e in ids {
+                        let (r, v) = &self.entries[e as usize];
+                        if r.intersects(query) {
+                            out.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Entries whose rectangle contains the point (point location).
+    pub fn locate_point(&self, x: f64, y: f64, mut on_node: impl FnMut(u32)) -> Vec<&T> {
+        self.search_rect(&Rect::point(x, y), &mut on_node)
+    }
+
+    /// Entries in ascending order of their rectangle's min-distance to the
+    /// point, lazily via best-first search. Call `.next()` k times for kNN.
+    pub fn nearest_iter<'a>(
+        &'a self,
+        x: f64,
+        y: f64,
+    ) -> NearestIter<'a, T> {
+        let mut heap = std::collections::BinaryHeap::new();
+        if !self.entries.is_empty() {
+            heap.push(HeapItem {
+                dist: self.nodes[self.root as usize].rect.min_dist_sq(x, y),
+                kind: ItemKind::Node(self.root),
+            });
+        }
+        NearestIter {
+            tree: self,
+            heap,
+            x,
+            y,
+            visited_nodes: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Node(u32),
+    Entry(u32),
+}
+
+struct HeapItem {
+    dist: f64,
+    kind: ItemKind,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on distance.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Best-first nearest-neighbour iterator; see [`RTree::nearest_iter`].
+pub struct NearestIter<'a, T> {
+    tree: &'a RTree<T>,
+    heap: std::collections::BinaryHeap<HeapItem>,
+    x: f64,
+    y: f64,
+    /// Tree nodes popped so far — proxy for page accesses.
+    pub visited_nodes: u64,
+}
+
+impl<'a, T> Iterator for NearestIter<'a, T> {
+    /// `(min-distance² of the entry rect, payload)`.
+    type Item = (f64, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(item) = self.heap.pop() {
+            match item.kind {
+                ItemKind::Entry(e) => {
+                    return Some((item.dist, &self.tree.entries[e as usize].1));
+                }
+                ItemKind::Node(n) => {
+                    self.visited_nodes += 1;
+                    match &self.tree.nodes[n as usize].kind {
+                        NodeKind::Internal(ch) => {
+                            for &c in ch {
+                                self.heap.push(HeapItem {
+                                    dist: self.tree.nodes[c as usize]
+                                        .rect
+                                        .min_dist_sq(self.x, self.y),
+                                    kind: ItemKind::Node(c),
+                                });
+                            }
+                        }
+                        NodeKind::Leaf(ids) => {
+                            for &e in ids {
+                                self.heap.push(HeapItem {
+                                    dist: self.tree.entries[e as usize]
+                                        .0
+                                        .min_dist_sq(self.x, self.y),
+                                    kind: ItemKind::Entry(e),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<(Rect, usize)> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| {
+                let (x, y) = ((i % side) as f64, (i / side) as f64);
+                (Rect::point(x, y), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_then_search() {
+        let t = RTree::bulk_load(grid_points(500), 16);
+        assert_eq!(t.len(), 500);
+        let hits = t.search_rect(&Rect::new(0.0, 0.0, 3.0, 3.0), |_| {});
+        assert_eq!(hits.len(), 16); // 4x4 grid corner
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t: RTree<u32> = RTree::bulk_load(vec![], 8);
+        assert!(t.is_empty());
+        assert!(t.search_rect(&Rect::new(0.0, 0.0, 1.0, 1.0), |_| {}).is_empty());
+        assert!(t.nearest_iter(0.0, 0.0).next().is_none());
+    }
+
+    #[test]
+    fn insert_matches_bulk_results() {
+        let items = grid_points(300);
+        let bulk = RTree::bulk_load(items.clone(), 16);
+        let mut inc = RTree::new(16);
+        for (r, v) in items {
+            inc.insert(r, v);
+        }
+        let q = Rect::new(2.5, 2.5, 8.5, 6.5);
+        let mut a: Vec<usize> = bulk.search_rect(&q, |_| {}).into_iter().copied().collect();
+        let mut b: Vec<usize> = inc.search_rect(&q, |_| {}).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fanout_respected_after_inserts() {
+        let mut t = RTree::new(8);
+        for (r, v) in grid_points(200) {
+            t.insert(r, v);
+        }
+        for node in &t.nodes {
+            let n = match &node.kind {
+                NodeKind::Leaf(ids) => ids.len(),
+                NodeKind::Internal(ch) => ch.len(),
+            };
+            assert!(n <= 8, "node over fanout: {n}");
+        }
+    }
+
+    #[test]
+    fn point_location_finds_containing_rects() {
+        let items = vec![
+            (Rect::new(0.0, 0.0, 2.0, 2.0), 'a'),
+            (Rect::new(1.0, 1.0, 3.0, 3.0), 'b'),
+            (Rect::new(5.0, 5.0, 6.0, 6.0), 'c'),
+        ];
+        let t = RTree::bulk_load(items, 4);
+        let mut hits: Vec<char> = t.locate_point(1.5, 1.5, |_| {}).into_iter().copied().collect();
+        hits.sort();
+        assert_eq!(hits, vec!['a', 'b']);
+        assert!(t.locate_point(4.0, 4.0, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn nearest_iter_orders_by_distance() {
+        let t = RTree::bulk_load(grid_points(100), 8);
+        let got: Vec<usize> = t.nearest_iter(0.0, 0.0).take(3).map(|(_, &v)| v).collect();
+        // Nearest to origin on a 10x10 grid: (0,0)=0, then (1,0)=1 / (0,1)=10.
+        assert_eq!(got[0], 0);
+        assert!(got[1..].contains(&1) && got[1..].contains(&10));
+    }
+
+    #[test]
+    fn nearest_iter_is_globally_sorted() {
+        let t = RTree::bulk_load(grid_points(64), 4);
+        let dists: Vec<f64> = t.nearest_iter(3.3, 4.7).map(|(d, _)| d).collect();
+        assert_eq!(dists.len(), 64);
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn search_visits_fraction_of_nodes() {
+        let t = RTree::bulk_load(grid_points(2000), 16);
+        let mut visited = 0u32;
+        t.search_rect(&Rect::new(0.0, 0.0, 2.0, 2.0), |_| visited += 1);
+        assert!(
+            (visited as usize) < t.num_nodes() / 2,
+            "small query should prune: visited {visited} of {}",
+            t.num_nodes()
+        );
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = RTree::bulk_load(grid_points(4096), 16);
+        assert!(t.height() >= 3 && t.height() <= 4, "height {}", t.height());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the R-tree must agree with brute force on every query,
+//! for both bulk-loaded and incrementally built trees.
+
+use dsi_rtree::{RTree, Rect};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..120)
+}
+
+fn brute_range(pts: &[(f64, f64)], q: &Rect) -> Vec<usize> {
+    pts.iter()
+        .enumerate()
+        .filter(|(_, &(x, y))| q.contains_point(x, y))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_range_search_matches_brute_force(
+        pts in arb_points(),
+        qx in -120.0f64..120.0,
+        qy in -120.0f64..120.0,
+        w in 0.0f64..80.0,
+        h in 0.0f64..80.0,
+    ) {
+        let tree = RTree::bulk_load(
+            pts.iter().enumerate().map(|(i, &(x, y))| (Rect::point(x, y), i)).collect(),
+            8,
+        );
+        let q = Rect::new(qx, qy, qx + w, qy + h);
+        let mut got: Vec<usize> = tree.search_rect(&q, |_| {}).into_iter().copied().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_range(&pts, &q));
+    }
+
+    #[test]
+    fn incremental_matches_bulk(
+        pts in arb_points(),
+        qx in -120.0f64..120.0,
+        qy in -120.0f64..120.0,
+        w in 0.0f64..80.0,
+        h in 0.0f64..80.0,
+    ) {
+        let bulk = RTree::bulk_load(
+            pts.iter().enumerate().map(|(i, &(x, y))| (Rect::point(x, y), i)).collect(),
+            6,
+        );
+        let mut inc = RTree::new(6);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            inc.insert(Rect::point(x, y), i);
+        }
+        let q = Rect::new(qx, qy, qx + w, qy + h);
+        let mut a: Vec<usize> = bulk.search_rect(&q, |_| {}).into_iter().copied().collect();
+        let mut b: Vec<usize> = inc.search_rect(&q, |_| {}).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_iter_is_sorted_and_complete(
+        pts in arb_points(),
+        qx in -120.0f64..120.0,
+        qy in -120.0f64..120.0,
+    ) {
+        let tree = RTree::bulk_load(
+            pts.iter().enumerate().map(|(i, &(x, y))| (Rect::point(x, y), i)).collect(),
+            8,
+        );
+        let got: Vec<(f64, usize)> = tree.nearest_iter(qx, qy).map(|(d, &v)| (d, v)).collect();
+        prop_assert_eq!(got.len(), pts.len());
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // First result is the true nearest.
+        let brute_best = pts
+            .iter()
+            .map(|&(x, y)| (x - qx).powi(2) + (y - qy).powi(2))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got[0].0 - brute_best).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Reverse-zero-padding category encoding (§5.2, Theorem 5.1).
+//!
+//! With exponential partitioning, far more objects fall in later categories
+//! (at distance `i` a uniform grid holds `(4i−1)p` objects), so the paper
+//! assigns the *last* category the shortest code: category `M−1` is encoded
+//! as `1`, category `M−2` as `01`, and in general category `B_i` pads one
+//! more `0` in front of `B_{i+1}`'s code. Theorem 5.1 shows this is the
+//! Huffman-optimal prefix code whenever `c > 3/2` under the grid/uniform
+//! assumptions, with an average code length approaching `c²/(c²−1)` bits
+//! (≈ 1.2 bits at the optimal `c = e`).
+
+use crate::bits::{BitReader, BitWriter};
+
+/// The reverse-zero-padding code for `num_categories` categories.
+#[derive(Clone, Copy, Debug)]
+pub struct ReverseZeroPadding {
+    num_categories: usize,
+}
+
+impl ReverseZeroPadding {
+    pub fn new(num_categories: usize) -> Self {
+        assert!(num_categories >= 1);
+        ReverseZeroPadding { num_categories }
+    }
+
+    /// Code length in bits of category `cat`: `M − cat` (the last category
+    /// is 1 bit).
+    pub fn code_len(&self, cat: u8) -> usize {
+        debug_assert!((cat as usize) < self.num_categories);
+        self.num_categories - cat as usize
+    }
+
+    /// Append the code for `cat`: `M − 1 − cat` zeros, then a one.
+    pub fn encode(&self, cat: u8, w: &mut BitWriter) {
+        for _ in 0..(self.num_categories - 1 - cat as usize) {
+            w.push_bit(false);
+        }
+        w.push_bit(true);
+    }
+
+    /// Read one category code.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> u8 {
+        let mut zeros = 0usize;
+        while !r.read_bit() {
+            zeros += 1;
+            assert!(
+                zeros < self.num_categories,
+                "corrupt signature: code longer than M"
+            );
+        }
+        (self.num_categories - 1 - zeros) as u8
+    }
+
+    /// Average code length for the given per-category object counts.
+    pub fn average_code_len(&self, counts: &[u64]) -> f64 {
+        assert_eq!(counts.len(), self.num_categories);
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let bits: u64 = counts
+            .iter()
+            .enumerate()
+            .map(|(cat, &c)| c * self.code_len(cat as u8) as u64)
+            .sum();
+        bits as f64 / total as f64
+    }
+
+    /// The asymptotic average code length `c²/(c²−1)` of Equation 7.
+    pub fn theoretical_average_len(c: f64) -> f64 {
+        c * c / (c * c - 1.0)
+    }
+}
+
+/// Check the Huffman-merge criterion of Theorem 5.1 for category counts:
+/// each category must hold more objects than all earlier categories
+/// combined (`O(B_k.ub) > 2·O(B_k.lb)` in the paper). When this holds,
+/// reverse zero padding is the optimal prefix code.
+pub fn huffman_criterion_holds(counts: &[u64]) -> bool {
+    let mut prefix = 0u64;
+    for &c in counts.iter().take(counts.len().saturating_sub(1)) {
+        if prefix > 0 && c <= prefix {
+            return false;
+        }
+        prefix += c;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    #[test]
+    fn codes_match_paper_description() {
+        // M = 4: B3 = "1", B2 = "01", B1 = "001", B0 = "0001".
+        let code = ReverseZeroPadding::new(4);
+        for (cat, expected) in [(3u8, vec![true]), (2, vec![false, true])] {
+            let mut w = BitWriter::new();
+            code.encode(cat, &mut w);
+            let bb = w.finish();
+            let mut r = bb.reader();
+            let got: Vec<bool> = (0..bb.len()).map(|_| r.read_bit()).collect();
+            assert_eq!(got, expected, "category {cat}");
+        }
+        assert_eq!(code.code_len(0), 4);
+        assert_eq!(code.code_len(3), 1);
+    }
+
+    #[test]
+    fn round_trip_all_categories() {
+        for m in 1..=20usize {
+            let code = ReverseZeroPadding::new(m);
+            let mut w = BitWriter::new();
+            for cat in 0..m as u8 {
+                code.encode(cat, &mut w);
+            }
+            let bb = w.finish();
+            let mut r = bb.reader();
+            for cat in 0..m as u8 {
+                assert_eq!(code.decode(&mut r), cat);
+            }
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn interleaved_with_fixed_width_fields() {
+        let code = ReverseZeroPadding::new(8);
+        let mut w = BitWriter::new();
+        code.encode(5, &mut w);
+        w.push_bits(0b101, 3);
+        code.encode(0, &mut w);
+        w.push_bits(0b010, 3);
+        let bb = w.finish();
+        let mut r = bb.reader();
+        assert_eq!(code.decode(&mut r), 5);
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(code.decode(&mut r), 0);
+        assert_eq!(r.read_bits(3), 0b010);
+    }
+
+    #[test]
+    fn average_code_len_weighted() {
+        let code = ReverseZeroPadding::new(3);
+        // counts: cat0=1 (3 bits), cat1=1 (2 bits), cat2=2 (1 bit each).
+        assert_eq!(code.average_code_len(&[1, 1, 2]), 7.0 / 4.0);
+        assert_eq!(code.average_code_len(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn theoretical_length_at_optimum_is_about_1_2() {
+        let e = std::f64::consts::E;
+        let l = ReverseZeroPadding::theoretical_average_len(e);
+        assert!((l - 1.157).abs() < 0.01, "got {l}"); // e²/(e²−1) ≈ 1.157
+    }
+
+    #[test]
+    fn huffman_criterion() {
+        // Exponentially growing counts satisfy it.
+        assert!(huffman_criterion_holds(&[1, 4, 16, 64, 3]));
+        // Flat counts violate it (cat2 = 4 ≤ 4+4).
+        assert!(!huffman_criterion_holds(&[4, 4, 4, 4]));
+        // Degenerate cases.
+        assert!(huffman_criterion_holds(&[]));
+        assert!(huffman_criterion_holds(&[10]));
+        assert!(huffman_criterion_holds(&[0, 0, 5, 11, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt signature")]
+    fn overlong_code_detected() {
+        let mut w = BitWriter::new();
+        for _ in 0..5 {
+            w.push_bit(false);
+        }
+        w.push_bit(true);
+        let bb = w.finish();
+        let code = ReverseZeroPadding::new(3);
+        code.decode(&mut bb.reader());
+    }
+}

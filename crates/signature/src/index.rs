@@ -1,0 +1,778 @@
+//! The distance-signature index: construction (§5.2), storage schema (§3.1),
+//! and size accounting (Table 1).
+
+use dsi_graph::network::Slot;
+use dsi_graph::{sssp, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, INFINITY};
+use dsi_storage::{ccam_order, PagedStore};
+
+use crate::bits::{BitBox, BitWriter};
+use crate::category::CategoryPartition;
+use crate::compress;
+use crate::encode::ReverseZeroPadding;
+
+/// Construction parameters.
+#[derive(Clone, Debug)]
+pub struct SignatureConfig {
+    /// Exponential growth factor `c` of the category partition. The paper's
+    /// analysis (§5.1) gives `c = e` as optimal on grids with uniform data.
+    pub c: f64,
+    /// Upper bound `T` of the first category; `None` derives the analytical
+    /// optimum `sqrt(SP / c)` from the spreading.
+    pub t: Option<Dist>,
+    /// Maximum query spreading `SP` (the largest distance queries care
+    /// about); `None` estimates it as the network's eccentricity from the
+    /// first object.
+    pub spreading: Option<Dist>,
+    /// Apply the §5.3 compression pass (the 1-bit flag scheme).
+    pub compress: bool,
+    /// Which compression variant to use (see
+    /// [`CompressionScheme`](crate::compress::CompressionScheme)).
+    pub scheme: crate::compress::CompressionScheme,
+    /// Buffer-pool capacity (in pages) that [`SignatureIndex::session`]
+    /// gives query sessions.
+    pub pool_pages: usize,
+    /// Build shortest-path trees on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig {
+            c: std::f64::consts::E,
+            t: None,
+            spreading: None,
+            compress: true,
+            scheme: crate::compress::CompressionScheme::default(),
+            pool_pages: 64,
+            parallel: true,
+        }
+    }
+}
+
+/// Index-size accounting for Table 1 and Figure 6.4.
+#[derive(Clone, Debug, Default)]
+pub struct SizeReport {
+    pub num_nodes: usize,
+    pub num_objects: usize,
+    /// Fixed-length encoding: `(⌈log M⌉ + ⌈log R⌉) · |D|` bits per node.
+    pub raw_bits: u64,
+    /// After reverse-zero-padding encoding (links unchanged).
+    pub encoded_bits: u64,
+    /// After encoding and compression (what the index actually stores).
+    pub compressed_bits: u64,
+    /// Entries whose category id was replaced by the 1-bit flag.
+    pub compressed_entries: u64,
+    /// In-memory object↔object distance table footprint in bytes.
+    pub obj_table_bytes: u64,
+    /// Global number of signature entries per category.
+    pub category_counts: Vec<u64>,
+}
+
+impl SizeReport {
+    /// `encoded / raw` (the paper's "Ratio" row ≈ 0.74).
+    pub fn encoding_ratio(&self) -> f64 {
+        self.encoded_bits as f64 / self.raw_bits as f64
+    }
+
+    /// `compressed / encoded` (the paper's second "Ratio" row ≈ 0.8).
+    pub fn compression_ratio(&self) -> f64 {
+        self.compressed_bits as f64 / self.encoded_bits as f64
+    }
+
+    /// Fraction of entries stored as a bare compression flag.
+    pub fn compressed_fraction(&self) -> f64 {
+        self.compressed_entries as f64 / (self.num_nodes as u64 * self.num_objects as u64) as f64
+    }
+}
+
+/// A node's signature in decoded form: resolved categories and backtracking
+/// links for every object, in object-id order (the "sequence" of §3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedSignature {
+    /// Resolved category per object (compressed entries already expanded).
+    pub cats: Vec<u8>,
+    /// Backtracking link per object: adjacency slot of the next hop.
+    pub links: Vec<Slot>,
+    /// Which entries were stored compressed (for diagnostics/ablation).
+    pub compressed: Vec<bool>,
+}
+
+/// In-memory table of object↔object network distances (§3.2.2). Distances
+/// falling in the last (open-ended) category are not stored — such objects
+/// "are never used as the observer for one another".
+#[derive(Clone, Debug, Default)]
+pub struct ObjDistTable {
+    pub(crate) rows: Vec<Vec<(u32, Dist)>>,
+}
+
+impl ObjDistTable {
+    /// An empty table for `num_objects` objects.
+    pub fn with_rows(num_objects: usize) -> Self {
+        ObjDistTable {
+            rows: vec![Vec::new(); num_objects],
+        }
+    }
+
+    /// Insert (or overwrite) the symmetric pair `d(a, b) = d`.
+    pub fn insert_pair(&mut self, a: u32, b: u32, d: Dist) {
+        self.set(ObjectId(a), ObjectId(b), Some(d));
+    }
+
+    /// Set or remove (`None`) the symmetric pair.
+    pub fn set(&mut self, a: ObjectId, b: ObjectId, d: Option<Dist>) {
+        for (x, y) in [(a, b), (b, a)] {
+            let row = &mut self.rows[x.index()];
+            match (row.binary_search_by_key(&y.0, |&(o, _)| o), d) {
+                (Ok(i), Some(nd)) => row[i].1 = nd,
+                (Ok(i), None) => {
+                    row.remove(i);
+                }
+                (Err(i), Some(nd)) => row.insert(i, (y.0, nd)),
+                (Err(_), None) => {}
+            }
+        }
+    }
+
+    /// Exact distance between two objects, if stored.
+    pub fn get(&self, a: ObjectId, b: ObjectId) -> Option<Dist> {
+        if a == b {
+            return Some(0);
+        }
+        self.rows[a.index()]
+            .binary_search_by_key(&b.0, |&(o, _)| o)
+            .ok()
+            .map(|i| self.rows[a.index()][i].1)
+    }
+
+    /// Category of `d(a, b)` under `partition`; absent pairs are by
+    /// construction in the last category.
+    pub fn category(&self, partition: &CategoryPartition, a: ObjectId, b: ObjectId) -> u8 {
+        match self.get(a, b) {
+            Some(d) => partition.category_of(d),
+            None => (partition.num_categories() - 1) as u8,
+        }
+    }
+
+    /// Footprint in bytes (8 bytes per stored pair direction).
+    pub fn bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.len() as u64 * 8).sum()
+    }
+}
+
+/// The distance-signature index (§3.1): one encoded, compressed signature
+/// blob per node, paged together with the node's adjacency list in CCAM
+/// order, plus the in-memory object-distance table.
+#[derive(Clone, Debug)]
+pub struct SignatureIndex {
+    pub(crate) partition: CategoryPartition,
+    pub(crate) code: ReverseZeroPadding,
+    pub(crate) link_bits: u32,
+    pub(crate) hosts: Vec<NodeId>,
+    pub(crate) object_at: Vec<u32>,
+    pub(crate) blobs: Vec<BitBox>,
+    pub(crate) obj_dist: ObjDistTable,
+    pub(crate) store: PagedStore,
+    pub(crate) compress: bool,
+    pub(crate) scheme: crate::compress::CompressionScheme,
+    pub(crate) pool_pages: usize,
+    pub report: SizeReport,
+}
+
+/// One object's construction output: its category/link columns and its
+/// object-distance row.
+struct Column {
+    cats: Vec<u8>,
+    links: Vec<Slot>,
+    obj_row: Vec<(u32, Dist)>,
+}
+
+impl SignatureIndex {
+    /// Build the index: one Dijkstra per object fills the per-node
+    /// signatures (§5.2 — "all the distances computed are necessary"), then
+    /// each node's signature is encoded and compressed.
+    ///
+    /// # Panics
+    /// If the network is disconnected (signatures require every
+    /// node-object distance to exist) or the dataset is empty.
+    pub fn build(net: &RoadNetwork, objects: &ObjectSet, config: &SignatureConfig) -> Self {
+        assert!(!objects.is_empty(), "dataset must be non-empty");
+        let n = net.num_nodes();
+        let d = objects.len();
+
+        let sp = config.spreading.unwrap_or_else(|| {
+            let t = sssp(net, objects.node_of(ObjectId(0)));
+            let m = t.dist.iter().copied().filter(|&x| x != INFINITY).max();
+            m.expect("empty network").max(1)
+        });
+        let t = config
+            .t
+            .unwrap_or_else(|| ((sp as f64 / config.c).sqrt().round() as Dist).max(1));
+        let partition = CategoryPartition::exponential(config.c, t, sp);
+        let code = ReverseZeroPadding::new(partition.num_categories());
+        let last_lb = partition.lb((partition.num_categories() - 1) as u8);
+        let link_bits = link_bits_for(net.max_degree());
+
+        // Per-object shortest-path trees → category/link columns.
+        let columns = build_columns(net, objects, &partition, last_lb, config.parallel);
+
+        let mut obj_dist = ObjDistTable::with_rows(d);
+        for (o, col) in columns.iter().enumerate() {
+            obj_dist.rows[o] = col.obj_row.clone();
+        }
+
+        // Encode + compress per node.
+        let mut blobs = Vec::with_capacity(n);
+        let mut report = SizeReport {
+            num_nodes: n,
+            num_objects: d,
+            category_counts: vec![0; partition.num_categories()],
+            ..Default::default()
+        };
+        let mut cats_row = vec![0u8; d];
+        let mut links_row = vec![0 as Slot; d];
+        for ni in 0..n {
+            for o in 0..d {
+                cats_row[o] = columns[o].cats[ni];
+                links_row[o] = columns[o].links[ni];
+                report.category_counts[cats_row[o] as usize] += 1;
+            }
+            let flags = if config.compress {
+                compress::compression_flags(
+                    config.scheme,
+                    &partition,
+                    &obj_dist,
+                    &cats_row,
+                    &links_row,
+                )
+            } else {
+                vec![false; d]
+            };
+            let (blob, enc_bits) = encode_node(
+                &code,
+                link_bits,
+                &cats_row,
+                &links_row,
+                &flags,
+                config.compress,
+                config.scheme,
+            );
+            report.raw_bits += (partition.fixed_bits() as u64 + link_bits as u64) * d as u64;
+            report.encoded_bits += enc_bits;
+            report.compressed_bits += blob.len() as u64;
+            report.compressed_entries += flags.iter().filter(|&&f| f).count() as u64;
+            blobs.push(blob);
+        }
+        report.obj_table_bytes = obj_dist.bytes();
+
+        // Storage schema: signature merged with the adjacency list (§3.1),
+        // records in CCAM order.
+        let sizes: Vec<usize> = (0..n)
+            .map(|i| {
+                net.adjacency_record_bytes(NodeId(i as u32)) + blobs[i].byte_len()
+            })
+            .collect();
+        let store = PagedStore::new(&ccam_order(net), &sizes, 0);
+
+        let object_at = (0..n)
+            .map(|i| objects.object_at(NodeId(i as u32)).map_or(u32::MAX, |o| o.0))
+            .collect();
+
+        SignatureIndex {
+            partition,
+            code,
+            link_bits,
+            hosts: objects.host_nodes().to_vec(),
+            object_at,
+            blobs,
+            obj_dist,
+            store,
+            compress: config.compress,
+            scheme: config.scheme,
+            pool_pages: config.pool_pages,
+            report,
+        }
+    }
+
+    /// The category partition in force.
+    pub fn partition(&self) -> &CategoryPartition {
+        &self.partition
+    }
+
+    /// Number of objects `D`.
+    pub fn num_objects(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of indexed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Host node of object `o`.
+    pub fn host(&self, o: ObjectId) -> NodeId {
+        self.hosts[o.index()]
+    }
+
+    /// Object hosted on `n`, if any.
+    pub fn object_at(&self, n: NodeId) -> Option<ObjectId> {
+        match self.object_at[n.index()] {
+            u32::MAX => None,
+            i => Some(ObjectId(i)),
+        }
+    }
+
+    /// Iterate over all object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.num_objects() as u32).map(ObjectId)
+    }
+
+    /// The object-distance side table.
+    pub fn obj_dist(&self) -> &ObjDistTable {
+        &self.obj_dist
+    }
+
+    /// The paged store holding the merged adjacency+signature records.
+    pub fn store(&self) -> &PagedStore {
+        &self.store
+    }
+
+    /// Total on-disk size in bytes (pages × 4 KiB).
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.disk_bytes()
+    }
+
+    /// Bits of each backtracking link (`⌈log R⌉`).
+    pub fn link_bits(&self) -> u32 {
+        self.link_bits
+    }
+
+    /// Whether compression was applied at build time.
+    pub fn is_compressed(&self) -> bool {
+        self.compress
+    }
+
+    /// The compression scheme in force.
+    pub fn scheme(&self) -> crate::compress::CompressionScheme {
+        self.scheme
+    }
+
+    /// Decode node `n`'s signature (CPU only — I/O accounting is the
+    /// [`Session`](crate::ops::Session)'s job).
+    pub fn decode_node(&self, n: NodeId) -> DecodedSignature {
+        let d = self.num_objects();
+        let mut r = self.blobs[n.index()].reader();
+        let mut cats = vec![0u8; d];
+        let mut links = vec![0 as Slot; d];
+        let mut compressed = vec![false; d];
+        let keep_link = self.scheme == crate::compress::CompressionScheme::PerLinkAnchor;
+        for o in 0..d {
+            let flag = self.compress && r.read_bit();
+            compressed[o] = flag;
+            if !flag {
+                cats[o] = self.code.decode(&mut r);
+            }
+            if !flag || keep_link {
+                links[o] = r.read_bits(self.link_bits) as Slot;
+            }
+        }
+        debug_assert_eq!(r.remaining(), 0);
+        compress::resolve(
+            self.scheme,
+            &self.partition,
+            &self.obj_dist,
+            &mut cats,
+            &mut links,
+            &compressed,
+        );
+        DecodedSignature {
+            cats,
+            links,
+            compressed,
+        }
+    }
+
+    /// Rewrite node `n`'s signature from resolved categories and links
+    /// (re-encoding and re-compressing). Used by the §5.4 maintenance path;
+    /// returns the new blob's byte length.
+    pub fn reencode_node(&mut self, n: NodeId, cats: &[u8], links: &[Slot]) -> usize {
+        assert_eq!(cats.len(), self.num_objects());
+        let flags = if self.compress {
+            compress::compression_flags(self.scheme, &self.partition, &self.obj_dist, cats, links)
+        } else {
+            vec![false; cats.len()]
+        };
+        let (blob, _) = encode_node(
+            &self.code,
+            self.link_bits,
+            cats,
+            links,
+            &flags,
+            self.compress,
+            self.scheme,
+        );
+        let bytes = blob.byte_len();
+        self.blobs[n.index()] = blob;
+        bytes
+    }
+
+    /// Record an object↔object distance change (update path). `None`
+    /// removes the pair (it moved into the last category).
+    pub fn set_obj_dist(&mut self, a: ObjectId, b: ObjectId, d: Option<Dist>) {
+        self.obj_dist.set(a, b, d);
+    }
+
+    /// Open a query session over this index. The session owns a buffer pool
+    /// sized by the build configuration and charges every signature access
+    /// through it.
+    pub fn session<'a>(&'a self, net: &'a RoadNetwork) -> crate::ops::Session<'a> {
+        crate::ops::Session::new(self, net, self.pool_pages)
+    }
+}
+
+/// `⌈log2 R⌉` bits, at least 1.
+fn link_bits_for(max_degree: u32) -> u32 {
+    (u32::BITS - max_degree.saturating_sub(1).leading_zeros()).max(1)
+}
+
+/// Encode one node's signature. When `flag_mode` is on (§5.3 compression),
+/// every entry carries a 1-bit flag and flagged entries omit their category
+/// code. Returns the blob and the size (in bits) the node would occupy with
+/// encoding but *without* compression, for Table 1.
+fn encode_node(
+    code: &ReverseZeroPadding,
+    link_bits: u32,
+    cats: &[u8],
+    links: &[Slot],
+    flags: &[bool],
+    flag_mode: bool,
+    scheme: crate::compress::CompressionScheme,
+) -> (BitBox, u64) {
+    let keep_link = scheme == crate::compress::CompressionScheme::PerLinkAnchor;
+    let mut w = BitWriter::new();
+    let mut encoded_only_bits = 0u64;
+    for o in 0..cats.len() {
+        encoded_only_bits += code.code_len(cats[o]) as u64 + link_bits as u64;
+        if flag_mode {
+            w.push_bit(flags[o]);
+        }
+        if !flags[o] {
+            code.encode(cats[o], &mut w);
+        }
+        if !flags[o] || keep_link || !flag_mode {
+            w.push_bits(links[o] as u64, link_bits);
+        }
+    }
+    (w.finish(), encoded_only_bits)
+}
+
+/// Build per-object category/link columns, optionally in parallel.
+fn build_columns(
+    net: &RoadNetwork,
+    objects: &ObjectSet,
+    partition: &CategoryPartition,
+    last_lb: Dist,
+    parallel: bool,
+) -> Vec<Column> {
+    let d = objects.len();
+    let run = |o: usize| -> Column {
+        let host = objects.node_of(ObjectId(o as u32));
+        let tree = sssp(net, host);
+        let n = net.num_nodes();
+        let mut cats = vec![0u8; n];
+        let mut links = vec![0 as Slot; n];
+        for v in 0..n {
+            let dist = tree.dist[v];
+            assert!(
+                dist != INFINITY,
+                "network must be connected to build signatures"
+            );
+            cats[v] = partition.category_of(dist);
+            links[v] = tree.parent_slot[v];
+        }
+        let mut obj_row: Vec<(u32, Dist)> = objects
+            .iter()
+            .filter(|&(b, _)| b.index() != o)
+            .filter_map(|(b, host_b)| {
+                let dist = tree.dist[host_b.index()];
+                (dist < last_lb).then_some((b.0, dist))
+            })
+            .collect();
+        obj_row.sort_unstable_by_key(|&(b, _)| b);
+        Column {
+            cats,
+            links,
+            obj_row,
+        }
+    };
+
+    let threads = if parallel {
+        std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+    } else {
+        1
+    };
+    if threads <= 1 || d < 4 {
+        return (0..d).map(run).collect();
+    }
+    let mut out: Vec<Option<Column>> = (0..d).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, Column)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            s.spawn(move |_| loop {
+                let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if o >= d {
+                    break;
+                }
+                tx.send((o, run(o))).expect("collector alive");
+            });
+        }
+        drop(tx);
+        for (o, col) in rx {
+            out[o] = Some(col);
+        }
+    })
+    .expect("construction thread panicked");
+    out.into_iter().map(|c| c.expect("all columns built")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::grid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (RoadNetwork, ObjectSet, SignatureIndex) {
+        let net = grid(12, 12);
+        let mut rng = StdRng::seed_from_u64(21);
+        let objects = ObjectSet::uniform(&net, 0.06, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        (net, objects, idx)
+    }
+
+    #[test]
+    fn decoded_categories_match_true_distances() {
+        let (net, objects, idx) = fixture();
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes() {
+            let sig = idx.decode_node(n);
+            for (o, _) in objects.iter() {
+                let true_d = trees[o.index()].dist[n.index()];
+                assert_eq!(
+                    sig.cats[o.index()],
+                    idx.partition().category_of(true_d),
+                    "node {n} object {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn links_point_along_shortest_paths() {
+        let (net, objects, idx) = fixture();
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes() {
+            let sig = idx.decode_node(n);
+            for (o, host) in objects.iter() {
+                if n == host {
+                    continue;
+                }
+                let (next, w) = net.neighbor_at(n, sig.links[o.index()]);
+                let dn = trees[o.index()].dist[n.index()];
+                let dnext = trees[o.index()].dist[next.index()];
+                assert_eq!(dnext + w, dn, "link at {n} for {o} must descend");
+            }
+        }
+    }
+
+    #[test]
+    fn uncompressed_build_has_no_flags() {
+        let net = grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let objects = ObjectSet::uniform(&net, 0.1, &mut rng);
+        let cfg = SignatureConfig {
+            compress: false,
+            ..Default::default()
+        };
+        let idx = SignatureIndex::build(&net, &objects, &cfg);
+        assert_eq!(idx.report.compressed_entries, 0);
+        for n in net.nodes() {
+            assert!(idx.decode_node(n).compressed.iter().all(|&f| !f));
+        }
+    }
+
+    #[test]
+    fn compression_reduces_size_and_round_trips() {
+        let net = grid(14, 14);
+        let mut rng = StdRng::seed_from_u64(5);
+        let objects = ObjectSet::uniform(&net, 0.08, &mut rng);
+        let on = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let off = SignatureIndex::build(
+            &net,
+            &objects,
+            &SignatureConfig {
+                compress: false,
+                ..Default::default()
+            },
+        );
+        // Decoded content identical.
+        for n in net.nodes() {
+            let a = on.decode_node(n);
+            let b = off.decode_node(n);
+            assert_eq!(a.cats, b.cats, "node {n}");
+            assert_eq!(a.links, b.links, "node {n}");
+        }
+        assert!(on.report.compressed_entries > 0, "something must compress");
+    }
+
+    #[test]
+    fn both_compression_schemes_decode_identically() {
+        let net = grid(14, 14);
+        let mut rng = StdRng::seed_from_u64(77);
+        let objects = ObjectSet::uniform(&net, 0.08, &mut rng);
+        let build = |scheme| {
+            SignatureIndex::build(
+                &net,
+                &objects,
+                &SignatureConfig {
+                    scheme,
+                    ..Default::default()
+                },
+            )
+        };
+        let global = build(crate::compress::CompressionScheme::GlobalAnchor);
+        let per_link = build(crate::compress::CompressionScheme::PerLinkAnchor);
+        for n in net.nodes() {
+            let a = global.decode_node(n);
+            let b = per_link.decode_node(n);
+            assert_eq!(a.cats, b.cats, "node {n}");
+            assert_eq!(a.links, b.links, "node {n}");
+        }
+        // The global scheme drops links of flagged entries, so whenever it
+        // flags at least as many entries it must not be larger.
+        if global.report.compressed_entries >= per_link.report.compressed_entries {
+            assert!(global.report.compressed_bits <= per_link.report.compressed_bits);
+        }
+    }
+
+    #[test]
+    fn size_report_orderings() {
+        let (_, _, idx) = fixture();
+        let r = &idx.report;
+        // Encoding helps when far categories dominate (the paper's regime);
+        // on a tiny dense fixture unary codes can exceed fixed ids, so only
+        // structural invariants are asserted here — repro_table1 exercises
+        // the realistic regime.
+        assert!(r.raw_bits > 0 && r.encoded_bits > 0 && r.compressed_bits > 0);
+        // Compression saves whole codes and pays one flag bit per entry.
+        assert!(r.compressed_bits <= r.encoded_bits + (r.num_nodes * r.num_objects) as u64);
+        assert_eq!(
+            r.category_counts.iter().sum::<u64>(),
+            (r.num_nodes * r.num_objects) as u64
+        );
+    }
+
+    #[test]
+    fn encoding_wins_when_far_categories_dominate() {
+        // A long path network with one object at the end: almost every node
+        // is far from it, so reverse-zero-padding codes approach 1 bit and
+        // must beat the fixed-length ids.
+        let mut b = dsi_graph::NetworkBuilder::new();
+        let n = 400;
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(dsi_graph::Point::new(i as f64, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 3);
+        }
+        let net = b.build();
+        let objects = ObjectSet::from_nodes(&net, vec![ids[0], ids[1]]);
+        // Explicit partition whose open-ended last category holds most of
+        // the line (the regime Theorem 5.1 assumes).
+        let cfg = SignatureConfig {
+            c: 2.0,
+            t: Some(2),
+            spreading: Some(300),
+            ..Default::default()
+        };
+        let idx = SignatureIndex::build(&net, &objects, &cfg);
+        let r = &idx.report;
+        assert!(
+            r.encoded_bits < r.raw_bits,
+            "encoded {} vs raw {}",
+            r.encoded_bits,
+            r.raw_bits
+        );
+    }
+
+    #[test]
+    fn spreading_and_t_defaults() {
+        let (_, _, idx) = fixture();
+        // Grid 12x12 diameter = 22; T = sqrt(22/e) ≈ 2.8 → 3.
+        assert_eq!(idx.partition().t(), 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let net = grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let objects = ObjectSet::uniform(&net, 0.1, &mut rng);
+        let par = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let ser = SignatureIndex::build(
+            &net,
+            &objects,
+            &SignatureConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        for n in net.nodes() {
+            assert_eq!(par.decode_node(n), ser.decode_node(n));
+        }
+        assert_eq!(par.report.compressed_bits, ser.report.compressed_bits);
+    }
+
+    #[test]
+    fn obj_dist_table_symmetric_and_correct() {
+        let (net, objects, idx) = fixture();
+        for (a, ha) in objects.iter() {
+            let tree = sssp(&net, ha);
+            for (b, hb) in objects.iter() {
+                let true_d = tree.dist[hb.index()];
+                match idx.obj_dist().get(a, b) {
+                    Some(d) => assert_eq!(d, true_d),
+                    None => {
+                        assert!(
+                            a != b
+                                && idx.partition().category_of(true_d) as usize
+                                    == idx.partition().num_categories() - 1,
+                            "only last-category pairs may be dropped"
+                        );
+                    }
+                }
+                assert_eq!(idx.obj_dist().get(a, b), idx.obj_dist().get(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn link_bits_formula() {
+        assert_eq!(link_bits_for(1), 1);
+        assert_eq!(link_bits_for(2), 1);
+        assert_eq!(link_bits_for(3), 2);
+        assert_eq!(link_bits_for(4), 2);
+        assert_eq!(link_bits_for(5), 3);
+        assert_eq!(link_bits_for(8), 3);
+        assert_eq!(link_bits_for(9), 4);
+    }
+
+    #[test]
+    fn disk_size_is_positive_and_paged() {
+        let (_, _, idx) = fixture();
+        assert!(idx.disk_bytes() > 0);
+        assert_eq!(idx.disk_bytes() % 4096, 0);
+    }
+}

@@ -1,0 +1,848 @@
+//! Basic operations on signatures (§3.2): distance retrieval, comparison,
+//! and sorting, with page-access accounting.
+//!
+//! All operations run inside a [`Session`], which owns a buffer pool and
+//! charges one record read (the merged adjacency+signature record, §3.1)
+//! every time a node's signature is consulted. A small decode cache avoids
+//! re-decoding blobs that are certainly buffer-resident.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dsi_graph::{Dist, NodeId, ObjectId, RoadNetwork};
+use dsi_storage::{BufferPool, IoStats};
+
+use crate::category::{DistRange, RangeOrdering};
+use crate::index::{DecodedSignature, SignatureIndex};
+
+/// Operation counters (CPU-side cost proxies).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpStats {
+    /// Signature records read (logical).
+    pub signature_reads: u64,
+    /// Backtracking hops taken by retrievals.
+    pub hops: u64,
+    /// Exact comparisons performed.
+    pub exact_comparisons: u64,
+    /// Approximate (observer-vote) comparisons performed.
+    pub approx_comparisons: u64,
+    /// Observer votes cast.
+    pub votes: u64,
+}
+
+/// A query session over a [`SignatureIndex`].
+pub struct Session<'a> {
+    index: &'a SignatureIndex,
+    net: &'a RoadNetwork,
+    pool: BufferPool,
+    cache: HashMap<NodeId, Rc<DecodedSignature>>,
+    cache_cap: usize,
+    pub stats: OpStats,
+}
+
+impl<'a> Session<'a> {
+    /// Usually obtained through [`SignatureIndex::session`].
+    pub fn new(index: &'a SignatureIndex, net: &'a RoadNetwork, pool_pages: usize) -> Self {
+        Session {
+            index,
+            net,
+            pool: BufferPool::new(pool_pages),
+            cache: HashMap::new(),
+            cache_cap: pool_pages.max(16) * 4,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &'a SignatureIndex {
+        self.index
+    }
+
+    /// The road network.
+    pub fn net(&self) -> &'a RoadNetwork {
+        self.net
+    }
+
+    /// I/O counters of the session's buffer pool.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Reset I/O and operation counters (keeps the buffer warm).
+    pub fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+        self.stats = OpStats::default();
+    }
+
+    /// Drop buffer contents, caches and counters (cold start).
+    pub fn cold_reset(&mut self) {
+        self.pool.clear();
+        self.cache.clear();
+        self.stats = OpStats::default();
+    }
+
+    /// Read (and decode) node `n`'s signature, charging the page accesses.
+    pub fn read_signature(&mut self, n: NodeId) -> Rc<DecodedSignature> {
+        self.index.store().read(n.index(), &mut self.pool);
+        self.stats.signature_reads += 1;
+        if let Some(sig) = self.cache.get(&n) {
+            return Rc::clone(sig);
+        }
+        let sig = Rc::new(self.index.decode_node(n));
+        if self.cache.len() >= self.cache_cap {
+            self.cache.clear();
+        }
+        self.cache.insert(n, Rc::clone(&sig));
+        sig
+    }
+
+    /// Invalidate the decode cache (after index maintenance).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// §3.2.1 exact retrieval: follow the backtracking links from `n` to the
+    /// object, accumulating edge weights — "the exact value of `d(n, a)` can
+    /// be gradually approached and finally retrieved".
+    pub fn retrieve_exact(&mut self, n: NodeId, a: ObjectId) -> Dist {
+        let host = self.index.host(a);
+        let mut cur = n;
+        let mut acc: Dist = 0;
+        let mut hops = 0usize;
+        while cur != host {
+            let sig = self.read_signature(cur);
+            let (next, w) = self.net.neighbor_at(cur, sig.links[a.index()]);
+            acc += w;
+            cur = next;
+            self.stats.hops += 1;
+            hops += 1;
+            assert!(
+                hops <= self.net.num_nodes(),
+                "backtracking links do not reach {a} from {n}: index is stale"
+            );
+        }
+        acc
+    }
+
+    /// Reconstruct the full shortest path from `n` to object `a` by
+    /// following backtracking links (what "kNN queries with path
+    /// information returned" need — the capability §1 faults NN lists for
+    /// lacking). Returns the node sequence including both endpoints.
+    pub fn path_to_object(&mut self, n: NodeId, a: ObjectId) -> Vec<NodeId> {
+        let host = self.index.host(a);
+        let mut path = vec![n];
+        let mut cur = n;
+        while cur != host {
+            let sig = self.read_signature(cur);
+            let (next, _) = self.net.neighbor_at(cur, sig.links[a.index()]);
+            path.push(next);
+            cur = next;
+            self.stats.hops += 1;
+            assert!(
+                path.len() <= self.net.num_nodes(),
+                "backtracking links do not reach {a} from {n}: index is stale"
+            );
+        }
+        path
+    }
+
+    /// §3.2.1 approximate retrieval `d̃(n, a, ∆)`: refine the distance range
+    /// along the backtracking path just until it no longer *partially*
+    /// intersects `delta` (it may end up inside `delta`, or disjoint from
+    /// it, or exact).
+    pub fn retrieve_approx(&mut self, n: NodeId, a: ObjectId, delta: DistRange) -> DistRange {
+        let host = self.index.host(a);
+        let mut cur = n;
+        let mut acc: Dist = 0;
+        loop {
+            if cur == host {
+                return DistRange::exact(acc);
+            }
+            let sig = self.read_signature(cur);
+            let r = self
+                .index
+                .partition()
+                .range_of(sig.cats[a.index()])
+                .offset(acc);
+            if !r.partially_intersects(&delta) {
+                return r;
+            }
+            let (next, w) = self.net.neighbor_at(cur, sig.links[a.index()]);
+            acc += w;
+            cur = next;
+            self.stats.hops += 1;
+        }
+    }
+
+    /// §3.2.2 exact comparison (Algorithm 2): compare `d(n, a)` with
+    /// `d(n, b)`, backtracking each side *in batches* only as far as needed
+    /// to disambiguate.
+    pub fn compare_exact(&mut self, n: NodeId, a: ObjectId, b: ObjectId) -> std::cmp::Ordering {
+        self.stats.exact_comparisons += 1;
+        let sig = self.read_signature(n);
+        let (ca, cb) = (sig.cats[a.index()], sig.cats[b.index()]);
+        if ca != cb {
+            // Algorithm 2, line 1–2: distinct categories decide directly.
+            return ca.cmp(&cb);
+        }
+        let mut wa = Walker::start(self, n, a);
+        let mut wb = Walker::start(self, n, b);
+        loop {
+            match wa.range.compare(&wb.range) {
+                RangeOrdering::Less => return std::cmp::Ordering::Less,
+                RangeOrdering::Greater => return std::cmp::Ordering::Greater,
+                RangeOrdering::Equal => return std::cmp::Ordering::Equal,
+                RangeOrdering::Ambiguous => {
+                    // Refine whichever side still can, in a batch (I/O
+                    // efficiency note of §3.2.2).
+                    if !wa.range.is_exact() {
+                        let target = wb.range;
+                        wa.refine_until(self, &target);
+                    } else {
+                        let target = wa.range;
+                        wb.refine_until(self, &target);
+                    }
+                }
+            }
+        }
+    }
+
+    /// §3.2.2 approximate comparison (Algorithm 3): decide the order of
+    /// `d(n, a)` vs `d(n, b)` from `s(n)` alone by letting closer objects
+    /// ("observers") vote in a 2-D embedding. Returns
+    /// [`RangeOrdering::Equal`] when undecided.
+    pub fn compare_approx(&mut self, n: NodeId, a: ObjectId, b: ObjectId) -> RangeOrdering {
+        let sig = self.read_signature(n);
+        let ca = sig.cats[a.index()].min(sig.cats[b.index()]);
+        let observers: Vec<u32> = (0..self.index.num_objects() as u32)
+            .filter(|&i| sig.cats[i as usize] < ca)
+            .collect();
+        self.compare_approx_with(n, a, b, &observers)
+    }
+
+    /// [`compare_approx`](Self::compare_approx) with a precomputed observer
+    /// candidate list (object ids with a smaller category than either
+    /// operand). Sorting computes the list once per bucket instead of
+    /// scanning the whole dataset per comparison.
+    fn compare_approx_with(
+        &mut self,
+        n: NodeId,
+        a: ObjectId,
+        b: ObjectId,
+        observers: &[u32],
+    ) -> RangeOrdering {
+        self.stats.approx_comparisons += 1;
+        let sig = self.read_signature(n);
+        let (ca, cb) = (sig.cats[a.index()], sig.cats[b.index()]);
+        if ca != cb {
+            return if ca < cb {
+                RangeOrdering::Less
+            } else {
+                RangeOrdering::Greater
+            };
+        }
+        let part = self.index.partition();
+        let shared = part.range_of(ca);
+        if shared.hi == dsi_graph::INFINITY {
+            return RangeOrdering::Equal; // open-ended category: no geometry
+        }
+        let Some(dab) = self.index.obj_dist().get(a, b) else {
+            return RangeOrdering::Equal;
+        };
+        if dab == 0 {
+            return RangeOrdering::Equal;
+        }
+        // Embed a at the origin and b on the x-axis; n, if it were
+        // equidistant, would sit on the bisector x = dab/2 within the
+        // feasible height interval [h_min, h_max] where the shared category
+        // range still holds.
+        let dab = dab as f64;
+        let xm = dab / 2.0;
+        let (lb, ub) = (shared.lo as f64, shared.hi as f64);
+        if ub < xm {
+            return RangeOrdering::Equal; // bisector unreachable within range
+        }
+        let h_min = (lb * lb - xm * xm).max(0.0).sqrt();
+        let h_max = (ub * ub - xm * xm).sqrt();
+
+        let (mut votes_a, mut votes_b) = (0u32, 0u32);
+        for &i in observers {
+            let i = i as usize;
+            let obs = ObjectId(i as u32);
+            // Observers are the objects closer to n than a and b (line 3).
+            if sig.cats[i] >= ca || obs == a || obs == b {
+                continue;
+            }
+            let (Some(dai), Some(dbi)) = (
+                self.index.obj_dist().get(a, obs),
+                self.index.obj_dist().get(b, obs),
+            ) else {
+                continue;
+            };
+            if dai == dbi {
+                continue; // observer on the bisector itself: no information
+            }
+            let obs_range = part.range_of(sig.cats[i]);
+            if obs_range.hi == dsi_graph::INFINITY {
+                continue;
+            }
+            let (dai, dbi) = (dai as f64, dbi as f64);
+            // Triangulate the observer's embedded position.
+            let cx = (dai * dai + dab * dab - dbi * dbi) / (2.0 * dab);
+            let cy = (dai * dai - cx * cx).max(0.0).sqrt();
+            let (dmin, dmax) = segment_distance_extrema(xm, h_min, h_max, cx, cy);
+            self.stats.votes += 1;
+            if dmax < obs_range.lo as f64 {
+                // n is farther from the observer than the whole bisector:
+                // it lies on the far side — the side of whichever object the
+                // observer is *not* near.
+                if dai < dbi {
+                    votes_b += 1;
+                } else {
+                    votes_a += 1;
+                }
+            } else if dmin > obs_range.hi as f64 {
+                // n is nearer to the observer than the bisector: near side.
+                if dai < dbi {
+                    votes_a += 1;
+                } else {
+                    votes_b += 1;
+                }
+            }
+        }
+        match votes_a.cmp(&votes_b) {
+            std::cmp::Ordering::Greater => RangeOrdering::Less,
+            std::cmp::Ordering::Less => RangeOrdering::Greater,
+            std::cmp::Ordering::Equal => RangeOrdering::Equal,
+        }
+    }
+
+    /// §3.2.3 distance sorting (Algorithm 4): an initial approximate order
+    /// from observer votes, then a refinement pass that confirms each
+    /// adjacent pair with exact comparison and bubbles misplacements
+    /// backwards.
+    ///
+    /// Refinement state (the backtracking cursor and current range of each
+    /// object) persists across the pass — the batching that §3.2.2 calls
+    /// I/O-efficient. Without it, same-category objects would re-walk their
+    /// shortest paths once per comparison and sorting a large boundary
+    /// bucket would degrade quadratically.
+    pub fn sort_objects(&mut self, n: NodeId, objs: &mut [ObjectId]) {
+        // Observer candidates: objects strictly closer than every operand.
+        // Computed once — bucket sorts pass same-category objects, so this
+        // is exactly Algorithm 3's observer set for every pair.
+        let min_cat = {
+            let sig = self.read_signature(n);
+            objs.iter()
+                .map(|o| sig.cats[o.index()])
+                .min()
+                .unwrap_or(0)
+        };
+        let observers: Vec<u32> = {
+            let sig = self.read_signature(n);
+            (0..self.index.num_objects() as u32)
+                .filter(|&i| sig.cats[i as usize] < min_cat)
+                .collect()
+        };
+        // Initial sorting. Approximate comparisons are not a total order,
+        // so use insertion sort, which never requires transitivity.
+        for i in 1..objs.len() {
+            let mut j = i;
+            while j > 0 {
+                if self.compare_approx_with(n, objs[j - 1], objs[j], &observers)
+                    == RangeOrdering::Greater
+                {
+                    objs.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Refinement: exact confirmation with backward bubbling, sharing
+        // one walker per object.
+        let mut walkers: HashMap<ObjectId, Walker> = objs
+            .iter()
+            .map(|&o| (o, Walker::start(self, n, o)))
+            .collect();
+        let mut i = 0;
+        while i + 1 < objs.len() {
+            if self.compare_walkers(&mut walkers, objs[i], objs[i + 1])
+                == std::cmp::Ordering::Greater
+            {
+                objs.swap(i, i + 1);
+                if i > 0 {
+                    i -= 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Rearrange `objs` so that its first `j` elements are the `j` nearest
+    /// to `n` (in no particular order) — the "choose the top `k − Σ|Bi|`
+    /// objects" step of Algorithm 6 for type-3 queries, which need the
+    /// result *set* only. Quickselect over exact comparisons with
+    /// persistent walkers: only objects near the cut-off distance refine
+    /// deeply; clearly-in and clearly-out objects separate from the pivot
+    /// after a few backtracking steps.
+    pub fn select_nearest(&mut self, n: NodeId, objs: &mut [ObjectId], j: usize) {
+        if j == 0 || j >= objs.len() {
+            return;
+        }
+        let mut walkers: HashMap<ObjectId, Walker> = objs
+            .iter()
+            .map(|&o| (o, Walker::start(self, n, o)))
+            .collect();
+        let mut slice_start = 0usize;
+        let mut slice_end = objs.len();
+        let mut want = j;
+        while slice_end - slice_start > 1 && want > 0 && want < slice_end - slice_start {
+            let len = slice_end - slice_start;
+            objs.swap(slice_start + len / 2, slice_end - 1);
+            let pivot = objs[slice_end - 1];
+            let mut store = slice_start;
+            for i in slice_start..slice_end - 1 {
+                if self.compare_walkers(&mut walkers, objs[i], pivot)
+                    != std::cmp::Ordering::Greater
+                {
+                    objs.swap(i, store);
+                    store += 1;
+                }
+            }
+            objs.swap(store, slice_end - 1);
+            let left = store - slice_start; // elements ≤ pivot (pivot excluded)
+            if want <= left {
+                slice_end = store;
+            } else if want == left + 1 {
+                return; // pivot closes the set exactly
+            } else {
+                want -= left + 1;
+                slice_start = store + 1;
+            }
+        }
+    }
+
+    /// Exact comparison over persistent walkers (each retains its
+    /// refinement progress across calls).
+    fn compare_walkers(
+        &mut self,
+        walkers: &mut HashMap<ObjectId, Walker>,
+        a: ObjectId,
+        b: ObjectId,
+    ) -> std::cmp::Ordering {
+        self.stats.exact_comparisons += 1;
+        loop {
+            let ra = walkers[&a].range;
+            let rb = walkers[&b].range;
+            match ra.compare(&rb) {
+                RangeOrdering::Less => return std::cmp::Ordering::Less,
+                RangeOrdering::Greater => return std::cmp::Ordering::Greater,
+                RangeOrdering::Equal => return std::cmp::Ordering::Equal,
+                RangeOrdering::Ambiguous => {
+                    if !ra.is_exact() {
+                        walkers.get_mut(&a).expect("walker").refine_until(self, &rb);
+                    } else {
+                        walkers.get_mut(&b).expect("walker").refine_until(self, &ra);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One side of an exact comparison: a cursor on the backtracking path from
+/// `n` to an object, with the current refined distance range.
+struct Walker {
+    obj: ObjectId,
+    host: NodeId,
+    cur: NodeId,
+    acc: Dist,
+    range: DistRange,
+    /// Steps taken; bounded by the node count to catch stale links (e.g.
+    /// querying an object made unreachable by edge removals).
+    steps: usize,
+}
+
+impl Walker {
+    fn start(sess: &mut Session<'_>, n: NodeId, obj: ObjectId) -> Self {
+        let sig = sess.read_signature(n);
+        let range = sess.index.partition().range_of(sig.cats[obj.index()]);
+        let host = sess.index.host(obj);
+        let mut w = Walker {
+            obj,
+            host,
+            cur: n,
+            acc: 0,
+            range,
+            steps: 0,
+        };
+        if n == host {
+            w.range = DistRange::exact(0);
+        }
+        w
+    }
+
+    /// Refine this side's range until it no longer partially intersects
+    /// `target`, taking **at least one** backtracking step so the
+    /// comparison loop always makes progress (two objects sharing the same
+    /// category have mutually contained ranges, which must not stall the
+    /// refinement).
+    fn refine_until(&mut self, sess: &mut Session<'_>, target: &DistRange) {
+        loop {
+            if self.range.is_exact() {
+                return;
+            }
+            if self.cur == self.host {
+                self.range = DistRange::exact(self.acc);
+                return;
+            }
+            let sig = sess.read_signature(self.cur);
+            let (next, w) = sess.net.neighbor_at(self.cur, sig.links[self.obj.index()]);
+            self.acc += w;
+            self.cur = next;
+            sess.stats.hops += 1;
+            self.steps += 1;
+            assert!(
+                self.steps <= sess.net.num_nodes(),
+                "backtracking links do not reach {} : index is stale or the \
+                 object is unreachable",
+                self.obj
+            );
+            if self.cur == self.host {
+                self.range = DistRange::exact(self.acc);
+            } else {
+                let sig = sess.read_signature(self.cur);
+                self.range = sess
+                    .index
+                    .partition()
+                    .range_of(sig.cats[self.obj.index()])
+                    .offset(self.acc);
+            }
+            if !self.range.partially_intersects(target) {
+                return;
+            }
+        }
+    }
+}
+
+/// Min and max Euclidean distance from point `(cx, cy)` to the two mirrored
+/// bisector segments `{(xm, ±h) : h ∈ [h_min, h_max]}`.
+fn segment_distance_extrema(xm: f64, h_min: f64, h_max: f64, cx: f64, cy: f64) -> (f64, f64) {
+    let dx2 = (xm - cx) * (xm - cx);
+    let d_at = |h: f64, sign: f64| (dx2 + (sign * h - cy) * (sign * h - cy)).sqrt();
+    // Positive segment: minimum at h = clamp(cy, ..); negative segment: the
+    // closest point to a cy ≥ 0 observer is h = h_min.
+    let mut dmin = f64::INFINITY;
+    let mut dmax = f64::NEG_INFINITY;
+    for sign in [1.0f64, -1.0] {
+        let h_best = if sign > 0.0 {
+            cy.clamp(h_min, h_max)
+        } else {
+            (-cy).clamp(-h_max, -h_min).abs()
+        };
+        dmin = dmin.min(d_at(h_best, sign));
+        dmax = dmax.max(d_at(h_min, sign)).max(d_at(h_max, sign));
+    }
+    (dmin, dmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{SignatureConfig, SignatureIndex};
+    use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    use dsi_graph::{sssp, ObjectSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (RoadNetwork, ObjectSet, SignatureIndex) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 400,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        (net, objects, idx)
+    }
+
+    #[test]
+    fn exact_retrieval_matches_dijkstra() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(17) {
+            for (o, _) in objects.iter() {
+                assert_eq!(
+                    sess.retrieve_exact(n, o),
+                    trees[o.index()].dist[n.index()],
+                    "d({n}, {o})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_retrieval_at_host_is_zero() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        for (o, host) in objects.iter() {
+            assert_eq!(sess.retrieve_exact(host, o), 0);
+        }
+    }
+
+    #[test]
+    fn approx_retrieval_brackets_truth_and_respects_delta() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(29) {
+            for (o, _) in objects.iter() {
+                let truth = trees[o.index()].dist[n.index()];
+                for eps in [5u32, 50, 500] {
+                    let delta = DistRange::new(eps, eps);
+                    let r = sess.retrieve_approx(n, o, delta);
+                    assert!(r.contains(truth), "range {r:?} must contain {truth}");
+                    assert!(
+                        !r.partially_intersects(&delta),
+                        "returned range must be decisive w.r.t. ∆"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_retrieval_costs_less_than_exact() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        // Pick a far object from node 0.
+        let far = objects
+            .iter()
+            .max_by_key(|&(_, h)| sssp(&net, h).dist[0])
+            .unwrap()
+            .0;
+        sess.reset_stats();
+        let _ = sess.retrieve_approx(NodeId(0), far, DistRange::new(1, 1));
+        let approx_hops = sess.stats.hops;
+        sess.reset_stats();
+        let _ = sess.retrieve_exact(NodeId(0), far);
+        let exact_hops = sess.stats.hops;
+        assert!(
+            approx_hops < exact_hops,
+            "approx {approx_hops} vs exact {exact_hops}"
+        );
+    }
+
+    #[test]
+    fn exact_comparison_agrees_with_distances() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(41) {
+            for (a, _) in objects.iter() {
+                for (b, _) in objects.iter() {
+                    let da = trees[a.index()].dist[n.index()];
+                    let db = trees[b.index()].dist[n.index()];
+                    assert_eq!(
+                        sess.compare_exact(n, a, b),
+                        da.cmp(&db),
+                        "compare d({n},{a})={da} vs d({n},{b})={db}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_comparison_never_contradicts_when_categories_differ() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(23) {
+            let sig = sess.read_signature(n);
+            for (a, _) in objects.iter() {
+                for (b, _) in objects.iter() {
+                    if sig.cats[a.index()] == sig.cats[b.index()] {
+                        continue;
+                    }
+                    let got = sess.compare_approx(n, a, b);
+                    let da = trees[a.index()].dist[n.index()];
+                    let db = trees[b.index()].dist[n.index()];
+                    match got {
+                        RangeOrdering::Less => assert!(da < db),
+                        RangeOrdering::Greater => assert!(da > db),
+                        _ => panic!("distinct categories must decide"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_comparison_is_mostly_right_within_category() {
+        // The observer vote is a heuristic; it may abstain or (rarely) be
+        // wrong, but decided votes should be right far more often than not.
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        let (mut right, mut wrong) = (0u32, 0u32);
+        for n in net.nodes().step_by(7) {
+            let sig = sess.read_signature(n);
+            for (a, _) in objects.iter() {
+                for (b, _) in objects.iter() {
+                    if a >= b || sig.cats[a.index()] != sig.cats[b.index()] {
+                        continue;
+                    }
+                    let da = trees[a.index()].dist[n.index()];
+                    let db = trees[b.index()].dist[n.index()];
+                    if da == db {
+                        continue;
+                    }
+                    match sess.compare_approx(n, a, b) {
+                        RangeOrdering::Less => {
+                            if da < db {
+                                right += 1;
+                            } else {
+                                wrong += 1;
+                            }
+                        }
+                        RangeOrdering::Greater => {
+                            if da > db {
+                                right += 1;
+                            } else {
+                                wrong += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(
+            right >= wrong * 2,
+            "votes should be mostly right: {right} right vs {wrong} wrong"
+        );
+    }
+
+    #[test]
+    fn sorting_produces_exact_order() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in [NodeId(0), NodeId(123), NodeId(399)] {
+            let mut objs: Vec<ObjectId> = objects.objects().collect();
+            sess.sort_objects(n, &mut objs);
+            for w in objs.windows(2) {
+                assert!(
+                    trees[w[0].index()].dist[n.index()] <= trees[w[1].index()].dist[n.index()],
+                    "order violated at {n}: {:?}",
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_nearest_finds_the_true_top_j() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(61) {
+            let mut all: Vec<ObjectId> = objects.objects().collect();
+            for j in [1usize, 3, all.len() / 2, all.len()] {
+                let mut objs = all.clone();
+                sess.select_nearest(n, &mut objs, j);
+                let mut got: Vec<u32> = objs[..j.min(objs.len())]
+                    .iter()
+                    .map(|o| trees[o.index()].dist[n.index()])
+                    .collect();
+                got.sort_unstable();
+                let mut truth: Vec<u32> = all
+                    .iter()
+                    .map(|o| trees[o.index()].dist[n.index()])
+                    .collect();
+                truth.sort_unstable();
+                truth.truncate(j);
+                assert_eq!(got, truth, "node {n}, j={j}");
+            }
+            all.rotate_left(1); // vary input order a little
+        }
+    }
+
+    #[test]
+    fn select_nearest_costs_less_than_full_sort() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let all: Vec<ObjectId> = objects.objects().collect();
+        let n = NodeId(7);
+        sess.cold_reset();
+        let mut objs = all.clone();
+        sess.select_nearest(n, &mut objs, 2);
+        let select_hops = sess.stats.hops;
+        sess.cold_reset();
+        let mut objs = all.clone();
+        sess.sort_objects(n, &mut objs);
+        let sort_hops = sess.stats.hops;
+        assert!(
+            select_hops <= sort_hops,
+            "select {select_hops} vs sort {sort_hops}"
+        );
+    }
+
+    #[test]
+    fn path_to_object_is_a_shortest_path() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes().step_by(53) {
+            for (o, host) in objects.iter() {
+                let path = sess.path_to_object(n, o);
+                assert_eq!(path.first(), Some(&n));
+                assert_eq!(path.last(), Some(&host));
+                let mut len = 0;
+                for w in path.windows(2) {
+                    len += net.edge_weight(w[0], w[1]).expect("path edges exist");
+                }
+                assert_eq!(len, trees[o.index()].dist[n.index()], "path length");
+            }
+        }
+    }
+
+    #[test]
+    fn io_stats_accumulate_and_reset() {
+        let (net, objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let o = objects.objects().next().unwrap();
+        sess.retrieve_exact(NodeId(1), o);
+        assert!(sess.io_stats().logical > 0);
+        assert!(sess.stats.signature_reads > 0);
+        sess.reset_stats();
+        assert_eq!(sess.io_stats().logical, 0);
+        assert_eq!(sess.stats.signature_reads, 0);
+    }
+
+    #[test]
+    fn grid_exact_comparison_smoke() {
+        // Deterministic small case: grid with two objects at opposite
+        // corners; every node must order them by Manhattan distance.
+        let net = grid(9, 9);
+        let objects = ObjectSet::from_nodes(&net, vec![NodeId(0), NodeId(80)]);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let (a, b) = (ObjectId(0), ObjectId(1));
+        let ta = sssp(&net, NodeId(0));
+        let tb = sssp(&net, NodeId(80));
+        for n in net.nodes() {
+            assert_eq!(
+                sess.compare_exact(n, a, b),
+                ta.dist[n.index()].cmp(&tb.dist[n.index()])
+            );
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Binary persistence for the signature index.
+//!
+//! Construction runs one Dijkstra per object (§5.2) — worth saving. The
+//! snapshot stores everything except the page layout, which is re-derived
+//! from the network at load time (CCAM order is deterministic), so a loaded
+//! index is bit-identical in content and I/O accounting to the one that was
+//! saved.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dsi_graph::io::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64, LoadError};
+use dsi_graph::{NodeId, RoadNetwork};
+use dsi_storage::{ccam_order, PagedStore};
+
+use crate::bits::BitBox;
+use crate::category::CategoryPartition;
+use crate::compress::CompressionScheme;
+use crate::encode::ReverseZeroPadding;
+use crate::index::{ObjDistTable, SignatureIndex, SizeReport};
+
+const MAGIC: &[u8; 4] = b"DSSI";
+const VERSION: u32 = 1;
+
+/// Write the index snapshot.
+pub fn write_index<W: Write>(idx: &SignatureIndex, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+
+    // Partition.
+    put_f64(&mut w, idx.partition.c())?;
+    put_u32(&mut w, idx.partition.t())?;
+    let bounds = idx.partition.upper_bounds();
+    put_u32(&mut w, bounds.len() as u32)?;
+    for &b in bounds {
+        put_u32(&mut w, b)?;
+    }
+
+    // Flags and widths.
+    w.write_all(&[
+        u8::from(idx.compress),
+        match idx.scheme {
+            CompressionScheme::GlobalAnchor => 0,
+            CompressionScheme::PerLinkAnchor => 1,
+        },
+    ])?;
+    put_u32(&mut w, idx.link_bits)?;
+    put_u32(&mut w, idx.pool_pages as u32)?;
+
+    // Objects.
+    put_u32(&mut w, idx.hosts.len() as u32)?;
+    for h in &idx.hosts {
+        put_u32(&mut w, h.0)?;
+    }
+
+    // Object-distance table.
+    for row in &idx.obj_dist.rows {
+        put_u32(&mut w, row.len() as u32)?;
+        for &(o, d) in row {
+            put_u32(&mut w, o)?;
+            put_u32(&mut w, d)?;
+        }
+    }
+
+    // Blobs.
+    put_u32(&mut w, idx.blobs.len() as u32)?;
+    for blob in &idx.blobs {
+        put_u64(&mut w, blob.len() as u64)?;
+        for &word in blob.words() {
+            put_u64(&mut w, word)?;
+        }
+    }
+
+    // Size report.
+    let r = &idx.report;
+    put_u64(&mut w, r.raw_bits)?;
+    put_u64(&mut w, r.encoded_bits)?;
+    put_u64(&mut w, r.compressed_bits)?;
+    put_u64(&mut w, r.compressed_entries)?;
+    put_u64(&mut w, r.obj_table_bytes)?;
+    put_u32(&mut w, r.category_counts.len() as u32)?;
+    for &c in &r.category_counts {
+        put_u64(&mut w, c)?;
+    }
+    w.flush()
+}
+
+/// Read an index snapshot; `net` must be the network it was built on (the
+/// page layout is re-derived from it).
+pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, LoadError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadError::Format("not a signature index file".into()));
+    }
+    let v = get_u32(&mut r)?;
+    if v != VERSION {
+        return Err(LoadError::Format(format!("unsupported index version {v}")));
+    }
+
+    let c = get_f64(&mut r)?;
+    let t = get_u32(&mut r)?;
+    let nb = get_u32(&mut r)? as usize;
+    let mut bounds = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        bounds.push(get_u32(&mut r)?);
+    }
+    if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(LoadError::Format("invalid category bounds".into()));
+    }
+    let partition = CategoryPartition::from_parts(c, t, bounds);
+    let code = ReverseZeroPadding::new(partition.num_categories());
+
+    let mut flags = [0u8; 2];
+    r.read_exact(&mut flags)?;
+    let compress = flags[0] != 0;
+    let scheme = match flags[1] {
+        0 => CompressionScheme::GlobalAnchor,
+        1 => CompressionScheme::PerLinkAnchor,
+        x => return Err(LoadError::Format(format!("unknown scheme {x}"))),
+    };
+    let link_bits = get_u32(&mut r)?;
+    let pool_pages = get_u32(&mut r)? as usize;
+
+    let d = get_u32(&mut r)? as usize;
+    let mut hosts = Vec::with_capacity(d);
+    for _ in 0..d {
+        let h = get_u32(&mut r)?;
+        if h as usize >= net.num_nodes() {
+            return Err(LoadError::Format("object host out of range".into()));
+        }
+        hosts.push(NodeId(h));
+    }
+
+    let mut obj_dist = ObjDistTable::with_rows(d);
+    for row in obj_dist.rows.iter_mut() {
+        let len = get_u32(&mut r)? as usize;
+        row.reserve(len);
+        for _ in 0..len {
+            let o = get_u32(&mut r)?;
+            let dist = get_u32(&mut r)?;
+            row.push((o, dist));
+        }
+    }
+
+    let n = get_u32(&mut r)? as usize;
+    if n != net.num_nodes() {
+        return Err(LoadError::Format(format!(
+            "index has {n} nodes but network has {}",
+            net.num_nodes()
+        )));
+    }
+    let mut blobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let bits = get_u64(&mut r)? as usize;
+        let words = bits.div_ceil(64);
+        let mut ws = Vec::with_capacity(words);
+        for _ in 0..words {
+            ws.push(get_u64(&mut r)?);
+        }
+        blobs.push(BitBox::from_words(ws, bits));
+    }
+
+    let mut report = SizeReport {
+        num_nodes: n,
+        num_objects: d,
+        raw_bits: get_u64(&mut r)?,
+        encoded_bits: get_u64(&mut r)?,
+        compressed_bits: get_u64(&mut r)?,
+        compressed_entries: get_u64(&mut r)?,
+        obj_table_bytes: get_u64(&mut r)?,
+        category_counts: Vec::new(),
+    };
+    let cc = get_u32(&mut r)? as usize;
+    for _ in 0..cc {
+        report.category_counts.push(get_u64(&mut r)?);
+    }
+
+    // Re-derive the page layout (deterministic from the network).
+    let sizes: Vec<usize> = (0..n)
+        .map(|i| net.adjacency_record_bytes(NodeId(i as u32)) + blobs[i].byte_len())
+        .collect();
+    let store = PagedStore::new(&ccam_order(net), &sizes, 0);
+
+    let object_at = {
+        let mut oa = vec![u32::MAX; net.num_nodes()];
+        for (i, h) in hosts.iter().enumerate() {
+            if oa[h.index()] != u32::MAX {
+                return Err(LoadError::Format("duplicate object host".into()));
+            }
+            oa[h.index()] = i as u32;
+        }
+        oa
+    };
+
+    Ok(SignatureIndex {
+        partition,
+        code,
+        link_bits,
+        hosts,
+        object_at,
+        blobs,
+        obj_dist,
+        store,
+        compress,
+        scheme,
+        pool_pages,
+        report,
+    })
+}
+
+/// Save the index to `path`.
+pub fn save_index(idx: &SignatureIndex, path: impl AsRef<Path>) -> io::Result<()> {
+    write_index(idx, std::fs::File::create(path)?)
+}
+
+/// Load an index from `path`, validated against `net`.
+pub fn load_index(path: impl AsRef<Path>, net: &RoadNetwork) -> Result<SignatureIndex, LoadError> {
+    read_index(std::fs::File::open(path)?, net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::SignatureConfig;
+    use crate::query::knn::{knn, KnnType};
+    use dsi_graph::generate::{random_planar, PlanarConfig};
+    use dsi_graph::ObjectSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(scheme: CompressionScheme) -> (RoadNetwork, SignatureIndex) {
+        let mut rng = StdRng::seed_from_u64(808);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 200,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        let idx = SignatureIndex::build(
+            &net,
+            &objects,
+            &SignatureConfig {
+                scheme,
+                ..Default::default()
+            },
+        );
+        (net, idx)
+    }
+
+    #[test]
+    fn round_trip_preserves_decode_and_queries() {
+        for scheme in [CompressionScheme::GlobalAnchor, CompressionScheme::PerLinkAnchor] {
+            let (net, idx) = fixture(scheme);
+            let mut buf = Vec::new();
+            write_index(&idx, &mut buf).unwrap();
+            let back = read_index(&buf[..], &net).unwrap();
+
+            assert_eq!(back.num_objects(), idx.num_objects());
+            assert_eq!(back.scheme(), idx.scheme());
+            assert_eq!(back.report.compressed_bits, idx.report.compressed_bits);
+            for n in net.nodes() {
+                assert_eq!(back.decode_node(n), idx.decode_node(n), "{scheme:?} {n}");
+            }
+            // Queries and I/O accounting agree.
+            let mut s1 = idx.session(&net);
+            let mut s2 = back.session(&net);
+            for q in net.nodes().step_by(17) {
+                assert_eq!(
+                    knn(&mut s1, q, 3, KnnType::Type1),
+                    knn(&mut s2, q, 3, KnnType::Type1)
+                );
+            }
+            assert_eq!(s1.io_stats(), s2.io_stats());
+        }
+    }
+
+    #[test]
+    fn wrong_network_is_rejected() {
+        let (net, idx) = fixture(CompressionScheme::GlobalAnchor);
+        let mut rng = StdRng::seed_from_u64(809);
+        let other = random_planar(
+            &PlanarConfig {
+                num_nodes: 150,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        assert!(read_index(&buf[..], &other).is_err());
+        let _ = net;
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let (net, idx) = fixture(CompressionScheme::GlobalAnchor);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_index(&buf[..], &net).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (net, _) = fixture(CompressionScheme::GlobalAnchor);
+        assert!(read_index(&b"OOPS\0\0\0\0"[..], &net).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (net, idx) = fixture(CompressionScheme::GlobalAnchor);
+        let dir = std::env::temp_dir().join("dsi_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.dssi");
+        save_index(&idx, &path).unwrap();
+        let back = load_index(&path, &net).unwrap();
+        assert_eq!(back.decode_node(NodeId(0)), idx.decode_node(NodeId(0)));
+        std::fs::remove_file(&path).ok();
+    }
+}

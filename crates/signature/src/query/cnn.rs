@@ -1,0 +1,393 @@
+//! Continuous k-nearest-neighbour queries along a path (§2's CNN class,
+//! served by the signature index's generality claim of §4.3).
+//!
+//! A CNN query returns the kNN sets *and their valid scopes* along a path:
+//! the positions where the k nearest objects change. The naive solution
+//! evaluates a kNN query at every node of the path; UNICONS (Cho & Chung,
+//! reviewed in §2) observes that a sub-path with no intersections in its
+//! interior can only draw its kNNs from the kNN sets of its two endpoints
+//! plus the objects on the sub-path itself, so one kNN evaluation per
+//! sub-path endpoint suffices and interior nodes only rank a small
+//! candidate set.
+//!
+//! Both algorithms are implemented over the signature index: the naive one
+//! as the correctness oracle, the UNICONS-style one as the fast path.
+//! Results are at node granularity (objects live on nodes, §1).
+
+use dsi_graph::{NodeId, ObjectId};
+
+use crate::ops::Session;
+use crate::query::knn::{knn, KnnType};
+
+/// A maximal run of consecutive path nodes sharing one kNN set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CnnSegment {
+    /// First path index (inclusive) of the scope.
+    pub start: usize,
+    /// Last path index (inclusive).
+    pub end: usize,
+    /// The kNN set valid on `path[start..=end]`, sorted by object id.
+    pub result: Vec<ObjectId>,
+}
+
+/// Naive CNN: a type-3 kNN query at every path node, merging equal
+/// consecutive results. The correctness oracle for
+/// [`continuous_knn`].
+pub fn continuous_knn_naive(
+    sess: &mut Session<'_>,
+    path: &[NodeId],
+    k: usize,
+) -> Vec<CnnSegment> {
+    let sets = path.iter().map(|&n| {
+        let mut set: Vec<ObjectId> = knn(sess, n, k, KnnType::Type3)
+            .into_iter()
+            .map(|r| r.object)
+            .collect();
+        set.sort_unstable();
+        set
+    });
+    merge_segments(sets)
+}
+
+/// UNICONS-style CNN over the signature index.
+///
+/// The path is split into sub-paths at intersection nodes (degree ≥ 3);
+/// for each sub-path, the candidate set is `kNN(first) ∪ kNN(last) ∪
+/// {objects hosted on the sub-path}`, and every node ranks only those
+/// candidates by exact distance (guided backtracking, §3.2.1).
+///
+/// Equal-distance ties at rank k are broken by object id on both paths, so
+/// results are deterministic and comparable.
+pub fn continuous_knn(sess: &mut Session<'_>, path: &[NodeId], k: usize) -> Vec<CnnSegment> {
+    assert!(!path.is_empty(), "empty path");
+    let k = k.min(sess.index().num_objects());
+    if k == 0 {
+        return vec![CnnSegment {
+            start: 0,
+            end: path.len() - 1,
+            result: Vec::new(),
+        }];
+    }
+    if path.len() == 1 {
+        let mut set: Vec<ObjectId> = knn(sess, path[0], k, KnnType::Type3)
+            .into_iter()
+            .map(|r| r.object)
+            .collect();
+        set.sort_unstable();
+        return vec![CnnSegment {
+            start: 0,
+            end: 0,
+            result: set,
+        }];
+    }
+    // Sub-path boundaries: first node, intersections, last node.
+    let mut cuts = vec![0usize];
+    for (i, &n) in path.iter().enumerate().skip(1) {
+        if i + 1 < path.len() && sess.net().degree(n) >= 3 {
+            cuts.push(i);
+        }
+    }
+    cuts.push(path.len() - 1);
+    cuts.dedup();
+
+    let mut sets: Vec<Vec<ObjectId>> = Vec::with_capacity(path.len());
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let sub = &path[a..=b];
+        // Candidates: endpoint kNNs plus on-sub-path objects.
+        let mut cands: Vec<ObjectId> = Vec::new();
+        for &e in &[path[a], path[b]] {
+            cands.extend(
+                knn(sess, e, k, KnnType::Type3)
+                    .into_iter()
+                    .map(|r| r.object),
+            );
+        }
+        for &n in sub {
+            if let Some(o) = sess.index().object_at(n) {
+                cands.push(o);
+            }
+        }
+        cands.sort_unstable();
+        cands.dedup();
+
+        // Walk-prefix sums along the sub-path. Because interior nodes have
+        // network degree ≤ 2, the region is a simple chain: the first
+        // arrival of the walk at a node is its true chain distance from the
+        // sub-path start, even if the walk backtracks.
+        let mut pre = vec![0u64; sub.len()];
+        for i in 1..sub.len() {
+            let w = sess
+                .net()
+                .edge_weight(sub[i - 1], sub[i])
+                .expect("path nodes must be adjacent") as u64;
+            pre[i] = pre[i - 1] + w;
+        }
+        let total = *pre.last().unwrap();
+        let mut first_arrival: std::collections::HashMap<NodeId, (u64, u64)> =
+            std::collections::HashMap::new();
+        for (i, &n) in sub.iter().enumerate() {
+            let e = first_arrival.entry(n).or_insert((u64::MAX, u64::MAX));
+            e.0 = e.0.min(pre[i]);
+            e.1 = e.1.min(total - pre[i]);
+        }
+
+        // Exact candidate distances at the two endpoints only (§3.2.1
+        // guided backtracking); interior distances follow from the chain
+        // structure: a shortest path from an interior node either exits via
+        // an endpoint or stays on the chain (for on-chain objects).
+        let d_a: Vec<u64> = cands
+            .iter()
+            .map(|&o| sess.retrieve_exact(sub[0], o) as u64)
+            .collect();
+        let d_b: Vec<u64> = cands
+            .iter()
+            .map(|&o| sess.retrieve_exact(sub[sub.len() - 1], o) as u64)
+            .collect();
+        let on_chain: Vec<Option<(u64, u64)>> = cands
+            .iter()
+            .map(|&o| first_arrival.get(&sess.index().host(o)).copied())
+            .collect();
+
+        // Rank candidates at each sub-path node (the first node of every
+        // sub-path after the first is shared with the previous window —
+        // skip it to avoid duplicates).
+        let skip = usize::from(a > 0);
+        for &n in sub.iter().skip(skip) {
+            let (to_a, to_b) = first_arrival[&n];
+            let mut scored: Vec<(u64, ObjectId)> = cands
+                .iter()
+                .enumerate()
+                .map(|(ci, &o)| {
+                    let mut d = (to_a + d_a[ci]).min(to_b + d_b[ci]);
+                    if let Some((oa, _)) = on_chain[ci] {
+                        // Chain distance between the two first arrivals.
+                        d = d.min(to_a.abs_diff(oa));
+                    }
+                    (d, o)
+                })
+                .collect();
+            scored.sort_unstable();
+            let mut set: Vec<ObjectId> = scored[..k.min(scored.len())]
+                .iter()
+                .map(|&(_, o)| o)
+                .collect();
+            set.sort_unstable();
+            sets.push(set);
+        }
+    }
+    debug_assert_eq!(sets.len(), path.len());
+    merge_segments(sets.into_iter())
+}
+
+fn merge_segments(sets: impl Iterator<Item = Vec<ObjectId>>) -> Vec<CnnSegment> {
+    let mut out: Vec<CnnSegment> = Vec::new();
+    for (i, set) in sets.enumerate() {
+        match out.last_mut() {
+            Some(seg) if seg.result == set => seg.end = i,
+            _ => out.push(CnnSegment {
+                start: i,
+                end: i,
+                result: set,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{SignatureConfig, SignatureIndex};
+    use dsi_graph::generate::{random_planar, PlanarConfig};
+    use dsi_graph::{sssp, ObjectSet, RoadNetwork};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixture(seed: u64) -> (RoadNetwork, ObjectSet, SignatureIndex) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        (net, objects, idx)
+    }
+
+    /// A random walk of `len` nodes (consecutive nodes adjacent).
+    fn random_path(net: &RoadNetwork, len: usize, rng: &mut StdRng) -> Vec<NodeId> {
+        let mut path = vec![NodeId(rng.gen_range(0..net.num_nodes() as u32))];
+        while path.len() < len {
+            let cur = *path.last().unwrap();
+            let nbrs: Vec<NodeId> = net
+                .neighbors(cur)
+                .filter(|&(_, _, w)| w != dsi_graph::INFINITY)
+                .map(|(_, v, _)| v)
+                .collect();
+            let next = nbrs[rng.gen_range(0..nbrs.len())];
+            // Avoid immediate backtracking when possible.
+            if path.len() >= 2 && next == path[path.len() - 2] && nbrs.len() > 1 {
+                continue;
+            }
+            path.push(next);
+        }
+        path
+    }
+
+    /// kNN distance-sets per node straight from Dijkstra.
+    fn truth_sets(net: &RoadNetwork, objects: &ObjectSet, path: &[NodeId], k: usize) -> Vec<Vec<u32>> {
+        path.iter()
+            .map(|&n| {
+                let tree = sssp(net, n);
+                let mut d: Vec<u32> = objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+                d.sort_unstable();
+                d.truncate(k);
+                d
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unicons_matches_naive() {
+        let (net, _objects, idx) = fixture(211);
+        let mut sess = idx.session(&net);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..5 {
+            let path = random_path(&net, 25, &mut rng);
+            for k in [1usize, 3, 5] {
+                let fast = continuous_knn(&mut sess, &path, k);
+                let naive = continuous_knn_naive(&mut sess, &path, k);
+                // Result sets can differ only through equal-distance ties;
+                // compare distance multisets per node instead of ids.
+                let expand = |segs: &[CnnSegment]| {
+                    let mut per_node = vec![Vec::new(); path.len()];
+                    for s in segs {
+                        for slot in per_node.iter_mut().take(s.end + 1).skip(s.start) {
+                            *slot = s.result.clone();
+                        }
+                    }
+                    per_node
+                };
+                let (f, nv) = (expand(&fast), expand(&naive));
+                for (i, &n) in path.iter().enumerate() {
+                    let tree = sssp(&net, n);
+                    let dists = |set: &Vec<ObjectId>| {
+                        let mut d: Vec<u32> = set
+                            .iter()
+                            .map(|&o| tree.dist[idx.host(o).index()])
+                            .collect();
+                        d.sort_unstable();
+                        d
+                    };
+                    assert_eq!(dists(&f[i]), dists(&nv[i]), "node {i} of path, k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cnn_distances_match_dijkstra_truth() {
+        let (net, objects, idx) = fixture(223);
+        let mut sess = idx.session(&net);
+        let mut rng = StdRng::seed_from_u64(7);
+        let path = random_path(&net, 20, &mut rng);
+        let k = 4;
+        let segs = continuous_knn(&mut sess, &path, k);
+        let truth = truth_sets(&net, &objects, &path, k);
+        for seg in &segs {
+            for i in seg.start..=seg.end {
+                let tree = sssp(&net, path[i]);
+                let mut got: Vec<u32> = seg
+                    .result
+                    .iter()
+                    .map(|&o| tree.dist[idx.host(o).index()])
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, truth[i], "path index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_partition_the_path() {
+        let (net, _, idx) = fixture(227);
+        let mut sess = idx.session(&net);
+        let mut rng = StdRng::seed_from_u64(8);
+        let path = random_path(&net, 30, &mut rng);
+        let segs = continuous_knn(&mut sess, &path, 3);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, path.len() - 1);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start, "segments must be contiguous");
+            assert_ne!(w[0].result, w[1].result, "adjacent segments must differ");
+        }
+    }
+
+    #[test]
+    fn single_node_path() {
+        let (net, _, idx) = fixture(229);
+        let mut sess = idx.session(&net);
+        let segs = continuous_knn(&mut sess, &[NodeId(5)], 2);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].start, segs[0].end), (0, 0));
+        assert_eq!(segs[0].result.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_yields_one_empty_segment() {
+        let (net, _, idx) = fixture(233);
+        let mut sess = idx.session(&net);
+        let mut rng = StdRng::seed_from_u64(9);
+        let path = random_path(&net, 10, &mut rng);
+        let segs = continuous_knn(&mut sess, &path, 0);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].result.is_empty());
+    }
+
+    #[test]
+    fn fewer_knn_evaluations_than_naive_on_chain_rich_networks() {
+        // UNICONS pays off when sub-paths are long, i.e. when most path
+        // nodes are degree-2 shape points (the common case on real road
+        // data). Build a comb: one long chain with occasional branches.
+        let mut b = dsi_graph::NetworkBuilder::new();
+        let n = 240;
+        let spine: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(dsi_graph::Point::new(i as f64, 0.0)))
+            .collect();
+        for w in spine.windows(2) {
+            b.add_edge(w[0], w[1], 2);
+        }
+        let mut teeth = Vec::new();
+        for i in (0..n).step_by(40) {
+            let t = b.add_node(dsi_graph::Point::new(i as f64, 3.0));
+            b.add_edge(spine[i], t, 3);
+            teeth.push(t);
+        }
+        let net = b.build();
+        let mut hosts = teeth.clone();
+        hosts.push(spine[n - 1]);
+        let objects = ObjectSet::from_nodes(&net, hosts);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+
+        let path: Vec<NodeId> = spine[..120].to_vec();
+        let mut s1 = idx.session(&net);
+        s1.reset_stats();
+        let fast = continuous_knn(&mut s1, &path, 2);
+        let fast_reads = s1.stats.signature_reads;
+        let mut s2 = idx.session(&net);
+        s2.reset_stats();
+        let naive = continuous_knn_naive(&mut s2, &path, 2);
+        let naive_reads = s2.stats.signature_reads;
+        assert_eq!(fast, naive, "comb network has no distance ties");
+        // The fast path runs kNN only at sub-path endpoints and two exact
+        // retrievals per candidate; the naive path runs a full kNN per node.
+        assert!(
+            fast_reads < naive_reads,
+            "fast {fast_reads} vs naive {naive_reads}"
+        );
+    }
+}

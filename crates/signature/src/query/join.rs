@@ -1,0 +1,140 @@
+//! Network ε-joins (§4.3): pairs of objects from two datasets whose network
+//! distance is within `ε`.
+//!
+//! With objects on nodes, `d(a, b)` equals the node-to-object distance from
+//! `a`'s host node to `b`, so a join probes the *inner* dataset's signature
+//! index once per outer object, pruning by category and refining only the
+//! straddling candidates — the same gradual-refinement paradigm as §4.3.
+
+use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet};
+
+use crate::ops::Session;
+use crate::query::range::range_query;
+
+/// ε-join: all pairs `(a, b)` with `a` from `outer` (any object set placed
+/// on the same network), `b` indexed by `sess`, and `d(a, b) ≤ eps`.
+/// Pairs are produced in `(a, b)` order.
+pub fn epsilon_join(
+    sess: &mut Session<'_>,
+    outer: &ObjectSet,
+    eps: Dist,
+) -> Vec<(ObjectId, ObjectId)> {
+    let mut out = Vec::new();
+    for (a, host) in outer.iter() {
+        for b in range_query(sess, host, eps) {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// Self ε-join over the indexed dataset itself: unordered distinct pairs
+/// `(a, b)`, `a < b`, with `d(a, b) ≤ eps`.
+pub fn self_epsilon_join(sess: &mut Session<'_>, eps: Dist) -> Vec<(ObjectId, ObjectId)> {
+    let mut out = Vec::new();
+    for a in sess.index().objects() {
+        let host: NodeId = sess.index().host(a);
+        for b in range_query(sess, host, eps) {
+            if a < b {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{SignatureConfig, SignatureIndex};
+    use dsi_graph::generate::{random_planar, PlanarConfig};
+    use dsi_graph::sssp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn join_matches_pairwise_truth() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 250,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let inner = ObjectSet::uniform(&net, 0.06, &mut rng);
+        let outer = ObjectSet::uniform(&net, 0.04, &mut rng);
+        let idx = SignatureIndex::build(&net, &inner, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        for eps in [10u32, 60, 300] {
+            let got = epsilon_join(&mut sess, &outer, eps);
+            let mut truth = Vec::new();
+            for (a, ha) in outer.iter() {
+                let tree = sssp(&net, ha);
+                for (b, hb) in inner.iter() {
+                    if tree.dist[hb.index()] <= eps {
+                        truth.push((a, b));
+                    }
+                }
+            }
+            assert_eq!(got, truth, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn self_join_excludes_self_pairs_and_duplicates() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 200,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.08, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let pairs = self_epsilon_join(&mut sess, 100);
+        for &(a, b) in &pairs {
+            assert!(a < b);
+        }
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pairs.len());
+        // Cross-check against the object-distance truth.
+        for (a, ha) in objects.iter() {
+            let tree = sssp(&net, ha);
+            for (b, hb) in objects.iter() {
+                if a < b {
+                    let expected = tree.dist[hb.index()] <= 100;
+                    assert_eq!(pairs.contains(&(a, b)), expected, "pair {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_eps_matches_colocation_only() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 150,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        // Objects occupy distinct nodes, so a self-join at eps=0 is empty.
+        assert!(self_epsilon_join(&mut sess, 0).is_empty());
+        // But joining the dataset against itself as "outer" pairs each
+        // object with itself.
+        let pairs = epsilon_join(&mut sess, &objects, 0);
+        assert_eq!(pairs.len(), objects.len());
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! k-nearest-neighbour queries (Algorithm 6), in the paper's three flavours.
+
+use dsi_graph::{Dist, NodeId, ObjectId};
+
+use crate::ops::Session;
+
+/// What a kNN query must return about its results (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KnnType {
+    /// Exact distance of every result.
+    Type1,
+    /// Results in distance order, no distances.
+    Type2,
+    /// The result set only — no order, no distances.
+    Type3,
+}
+
+/// One kNN result; `dist` is populated for [`KnnType::Type1`] queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnnResult {
+    pub object: ObjectId,
+    pub dist: Option<Dist>,
+}
+
+/// The k nearest objects to `n`.
+///
+/// Algorithm 6: bucket all objects by their category in `s(n)`; whole
+/// buckets below the boundary are confirmed without any refinement, the
+/// boundary bucket is distance-sorted (§3.2.3) and cut at `k`, and the rest
+/// are discarded. Type 2 additionally sorts the confirmed buckets (bucket
+/// concatenation is already globally ordered since category ranges are
+/// disjoint); Type 1 retrieves exact distances instead.
+pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<KnnResult> {
+    let d = sess.index().num_objects();
+    let k = k.min(d);
+    if k == 0 {
+        return Vec::new();
+    }
+    let sig = sess.read_signature(n);
+    let m_cats = sess.index().partition().num_categories();
+    let mut buckets: Vec<Vec<ObjectId>> = vec![Vec::new(); m_cats];
+    for o in sess.index().objects() {
+        buckets[sig.cats[o.index()] as usize].push(o);
+    }
+
+    // Confirm whole buckets; sort and cut the boundary bucket `m`.
+    let mut confirmed: Vec<Vec<ObjectId>> = Vec::new();
+    let mut total = 0usize;
+    for bucket in buckets.iter_mut() {
+        if bucket.is_empty() {
+            continue;
+        }
+        if total + bucket.len() <= k {
+            total += bucket.len();
+            confirmed.push(std::mem::take(bucket));
+            if total == k {
+                break;
+            }
+        } else {
+            let mut boundary = std::mem::take(bucket);
+            let keep = k - total;
+            match typ {
+                // Types 3 and 1 need the correct result *set* at the cut;
+                // type 1 then orders it by the retrieved exact distances.
+                KnnType::Type3 | KnnType::Type1 => sess.select_nearest(n, &mut boundary, keep),
+                // Type 2's answer is an ordering, so the boundary bucket is
+                // distance-sorted (Algorithm 4).
+                KnnType::Type2 => sess.sort_objects(n, &mut boundary),
+            }
+            boundary.truncate(keep);
+            confirmed.push(boundary);
+            break;
+        }
+    }
+
+    match typ {
+        KnnType::Type3 => confirmed
+            .into_iter()
+            .flatten()
+            .map(|object| KnnResult { object, dist: None })
+            .collect(),
+        KnnType::Type2 => {
+            // Sort each confirmed bucket; buckets are already in category
+            // (hence distance-range) order.
+            let mut out = Vec::with_capacity(k);
+            for mut bucket in confirmed {
+                sess.sort_objects(n, &mut bucket);
+                out.extend(bucket.into_iter().map(|object| KnnResult {
+                    object,
+                    dist: None,
+                }));
+            }
+            out
+        }
+        KnnType::Type1 => {
+            let mut with_d: Vec<KnnResult> = confirmed
+                .into_iter()
+                .flatten()
+                .map(|object| KnnResult {
+                    object,
+                    dist: Some(sess.retrieve_exact(n, object)),
+                })
+                .collect();
+            with_d.sort_by_key(|r| (r.dist, r.object));
+            with_d
+        }
+    }
+}
+
+/// A kNN result with the full shortest path to the object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnnPathResult {
+    pub object: ObjectId,
+    pub dist: Dist,
+    /// Node sequence from the query node to the object's host (inclusive).
+    pub path: Vec<NodeId>,
+}
+
+/// Type-1 kNN **with path information returned** — the query §1 singles out
+/// as unsupported by solution-based NN lists ("since the NN list does not
+/// store the path to the NN objects, it does not even support kNN queries
+/// with path information returned"). Backtracking links make it a free
+/// by-product here.
+pub fn knn_with_paths(sess: &mut Session<'_>, n: NodeId, k: usize) -> Vec<KnnPathResult> {
+    knn(sess, n, k, KnnType::Type1)
+        .into_iter()
+        .map(|r| KnnPathResult {
+            object: r.object,
+            dist: r.dist.expect("type-1 results carry distances"),
+            path: sess.path_to_object(n, r.object),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{SignatureConfig, SignatureIndex};
+    use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    use dsi_graph::{sssp, ObjectSet, RoadNetwork};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(seed: u64, nodes: usize, p: f64) -> (RoadNetwork, ObjectSet, SignatureIndex) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: nodes,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, p, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        (net, objects, idx)
+    }
+
+    /// True distances of all objects from `n`, ascending.
+    fn truth(net: &RoadNetwork, objects: &ObjectSet, n: NodeId) -> Vec<(Dist, ObjectId)> {
+        let tree = sssp(net, n);
+        let mut v: Vec<(Dist, ObjectId)> = objects
+            .iter()
+            .map(|(o, h)| (tree.dist[h.index()], o))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn type3_returns_a_correct_set() {
+        let (net, objects, idx) = fixture(3, 400, 0.05);
+        let mut sess = idx.session(&net);
+        for n in net.nodes().step_by(37) {
+            let t = truth(&net, &objects, n);
+            for k in [1usize, 3, 7, objects.len()] {
+                let got = knn(&mut sess, n, k, KnnType::Type3);
+                assert_eq!(got.len(), k.min(objects.len()));
+                // The k-th smallest distance bounds every returned object.
+                let kth = t[k.min(t.len()) - 1].0;
+                for r in &got {
+                    let d = t.iter().find(|&&(_, o)| o == r.object).unwrap().0;
+                    assert!(d <= kth, "object {:?} at {d} beyond k-th {kth}", r.object);
+                }
+                // And the set must contain every object strictly closer
+                // than the k-th distance.
+                for &(d, o) in t.iter().take_while(|&&(d, _)| d < kth) {
+                    assert!(
+                        got.iter().any(|r| r.object == o),
+                        "missing {o} at {d} (kth={kth})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn type2_order_is_correct() {
+        let (net, objects, idx) = fixture(5, 300, 0.07);
+        let mut sess = idx.session(&net);
+        for n in net.nodes().step_by(31) {
+            let tree = sssp(&net, n);
+            let got = knn(&mut sess, n, 6, KnnType::Type2);
+            let dists: Vec<Dist> = got
+                .iter()
+                .map(|r| tree.dist[objects.node_of(r.object).index()])
+                .collect();
+            for w in dists.windows(2) {
+                assert!(w[0] <= w[1], "type-2 order violated: {dists:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn type1_distances_are_exact_and_sorted() {
+        let (net, objects, idx) = fixture(7, 300, 0.06);
+        let mut sess = idx.session(&net);
+        for n in net.nodes().step_by(43) {
+            let tree = sssp(&net, n);
+            let got = knn(&mut sess, n, 5, KnnType::Type1);
+            for r in &got {
+                assert_eq!(
+                    r.dist.unwrap(),
+                    tree.dist[objects.node_of(r.object).index()]
+                );
+            }
+            for w in got.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_all() {
+        let (net, objects, idx) = fixture(9, 200, 0.03);
+        let mut sess = idx.session(&net);
+        let got = knn(&mut sess, NodeId(0), 10 * objects.len(), KnnType::Type1);
+        assert_eq!(got.len(), objects.len());
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (net, _, idx) = fixture(11, 150, 0.05);
+        let mut sess = idx.session(&net);
+        assert!(knn(&mut sess, NodeId(3), 0, KnnType::Type3).is_empty());
+    }
+
+    #[test]
+    fn query_on_host_node_returns_its_object_first() {
+        let net = grid(10, 10);
+        let objects = ObjectSet::from_nodes(&net, vec![NodeId(55), NodeId(0), NodeId(99)]);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let got = knn(&mut sess, NodeId(55), 1, KnnType::Type1);
+        assert_eq!(got[0].object, ObjectId(0));
+        assert_eq!(got[0].dist, Some(0));
+    }
+
+    #[test]
+    fn knn_with_paths_returns_valid_shortest_paths() {
+        let (net, objects, idx) = fixture(17, 300, 0.05);
+        let mut sess = idx.session(&net);
+        for n in net.nodes().step_by(53) {
+            for r in knn_with_paths(&mut sess, n, 3) {
+                assert_eq!(r.path.first(), Some(&n));
+                assert_eq!(r.path.last(), Some(&objects.node_of(r.object)));
+                let len: Dist = r
+                    .path
+                    .windows(2)
+                    .map(|w| net.edge_weight(w[0], w[1]).expect("adjacent"))
+                    .sum();
+                assert_eq!(len, r.dist, "path length must equal the distance");
+            }
+        }
+    }
+
+    #[test]
+    fn three_types_agree_on_the_result_set() {
+        let (net, _, idx) = fixture(13, 250, 0.08);
+        let mut sess = idx.session(&net);
+        for n in net.nodes().step_by(29) {
+            let mut sets: Vec<Vec<ObjectId>> = [KnnType::Type1, KnnType::Type2, KnnType::Type3]
+                .iter()
+                .map(|&t| {
+                    let mut v: Vec<ObjectId> =
+                        knn(&mut sess, n, 4, t).into_iter().map(|r| r.object).collect();
+                    v.sort();
+                    v
+                })
+                .collect();
+            let t1 = sets.remove(0);
+            for s in sets {
+                // Result sets can legitimately differ only among objects at
+                // exactly the k-th distance (ties); on this fixture with k=4
+                // ties are rare — require equality of distances instead.
+                let tree = sssp(&net, n);
+                let dist_of = |v: &Vec<ObjectId>| -> Vec<Dist> {
+                    let mut d: Vec<Dist> = v
+                        .iter()
+                        .map(|&o| tree.dist[idx.host(o).index()])
+                        .collect();
+                    d.sort();
+                    d
+                };
+                assert_eq!(dist_of(&t1), dist_of(&s), "node {n}");
+            }
+        }
+    }
+}

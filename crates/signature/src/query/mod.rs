@@ -1,0 +1,73 @@
+//! Query processing on distance signatures (§4).
+//!
+//! The common paradigm (§4.3): read the query node's signature to classify
+//! every object as result / non-result / candidate by its distance category,
+//! then, for each candidate only, retrieve gradually more accurate distances
+//! (guided backtracking) until it is confirmed or rejected.
+
+pub mod aggregate;
+pub mod cnn;
+pub mod join;
+pub mod knn;
+pub mod range;
+
+use dsi_graph::{Dist, NodeId, ObjectId};
+
+/// Inherent convenience methods mirroring the free query functions.
+impl crate::ops::Session<'_> {
+    /// [`range::range_query`]: objects within `eps` of `n`.
+    pub fn range(&mut self, n: NodeId, eps: Dist) -> Vec<ObjectId> {
+        range::range_query(self, n, eps)
+    }
+
+    /// [`knn::knn`]: the `k` nearest objects to `n`.
+    pub fn knn(&mut self, n: NodeId, k: usize, typ: knn::KnnType) -> Vec<knn::KnnResult> {
+        knn::knn(self, n, k, typ)
+    }
+
+    /// [`knn::knn_with_paths`]: type-1 kNN with full shortest paths.
+    pub fn knn_with_paths(&mut self, n: NodeId, k: usize) -> Vec<knn::KnnPathResult> {
+        knn::knn_with_paths(self, n, k)
+    }
+
+    /// [`aggregate::aggregate_within`]: count/sum/min/max over a range.
+    pub fn aggregate(&mut self, n: NodeId, eps: Dist) -> aggregate::RangeAggregate {
+        aggregate::aggregate_within(self, n, eps)
+    }
+
+    /// [`cnn::continuous_knn`]: kNN valid scopes along a path.
+    pub fn continuous_knn(&mut self, path: &[NodeId], k: usize) -> Vec<cnn::CnnSegment> {
+        cnn::continuous_knn(self, path, k)
+    }
+}
+
+#[cfg(test)]
+mod session_method_tests {
+    use crate::index::{SignatureConfig, SignatureIndex};
+    use crate::query::knn::KnnType;
+    use dsi_graph::generate::grid;
+    use dsi_graph::{NodeId, ObjectSet};
+
+    #[test]
+    fn session_methods_delegate_to_free_functions() {
+        let net = grid(10, 10);
+        let objects = ObjectSet::from_nodes(&net, vec![NodeId(0), NodeId(55), NodeId(99)]);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let q = NodeId(44);
+        assert_eq!(sess.range(q, 6), super::range::range_query(&mut sess, q, 6));
+        assert_eq!(
+            sess.knn(q, 2, KnnType::Type1),
+            super::knn::knn(&mut sess, q, 2, KnnType::Type1)
+        );
+        assert_eq!(sess.aggregate(q, 10), super::aggregate::aggregate_within(&mut sess, q, 10));
+        assert_eq!(
+            sess.knn_with_paths(q, 1),
+            super::knn::knn_with_paths(&mut sess, q, 1)
+        );
+        assert_eq!(
+            sess.continuous_knn(&[q], 1),
+            super::cnn::continuous_knn(&mut sess, &[q], 1)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Range queries (Algorithm 5): all objects within network distance `ε` of
+//! a node.
+
+use dsi_graph::{Dist, NodeId, ObjectId};
+
+use crate::category::DistRange;
+use crate::ops::Session;
+
+/// Objects `o` with `d(n, o) ≤ eps`, in object-id order.
+///
+/// Objects whose category upper bound is below `eps` are accepted and ones
+/// whose lower bound exceeds `eps` rejected straight from `s(n)`; only the
+/// straddling candidates pay approximate retrieval with `∆ = [ε, ε]`.
+pub fn range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> Vec<ObjectId> {
+    let sig = sess.read_signature(n);
+    let part = sess.index().partition();
+    let delta = DistRange::exact(eps);
+    let mut out = Vec::new();
+    for o in sess.index().objects() {
+        let r = part.range_of(sig.cats[o.index()]);
+        if r.hi <= eps {
+            out.push(o);
+        } else if r.lo > eps {
+            continue;
+        } else {
+            let refined = sess.retrieve_approx(n, o, delta);
+            debug_assert!(!refined.partially_intersects(&delta));
+            if refined.hi <= eps {
+                out.push(o);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{SignatureConfig, SignatureIndex};
+    use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    use dsi_graph::{sssp, ObjectSet, RoadNetwork};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth(net: &RoadNetwork, objects: &ObjectSet, n: NodeId, eps: Dist) -> Vec<ObjectId> {
+        let tree = sssp(net, n);
+        objects
+            .iter()
+            .filter(|&(_, h)| tree.dist[h.index()] <= eps)
+            .map(|(o, _)| o)
+            .collect()
+    }
+
+    #[test]
+    fn range_query_matches_dijkstra_truth() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 350,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.06, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        for n in net.nodes().step_by(13) {
+            for eps in [0u32, 3, 17, 60, 200, 100_000] {
+                assert_eq!(
+                    range_query(&mut sess, n, eps),
+                    truth(&net, &objects, n, eps),
+                    "node {n}, eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_returns_colocated_object_only() {
+        let net = grid(6, 6);
+        let objects = ObjectSet::from_nodes(&net, vec![NodeId(8), NodeId(30)]);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        assert_eq!(range_query(&mut sess, NodeId(8), 0), vec![ObjectId(0)]);
+        assert!(range_query(&mut sess, NodeId(9), 0).is_empty());
+    }
+
+    #[test]
+    fn huge_radius_returns_everything() {
+        let net = grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let objects = ObjectSet::uniform(&net, 0.2, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let all: Vec<ObjectId> = objects.objects().collect();
+        assert_eq!(range_query(&mut sess, NodeId(0), 1_000_000), all);
+    }
+
+    #[test]
+    fn small_radius_reads_few_signatures() {
+        // §4.1: the search is guided — a local query must not touch a
+        // number of records anywhere near the node count.
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 1000,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.02, &mut rng);
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        sess.reset_stats();
+        let _ = range_query(&mut sess, NodeId(0), 5);
+        assert!(
+            (sess.stats.signature_reads as usize) < net.num_nodes() / 4,
+            "read {} signatures out of {} nodes",
+            sess.stats.signature_reads,
+            net.num_nodes()
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! LRU buffer pool with logical/physical access counters.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::layout::PageId;
+
+/// Page-access counters collected by a [`BufferPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page reads requested (buffer hits included).
+    pub logical: u64,
+    /// Page reads that missed the buffer — "disk page accesses", the
+    /// paper's reported metric.
+    pub faults: u64,
+}
+
+impl IoStats {
+    /// Buffer hit ratio in `[0, 1]`; `1.0` when nothing was accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical == 0 {
+            1.0
+        } else {
+            1.0 - self.faults as f64 / self.logical as f64
+        }
+    }
+}
+
+/// An LRU page cache that only does accounting: `access(page)` records a
+/// logical read and, if the page is not resident, a fault plus an eviction
+/// when full.
+///
+/// Recency is tracked with the classic lazy-deletion queue: every access
+/// pushes `(page, tick)` and bumps the page's tick in the map; eviction pops
+/// stale queue entries until it finds one whose tick is current.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// Resident pages → latest access tick.
+    resident: HashMap<PageId, u64>,
+    /// Access history (may contain stale entries).
+    queue: VecDeque<(PageId, u64)>,
+    tick: u64,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// A pool caching up to `capacity` pages. A capacity of 0 disables
+    /// caching entirely (every logical access faults).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            resident: HashMap::with_capacity(capacity * 2),
+            queue: VecDeque::with_capacity(capacity * 2),
+            tick: 0,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Record an access to `page`.
+    pub fn access(&mut self, page: PageId) {
+        self.stats.logical += 1;
+        self.tick += 1;
+        if self.capacity == 0 {
+            self.stats.faults += 1;
+            return;
+        }
+        let was_resident = self.resident.contains_key(&page);
+        if !was_resident {
+            self.stats.faults += 1;
+            if self.resident.len() >= self.capacity {
+                self.evict_lru();
+            }
+        }
+        self.resident.insert(page, self.tick);
+        self.queue.push_back((page, self.tick));
+        // Keep the lazy queue from growing unboundedly.
+        if self.queue.len() > 8 * self.capacity.max(16) {
+            self.compact_queue();
+        }
+    }
+
+    /// Record accesses to a contiguous page range (a multi-page record).
+    pub fn access_range(&mut self, pages: std::ops::Range<PageId>) {
+        for p in pages {
+            self.access(p);
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        while let Some((page, tick)) = self.queue.pop_front() {
+            if self.resident.get(&page) == Some(&tick) {
+                self.resident.remove(&page);
+                return;
+            }
+        }
+        // Queue exhausted without a current entry — resident must be empty.
+        debug_assert!(self.resident.is_empty());
+    }
+
+    fn compact_queue(&mut self) {
+        let resident = &self.resident;
+        self.queue.retain(|(p, t)| resident.get(p) == Some(t));
+    }
+
+    /// Counters accumulated since construction or the last
+    /// [`reset_stats`](Self::reset_stats).
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zero the counters, keeping cache contents (warm cache across a
+    /// workload, fresh counters per query).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Drop all cached pages and counters (cold start).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.queue.clear();
+        self.stats = IoStats::default();
+        self.tick = 0;
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether `page` is cached (test support).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.resident.contains_key(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_accesses_fault() {
+        let mut p = BufferPool::new(4);
+        for i in 0..4 {
+            p.access(i);
+        }
+        assert_eq!(p.stats(), IoStats { logical: 4, faults: 4 });
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut p = BufferPool::new(4);
+        p.access(1);
+        p.access(1);
+        p.access(1);
+        assert_eq!(p.stats(), IoStats { logical: 3, faults: 1 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = BufferPool::new(2);
+        p.access(1);
+        p.access(2);
+        p.access(1); // 2 is now LRU
+        p.access(3); // evicts 2
+        assert!(p.is_resident(1));
+        assert!(p.is_resident(3));
+        assert!(!p.is_resident(2));
+        p.access(2); // faults again
+        assert_eq!(p.stats().faults, 4);
+    }
+
+    #[test]
+    fn zero_capacity_always_faults() {
+        let mut p = BufferPool::new(0);
+        for _ in 0..5 {
+            p.access(7);
+        }
+        assert_eq!(p.stats(), IoStats { logical: 5, faults: 5 });
+    }
+
+    #[test]
+    fn reset_keeps_cache_contents() {
+        let mut p = BufferPool::new(4);
+        p.access(9);
+        p.reset_stats();
+        p.access(9);
+        assert_eq!(p.stats(), IoStats { logical: 1, faults: 0 });
+    }
+
+    #[test]
+    fn clear_cools_the_cache() {
+        let mut p = BufferPool::new(4);
+        p.access(9);
+        p.clear();
+        p.access(9);
+        assert_eq!(p.stats(), IoStats { logical: 1, faults: 1 });
+    }
+
+    #[test]
+    fn access_range_counts_each_page() {
+        let mut p = BufferPool::new(8);
+        p.access_range(3..6);
+        assert_eq!(p.stats(), IoStats { logical: 3, faults: 3 });
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut p = BufferPool::new(2);
+        p.access(1);
+        p.access(1);
+        p.access(1);
+        p.access(1);
+        assert_eq!(p.stats().hit_ratio(), 0.75);
+        assert_eq!(IoStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn heavy_mixed_workload_respects_capacity() {
+        let mut p = BufferPool::new(8);
+        for i in 0..10_000u32 {
+            p.access(i % 64);
+        }
+        assert!(p.resident_pages() <= 8);
+        assert_eq!(p.stats().logical, 10_000);
+    }
+}

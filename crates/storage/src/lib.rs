@@ -1,0 +1,27 @@
+//! Disk model for the reproduction: pages, connectivity-clustered layout,
+//! and an LRU buffer pool with access counters.
+//!
+//! The paper's primary query-cost metric is the **number of disk page
+//! accesses** (§6), with nodes, adjacency lists and signatures stored in
+//! 4 KiB pages sorted by the connectivity-clustered access method (CCAM,
+//! Shekhar & Liu). This crate reproduces that cost model explicitly:
+//!
+//! * [`PageLayout`] packs variable-size records into [`PAGE_SIZE`] pages.
+//! * [`ccam_order`] produces a connectivity-clustered record order, so
+//!   graph-adjacent node records land on the same or nearby pages.
+//! * [`BufferPool`] is an LRU page cache; every structure charges its page
+//!   reads through it, and experiments read the [`IoStats`] counters.
+//! * [`PagedStore`] glues the three together for one on-disk structure.
+//!
+//! The actual data stays in ordinary in-memory structures — the disk model
+//! only *accounts* for where each byte would live and what a query would
+//! have to read, which is exactly the deterministic part of the paper's
+//! metric.
+
+pub mod buffer;
+pub mod ccam;
+pub mod layout;
+
+pub use buffer::{BufferPool, IoStats};
+pub use ccam::ccam_order;
+pub use layout::{PageId, PageLayout, PagedStore, PAGE_SIZE};

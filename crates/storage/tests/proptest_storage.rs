@@ -1,0 +1,90 @@
+//! Property tests of the disk model: packing invariants and LRU behaviour.
+
+use dsi_storage::{BufferPool, PageLayout, PagedStore, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn layout_records_never_overlap_and_cover_their_bytes(
+        sizes in proptest::collection::vec(0usize..3 * PAGE_SIZE, 1..60),
+    ) {
+        let layout = PageLayout::pack(&sizes);
+        // Page ranges are monotone and consistent with sizes.
+        let mut prev_end = 0usize;
+        for (i, &s) in sizes.iter().enumerate() {
+            let pages = layout.pages_of(i);
+            let n_pages = pages.len();
+            if s == 0 {
+                prop_assert_eq!(n_pages, 0);
+            } else {
+                // A record of s bytes spans at most ceil(s/P) + 1 pages and
+                // at least ceil(s/P).
+                prop_assert!(n_pages >= s.div_ceil(PAGE_SIZE));
+                prop_assert!(n_pages <= s.div_ceil(PAGE_SIZE) + 1);
+                // Small records never straddle.
+                if s <= PAGE_SIZE {
+                    prop_assert_eq!(n_pages, 1);
+                }
+                prop_assert!(pages.start >= prev_end.saturating_sub(1) as u32);
+                prev_end = pages.end as usize;
+            }
+        }
+        prop_assert_eq!(layout.payload_bytes(), sizes.iter().map(|&s| s as u64).sum::<u64>());
+        prop_assert!(layout.disk_bytes() >= layout.payload_bytes());
+    }
+
+    #[test]
+    fn store_reads_are_deterministic(
+        sizes in proptest::collection::vec(1usize..2000, 1..40),
+        accesses in proptest::collection::vec(0usize..40, 1..200),
+        cap in 0usize..16,
+    ) {
+        let n = sizes.len();
+        let store = PagedStore::sequential(&sizes, 0);
+        let run = || {
+            let mut pool = BufferPool::new(cap);
+            for &a in &accesses {
+                store.read(a % n, &mut pool);
+            }
+            (pool.stats().logical, pool.stats().faults)
+        };
+        let (l1, f1) = run();
+        let (l2, f2) = run();
+        prop_assert_eq!((l1, f1), (l2, f2));
+        prop_assert!(f1 <= l1);
+    }
+
+    #[test]
+    fn bigger_buffers_never_fault_more(
+        accesses in proptest::collection::vec(0u32..64, 1..300),
+    ) {
+        // LRU is a stack algorithm: fault count is monotone in capacity.
+        let faults = |cap: usize| {
+            let mut pool = BufferPool::new(cap);
+            for &a in &accesses {
+                pool.access(a);
+            }
+            pool.stats().faults
+        };
+        let mut prev = u64::MAX;
+        for cap in [1usize, 2, 4, 8, 16, 64] {
+            let f = faults(cap);
+            prop_assert!(f <= prev, "cap {cap}: {f} > {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn resident_set_never_exceeds_capacity(
+        accesses in proptest::collection::vec(0u32..1000, 1..500),
+        cap in 1usize..32,
+    ) {
+        let mut pool = BufferPool::new(cap);
+        for &a in &accesses {
+            pool.access(a);
+            prop_assert!(pool.resident_pages() <= cap);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Scenario: keeping the index live under traffic updates (§5.4), plus
+//! dataset-to-dataset analytics (ε-join, §4.3).
+//!
+//! A delivery company watches road conditions: congested segments get their
+//! weight raised, cleared ones lowered, and closures remove edges outright.
+//! The signature index is maintained incrementally — no rebuild — and
+//! queries stay exact throughout. Warehouses and customers form two
+//! datasets joined within a delivery radius.
+//!
+//! ```sh
+//! cargo run --release --example live_traffic
+//! ```
+
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
+use distance_signature::graph::{NodeId, ObjectSet, INFINITY};
+use distance_signature::signature::query::join::epsilon_join;
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::{SignatureConfig, SignatureIndex, SignatureMaintainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut net = random_planar(
+        &PlanarConfig {
+            num_nodes: 4_000,
+            mean_degree: 4.0,
+            max_weight: 10,
+        },
+        &mut rng,
+    );
+    let warehouses = ObjectSet::uniform(&net, 0.005, &mut rng);
+    println!(
+        "network: {} junctions; {} warehouses",
+        net.num_nodes(),
+        warehouses.len()
+    );
+
+    let mut index = SignatureIndex::build(&net, &warehouses, &SignatureConfig::default());
+    let mut maintainer = SignatureMaintainer::new(&net, &warehouses);
+
+    // Customers are a *second* dataset, joined against the warehouse index.
+    let customer_hosts: Vec<NodeId> = (0..30)
+        .map(|_| loop {
+            let n = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            if warehouses.object_at(n).is_none() {
+                break n;
+            }
+        })
+        .collect();
+    let customers = ObjectSet::from_nodes(&net, customer_hosts);
+
+    let depot = NodeId(123);
+    {
+        let mut session = index.session(&net);
+        let before = knn(&mut session, depot, 3, KnnType::Type1);
+        println!("\nbefore traffic, 3 nearest warehouses from {depot}:");
+        for r in &before {
+            println!("  warehouse {} at {}", r.object, r.dist.unwrap());
+        }
+        let pairs = epsilon_join(&mut session, &customers, 60);
+        println!(
+            "ε-join: {} (customer, warehouse) pairs within distance 60",
+            pairs.len()
+        );
+    }
+
+    // --- A day of traffic: 40 random condition changes. ---
+    println!("\napplying 40 traffic updates (congestion / clearing / closures)...");
+    let mut closed: Vec<(NodeId, NodeId, u32)> = Vec::new();
+    let mut total_entries = 0usize;
+    let mut total_pages = 0u64;
+    for round in 0..40 {
+        let (u, v, w) = loop {
+            let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            let nbrs: Vec<_> = net
+                .neighbors(u)
+                .filter(|&(_, _, w)| w != INFINITY)
+                .collect();
+            if !nbrs.is_empty() {
+                let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
+                break (u, v, w);
+            }
+        };
+        let new_w = match round % 4 {
+            0 => w + 5,             // congestion
+            1 => (w / 2).max(1),    // cleared
+            2 => {
+                closed.push((u, v, w));
+                INFINITY // closure
+            }
+            _ => match closed.pop() {
+                Some((cu, cv, cw)) => {
+                    let r = maintainer.update_edge(&mut net, &mut index, cu, cv, cw);
+                    total_entries += r.entries_changed;
+                    total_pages += r.pages_touched;
+                    continue; // reopened a closed road instead
+                }
+                None => w + 1,
+            },
+        };
+        let r = maintainer.update_edge(&mut net, &mut index, u, v, new_w);
+        total_entries += r.entries_changed;
+        total_pages += r.pages_touched;
+    }
+    println!(
+        "maintenance total: {total_entries} signature entries rewritten, {total_pages} pages touched"
+    );
+    println!(
+        "(a full rebuild would rewrite {} entries)",
+        net.num_nodes() * warehouses.len()
+    );
+
+    // --- Queries after maintenance are still exact. ---
+    let mut session = index.session(&net);
+    let after = knn(&mut session, depot, 3, KnnType::Type1);
+    println!("\nafter traffic, 3 nearest warehouses from {depot}:");
+    for r in &after {
+        println!("  warehouse {} at {}", r.object, r.dist.unwrap());
+    }
+    // Verify against a fresh Dijkstra.
+    let tree = distance_signature::graph::sssp(&net, depot);
+    let mut truth: Vec<u32> = warehouses
+        .iter()
+        .map(|(_, h)| tree.dist[h.index()])
+        .collect();
+    truth.sort_unstable();
+    assert_eq!(
+        after.iter().map(|r| r.dist.unwrap()).collect::<Vec<_>>(),
+        truth[..3].to_vec(),
+        "maintained index must stay exact"
+    );
+    println!("verified against fresh Dijkstra ✓");
+
+    let pairs = epsilon_join(&mut session, &customers, 60);
+    println!("ε-join after maintenance: {} pairs within 60", pairs.len());
+}

@@ -1,0 +1,114 @@
+//! Scenario: ambulance dispatch over a city road network.
+//!
+//! Hospitals are a *sparse* dataset (the regime the signature index
+//! targets — §1 notes dense datasets are served well enough by plain
+//! Dijkstra). An incident happens at a junction; dispatch needs:
+//!
+//! 1. the nearest hospitals **with exact distances and routes** (type-1
+//!    kNN + path reconstruction via backtracking links),
+//! 2. all hospitals within a service radius (range query),
+//! 3. the same answers from the online-Dijkstra baseline (INE), to show
+//!    the page-access gap the paper measures.
+//!
+//! ```sh
+//! cargo run --release --example poi_dispatch
+//! ```
+
+use distance_signature::baselines::Ine;
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
+use distance_signature::graph::{NodeId, ObjectSet};
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::query::range::range_query;
+use distance_signature::signature::{SignatureConfig, SignatureIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(911);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 8_000,
+            mean_degree: 4.0,
+            max_weight: 10,
+        },
+        &mut rng,
+    );
+    // Hospitals: a very sparse dataset (~0.1% of junctions).
+    let hospitals = ObjectSet::uniform(&net, 0.001, &mut rng);
+    println!(
+        "city: {} junctions; {} hospitals",
+        net.num_nodes(),
+        hospitals.len()
+    );
+
+    let index = SignatureIndex::build(&net, &hospitals, &SignatureConfig::default());
+    let mut session = index.session(&net);
+    let incident = NodeId(4242);
+
+    // --- 1. Two nearest hospitals, exact distances (type-1 kNN). ---
+    session.reset_stats();
+    let nearest = knn(&mut session, incident, 2, KnnType::Type1);
+    println!("\nincident at {incident}:");
+    for r in &nearest {
+        println!(
+            "  hospital {} at network distance {}",
+            r.object,
+            r.dist.unwrap()
+        );
+    }
+    let sig_knn_io = session.io_stats();
+
+    // Route to the nearest: follow the backtracking links hop by hop —
+    // the signature stores the next road to take at every junction, so the
+    // ambulance can be routed with *no* shortest-path computation.
+    let target = nearest[0].object;
+    let mut route = vec![incident];
+    let mut cur = incident;
+    while cur != index.host(target) {
+        let sig = session.read_signature(cur);
+        let (next, _) = net.neighbor_at(cur, sig.links[target.index()]);
+        route.push(next);
+        cur = next;
+    }
+    println!(
+        "  route to hospital {target}: {} hops, first turns: {:?}...",
+        route.len() - 1,
+        &route[..route.len().min(6)]
+    );
+
+    // --- 2. Hospitals within a 15-minute radius (range query). ---
+    session.reset_stats();
+    let radius = 120;
+    let in_range = range_query(&mut session, incident, radius);
+    println!(
+        "\n{} hospital(s) within radius {radius}; signature I/O: {} faults",
+        in_range.len(),
+        session.io_stats().faults
+    );
+
+    // --- 3. The INE baseline answering the same queries. ---
+    let mut ine = Ine::new(&net, 64);
+    ine.cold_reset();
+    let ine_knn = ine.knn(&net, &hospitals, incident, 2);
+    let ine_knn_io = ine.io_stats();
+    ine.cold_reset();
+    let ine_range = ine.range(&net, &hospitals, incident, radius);
+    let ine_range_io = ine.io_stats();
+
+    assert_eq!(
+        nearest.iter().map(|r| r.dist.unwrap()).collect::<Vec<_>>(),
+        ine_knn.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+        "both engines must agree on distances"
+    );
+    assert_eq!(in_range, ine_range, "both engines must agree on the range result");
+
+    println!("\npage faults, signature vs INE (sparse data = long Dijkstra expansions):");
+    println!(
+        "  2-NN : signature {:>5}  INE {:>5}",
+        sig_knn_io.faults, ine_knn_io.faults
+    );
+    println!(
+        "  range: signature {:>5}  INE {:>5}",
+        session.io_stats().faults, ine_range_io.faults
+    );
+}

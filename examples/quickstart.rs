@@ -1,0 +1,97 @@
+//! Quickstart: build a road network, place objects, build the distance
+//! signature index, and run the full query repertoire.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
+use distance_signature::graph::{NodeId, ObjectSet};
+use distance_signature::signature::category::DistRange;
+use distance_signature::signature::query::aggregate::aggregate_within;
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::query::range::range_query;
+use distance_signature::signature::{SignatureConfig, SignatureIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic road network: 5,000 junctions, road lengths 1–10.
+    let mut rng = StdRng::seed_from_u64(2006);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 5_000,
+            mean_degree: 4.0,
+            max_weight: 10,
+        },
+        &mut rng,
+    );
+    println!(
+        "network: {} junctions, {} road segments",
+        net.num_nodes(),
+        net.num_edges()
+    );
+
+    // 2. A dataset: 1% of junctions host an object (restaurants, say).
+    let restaurants = ObjectSet::uniform(&net, 0.01, &mut rng);
+    println!("dataset: {} restaurants", restaurants.len());
+
+    // 3. Build the distance-signature index (§3.1/§5): categories grow
+    //    exponentially (c = e), signatures are Huffman-encoded and
+    //    compressed, and records are paged with their adjacency lists.
+    let index = SignatureIndex::build(&net, &restaurants, &SignatureConfig::default());
+    println!(
+        "index: {} categories, {:.2} MB on disk, {:.0}% of entries compressed",
+        index.partition().num_categories(),
+        index.disk_bytes() as f64 / (1024.0 * 1024.0),
+        100.0 * index.report.compressed_fraction()
+    );
+
+    // 4. Query away. A session owns the buffer pool and counts the page
+    //    accesses the paper reports.
+    let mut session = index.session(&net);
+    let here = NodeId(0);
+
+    // Exact network distance to a specific restaurant (guided backtracking).
+    let first = restaurants.objects().next().unwrap();
+    println!(
+        "d(here, {first}) = {} (exact), ∈ {:?} (one signature read)",
+        session.retrieve_exact(here, first),
+        session.retrieve_approx(here, first, DistRange::new(0, 0)),
+    );
+
+    // Range query: everything within 40 network units.
+    let nearby = range_query(&mut session, here, 40);
+    println!("{} restaurants within distance 40", nearby.len());
+
+    // kNN, three flavours (§4.2).
+    let t3 = knn(&mut session, here, 5, KnnType::Type3);
+    let t1 = knn(&mut session, here, 5, KnnType::Type1);
+    println!(
+        "5-NN set: {:?}",
+        t3.iter().map(|r| r.object).collect::<Vec<_>>()
+    );
+    println!(
+        "5-NN with exact distances: {:?}",
+        t1.iter()
+            .map(|r| (r.object, r.dist.unwrap()))
+            .collect::<Vec<_>>()
+    );
+
+    // Aggregation within a radius.
+    let agg = aggregate_within(&mut session, here, 100);
+    println!(
+        "within 100: count={} mean_dist={:.1} min={:?} max={:?}",
+        agg.count,
+        agg.mean().unwrap_or(0.0),
+        agg.min,
+        agg.max
+    );
+
+    // The cost ledger.
+    let io = session.io_stats();
+    println!(
+        "session I/O: {} logical page reads, {} faults; {} signature decodes, {} backtracking hops",
+        io.logical, io.faults, session.stats.signature_reads, session.stats.hops
+    );
+}

@@ -1,0 +1,103 @@
+//! Scenario: choosing the category partition for your network (§5.1).
+//!
+//! Shows the three ways to pick `(c, T)`:
+//! 1. the paper's closed form `c = e, T = sqrt(SP/e)`,
+//! 2. the analytical grid-model optimum (numeric minimization of Eq. 1–3),
+//! 3. an empirical mini-sweep on your actual network and workload —
+//!
+//! and demonstrates the paper's robustness claim: they all land within a
+//! small factor of each other.
+//!
+//! ```sh
+//! cargo run --release --example tune_partition
+//! ```
+
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
+use distance_signature::graph::{NodeId, ObjectSet};
+use distance_signature::signature::analysis::{closed_form_optimum, numeric_optimum};
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::{SignatureConfig, SignatureIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(51);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 6_000,
+            mean_degree: 4.0,
+            max_weight: 10,
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.01, &mut rng);
+
+    // Workload knowledge: our queries are 5-NN, so the spreading SP is the
+    // typical 6th-nearest-neighbour distance. Estimate it cheaply.
+    let sample: Vec<NodeId> = (0..20)
+        .map(|_| NodeId(rng.gen_range(0..net.num_nodes() as u32)))
+        .collect();
+    let probe = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    let mut sess = probe.session(&net);
+    let mut sp_samples: Vec<u32> = sample
+        .iter()
+        .map(|&q| {
+            knn(&mut sess, q, 6, KnnType::Type1)
+                .last()
+                .and_then(|r| r.dist)
+                .unwrap_or(0)
+        })
+        .collect();
+    sp_samples.sort_unstable();
+    let sp = sp_samples[sp_samples.len() - 1].max(1);
+    println!("estimated query spreading SP ≈ {sp}");
+
+    // 1. Closed form.
+    let (c1, t1) = closed_form_optimum(sp as f64);
+    println!("closed form:      c = {c1:.2}, T = {t1:.0}");
+
+    // 2. Analytical model.
+    let (c2, t2, _) = numeric_optimum(sp as f64, objects.density(&net), objects.len() as f64);
+    println!("grid-model argmin: c = {c2:.2}, T = {t2:.0}");
+
+    // 3. Empirical sweep on the real network.
+    let queries: Vec<NodeId> = (0..60)
+        .map(|_| NodeId(rng.gen_range(0..net.num_nodes() as u32)))
+        .collect();
+    let mut results = Vec::new();
+    for (c, t) in [
+        (c1, t1.round().max(1.0) as u32),
+        (c2, t2.round().max(1.0) as u32),
+        (2.0, 5),
+        (3.0, 10),
+        (6.0, 25),
+    ] {
+        let cfg = SignatureConfig {
+            c,
+            t: Some(t),
+            ..Default::default()
+        };
+        let idx = SignatureIndex::build(&net, &objects, &cfg);
+        let mut sess = idx.session(&net);
+        let t0 = Instant::now();
+        for &q in &queries {
+            let _ = knn(&mut sess, q, 5, KnnType::Type3);
+        }
+        let ms = 1000.0 * t0.elapsed().as_secs_f64() / queries.len() as f64;
+        results.push(((c, t), ms, idx.disk_bytes()));
+    }
+    println!("\nempirical 5-NN sweep:");
+    for ((c, t), ms, bytes) in &results {
+        println!(
+            "  c = {c:.2}, T = {t:>3}: {ms:.2} ms/query, {:.2} MB",
+            *bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    let best = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let worst = results.iter().map(|r| r.1).fold(0.0, f64::max);
+    println!(
+        "\nrobustness (paper, Fig 6.7): worst/best = {:.2} — parameter choice is forgiving",
+        worst / best
+    );
+}

@@ -1,0 +1,167 @@
+//! A small command-line workbench over the library: generate networks,
+//! build and persist indexes, and run queries — the "downstream user" flow.
+//!
+//! ```sh
+//! cargo run --release --example workbench -- gen /tmp/city.net /tmp/poi.obj 8000 0.01
+//! cargo run --release --example workbench -- build /tmp/city.net /tmp/poi.obj /tmp/poi.dssi
+//! cargo run --release --example workbench -- knn /tmp/city.net /tmp/poi.obj /tmp/poi.dssi 17 5
+//! cargo run --release --example workbench -- range /tmp/city.net /tmp/poi.obj /tmp/poi.dssi 17 100
+//! cargo run --release --example workbench -- export /tmp/city.net /tmp/city.txt
+//! ```
+
+use std::process::ExitCode;
+
+use distance_signature::graph::io as gio;
+use distance_signature::graph::{NodeId, ObjectSet, RoadNetwork};
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
+use distance_signature::signature::persist;
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::query::range::range_query;
+use distance_signature::signature::{SignatureConfig, SignatureIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage:\n  workbench gen <net.bin> <objects.bin> <nodes> <density>\n  \
+                 workbench build <net.bin> <objects.bin> <index.dssi>\n  \
+                 workbench knn <net.bin> <objects.bin> <index.dssi> <node> <k>\n  \
+                 workbench range <net.bin> <objects.bin> <index.dssi> <node> <radius>\n  \
+                 workbench export <net.bin> <edges.txt>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "gen" => {
+            let [net_path, obj_path, nodes, density] = take::<4>(&args[1..])?;
+            let nodes: usize = nodes.parse().map_err(|_| "bad node count")?;
+            let density: f64 = density.parse().map_err(|_| "bad density")?;
+            let mut rng = StdRng::seed_from_u64(42);
+            let net = random_planar(
+                &PlanarConfig {
+                    num_nodes: nodes,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let objects = ObjectSet::uniform(&net, density, &mut rng);
+            gio::save_network(&net, net_path).map_err(|e| e.to_string())?;
+            gio::write_objects(
+                &objects,
+                std::fs::File::create(obj_path).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {net_path} ({} nodes, {} edges) and {obj_path} ({} objects)",
+                net.num_nodes(),
+                net.num_edges(),
+                objects.len()
+            );
+            Ok(())
+        }
+        "build" => {
+            let [net_path, obj_path, idx_path] = take::<3>(&args[1..])?;
+            let (net, objects) = load_net_objects(net_path, obj_path)?;
+            let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+            persist::save_index(&idx, idx_path).map_err(|e| e.to_string())?;
+            println!(
+                "built index: {} categories, {:.2} MB on disk, saved to {idx_path}",
+                idx.partition().num_categories(),
+                idx.disk_bytes() as f64 / (1024.0 * 1024.0)
+            );
+            Ok(())
+        }
+        "knn" => {
+            let [net_path, obj_path, idx_path, node, k] = take::<5>(&args[1..])?;
+            let (net, objects) = load_net_objects(net_path, obj_path)?;
+            let idx = load_index(idx_path, &net)?;
+            let node = parse_node(node, &net)?;
+            let k: usize = k.parse().map_err(|_| "bad k")?;
+            let mut sess = idx.session(&net);
+            for r in knn(&mut sess, node, k, KnnType::Type1) {
+                println!(
+                    "object {} on node {} at distance {}",
+                    r.object,
+                    objects.node_of(r.object),
+                    r.dist.unwrap()
+                );
+            }
+            println!(
+                "({} page faults, {} backtracking hops)",
+                sess.io_stats().faults,
+                sess.stats.hops
+            );
+            Ok(())
+        }
+        "range" => {
+            let [net_path, obj_path, idx_path, node, radius] = take::<5>(&args[1..])?;
+            let (net, objects) = load_net_objects(net_path, obj_path)?;
+            let idx = load_index(idx_path, &net)?;
+            let node = parse_node(node, &net)?;
+            let radius: u32 = radius.parse().map_err(|_| "bad radius")?;
+            let mut sess = idx.session(&net);
+            let hits = range_query(&mut sess, node, radius);
+            println!("{} object(s) within {radius} of {node}:", hits.len());
+            for o in hits {
+                println!("  object {o} on node {}", objects.node_of(o));
+            }
+            Ok(())
+        }
+        "export" => {
+            let [net_path, txt_path] = take::<2>(&args[1..])?;
+            let net = gio::load_network(net_path).map_err(|e| e.to_string())?;
+            gio::write_edge_list(
+                &net,
+                std::fs::File::create(txt_path).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("exported {} edges to {txt_path}", net.num_edges());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn take<const N: usize>(args: &[String]) -> Result<[&String; N], String> {
+    if args.len() != N {
+        return Err(format!("expected {N} arguments, got {}", args.len()));
+    }
+    let mut it = args.iter();
+    Ok(std::array::from_fn(|_| it.next().unwrap()))
+}
+
+fn load_net_objects(
+    net_path: &str,
+    obj_path: &str,
+) -> Result<(RoadNetwork, ObjectSet), String> {
+    let net = gio::load_network(net_path).map_err(|e| e.to_string())?;
+    let objects = gio::read_objects(
+        std::fs::File::open(obj_path).map_err(|e| e.to_string())?,
+        &net,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok((net, objects))
+}
+
+fn load_index(path: &str, net: &RoadNetwork) -> Result<SignatureIndex, String> {
+    persist::load_index(path, net).map_err(|e| e.to_string())
+}
+
+fn parse_node(s: &str, net: &RoadNetwork) -> Result<NodeId, String> {
+    let id: u32 = s.parse().map_err(|_| "bad node id")?;
+    if (id as usize) < net.num_nodes() {
+        Ok(NodeId(id))
+    } else {
+        Err(format!("node {id} out of range (0..{})", net.num_nodes()))
+    }
+}

@@ -1,0 +1,66 @@
+//! # distance-signature
+//!
+//! A production-quality Rust reproduction of **"Distance Indexing on Road
+//! Networks"** (Haibo Hu, Dik Lun Lee, Victor C. S. Lee, VLDB 2006).
+//!
+//! The paper proposes the *distance signature*: a general-purpose
+//! per-node index over the network distances to every object of a dataset,
+//! discretized into exponentially widening categories and augmented with
+//! backtracking links, supporting efficient distance retrieval, comparison
+//! and sorting, and through those, range / kNN / aggregation / join queries
+//! — "a counterpart of the R-tree in spatial network databases".
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`graph`] — road-network substrate (CSR graph, generators, datasets,
+//!   Dijkstra/A*, spanning-tree maintenance).
+//! * [`storage`] — page/buffer-pool disk model with CCAM-style clustering,
+//!   used for the paper's page-access metrics.
+//! * [`rtree`] — 2-D R-tree (used by the NVD and IER baselines).
+//! * [`signature`] — the distance-signature index itself: categories,
+//!   encoding, compression, query processing, updates, and the analytical
+//!   cost model.
+//! * [`baselines`] — INE, full index, NVD/VN3, and IER comparators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distance_signature::graph::{generate, ObjectSet, NodeId};
+//! use distance_signature::signature::{SignatureIndex, SignatureConfig};
+//!
+//! // A small road network and a handful of objects.
+//! let net = generate::grid(16, 16);
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+//! let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+//!
+//! // Build the signature index and answer a 3-NN query.
+//! use distance_signature::signature::query::knn::{knn, KnnType};
+//! let index = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+//! let mut session = index.session(&net);
+//! let result = knn(&mut session, NodeId(0), 3, KnnType::Type1);
+//! assert_eq!(result.len(), 3);
+//! ```
+
+pub use dsi_baselines as baselines;
+pub use dsi_graph as graph;
+pub use dsi_rtree as rtree;
+pub use dsi_signature as signature;
+pub use dsi_storage as storage;
+
+/// The most commonly used items in one import.
+///
+/// ```
+/// use distance_signature::prelude::*;
+/// ```
+pub mod prelude {
+    pub use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    pub use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork};
+    pub use dsi_signature::query::aggregate::{aggregate_within, count_within};
+    pub use dsi_signature::query::cnn::{continuous_knn, CnnSegment};
+    pub use dsi_signature::query::join::{epsilon_join, self_epsilon_join};
+    pub use dsi_signature::query::knn::{knn, knn_with_paths, KnnResult, KnnType};
+    pub use dsi_signature::query::range::range_query;
+    pub use dsi_signature::{
+        Session, SignatureConfig, SignatureIndex, SignatureMaintainer,
+    };
+}

@@ -1,0 +1,143 @@
+//! End-to-end lifecycle: build → query → maintain under updates → query →
+//! compare against a from-scratch rebuild.
+
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
+use distance_signature::graph::{NodeId, ObjectSet, INFINITY};
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::query::range::range_query;
+use distance_signature::signature::{SignatureConfig, SignatureIndex, SignatureMaintainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn maintained_index_equals_rebuilt_index() {
+    let mut rng = StdRng::seed_from_u64(5005);
+    let mut net = random_planar(
+        &PlanarConfig {
+            num_nodes: 350,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+    // Pin the partition so the rebuild uses the identical spectrum (the
+    // default estimates SP from the—now changed—network).
+    let cfg = SignatureConfig {
+        t: Some(10),
+        spreading: Some(4000),
+        ..Default::default()
+    };
+    let mut idx = SignatureIndex::build(&net, &objects, &cfg);
+    let mut maint = SignatureMaintainer::new(&net, &objects);
+
+    // A burst of mixed updates, including a removal and a re-insertion.
+    let mut removed: Option<(NodeId, NodeId, u32)> = None;
+    for round in 0..25 {
+        let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+        let nbrs: Vec<_> = net
+            .neighbors(u)
+            .filter(|&(_, _, w)| w != INFINITY)
+            .collect();
+        if nbrs.is_empty() {
+            continue;
+        }
+        let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
+        let new_w = match round % 5 {
+            0 => w + 9,
+            1 => (w / 2).max(1),
+            2 if removed.is_none() => {
+                removed = Some((u, v, w));
+                INFINITY
+            }
+            3 => {
+                if let Some((ru, rv, rw)) = removed.take() {
+                    maint.update_edge(&mut net, &mut idx, ru, rv, rw);
+                }
+                w + 1
+            }
+            _ => w + 2,
+        };
+        maint.update_edge(&mut net, &mut idx, u, v, new_w);
+    }
+    if let Some((ru, rv, rw)) = removed.take() {
+        maint.update_edge(&mut net, &mut idx, ru, rv, rw);
+    }
+
+    // The maintained index must decode identically to a fresh build on the
+    // mutated network.
+    let fresh = SignatureIndex::build(&net, &objects, &cfg);
+    for n in net.nodes() {
+        let a = idx.decode_node(n);
+        let b = fresh.decode_node(n);
+        assert_eq!(a.cats, b.cats, "categories at {n}");
+        // Links may differ where several shortest paths tie; both must be
+        // valid descents, which the query equivalence below certifies.
+    }
+
+    // And answer queries identically.
+    let mut s1 = idx.session(&net);
+    let mut s2 = fresh.session(&net);
+    for q in net.nodes().step_by(13) {
+        assert_eq!(
+            range_query(&mut s1, q, 70),
+            range_query(&mut s2, q, 70),
+            "range at {q}"
+        );
+        let a: Vec<_> = knn(&mut s1, q, 5, KnnType::Type1)
+            .into_iter()
+            .map(|r| r.dist)
+            .collect();
+        let b: Vec<_> = knn(&mut s2, q, 5, KnnType::Type1)
+            .into_iter()
+            .map(|r| r.dist)
+            .collect();
+        assert_eq!(a, b, "knn at {q}");
+    }
+}
+
+#[test]
+fn session_io_accounting_is_stable_across_runs() {
+    let mut rng = StdRng::seed_from_u64(6006);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 400,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.03, &mut rng);
+    let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+
+    // Identical cold-start query sequences must charge identical I/O —
+    // the disk model is deterministic.
+    let run = || {
+        let mut sess = idx.session(&net);
+        for q in net.nodes().step_by(37) {
+            let _ = knn(&mut sess, q, 3, KnnType::Type3);
+        }
+        (sess.io_stats().logical, sess.io_stats().faults)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn warm_buffer_reduces_faults() {
+    let mut rng = StdRng::seed_from_u64(7007);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 400,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.03, &mut rng);
+    let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    let mut sess = idx.session(&net);
+    let q = NodeId(17);
+    let _ = knn(&mut sess, q, 5, KnnType::Type1);
+    let cold = sess.io_stats().faults;
+    sess.reset_stats();
+    let _ = knn(&mut sess, q, 5, KnnType::Type1);
+    let warm = sess.io_stats().faults;
+    assert!(warm < cold.max(1), "warm {warm} must beat cold {cold}");
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the persistence formats and the continuous-kNN
+//! query across the full stack, through the public prelude.
+
+use distance_signature::graph::io as gio;
+use distance_signature::prelude::*;
+use distance_signature::signature::persist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture(seed: u64) -> (RoadNetwork, ObjectSet, SignatureIndex) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 300,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.04, &mut rng);
+    let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    (net, objects, idx)
+}
+
+#[test]
+fn full_stack_round_trip_through_files() {
+    let (net, objects, idx) = fixture(3001);
+    let dir = std::env::temp_dir().join(format!("dsi_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let net_path = dir.join("net.bin");
+    let obj_path = dir.join("obj.bin");
+    let idx_path = dir.join("idx.dssi");
+
+    gio::save_network(&net, &net_path).unwrap();
+    gio::write_objects(&objects, std::fs::File::create(&obj_path).unwrap()).unwrap();
+    persist::save_index(&idx, &idx_path).unwrap();
+
+    let net2 = gio::load_network(&net_path).unwrap();
+    let objects2 =
+        gio::read_objects(std::fs::File::open(&obj_path).unwrap(), &net2).unwrap();
+    let idx2 = persist::load_index(&idx_path, &net2).unwrap();
+
+    assert_eq!(objects.host_nodes(), objects2.host_nodes());
+    let mut s1 = idx.session(&net);
+    let mut s2 = idx2.session(&net2);
+    for q in net.nodes().step_by(23) {
+        assert_eq!(
+            knn(&mut s1, q, 4, KnnType::Type1),
+            knn(&mut s2, q, 4, KnnType::Type1),
+            "kNN after reload at {q}"
+        );
+        assert_eq!(range_query(&mut s1, q, 70), range_query(&mut s2, q, 70));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cnn_agrees_with_per_node_knn_distances() {
+    let (net, objects, idx) = fixture(3003);
+    let mut sess = idx.session(&net);
+    // Build a shortest path between two far nodes as the CNN route.
+    let tree = distance_signature::graph::sssp(&net, NodeId(0));
+    let far = net
+        .nodes()
+        .max_by_key(|v| {
+            let d = tree.dist[v.index()];
+            if d == distance_signature::graph::INFINITY {
+                0
+            } else {
+                d
+            }
+        })
+        .unwrap();
+    let path = tree.path_to(far).unwrap();
+    let k = 3;
+    let segs = continuous_knn(&mut sess, &path, k);
+    // Every node's kNN distance multiset matches a direct kNN query.
+    let mut covered = 0;
+    for seg in &segs {
+        for (i, &node) in path.iter().enumerate().take(seg.end + 1).skip(seg.start) {
+            covered += 1;
+            let direct = knn(&mut sess, node, k, KnnType::Type1);
+            let t = distance_signature::graph::sssp(&net, node);
+            let mut seg_d: Vec<Dist> = seg
+                .result
+                .iter()
+                .map(|&o| t.dist[objects.node_of(o).index()])
+                .collect();
+            seg_d.sort_unstable();
+            let direct_d: Vec<Dist> = direct.iter().map(|r| r.dist.unwrap()).collect();
+            assert_eq!(seg_d, direct_d, "path index {i}");
+        }
+    }
+    assert_eq!(covered, path.len());
+}
+
+#[test]
+fn knn_with_paths_matches_type1() {
+    let (net, _, idx) = fixture(3005);
+    let mut sess = idx.session(&net);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..10 {
+        let q = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+        let plain = knn(&mut sess, q, 4, KnnType::Type1);
+        let with_paths = knn_with_paths(&mut sess, q, 4);
+        assert_eq!(plain.len(), with_paths.len());
+        for (a, b) in plain.iter().zip(&with_paths) {
+            assert_eq!(a.object, b.object);
+            assert_eq!(a.dist.unwrap(), b.dist);
+            let len: Dist = b
+                .path
+                .windows(2)
+                .map(|w| net.edge_weight(w[0], w[1]).unwrap())
+                .sum();
+            assert_eq!(len, b.dist);
+        }
+    }
+}
+
+#[test]
+fn prelude_surface_compiles_and_works() {
+    let (net, objects, idx) = fixture(3007);
+    let mut sess = idx.session(&net);
+    let q = NodeId(1);
+    let _ = count_within(&mut sess, q, 30);
+    let _ = aggregate_within(&mut sess, q, 30);
+    let _ = self_epsilon_join(&mut sess, 25);
+    let _ = epsilon_join(&mut sess, &objects, 25);
+    let _: Vec<CnnSegment> = continuous_knn(&mut sess, &[q], 2);
+}

@@ -1,0 +1,231 @@
+//! Property-based tests over randomly generated networks, datasets and
+//! partitions: the index must agree with textbook Dijkstra everywhere.
+
+use distance_signature::graph::{
+    sssp, Dist, NetworkBuilder, NodeId, ObjectSet, Point, RoadNetwork,
+};
+use distance_signature::signature::category::{CategoryPartition, DistRange};
+use distance_signature::signature::query::knn::{knn, KnnType};
+use distance_signature::signature::query::range::range_query;
+use distance_signature::signature::{SignatureConfig, SignatureIndex};
+use proptest::prelude::*;
+
+/// A random connected network: `n` nodes on a ring (guaranteeing
+/// connectivity) plus random chords, all with random weights.
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (3usize..28, proptest::collection::vec((0usize..28, 0usize..28, 1u32..15), 0..40))
+        .prop_map(|(n, chords)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                    b.add_node(Point::new(a.cos() * n as f64, a.sin() * n as f64))
+                })
+                .collect();
+            for i in 0..n {
+                b.add_edge(ids[i], ids[(i + 1) % n], 1 + (i as u32 * 7) % 9);
+            }
+            for (u, v, w) in chords {
+                let (u, v) = (u % n, v % n);
+                if u != v && !b.has_edge(ids[u], ids[v]) {
+                    b.add_edge(ids[u], ids[v], w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Distinct host nodes for `k` objects on an `n`-node network.
+fn hosts(n: usize, picks: &[usize]) -> Vec<NodeId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &p in picks {
+        let v = p % n;
+        if seen.insert(v) {
+            out.push(NodeId(v as u32));
+        }
+    }
+    if out.is_empty() {
+        out.push(NodeId(0));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_retrieval_equals_dijkstra(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 1..6),
+        query in 0usize..64,
+    ) {
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let q = NodeId((query % net.num_nodes()) as u32);
+        let tree = sssp(&net, q);
+        for (o, h) in objects.iter() {
+            prop_assert_eq!(sess.retrieve_exact(q, o), tree.dist[h.index()]);
+        }
+    }
+
+    #[test]
+    fn approx_retrieval_always_brackets_truth(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 1..6),
+        query in 0usize..64,
+        eps in 0u32..200,
+    ) {
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let q = NodeId((query % net.num_nodes()) as u32);
+        let tree = sssp(&net, q);
+        let delta = DistRange::exact(eps);
+        for (o, h) in objects.iter() {
+            let r = sess.retrieve_approx(q, o, delta);
+            prop_assert!(r.contains(tree.dist[h.index()]));
+            prop_assert!(!r.partially_intersects(&delta));
+        }
+    }
+
+    #[test]
+    fn range_query_equals_linear_scan(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 1..8),
+        query in 0usize..64,
+        eps in 0u32..150,
+    ) {
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let q = NodeId((query % net.num_nodes()) as u32);
+        let tree = sssp(&net, q);
+        let truth: Vec<_> = objects
+            .iter()
+            .filter(|&(_, h)| tree.dist[h.index()] <= eps)
+            .map(|(o, _)| o)
+            .collect();
+        prop_assert_eq!(range_query(&mut sess, q, eps), truth);
+    }
+
+    #[test]
+    fn knn_type1_equals_sorted_truth(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 1..8),
+        query in 0usize..64,
+        k in 1usize..6,
+    ) {
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let q = NodeId((query % net.num_nodes()) as u32);
+        let tree = sssp(&net, q);
+        let mut truth: Vec<Dist> = objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+        truth.sort_unstable();
+        truth.truncate(k);
+        let got: Vec<Dist> = knn(&mut sess, q, k, KnnType::Type1)
+            .into_iter()
+            .map(|r| r.dist.unwrap())
+            .collect();
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn arbitrary_partitions_round_trip(
+        c in 1.2f64..8.0,
+        t in 1u32..100,
+        samples in proptest::collection::vec(0u32..100_000, 1..50),
+        max in 100u32..50_000,
+    ) {
+        let p = CategoryPartition::exponential(c, t, max);
+        for d in samples {
+            let cat = p.category_of(d);
+            let r = p.range_of(cat);
+            prop_assert!(r.contains(d), "d={} cat={} range={:?}", d, cat, r);
+            // Categories are a partition: adjacent ranges must touch.
+            if cat > 0 {
+                prop_assert_eq!(p.range_of(cat - 1).hi + 1, r.lo);
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_round_trips_any_index(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 1..6),
+        c10 in 16u32..50,
+        t in 1u32..25,
+    ) {
+        use distance_signature::signature::persist;
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let cfg = SignatureConfig {
+            c: c10 as f64 / 10.0,
+            t: Some(t),
+            ..Default::default()
+        };
+        let idx = SignatureIndex::build(&net, &objects, &cfg);
+        let mut buf = Vec::new();
+        persist::write_index(&idx, &mut buf).unwrap();
+        let back = persist::read_index(&buf[..], &net).unwrap();
+        for n in net.nodes() {
+            prop_assert_eq!(back.decode_node(n), idx.decode_node(n));
+        }
+        // The network snapshot round-trips alongside.
+        let mut nbuf = Vec::new();
+        distance_signature::graph::io::write_network(&net, &mut nbuf).unwrap();
+        let net2 = distance_signature::graph::io::read_network(&nbuf[..]).unwrap();
+        for n in net.nodes() {
+            let a: Vec<_> = net.neighbors(n).collect();
+            let b: Vec<_> = net2.neighbors(n).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn session_knn_methods_agree_with_truth(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 2..7),
+        query in 0usize..64,
+    ) {
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut sess = idx.session(&net);
+        let q = NodeId((query % net.num_nodes()) as u32);
+        let tree = sssp(&net, q);
+        for r in sess.knn_with_paths(q, 2) {
+            prop_assert_eq!(r.dist, tree.dist[objects.node_of(r.object).index()]);
+            let len: Dist = r
+                .path
+                .windows(2)
+                .map(|w| net.edge_weight(w[0], w[1]).unwrap())
+                .sum();
+            prop_assert_eq!(len, r.dist);
+        }
+    }
+
+    #[test]
+    fn decode_is_total_for_any_partition_choice(
+        net in arb_network(),
+        picks in proptest::collection::vec(0usize..64, 1..5),
+        c10 in 15u32..60,   // c in [1.5, 6.0]
+        t in 1u32..30,
+    ) {
+        let objects = ObjectSet::from_nodes(&net, hosts(net.num_nodes(), &picks));
+        let cfg = SignatureConfig {
+            c: c10 as f64 / 10.0,
+            t: Some(t),
+            ..Default::default()
+        };
+        let idx = SignatureIndex::build(&net, &objects, &cfg);
+        // Every node decodes, and categories match the true distances.
+        for n in net.nodes() {
+            let sig = idx.decode_node(n);
+            for (o, h) in objects.iter() {
+                let d = sssp(&net, h).dist[n.index()];
+                prop_assert_eq!(sig.cats[o.index()], idx.partition().category_of(d));
+            }
+        }
+    }
+}
