@@ -7,7 +7,9 @@
 //! whose update cost is unbounded (any weight change can invalidate
 //! arbitrarily many exact distances).
 
-use dsi_graph::{sssp, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, INFINITY};
+use dsi_graph::{
+    sssp_into, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
+};
 use dsi_storage::{ccam_order, BufferPool, IoStats, PagedStore};
 
 /// The full distance index.
@@ -33,37 +35,45 @@ impl FullIndex {
         let mut dists = vec![INFINITY; n * d];
 
         let columns: Vec<Vec<Dist>> = {
-            let run = |o: usize| sssp(net, objects.node_of(ObjectId(o as u32))).dist;
+            // One workspace per worker: all |D| Dijkstras on a thread share
+            // the same dist/parent arrays and queue.
+            let run = |o: usize, ws: &mut SsspWorkspace| -> Vec<Dist> {
+                sssp_into(net, objects.node_of(ObjectId(o as u32)), ws);
+                (0..n).map(|v| ws.dist(NodeId(v as u32))).collect()
+            };
             let threads = if parallel {
                 std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
             } else {
                 1
             };
             if threads <= 1 || d < 4 {
-                (0..d).map(run).collect()
+                let mut ws = SsspWorkspace::new();
+                (0..d).map(|o| run(o, &mut ws)).collect()
             } else {
                 let mut out: Vec<Option<Vec<Dist>>> = (0..d).map(|_| None).collect();
                 let next = std::sync::atomic::AtomicUsize::new(0);
-                crossbeam::thread::scope(|s| {
-                    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<Dist>)>();
+                std::thread::scope(|s| {
+                    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Dist>)>();
                     for _ in 0..threads {
                         let tx = tx.clone();
                         let next = &next;
                         let run = &run;
-                        s.spawn(move |_| loop {
-                            let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if o >= d {
-                                break;
+                        s.spawn(move || {
+                            let mut ws = SsspWorkspace::new();
+                            loop {
+                                let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if o >= d {
+                                    break;
+                                }
+                                tx.send((o, run(o, &mut ws))).expect("collector alive");
                             }
-                            tx.send((o, run(o))).expect("collector alive");
                         });
                     }
                     drop(tx);
                     for (o, col) in rx {
                         out[o] = Some(col);
                     }
-                })
-                .expect("build thread panicked");
+                });
                 out.into_iter().map(|c| c.expect("all columns")).collect()
             }
         };
@@ -147,6 +157,7 @@ impl FullIndex {
 mod tests {
     use super::*;
     use dsi_graph::generate::{random_planar, PlanarConfig};
+    use dsi_graph::sssp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -7,13 +7,15 @@
 //! weakness the signature index addresses for long distances.
 
 use dsi_graph::dijkstra::DijkstraExpansion;
-use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork};
+use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace};
 use dsi_storage::{ccam_order, BufferPool, IoStats, PagedStore};
 
-/// The INE "index": just the paged adjacency lists.
+/// The INE "index": just the paged adjacency lists (plus reusable Dijkstra
+/// state so repeated queries do not re-allocate the search arrays).
 pub struct Ine {
     store: PagedStore,
     pool: BufferPool,
+    ws: SsspWorkspace,
 }
 
 impl Ine {
@@ -26,6 +28,7 @@ impl Ine {
         Ine {
             store: PagedStore::new(&ccam_order(net), &sizes, 0),
             pool: BufferPool::new(pool_pages),
+            ws: SsspWorkspace::new(),
         }
     }
 
@@ -55,13 +58,14 @@ impl Ine {
         n: NodeId,
         eps: Dist,
     ) -> Vec<ObjectId> {
-        let mut exp = DijkstraExpansion::new(net, n);
+        let Ine { store, pool, ws } = self;
+        let mut exp = DijkstraExpansion::in_workspace(net, n, ws);
         let mut out = Vec::new();
         while let Some((v, d)) = exp.next_settled() {
             if d > eps {
                 break;
             }
-            self.store.read(v.index(), &mut self.pool);
+            store.read(v.index(), pool);
             if let Some(o) = objects.object_at(v) {
                 out.push(o);
             }
@@ -78,13 +82,14 @@ impl Ine {
         n: NodeId,
         k: usize,
     ) -> Vec<(ObjectId, Dist)> {
-        let mut exp = DijkstraExpansion::new(net, n);
+        let Ine { store, pool, ws } = self;
+        let mut exp = DijkstraExpansion::in_workspace(net, n, ws);
         let mut out = Vec::with_capacity(k);
         while out.len() < k {
             let Some((v, d)) = exp.next_settled() else {
                 break;
             };
-            self.store.read(v.index(), &mut self.pool);
+            store.read(v.index(), pool);
             if let Some(o) = objects.object_at(v) {
                 out.push((o, d));
             }

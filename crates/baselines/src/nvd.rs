@@ -24,8 +24,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dsi_graph::dijkstra::multi_source;
-use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, INFINITY};
+use dsi_graph::dijkstra::{multi_source, DijkstraExpansion};
+use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY};
 use dsi_rtree::{RTree, Rect};
 use dsi_storage::{BufferPool, IoStats, PagedStore, PAGE_SIZE};
 
@@ -95,15 +95,17 @@ impl NvdIndex {
 
         // For each border b, a Dijkstra restricted to b's cell gives
         // border-to-inner (including border-to-generator and
-        // border-to-border) distances within that cell.
+        // border-to-border) distances within that cell. One workspace
+        // serves every border's search.
+        let mut ws = SsspWorkspace::new();
         for (bi, &b) in borders.iter().enumerate() {
             let cb = cell_of[b.index()];
-            let tree = restricted_sssp(net, b, &cell_of, cb);
+            restricted_sssp(net, b, &cell_of, cb, &mut ws);
             for v in net.nodes() {
                 if cell_of[v.index()] != cb {
                     continue;
                 }
-                let dist = tree.1[v.index()];
+                let dist = ws.dist(v);
                 if dist == INFINITY {
                     continue;
                 }
@@ -117,7 +119,7 @@ impl NvdIndex {
             }
             // Object-to-border (OPC).
             let gen_host = hosts[cb as usize];
-            let dist = tree.1[gen_host.index()];
+            let dist = ws.dist(gen_host);
             if dist != INFINITY {
                 bgraph[cb as usize].push((d as u32 + bi as u32, dist));
                 bgraph[d + bi].push((cb as u32, dist));
@@ -344,37 +346,21 @@ fn border_idx(border_index: &[u32], v: NodeId) -> Option<BorderIdx> {
     }
 }
 
-/// Dijkstra from `src` that never leaves cell `cell`; returns
-/// `(source, dist)`. Border nodes of other cells are unreachable by
-/// construction.
+/// Dijkstra from `src` that never leaves cell `cell`, run into `ws` (read
+/// results through `ws.dist`). Nodes of other cells are unreachable by
+/// construction: the filtered expansion never labels them.
 fn restricted_sssp(
     net: &RoadNetwork,
     src: NodeId,
     cell_of: &[u32],
     cell: u32,
-) -> (NodeId, Vec<Dist>) {
-    let n = net.num_nodes();
-    let mut dist = vec![INFINITY; n];
-    let mut settled = vec![false; n];
-    dist[src.index()] = 0;
-    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
-    heap.push(Reverse((0, src)));
-    while let Some(Reverse((dd, u))) = heap.pop() {
-        if settled[u.index()] {
-            continue;
-        }
-        settled[u.index()] = true;
-        for (_, v, w) in net.neighbors(u) {
-            if w == INFINITY || cell_of[v.index()] != cell || settled[v.index()] {
-                continue;
-            }
-            if dd + w < dist[v.index()] {
-                dist[v.index()] = dd + w;
-                heap.push(Reverse((dd + w, v)));
-            }
-        }
-    }
-    (src, dist)
+    ws: &mut SsspWorkspace,
+) {
+    let mut exp = DijkstraExpansion::in_workspace(net, src, ws);
+    while exp
+        .next_settled_where(|v| cell_of[v.index()] == cell)
+        .is_some()
+    {}
 }
 
 #[cfg(test)]

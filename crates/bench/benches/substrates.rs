@@ -7,7 +7,10 @@ use rand::{Rng, SeedableRng};
 
 use dsi_bench::{paper_network, Scale};
 use dsi_graph::dijkstra::{sssp, sssp_bounded};
-use dsi_graph::NodeId;
+use dsi_graph::{
+    multi_source_with, sssp_bounded_with_backend, sssp_into, sssp_with_backend, NodeId,
+    QueueBackend, SsspWorkspace,
+};
 use dsi_rtree::{RTree, Rect};
 use dsi_signature::bits::BitWriter;
 use dsi_signature::encode::ReverseZeroPadding;
@@ -38,6 +41,56 @@ fn bench_substrates(c: &mut Criterion) {
             sssp_bounded(&net, NodeId(i), 50)
         })
     });
+    group.finish();
+
+    // Head-to-head: the same searches forced onto each queue substrate,
+    // plus the workspace-reuse variant (what construction loops run).
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+    for (name, backend) in [
+        ("full_sssp_5k_heap", QueueBackend::BinaryHeap),
+        ("full_sssp_5k_bucket", QueueBackend::Bucket),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 997) % net.num_nodes() as u32;
+                sssp_with_backend(&net, NodeId(i), backend)
+            })
+        });
+    }
+    for (name, backend) in [
+        ("bounded_r50_heap", QueueBackend::BinaryHeap),
+        ("bounded_r50_bucket", QueueBackend::Bucket),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 997) % net.num_nodes() as u32;
+                sssp_bounded_with_backend(&net, NodeId(i), 50, backend)
+            })
+        });
+    }
+    group.bench_function("full_sssp_5k_bucket_ws", |b| {
+        let mut ws = SsspWorkspace::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 997) % net.num_nodes() as u32;
+            sssp_into(&net, NodeId(i), &mut ws);
+            ws.settled_count()
+        })
+    });
+    let sources: Vec<NodeId> = (0..50u32)
+        .map(|i| NodeId(i * 97 % net.num_nodes() as u32))
+        .collect();
+    for (name, backend) in [
+        ("multi_source_50_heap", QueueBackend::BinaryHeap),
+        ("multi_source_50_bucket", QueueBackend::Bucket),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| multi_source_with(&net, &sources, backend))
+        });
+    }
     group.finish();
 
     let mut group = c.benchmark_group("storage");

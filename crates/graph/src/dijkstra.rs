@@ -6,12 +6,29 @@
 //! adjacency list. When the source is an object `o`, that slot is exactly the
 //! backtracking link `s(v)[o].link` of the paper (§3.1): the next hop from
 //! `v` towards `o`.
+//!
+//! Two engine-level choices are pluggable (see [`crate::queue`] and
+//! [`crate::workspace`]):
+//!
+//! * the **priority-queue substrate** — a Dial bucket queue by default on
+//!   small-integer-weight networks (the paper's weights are 1..10), falling
+//!   back to a binary heap when weights are wide;
+//! * the **state arrays** — callers running many SSSPs (index construction
+//!   does one per object) pass a reusable [`SsspWorkspace`] so dist/parent/
+//!   settled arrays and the queue are allocated once, not per source.
+//!
+//! Every variant returns exact distances and *a* valid shortest-path parent
+//! per node. Parent choice and intra-distance settle order may differ
+//! between substrates (both break distance ties differently); no caller may
+//! rely on them beyond validity.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::ids::{Dist, NodeId, INFINITY, NO_NODE};
 use crate::network::{RoadNetwork, Slot};
+use crate::queue::{MonotonePq, QueueBackend};
+use crate::workspace::SsspWorkspace;
 
 /// A single-source shortest-path tree.
 #[derive(Clone, Debug)]
@@ -33,17 +50,34 @@ impl SsspTree {
     /// Shortest path from the source to `v` (inclusive of both endpoints),
     /// or `None` if `v` is unreachable.
     pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = Vec::new();
+        self.path_into(v, &mut path).then_some(path)
+    }
+
+    /// Write the shortest path from the source to `v` into `buf` (cleared
+    /// first), returning `false` and leaving `buf` empty if `v` is
+    /// unreachable. Two passes — a depth count, then a back-to-front fill —
+    /// so `buf` is sized exactly once and never reversed; callers on hot
+    /// paths reuse one buffer across calls.
+    pub fn path_into(&self, v: NodeId, buf: &mut Vec<NodeId>) -> bool {
+        buf.clear();
         if self.dist[v.index()] == INFINITY {
-            return None;
+            return false;
         }
-        let mut path = vec![v];
+        let mut len = 1usize;
         let mut cur = v;
         while cur != self.source {
             cur = self.parent[cur.index()];
-            path.push(cur);
+            len += 1;
         }
-        path.reverse();
-        Some(path)
+        buf.resize(len, v);
+        let mut cur = v;
+        for i in (1..len).rev() {
+            buf[i] = cur;
+            cur = self.parent[cur.index()];
+        }
+        buf[0] = self.source;
+        true
     }
 }
 
@@ -56,6 +90,44 @@ pub fn sssp(net: &RoadNetwork, source: NodeId) -> SsspTree {
 /// `dist == INFINITY`. With `radius == INFINITY` this is plain Dijkstra.
 pub fn sssp_bounded(net: &RoadNetwork, source: NodeId, radius: Dist) -> SsspTree {
     let mut exp = DijkstraExpansion::new(net, source);
+    drive_to(&mut exp, radius);
+    exp.into_tree()
+}
+
+/// [`sssp`] on an explicit queue substrate (benchmarks and agreement tests;
+/// production callers should let `Auto` decide).
+pub fn sssp_with_backend(net: &RoadNetwork, source: NodeId, backend: QueueBackend) -> SsspTree {
+    sssp_bounded_with_backend(net, source, INFINITY, backend)
+}
+
+/// [`sssp_bounded`] on an explicit queue substrate.
+pub fn sssp_bounded_with_backend(
+    net: &RoadNetwork,
+    source: NodeId,
+    radius: Dist,
+    backend: QueueBackend,
+) -> SsspTree {
+    let mut exp = DijkstraExpansion::with_backend(net, source, backend);
+    drive_to(&mut exp, radius);
+    exp.into_tree()
+}
+
+/// Full Dijkstra into a reusable workspace: zero allocation after the first
+/// run. Read results through the workspace accessors or
+/// [`SsspWorkspace::to_tree`].
+pub fn sssp_into(net: &RoadNetwork, source: NodeId, ws: &mut SsspWorkspace) {
+    sssp_bounded_into(net, source, INFINITY, ws);
+}
+
+/// Bounded Dijkstra into a reusable workspace.
+pub fn sssp_bounded_into(net: &RoadNetwork, source: NodeId, radius: Dist, ws: &mut SsspWorkspace) {
+    let mut exp = DijkstraExpansion::in_workspace(net, source, ws);
+    drive_to(&mut exp, radius);
+}
+
+/// Run `exp` until exhaustion or past `radius` (rolling back the one
+/// over-radius settlement).
+fn drive_to(exp: &mut DijkstraExpansion<'_>, radius: Dist) {
     while let Some((_, d)) = exp.next_settled() {
         if d > radius {
             // The frontier is monotone: everything after this is farther.
@@ -63,7 +135,31 @@ pub fn sssp_bounded(net: &RoadNetwork, source: NodeId, radius: Dist) -> SsspTree
             break;
         }
     }
-    exp.into_tree()
+}
+
+/// The expansion's state: owned for one-shot searches, borrowed when the
+/// caller threads a [`SsspWorkspace`] through many searches.
+enum WsRef<'a> {
+    Owned(Box<SsspWorkspace>),
+    Borrowed(&'a mut SsspWorkspace),
+}
+
+impl WsRef<'_> {
+    #[inline]
+    fn get(&self) -> &SsspWorkspace {
+        match self {
+            WsRef::Owned(ws) => ws,
+            WsRef::Borrowed(ws) => ws,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut SsspWorkspace {
+        match self {
+            WsRef::Owned(ws) => ws,
+            WsRef::Borrowed(ws) => ws,
+        }
+    }
 }
 
 /// Incremental network expansion: Dijkstra exposed as an iterator over
@@ -74,31 +170,49 @@ pub fn sssp_bounded(net: &RoadNetwork, source: NodeId, radius: Dist) -> SsspTree
 /// when to stop, and can charge page accesses per visited node.
 pub struct DijkstraExpansion<'a> {
     net: &'a RoadNetwork,
-    dist: Vec<Dist>,
-    parent: Vec<NodeId>,
-    parent_slot: Vec<Slot>,
-    settled: Vec<bool>,
-    heap: BinaryHeap<(Reverse<Dist>, NodeId)>,
+    ws: WsRef<'a>,
     source: NodeId,
     last: Option<NodeId>,
-    /// Count of heap relaxations performed (a CPU-cost proxy).
+    /// Count of queue relaxations performed (a CPU-cost proxy).
     pub relaxations: u64,
 }
 
 impl<'a> DijkstraExpansion<'a> {
+    /// One-shot expansion with internally owned state; the queue substrate
+    /// is chosen per [`QueueBackend::Auto`].
     pub fn new(net: &'a RoadNetwork, source: NodeId) -> Self {
-        let n = net.num_nodes();
-        let mut dist = vec![INFINITY; n];
-        dist[source.index()] = 0;
-        let mut heap = BinaryHeap::new();
-        heap.push((Reverse(0), source));
+        Self::with_backend(net, source, QueueBackend::Auto)
+    }
+
+    /// One-shot expansion on an explicit queue substrate.
+    pub fn with_backend(net: &'a RoadNetwork, source: NodeId, backend: QueueBackend) -> Self {
+        Self::start(net, WsRef::Owned(Box::new(SsspWorkspace::new())), source, backend)
+    }
+
+    /// Expansion reusing `ws` (arrays and queue survive across searches);
+    /// any state from a previous run in `ws` is invalidated.
+    pub fn in_workspace(net: &'a RoadNetwork, source: NodeId, ws: &'a mut SsspWorkspace) -> Self {
+        Self::in_workspace_with(net, source, ws, QueueBackend::Auto)
+    }
+
+    /// [`Self::in_workspace`] on an explicit queue substrate.
+    pub fn in_workspace_with(
+        net: &'a RoadNetwork,
+        source: NodeId,
+        ws: &'a mut SsspWorkspace,
+        backend: QueueBackend,
+    ) -> Self {
+        Self::start(net, WsRef::Borrowed(ws), source, backend)
+    }
+
+    fn start(net: &'a RoadNetwork, mut ws: WsRef<'a>, source: NodeId, backend: QueueBackend) -> Self {
+        let w = ws.get_mut();
+        w.begin(net, backend);
+        w.label(source, 0, NO_NODE, 0);
+        w.pq.push(0, source);
         DijkstraExpansion {
             net,
-            dist,
-            parent: vec![NO_NODE; n],
-            parent_slot: vec![0; n],
-            settled: vec![false; n],
-            heap,
+            ws,
             source,
             last: None,
             relaxations: 0,
@@ -108,23 +222,31 @@ impl<'a> DijkstraExpansion<'a> {
     /// Settle and return the next-nearest unsettled node, or `None` when the
     /// reachable component is exhausted.
     pub fn next_settled(&mut self) -> Option<(NodeId, Dist)> {
-        while let Some((Reverse(d), u)) = self.heap.pop() {
-            if self.settled[u.index()] {
-                continue; // stale heap entry
+        self.next_settled_where(|_| true)
+    }
+
+    /// Like [`Self::next_settled`], but only relaxes edges into nodes for
+    /// which `allow` returns true — the search never labels (hence never
+    /// settles) a disallowed node. Used by the NVD construction to confine
+    /// a search to one Voronoi cell.
+    pub fn next_settled_where(&mut self, mut allow: impl FnMut(NodeId) -> bool) -> Option<(NodeId, Dist)> {
+        let ws = self.ws.get_mut();
+        while let Some((d, u)) = ws.pq.pop() {
+            if ws.is_settled(u) {
+                continue; // stale queue entry
             }
-            self.settled[u.index()] = true;
+            debug_assert_eq!(ws.dist(u), d, "first unsettled pop carries the final distance");
+            ws.settle(u);
             self.last = Some(u);
             for (slot, v, w) in self.net.neighbors(u) {
-                if w == INFINITY || self.settled[v.index()] {
+                if w == INFINITY || ws.is_settled(v) || !allow(v) {
                     continue;
                 }
                 let nd = d + w;
-                if nd < self.dist[v.index()] {
-                    self.dist[v.index()] = nd;
-                    self.parent[v.index()] = u;
+                if nd < ws.dist(v) {
                     // Slot of u within v's list = reverse of (u, slot).
-                    self.parent_slot[v.index()] = self.net.reverse_slot(u, slot);
-                    self.heap.push((Reverse(nd), v));
+                    ws.label(v, nd, u, self.net.reverse_slot(u, slot));
+                    ws.pq.push(nd, v);
                     self.relaxations += 1;
                 }
             }
@@ -136,46 +258,31 @@ impl<'a> DijkstraExpansion<'a> {
     /// Distance to `v` as currently known (exact once `v` was settled).
     #[inline]
     pub fn dist(&self, v: NodeId) -> Dist {
-        self.dist[v.index()]
+        self.ws.get().dist(v)
     }
 
     /// Whether `v` has been settled (its distance finalized).
     #[inline]
     pub fn is_settled(&self, v: NodeId) -> bool {
-        self.settled[v.index()]
+        self.ws.get().is_settled(v)
     }
 
     /// Number of settled nodes so far.
     pub fn settled_count(&self) -> usize {
-        self.settled.iter().filter(|&&s| s).count()
+        self.ws.get().settled_count()
     }
 
     /// Roll back the most recent settlement — used by the bounded variant
     /// when the frontier first exceeds the radius.
     fn unsettle_last(&mut self) {
         if let Some(u) = self.last.take() {
-            self.settled[u.index()] = false;
-            self.dist[u.index()] = INFINITY;
-            self.parent[u.index()] = NO_NODE;
+            self.ws.get_mut().unsettle(u);
         }
     }
 
     /// Finalize into an [`SsspTree`]; unsettled nodes keep `INFINITY`.
-    pub fn into_tree(mut self) -> SsspTree {
-        // Unsettled nodes may carry tentative labels; reset them so the tree
-        // only reports finalized distances.
-        for v in 0..self.dist.len() {
-            if !self.settled[v] {
-                self.dist[v] = INFINITY;
-                self.parent[v] = NO_NODE;
-            }
-        }
-        SsspTree {
-            source: self.source,
-            dist: self.dist,
-            parent: self.parent,
-            parent_slot: self.parent_slot,
-        }
+    pub fn into_tree(self) -> SsspTree {
+        self.ws.get().to_tree(self.source)
     }
 }
 
@@ -198,15 +305,31 @@ pub struct MultiSourceResult {
 /// node to its nearest source. This computes the Network Voronoi Diagram used
 /// by the VN3 baseline (§2) in one pass.
 pub fn multi_source(net: &RoadNetwork, sources: &[NodeId]) -> MultiSourceResult {
+    multi_source_with(net, sources, QueueBackend::Auto)
+}
+
+/// [`multi_source`] on an explicit queue substrate.
+///
+/// The `(dist, owner)` labels are substrate-independent: with positive
+/// weights, every relaxation that can still improve a node at its final
+/// distance `d` comes from a node settled at a distance `< d`, so the
+/// minimum-owner tie rule resolves identically whatever order equal-distance
+/// nodes pop in. (Parents are only guaranteed *valid*, as everywhere.)
+pub fn multi_source_with(
+    net: &RoadNetwork,
+    sources: &[NodeId],
+    backend: QueueBackend,
+) -> MultiSourceResult {
     let n = net.num_nodes();
     let mut dist = vec![INFINITY; n];
     let mut owner = vec![u32::MAX; n];
     let mut parent = vec![NO_NODE; n];
     let mut parent_slot = vec![0 as Slot; n];
     let mut settled = vec![false; n];
-    // Heap entries carry the owner so ties resolve deterministically by
-    // (distance, owner index, node id).
-    let mut heap: BinaryHeap<Reverse<(Dist, u32, NodeId)>> = BinaryHeap::new();
+    // Queue entries carry the owner; the heap substrate orders equal-key
+    // entries by (owner index, node id) for determinism, the bucket
+    // substrate relies on the label guard below instead.
+    let mut pq: MonotonePq<(u32, NodeId)> = MonotonePq::for_network(net, backend);
     for (i, &s) in sources.iter().enumerate() {
         let i = i as u32;
         // A node hosting several sources keeps the first.
@@ -215,9 +338,9 @@ pub fn multi_source(net: &RoadNetwork, sources: &[NodeId]) -> MultiSourceResult 
         }
         dist[s.index()] = 0;
         owner[s.index()] = i;
-        heap.push(Reverse((0, i, s)));
+        pq.push(0, (i, s));
     }
-    while let Some(Reverse((d, o, u))) = heap.pop() {
+    while let Some((d, (o, u))) = pq.pop() {
         if settled[u.index()] || owner[u.index()] != o || dist[u.index()] != d {
             continue;
         }
@@ -233,7 +356,7 @@ pub fn multi_source(net: &RoadNetwork, sources: &[NodeId]) -> MultiSourceResult 
                 owner[v.index()] = o;
                 parent[v.index()] = u;
                 parent_slot[v.index()] = net.reverse_slot(u, slot);
-                heap.push(Reverse((nd, o, v)));
+                pq.push(nd, (o, v));
             }
         }
     }
@@ -274,6 +397,10 @@ pub fn euclidean_lower_bound_scale(net: &RoadNetwork) -> f64 {
 /// euclidean(v, target)`. `h_scale` must make `h` a lower bound on network
 /// distance (see [`euclidean_lower_bound_scale`]); `h_scale = 0` reduces to
 /// plain Dijkstra. Returns `(distance, path)` or `None` when disconnected.
+///
+/// A* keys (`dist + h`) are not monotone steps of edge weights, so this
+/// search always runs on the binary heap, whatever the network's weight
+/// bound.
 pub fn astar(
     net: &RoadNetwork,
     source: NodeId,
@@ -326,6 +453,7 @@ mod tests {
     use crate::generate::grid;
     use crate::network::NetworkBuilder;
     use crate::point::Point;
+    use crate::queue::MAX_BUCKET_WEIGHT;
 
     fn line(weights: &[Dist]) -> RoadNetwork {
         let mut b = NetworkBuilder::new();
@@ -387,6 +515,21 @@ mod tests {
     }
 
     #[test]
+    fn path_into_reuses_a_buffer_and_reports_unreachable() {
+        let mut g = line(&[1, 2, 1]);
+        g.set_edge_weight(NodeId(2), NodeId(3), INFINITY);
+        let t = sssp(&g, NodeId(0));
+        let mut buf = vec![NodeId(99); 100]; // stale content must not leak
+        assert!(t.path_into(NodeId(2), &mut buf));
+        assert_eq!(buf, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(!t.path_into(NodeId(3), &mut buf), "unreachable");
+        assert!(buf.is_empty());
+        // Path to the source itself is just the source.
+        assert!(t.path_into(NodeId(0), &mut buf));
+        assert_eq!(buf, vec![NodeId(0)]);
+    }
+
+    #[test]
     fn bounded_sssp_truncates() {
         let g = grid(8, 8);
         let t = sssp_bounded(&g, NodeId(0), 3);
@@ -415,6 +558,54 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 49);
+        assert_eq!(exp.settled_count(), 49);
+    }
+
+    #[test]
+    fn both_backends_run_both_code_paths() {
+        // The 7x7 unit grid resolves Auto to buckets; force each substrate
+        // and check full agreement on distances plus parent validity.
+        let g = grid(7, 7);
+        let bucket = sssp_with_backend(&g, NodeId(3), QueueBackend::Bucket);
+        let heap = sssp_with_backend(&g, NodeId(3), QueueBackend::BinaryHeap);
+        assert_eq!(bucket.dist, heap.dist);
+        for t in [&bucket, &heap] {
+            for v in g.nodes() {
+                let p = t.parent[v.index()];
+                if p != NO_NODE {
+                    let (pp, _) = g.neighbor_at(v, t.parent_slot[v.index()]);
+                    assert_eq!(pp, p);
+                    let w = g.edge_weight(v, p).unwrap();
+                    assert_eq!(t.dist[p.index()] + w, t.dist[v.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_weights_fall_back_to_the_heap() {
+        let g = line(&[1, MAX_BUCKET_WEIGHT + 50, 2]);
+        assert_eq!(QueueBackend::Auto.resolve(&g), QueueBackend::BinaryHeap);
+        let t = sssp(&g, NodeId(0));
+        assert_eq!(t.dist, vec![0, 1, MAX_BUCKET_WEIGHT + 51, MAX_BUCKET_WEIGHT + 53]);
+    }
+
+    #[test]
+    fn expansion_restricted_by_predicate_stays_inside() {
+        // Restrict expansion from a corner to the top row of a grid: the
+        // search must behave as if other rows did not exist.
+        let g = grid(5, 5);
+        let top_row = |v: NodeId| v.index() < 5;
+        let mut exp = DijkstraExpansion::new(&g, NodeId(0));
+        let mut settled = Vec::new();
+        while let Some((v, d)) = exp.next_settled_where(top_row) {
+            settled.push((v, d));
+        }
+        assert_eq!(
+            settled,
+            (0..5).map(|i| (NodeId(i), i)).collect::<Vec<_>>(),
+            "exactly the top row, in order"
+        );
     }
 
     #[test]
@@ -430,13 +621,15 @@ mod tests {
     #[test]
     fn multi_source_assigns_nearest_owner() {
         let g = line(&[1, 1, 1, 1]); // 5 nodes in a row
-        let r = multi_source(&g, &[NodeId(0), NodeId(4)]);
-        assert_eq!(r.owner[0], 0);
-        assert_eq!(r.owner[1], 0);
-        assert_eq!(r.owner[2], 0, "tie breaks toward lower source index");
-        assert_eq!(r.owner[3], 1);
-        assert_eq!(r.owner[4], 1);
-        assert_eq!(r.dist, vec![0, 1, 2, 1, 0]);
+        for backend in [QueueBackend::Bucket, QueueBackend::BinaryHeap] {
+            let r = multi_source_with(&g, &[NodeId(0), NodeId(4)], backend);
+            assert_eq!(r.owner[0], 0);
+            assert_eq!(r.owner[1], 0);
+            assert_eq!(r.owner[2], 0, "tie breaks toward lower source index");
+            assert_eq!(r.owner[3], 1);
+            assert_eq!(r.owner[4], 1);
+            assert_eq!(r.dist, vec![0, 1, 2, 1, 0]);
+        }
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct RoadNetwork {
     coords: Vec<Point>,
     /// Maximum node degree, cached for index sizing (`|s[i].link|` bits).
     max_degree: u32,
+    /// Monotone upper bound on every finite edge weight, cached for
+    /// priority-queue sizing: Dial's bucket queue needs `max_w + 1` buckets.
+    /// `set_edge_weight` only ever raises it (a loose bound stays a bound;
+    /// tracking the exact maximum under weight decreases would cost a scan).
+    weight_bound: Dist,
 }
 
 impl RoadNetwork {
@@ -66,6 +71,16 @@ impl RoadNetwork {
     #[inline]
     pub fn max_degree(&self) -> u32 {
         self.max_degree
+    }
+
+    /// An upper bound on every finite edge weight currently in the network.
+    ///
+    /// Exact after construction; after weight updates it may over-estimate
+    /// (it never shrinks), which is safe for its one purpose: choosing and
+    /// sizing the Dial bucket queue in the shortest-path engine.
+    #[inline]
+    pub fn edge_weight_bound(&self) -> Dist {
+        self.weight_bound
     }
 
     /// Planar coordinate of `n`.
@@ -132,6 +147,9 @@ impl RoadNetwork {
         debug_assert_eq!(old, self.weights[iv], "undirected weights diverged");
         self.weights[iu] = w;
         self.weights[iv] = w;
+        if w != INFINITY && w > self.weight_bound {
+            self.weight_bound = w;
+        }
         old
     }
 
@@ -210,6 +228,7 @@ impl RoadNetwork {
                 reverse_slot[i] = pos as Slot;
             }
         }
+        let weight_bound = max_finite_weight(&weights);
         RoadNetwork {
             offsets,
             targets,
@@ -217,8 +236,19 @@ impl RoadNetwork {
             reverse_slot,
             coords,
             max_degree,
+            weight_bound,
         }
     }
+}
+
+/// Largest finite weight in an arc-weight array (0 on an edgeless network).
+fn max_finite_weight(weights: &[Dist]) -> Dist {
+    weights
+        .iter()
+        .copied()
+        .filter(|&w| w != INFINITY)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Incremental builder for [`RoadNetwork`].
@@ -320,6 +350,7 @@ impl NetworkBuilder {
                 reverse_slot[i] = pos as Slot;
             }
         }
+        let weight_bound = max_finite_weight(&weights);
         RoadNetwork {
             offsets,
             targets,
@@ -327,6 +358,7 @@ impl NetworkBuilder {
             reverse_slot,
             coords: self.coords,
             max_degree,
+            weight_bound,
         }
     }
 }
@@ -449,6 +481,21 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let a = b.add_node(Point::new(0.0, 0.0));
         b.add_edge(a, a, 1);
+    }
+
+    #[test]
+    fn weight_bound_is_exact_after_build_and_monotone_after_updates() {
+        let mut g = small_net();
+        assert_eq!(g.edge_weight_bound(), 8);
+        // Raising a weight raises the bound.
+        g.set_edge_weight(NodeId(0), NodeId(1), 20);
+        assert_eq!(g.edge_weight_bound(), 20);
+        // Lowering it back keeps the (now loose) bound — still an upper bound.
+        g.set_edge_weight(NodeId(0), NodeId(1), 2);
+        assert_eq!(g.edge_weight_bound(), 20);
+        // Removal never counts as a weight.
+        g.set_edge_weight(NodeId(0), NodeId(1), INFINITY);
+        assert_eq!(g.edge_weight_bound(), 20);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Priority-queue substrates for the shortest-path engine.
+//!
+//! Dijkstra on a road network never needs a general-purpose priority queue:
+//! keys popped are monotone non-decreasing and every inserted key exceeds the
+//! last popped key by at most `max_edge_weight`. Dial (1969) exploits this
+//! with a circular array of `max_w + 1` buckets — O(1) push, O(1) amortized
+//! pop, no comparisons, sequential memory — which on small-integer-weight
+//! networks (the paper's are 1..10) beats a binary heap by a wide margin.
+//!
+//! [`MonotonePq`] packages both substrates behind one push/pop interface and
+//! [`QueueBackend::Auto`] picks per network: buckets when the weight bound is
+//! small enough that the ring stays cache-resident, binary heap otherwise
+//! (wide or unbounded weights would make the ring huge and pops would scan
+//! long empty runs).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{Dist, INFINITY};
+use crate::network::RoadNetwork;
+
+/// Which priority-queue substrate a Dijkstra variant runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Decide from the network's edge-weight bound (the default): Dial
+    /// buckets when `1 <= bound <= MAX_BUCKET_WEIGHT`, heap otherwise.
+    #[default]
+    Auto,
+    /// Always the binary heap.
+    BinaryHeap,
+    /// Always the Dial bucket queue. Panics at queue construction if the
+    /// network's weight bound is 0 (edgeless) — there is nothing to size by.
+    Bucket,
+}
+
+/// Widest edge-weight bound for which [`QueueBackend::Auto`] still picks the
+/// bucket queue. `4096` buckets of a small `Vec` each keep the ring around a
+/// page-count that stays cache-friendly; beyond that, empty-bucket scans and
+/// memory overhead erode the win over a heap.
+pub const MAX_BUCKET_WEIGHT: Dist = 4096;
+
+impl QueueBackend {
+    /// Resolve `Auto` against a concrete network.
+    pub fn resolve(self, net: &RoadNetwork) -> QueueBackend {
+        match self {
+            QueueBackend::Auto => {
+                let bound = net.edge_weight_bound();
+                if bound >= 1 && bound <= MAX_BUCKET_WEIGHT {
+                    QueueBackend::Bucket
+                } else {
+                    QueueBackend::BinaryHeap
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Dial's bucket queue (a one-level calendar queue).
+///
+/// Invariant: every live key lies in `[cur, cur + width)`, where `width =
+/// max_edge_weight + 1`. This holds for monotone Dijkstra workloads seeded at
+/// a single key: a relaxation pushes `d_popped + w <= cur + width - 1`.
+/// Within a bucket, entries pop in LIFO order — fine for Dijkstra, where any
+/// order within one distance value is correct (callers must not rely on
+/// intra-distance tie order; the heap breaks those ties differently).
+#[derive(Clone, Debug)]
+pub struct BucketQueue<T> {
+    /// `ring[d % width]` holds entries with key `d`.
+    ring: Vec<Vec<T>>,
+    /// The smallest key that may still be live. Advances monotonically
+    /// within one run; `u64` so `cur + width` cannot wrap even at keys near
+    /// `Dist::MAX`.
+    cur: u64,
+    /// Live entry count.
+    len: usize,
+    /// Whether a first key has been pushed since the last reset (the first
+    /// push pins `cur`).
+    primed: bool,
+}
+
+impl<T> BucketQueue<T> {
+    /// A queue for keys whose pairwise push-ahead never exceeds `max_step`
+    /// (for Dijkstra: the maximum edge weight, which must be ≥ 1).
+    pub fn new(max_step: Dist) -> Self {
+        assert!(max_step >= 1, "bucket queue needs a positive weight bound");
+        assert!(
+            max_step < INFINITY,
+            "bucket queue cannot be sized by an unbounded weight"
+        );
+        let width = max_step as usize + 1;
+        BucketQueue {
+            ring: (0..width).map(|_| Vec::new()).collect(),
+            cur: 0,
+            len: 0,
+            primed: false,
+        }
+    }
+
+    /// Empty the queue, keeping bucket capacity for reuse. If `max_step`
+    /// grew (e.g. an edge-weight update raised the network bound), the ring
+    /// is enlarged to match.
+    pub fn reset(&mut self, max_step: Dist) {
+        assert!(max_step >= 1 && max_step < INFINITY);
+        let width = max_step as usize + 1;
+        if width > self.ring.len() {
+            self.ring.resize_with(width, Vec::new);
+        }
+        if self.len > 0 {
+            for b in &mut self.ring {
+                b.clear();
+            }
+        }
+        self.cur = 0;
+        self.len = 0;
+        self.primed = false;
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `item` with `key`. The first push after a reset may use any
+    /// key (it pins the scan position); afterwards `key` must lie in
+    /// `[cur, cur + width)` — guaranteed by Dijkstra's monotonicity.
+    #[inline]
+    pub fn push(&mut self, key: Dist, item: T) {
+        let key = key as u64;
+        if !self.primed {
+            self.cur = key;
+            self.primed = true;
+        }
+        debug_assert!(
+            key >= self.cur && key < self.cur + self.ring.len() as u64,
+            "bucket key {key} outside live window [{}, {})",
+            self.cur,
+            self.cur + self.ring.len() as u64
+        );
+        let idx = (key % self.ring.len() as u64) as usize;
+        self.ring[idx].push(item);
+        self.len += 1;
+    }
+
+    /// Pop an entry with the minimum key. Amortized O(1): `cur` only ever
+    /// advances, by at most `width` per run of the whole queue.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Dist, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let width = self.ring.len() as u64;
+        loop {
+            let bucket = &mut self.ring[(self.cur % width) as usize];
+            if let Some(item) = bucket.pop() {
+                self.len -= 1;
+                return Some((self.cur as Dist, item));
+            }
+            self.cur += 1;
+        }
+    }
+}
+
+/// A monotone priority queue: either substrate behind one interface.
+///
+/// `T` is the payload (a node id, or `(owner, node)` for multi-source);
+/// `Ord` on `T` is only used by the heap substrate to order equal-key
+/// entries deterministically.
+#[derive(Clone, Debug)]
+pub enum MonotonePq<T: Ord> {
+    Heap(BinaryHeap<(Reverse<Dist>, T)>),
+    Bucket(BucketQueue<T>),
+}
+
+impl<T: Ord> MonotonePq<T> {
+    /// Build the substrate `backend` resolves to on `net`.
+    pub fn for_network(net: &RoadNetwork, backend: QueueBackend) -> Self {
+        match backend.resolve(net) {
+            QueueBackend::Bucket => {
+                MonotonePq::Bucket(BucketQueue::new(net.edge_weight_bound().max(1)))
+            }
+            _ => MonotonePq::Heap(BinaryHeap::new()),
+        }
+    }
+
+    /// Empty the queue for a fresh run on `net`, keeping allocations and
+    /// re-resolving the substrate (the weight bound may have grown).
+    pub fn reset_for(&mut self, net: &RoadNetwork, backend: QueueBackend) {
+        match (backend.resolve(net), &mut *self) {
+            (QueueBackend::Bucket, MonotonePq::Bucket(q)) => {
+                q.reset(net.edge_weight_bound().max(1))
+            }
+            (QueueBackend::BinaryHeap, MonotonePq::Heap(h)) => h.clear(),
+            (_, slot) => *slot = MonotonePq::for_network(net, backend),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            MonotonePq::Heap(h) => h.len(),
+            MonotonePq::Bucket(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn push(&mut self, key: Dist, item: T) {
+        match self {
+            MonotonePq::Heap(h) => h.push((Reverse(key), item)),
+            MonotonePq::Bucket(q) => q.push(key, item),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Dist, T)> {
+        match self {
+            MonotonePq::Heap(h) => h.pop().map(|(Reverse(d), item)| (d, item)),
+            MonotonePq::Bucket(q) => q.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::grid;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn bucket_pops_in_key_order() {
+        let mut q = BucketQueue::new(10);
+        for (k, v) in [(3u32, 'b'), (5, 'a'), (3, 'd'), (9, 'c'), (12, 'e')] {
+            // 12 is legal: window after the first push (key 3) is [3, 14).
+            q.push(k, v);
+        }
+        let mut popped = Vec::new();
+        while let Some((k, v)) = q.pop() {
+            popped.push((k, v));
+        }
+        let keys: Vec<Dist> = popped.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![3, 3, 5, 9, 12]);
+        assert!(popped.contains(&(3, 'b')) && popped.contains(&(3, 'd')));
+    }
+
+    #[test]
+    fn bucket_window_slides_past_ring_length() {
+        let mut q = BucketQueue::new(4);
+        q.push(0, 0u32);
+        let mut key = 0;
+        // Push keys strictly increasing by ≤ 4, far beyond the ring size.
+        for i in 1..100u32 {
+            let (k, _) = q.pop().unwrap();
+            key = k + 1 + (i % 4);
+            q.push(key, i);
+        }
+        assert_eq!(q.pop().unwrap().0, key);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn bucket_reset_reuses_and_regrows() {
+        let mut q = BucketQueue::new(3);
+        q.push(7, 'x');
+        q.reset(3);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        q.push(2, 'y'); // first push after reset re-pins the window
+        assert_eq!(q.pop(), Some((2, 'y')));
+        q.reset(9); // wider bound grows the ring
+        q.push(0, 'a');
+        q.push(9, 'b');
+        assert_eq!(q.pop(), Some((0, 'a')));
+        assert_eq!(q.pop(), Some((9, 'b')));
+    }
+
+    #[test]
+    fn auto_resolves_by_weight_bound() {
+        let g = grid(3, 3); // unit weights
+        assert_eq!(QueueBackend::Auto.resolve(&g), QueueBackend::Bucket);
+        let mut wide = grid(3, 3);
+        wide.set_edge_weight(NodeId(0), NodeId(1), MAX_BUCKET_WEIGHT + 1);
+        assert_eq!(QueueBackend::Auto.resolve(&wide), QueueBackend::BinaryHeap);
+        // Forced backends resolve to themselves regardless.
+        assert_eq!(QueueBackend::Bucket.resolve(&wide), QueueBackend::Bucket);
+        assert_eq!(QueueBackend::BinaryHeap.resolve(&g), QueueBackend::BinaryHeap);
+    }
+
+    #[test]
+    fn monotone_pq_substrates_agree() {
+        // Raise the weight bound so the bucket ring covers the key spread
+        // below (all keys pushed before any pop must fit one window).
+        let mut g = grid(4, 4);
+        g.set_edge_weight(NodeId(0), NodeId(1), 4);
+        let mut bucket: MonotonePq<NodeId> = MonotonePq::for_network(&g, QueueBackend::Bucket);
+        let mut heap: MonotonePq<NodeId> = MonotonePq::for_network(&g, QueueBackend::BinaryHeap);
+        assert!(matches!(bucket, MonotonePq::Bucket(_)));
+        assert!(matches!(heap, MonotonePq::Heap(_)));
+        let keys = [0u32, 1, 1, 2, 1, 3, 2];
+        for (i, &k) in keys.iter().enumerate() {
+            bucket.push(k, NodeId(i as u32));
+            heap.push(k, NodeId(i as u32));
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        while let Some((k, _)) = bucket.pop() {
+            a.push(k);
+        }
+        while let Some((k, _)) = heap.pop() {
+            b.push(k);
+        }
+        assert_eq!(a, b, "both substrates pop keys in the same order");
+    }
+}

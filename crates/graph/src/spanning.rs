@@ -26,9 +26,10 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 use crate::dataset::ObjectSet;
-use crate::dijkstra::{sssp, SsspTree};
+use crate::dijkstra::{sssp, sssp_into, SsspTree};
 use crate::ids::{dist_add, Dist, NodeId, ObjectId, INFINITY, NO_NODE};
 use crate::network::RoadNetwork;
+use crate::workspace::SsspWorkspace;
 
 /// One shortest-path spanning tree per object.
 #[derive(Clone, Debug)]
@@ -61,11 +62,16 @@ impl ForestDelta {
 }
 
 impl SpanningForest {
-    /// Build the forest by running one Dijkstra per object.
+    /// Build the forest by running one Dijkstra per object, through a single
+    /// reused workspace (arrays and queue allocated once for all `|D|` runs).
     pub fn build(net: &RoadNetwork, objects: &ObjectSet) -> Self {
+        let mut ws = SsspWorkspace::new();
         let trees = objects
             .iter()
-            .map(|(_, host)| sssp(net, host))
+            .map(|(_, host)| {
+                sssp_into(net, host, &mut ws);
+                ws.to_tree(host)
+            })
             .collect();
         SpanningForest { trees }
     }

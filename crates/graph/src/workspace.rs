@@ -1,0 +1,241 @@
+//! Reusable single-source shortest-path state.
+//!
+//! Construction runs one Dijkstra per object (§5.2) — on the paper's p=0.01
+//! dataset that is hundreds of full SSSPs, and the naive engine allocates and
+//! zeroes four O(n) arrays for every one of them. [`SsspWorkspace`] keeps
+//! those arrays alive across runs and replaces the per-run re-zeroing with
+//! **epoch stamping**: each run bumps a 32-bit epoch, and a label or
+//! settlement is valid only if its stamp equals the current epoch. Starting a
+//! new SSSP is then O(1) (plus queue reset), not O(n).
+//!
+//! The workspace also owns the priority queue (heap or Dial buckets, see
+//! [`crate::queue`]), so a worker thread doing `|D|` consecutive builds
+//! allocates each structure exactly once.
+
+use crate::ids::{Dist, NodeId, INFINITY, NO_NODE};
+use crate::network::{RoadNetwork, Slot};
+use crate::queue::{MonotonePq, QueueBackend};
+use crate::SsspTree;
+
+/// Epoch-stamped dist/parent/settled arrays plus the priority queue: all
+/// mutable state of one Dijkstra run, reusable across runs without
+/// re-allocation or O(n) clearing.
+#[derive(Clone, Debug)]
+pub struct SsspWorkspace {
+    /// Active node count (the arrays may be longer after a shrink).
+    n: usize,
+    /// Current run id; stamps below are valid iff equal to it.
+    epoch: u32,
+    dist: Vec<Dist>,
+    parent: Vec<NodeId>,
+    parent_slot: Vec<Slot>,
+    /// `label_epoch[v] == epoch` ⇔ `dist/parent/parent_slot[v]` belong to
+    /// the current run.
+    label_epoch: Vec<u32>,
+    /// `settle_epoch[v] == epoch` ⇔ `v` is settled in the current run.
+    settle_epoch: Vec<u32>,
+    settled: usize,
+    pub(crate) pq: MonotonePq<NodeId>,
+}
+
+impl Default for SsspWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SsspWorkspace {
+    pub fn new() -> Self {
+        SsspWorkspace {
+            n: 0,
+            epoch: 0,
+            dist: Vec::new(),
+            parent: Vec::new(),
+            parent_slot: Vec::new(),
+            label_epoch: Vec::new(),
+            settle_epoch: Vec::new(),
+            settled: 0,
+            pq: MonotonePq::Heap(std::collections::BinaryHeap::new()),
+        }
+    }
+
+    /// Start a fresh run over `net`: bump the epoch (invalidating every
+    /// stale label in O(1)), size the arrays, and reset the queue on the
+    /// substrate `backend` resolves to.
+    pub(crate) fn begin(&mut self, net: &RoadNetwork, backend: QueueBackend) {
+        let n = net.num_nodes();
+        if n > self.dist.len() {
+            self.dist.resize(n, INFINITY);
+            self.parent.resize(n, NO_NODE);
+            self.parent_slot.resize(n, 0);
+            self.label_epoch.resize(n, 0);
+            self.settle_epoch.resize(n, 0);
+        }
+        self.n = n;
+        if self.epoch == u32::MAX {
+            // Epoch wrapped: one full re-zeroing every 2^32 - 1 runs.
+            self.label_epoch.fill(0);
+            self.settle_epoch.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.settled = 0;
+        self.pq.reset_for(net, backend);
+    }
+
+    /// Number of nodes of the current run.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Distance label of `v` in the current run (`INFINITY` if unlabeled).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        if self.label_epoch[v.index()] == self.epoch {
+            self.dist[v.index()]
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Parent of `v` in the current run (`NO_NODE` if unlabeled).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        if self.label_epoch[v.index()] == self.epoch {
+            self.parent[v.index()]
+        } else {
+            NO_NODE
+        }
+    }
+
+    /// Adjacency slot of `parent(v)` within `v`'s list; meaningless unless
+    /// `parent(v) != NO_NODE`.
+    #[inline]
+    pub fn parent_slot(&self, v: NodeId) -> Slot {
+        self.parent_slot[v.index()]
+    }
+
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settle_epoch[v.index()] == self.epoch
+    }
+
+    #[inline]
+    pub fn settled_count(&self) -> usize {
+        self.settled
+    }
+
+    /// Write the label `(dist, parent, parent_slot)` for `v`.
+    #[inline]
+    pub(crate) fn label(&mut self, v: NodeId, d: Dist, parent: NodeId, slot: Slot) {
+        let i = v.index();
+        self.dist[i] = d;
+        self.parent[i] = parent;
+        self.parent_slot[i] = slot;
+        self.label_epoch[i] = self.epoch;
+    }
+
+    #[inline]
+    pub(crate) fn settle(&mut self, v: NodeId) {
+        self.settle_epoch[v.index()] = self.epoch;
+        self.settled += 1;
+    }
+
+    /// Remove `v`'s label and settlement (bounded search rollback).
+    #[inline]
+    pub(crate) fn unsettle(&mut self, v: NodeId) {
+        let i = v.index();
+        // Any stamp != epoch means "not this run"; epoch is ≥ 1 here.
+        if self.settle_epoch[i] == self.epoch {
+            self.settle_epoch[i] = self.epoch - 1;
+            self.settled -= 1;
+        }
+        self.label_epoch[i] = self.epoch - 1;
+    }
+
+    /// Materialize the current run as an [`SsspTree`] rooted at `source`:
+    /// settled nodes keep their labels, everything else reads as
+    /// unreachable.
+    pub fn to_tree(&self, source: NodeId) -> SsspTree {
+        let n = self.n;
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![NO_NODE; n];
+        let mut parent_slot = vec![0 as Slot; n];
+        for v in 0..n {
+            if self.settle_epoch[v] == self.epoch {
+                dist[v] = self.dist[v];
+                parent[v] = self.parent[v];
+                parent_slot[v] = self.parent_slot[v];
+            }
+        }
+        SsspTree {
+            source,
+            dist,
+            parent,
+            parent_slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::grid;
+    use crate::{sssp, sssp_into};
+
+    #[test]
+    fn reuse_across_sources_matches_fresh_runs() {
+        let g = grid(9, 9);
+        let mut ws = SsspWorkspace::new();
+        for src in [NodeId(0), NodeId(40), NodeId(80), NodeId(0)] {
+            sssp_into(&g, src, &mut ws);
+            let fresh = sssp(&g, src);
+            assert_eq!(ws.to_tree(src).dist, fresh.dist, "source {src}");
+            for v in g.nodes() {
+                assert_eq!(ws.dist(v), fresh.dist[v.index()]);
+                assert!(ws.is_settled(v));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_labels_are_invisible_after_begin() {
+        let g = grid(5, 5);
+        let mut ws = SsspWorkspace::new();
+        sssp_into(&g, NodeId(0), &mut ws);
+        assert_eq!(ws.dist(NodeId(24)), 8);
+        ws.begin(&g, QueueBackend::Auto);
+        assert_eq!(ws.dist(NodeId(24)), INFINITY, "old labels invalidated");
+        assert_eq!(ws.parent(NodeId(24)), NO_NODE);
+        assert!(!ws.is_settled(NodeId(24)));
+        assert_eq!(ws.settled_count(), 0);
+    }
+
+    #[test]
+    fn workspace_grows_with_larger_networks() {
+        let small = grid(3, 3);
+        let big = grid(8, 8);
+        let mut ws = SsspWorkspace::new();
+        sssp_into(&small, NodeId(0), &mut ws);
+        assert_eq!(ws.num_nodes(), 9);
+        sssp_into(&big, NodeId(0), &mut ws);
+        assert_eq!(ws.num_nodes(), 64);
+        assert_eq!(ws.to_tree(NodeId(0)).dist, sssp(&big, NodeId(0)).dist);
+        // Shrinking back is fine too: the arrays stay big, `n` tracks.
+        sssp_into(&small, NodeId(4), &mut ws);
+        assert_eq!(ws.to_tree(NodeId(4)).dist, sssp(&small, NodeId(4)).dist);
+    }
+
+    #[test]
+    fn epoch_wraparound_recovers() {
+        let g = grid(3, 3);
+        let mut ws = SsspWorkspace::new();
+        sssp_into(&g, NodeId(0), &mut ws);
+        ws.epoch = u32::MAX; // simulate 2^32 runs
+        sssp_into(&g, NodeId(8), &mut ws);
+        assert_eq!(ws.epoch, 1);
+        assert_eq!(ws.to_tree(NodeId(8)).dist, sssp(&g, NodeId(8)).dist);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests pinning the two queue substrates (Dial buckets vs binary
+//! heap) to identical results: exact distance agreement and mutually valid
+//! parents for full, bounded, and multi-source Dijkstra on random networks.
+//!
+//! Parents are *not* compared bitwise — shortest paths are not unique and
+//! the substrates break distance ties differently. Instead each engine's
+//! parents are checked for validity (adjacent, distance-consistent, slot
+//! correct) against the agreed distances, which is the only property any
+//! caller in this workspace relies on.
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::ids::NO_NODE;
+use dsi_graph::{
+    multi_source_with, sssp_bounded_with_backend, sssp_with_backend, NetworkBuilder, NodeId,
+    Point, QueueBackend, RoadNetwork, SsspTree, INFINITY,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ring + random chords: always connected, arbitrary weights.
+fn arb_ring_network() -> impl Strategy<Value = RoadNetwork> {
+    (
+        3usize..24,
+        proptest::collection::vec((0usize..24, 0usize..24, 1u32..30), 0..30),
+        proptest::collection::vec(1u32..30, 24),
+    )
+        .prop_map(|(n, chords, ring_w)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Point::new(i as f64, (i * i % 7) as f64)))
+                .collect();
+            for i in 0..n {
+                b.add_edge(ids[i], ids[(i + 1) % n], ring_w[i]);
+            }
+            for (u, v, w) in chords {
+                let (u, v) = (u % n, v % n);
+                if u != v && !b.has_edge(ids[u], ids[v]) {
+                    b.add_edge(ids[u], ids[v], w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Random planar networks — the paper's §6 topology, driven by a seed.
+fn arb_planar_network() -> impl Strategy<Value = RoadNetwork> {
+    (0u64..1_000_000, 30usize..120).prop_map(|(seed, n)| {
+        random_planar(
+            &PlanarConfig {
+                num_nodes: n,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        )
+    })
+}
+
+/// Every recorded parent must be adjacent, distance-consistent, and have a
+/// correct parent slot; the source and unreachable nodes must have none.
+fn assert_parents_valid(net: &RoadNetwork, t: &SsspTree) {
+    for v in net.nodes() {
+        let p = t.parent[v.index()];
+        if v == t.source || t.dist[v.index()] == INFINITY {
+            assert_eq!(p, NO_NODE);
+            continue;
+        }
+        assert!(p != NO_NODE, "reachable non-source {v} has a parent");
+        let w = net.edge_weight(v, p);
+        assert!(w.is_some(), "parent of {v} not adjacent");
+        assert_eq!(
+            t.dist[p.index()] + w.unwrap(),
+            t.dist[v.index()],
+            "parent of {v} not on a shortest path"
+        );
+        let (via_slot, _) = net.neighbor_at(v, t.parent_slot[v.index()]);
+        assert_eq!(via_slot, p, "parent_slot of {v} wrong");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_sssp_substrates_agree_on_rings(net in arb_ring_network(), src in 0usize..24) {
+        let src = NodeId((src % net.num_nodes()) as u32);
+        let bucket = sssp_with_backend(&net, src, QueueBackend::Bucket);
+        let heap = sssp_with_backend(&net, src, QueueBackend::BinaryHeap);
+        prop_assert_eq!(&bucket.dist, &heap.dist);
+        assert_parents_valid(&net, &bucket);
+        assert_parents_valid(&net, &heap);
+    }
+
+    #[test]
+    fn full_sssp_substrates_agree_on_planar(net in arb_planar_network(), src in 0usize..1000) {
+        let src = NodeId((src % net.num_nodes()) as u32);
+        let bucket = sssp_with_backend(&net, src, QueueBackend::Bucket);
+        let heap = sssp_with_backend(&net, src, QueueBackend::BinaryHeap);
+        prop_assert_eq!(&bucket.dist, &heap.dist);
+        assert_parents_valid(&net, &bucket);
+        assert_parents_valid(&net, &heap);
+    }
+
+    #[test]
+    fn bounded_sssp_substrates_agree(
+        net in arb_planar_network(),
+        src in 0usize..1000,
+        radius in 0u32..60,
+    ) {
+        let src = NodeId((src % net.num_nodes()) as u32);
+        let bucket = sssp_bounded_with_backend(&net, src, radius, QueueBackend::Bucket);
+        let heap = sssp_bounded_with_backend(&net, src, radius, QueueBackend::BinaryHeap);
+        prop_assert_eq!(&bucket.dist, &heap.dist);
+        for v in net.nodes() {
+            let d = bucket.dist[v.index()];
+            prop_assert!(d == INFINITY || d <= radius, "bounded dist within radius");
+        }
+        assert_parents_valid(&net, &bucket);
+        assert_parents_valid(&net, &heap);
+    }
+
+    #[test]
+    fn multi_source_substrates_agree(
+        net in arb_planar_network(),
+        picks in proptest::collection::vec(0usize..1000, 1..6),
+    ) {
+        let sources: Vec<NodeId> = {
+            let mut seen = std::collections::HashSet::new();
+            picks
+                .iter()
+                .map(|&p| NodeId((p % net.num_nodes()) as u32))
+                .filter(|&v| seen.insert(v))
+                .collect()
+        };
+        let bucket = multi_source_with(&net, &sources, QueueBackend::Bucket);
+        let heap = multi_source_with(&net, &sources, QueueBackend::BinaryHeap);
+        // Owners are deterministic (lowest source index wins ties), so both
+        // substrates must agree exactly — distances *and* assignment.
+        prop_assert_eq!(&bucket.dist, &heap.dist);
+        prop_assert_eq!(&bucket.owner, &heap.owner);
+        // Parents: valid towards the owning source, per substrate.
+        for r in [&bucket, &heap] {
+            for v in net.nodes() {
+                let p = r.parent[v.index()];
+                if p == NO_NODE {
+                    let at_source = sources.iter().any(|&s| s == v);
+                    prop_assert!(
+                        at_source || r.dist[v.index()] == INFINITY,
+                        "only sources and unreachable nodes lack parents"
+                    );
+                    continue;
+                }
+                let w = net.edge_weight(v, p);
+                prop_assert!(w.is_some());
+                prop_assert_eq!(r.dist[p.index()] + w.unwrap(), r.dist[v.index()]);
+                prop_assert_eq!(r.owner[p.index()], r.owner[v.index()]);
+                let (via_slot, _) = net.neighbor_at(v, r.parent_slot[v.index()]);
+                prop_assert_eq!(via_slot, p);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_matches_forced_substrates(net in arb_ring_network(), src in 0usize..24) {
+        let src = NodeId((src % net.num_nodes()) as u32);
+        let auto = dsi_graph::sssp(&net, src);
+        let heap = sssp_with_backend(&net, src, QueueBackend::BinaryHeap);
+        prop_assert_eq!(&auto.dist, &heap.dist);
+    }
+}
+
+/// Reachability of the distance vectors must also match under edge removal
+/// (INFINITY weights), where the bucket ring is sized by the pre-removal
+/// bound. Deterministic companion test.
+#[test]
+fn substrates_agree_after_edge_removals() {
+    let mut net = random_planar(
+        &PlanarConfig {
+            num_nodes: 80,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(7),
+    );
+    // Remove a handful of edges.
+    let victims: Vec<(NodeId, NodeId)> = net
+        .nodes()
+        .flat_map(|u| {
+            net.neighbors(u)
+                .filter(move |&(_, v, w)| u < v && w != INFINITY)
+                .map(move |(_, v, _)| (u, v))
+        })
+        .step_by(9)
+        .collect();
+    for (u, v) in victims {
+        net.set_edge_weight(u, v, INFINITY);
+    }
+    for src in [NodeId(0), NodeId(40), NodeId(79)] {
+        let bucket = sssp_with_backend(&net, src, QueueBackend::Bucket);
+        let heap = sssp_with_backend(&net, src, QueueBackend::BinaryHeap);
+        assert_eq!(bucket.dist, heap.dist, "source {src}");
+    }
+}

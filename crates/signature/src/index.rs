@@ -2,7 +2,9 @@
 //! and size accounting (Table 1).
 
 use dsi_graph::network::Slot;
-use dsi_graph::{sssp, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, INFINITY};
+use dsi_graph::{
+    sssp, sssp_into, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
+};
 use dsi_storage::{ccam_order, PagedStore};
 
 use crate::bits::{BitBox, BitWriter};
@@ -474,26 +476,29 @@ fn build_columns(
     parallel: bool,
 ) -> Vec<Column> {
     let d = objects.len();
-    let run = |o: usize| -> Column {
+    // Each worker keeps one workspace for all its SSSPs: the dist/parent
+    // arrays and the queue are allocated once per thread, not per object.
+    let run = |o: usize, ws: &mut SsspWorkspace| -> Column {
         let host = objects.node_of(ObjectId(o as u32));
-        let tree = sssp(net, host);
+        sssp_into(net, host, ws);
         let n = net.num_nodes();
         let mut cats = vec![0u8; n];
         let mut links = vec![0 as Slot; n];
         for v in 0..n {
-            let dist = tree.dist[v];
+            let node = NodeId(v as u32);
+            let dist = ws.dist(node);
             assert!(
                 dist != INFINITY,
                 "network must be connected to build signatures"
             );
             cats[v] = partition.category_of(dist);
-            links[v] = tree.parent_slot[v];
+            links[v] = ws.parent_slot(node);
         }
         let mut obj_row: Vec<(u32, Dist)> = objects
             .iter()
             .filter(|&(b, _)| b.index() != o)
             .filter_map(|(b, host_b)| {
-                let dist = tree.dist[host_b.index()];
+                let dist = ws.dist(host_b);
                 (dist < last_lb).then_some((b.0, dist))
             })
             .collect();
@@ -511,30 +516,33 @@ fn build_columns(
         1
     };
     if threads <= 1 || d < 4 {
-        return (0..d).map(run).collect();
+        let mut ws = SsspWorkspace::new();
+        return (0..d).map(|o| run(o, &mut ws)).collect();
     }
     let mut out: Vec<Option<Column>> = (0..d).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, Column)>();
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Column)>();
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let run = &run;
-            s.spawn(move |_| loop {
-                let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if o >= d {
-                    break;
+            s.spawn(move || {
+                let mut ws = SsspWorkspace::new();
+                loop {
+                    let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if o >= d {
+                        break;
+                    }
+                    tx.send((o, run(o, &mut ws))).expect("collector alive");
                 }
-                tx.send((o, run(o))).expect("collector alive");
             });
         }
         drop(tx);
         for (o, col) in rx {
             out[o] = Some(col);
         }
-    })
-    .expect("construction thread panicked");
+    });
     out.into_iter().map(|c| c.expect("all columns built")).collect()
 }
 

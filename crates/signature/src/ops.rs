@@ -3,8 +3,9 @@
 //!
 //! All operations run inside a [`Session`], which owns a buffer pool and
 //! charges one record read (the merged adjacency+signature record, §3.1)
-//! every time a node's signature is consulted. A small decode cache avoids
-//! re-decoding blobs that are certainly buffer-resident.
+//! every time a node's signature is consulted. A small decode cache
+//! (second-chance eviction) avoids re-decoding blobs that are certainly
+//! buffer-resident.
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -30,13 +31,80 @@ pub struct OpStats {
     pub votes: u64,
 }
 
+/// Decoded-signature cache with second-chance ("clock") eviction: each hit
+/// sets a referenced bit; the clock hand sweeps slots, giving referenced
+/// entries one more round before evicting. Backtracking walks re-touch the
+/// same few nodes repeatedly, so wholesale `clear()`-style eviction would
+/// throw the hot set away exactly when it is about to be re-used.
+struct DecodeCache {
+    /// node → slot index into `slots`.
+    map: HashMap<NodeId, usize>,
+    /// `(node, signature, referenced)`.
+    slots: Vec<(NodeId, Rc<DecodedSignature>, bool)>,
+    hand: usize,
+    cap: usize,
+}
+
+impl DecodeCache {
+    fn new(cap: usize) -> Self {
+        DecodeCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&mut self, n: NodeId) -> Option<Rc<DecodedSignature>> {
+        let &i = self.map.get(&n)?;
+        self.slots[i].2 = true;
+        Some(Rc::clone(&self.slots[i].1))
+    }
+
+    /// Insert `n` (not already present), evicting one entry if full.
+    fn insert(&mut self, n: NodeId, sig: Rc<DecodedSignature>) {
+        debug_assert!(!self.map.contains_key(&n));
+        if self.slots.len() < self.cap {
+            self.map.insert(n, self.slots.len());
+            self.slots.push((n, sig, false));
+            return;
+        }
+        // Sweep: referenced entries get their bit cleared and survive this
+        // pass; terminates within two sweeps.
+        while self.slots[self.hand].2 {
+            self.slots[self.hand].2 = false;
+            self.hand = (self.hand + 1) % self.slots.len();
+        }
+        let victim = self.hand;
+        self.map.remove(&self.slots[victim].0);
+        self.map.insert(n, victim);
+        self.slots[victim] = (n, sig, false);
+        self.hand = (victim + 1) % self.slots.len();
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.hand = 0;
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[cfg(test)]
+    fn contains(&self, n: NodeId) -> bool {
+        self.map.contains_key(&n)
+    }
+}
+
 /// A query session over a [`SignatureIndex`].
 pub struct Session<'a> {
     index: &'a SignatureIndex,
     net: &'a RoadNetwork,
     pool: BufferPool,
-    cache: HashMap<NodeId, Rc<DecodedSignature>>,
-    cache_cap: usize,
+    cache: DecodeCache,
     pub stats: OpStats,
 }
 
@@ -47,8 +115,7 @@ impl<'a> Session<'a> {
             index,
             net,
             pool: BufferPool::new(pool_pages),
-            cache: HashMap::new(),
-            cache_cap: pool_pages.max(16) * 4,
+            cache: DecodeCache::new(pool_pages.max(16) * 4),
             stats: OpStats::default(),
         }
     }
@@ -85,13 +152,10 @@ impl<'a> Session<'a> {
     pub fn read_signature(&mut self, n: NodeId) -> Rc<DecodedSignature> {
         self.index.store().read(n.index(), &mut self.pool);
         self.stats.signature_reads += 1;
-        if let Some(sig) = self.cache.get(&n) {
-            return Rc::clone(sig);
+        if let Some(sig) = self.cache.get(n) {
+            return sig;
         }
         let sig = Rc::new(self.index.decode_node(n));
-        if self.cache.len() >= self.cache_cap {
-            self.cache.clear();
-        }
         self.cache.insert(n, Rc::clone(&sig));
         sig
     }
@@ -825,6 +889,64 @@ mod tests {
         sess.reset_stats();
         assert_eq!(sess.io_stats().logical, 0);
         assert_eq!(sess.stats.signature_reads, 0);
+    }
+
+    fn dummy_sig() -> Rc<DecodedSignature> {
+        Rc::new(DecodedSignature {
+            cats: Vec::new(),
+            links: Vec::new(),
+            compressed: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn decode_cache_never_exceeds_capacity() {
+        let mut c = DecodeCache::new(4);
+        for i in 0..20u32 {
+            c.insert(NodeId(i), dummy_sig());
+            assert!(c.len() <= 4);
+        }
+        assert_eq!(c.len(), 4);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(c.get(NodeId(19)).is_none());
+    }
+
+    #[test]
+    fn decode_cache_second_chance_protects_hot_entries() {
+        let mut c = DecodeCache::new(3);
+        for i in 0..3u32 {
+            c.insert(NodeId(i), dummy_sig());
+        }
+        // Touch node 1: its referenced bit shields it from the next sweeps.
+        assert!(c.get(NodeId(1)).is_some());
+        c.insert(NodeId(10), dummy_sig()); // evicts 0 (unreferenced)
+        assert!(!c.contains(NodeId(0)), "cold entry evicted first");
+        assert!(c.contains(NodeId(1)), "hot entry survives");
+        c.insert(NodeId(11), dummy_sig()); // sweep spends 1's bit, evicts 2
+        assert!(!c.contains(NodeId(2)));
+        assert!(c.contains(NodeId(1)));
+        // The hand is now past 1; it evicts 10, then — 1's second chance
+        // spent and no re-touch — 1 itself.
+        c.insert(NodeId(12), dummy_sig());
+        assert!(!c.contains(NodeId(10)));
+        c.insert(NodeId(13), dummy_sig());
+        assert!(!c.contains(NodeId(1)));
+        assert!(c.contains(NodeId(11)) && c.contains(NodeId(12)) && c.contains(NodeId(13)));
+    }
+
+    #[test]
+    fn session_cache_returns_shared_decodes() {
+        let (net, _objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let a = sess.read_signature(NodeId(5));
+        let b = sess.read_signature(NodeId(5));
+        assert!(Rc::ptr_eq(&a, &b), "second read hits the decode cache");
+        sess.invalidate_cache();
+        let c = sess.read_signature(NodeId(5));
+        assert!(!Rc::ptr_eq(&a, &c), "invalidation forces a re-decode");
+        assert_eq!(a.cats, c.cats);
+        assert_eq!(a.links, c.links);
     }
 
     #[test]

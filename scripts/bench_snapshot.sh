@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run the criterion benches and snapshot every median into a single
+# machine-readable JSON file (default: BENCH_PR1.json at the repo root).
+#
+# Usage:
+#   scripts/bench_snapshot.sh                 # all benches, full samples
+#   OUT=BENCH_smoke.json CRITERION_SAMPLE_SIZE=5 scripts/bench_snapshot.sh
+#   scripts/bench_snapshot.sh substrates      # only the named bench target(s)
+#
+# Each bench writes target/criterion/<group>/<id>/new/estimates.json
+# (median/mean point estimates in ns); this script collects them into
+#   { "benches": { "<group>/<id>": { "median_ns": ..., "mean_ns": ... } } }
+# sorted by key, so diffs between snapshots are stable.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR1.json}"
+CRIT_DIR="${CARGO_TARGET_DIR:-target}/criterion"
+
+# A fresh snapshot should not inherit estimates from earlier runs.
+rm -rf "$CRIT_DIR"
+
+if [ "$#" -gt 0 ]; then
+    for bench in "$@"; do
+        cargo bench -p dsi-bench --bench "$bench"
+    done
+else
+    cargo bench -p dsi-bench
+fi
+
+jq -n --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      --arg host "$(uname -sm)" \
+      --arg samples "${CRITERION_SAMPLE_SIZE:-default}" '
+    {generated: $date, host: $host, sample_size: $samples, benches: {}}
+    ' > "$OUT.tmp"
+
+find "$CRIT_DIR" -path '*/new/estimates.json' | sort | while read -r est; do
+    rel="${est#"$CRIT_DIR"/}"          # <group>/<id>/new/estimates.json
+    key="$(dirname "$(dirname "$rel")")"
+    jq --arg key "$key" --slurpfile e "$est" \
+       '.benches[$key] = {median_ns: $e[0].median.point_estimate,
+                          mean_ns: $e[0].mean.point_estimate}' \
+       "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+done
+
+mv "$OUT.tmp" "$OUT"
+echo "wrote $OUT ($(jq '.benches | length' "$OUT") benches)"

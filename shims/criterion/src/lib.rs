@@ -1,0 +1,306 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! Supports the subset used by this workspace's benches — `benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — with
+//! real wall-clock measurement:
+//!
+//! - per bench: a short calibration pass picks an iteration count per sample
+//!   so one sample lasts ≥ ~2 ms (or a single iteration for slow benches),
+//! - `sample_size` samples are collected and the **median ns/iteration** is
+//!   reported (robust against scheduler noise),
+//! - results are written to `target/criterion/<group>/<bench>/new/estimates.json`
+//!   in a layout compatible with real criterion's estimate files (the
+//!   `median.point_estimate` / `mean.point_estimate` fields that tooling
+//!   such as `scripts/bench_snapshot.sh` reads), plus a human line on stdout.
+//!
+//! Environment knobs: `CRITERION_SAMPLE_SIZE` overrides every group's sample
+//! count (useful for quick smoke runs).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; the shim times the routine per call
+/// either way, so the variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Target time for one sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = env_sample_size().unwrap_or(self.default_sample_size);
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Ungrouped bench; filed under the group name `default`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = env_sample_size().unwrap_or(self.default_sample_size);
+        run_bench("default", id, sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_sample_size().is_none() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.group, id, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn env_sample_size() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 2)
+}
+
+fn run_bench<F>(group: &str, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    let mut samples = b.samples_ns;
+    assert!(
+        !samples.is_empty(),
+        "bench {group}/{id} never called Bencher::iter"
+    );
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2.0
+    };
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "bench {group}/{id}: median {} /iter, mean {} ({} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len()
+    );
+    if let Err(e) = write_estimates(group, id, median, mean) {
+        eprintln!("warning: could not write criterion estimates for {group}/{id}: {e}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// `target/` of the workspace that built this bench executable.
+fn target_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(d);
+    }
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(|p| p.to_path_buf())
+        })
+        .unwrap_or_else(|| PathBuf::from("target"))
+}
+
+fn write_estimates(group: &str, id: &str, median_ns: f64, mean_ns: f64) -> std::io::Result<()> {
+    let dir = target_dir()
+        .join("criterion")
+        .join(sanitize(group))
+        .join(sanitize(id))
+        .join("new");
+    fs::create_dir_all(&dir)?;
+    let json = format!(
+        concat!(
+            "{{\"median\":{{\"point_estimate\":{median}}},",
+            "\"mean\":{{\"point_estimate\":{mean}}},",
+            "\"unit\":\"ns\"}}\n"
+        ),
+        median = median_ns,
+        mean = mean_ns
+    );
+    fs::write(dir.join("estimates.json"), json)
+}
+
+/// Same path sanitization idea as real criterion: ids become directories.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '/' || c == '\\' || c == ' ' { '_' } else { c })
+        .collect()
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` called back-to-back; records ns per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fill TARGET_SAMPLE?
+        let once = {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            t.elapsed()
+        };
+        let iters = iters_per_sample(once);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let total = t.elapsed();
+            self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup runs outside the
+    /// timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let once = {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            t.elapsed()
+        };
+        let iters = iters_per_sample(once);
+        let mut inputs = Vec::with_capacity(iters as usize);
+        for _ in 0..self.sample_size {
+            inputs.clear();
+            for _ in 0..iters {
+                inputs.push(setup());
+            }
+            let t = Instant::now();
+            for input in inputs.drain(..) {
+                std::hint::black_box(routine(input));
+            }
+            let total = t.elapsed();
+            self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn iters_per_sample(once: Duration) -> u64 {
+    if once >= TARGET_SAMPLE || once.is_zero() {
+        1
+    } else {
+        (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    }
+}
+
+/// Re-export so benches can `use criterion::black_box` like the real crate.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_writes_estimates() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(4);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        let path = target_dir()
+            .join("criterion/shim_selftest/spin/new/estimates.json");
+        let body = std::fs::read_to_string(&path).expect("estimates written");
+        assert!(body.contains("median"), "estimates has median: {body}");
+    }
+
+    #[test]
+    fn calibration_is_bounded() {
+        assert_eq!(iters_per_sample(Duration::from_secs(1)), 1);
+        assert!(iters_per_sample(Duration::from_nanos(10)) > 1000);
+    }
+}
