@@ -34,10 +34,7 @@ impl Ier {
             })
             .collect();
         let rtree = RTree::bulk_load(items, 64);
-        let sizes: Vec<usize> = net
-            .nodes()
-            .map(|v| net.adjacency_record_bytes(v))
-            .collect();
+        let sizes: Vec<usize> = net.nodes().map(|v| net.adjacency_record_bytes(v)).collect();
         let adj_store = PagedStore::new(&ccam_order(net), &sizes, 0);
         let rtree_base = adj_store.end_page();
         Ier {
@@ -95,9 +92,10 @@ impl Ier {
         let mut iter = self.rtree.nearest_iter(p.x, p.y);
 
         // Network distance of one object, growing the shared expansion.
-        let settled_dist = |o: ObjectId, exp: &mut DijkstraExpansion<'_>,
-                                pool: &mut BufferPool,
-                                store: &PagedStore|
+        let settled_dist = |o: ObjectId,
+                            exp: &mut DijkstraExpansion<'_>,
+                            pool: &mut BufferPool,
+                            store: &PagedStore|
          -> Dist {
             let host = objects.node_of(o);
             while !exp.is_settled(host) {
@@ -143,8 +141,7 @@ mod tests {
     fn check_knn(net: &RoadNetwork, objects: &ObjectSet, ier: &mut Ier) {
         for n in net.nodes().step_by(17) {
             let tree = sssp(net, n);
-            let mut truth: Vec<Dist> =
-                objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+            let mut truth: Vec<Dist> = objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
             truth.sort_unstable();
             for k in [1usize, 4] {
                 let got = ier.knn(net, objects, n, k);

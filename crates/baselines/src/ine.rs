@@ -21,10 +21,7 @@ pub struct Ine {
 impl Ine {
     /// Lay the adjacency lists out in CCAM pages.
     pub fn new(net: &RoadNetwork, pool_pages: usize) -> Self {
-        let sizes: Vec<usize> = net
-            .nodes()
-            .map(|n| net.adjacency_record_bytes(n))
-            .collect();
+        let sizes: Vec<usize> = net.nodes().map(|n| net.adjacency_record_bytes(n)).collect();
         Ine {
             store: PagedStore::new(&ccam_order(net), &sizes, 0),
             pool: BufferPool::new(pool_pages),
@@ -144,10 +141,7 @@ mod tests {
             let tree = sssp(&net, n);
             let got = ine.knn(&net, &objects, n, 5);
             assert_eq!(got.len(), 5);
-            let mut truth: Vec<Dist> = objects
-                .iter()
-                .map(|(_, h)| tree.dist[h.index()])
-                .collect();
+            let mut truth: Vec<Dist> = objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
             truth.sort_unstable();
             let got_d: Vec<Dist> = got.iter().map(|&(_, d)| d).collect();
             assert_eq!(got_d, truth[..5].to_vec());

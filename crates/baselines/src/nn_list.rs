@@ -62,8 +62,7 @@ impl NnList {
         let sizes: Vec<usize> = net
             .nodes()
             .map(|n| {
-                net.adjacency_record_bytes(n)
-                    + lists[n.index()].as_ref().map_or(0, |l| 8 * l.len())
+                net.adjacency_record_bytes(n) + lists[n.index()].as_ref().map_or(0, |l| 8 * l.len())
             })
             .collect();
         NnList {
@@ -162,8 +161,7 @@ mod tests {
         let (net, objects, mut nn) = fixture();
         for n in net.nodes().step_by(19) {
             let tree = sssp(&net, n);
-            let mut truth: Vec<Dist> =
-                objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+            let mut truth: Vec<Dist> = objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
             truth.sort_unstable();
             for k in [1usize, 3, 5, 8] {
                 // k = 8 exceeds k_max → fallback path.

@@ -148,7 +148,11 @@ impl NvdIndex {
             boxes[c] = boxes[c].union(&Rect::point(p.x, p.y));
         }
         let rtree = RTree::bulk_load(
-            boxes.into_iter().enumerate().map(|(i, r)| (r, i as u32)).collect(),
+            boxes
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (r, i as u32))
+                .collect(),
             64,
         );
 
@@ -405,8 +409,7 @@ mod tests {
         let (net, objects, mut idx) = fixture(0.06);
         for n in net.nodes().step_by(23) {
             let tree = sssp(&net, n);
-            let mut truth: Vec<Dist> =
-                objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
+            let mut truth: Vec<Dist> = objects.iter().map(|(_, h)| tree.dist[h.index()]).collect();
             truth.sort_unstable();
             for k in [1usize, 3, 6] {
                 let got = idx.knn(&net, n, k);

@@ -32,7 +32,9 @@ fn bench_construction(c: &mut Criterion) {
     group.bench_function("full_index", |b| {
         b.iter(|| FullIndex::build(&net, &objects, 64, true))
     });
-    group.bench_function("nvd_index", |b| b.iter(|| NvdIndex::build(&net, &objects, 64)));
+    group.bench_function("nvd_index", |b| {
+        b.iter(|| NvdIndex::build(&net, &objects, 64))
+    });
     group.finish();
 }
 

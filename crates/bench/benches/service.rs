@@ -1,0 +1,60 @@
+//! Service-layer benchmarks: mixed-workload batch throughput at 1/2/4
+//! workers over the sharded query engine.
+//!
+//! The interesting numbers are the *relative* medians: `mixed_w4` vs
+//! `mixed_w1` is the worker-scaling factor on this machine (bounded by its
+//! core count — on a single-CPU container the three are expected to tie),
+//! and `zipf` vs `uniform` shows the shard cache-locality win under skewed
+//! traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsi_bench::{paper_dataset, paper_network, Scale};
+use dsi_service::{generate, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_signature::SignatureConfig;
+
+fn bench_service(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 5000,
+        queries: 2000,
+        seed: 13,
+    };
+    let net = paper_network(&scale);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+    let service = QueryService::new(
+        net,
+        objects,
+        &SignatureConfig::default(),
+        &ServiceConfig::default(),
+    );
+    let workload = |skew| {
+        generate(
+            service.net(),
+            &WorkloadConfig {
+                count: scale.queries,
+                seed: scale.seed,
+                skew,
+                eps_range: (20, 120),
+                join_eps: 30,
+                ..Default::default()
+            },
+        )
+    };
+    let uniform = workload(Skew::Uniform);
+    let zipf = workload(Skew::Zipf { theta: 0.8 });
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("mixed_w{workers}"), |b| {
+            b.iter(|| service.serve_batch(&uniform, workers))
+        });
+    }
+    group.bench_function("mixed_w4_zipf", |b| {
+        b.iter(|| service.serve_batch(&zipf, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

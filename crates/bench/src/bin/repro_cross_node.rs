@@ -41,8 +41,8 @@ fn main() {
         // scheme omits links of flagged entries. Subtract each side's own
         // link payload to isolate the category bits.
         let cross_cat = r.cross_bits - entries * idx.link_bits() as u64;
-        let plain_cat = r.plain_bits
-            - (entries - idx.report.compressed_entries) * idx.link_bits() as u64;
+        let plain_cat =
+            r.plain_bits - (entries - idx.report.compressed_entries) * idx.link_bits() as u64;
         let cat_ratio = cross_cat as f64 / plain_cat.max(1) as f64;
         let avg_reads = (1..=idx.num_nodes())
             .map(|i| cross.access_cost(dsi_graph::NodeId(i as u32 - 1)) as f64)

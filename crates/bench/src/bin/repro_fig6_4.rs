@@ -24,17 +24,21 @@ fn main() {
         net.num_edges()
     );
 
-    let header: Vec<String> = ["dataset", "D", "full MB", "NVD MB", "sig MB", "full s", "NVD s", "sig s"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "dataset", "D", "full MB", "NVD MB", "sig MB", "full s", "NVD s", "sig s",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for label in DATASET_LABELS {
         let objects = paper_dataset(&net, label, scale.seed);
-        let (full, t_full) = timed(|| FullIndex::build(&net, &objects, dsi_bench::POOL_PAGES, true));
+        let (full, t_full) =
+            timed(|| FullIndex::build(&net, &objects, dsi_bench::POOL_PAGES, true));
         let (nvd, t_nvd) = timed(|| NvdIndex::build(&net, &objects, dsi_bench::POOL_PAGES));
-        let (sig, t_sig) =
-            timed(|| SignatureIndex::build(&net, &objects, &dsi_bench::paper_signature_config(&net)));
+        let (sig, t_sig) = timed(|| {
+            SignatureIndex::build(&net, &objects, &dsi_bench::paper_signature_config(&net))
+        });
         rows.push(vec![
             label.to_string(),
             objects.len().to_string(),

@@ -31,7 +31,13 @@ fn main() {
         let mut sess = sig.session(&net);
 
         let header: Vec<String> = [
-            "R", "full pages", "NVD pages", "sig pages", "full ms", "NVD ms", "sig ms",
+            "R",
+            "full pages",
+            "NVD pages",
+            "sig pages",
+            "full ms",
+            "NVD ms",
+            "sig ms",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -88,5 +94,7 @@ fn main() {
         );
         let _ = mean(&[]);
     }
-    println!("\npaper's shape: full flat & best (except R=10); NVD jumps at R=1000; sig sublinear in R");
+    println!(
+        "\npaper's shape: full flat & best (except R=10); NVD jumps at R=1000; sig sublinear in R"
+    );
 }

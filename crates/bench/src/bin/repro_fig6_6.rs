@@ -29,7 +29,13 @@ fn main() {
     let mut sess = sig.session(&net);
 
     let header: Vec<String> = [
-        "k", "full pages", "NVD pages", "sig pages", "full ms", "NVD ms", "sig ms",
+        "k",
+        "full pages",
+        "NVD pages",
+        "sig pages",
+        "full ms",
+        "NVD ms",
+        "sig ms",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -79,6 +85,10 @@ fn main() {
             format!("{:.2}", 1000.0 * t_sig / queries.len() as f64),
         ]);
     }
-    print_table("Fig 6.6: kNN search on dataset 0.01 (avg per query)", &header, &rows);
+    print_table(
+        "Fig 6.6: kNN search on dataset 0.01 (avg per query)",
+        &header,
+        &rows,
+    );
     println!("\npaper's shape: full k-independent; NVD best at k=1 then sharp growth; sig grows ~8x to k=50");
 }

@@ -95,10 +95,17 @@ fn main() {
             format!("{:.1}", pages as f64 / rounds as f64),
             format!("{:.1}", trees as f64 / rounds as f64),
             format!("{:.2}", 1000.0 * secs / rounds as f64),
-            format!("{:.3}%", 100.0 * entries as f64 / (rounds as f64 * full_entries)),
+            format!(
+                "{:.3}%",
+                100.0 * entries as f64 / (rounds as f64 * full_entries)
+            ),
         ]);
     }
-    print_table("§5.4: signature maintenance cost per edge update", &header, &rows);
+    print_table(
+        "§5.4: signature maintenance cost per edge update",
+        &header,
+        &rows,
+    );
     println!("\npaper's claim: updates touch a small fraction of the index (local impact)");
 }
 

@@ -25,11 +25,7 @@ impl ObjectSet {
         let mut object_at = vec![u32::MAX; net.num_nodes()];
         for (i, &n) in nodes.iter().enumerate() {
             assert!(n.index() < net.num_nodes(), "object node out of range");
-            assert_eq!(
-                object_at[n.index()],
-                u32::MAX,
-                "two objects on node {n}"
-            );
+            assert_eq!(object_at[n.index()], u32::MAX, "two objects on node {n}");
             object_at[n.index()] = i as u32;
         }
         ObjectSet { nodes, object_at }

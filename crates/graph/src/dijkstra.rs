@@ -128,13 +128,7 @@ pub fn sssp_bounded_into(net: &RoadNetwork, source: NodeId, radius: Dist, ws: &m
 /// Run `exp` until exhaustion or past `radius` (rolling back the one
 /// over-radius settlement).
 fn drive_to(exp: &mut DijkstraExpansion<'_>, radius: Dist) {
-    while let Some((_, d)) = exp.next_settled() {
-        if d > radius {
-            // The frontier is monotone: everything after this is farther.
-            exp.unsettle_last();
-            break;
-        }
-    }
+    exp.run_to(radius);
 }
 
 /// The expansion's state: owned for one-shot searches, borrowed when the
@@ -186,7 +180,7 @@ impl<'a> DijkstraExpansion<'a> {
 
     /// One-shot expansion on an explicit queue substrate.
     pub fn with_backend(net: &'a RoadNetwork, source: NodeId, backend: QueueBackend) -> Self {
-        Self::start(net, WsRef::Owned(Box::new(SsspWorkspace::new())), source, backend)
+        Self::start(net, WsRef::Owned(Box::default()), source, backend)
     }
 
     /// Expansion reusing `ws` (arrays and queue survive across searches);
@@ -205,7 +199,12 @@ impl<'a> DijkstraExpansion<'a> {
         Self::start(net, WsRef::Borrowed(ws), source, backend)
     }
 
-    fn start(net: &'a RoadNetwork, mut ws: WsRef<'a>, source: NodeId, backend: QueueBackend) -> Self {
+    fn start(
+        net: &'a RoadNetwork,
+        mut ws: WsRef<'a>,
+        source: NodeId,
+        backend: QueueBackend,
+    ) -> Self {
         let w = ws.get_mut();
         w.begin(net, backend);
         w.label(source, 0, NO_NODE, 0);
@@ -229,13 +228,20 @@ impl<'a> DijkstraExpansion<'a> {
     /// which `allow` returns true — the search never labels (hence never
     /// settles) a disallowed node. Used by the NVD construction to confine
     /// a search to one Voronoi cell.
-    pub fn next_settled_where(&mut self, mut allow: impl FnMut(NodeId) -> bool) -> Option<(NodeId, Dist)> {
+    pub fn next_settled_where(
+        &mut self,
+        mut allow: impl FnMut(NodeId) -> bool,
+    ) -> Option<(NodeId, Dist)> {
         let ws = self.ws.get_mut();
         while let Some((d, u)) = ws.pq.pop() {
             if ws.is_settled(u) {
                 continue; // stale queue entry
             }
-            debug_assert_eq!(ws.dist(u), d, "first unsettled pop carries the final distance");
+            debug_assert_eq!(
+                ws.dist(u),
+                d,
+                "first unsettled pop carries the final distance"
+            );
             ws.settle(u);
             self.last = Some(u);
             for (slot, v, w) in self.net.neighbors(u) {
@@ -277,6 +283,24 @@ impl<'a> DijkstraExpansion<'a> {
     fn unsettle_last(&mut self) {
         if let Some(u) = self.last.take() {
             self.ws.get_mut().unsettle(u);
+        }
+    }
+
+    /// Drive the expansion until the reachable component is exhausted or
+    /// the frontier passes `radius` (the one over-radius settlement is
+    /// rolled back, so every settled node has `dist ≤ radius`).
+    ///
+    /// This is the workspace-reusing bounded-search building block: a
+    /// worker thread holding one [`SsspWorkspace`] for its whole lifetime
+    /// answers each bounded query with `in_workspace` + `run_to` and zero
+    /// per-query allocation.
+    pub fn run_to(&mut self, radius: Dist) {
+        while let Some((_, d)) = self.next_settled() {
+            if d > radius {
+                // The frontier is monotone: everything after this is farther.
+                self.unsettle_last();
+                break;
+            }
         }
     }
 
@@ -587,7 +611,10 @@ mod tests {
         let g = line(&[1, MAX_BUCKET_WEIGHT + 50, 2]);
         assert_eq!(QueueBackend::Auto.resolve(&g), QueueBackend::BinaryHeap);
         let t = sssp(&g, NodeId(0));
-        assert_eq!(t.dist, vec![0, 1, MAX_BUCKET_WEIGHT + 51, MAX_BUCKET_WEIGHT + 53]);
+        assert_eq!(
+            t.dist,
+            vec![0, 1, MAX_BUCKET_WEIGHT + 51, MAX_BUCKET_WEIGHT + 53]
+        );
     }
 
     #[test]
@@ -639,11 +666,7 @@ mod tests {
         let r = multi_source(&g, &sources);
         let trees: Vec<SsspTree> = sources.iter().map(|&s| sssp(&g, s)).collect();
         for v in g.nodes() {
-            let best = trees
-                .iter()
-                .map(|t| t.dist[v.index()])
-                .min()
-                .unwrap();
+            let best = trees.iter().map(|t| t.dist[v.index()]).min().unwrap();
             assert_eq!(r.dist[v.index()], best);
             assert_eq!(
                 trees[r.owner[v.index()] as usize].dist[v.index()],

@@ -36,8 +36,8 @@ pub mod workspace;
 pub use dataset::ObjectSet;
 pub use dijkstra::{
     astar, multi_source, multi_source_with, sssp, sssp_bounded, sssp_bounded_into,
-    sssp_bounded_with_backend, sssp_into, sssp_with_backend, DijkstraExpansion,
-    MultiSourceResult, SsspTree,
+    sssp_bounded_with_backend, sssp_into, sssp_with_backend, DijkstraExpansion, MultiSourceResult,
+    SsspTree,
 };
 pub use ids::{Dist, NodeId, ObjectId, INFINITY};
 pub use network::{NetworkBuilder, RoadNetwork};

@@ -45,7 +45,7 @@ impl QueueBackend {
         match self {
             QueueBackend::Auto => {
                 let bound = net.edge_weight_bound();
-                if bound >= 1 && bound <= MAX_BUCKET_WEIGHT {
+                if (1..=MAX_BUCKET_WEIGHT).contains(&bound) {
                     QueueBackend::Bucket
                 } else {
                     QueueBackend::BinaryHeap
@@ -101,7 +101,7 @@ impl<T> BucketQueue<T> {
     /// grew (e.g. an edge-weight update raised the network bound), the ring
     /// is enlarged to match.
     pub fn reset(&mut self, max_step: Dist) {
-        assert!(max_step >= 1 && max_step < INFINITY);
+        assert!((1..INFINITY).contains(&max_step));
         let width = max_step as usize + 1;
         if width > self.ring.len() {
             self.ring.resize_with(width, Vec::new);
@@ -292,7 +292,10 @@ mod tests {
         assert_eq!(QueueBackend::Auto.resolve(&wide), QueueBackend::BinaryHeap);
         // Forced backends resolve to themselves regardless.
         assert_eq!(QueueBackend::Bucket.resolve(&wide), QueueBackend::Bucket);
-        assert_eq!(QueueBackend::BinaryHeap.resolve(&g), QueueBackend::BinaryHeap);
+        assert_eq!(
+            QueueBackend::BinaryHeap.resolve(&g),
+            QueueBackend::BinaryHeap
+        );
     }
 
     #[test]

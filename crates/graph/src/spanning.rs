@@ -530,7 +530,10 @@ mod tests {
         };
         let old_w = net.edge_weight(a, b).unwrap();
         let delta = forest.update_edge(&mut net, a, b, INFINITY);
-        assert!(!delta.per_object.is_empty(), "removing a used edge changes trees");
+        assert!(
+            !delta.per_object.is_empty(),
+            "removing a used edge changes trees"
+        );
         forest.validate(&net, &objs).unwrap();
         forest.update_edge(&mut net, a, b, old_w);
         forest.validate(&net, &objs).unwrap();

@@ -11,8 +11,8 @@
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::ids::NO_NODE;
 use dsi_graph::{
-    multi_source_with, sssp_bounded_with_backend, sssp_with_backend, NetworkBuilder, NodeId,
-    Point, QueueBackend, RoadNetwork, SsspTree, INFINITY,
+    multi_source_with, sssp_bounded_with_backend, sssp_with_backend, NetworkBuilder, NodeId, Point,
+    QueueBackend, RoadNetwork, SsspTree, INFINITY,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -143,7 +143,7 @@ proptest! {
             for v in net.nodes() {
                 let p = r.parent[v.index()];
                 if p == NO_NODE {
-                    let at_source = sources.iter().any(|&s| s == v);
+                    let at_source = sources.contains(&v);
                     prop_assert!(
                         at_source || r.dist[v.index()] == INFINITY,
                         "only sources and unreachable nodes lack parents"

@@ -89,7 +89,10 @@ impl Rect {
 
     /// Center point.
     pub fn center(&self) -> (f64, f64) {
-        ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+        (
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
     }
 }
 
@@ -127,7 +130,10 @@ mod tests {
     fn intersection_tests() {
         let a = Rect::new(0.0, 0.0, 2.0, 2.0);
         assert!(a.intersects(&Rect::new(1.0, 1.0, 3.0, 3.0)));
-        assert!(a.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0)), "touching counts");
+        assert!(
+            a.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0)),
+            "touching counts"
+        );
         assert!(!a.intersects(&Rect::new(2.1, 2.1, 3.0, 3.0)));
         assert!(!a.intersects(&Rect::empty()));
     }

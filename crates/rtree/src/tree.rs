@@ -188,8 +188,7 @@ impl<T> RTree<T> {
                     if let NodeKind::Internal(ch) = &mut self.nodes[node as usize].kind {
                         ch.push(n2);
                     }
-                    self.nodes[node as usize].rect =
-                        self.nodes[node as usize].rect.union(&r2);
+                    self.nodes[node as usize].rect = self.nodes[node as usize].rect.union(&r2);
                     self.maybe_split(node)
                 } else {
                     None
@@ -298,9 +297,10 @@ impl<T> RTree<T> {
             }
             match &node.kind {
                 NodeKind::Internal(ch) => {
-                    stack.extend(ch.iter().filter(|&&c| {
-                        self.nodes[c as usize].rect.intersects(query)
-                    }));
+                    stack.extend(
+                        ch.iter()
+                            .filter(|&&c| self.nodes[c as usize].rect.intersects(query)),
+                    );
                 }
                 NodeKind::Leaf(ids) => {
                     for &e in ids {
@@ -322,11 +322,7 @@ impl<T> RTree<T> {
 
     /// Entries in ascending order of their rectangle's min-distance to the
     /// point, lazily via best-first search. Call `.next()` k times for kNN.
-    pub fn nearest_iter<'a>(
-        &'a self,
-        x: f64,
-        y: f64,
-    ) -> NearestIter<'a, T> {
+    pub fn nearest_iter<'a>(&'a self, x: f64, y: f64) -> NearestIter<'a, T> {
         let mut heap = std::collections::BinaryHeap::new();
         if !self.entries.is_empty() {
             heap.push(HeapItem {
@@ -450,7 +446,9 @@ mod tests {
     fn bulk_load_empty() {
         let t: RTree<u32> = RTree::bulk_load(vec![], 8);
         assert!(t.is_empty());
-        assert!(t.search_rect(&Rect::new(0.0, 0.0, 1.0, 1.0), |_| {}).is_empty());
+        assert!(t
+            .search_rect(&Rect::new(0.0, 0.0, 1.0, 1.0), |_| {})
+            .is_empty());
         assert!(t.nearest_iter(0.0, 0.0).next().is_none());
     }
 
@@ -493,7 +491,11 @@ mod tests {
             (Rect::new(5.0, 5.0, 6.0, 6.0), 'c'),
         ];
         let t = RTree::bulk_load(items, 4);
-        let mut hits: Vec<char> = t.locate_point(1.5, 1.5, |_| {}).into_iter().copied().collect();
+        let mut hits: Vec<char> = t
+            .locate_point(1.5, 1.5, |_| {})
+            .into_iter()
+            .copied()
+            .collect();
         hits.sort();
         assert_eq!(hits, vec!['a', 'b']);
         assert!(t.locate_point(4.0, 4.0, |_| {}).is_empty());

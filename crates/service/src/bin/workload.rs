@@ -1,0 +1,187 @@
+//! Command-line workload driver for the query service.
+//!
+//! Builds a random planar network + uniform object set, generates a seeded
+//! query batch, serves it on a configurable worker count, and prints
+//! per-class latency percentiles, throughput and I/O counters. With
+//! `--sweep`, serves the same batch at 1/2/4/... workers for a scaling
+//! table; with `--updates N`, applies N random edge updates between two
+//! batches to exercise the maintenance epoch.
+//!
+//! Example:
+//! ```text
+//! cargo run --release -p dsi-service --bin workload -- \
+//!     --nodes 5000 --queries 2000 --workers 4 --skew zipf:0.8
+//! ```
+
+use std::process::ExitCode;
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::ObjectSet;
+use dsi_service::{generate, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_signature::SignatureConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    nodes: usize,
+    object_density: f64,
+    queries: usize,
+    workers: usize,
+    shards: usize,
+    pool_pages: usize,
+    skew: Skew,
+    seed: u64,
+    sweep: bool,
+    updates: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            nodes: 2000,
+            object_density: 0.02,
+            queries: 1000,
+            workers: 4,
+            shards: 16,
+            pool_pages: 64,
+            skew: Skew::Zipf { theta: 0.8 },
+            seed: 42,
+            sweep: false,
+            updates: 0,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--nodes" => args.nodes = parse(&value("--nodes")?)?,
+            "--density" => args.object_density = parse(&value("--density")?)?,
+            "--queries" => args.queries = parse(&value("--queries")?)?,
+            "--workers" => args.workers = parse(&value("--workers")?)?,
+            "--shards" => args.shards = parse(&value("--shards")?)?,
+            "--pool-pages" => args.pool_pages = parse(&value("--pool-pages")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--updates" => args.updates = parse(&value("--updates")?)?,
+            "--sweep" => args.sweep = true,
+            "--skew" => {
+                let v = value("--skew")?;
+                args.skew = match v.split_once(':') {
+                    None if v == "uniform" => Skew::Uniform,
+                    Some(("zipf", theta)) => Skew::Zipf {
+                        theta: parse(theta)?,
+                    },
+                    _ => return Err(format!("unknown skew {v:?} (uniform | zipf:THETA)")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: workload [--nodes N] [--density F] [--queries N] [--workers N]\n\
+                     \x20               [--shards N] [--pool-pages N] [--skew uniform|zipf:THETA]\n\
+                     \x20               [--seed N] [--sweep] [--updates N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("workload: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: args.nodes,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, args.object_density, &mut rng);
+    println!(
+        "network: {} nodes, {} edges, {} objects",
+        net.num_nodes(),
+        net.num_edges(),
+        objects.len()
+    );
+
+    let mut service = QueryService::new(
+        net,
+        objects,
+        &SignatureConfig::default(),
+        &ServiceConfig {
+            shards: args.shards,
+            pool_pages: args.pool_pages,
+        },
+    );
+    let batch = generate(
+        service.net(),
+        &WorkloadConfig {
+            skew: args.skew,
+            count: args.queries,
+            seed: args.seed ^ 0x9E37_79B9,
+            ..Default::default()
+        },
+    );
+
+    let worker_counts: Vec<usize> = if args.sweep {
+        let mut w = 1;
+        std::iter::from_fn(|| {
+            let cur = w;
+            w *= 2;
+            (cur <= args.workers).then_some(cur)
+        })
+        .collect()
+    } else {
+        vec![args.workers]
+    };
+
+    for &workers in &worker_counts {
+        service.reset_stats();
+        let report = service.serve_batch(&batch, workers);
+        println!("\n== {workers} worker(s) ==\n{}", report.summary());
+    }
+
+    if args.updates > 0 {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xDEAD_BEEF);
+        let updates: Vec<_> = (0..args.updates)
+            .filter_map(|_| {
+                let a = dsi_graph::NodeId(rng.gen_range(0..service.net().num_nodes()) as u32);
+                let (_, b, w) = service.net().neighbors(a).next()?;
+                Some((a, b, w + rng.gen_range(1u32..100)))
+            })
+            .collect();
+        let reports = service.apply_updates(&updates);
+        let changed: usize = reports.iter().map(|r| r.entries_changed).sum();
+        println!(
+            "\napplied {} edge updates (epoch {}): {} signature entries changed",
+            reports.len(),
+            service.epoch(),
+            changed
+        );
+        let report = service.serve_batch(&batch, args.workers);
+        println!(
+            "\n== post-update, {} worker(s) ==\n{}",
+            args.workers,
+            report.summary()
+        );
+    }
+
+    println!("\n{}", service.stats_dump());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,418 @@
+//! The concurrent query engine: sharded session state, a worker-pool batch
+//! executor, and epoch-guarded index maintenance.
+//!
+//! # Sharding
+//!
+//! Query sessions ([`SessionState`]: buffer pool, decode cache, counters)
+//! are striped across `S` shards ([`dsi_storage::Striped`]). A query is
+//! routed by [`Query::route_key`] (its query node; joins share a dedicated
+//! key), so repeated traffic near the same location lands on the same
+//! shard's warm caches while unrelated traffic proceeds in parallel. A
+//! worker holds the shard lock for the whole query: it *takes* the parked
+//! [`SessionState`], resumes a [`Session`] over it, executes, and parks the
+//! state back. Taking the state outside the lock would let a second worker
+//! on the same shard spin up a fresh state and fork the counters.
+//!
+//! # Epochs
+//!
+//! Reads and writes are phased by construction: [`QueryService::serve_batch`]
+//! takes `&self` (any number of concurrent readers within a batch), while
+//! [`QueryService::apply_updates`] takes `&mut self` — the borrow checker
+//! guarantees no batch is in flight while the index is maintained. Each
+//! maintenance call bumps the service epoch; a shard resumed under a newer
+//! epoch than it last saw lazily drops its decoded-signature cache (stale
+//! decodes) before serving, so the next batch observes the updated index.
+//!
+//! # Backends
+//!
+//! The default backend executes on the signature index. The
+//! [`Backend::Dijkstra`] backend answers the same queries by incremental
+//! network expansion (the paper's INE baseline) with one reusable
+//! [`SsspWorkspace`] per worker — no paging, no shared state — used for
+//! cross-checking results and as a CPU-cost yardstick.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use dsi_graph::{DijkstraExpansion, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace};
+use dsi_signature::query::aggregate::RangeAggregate;
+use dsi_signature::query::join::self_epsilon_join;
+use dsi_signature::update::UpdateReport;
+use dsi_signature::{
+    KnnResult, KnnType, OpStats, Session, SessionState, SignatureConfig, SignatureIndex,
+    SignatureMaintainer,
+};
+use dsi_storage::{IoStats, Striped};
+
+use crate::stats::{per_class_stats, BatchReport};
+use crate::workload::Query;
+
+/// Which engine answers the queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The distance signature index (default).
+    Signature,
+    /// Incremental network expansion from the query node (INE baseline);
+    /// per-worker workspace, no paging model.
+    Dijkstra,
+}
+
+/// Service sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Session shards. More shards → less contention, colder caches.
+    pub shards: usize,
+    /// Buffer-pool pages per shard; the decode cache is sized off this
+    /// (see [`SessionState::new`]). Sizing only moves fault counts and CPU
+    /// time — logical page accesses are charged before either cache.
+    pub pool_pages: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 16,
+            pool_pages: 64,
+        }
+    }
+}
+
+/// One query's result, mirroring [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// Objects within range.
+    Range(Vec<ObjectId>),
+    /// The k nearest objects with exact distances.
+    Knn(Vec<KnnResult>),
+    /// Aggregates over the range.
+    Aggregate(RangeAggregate),
+    /// Qualifying object pairs (`a < b`).
+    Join(Vec<(ObjectId, ObjectId)>),
+}
+
+/// A parked per-shard session plus the epoch it last served under.
+struct Shard {
+    state: Option<SessionState>,
+    epoch: u64,
+}
+
+/// Thread-safe query engine over one road network + object set.
+///
+/// Owns the network, the signature index and its maintainer; serves read
+/// batches through sharded sessions and applies edge updates between
+/// batches (see module docs for the epoch rules).
+pub struct QueryService {
+    net: RoadNetwork,
+    objects: ObjectSet,
+    index: SignatureIndex,
+    maint: SignatureMaintainer,
+    shards: Striped<Shard>,
+    epoch: u64,
+    pool_pages: usize,
+}
+
+impl QueryService {
+    /// Build the index over `net`/`objects` and wrap it in a service.
+    pub fn new(
+        net: RoadNetwork,
+        objects: ObjectSet,
+        sig: &SignatureConfig,
+        cfg: &ServiceConfig,
+    ) -> Self {
+        let index = SignatureIndex::build(&net, &objects, sig);
+        let maint = SignatureMaintainer::new(&net, &objects);
+        QueryService {
+            net,
+            objects,
+            index,
+            maint,
+            shards: Striped::new(cfg.shards, |_| Shard {
+                state: None,
+                epoch: 0,
+            }),
+            epoch: 0,
+            pool_pages: cfg.pool_pages,
+        }
+    }
+
+    /// The road network being served.
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The indexed object set.
+    pub fn objects(&self) -> &ObjectSet {
+        &self.objects
+    }
+
+    /// The signature index being served.
+    pub fn index(&self) -> &SignatureIndex {
+        &self.index
+    }
+
+    /// Current maintenance epoch (bumped by [`Self::apply_updates`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Session shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.num_shards()
+    }
+
+    /// Serve a batch on the signature backend. See [`Self::serve_batch_on`].
+    pub fn serve_batch(&self, queries: &[Query], workers: usize) -> BatchReport {
+        self.serve_batch_on(Backend::Signature, queries, workers)
+    }
+
+    /// Execute `queries` on `workers` threads and return outputs in input
+    /// order plus cost accounting.
+    ///
+    /// Workers pull queries off a shared atomic cursor (dynamic load
+    /// balancing: a worker stuck on a join doesn't stall the rest of the
+    /// batch), execute each under its shard's lock, and report
+    /// `(index, class, latency, output)` over a channel. Query *results*
+    /// and merged *logical* page counts are schedule-independent (routing
+    /// is deterministic and the index is immutable for the batch); page
+    /// *faults* and latencies depend on interleaving.
+    pub fn serve_batch_on(
+        &self,
+        backend: Backend,
+        queries: &[Query],
+        workers: usize,
+    ) -> BatchReport {
+        let workers = workers.max(1);
+        let io_before = self.merged_io_stats();
+        let ops_before = self.merged_op_stats();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    // One reusable Dijkstra workspace per worker: allocated
+                    // once, reset in O(touched) between queries.
+                    let mut ws = SsspWorkspace::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(q) = queries.get(i) else { break };
+                        let t0 = Instant::now();
+                        let out = match backend {
+                            Backend::Signature => self.execute_sharded(q),
+                            Backend::Dijkstra => {
+                                execute_dijkstra(&self.net, &self.objects, &mut ws, q)
+                            }
+                        };
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        tx.send((i, q.class(), ns, out)).expect("collector alive");
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let wall = start.elapsed();
+        let mut outputs: Vec<Option<QueryOutput>> = (0..queries.len()).map(|_| None).collect();
+        let mut samples = Vec::with_capacity(queries.len());
+        for (i, class, ns, out) in rx {
+            samples.push((class, ns));
+            outputs[i] = Some(out);
+        }
+        BatchReport {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every query executed"))
+                .collect(),
+            wall,
+            workers,
+            io: self.merged_io_stats() - io_before,
+            ops: self.merged_op_stats() - ops_before,
+            per_class: per_class_stats(samples),
+        }
+    }
+
+    /// Execute one query under its shard's lock on the signature index.
+    fn execute_sharded(&self, q: &Query) -> QueryOutput {
+        let mut shard = self.shards.lock(q.route_key());
+        if shard.epoch != self.epoch {
+            // The index was maintained since this shard last served:
+            // cached decodes may describe the old index. Page identity is
+            // stable, so the pool stays warm.
+            if let Some(state) = shard.state.as_mut() {
+                state.invalidate_cache();
+            }
+            shard.epoch = self.epoch;
+        }
+        let state = shard
+            .state
+            .take()
+            .unwrap_or_else(|| SessionState::new(self.pool_pages));
+        let mut sess = Session::resume(&self.index, &self.net, state);
+        let out = execute_signature(&mut sess, q);
+        shard.state = Some(sess.suspend());
+        out
+    }
+
+    /// Apply edge-weight updates (§5.4) and bump the epoch so shards drop
+    /// stale decodes before the next batch. Requires `&mut self`: the
+    /// borrow checker keeps maintenance out of any in-flight batch.
+    pub fn apply_updates(&mut self, updates: &[(NodeId, NodeId, Dist)]) -> Vec<UpdateReport> {
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        let reports = updates
+            .iter()
+            .map(|&(a, b, w)| {
+                self.maint
+                    .update_edge(&mut self.net, &mut self.index, a, b, w)
+            })
+            .collect();
+        self.epoch += 1;
+        reports
+    }
+
+    /// Page-access counters summed over all shards.
+    pub fn merged_io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        self.shards.for_each(|_, shard| {
+            if let Some(state) = shard.state.as_ref() {
+                total += state.io_stats();
+            }
+        });
+        total
+    }
+
+    /// Operation counters summed over all shards.
+    pub fn merged_op_stats(&self) -> OpStats {
+        let mut total = OpStats::default();
+        self.shards.for_each(|_, shard| {
+            if let Some(state) = shard.state.as_ref() {
+                total += state.op_stats();
+            }
+        });
+        total
+    }
+
+    /// Zero every shard's counters, keeping caches warm.
+    pub fn reset_stats(&self) {
+        self.shards.for_each(|_, shard| {
+            if let Some(state) = shard.state.as_mut() {
+                state.reset_stats();
+            }
+        });
+    }
+
+    /// One-line stats dump: epoch, shards, merged I/O (via the
+    /// [`IoStats`] `Display` summary).
+    pub fn stats_dump(&self) -> String {
+        format!(
+            "epoch {} | {} shards | io: {}",
+            self.epoch,
+            self.num_shards(),
+            self.merged_io_stats()
+        )
+    }
+}
+
+/// Dispatch one query to the signature-index query processors.
+fn execute_signature(sess: &mut Session<'_>, q: &Query) -> QueryOutput {
+    match *q {
+        Query::Range { node, eps } => QueryOutput::Range(sess.range(node, eps)),
+        Query::Knn { node, k } => QueryOutput::Knn(sess.knn(node, k, KnnType::Type1)),
+        Query::Aggregate { node, eps } => QueryOutput::Aggregate(sess.aggregate(node, eps)),
+        Query::Join { eps } => QueryOutput::Join(self_epsilon_join(sess, eps)),
+    }
+}
+
+/// Answer one query by incremental network expansion in `ws`.
+fn execute_dijkstra(
+    net: &RoadNetwork,
+    objects: &ObjectSet,
+    ws: &mut SsspWorkspace,
+    q: &Query,
+) -> QueryOutput {
+    match *q {
+        Query::Range { node, eps } => {
+            let mut found = expand_range(net, objects, ws, node, eps);
+            found.sort_unstable_by_key(|&(o, _)| o);
+            QueryOutput::Range(found.into_iter().map(|(o, _)| o).collect())
+        }
+        Query::Knn { node, k } => {
+            let k = k.min(objects.len());
+            let mut exp = DijkstraExpansion::in_workspace(net, node, ws);
+            let mut found: Vec<(Dist, ObjectId)> = Vec::new();
+            let mut bound = None;
+            while let Some((v, d)) = exp.next_settled() {
+                if bound.is_some_and(|b| d > b) {
+                    break;
+                }
+                if let Some(o) = objects.object_at(v) {
+                    found.push((d, o));
+                    if found.len() == k {
+                        // Keep settling to pick up ties at the k-th
+                        // distance, then cut deterministically below.
+                        bound = Some(d);
+                    }
+                }
+            }
+            found.sort_unstable();
+            found.truncate(k);
+            QueryOutput::Knn(
+                found
+                    .into_iter()
+                    .map(|(d, o)| KnnResult {
+                        object: o,
+                        dist: Some(d),
+                    })
+                    .collect(),
+            )
+        }
+        Query::Aggregate { node, eps } => {
+            let found = expand_range(net, objects, ws, node, eps);
+            let mut agg = RangeAggregate::default();
+            for (_, d) in &found {
+                agg.count += 1;
+                agg.sum += *d as u64;
+                agg.min = Some(agg.min.map_or(*d, |m| m.min(*d)));
+                agg.max = Some(agg.max.map_or(*d, |m| m.max(*d)));
+            }
+            QueryOutput::Aggregate(agg)
+        }
+        Query::Join { eps } => {
+            let mut pairs = Vec::new();
+            for (a, host) in objects.iter() {
+                for (b, _) in expand_range(net, objects, ws, host, eps) {
+                    if a < b {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            QueryOutput::Join(pairs)
+        }
+    }
+}
+
+/// Objects within `eps` of `node` with their exact distances, in settle
+/// order.
+fn expand_range(
+    net: &RoadNetwork,
+    objects: &ObjectSet,
+    ws: &mut SsspWorkspace,
+    node: NodeId,
+    eps: Dist,
+) -> Vec<(ObjectId, Dist)> {
+    let mut exp = DijkstraExpansion::in_workspace(net, node, ws);
+    let mut found = Vec::new();
+    while let Some((v, d)) = exp.next_settled() {
+        if d > eps {
+            break;
+        }
+        if let Some(o) = objects.object_at(v) {
+            found.push((o, d));
+        }
+    }
+    found
+}

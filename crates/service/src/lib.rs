@@ -1,0 +1,26 @@
+//! A multi-threaded query service over the distance signature index.
+//!
+//! The paper evaluates the index one query at a time; a deployed distance
+//! server sees *traffic* — mixed batches of range / kNN / aggregate / join
+//! queries from many clients, interleaved with occasional edge-weight
+//! updates. This crate wraps the single-threaded index machinery in a
+//! thread-safe façade built from three pieces:
+//!
+//! * [`engine`] — [`QueryService`]: lock-striped per-shard sessions
+//!   (buffer pool + decode cache + counters), a `std::thread::scope`
+//!   worker pool pulling queries off a shared cursor, and a read/write
+//!   epoch separating query batches from index maintenance;
+//! * [`workload`] — deterministic batch generation with configurable class
+//!   mixes and uniform/Zipfian query-node skew;
+//! * [`stats`] — per-class latency percentiles (p50/p95/p99) and batch
+//!   throughput/IO reporting.
+//!
+//! The `workload` binary drives all of it from the command line.
+
+pub mod engine;
+pub mod stats;
+pub mod workload;
+
+pub use engine::{Backend, QueryOutput, QueryService, ServiceConfig};
+pub use stats::{BatchReport, ClassStats};
+pub use workload::{generate, Query, QueryClass, Skew, WorkloadConfig, WorkloadMix};

@@ -1,0 +1,191 @@
+//! Latency accounting for batch execution: per-class percentiles and
+//! batch-level throughput / IO summaries.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dsi_signature::OpStats;
+use dsi_storage::IoStats;
+
+use crate::engine::QueryOutput;
+use crate::workload::QueryClass;
+
+/// Latency summary for one query class within a batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassStats {
+    /// Queries of this class in the batch.
+    pub count: usize,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Worst observed latency, nanoseconds.
+    pub max_ns: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: u64,
+}
+
+impl ClassStats {
+    /// Nearest-rank percentiles over one class's latencies.
+    pub fn from_latencies(ns: &mut [u64]) -> ClassStats {
+        if ns.is_empty() {
+            return ClassStats::default();
+        }
+        ns.sort_unstable();
+        let pct = |p: f64| {
+            // Nearest-rank: smallest value with at least p of the mass at
+            // or below it.
+            let rank = ((p * ns.len() as f64).ceil() as usize).clamp(1, ns.len());
+            ns[rank - 1]
+        };
+        ClassStats {
+            count: ns.len(),
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: *ns.last().expect("non-empty"),
+            mean_ns: (ns.iter().sum::<u64>() / ns.len() as u64),
+        }
+    }
+}
+
+/// Everything a [`crate::QueryService::serve_batch`] call produces: ordered
+/// outputs plus cost accounting for the whole batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One output per input query, in input order.
+    pub outputs: Vec<QueryOutput>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Page-access delta over the batch, merged across shards. `logical`
+    /// is schedule-independent; `faults` depend on interleaving.
+    pub io: IoStats,
+    /// Operation-counter delta over the batch, merged across shards.
+    pub ops: OpStats,
+    /// Latency percentiles per query class (classes absent from the batch
+    /// are omitted).
+    pub per_class: BTreeMap<&'static str, ClassStats>,
+}
+
+impl BatchReport {
+    /// Queries per second over the batch wall-clock.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.outputs.len() as f64 / secs
+    }
+
+    /// Multi-line human-readable summary (workload driver, service logs).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} queries, {} workers: {:.1} q/s over {:.3} ms\n  io: {}\n  ops: {} sig reads, {} hops, {} exact + {} approx comparisons\n",
+            self.outputs.len(),
+            self.workers,
+            self.throughput_qps(),
+            self.wall.as_secs_f64() * 1e3,
+            self.io,
+            self.ops.signature_reads,
+            self.ops.hops,
+            self.ops.exact_comparisons,
+            self.ops.approx_comparisons,
+        );
+        for class in QueryClass::ALL {
+            if let Some(s) = self.per_class.get(class.label()) {
+                out.push_str(&format!(
+                    "  {:<9} n={:<5} p50={} p95={} p99={} max={}\n",
+                    class.label(),
+                    s.count,
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p95_ns),
+                    fmt_ns(s.p99_ns),
+                    fmt_ns(s.max_ns),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// `1234` → `"1.2µs"`, etc. — keeps the summary table scannable.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Fold per-query `(class, ns)` samples into per-class summaries.
+pub(crate) fn per_class_stats(
+    samples: impl IntoIterator<Item = (QueryClass, u64)>,
+) -> BTreeMap<&'static str, ClassStats> {
+    let mut buckets: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for (class, ns) in samples {
+        buckets.entry(class.label()).or_default().push(ns);
+    }
+    buckets
+        .into_iter()
+        .map(|(label, mut ns)| (label, ClassStats::from_latencies(&mut ns)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut ns: Vec<u64> = (1..=100).collect();
+        let s = ClassStats::from_latencies(&mut ns);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50); // (5050 / 100) truncated
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse() {
+        let mut ns = vec![7];
+        let s = ClassStats::from_latencies(&mut ns);
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn empty_class_is_all_zero() {
+        let s = ClassStats::from_latencies(&mut []);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn per_class_grouping() {
+        let stats = per_class_stats([
+            (QueryClass::Range, 10),
+            (QueryClass::Knn, 30),
+            (QueryClass::Range, 20),
+        ]);
+        assert_eq!(stats["range"].count, 2);
+        assert_eq!(stats["knn"].count, 1);
+        assert!(!stats.contains_key("join"));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

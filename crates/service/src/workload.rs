@@ -1,0 +1,318 @@
+//! Workload generation: mixed query batches with configurable class mixes
+//! and query-node skew.
+//!
+//! Road-network query traffic is not uniform — a few popular locations
+//! (stations, junctions near points of interest) attract a large share of
+//! queries. The generator models that with a Zipfian rank-frequency law over
+//! a seeded random permutation of the nodes, so "popular" nodes are spread
+//! across the network (and therefore across service shards) rather than
+//! clustered at low ids. Everything is driven by one seed: the same
+//! [`WorkloadConfig`] always yields the same batch, which is what the
+//! serial-vs-parallel equivalence tests rely on.
+
+use dsi_graph::{Dist, NodeId, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The four query classes the service executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryClass {
+    /// Objects within `eps` of a node (§4.1).
+    Range,
+    /// The `k` nearest objects to a node (§4.2).
+    Knn,
+    /// count/sum/min/max over a range (§4.3).
+    Aggregate,
+    /// Self ε-join over all objects (§4.4).
+    Join,
+}
+
+impl QueryClass {
+    /// All classes, in display order.
+    pub const ALL: [QueryClass; 4] = [
+        QueryClass::Range,
+        QueryClass::Knn,
+        QueryClass::Aggregate,
+        QueryClass::Join,
+    ];
+
+    /// Short lowercase label (report keys, CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryClass::Range => "range",
+            QueryClass::Knn => "knn",
+            QueryClass::Aggregate => "aggregate",
+            QueryClass::Join => "join",
+        }
+    }
+}
+
+/// One query of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Objects within `eps` of `node`.
+    Range { node: NodeId, eps: Dist },
+    /// The `k` nearest objects to `node`.
+    Knn { node: NodeId, k: usize },
+    /// Aggregate over the objects within `eps` of `node`.
+    Aggregate { node: NodeId, eps: Dist },
+    /// All object pairs within `eps` of each other.
+    Join { eps: Dist },
+}
+
+impl Query {
+    /// The class this query belongs to.
+    pub fn class(&self) -> QueryClass {
+        match self {
+            Query::Range { .. } => QueryClass::Range,
+            Query::Knn { .. } => QueryClass::Knn,
+            Query::Aggregate { .. } => QueryClass::Aggregate,
+            Query::Join { .. } => QueryClass::Join,
+        }
+    }
+
+    /// Routing key for shard selection. Node-anchored queries route by
+    /// their query node, so repeated queries near the same location reuse
+    /// the same shard's warm caches. Joins scan everything and carry no
+    /// anchor; they all route to one dedicated key.
+    pub fn route_key(&self) -> u64 {
+        match self {
+            Query::Range { node, .. } | Query::Knn { node, .. } | Query::Aggregate { node, .. } => {
+                node.0 as u64
+            }
+            Query::Join { .. } => u64::MAX,
+        }
+    }
+}
+
+/// Query-node popularity skew.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Skew {
+    /// Every node equally likely.
+    Uniform,
+    /// Zipfian rank-frequency: the `r`-th most popular node is drawn with
+    /// probability proportional to `r^-theta`. `theta` around 0.8–1.0
+    /// matches typical web/traffic popularity; 0 degenerates to uniform.
+    Zipf {
+        /// Skew exponent (≥ 0).
+        theta: f64,
+    },
+}
+
+/// Relative weights of the four query classes in a generated batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadMix {
+    /// Weight of range queries.
+    pub range: u32,
+    /// Weight of kNN queries.
+    pub knn: u32,
+    /// Weight of aggregate queries.
+    pub aggregate: u32,
+    /// Weight of ε-joins (expensive full scans — keep rare).
+    pub join: u32,
+}
+
+impl Default for WorkloadMix {
+    /// Read-mostly point-query traffic: 50% range, 35% kNN, 14% aggregate,
+    /// 1% join.
+    fn default() -> Self {
+        WorkloadMix {
+            range: 50,
+            knn: 35,
+            aggregate: 14,
+            join: 1,
+        }
+    }
+}
+
+impl WorkloadMix {
+    fn total(&self) -> u32 {
+        self.range + self.knn + self.aggregate + self.join
+    }
+}
+
+/// Everything that determines a generated batch.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Class weights.
+    pub mix: WorkloadMix,
+    /// Query-node popularity distribution.
+    pub skew: Skew,
+    /// Range/aggregate radii are drawn uniformly from this interval.
+    pub eps_range: (Dist, Dist),
+    /// kNN `k` drawn uniformly from this interval.
+    pub k_range: (usize, usize),
+    /// Radius used by join queries.
+    pub join_eps: Dist,
+    /// Number of queries in the batch.
+    pub count: usize,
+    /// Seed for all random choices.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mix: WorkloadMix::default(),
+            skew: Skew::Zipf { theta: 0.8 },
+            eps_range: (200, 2000),
+            k_range: (1, 8),
+            join_eps: 400,
+            count: 1000,
+            seed: 42,
+        }
+    }
+}
+
+/// Draws query nodes according to a [`Skew`].
+///
+/// For Zipf, ranks are mapped to nodes through a seeded shuffle so popular
+/// nodes are scattered over the network, and draws binary-search the
+/// precomputed cumulative `r^-theta` weights.
+struct NodeSampler {
+    /// Shuffled rank → node permutation.
+    perm: Vec<NodeId>,
+    /// Cumulative (unnormalized) weights; empty means uniform.
+    cumulative: Vec<f64>,
+}
+
+impl NodeSampler {
+    fn new(net: &RoadNetwork, skew: Skew, rng: &mut StdRng) -> Self {
+        let mut perm: Vec<NodeId> = (0..net.num_nodes()).map(|i| NodeId(i as u32)).collect();
+        let cumulative = match skew {
+            Skew::Uniform => Vec::new(),
+            Skew::Zipf { theta } => {
+                perm.shuffle(rng);
+                let mut acc = 0.0;
+                (1..=perm.len())
+                    .map(|r| {
+                        acc += (r as f64).powf(-theta);
+                        acc
+                    })
+                    .collect()
+            }
+        };
+        NodeSampler { perm, cumulative }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> NodeId {
+        if self.cumulative.is_empty() {
+            return self.perm[rng.gen_range(0..self.perm.len())];
+        }
+        let total = *self.cumulative.last().expect("non-empty network");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.perm[idx.min(self.perm.len() - 1)]
+    }
+}
+
+/// Generate a deterministic batch of `cfg.count` queries against `net`.
+pub fn generate(net: &RoadNetwork, cfg: &WorkloadConfig) -> Vec<Query> {
+    assert!(net.num_nodes() > 0, "workload needs a non-empty network");
+    assert!(
+        cfg.mix.total() > 0,
+        "workload mix must have positive weight"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sampler = NodeSampler::new(net, cfg.skew, &mut rng);
+    let total = cfg.mix.total();
+    (0..cfg.count)
+        .map(|_| {
+            let ticket = rng.gen_range(0..total);
+            let node = sampler.draw(&mut rng);
+            let eps = rng.gen_range(cfg.eps_range.0..=cfg.eps_range.1);
+            if ticket < cfg.mix.range {
+                Query::Range { node, eps }
+            } else if ticket < cfg.mix.range + cfg.mix.knn {
+                let k = rng.gen_range(cfg.k_range.0..=cfg.k_range.1);
+                Query::Knn { node, k }
+            } else if ticket < cfg.mix.range + cfg.mix.knn + cfg.mix.aggregate {
+                Query::Aggregate { node, eps }
+            } else {
+                Query::Join { eps: cfg.join_eps }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::grid;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let net = grid(10, 10);
+        let cfg = WorkloadConfig {
+            count: 500,
+            ..Default::default()
+        };
+        assert_eq!(generate(&net, &cfg), generate(&net, &cfg));
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let net = grid(10, 10);
+        let cfg = WorkloadConfig {
+            count: 4000,
+            skew: Skew::Uniform,
+            ..Default::default()
+        };
+        let batch = generate(&net, &cfg);
+        let count = |c: QueryClass| batch.iter().filter(|q| q.class() == c).count();
+        let range = count(QueryClass::Range) as f64 / cfg.count as f64;
+        let knn = count(QueryClass::Knn) as f64 / cfg.count as f64;
+        assert!((range - 0.50).abs() < 0.05, "range share {range}");
+        assert!((knn - 0.35).abs() < 0.05, "knn share {knn}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_few_nodes() {
+        let net = grid(20, 20);
+        let draws = 4000;
+        let freq = |skew| {
+            let cfg = WorkloadConfig {
+                count: draws,
+                skew,
+                mix: WorkloadMix {
+                    range: 1,
+                    knn: 0,
+                    aggregate: 0,
+                    join: 0,
+                },
+                ..Default::default()
+            };
+            let mut counts = vec![0usize; net.num_nodes()];
+            for q in generate(&net, &cfg) {
+                if let Query::Range { node, .. } = q {
+                    counts[node.0 as usize] += 1;
+                }
+            }
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            // Share of traffic taken by the hottest 5% of nodes.
+            counts.iter().take(net.num_nodes() / 20).sum::<usize>() as f64 / draws as f64
+        };
+        let uniform_top = freq(Skew::Uniform);
+        let zipf_top = freq(Skew::Zipf { theta: 1.0 });
+        assert!(
+            zipf_top > uniform_top * 2.0,
+            "zipf top-5% share {zipf_top} vs uniform {uniform_top}"
+        );
+    }
+
+    #[test]
+    fn join_routes_to_a_single_key() {
+        let a = Query::Join { eps: 100 };
+        let b = Query::Join { eps: 900 };
+        assert_eq!(a.route_key(), b.route_key());
+        assert_ne!(
+            Query::Range {
+                node: NodeId(3),
+                eps: 1
+            }
+            .route_key(),
+            NodeId(4).0 as u64
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Concurrency equivalence: a multi-worker batch must be indistinguishable
+//! (results *and* logical cost accounting) from the same batch served
+//! serially, and maintenance applied between batches must be visible to the
+//! next batch.
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::ObjectSet;
+use dsi_service::{
+    generate, Backend, Query, QueryOutput, QueryService, ServiceConfig, Skew, WorkloadConfig,
+};
+use dsi_signature::{KnnResult, SignatureConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fresh service over a deterministic 300-node planar network.
+///
+/// Logical page accesses are charged on every signature consult *before*
+/// the decode cache is checked, so the merged logical totals depend only on
+/// which queries each shard serves — never on worker scheduling or cache
+/// warmth. The generous `pool_pages` just keeps the runs warm.
+fn build_service(seed: u64) -> QueryService {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 300,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+    assert!(objects.len() >= 5, "need a non-trivial object set");
+    QueryService::new(
+        net,
+        objects,
+        &SignatureConfig::default(),
+        &ServiceConfig {
+            shards: 8,
+            pool_pages: 128,
+        },
+    )
+}
+
+fn mixed_batch(service: &QueryService, count: usize, seed: u64) -> Vec<Query> {
+    generate(
+        service.net(),
+        &WorkloadConfig {
+            count,
+            seed,
+            skew: Skew::Zipf { theta: 0.8 },
+            ..Default::default()
+        },
+    )
+}
+
+/// kNN answers are unique only up to ties at the k-th distance: any object
+/// tied with the cut is a legitimate k-th result. Both backends sort by
+/// `(dist, object)`, so the distance profiles must match exactly and the
+/// object sets must match strictly below the k-th distance.
+fn assert_knn_equivalent(a: &[KnnResult], b: &[KnnResult], ctx: &str) {
+    let dists = |rs: &[KnnResult]| rs.iter().map(|r| r.dist).collect::<Vec<_>>();
+    assert_eq!(dists(a), dists(b), "{ctx}: distance profile");
+    let kth = a.last().and_then(|r| r.dist);
+    let strict = |rs: &[KnnResult]| {
+        rs.iter()
+            .filter(|r| r.dist < kth)
+            .map(|r| r.object)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strict(a),
+        strict(b),
+        "{ctx}: objects below the k-th distance"
+    );
+}
+
+/// Signature-backend outputs vs Dijkstra-backend outputs for one batch.
+/// Orderless result sets are compared sorted; kNN is compared tie-aware.
+fn assert_backends_agree(sig: &[QueryOutput], ine: &[QueryOutput], ctx: &str) {
+    assert_eq!(sig.len(), ine.len());
+    for (i, (s, d)) in sig.iter().zip(ine).enumerate() {
+        match (s, d) {
+            (QueryOutput::Range(a), QueryOutput::Range(b)) => {
+                let mut a = a.clone();
+                a.sort_unstable();
+                assert_eq!(&a, b, "{ctx}: range query {i}");
+            }
+            (QueryOutput::Knn(a), QueryOutput::Knn(b)) => {
+                assert_knn_equivalent(a, b, &format!("{ctx}: knn query {i}"));
+            }
+            (QueryOutput::Aggregate(a), QueryOutput::Aggregate(b)) => {
+                assert_eq!(a, b, "{ctx}: aggregate query {i}");
+            }
+            (QueryOutput::Join(a), QueryOutput::Join(b)) => {
+                let mut a = a.clone();
+                a.sort_unstable();
+                assert_eq!(&a, b, "{ctx}: join query {i}");
+            }
+            (s, d) => panic!("{ctx}: query {i} class mismatch {s:?} vs {d:?}"),
+        }
+    }
+}
+
+#[test]
+fn four_workers_match_serial_exactly() {
+    let serial = build_service(7);
+    let parallel = build_service(7);
+    let batch = mixed_batch(&serial, 250, 99);
+
+    let r1 = serial.serve_batch(&batch, 1);
+    let r4 = parallel.serve_batch(&batch, 4);
+
+    assert_eq!(r1.outputs.len(), batch.len());
+    for (i, (a, b)) in r1.outputs.iter().zip(&r4.outputs).enumerate() {
+        assert_eq!(a, b, "query {i} ({:?}) diverged under 4 workers", batch[i]);
+    }
+    // Logical page accesses and operation counters are schedule-independent
+    // (routing is deterministic, charges precede all caching); faults are
+    // not, so only the logical totals are compared.
+    assert_eq!(r1.io.logical, r4.io.logical, "merged logical page accesses");
+    assert_eq!(r1.ops, r4.ops, "merged operation counters");
+    assert!(r1.io.logical > 0, "batch charged no page accesses");
+}
+
+#[test]
+fn signature_and_dijkstra_backends_agree() {
+    let service = build_service(11);
+    let batch = mixed_batch(&service, 120, 5);
+
+    let sig = service.serve_batch_on(Backend::Signature, &batch, 2);
+    let ine = service.serve_batch_on(Backend::Dijkstra, &batch, 2);
+    assert_backends_agree(&sig.outputs, &ine.outputs, "fresh index");
+}
+
+#[test]
+fn epoch_update_between_batches_is_visible() {
+    let mut service = build_service(23);
+    let batch = mixed_batch(&service, 150, 17);
+
+    // Warm every shard's decode cache so stale decodes *would* be served if
+    // the epoch invalidation were missing.
+    let before = service.serve_batch(&batch, 4);
+    assert_eq!(service.epoch(), 0);
+
+    // Lengthen edges on the shortest-path fabric until some query's result
+    // actually changes: make the first object's host expensive to reach.
+    let host = service.objects().iter().next().expect("objects exist").1;
+    let updates: Vec<_> = service
+        .net()
+        .neighbors(host)
+        .map(|(_, b, w)| (host, b, w + 5_000))
+        .collect();
+    assert!(!updates.is_empty());
+    let reports = service.apply_updates(&updates);
+    assert_eq!(service.epoch(), 1);
+    assert!(
+        reports.iter().any(|r| r.entries_changed > 0),
+        "update changed no signature entries — test network too forgiving"
+    );
+
+    let after = service.serve_batch(&batch, 4);
+    assert_ne!(
+        before.outputs, after.outputs,
+        "a 5000-unit detour around an object's host must change some result"
+    );
+
+    // Ground truth: the Dijkstra backend reads the (updated) network
+    // directly and shares no caches with the signature path. If any shard
+    // had served stale decodes, the signature outputs would diverge.
+    let truth = service.serve_batch_on(Backend::Dijkstra, &batch, 4);
+    assert_backends_agree(&after.outputs, &truth.outputs, "post-update");
+}

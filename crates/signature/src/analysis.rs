@@ -55,9 +55,9 @@ pub fn expected_query_cost(c: f64, t: f64, sp: f64, p: f64, d_card: f64) -> f64 
             // objects at distance j cost (j − lb) node visits each.
             let a = lb;
             let b = ub.min(sp);
-            let integral = p * ((4.0 / 3.0) * (b.powi(3) - a.powi(3)) / 1.0
-                - 2.0 * a * (b * b - a * a)
-                + (0.5 * (b * b - a * a) - a * (b - a)));
+            let integral = p
+                * ((4.0 / 3.0) * (b.powi(3) - a.powi(3)) / 1.0 - 2.0 * a * (b * b - a * a)
+                    + (0.5 * (b * b - a * a) - a * (b - a)));
             let cost_of_category = sig_bits * integral.max(0.0);
             total += width * cost_of_category;
         }

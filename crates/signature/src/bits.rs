@@ -92,7 +92,10 @@ impl BitBox {
     /// # Panics
     /// If `len` does not fit in `words`.
     pub fn from_words(words: Vec<u64>, len: usize) -> Self {
-        assert!(len.div_ceil(64) <= words.len(), "length exceeds backing words");
+        assert!(
+            len.div_ceil(64) <= words.len(),
+            "length exceeds backing words"
+        );
         BitBox {
             words: words.into_boxed_slice(),
             len,

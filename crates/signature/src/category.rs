@@ -104,7 +104,10 @@ impl CategoryPartition {
     /// If the bounds are not strictly increasing or empty.
     pub fn from_parts(c: f64, t: Dist, upper: Vec<Dist>) -> Self {
         assert!(!upper.is_empty());
-        assert!(upper.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        assert!(
+            upper.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
         CategoryPartition { upper, c, t }
     }
 

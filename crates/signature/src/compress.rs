@@ -184,7 +184,10 @@ mod tests {
         // Objects 0 (anchor, cat 1) and 1 (cat 3) share link 0.
         // d(0,1) = 45 → category 3; sum(1, 3) = max = 3 = cat(1) → flag.
         let t = table(&[(0, 1, 45)], 2);
-        for scheme in [CompressionScheme::PerLinkAnchor, CompressionScheme::GlobalAnchor] {
+        for scheme in [
+            CompressionScheme::PerLinkAnchor,
+            CompressionScheme::GlobalAnchor,
+        ] {
             let flags = compression_flags(scheme, &p, &t, &[1, 3], &[0, 0]);
             assert_eq!(flags, vec![false, true], "{scheme:?}");
         }
@@ -195,7 +198,10 @@ mod tests {
         let p = partition();
         // d(0,1) = 5 → cat 0; sum(1, 0) = 1 ≠ 3.
         let t = table(&[(0, 1, 5)], 2);
-        for scheme in [CompressionScheme::PerLinkAnchor, CompressionScheme::GlobalAnchor] {
+        for scheme in [
+            CompressionScheme::PerLinkAnchor,
+            CompressionScheme::GlobalAnchor,
+        ] {
             let flags = compression_flags(scheme, &p, &t, &[1, 3], &[0, 0]);
             assert_eq!(flags, vec![false, false], "{scheme:?}");
         }
@@ -206,18 +212,16 @@ mod tests {
         let p = partition();
         // anchor cat 2, other cat 3, d(anchor,other) → cat 2: sum = 2+1 = 3.
         let t = table(&[(0, 1, 25)], 2);
-        let flags =
-            compression_flags(CompressionScheme::PerLinkAnchor, &p, &t, &[2, 3], &[0, 0]);
+        let flags = compression_flags(CompressionScheme::PerLinkAnchor, &p, &t, &[2, 3], &[0, 0]);
         assert_eq!(flags, vec![false, true]);
     }
 
     #[test]
     fn missing_pair_means_last_category() {
         let p = partition(); // 6 categories; last = 5
-        // No stored distance → cat(u,v) = 5; sum(1,5) = 5.
+                             // No stored distance → cat(u,v) = 5; sum(1,5) = 5.
         let t = table(&[], 2);
-        let flags =
-            compression_flags(CompressionScheme::GlobalAnchor, &p, &t, &[1, 5], &[0, 0]);
+        let flags = compression_flags(CompressionScheme::GlobalAnchor, &p, &t, &[1, 5], &[0, 0]);
         assert_eq!(flags, vec![false, true]);
     }
 
@@ -252,8 +256,7 @@ mod tests {
         let t = table(&[(0, 1, 45), (0, 2, 25), (1, 2, 30)], 3);
         let cats = vec![1u8, 3, 2];
         let links = vec![0u8, 0, 0];
-        let flags =
-            compression_flags(CompressionScheme::PerLinkAnchor, &p, &t, &cats, &links);
+        let flags = compression_flags(CompressionScheme::PerLinkAnchor, &p, &t, &cats, &links);
         let mut stored = cats.clone();
         for (v, &f) in flags.iter().enumerate() {
             if f {
@@ -279,8 +282,7 @@ mod tests {
         let t = table(&[(0, 1, 45), (0, 2, 25), (1, 2, 30)], 3);
         let cats = vec![1u8, 3, 2];
         let links = vec![4u8, 4, 4];
-        let flags =
-            compression_flags(CompressionScheme::GlobalAnchor, &p, &t, &cats, &links);
+        let flags = compression_flags(CompressionScheme::GlobalAnchor, &p, &t, &cats, &links);
         assert!(flags.iter().any(|&f| f), "something must compress");
         let mut stored = cats.clone();
         let mut stored_links = links.clone();
@@ -306,7 +308,10 @@ mod tests {
     fn anchors_never_flagged() {
         let p = partition();
         let t = table(&[(0, 1, 10), (0, 2, 10), (1, 2, 10)], 3);
-        for scheme in [CompressionScheme::PerLinkAnchor, CompressionScheme::GlobalAnchor] {
+        for scheme in [
+            CompressionScheme::PerLinkAnchor,
+            CompressionScheme::GlobalAnchor,
+        ] {
             for cats in [[0u8, 0, 0], [2, 2, 2], [5, 5, 5]] {
                 let flags = compression_flags(scheme, &p, &t, &cats, &[1, 1, 1]);
                 assert!(!flags[0], "anchor (first minimal) must stay raw");

@@ -74,7 +74,10 @@ impl CrossNodeIndex {
     /// Snapshot `index` with cross-node compression over CCAM chains.
     pub fn build(index: &SignatureIndex, net: &RoadNetwork, chain_len: usize) -> Self {
         assert!(chain_len >= 1);
-        let order: Vec<NodeId> = ccam_order(net).into_iter().map(|i| NodeId(i as u32)).collect();
+        let order: Vec<NodeId> = ccam_order(net)
+            .into_iter()
+            .map(|i| NodeId(i as u32))
+            .collect();
         let mut pos_of = vec![0u32; order.len()];
         for (p, &n) in order.iter().enumerate() {
             pos_of[n.index()] = p as u32;
@@ -161,8 +164,7 @@ impl CrossNodeIndex {
                 }
                 Blob::Delta(b) => {
                     let mut r = b.reader();
-                    let flags: Vec<bool> =
-                        (0..self.num_objects).map(|_| r.read_bit()).collect();
+                    let flags: Vec<bool> = (0..self.num_objects).map(|_| r.read_bit()).collect();
                     for (o, &f) in flags.iter().enumerate() {
                         if f {
                             cats[o] = self.code.decode(&mut r);

@@ -269,14 +269,16 @@ impl SignatureIndex {
         // Storage schema: signature merged with the adjacency list (§3.1),
         // records in CCAM order.
         let sizes: Vec<usize> = (0..n)
-            .map(|i| {
-                net.adjacency_record_bytes(NodeId(i as u32)) + blobs[i].byte_len()
-            })
+            .map(|i| net.adjacency_record_bytes(NodeId(i as u32)) + blobs[i].byte_len())
             .collect();
         let store = PagedStore::new(&ccam_order(net), &sizes, 0);
 
         let object_at = (0..n)
-            .map(|i| objects.object_at(NodeId(i as u32)).map_or(u32::MAX, |o| o.0))
+            .map(|i| {
+                objects
+                    .object_at(NodeId(i as u32))
+                    .map_or(u32::MAX, |o| o.0)
+            })
             .collect();
 
         SignatureIndex {
@@ -543,7 +545,9 @@ fn build_columns(
             out[o] = Some(col);
         }
     });
-    out.into_iter().map(|c| c.expect("all columns built")).collect()
+    out.into_iter()
+        .map(|c| c.expect("all columns built"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,9 +6,18 @@
 //! every time a node's signature is consulted. A small decode cache
 //! (second-chance eviction) avoids re-decoding blobs that are certainly
 //! buffer-resident.
+//!
+//! A session's mutable state (pool, decode cache, counters) can be detached
+//! as a [`SessionState`] and re-attached later via [`Session::resume`]: the
+//! concurrent query service keeps one `SessionState` per shard, parks it in
+//! a mutex between batches, and resumes it under whatever worker thread
+//! serves the shard next — warm caches and counters survive across batches
+//! and even across index borrows (e.g. an update applied in between).
+//! `SessionState` is `Send` (decoded signatures are shared via [`Arc`]), so
+//! shard states may migrate freely between worker threads.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dsi_graph::{Dist, NodeId, ObjectId, RoadNetwork};
 use dsi_storage::{BufferPool, IoStats};
@@ -17,7 +26,7 @@ use crate::category::{DistRange, RangeOrdering};
 use crate::index::{DecodedSignature, SignatureIndex};
 
 /// Operation counters (CPU-side cost proxies).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpStats {
     /// Signature records read (logical).
     pub signature_reads: u64,
@@ -31,6 +40,46 @@ pub struct OpStats {
     pub votes: u64,
 }
 
+impl std::ops::Add for OpStats {
+    type Output = OpStats;
+    /// Counter-wise sum — merging per-shard counters into a total.
+    fn add(self, rhs: OpStats) -> OpStats {
+        OpStats {
+            signature_reads: self.signature_reads + rhs.signature_reads,
+            hops: self.hops + rhs.hops,
+            exact_comparisons: self.exact_comparisons + rhs.exact_comparisons,
+            approx_comparisons: self.approx_comparisons + rhs.approx_comparisons,
+            votes: self.votes + rhs.votes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpStats {
+    fn add_assign(&mut self, rhs: OpStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for OpStats {
+    type Output = OpStats;
+    /// Counter delta (`later - earlier`) between two snapshots.
+    fn sub(self, rhs: OpStats) -> OpStats {
+        OpStats {
+            signature_reads: self.signature_reads - rhs.signature_reads,
+            hops: self.hops - rhs.hops,
+            exact_comparisons: self.exact_comparisons - rhs.exact_comparisons,
+            approx_comparisons: self.approx_comparisons - rhs.approx_comparisons,
+            votes: self.votes - rhs.votes,
+        }
+    }
+}
+
+impl std::iter::Sum for OpStats {
+    fn sum<I: Iterator<Item = OpStats>>(iter: I) -> OpStats {
+        iter.fold(OpStats::default(), |a, b| a + b)
+    }
+}
+
 /// Decoded-signature cache with second-chance ("clock") eviction: each hit
 /// sets a referenced bit; the clock hand sweeps slots, giving referenced
 /// entries one more round before evicting. Backtracking walks re-touch the
@@ -40,7 +89,7 @@ struct DecodeCache {
     /// node → slot index into `slots`.
     map: HashMap<NodeId, usize>,
     /// `(node, signature, referenced)`.
-    slots: Vec<(NodeId, Rc<DecodedSignature>, bool)>,
+    slots: Vec<(NodeId, Arc<DecodedSignature>, bool)>,
     hand: usize,
     cap: usize,
 }
@@ -55,14 +104,14 @@ impl DecodeCache {
         }
     }
 
-    fn get(&mut self, n: NodeId) -> Option<Rc<DecodedSignature>> {
+    fn get(&mut self, n: NodeId) -> Option<Arc<DecodedSignature>> {
         let &i = self.map.get(&n)?;
         self.slots[i].2 = true;
-        Some(Rc::clone(&self.slots[i].1))
+        Some(Arc::clone(&self.slots[i].1))
     }
 
     /// Insert `n` (not already present), evicting one entry if full.
-    fn insert(&mut self, n: NodeId, sig: Rc<DecodedSignature>) {
+    fn insert(&mut self, n: NodeId, sig: Arc<DecodedSignature>) {
         debug_assert!(!self.map.contains_key(&n));
         if self.slots.len() < self.cap {
             self.map.insert(n, self.slots.len());
@@ -99,6 +148,55 @@ impl DecodeCache {
     }
 }
 
+/// A [`Session`]'s mutable state, detached from the index borrow: buffer
+/// pool, decode cache, and counters.
+///
+/// Owning this separately is what lets state outlive one borrow of the
+/// index: a service shard keeps its `SessionState` across query batches
+/// (and across `&mut` index maintenance in between), resuming it with
+/// [`Session::resume`] when the next batch arrives. The state is `Send`,
+/// so any worker thread may resume it.
+pub struct SessionState {
+    pool: BufferPool,
+    cache: DecodeCache,
+    stats: OpStats,
+}
+
+impl SessionState {
+    /// Fresh state with a cold `pool_pages`-page buffer pool (the same
+    /// sizing rule as [`Session::new`]).
+    pub fn new(pool_pages: usize) -> Self {
+        SessionState {
+            pool: BufferPool::new(pool_pages),
+            cache: DecodeCache::new(pool_pages.max(16) * 4),
+            stats: OpStats::default(),
+        }
+    }
+
+    /// I/O counters of the parked buffer pool.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn op_stats(&self) -> OpStats {
+        self.stats
+    }
+
+    /// Drop cached decodes (the pool keeps its pages — page *identity* is
+    /// still valid after maintenance, decoded *content* may not be). Called
+    /// by the service when a shard resumes under a newer index epoch.
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Zero I/O and operation counters, keeping caches warm.
+    pub fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+        self.stats = OpStats::default();
+    }
+}
+
 /// A query session over a [`SignatureIndex`].
 pub struct Session<'a> {
     index: &'a SignatureIndex,
@@ -111,12 +209,29 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Usually obtained through [`SignatureIndex::session`].
     pub fn new(index: &'a SignatureIndex, net: &'a RoadNetwork, pool_pages: usize) -> Self {
+        Session::resume(index, net, SessionState::new(pool_pages))
+    }
+
+    /// Re-attach a detached [`SessionState`] to the index: caches stay
+    /// warm, counters keep accumulating. The caller is responsible for
+    /// [`SessionState::invalidate_cache`] if the index was maintained while
+    /// the state was parked (the service's epoch check does exactly this).
+    pub fn resume(index: &'a SignatureIndex, net: &'a RoadNetwork, state: SessionState) -> Self {
         Session {
             index,
             net,
-            pool: BufferPool::new(pool_pages),
-            cache: DecodeCache::new(pool_pages.max(16) * 4),
-            stats: OpStats::default(),
+            pool: state.pool,
+            cache: state.cache,
+            stats: state.stats,
+        }
+    }
+
+    /// Detach this session's mutable state, releasing the index borrow.
+    pub fn suspend(self) -> SessionState {
+        SessionState {
+            pool: self.pool,
+            cache: self.cache,
+            stats: self.stats,
         }
     }
 
@@ -149,14 +264,14 @@ impl<'a> Session<'a> {
     }
 
     /// Read (and decode) node `n`'s signature, charging the page accesses.
-    pub fn read_signature(&mut self, n: NodeId) -> Rc<DecodedSignature> {
+    pub fn read_signature(&mut self, n: NodeId) -> Arc<DecodedSignature> {
         self.index.store().read(n.index(), &mut self.pool);
         self.stats.signature_reads += 1;
         if let Some(sig) = self.cache.get(n) {
             return sig;
         }
-        let sig = Rc::new(self.index.decode_node(n));
-        self.cache.insert(n, Rc::clone(&sig));
+        let sig = Arc::new(self.index.decode_node(n));
+        self.cache.insert(n, Arc::clone(&sig));
         sig
     }
 
@@ -397,10 +512,7 @@ impl<'a> Session<'a> {
         // is exactly Algorithm 3's observer set for every pair.
         let min_cat = {
             let sig = self.read_signature(n);
-            objs.iter()
-                .map(|o| sig.cats[o.index()])
-                .min()
-                .unwrap_or(0)
+            objs.iter().map(|o| sig.cats[o.index()]).min().unwrap_or(0)
         };
         let observers: Vec<u32> = {
             let sig = self.read_signature(n);
@@ -468,8 +580,7 @@ impl<'a> Session<'a> {
             let pivot = objs[slice_end - 1];
             let mut store = slice_start;
             for i in slice_start..slice_end - 1 {
-                if self.compare_walkers(&mut walkers, objs[i], pivot)
-                    != std::cmp::Ordering::Greater
+                if self.compare_walkers(&mut walkers, objs[i], pivot) != std::cmp::Ordering::Greater
                 {
                     objs.swap(i, store);
                     store += 1;
@@ -891,8 +1002,8 @@ mod tests {
         assert_eq!(sess.stats.signature_reads, 0);
     }
 
-    fn dummy_sig() -> Rc<DecodedSignature> {
-        Rc::new(DecodedSignature {
+    fn dummy_sig() -> Arc<DecodedSignature> {
+        Arc::new(DecodedSignature {
             cats: Vec::new(),
             links: Vec::new(),
             compressed: Vec::new(),
@@ -941,12 +1052,53 @@ mod tests {
         let mut sess = idx.session(&net);
         let a = sess.read_signature(NodeId(5));
         let b = sess.read_signature(NodeId(5));
-        assert!(Rc::ptr_eq(&a, &b), "second read hits the decode cache");
+        assert!(Arc::ptr_eq(&a, &b), "second read hits the decode cache");
         sess.invalidate_cache();
         let c = sess.read_signature(NodeId(5));
-        assert!(!Rc::ptr_eq(&a, &c), "invalidation forces a re-decode");
+        assert!(!Arc::ptr_eq(&a, &c), "invalidation forces a re-decode");
         assert_eq!(a.cats, c.cats);
         assert_eq!(a.links, c.links);
+    }
+
+    #[test]
+    fn suspend_resume_keeps_caches_and_counters() {
+        let (net, objects, idx) = fixture();
+        let o = objects.objects().next().unwrap();
+        let mut sess = idx.session(&net);
+        sess.retrieve_exact(NodeId(3), o);
+        let sig_before = sess.read_signature(NodeId(3));
+        let io_before = sess.io_stats();
+        let hops_before = sess.stats.hops;
+
+        let state = sess.suspend();
+        assert_eq!(state.io_stats(), io_before);
+        assert_eq!(state.op_stats().hops, hops_before);
+
+        // `SessionState` must be Send so shard states can migrate between
+        // worker threads.
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&state);
+
+        let mut sess = Session::resume(&idx, &net, state);
+        // Warm decode cache survives the round trip.
+        let sig_after = sess.read_signature(NodeId(3));
+        assert!(Arc::ptr_eq(&sig_before, &sig_after));
+        // Counters kept accumulating, not reset.
+        assert!(sess.io_stats().logical > io_before.logical);
+        assert_eq!(sess.stats.hops, hops_before);
+    }
+
+    #[test]
+    fn suspended_state_can_invalidate_decodes() {
+        let (net, _objects, idx) = fixture();
+        let mut sess = idx.session(&net);
+        let a = sess.read_signature(NodeId(5));
+        let mut state = sess.suspend();
+        state.invalidate_cache();
+        let mut sess = Session::resume(&idx, &net, state);
+        let b = sess.read_signature(NodeId(5));
+        assert!(!Arc::ptr_eq(&a, &b), "invalidation forces a re-decode");
+        assert_eq!(a.cats, b.cats);
     }
 
     #[test]

@@ -254,7 +254,10 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_decode_and_queries() {
-        for scheme in [CompressionScheme::GlobalAnchor, CompressionScheme::PerLinkAnchor] {
+        for scheme in [
+            CompressionScheme::GlobalAnchor,
+            CompressionScheme::PerLinkAnchor,
+        ] {
             let (net, idx) = fixture(scheme);
             let mut buf = Vec::new();
             write_index(&idx, &mut buf).unwrap();

@@ -104,10 +104,7 @@ mod tests {
         let mut sess = idx.session(&net);
         // Find a node with no object within distance 1.
         let tree = objects.iter().map(|(_, h)| sssp(&net, h)).next().unwrap();
-        let far = net
-            .nodes()
-            .max_by_key(|v| tree.dist[v.index()])
-            .unwrap();
+        let far = net.nodes().max_by_key(|v| tree.dist[v.index()]).unwrap();
         if objects.object_at(far).is_none() {
             let agg = aggregate_within(&mut sess, far, 0);
             assert_eq!(agg, RangeAggregate::default());

@@ -33,11 +33,7 @@ pub struct CnnSegment {
 /// Naive CNN: a type-3 kNN query at every path node, merging equal
 /// consecutive results. The correctness oracle for
 /// [`continuous_knn`].
-pub fn continuous_knn_naive(
-    sess: &mut Session<'_>,
-    path: &[NodeId],
-    k: usize,
-) -> Vec<CnnSegment> {
+pub fn continuous_knn_naive(sess: &mut Session<'_>, path: &[NodeId], k: usize) -> Vec<CnnSegment> {
     let sets = path.iter().map(|&n| {
         let mut set: Vec<ObjectId> = knn(sess, n, k, KnnType::Type3)
             .into_iter()
@@ -239,7 +235,12 @@ mod tests {
     }
 
     /// kNN distance-sets per node straight from Dijkstra.
-    fn truth_sets(net: &RoadNetwork, objects: &ObjectSet, path: &[NodeId], k: usize) -> Vec<Vec<u32>> {
+    fn truth_sets(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        path: &[NodeId],
+        k: usize,
+    ) -> Vec<Vec<u32>> {
         path.iter()
             .map(|&n| {
                 let tree = sssp(net, n);

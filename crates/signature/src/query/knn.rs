@@ -85,10 +85,11 @@ pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<Knn
             let mut out = Vec::with_capacity(k);
             for mut bucket in confirmed {
                 sess.sort_objects(n, &mut bucket);
-                out.extend(bucket.into_iter().map(|object| KnnResult {
-                    object,
-                    dist: None,
-                }));
+                out.extend(
+                    bucket
+                        .into_iter()
+                        .map(|object| KnnResult { object, dist: None }),
+                );
             }
             out
         }
@@ -281,8 +282,10 @@ mod tests {
             let mut sets: Vec<Vec<ObjectId>> = [KnnType::Type1, KnnType::Type2, KnnType::Type3]
                 .iter()
                 .map(|&t| {
-                    let mut v: Vec<ObjectId> =
-                        knn(&mut sess, n, 4, t).into_iter().map(|r| r.object).collect();
+                    let mut v: Vec<ObjectId> = knn(&mut sess, n, 4, t)
+                        .into_iter()
+                        .map(|r| r.object)
+                        .collect();
                     v.sort();
                     v
                 })
@@ -294,10 +297,8 @@ mod tests {
                 // ties are rare — require equality of distances instead.
                 let tree = sssp(&net, n);
                 let dist_of = |v: &Vec<ObjectId>| -> Vec<Dist> {
-                    let mut d: Vec<Dist> = v
-                        .iter()
-                        .map(|&o| tree.dist[idx.host(o).index()])
-                        .collect();
+                    let mut d: Vec<Dist> =
+                        v.iter().map(|&o| tree.dist[idx.host(o).index()]).collect();
                     d.sort();
                     d
                 };

@@ -60,7 +60,10 @@ mod session_method_tests {
             sess.knn(q, 2, KnnType::Type1),
             super::knn::knn(&mut sess, q, 2, KnnType::Type1)
         );
-        assert_eq!(sess.aggregate(q, 10), super::aggregate::aggregate_within(&mut sess, q, 10));
+        assert_eq!(
+            sess.aggregate(q, 10),
+            super::aggregate::aggregate_within(&mut sess, q, 10)
+        );
         assert_eq!(
             sess.knn_with_paths(q, 1),
             super::knn::knn_with_paths(&mut sess, q, 1)

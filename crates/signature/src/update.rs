@@ -215,8 +215,7 @@ fn depends_on_pair(
             else {
                 return false;
             };
-            (0..cats.len())
-                .any(|v| compressed[v] && changed_pairs.contains(&(u as u32, v as u32)))
+            (0..cats.len()).any(|v| compressed[v] && changed_pairs.contains(&(u as u32, v as u32)))
         }
     }
 }
@@ -384,7 +383,11 @@ mod tests {
             let u = NodeId(rng.gen_range(0..net.num_nodes() as u32));
             let nbrs: Vec<_> = net.neighbors(u).collect();
             let (_, v, w) = nbrs[rng.gen_range(0..nbrs.len())];
-            let new_w = if rng.gen_bool(0.5) { w + 4 } else { w.max(2) - 1 };
+            let new_w = if rng.gen_bool(0.5) {
+                w + 4
+            } else {
+                w.max(2) - 1
+            };
             maint.update_edge(&mut net, &mut idx, u, v, new_w);
         }
         let mut sess = idx.session(&net);

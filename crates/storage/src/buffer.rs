@@ -15,13 +15,70 @@ pub struct IoStats {
 }
 
 impl IoStats {
-    /// Buffer hit ratio in `[0, 1]`; `1.0` when nothing was accessed.
+    /// Buffer hit ratio in `[0, 1]`; `0.0` when nothing was accessed (an
+    /// idle pool has earned no hits — and a `NaN`-free value keeps stats
+    /// dumps and JSON snapshots well-formed).
     pub fn hit_ratio(&self) -> f64 {
         if self.logical == 0 {
-            1.0
+            0.0
         } else {
             1.0 - self.faults as f64 / self.logical as f64
         }
+    }
+
+    /// Counter-wise sum — merging per-shard counters into a service-wide
+    /// total. `logical` and `faults` are both additive, so merged stats mean
+    /// "as if one pool had seen every access" only for `logical`; merged
+    /// `faults` depend on how accesses were split across pools.
+    pub fn merged<I: IntoIterator<Item = IoStats>>(parts: I) -> IoStats {
+        parts.into_iter().fold(IoStats::default(), |a, b| a + b)
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            logical: self.logical + rhs.logical,
+            faults: self.faults + rhs.faults,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for IoStats {
+    type Output = IoStats;
+    /// Counter delta (`later - earlier`); both counters are monotone, so
+    /// this is the traffic between two snapshots.
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            logical: self.logical - rhs.logical,
+            faults: self.faults - rhs.faults,
+        }
+    }
+}
+
+impl std::iter::Sum for IoStats {
+    fn sum<I: Iterator<Item = IoStats>>(iter: I) -> IoStats {
+        IoStats::merged(iter)
+    }
+}
+
+/// One-line summary for stats dumps: `"1234 logical, 56 faults (95.5% hit)"`.
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} logical, {} faults ({:.1}% hit)",
+            self.logical,
+            self.faults,
+            self.hit_ratio() * 100.0
+        )
     }
 }
 
@@ -143,7 +200,13 @@ mod tests {
         for i in 0..4 {
             p.access(i);
         }
-        assert_eq!(p.stats(), IoStats { logical: 4, faults: 4 });
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 4,
+                faults: 4
+            }
+        );
     }
 
     #[test]
@@ -152,7 +215,13 @@ mod tests {
         p.access(1);
         p.access(1);
         p.access(1);
-        assert_eq!(p.stats(), IoStats { logical: 3, faults: 1 });
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 3,
+                faults: 1
+            }
+        );
     }
 
     #[test]
@@ -175,7 +244,13 @@ mod tests {
         for _ in 0..5 {
             p.access(7);
         }
-        assert_eq!(p.stats(), IoStats { logical: 5, faults: 5 });
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 5,
+                faults: 5
+            }
+        );
     }
 
     #[test]
@@ -184,7 +259,13 @@ mod tests {
         p.access(9);
         p.reset_stats();
         p.access(9);
-        assert_eq!(p.stats(), IoStats { logical: 1, faults: 0 });
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 1,
+                faults: 0
+            }
+        );
     }
 
     #[test]
@@ -193,14 +274,26 @@ mod tests {
         p.access(9);
         p.clear();
         p.access(9);
-        assert_eq!(p.stats(), IoStats { logical: 1, faults: 1 });
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 1,
+                faults: 1
+            }
+        );
     }
 
     #[test]
     fn access_range_counts_each_page() {
         let mut p = BufferPool::new(8);
         p.access_range(3..6);
-        assert_eq!(p.stats(), IoStats { logical: 3, faults: 3 });
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 3,
+                faults: 3
+            }
+        );
     }
 
     #[test]
@@ -211,7 +304,47 @@ mod tests {
         p.access(1);
         p.access(1);
         assert_eq!(p.stats().hit_ratio(), 0.75);
-        assert_eq!(IoStats::default().hit_ratio(), 1.0);
+        // No accesses → 0.0, never NaN.
+        assert_eq!(IoStats::default().hit_ratio(), 0.0);
+        assert!(!IoStats::default().hit_ratio().is_nan());
+    }
+
+    #[test]
+    fn stats_merge_and_delta() {
+        let a = IoStats {
+            logical: 10,
+            faults: 4,
+        };
+        let b = IoStats {
+            logical: 5,
+            faults: 1,
+        };
+        assert_eq!(
+            a + b,
+            IoStats {
+                logical: 15,
+                faults: 5
+            }
+        );
+        assert_eq!((a + b) - b, a);
+        assert_eq!(IoStats::merged([a, b, IoStats::default()]), a + b);
+        assert_eq!([a, b].into_iter().sum::<IoStats>(), a + b);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, a + b);
+    }
+
+    #[test]
+    fn stats_display_summary() {
+        let s = IoStats {
+            logical: 200,
+            faults: 50,
+        };
+        assert_eq!(s.to_string(), "200 logical, 50 faults (75.0% hit)");
+        assert_eq!(
+            IoStats::default().to_string(),
+            "0 logical, 0 faults (0.0% hit)"
+        );
     }
 
     #[test]

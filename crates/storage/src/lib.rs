@@ -12,6 +12,9 @@
 //! * [`BufferPool`] is an LRU page cache; every structure charges its page
 //!   reads through it, and experiments read the [`IoStats`] counters.
 //! * [`PagedStore`] glues the three together for one on-disk structure.
+//! * [`Striped`] lock-stripes shared state ([`StripedPool`]: buffer pools)
+//!   so a multi-threaded read path can charge page accesses without a
+//!   global lock, with per-shard [`IoStats`] merged on demand.
 //!
 //! The actual data stays in ordinary in-memory structures — the disk model
 //! only *accounts* for where each byte would live and what a query would
@@ -21,7 +24,9 @@
 pub mod buffer;
 pub mod ccam;
 pub mod layout;
+pub mod striped;
 
 pub use buffer::{BufferPool, IoStats};
 pub use ccam::ccam_order;
 pub use layout::{PageId, PageLayout, PagedStore, PAGE_SIZE};
+pub use striped::{Striped, StripedPool};

@@ -83,8 +83,8 @@ fn main() {
             }
         };
         let new_w = match round % 4 {
-            0 => w + 5,             // congestion
-            1 => (w / 2).max(1),    // cleared
+            0 => w + 5,          // congestion
+            1 => (w / 2).max(1), // cleared
             2 => {
                 closed.push((u, v, w));
                 INFINITY // closure

@@ -100,7 +100,10 @@ fn main() {
         ine_knn.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
         "both engines must agree on distances"
     );
-    assert_eq!(in_range, ine_range, "both engines must agree on the range result");
+    assert_eq!(
+        in_range, ine_range,
+        "both engines must agree on the range result"
+    );
 
     println!("\npage faults, signature vs INE (sparse data = long Dijkstra expansions):");
     println!(
@@ -109,6 +112,7 @@ fn main() {
     );
     println!(
         "  range: signature {:>5}  INE {:>5}",
-        session.io_stats().faults, ine_range_io.faults
+        session.io_stats().faults,
+        ine_range_io.faults
     );
 }

@@ -11,9 +11,9 @@
 
 use std::process::ExitCode;
 
+use distance_signature::graph::generate::{random_planar, PlanarConfig};
 use distance_signature::graph::io as gio;
 use distance_signature::graph::{NodeId, ObjectSet, RoadNetwork};
-use distance_signature::graph::generate::{random_planar, PlanarConfig};
 use distance_signature::signature::persist;
 use distance_signature::signature::query::knn::{knn, KnnType};
 use distance_signature::signature::query::range::range_query;
@@ -140,10 +140,7 @@ fn take<const N: usize>(args: &[String]) -> Result<[&String; N], String> {
     Ok(std::array::from_fn(|_| it.next().unwrap()))
 }
 
-fn load_net_objects(
-    net_path: &str,
-    obj_path: &str,
-) -> Result<(RoadNetwork, ObjectSet), String> {
+fn load_net_objects(net_path: &str, obj_path: &str) -> Result<(RoadNetwork, ObjectSet), String> {
     let net = gio::load_network(net_path).map_err(|e| e.to_string())?;
     let objects = gio::read_objects(
         std::fs::File::open(obj_path).map_err(|e| e.to_string())?,

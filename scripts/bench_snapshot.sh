@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Run the criterion benches and snapshot every median into a single
-# machine-readable JSON file (default: BENCH_PR1.json at the repo root).
+# machine-readable JSON file (default: BENCH_PR2.json at the repo root).
 #
 # Usage:
 #   scripts/bench_snapshot.sh                 # all benches, full samples
@@ -10,12 +10,15 @@
 # Each bench writes target/criterion/<group>/<id>/new/estimates.json
 # (median/mean point estimates in ns); this script collects them into
 #   { "benches": { "<group>/<id>": { "median_ns": ..., "mean_ns": ... } } }
-# sorted by key, so diffs between snapshots are stable.
+# sorted by key, so diffs between snapshots are stable. When the service
+# group is present, a derived "service_scaling" object records the
+# w1/w2/w4 batch medians and the speedup of each over one worker (≈1.0 on
+# a single-CPU container; see DESIGN.md).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR1.json}"
+OUT="${OUT:-BENCH_PR2.json}"
 CRIT_DIR="${CARGO_TARGET_DIR:-target}/criterion"
 
 # A fresh snapshot should not inherit estimates from earlier runs.
@@ -43,6 +46,21 @@ find "$CRIT_DIR" -path '*/new/estimates.json' | sort | while read -r est; do
                           mean_ns: $e[0].mean.point_estimate}' \
        "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
 done
+
+# Derived worker-scaling summary when the service group was benched.
+jq '
+    .benches as $b
+    | ($b["service/mixed_w1"].median_ns // null) as $w1
+    | if $w1 then
+        .service_scaling = {
+          w1_median_ns: $w1,
+          w2_median_ns: ($b["service/mixed_w2"].median_ns // null),
+          w4_median_ns: ($b["service/mixed_w4"].median_ns // null),
+          speedup_w2: (if $b["service/mixed_w2"] then ($w1 / $b["service/mixed_w2"].median_ns) else null end),
+          speedup_w4: (if $b["service/mixed_w4"] then ($w1 / $b["service/mixed_w4"].median_ns) else null end)
+        }
+      else . end
+    ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
 
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.benches | length' "$OUT") benches)"

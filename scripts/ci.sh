@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints (deny warnings), and the full test
+# suite. Everything runs against the vendored shims — no network access.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ci: all checks passed"

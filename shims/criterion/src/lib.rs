@@ -7,15 +7,20 @@
 //!
 //! - per bench: a short calibration pass picks an iteration count per sample
 //!   so one sample lasts ≥ ~2 ms (or a single iteration for slow benches),
-//! - `sample_size` samples are collected and the **median ns/iteration** is
-//!   reported (robust against scheduler noise),
+//! - a few *warmup* samples are taken first and discarded (caches, branch
+//!   predictors and frequency scaling settle before anything is recorded),
+//! - `sample_size` samples are then collected, samples more than
+//!   `3.5 σ`-equivalents from the median are rejected by a MAD filter
+//!   (see [`mad_filter`]) and the **median ns/iteration** of the survivors
+//!   is reported (robust against scheduler noise on shared machines),
 //! - results are written to `target/criterion/<group>/<bench>/new/estimates.json`
 //!   in a layout compatible with real criterion's estimate files (the
 //!   `median.point_estimate` / `mean.point_estimate` fields that tooling
 //!   such as `scripts/bench_snapshot.sh` reads), plus a human line on stdout.
 //!
 //! Environment knobs: `CRITERION_SAMPLE_SIZE` overrides every group's sample
-//! count (useful for quick smoke runs).
+//! count (useful for quick smoke runs); `CRITERION_WARMUP` overrides the
+//! number of discarded warmup samples (default 2, `0` disables).
 
 use std::fs;
 use std::path::PathBuf;
@@ -99,32 +104,76 @@ fn env_sample_size() -> Option<usize> {
         .filter(|&n: &usize| n >= 2)
 }
 
+/// Warmup samples collected and discarded before measurement.
+fn warmup_samples() -> usize {
+    std::env::var("CRITERION_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Robust outlier rejection: keep samples within `3.5` robust standard
+/// deviations of the median, estimating the deviation as `1.4826 × MAD`
+/// (the consistency constant that makes the median absolute deviation an
+/// unbiased σ estimator for normal data). When the MAD is zero (at least
+/// half the samples identical) every sample is kept — rejecting against a
+/// zero spread would discard all variation. Returns `(kept, rejected)`.
+fn mad_filter(samples: &[f64]) -> (Vec<f64>, usize) {
+    if samples.len() < 3 {
+        return (samples.to_vec(), 0);
+    }
+    let m = median_of(samples);
+    let mad = median_of(&samples.iter().map(|x| (x - m).abs()).collect::<Vec<_>>());
+    if mad == 0.0 {
+        return (samples.to_vec(), 0);
+    }
+    let cutoff = 3.5 * 1.4826 * mad;
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|x| (x - m).abs() <= cutoff)
+        .collect();
+    let rejected = samples.len() - kept.len();
+    (kept, rejected)
+}
+
+/// Median of an unsorted, non-empty slice.
+fn median_of(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    }
+}
+
 fn run_bench<F>(group: &str, id: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let warmup = warmup_samples();
     let mut b = Bencher {
         sample_size,
+        warmup,
         samples_ns: Vec::with_capacity(sample_size),
     };
     f(&mut b);
-    let mut samples = b.samples_ns;
+    let samples = b.samples_ns;
     assert!(
         !samples.is_empty(),
         "bench {group}/{id} never called Bencher::iter"
     );
-    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = if samples.len() % 2 == 1 {
-        samples[samples.len() / 2]
-    } else {
-        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2.0
-    };
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let (kept, rejected) = mad_filter(&samples);
+    let median = median_of(&kept);
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
     println!(
-        "bench {group}/{id}: median {} /iter, mean {} ({} samples)",
+        "bench {group}/{id}: median {} /iter, mean {} ({} samples, {} warmup discarded, {} outliers rejected)",
         fmt_ns(median),
         fmt_ns(mean),
-        samples.len()
+        kept.len(),
+        warmup,
+        rejected
     );
     if let Err(e) = write_estimates(group, id, median, mean) {
         eprintln!("warning: could not write criterion estimates for {group}/{id}: {e}");
@@ -180,17 +229,25 @@ fn write_estimates(group: &str, id: &str, median_ns: f64, mean_ns: f64) -> std::
 /// Same path sanitization idea as real criterion: ids become directories.
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c == '/' || c == '\\' || c == ' ' { '_' } else { c })
+        .map(|c| {
+            if c == '/' || c == '\\' || c == ' ' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 
 pub struct Bencher {
     sample_size: usize,
+    warmup: usize,
     samples_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Time `routine` called back-to-back; records ns per iteration.
+    /// Time `routine` called back-to-back; records ns per iteration. The
+    /// first `warmup` samples run at full length but are discarded.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,
@@ -202,13 +259,15 @@ impl Bencher {
             t.elapsed()
         };
         let iters = iters_per_sample(once);
-        for _ in 0..self.sample_size {
+        for round in 0..self.warmup + self.sample_size {
             let t = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(routine());
             }
             let total = t.elapsed();
-            self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+            if round >= self.warmup {
+                self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+            }
         }
     }
 
@@ -227,7 +286,7 @@ impl Bencher {
         };
         let iters = iters_per_sample(once);
         let mut inputs = Vec::with_capacity(iters as usize);
-        for _ in 0..self.sample_size {
+        for round in 0..self.warmup + self.sample_size {
             inputs.clear();
             for _ in 0..iters {
                 inputs.push(setup());
@@ -237,7 +296,9 @@ impl Bencher {
                 std::hint::black_box(routine(input));
             }
             let total = t.elapsed();
-            self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+            if round >= self.warmup {
+                self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+            }
         }
     }
 }
@@ -292,8 +353,7 @@ mod tests {
             );
         });
         group.finish();
-        let path = target_dir()
-            .join("criterion/shim_selftest/spin/new/estimates.json");
+        let path = target_dir().join("criterion/shim_selftest/spin/new/estimates.json");
         let body = std::fs::read_to_string(&path).expect("estimates written");
         assert!(body.contains("median"), "estimates has median: {body}");
     }
@@ -302,5 +362,65 @@ mod tests {
     fn calibration_is_bounded() {
         assert_eq!(iters_per_sample(Duration::from_secs(1)), 1);
         assert!(iters_per_sample(Duration::from_nanos(10)) > 1000);
+    }
+
+    #[test]
+    fn mad_filter_rejects_spikes() {
+        // One scheduler spike among tight samples must go.
+        let samples = [10.0, 10.5, 9.8, 10.2, 10.1, 9.9, 500.0];
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 6);
+        assert!(kept.iter().all(|&x| x < 100.0));
+    }
+
+    #[test]
+    fn mad_filter_keeps_everything_when_mad_is_zero() {
+        // More than half the samples identical → MAD 0 → no rejection,
+        // even of the obvious outlier (a zero spread rejects everything
+        // that differs at all, which is worse).
+        let samples = [10.0, 10.0, 10.0, 10.0, 99.0];
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 5);
+    }
+
+    #[test]
+    fn mad_filter_keeps_moderate_spread() {
+        // Gaussian-ish spread with no real outliers: nothing rejected.
+        let samples = [9.0, 10.0, 11.0, 10.5, 9.5, 10.2, 9.8];
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), samples.len());
+    }
+
+    #[test]
+    fn mad_filter_passes_tiny_inputs_through() {
+        let (kept, rejected) = mad_filter(&[1.0, 1000.0]);
+        assert_eq!((kept.len(), rejected), (2, 0));
+    }
+
+    #[test]
+    fn median_of_handles_even_and_odd() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn warmup_samples_are_discarded() {
+        // sample_size 3 + warmup 2: exactly 3 samples recorded, and the
+        // routine ran at least 5 rounds.
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            sample_size: 3,
+            warmup: 2,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| {
+            calls += 1;
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(calls >= 5, "expected ≥5 rounds, saw {calls} calls");
     }
 }

@@ -276,6 +276,9 @@ mod tests {
     fn gen_bool_tracks_probability() {
         let mut rng = StdRng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
-        assert!((2200..2800).contains(&hits), "got {hits} of 10000 at p=0.25");
+        assert!(
+            (2200..2800).contains(&hits),
+            "got {hits} of 10000 at p=0.25"
+        );
     }
 }

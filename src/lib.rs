@@ -21,6 +21,8 @@
 //!   encoding, compression, query processing, updates, and the analytical
 //!   cost model.
 //! * [`baselines`] — INE, full index, NVD/VN3, and IER comparators.
+//! * [`service`] — multi-threaded query service: lock-striped sessions,
+//!   worker-pool batch execution, workload generation, and latency stats.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 pub use dsi_baselines as baselines;
 pub use dsi_graph as graph;
 pub use dsi_rtree as rtree;
+pub use dsi_service as service;
 pub use dsi_signature as signature;
 pub use dsi_storage as storage;
 
@@ -55,12 +58,13 @@ pub use dsi_storage as storage;
 pub mod prelude {
     pub use dsi_graph::generate::{grid, random_planar, PlanarConfig};
     pub use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork};
+    pub use dsi_service::{QueryService, ServiceConfig, WorkloadConfig};
     pub use dsi_signature::query::aggregate::{aggregate_within, count_within};
     pub use dsi_signature::query::cnn::{continuous_knn, CnnSegment};
     pub use dsi_signature::query::join::{epsilon_join, self_epsilon_join};
     pub use dsi_signature::query::knn::{knn, knn_with_paths, KnnResult, KnnType};
     pub use dsi_signature::query::range::range_query;
     pub use dsi_signature::{
-        Session, SignatureConfig, SignatureIndex, SignatureMaintainer,
+        Session, SessionState, SignatureConfig, SignatureIndex, SignatureMaintainer,
     };
 }

@@ -59,7 +59,8 @@ fn all_engines_agree_on_knn_distances() {
 
     for q in net.nodes().step_by(47) {
         for k in [1usize, 3, 8] {
-            let dists = |v: Vec<(ObjectId, Dist)>| v.into_iter().map(|(_, d)| d).collect::<Vec<_>>();
+            let dists =
+                |v: Vec<(ObjectId, Dist)>| v.into_iter().map(|(_, d)| d).collect::<Vec<_>>();
             let a: Vec<Dist> = knn(&mut sess, q, k, KnnType::Type1)
                 .into_iter()
                 .map(|r| r.dist.unwrap())
@@ -130,7 +131,10 @@ fn uncompressed_and_compressed_indexes_answer_identically() {
         assert_eq!(a, b);
     }
     // Compression must actually shrink the payload.
-    assert!(on.report.compressed_bits < off.report.encoded_bits + (on.num_nodes() * on.num_objects()) as u64);
+    assert!(
+        on.report.compressed_bits
+            < off.report.encoded_bits + (on.num_nodes() * on.num_objects()) as u64
+    );
 }
 
 #[test]

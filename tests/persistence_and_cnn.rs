@@ -35,8 +35,7 @@ fn full_stack_round_trip_through_files() {
     persist::save_index(&idx, &idx_path).unwrap();
 
     let net2 = gio::load_network(&net_path).unwrap();
-    let objects2 =
-        gio::read_objects(std::fs::File::open(&obj_path).unwrap(), &net2).unwrap();
+    let objects2 = gio::read_objects(std::fs::File::open(&obj_path).unwrap(), &net2).unwrap();
     let idx2 = persist::load_index(&idx_path, &net2).unwrap();
 
     assert_eq!(objects.host_nodes(), objects2.host_nodes());

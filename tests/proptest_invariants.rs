@@ -13,7 +13,10 @@ use proptest::prelude::*;
 /// A random connected network: `n` nodes on a ring (guaranteeing
 /// connectivity) plus random chords, all with random weights.
 fn arb_network() -> impl Strategy<Value = RoadNetwork> {
-    (3usize..28, proptest::collection::vec((0usize..28, 0usize..28, 1u32..15), 0..40))
+    (
+        3usize..28,
+        proptest::collection::vec((0usize..28, 0usize..28, 1u32..15), 0..40),
+    )
         .prop_map(|(n, chords)| {
             let mut b = NetworkBuilder::new();
             let ids: Vec<NodeId> = (0..n)
