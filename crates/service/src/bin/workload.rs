@@ -19,6 +19,7 @@ use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::ObjectSet;
 use dsi_service::{generate, QueryService, ServiceConfig, Skew, WorkloadConfig};
 use dsi_signature::SignatureConfig;
+use dsi_storage::FaultPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,6 +34,9 @@ struct Args {
     seed: u64,
     sweep: bool,
     updates: usize,
+    fault_rate: f64,
+    corrupt_rate: f64,
+    fault_seed: u64,
 }
 
 impl Default for Args {
@@ -48,6 +52,9 @@ impl Default for Args {
             seed: 42,
             sweep: false,
             updates: 0,
+            fault_rate: 0.0,
+            corrupt_rate: 0.0,
+            fault_seed: 0xFA01,
         }
     }
 }
@@ -66,6 +73,9 @@ fn parse_args() -> Result<Args, String> {
             "--pool-pages" => args.pool_pages = parse(&value("--pool-pages")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--updates" => args.updates = parse(&value("--updates")?)?,
+            "--fault-rate" => args.fault_rate = parse(&value("--fault-rate")?)?,
+            "--corrupt-rate" => args.corrupt_rate = parse(&value("--corrupt-rate")?)?,
+            "--fault-seed" => args.fault_seed = parse(&value("--fault-seed")?)?,
             "--sweep" => args.sweep = true,
             "--skew" => {
                 let v = value("--skew")?;
@@ -81,7 +91,12 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: workload [--nodes N] [--density F] [--queries N] [--workers N]\n\
                      \x20               [--shards N] [--pool-pages N] [--skew uniform|zipf:THETA]\n\
-                     \x20               [--seed N] [--sweep] [--updates N]"
+                     \x20               [--seed N] [--sweep] [--updates N]\n\
+                     \x20               [--fault-rate F] [--corrupt-rate F] [--fault-seed N]\n\
+                     \n\
+                     --fault-rate F    inject read failures on fraction F of physical reads\n\
+                     --corrupt-rate F  inject page corruption on fraction F of physical reads\n\
+                     --fault-seed N    seed for the deterministic fault stream"
                 );
                 std::process::exit(0);
             }
@@ -120,6 +135,17 @@ fn main() -> ExitCode {
         objects.len()
     );
 
+    let fault_plan = if args.fault_rate > 0.0 || args.corrupt_rate > 0.0 {
+        println!(
+            "faults: {:.3}% read-fail, {:.3}% corrupt (seed {})",
+            args.fault_rate * 100.0,
+            args.corrupt_rate * 100.0,
+            args.fault_seed
+        );
+        FaultPlan::failures(args.fault_seed, args.fault_rate, args.corrupt_rate)
+    } else {
+        FaultPlan::none()
+    };
     let mut service = QueryService::new(
         net,
         objects,
@@ -127,6 +153,8 @@ fn main() -> ExitCode {
         &ServiceConfig {
             shards: args.shards,
             pool_pages: args.pool_pages,
+            fault_plan,
+            ..Default::default()
         },
     );
     let batch = generate(

@@ -30,23 +30,55 @@
 //! network expansion (the paper's INE baseline) with one reusable
 //! [`SsspWorkspace`] per worker — no paging, no shared state — used for
 //! cross-checking results and as a CPU-cost yardstick.
+//!
+//! # Graceful degradation
+//!
+//! With a [`FaultPlan`] in the [`ServiceConfig`], every shard's buffer pool
+//! injects deterministic read failures and corruptions on physical reads.
+//! A failed query attempt is retried (with bounded backoff) up to the
+//! configured retry budget; a query that exhausts its budget falls back to
+//! the exact Dijkstra backend — the answer is still exact, only the fast
+//! path was skipped — and is tagged *degraded* in the [`BatchReport`]. A
+//! shard that degrades several queries in a row is *quarantined*: its
+//! cached pages and decodes are dropped (counters survive, so batch deltas
+//! stay monotone) and it restarts with a cold working set.
+//!
+//! # Crash-safe maintenance
+//!
+//! With a maintenance log attached ([`QueryService::attach_maintenance_log`]),
+//! [`QueryService::apply_updates`] appends every edge update to a
+//! checksummed write-ahead journal (synced *before* the index is patched),
+//! and [`QueryService::checkpoint`] snapshots the full service state
+//! atomically. [`QueryService::recover`] rebuilds a consistent service from
+//! whatever survives a crash: the journal's longest valid prefix is the
+//! source of truth, a parseable checkpoint merely shortcuts the replay.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use dsi_graph::io::{load_network, read_objects, write_network, write_objects, LoadError};
 use dsi_graph::{DijkstraExpansion, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace};
 use dsi_signature::query::aggregate::RangeAggregate;
-use dsi_signature::query::join::self_epsilon_join;
+use dsi_signature::query::join::try_self_epsilon_join;
 use dsi_signature::update::UpdateReport;
 use dsi_signature::{
-    KnnResult, KnnType, OpStats, Session, SessionState, SignatureConfig, SignatureIndex,
+    KnnResult, KnnType, OpResult, OpStats, Session, SessionState, SignatureConfig, SignatureIndex,
     SignatureMaintainer,
 };
-use dsi_storage::{IoStats, Striped};
+use dsi_storage::{FaultPlan, IoStats, Striped};
 
+use crate::journal::{
+    read_checkpoint, write_checkpoint, EdgeUpdate, UpdateJournal, BASE_NET_FILE, BASE_OBJ_FILE,
+    CHECKPOINT_FILE, JOURNAL_FILE,
+};
 use crate::stats::{per_class_stats, BatchReport};
 use crate::workload::Query;
+
+/// Consecutive degraded queries on one shard before it is quarantined.
+const QUARANTINE_STRIKES: u32 = 3;
 
 /// Which engine answers the queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +99,15 @@ pub struct ServiceConfig {
     /// (see [`SessionState::new`]). Sizing only moves fault counts and CPU
     /// time — logical page accesses are charged before either cache.
     pub pool_pages: usize,
+    /// Storage fault injection applied to every shard's buffer pool (the
+    /// default, [`FaultPlan::none`], injects nothing). Every shard runs the
+    /// same deterministic plan stream, so a fault schedule is reproducible
+    /// from the seed alone.
+    pub fault_plan: FaultPlan,
+    /// Times a query attempt is re-run after an injected storage fault
+    /// before the service gives up on the fast path and answers via the
+    /// exact Dijkstra fallback.
+    pub retry_budget: u32,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +115,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 16,
             pool_pages: 64,
+            fault_plan: FaultPlan::none(),
+            retry_budget: 2,
         }
     }
 }
@@ -91,10 +134,15 @@ pub enum QueryOutput {
     Join(Vec<(ObjectId, ObjectId)>),
 }
 
-/// A parked per-shard session plus the epoch it last served under.
+/// A parked per-shard session plus its fault-handling strike counter.
+/// (Stale-cache handling needs no per-shard bookkeeping: [`Session::resume`]
+/// compares the state's generation against the index and clears stale
+/// decodes itself.)
 struct Shard {
     state: Option<SessionState>,
-    epoch: u64,
+    /// Consecutive queries this shard answered via the degraded fallback;
+    /// reaching [`QUARANTINE_STRIKES`] quarantines the shard.
+    strikes: u32,
 }
 
 /// Thread-safe query engine over one road network + object set.
@@ -110,6 +158,15 @@ pub struct QueryService {
     shards: Striped<Shard>,
     epoch: u64,
     pool_pages: usize,
+    fault_plan: FaultPlan,
+    retry_budget: u32,
+    /// Shards quarantined so far (cold-restarted after repeated degraded
+    /// queries).
+    quarantines: AtomicU64,
+    /// Write-ahead journal + its directory, when a maintenance log is
+    /// attached.
+    wal: Option<UpdateJournal>,
+    log_dir: Option<PathBuf>,
 }
 
 impl QueryService {
@@ -121,6 +178,18 @@ impl QueryService {
         cfg: &ServiceConfig,
     ) -> Self {
         let index = SignatureIndex::build(&net, &objects, sig);
+        QueryService::from_parts(net, objects, index, cfg)
+    }
+
+    /// Wrap an already-built index (e.g. one loaded from a checkpoint) in a
+    /// service. The maintainer's spanning forest is rebuilt from `net`, so
+    /// `index` must be consistent with `net`/`objects` as given.
+    pub fn from_parts(
+        net: RoadNetwork,
+        objects: ObjectSet,
+        index: SignatureIndex,
+        cfg: &ServiceConfig,
+    ) -> Self {
         let maint = SignatureMaintainer::new(&net, &objects);
         QueryService {
             net,
@@ -129,10 +198,15 @@ impl QueryService {
             maint,
             shards: Striped::new(cfg.shards, |_| Shard {
                 state: None,
-                epoch: 0,
+                strikes: 0,
             }),
             epoch: 0,
             pool_pages: cfg.pool_pages,
+            fault_plan: cfg.fault_plan,
+            retry_budget: cfg.retry_budget,
+            quarantines: AtomicU64::new(0),
+            wal: None,
+            log_dir: None,
         }
     }
 
@@ -200,14 +274,16 @@ impl QueryService {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(q) = queries.get(i) else { break };
                         let t0 = Instant::now();
-                        let out = match backend {
-                            Backend::Signature => self.execute_sharded(q),
-                            Backend::Dijkstra => {
-                                execute_dijkstra(&self.net, &self.objects, &mut ws, q)
-                            }
+                        let (out, degraded) = match backend {
+                            Backend::Signature => self.execute_sharded(q, &mut ws),
+                            Backend::Dijkstra => (
+                                execute_dijkstra(&self.net, &self.objects, &mut ws, q),
+                                false,
+                            ),
                         };
                         let ns = t0.elapsed().as_nanos() as u64;
-                        tx.send((i, q.class(), ns, out)).expect("collector alive");
+                        tx.send((i, q.class(), ns, out, degraded))
+                            .expect("collector alive");
                     }
                 });
             }
@@ -215,16 +291,19 @@ impl QueryService {
         drop(tx);
         let wall = start.elapsed();
         let mut outputs: Vec<Option<QueryOutput>> = (0..queries.len()).map(|_| None).collect();
+        let mut degraded = vec![false; queries.len()];
         let mut samples = Vec::with_capacity(queries.len());
-        for (i, class, ns, out) in rx {
+        for (i, class, ns, out, deg) in rx {
             samples.push((class, ns));
             outputs[i] = Some(out);
+            degraded[i] = deg;
         }
         BatchReport {
             outputs: outputs
                 .into_iter()
                 .map(|o| o.expect("every query executed"))
                 .collect(),
+            degraded,
             wall,
             workers,
             io: self.merged_io_stats() - io_before,
@@ -233,34 +312,83 @@ impl QueryService {
         }
     }
 
-    /// Execute one query under its shard's lock on the signature index.
-    fn execute_sharded(&self, q: &Query) -> QueryOutput {
-        let mut shard = self.shards.lock(q.route_key());
-        if shard.epoch != self.epoch {
-            // The index was maintained since this shard last served:
-            // cached decodes may describe the old index. Page identity is
-            // stable, so the pool stays warm.
-            if let Some(state) = shard.state.as_mut() {
-                state.invalidate_cache();
-            }
-            shard.epoch = self.epoch;
+    /// A cold session for a shard that has none yet, wired to the service's
+    /// fault plan.
+    fn fresh_state(&self) -> SessionState {
+        if self.fault_plan.is_active() {
+            SessionState::with_fault_plan(self.pool_pages, self.fault_plan)
+        } else {
+            SessionState::new(self.pool_pages)
         }
-        let state = shard
-            .state
-            .take()
-            .unwrap_or_else(|| SessionState::new(self.pool_pages));
-        let mut sess = Session::resume(&self.index, &self.net, state);
-        let out = execute_signature(&mut sess, q);
-        shard.state = Some(sess.suspend());
-        out
     }
 
-    /// Apply edge-weight updates (§5.4) and bump the epoch so shards drop
-    /// stale decodes before the next batch. Requires `&mut self`: the
-    /// borrow checker keeps maintenance out of any in-flight batch.
-    pub fn apply_updates(&mut self, updates: &[(NodeId, NodeId, Dist)]) -> Vec<UpdateReport> {
+    /// Execute one query under its shard's lock on the signature index,
+    /// returning the output and whether it was answered by the degraded
+    /// fallback.
+    ///
+    /// The fault-handling ladder: a storage fault aborts the attempt; the
+    /// query is retried (bounded backoff; failed reads are never cached, so
+    /// a retry re-draws the fault stream while keeping the pages it did
+    /// read) up to the retry budget; past the budget the query is answered
+    /// exactly via incremental network expansion in `ws`. Repeated
+    /// degradation quarantines the shard: pages and decodes are dropped,
+    /// counters survive.
+    fn execute_sharded(&self, q: &Query, ws: &mut SsspWorkspace) -> (QueryOutput, bool) {
+        let mut shard = self.shards.lock(q.route_key());
+        let mut state = shard.state.take().unwrap_or_else(|| self.fresh_state());
+        let mut attempt = 0u32;
+        loop {
+            let mut sess = Session::resume(&self.index, &self.net, state);
+            match try_execute_signature(&mut sess, q) {
+                Ok(out) => {
+                    shard.strikes = 0;
+                    shard.state = Some(sess.suspend());
+                    return (out, false);
+                }
+                Err(_fault) => {
+                    state = sess.suspend();
+                    if attempt < self.retry_budget {
+                        attempt += 1;
+                        state.note_retry();
+                        // Bounded exponential backoff — a stand-in for
+                        // letting a real device recover; kept tiny so fault
+                        // storms degrade throughput, not liveness.
+                        std::thread::sleep(Duration::from_micros(20u64 << attempt.min(6)));
+                        continue;
+                    }
+                    state.note_degraded();
+                    shard.strikes += 1;
+                    if shard.strikes >= QUARANTINE_STRIKES {
+                        state.quarantine();
+                        shard.strikes = 0;
+                        self.quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shard.state = Some(state);
+                    return (execute_dijkstra(&self.net, &self.objects, ws, q), true);
+                }
+            }
+        }
+    }
+
+    /// Apply edge-weight updates (§5.4) and bump the epoch. Requires
+    /// `&mut self`: the borrow checker keeps maintenance out of any
+    /// in-flight batch. With a maintenance log attached, the updates are
+    /// journaled (and synced) *before* the index is patched; a journal
+    /// write failure panics — use [`Self::try_apply_updates`] to handle it.
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Vec<UpdateReport> {
+        self.try_apply_updates(updates)
+            .expect("write-ahead journal append failed")
+    }
+
+    /// [`Self::apply_updates`] with journal I/O errors surfaced. When the
+    /// append fails, the index is left untouched — the service keeps
+    /// serving its pre-update state.
+    pub fn try_apply_updates(&mut self, updates: &[EdgeUpdate]) -> io::Result<Vec<UpdateReport>> {
         if updates.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(updates)?;
         }
         let reports = updates
             .iter()
@@ -270,7 +398,123 @@ impl QueryService {
             })
             .collect();
         self.epoch += 1;
-        reports
+        Ok(reports)
+    }
+
+    /// Attach a maintenance log at `dir`: the base network/object snapshot
+    /// is (re)written atomically and an empty write-ahead journal is
+    /// created. From here on, [`Self::apply_updates`] journals before
+    /// patching and [`Self::checkpoint`] may snapshot the full state.
+    ///
+    /// Fails if `dir` already holds journaled history — that history is not
+    /// reflected in this service; recover from it with [`Self::recover`]
+    /// instead of silently shadowing it.
+    pub fn attach_maintenance_log(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut net_bytes = Vec::new();
+        write_network(&self.net, &mut net_bytes)?;
+        atomic_write(&dir.join(BASE_NET_FILE), &net_bytes)?;
+        let mut obj_bytes = Vec::new();
+        write_objects(&self.objects, &mut obj_bytes)?;
+        atomic_write(&dir.join(BASE_OBJ_FILE), &obj_bytes)?;
+        let (wal, existing) = UpdateJournal::open(dir.join(JOURNAL_FILE))?;
+        if !existing.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal already holds updates; use QueryService::recover",
+            ));
+        }
+        self.wal = Some(wal);
+        self.log_dir = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    /// Snapshot the full service state (network, objects, index) into the
+    /// attached maintenance log, atomically (write-temp-then-rename). After
+    /// a crash, recovery replays only the journal suffix past this point.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let (dir, wal) = match (&self.log_dir, &self.wal) {
+            (Some(d), Some(j)) => (d, j),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "no maintenance log attached",
+                ))
+            }
+        };
+        write_checkpoint(
+            dir.join(CHECKPOINT_FILE),
+            wal.len(),
+            &self.net,
+            &self.objects,
+            &self.index,
+        )
+    }
+
+    /// Rebuild a consistent service from whatever survives in a maintenance
+    /// log directory, and re-attach the (tail-repaired) journal so the
+    /// recovered service keeps journaling.
+    ///
+    /// The journal's longest valid prefix defines the recovered history —
+    /// a torn tail is truncated, updates past the tear are lost *as a
+    /// whole* (never half-applied). If a checkpoint parses and does not
+    /// claim more history than the journal holds, recovery starts from it
+    /// and replays only the suffix; otherwise it rebuilds the index from
+    /// the base snapshot and replays everything. Either way the result is
+    /// identical to a from-scratch rebuild over the surviving history
+    /// (absolute-weight updates make replay idempotent).
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        sig: &SignatureConfig,
+        cfg: &ServiceConfig,
+    ) -> Result<(Self, RecoveryReport), LoadError> {
+        let dir = dir.as_ref();
+        let (wal, updates) = UpdateJournal::open(dir.join(JOURNAL_FILE))?;
+        let total = updates.len() as u64;
+        let mut from_checkpoint = false;
+        let (net, objects, index, start) = match read_checkpoint(dir.join(CHECKPOINT_FILE)) {
+            Ok(c) if c.journal_len <= total => {
+                from_checkpoint = true;
+                (c.net, c.objects, c.index, c.journal_len as usize)
+            }
+            _ => {
+                // No usable checkpoint (absent, damaged, or ahead of the
+                // surviving journal): base + full replay.
+                let net = load_network(dir.join(BASE_NET_FILE))?;
+                let objects = read_objects(std::fs::File::open(dir.join(BASE_OBJ_FILE))?, &net)?;
+                let index = SignatureIndex::build(&net, &objects, sig);
+                (net, objects, index, 0)
+            }
+        };
+        let mut svc = QueryService::from_parts(net, objects, index, cfg);
+        let replay = &updates[start..];
+        for &(a, b, w) in replay {
+            svc.maint.update_edge(&mut svc.net, &mut svc.index, a, b, w);
+        }
+        if !replay.is_empty() {
+            svc.epoch += 1;
+        }
+        svc.wal = Some(wal);
+        svc.log_dir = Some(dir.to_path_buf());
+        Ok((
+            svc,
+            RecoveryReport {
+                journal_records: total,
+                replayed: replay.len() as u64,
+                from_checkpoint,
+            },
+        ))
+    }
+
+    /// Shards quarantined (cold-restarted) since the service was built.
+    pub fn quarantine_count(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Updates journaled so far, when a maintenance log is attached.
+    pub fn journal_len(&self) -> Option<u64> {
+        self.wal.as_ref().map(|j| j.len())
     }
 
     /// Page-access counters summed over all shards.
@@ -304,26 +548,57 @@ impl QueryService {
         });
     }
 
-    /// One-line stats dump: epoch, shards, merged I/O (via the
-    /// [`IoStats`] `Display` summary).
+    /// One-line stats dump: epoch, shards, merged I/O and op counters (via
+    /// their `Display` summaries), plus quarantines when any occurred.
     pub fn stats_dump(&self) -> String {
-        format!(
-            "epoch {} | {} shards | io: {}",
+        let mut s = format!(
+            "epoch {} | {} shards | io: {} | ops: {}",
             self.epoch,
             self.num_shards(),
-            self.merged_io_stats()
-        )
+            self.merged_io_stats(),
+            self.merged_op_stats()
+        );
+        let quarantines = self.quarantine_count();
+        if quarantines > 0 {
+            s.push_str(&format!(" | {quarantines} quarantines"));
+        }
+        s
     }
 }
 
-/// Dispatch one query to the signature-index query processors.
-fn execute_signature(sess: &mut Session<'_>, q: &Query) -> QueryOutput {
-    match *q {
-        Query::Range { node, eps } => QueryOutput::Range(sess.range(node, eps)),
-        Query::Knn { node, k } => QueryOutput::Knn(sess.knn(node, k, KnnType::Type1)),
-        Query::Aggregate { node, eps } => QueryOutput::Aggregate(sess.aggregate(node, eps)),
-        Query::Join { eps } => QueryOutput::Join(self_epsilon_join(sess, eps)),
+/// What [`QueryService::recover`] found and did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid update records surviving in the journal (after tail repair).
+    pub journal_records: u64,
+    /// Records replayed onto the starting state (all of them when starting
+    /// from the base snapshot, only the suffix when from a checkpoint).
+    pub replayed: u64,
+    /// Whether a usable checkpoint shortcut the replay.
+    pub from_checkpoint: bool,
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// sync, rename over the target.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
     }
+    std::fs::rename(&tmp, path)
+}
+
+/// Dispatch one query to the signature-index query processors, surfacing
+/// injected storage faults instead of panicking.
+fn try_execute_signature(sess: &mut Session<'_>, q: &Query) -> OpResult<QueryOutput> {
+    Ok(match *q {
+        Query::Range { node, eps } => QueryOutput::Range(sess.try_range(node, eps)?),
+        Query::Knn { node, k } => QueryOutput::Knn(sess.try_knn(node, k, KnnType::Type1)?),
+        Query::Aggregate { node, eps } => QueryOutput::Aggregate(sess.try_aggregate(node, eps)?),
+        Query::Join { eps } => QueryOutput::Join(try_self_epsilon_join(sess, eps)?),
+    })
 }
 
 /// Answer one query by incremental network expansion in `ws`.

@@ -1,0 +1,370 @@
+//! Crash-safe maintenance: a checksummed write-ahead journal of edge
+//! updates plus atomic full-state checkpoints.
+//!
+//! # Journal
+//!
+//! The journal is an append-only file: an 8-byte header (`DSIJ` + version)
+//! followed by fixed-size 16-byte records, one per edge update —
+//! `[a u32][b u32][w u32][crc u32]`, all little-endian. The CRC-32 covers
+//! the record's *sequence number* as well as its payload, so a record is
+//! only valid at the position it was written: stale bytes left over from an
+//! earlier file generation, swapped records, and torn tails all fail
+//! verification. Readers take the longest valid prefix and ignore the rest
+//! ([`decode_journal`]), which makes a crash mid-append harmless — the torn
+//! record was never acknowledged.
+//!
+//! Updates carry *absolute* weights (`update_edge` semantics), so replaying
+//! a prefix that was already applied is idempotent: recovery never needs to
+//! know how far maintenance got before the crash.
+//!
+//! # Checkpoint
+//!
+//! A checkpoint snapshots the entire service state — network, object set,
+//! signature index — together with the journal length it reflects, so
+//! recovery can skip replaying history the snapshot already contains. The
+//! file is a plaintext `DSIC` preamble followed by a CRC-framed stream
+//! ([`dsi_storage::FrameWriter`]) of length-prefixed blobs. It is written
+//! to a temporary file, synced, then renamed into place: a crash mid-write
+//! leaves either the old checkpoint or none, never a half-written one that
+//! parses. A checkpoint that fails to parse (torn, flipped, or claiming
+//! more history than the journal holds) is simply ignored — the journal is
+//! the source of truth for history length.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use dsi_graph::io::{
+    get_u64, put_u64, read_network, read_objects, write_network, write_objects, LoadError,
+};
+use dsi_graph::{Dist, NodeId, ObjectSet, RoadNetwork};
+use dsi_signature::persist::{read_index, write_index};
+use dsi_signature::SignatureIndex;
+use dsi_storage::{crc32, FrameReader, FrameWriter};
+
+/// One edge-weight update: `(a, b, new_weight)`, absolute semantics.
+pub type EdgeUpdate = (NodeId, NodeId, Dist);
+
+/// Journal record size on disk: three `u32` payload words plus the CRC.
+pub const RECORD_LEN: usize = 16;
+
+/// Journal file header: magic + format version, little-endian.
+const JOURNAL_HEADER: [u8; 8] = *b"DSIJ\x01\x00\x00\x00";
+
+const CHECKPOINT_MAGIC: &[u8; 4] = b"DSIC";
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Base network snapshot inside a maintenance-log directory.
+pub const BASE_NET_FILE: &str = "base.net";
+/// Base object-set snapshot inside a maintenance-log directory.
+pub const BASE_OBJ_FILE: &str = "base.obj";
+/// The write-ahead journal inside a maintenance-log directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+/// The full-state checkpoint inside a maintenance-log directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.dsi";
+
+/// Encode the `seq`-th journal record. The CRC binds the payload to its
+/// position, so records only verify where they were written.
+pub fn encode_record(seq: u64, (a, b, w): EdgeUpdate) -> [u8; RECORD_LEN] {
+    let mut rec = [0u8; RECORD_LEN];
+    rec[0..4].copy_from_slice(&a.0.to_le_bytes());
+    rec[4..8].copy_from_slice(&b.0.to_le_bytes());
+    rec[8..12].copy_from_slice(&w.to_le_bytes());
+    let mut covered = [0u8; 20];
+    covered[..8].copy_from_slice(&seq.to_le_bytes());
+    covered[8..].copy_from_slice(&rec[..12]);
+    rec[12..16].copy_from_slice(&crc32(&covered).to_le_bytes());
+    rec
+}
+
+/// Decode the longest valid prefix of a journal image: header, then records
+/// until the first missing, torn, or corrupt one. Never fails — a damaged
+/// journal simply yields the updates that verifiably survived.
+pub fn decode_journal(bytes: &[u8]) -> Vec<EdgeUpdate> {
+    if bytes.len() < JOURNAL_HEADER.len() || bytes[..JOURNAL_HEADER.len()] != JOURNAL_HEADER {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut off = JOURNAL_HEADER.len();
+    while off + RECORD_LEN <= bytes.len() {
+        let rec = &bytes[off..off + RECORD_LEN];
+        let word = |i: usize| u32::from_le_bytes(rec[i..i + 4].try_into().expect("4 bytes"));
+        let update = (NodeId(word(0)), NodeId(word(4)), word(8));
+        if encode_record(out.len() as u64, update) != *rec {
+            break;
+        }
+        out.push(update);
+        off += RECORD_LEN;
+    }
+    out
+}
+
+/// The append handle over a journal file. Opening repairs a torn tail
+/// (truncates past the last valid record) and returns the surviving
+/// updates; appends are synced before they are acknowledged.
+pub struct UpdateJournal {
+    file: File,
+    seq: u64,
+}
+
+impl UpdateJournal {
+    /// Open (or create) the journal at `path`, returning the handle plus
+    /// every update that survives verification. Bytes past the valid
+    /// prefix — a torn append, flipped bits — are truncated away so the
+    /// file is clean for further appends.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, Vec<EdgeUpdate>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let updates = decode_journal(&bytes);
+        if bytes.get(..JOURNAL_HEADER.len()) != Some(JOURNAL_HEADER.as_slice()) {
+            // Empty, torn-header, or foreign file: restart it.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&JOURNAL_HEADER)?;
+        } else {
+            let valid = (JOURNAL_HEADER.len() + updates.len() * RECORD_LEN) as u64;
+            if valid < bytes.len() as u64 {
+                file.set_len(valid)?;
+            }
+            file.seek(SeekFrom::Start(valid))?;
+        }
+        file.sync_all()?;
+        Ok((
+            UpdateJournal {
+                file,
+                seq: updates.len() as u64,
+            },
+            updates,
+        ))
+    }
+
+    /// Append `updates` as one synced write. Nothing is acknowledged until
+    /// the records are durable, so maintenance may patch the index
+    /// afterwards knowing a crash can always be replayed.
+    pub fn append(&mut self, updates: &[EdgeUpdate]) -> io::Result<()> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(updates.len() * RECORD_LEN);
+        for (k, &u) in updates.iter().enumerate() {
+            buf.extend_from_slice(&encode_record(self.seq + k as u64, u));
+        }
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.seq += updates.len() as u64;
+        Ok(())
+    }
+
+    /// Records in the journal (== updates acknowledged so far).
+    pub fn len(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether no update has ever been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+}
+
+/// A parsed checkpoint: full service state as of `journal_len` records.
+pub struct Checkpoint {
+    /// Journal records already reflected in this snapshot.
+    pub journal_len: u64,
+    pub net: RoadNetwork,
+    pub objects: ObjectSet,
+    pub index: SignatureIndex,
+}
+
+/// Write a checkpoint atomically: serialize to `<path>.tmp`, sync, rename.
+pub fn write_checkpoint(
+    path: impl AsRef<Path>,
+    journal_len: u64,
+    net: &RoadNetwork,
+    objects: &ObjectSet,
+    index: &SignatureIndex,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(CHECKPOINT_MAGIC)?;
+        f.write_all(&CHECKPOINT_VERSION.to_le_bytes())?;
+        let mut w = FrameWriter::new(f);
+        put_u64(&mut w, journal_len)?;
+        let blob = |w: &mut FrameWriter<File>, bytes: &[u8]| -> io::Result<()> {
+            put_u64(w, bytes.len() as u64)?;
+            w.write_all(bytes)
+        };
+        let mut net_bytes = Vec::new();
+        write_network(net, &mut net_bytes)?;
+        blob(&mut w, &net_bytes)?;
+        let mut obj_bytes = Vec::new();
+        write_objects(objects, &mut obj_bytes)?;
+        blob(&mut w, &obj_bytes)?;
+        let mut idx_bytes = Vec::new();
+        write_index(index, &mut idx_bytes)?;
+        blob(&mut w, &idx_bytes)?;
+        let f = w.finish()?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Parse a checkpoint file. Any damage — truncation, bit flips, a foreign
+/// file — surfaces as an error; recovery treats that as "no checkpoint".
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, LoadError> {
+    let mut f = File::open(path)?;
+    let mut preamble = [0u8; 8];
+    f.read_exact(&mut preamble)?;
+    if &preamble[..4] != CHECKPOINT_MAGIC {
+        return Err(LoadError::Format("not a service checkpoint".into()));
+    }
+    let v = u32::from_le_bytes(preamble[4..].try_into().expect("4 bytes"));
+    if v != CHECKPOINT_VERSION {
+        return Err(LoadError::Format(format!(
+            "unsupported checkpoint version {v}"
+        )));
+    }
+    let mut r = FrameReader::new(f);
+    let journal_len = get_u64(&mut r)?;
+    let net_bytes = read_blob(&mut r)?;
+    let net = read_network(&net_bytes[..])?;
+    let obj_bytes = read_blob(&mut r)?;
+    let objects = read_objects(&obj_bytes[..], &net)?;
+    let idx_bytes = read_blob(&mut r)?;
+    let index = read_index(&idx_bytes[..], &net)?;
+    Ok(Checkpoint {
+        journal_len,
+        net,
+        objects,
+        index,
+    })
+}
+
+/// Read one length-prefixed blob from the frame stream. The length word is
+/// CRC-verified (it lives inside a frame), but the reservation is still
+/// capped and the byte count re-checked so a truncated stream cannot turn
+/// into a giant allocation or a short blob passed on as complete.
+fn read_blob<R: Read>(r: &mut FrameReader<R>) -> Result<Vec<u8>, LoadError> {
+    let len = get_u64(r)?;
+    let mut buf = Vec::with_capacity((len as usize).min(1 << 20));
+    let got = r.take(len).read_to_end(&mut buf)?;
+    if got as u64 != len {
+        return Err(LoadError::Format("truncated checkpoint blob".into()));
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_updates(n: usize) -> Vec<EdgeUpdate> {
+        (0..n)
+            .map(|i| {
+                (
+                    NodeId(i as u32),
+                    NodeId((i * 7 + 1) as u32),
+                    (i * 13 + 5) as Dist,
+                )
+            })
+            .collect()
+    }
+
+    fn journal_image(updates: &[EdgeUpdate]) -> Vec<u8> {
+        let mut bytes = JOURNAL_HEADER.to_vec();
+        for (seq, &u) in updates.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(seq as u64, u));
+        }
+        bytes
+    }
+
+    #[test]
+    fn journal_round_trip() {
+        let updates = sample_updates(9);
+        assert_eq!(decode_journal(&journal_image(&updates)), updates);
+        assert!(decode_journal(&[]).is_empty());
+        assert!(decode_journal(b"garbage!").is_empty());
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_keeps_the_floor_prefix() {
+        let updates = sample_updates(6);
+        let bytes = journal_image(&updates);
+        for cut in 0..=bytes.len() {
+            let got = decode_journal(&bytes[..cut]);
+            let expect = cut.saturating_sub(JOURNAL_HEADER.len()) / RECORD_LEN;
+            assert_eq!(got.len(), expect, "cut at byte {cut}");
+            assert_eq!(got, updates[..expect], "cut at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn any_bit_flip_cuts_the_journal_at_the_damaged_record() {
+        let updates = sample_updates(4);
+        let bytes = journal_image(&updates);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                let got = decode_journal(&bad);
+                if byte < JOURNAL_HEADER.len() {
+                    assert!(got.is_empty(), "header flip at {byte}:{bit}");
+                } else {
+                    let damaged = (byte - JOURNAL_HEADER.len()) / RECORD_LEN;
+                    assert_eq!(got, updates[..damaged], "flip at {byte}:{bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_records_do_not_verify() {
+        let updates = sample_updates(3);
+        let mut bytes = journal_image(&updates);
+        let (h, r) = (JOURNAL_HEADER.len(), RECORD_LEN);
+        let (first, second): (Vec<u8>, Vec<u8>) =
+            (bytes[h..h + r].to_vec(), bytes[h + r..h + 2 * r].to_vec());
+        bytes[h..h + r].copy_from_slice(&second);
+        bytes[h + r..h + 2 * r].copy_from_slice(&first);
+        // The position-bound CRC rejects record 1 sitting at position 0.
+        assert!(decode_journal(&bytes).is_empty());
+    }
+
+    #[test]
+    fn open_repairs_a_torn_tail_and_appends_continue() {
+        let dir = std::env::temp_dir().join("dsi_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let updates = sample_updates(5);
+        {
+            let (mut j, existing) = UpdateJournal::open(&path).unwrap();
+            assert!(existing.is_empty());
+            j.append(&updates).unwrap();
+            assert_eq!(j.len(), 5);
+        }
+        // Tear the last record in half.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - RECORD_LEN / 2]).unwrap();
+
+        let (mut j, survived) = UpdateJournal::open(&path).unwrap();
+        assert_eq!(survived, updates[..4]);
+        assert_eq!(j.len(), 4);
+        // The torn bytes were truncated; a new append lands at seq 4 and
+        // verifies on the next open.
+        j.append(&sample_updates(1)).unwrap();
+        drop(j);
+        let (_, after) = UpdateJournal::open(&path).unwrap();
+        assert_eq!(after.len(), 5);
+        assert_eq!(after[..4], updates[..4]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -10,6 +10,9 @@
 //!   (buffer pool + decode cache + counters), a `std::thread::scope`
 //!   worker pool pulling queries off a shared cursor, and a read/write
 //!   epoch separating query batches from index maintenance;
+//! * [`journal`] — crash safety for maintenance: a checksummed write-ahead
+//!   journal of edge updates plus atomic full-state checkpoints, replayed
+//!   by [`QueryService::recover`];
 //! * [`workload`] — deterministic batch generation with configurable class
 //!   mixes and uniform/Zipfian query-node skew;
 //! * [`stats`] — per-class latency percentiles (p50/p95/p99) and batch
@@ -18,9 +21,11 @@
 //! The `workload` binary drives all of it from the command line.
 
 pub mod engine;
+pub mod journal;
 pub mod stats;
 pub mod workload;
 
-pub use engine::{Backend, QueryOutput, QueryService, ServiceConfig};
+pub use engine::{Backend, QueryOutput, QueryService, RecoveryReport, ServiceConfig};
+pub use journal::{EdgeUpdate, UpdateJournal};
 pub use stats::{BatchReport, ClassStats};
 pub use workload::{generate, Query, QueryClass, Skew, WorkloadConfig, WorkloadMix};

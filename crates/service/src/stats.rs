@@ -57,6 +57,10 @@ impl ClassStats {
 pub struct BatchReport {
     /// One output per input query, in input order.
     pub outputs: Vec<QueryOutput>,
+    /// Per query, in input order: whether it was answered by the exact
+    /// Dijkstra fallback after exhausting its storage-fault retry budget.
+    /// Degraded answers are still exact — only the fast path was skipped.
+    pub degraded: Vec<bool>,
     /// Wall-clock time for the whole batch.
     pub wall: Duration,
     /// Worker threads used.
@@ -81,6 +85,11 @@ impl BatchReport {
         self.outputs.len() as f64 / secs
     }
 
+    /// Queries answered by the degraded (exact-fallback) path.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded.iter().filter(|&&d| d).count()
+    }
+
     /// Multi-line human-readable summary (workload driver, service logs).
     pub fn summary(&self) -> String {
         let mut out = format!(
@@ -95,6 +104,14 @@ impl BatchReport {
             self.ops.exact_comparisons,
             self.ops.approx_comparisons,
         );
+        if self.ops.retries > 0 || self.degraded_count() > 0 {
+            out.push_str(&format!(
+                "  faults: {} retries, {} degraded of {} queries\n",
+                self.ops.retries,
+                self.degraded_count(),
+                self.outputs.len(),
+            ));
+        }
         for class in QueryClass::ALL {
             if let Some(s) = self.per_class.get(class.label()) {
                 out.push_str(&format!(

@@ -36,6 +36,7 @@ fn build_service(seed: u64) -> QueryService {
         &ServiceConfig {
             shards: 8,
             pool_pages: 128,
+            ..Default::default()
         },
     )
 }

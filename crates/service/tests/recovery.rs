@@ -1,0 +1,257 @@
+//! Crash-safe maintenance: kill-point tests. A maintenance history (attach
+//! → updates → checkpoint → more updates) is driven to disk, then the
+//! journal and checkpoint files are truncated at every write boundary to
+//! simulate a crash at that instant. `QueryService::recover` must always
+//! agree — on a full mixed query sweep — with a from-scratch rebuild over
+//! whatever history verifiably survived, no matter where the tear landed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::io::{load_network, read_objects};
+use dsi_graph::{NodeId, ObjectSet};
+use dsi_service::journal::{
+    decode_journal, BASE_NET_FILE, BASE_OBJ_FILE, CHECKPOINT_FILE, JOURNAL_FILE, RECORD_LEN,
+};
+use dsi_service::{generate, EdgeUpdate, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_signature::{SignatureConfig, SignatureIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHECKPOINT_AT: usize = 6;
+const TOTAL_UPDATES: usize = 12;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsi_recovery_{name}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig {
+        shards: 4,
+        pool_pages: 32,
+        ..Default::default()
+    }
+}
+
+fn build_base() -> QueryService {
+    let mut rng = StdRng::seed_from_u64(21);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 150,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.06, &mut rng);
+    QueryService::new(net, objects, &SignatureConfig::default(), &service_cfg())
+}
+
+/// Deterministic edge updates derived from the *base* network: absolute
+/// weights, so any replay from any starting point converges to the same
+/// state. Some edges are hit more than once with different weights, which
+/// is exactly what makes journal ordering observable.
+fn edge_updates(svc: &QueryService, n: usize) -> Vec<EdgeUpdate> {
+    (0..n)
+        .map(|i| {
+            let a = NodeId(((i * 31 + 7) % svc.net().num_nodes()) as u32);
+            let (_, b, w) = svc.net().neighbors(a).next().expect("connected node");
+            (a, b, w + 40 + (i as u32 % 5) * 23)
+        })
+        .collect()
+}
+
+/// Drive a full maintenance history into `dir` and "crash" (drop the
+/// service): attach, 6 journaled updates, checkpoint, 6 more updates.
+/// Returns the query sweep used for all comparisons.
+fn run_history(dir: &Path) -> Vec<Query> {
+    let mut svc = build_base();
+    svc.attach_maintenance_log(dir).unwrap();
+    let all = edge_updates(&svc, TOTAL_UPDATES);
+    svc.apply_updates(&all[..CHECKPOINT_AT]);
+    svc.checkpoint().unwrap();
+    svc.apply_updates(&all[CHECKPOINT_AT..]);
+    assert_eq!(svc.journal_len(), Some(TOTAL_UPDATES as u64));
+    generate(
+        svc.net(),
+        &WorkloadConfig {
+            count: 80,
+            seed: 4242,
+            skew: Skew::Uniform,
+            ..Default::default()
+        },
+    )
+}
+
+/// From-scratch ground truth: base snapshot + replay of whatever the given
+/// journal image verifiably holds — the state recovery must reproduce.
+fn reference_for(dir: &Path, journal_bytes: &[u8]) -> QueryService {
+    let net = load_network(dir.join(BASE_NET_FILE)).unwrap();
+    let objects = read_objects(fs::File::open(dir.join(BASE_OBJ_FILE)).unwrap(), &net).unwrap();
+    let index = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    let mut svc = QueryService::from_parts(net, objects, index, &service_cfg());
+    svc.apply_updates(&decode_journal(journal_bytes));
+    svc
+}
+
+/// Both services must answer the whole sweep identically: same index
+/// state → same signature-path results, element-wise.
+fn assert_same_answers(a: &QueryService, b: &QueryService, batch: &[Query], ctx: &str) {
+    let ra = a.serve_batch(batch, 2);
+    let rb = b.serve_batch(batch, 2);
+    assert_eq!(ra.outputs, rb.outputs, "{ctx}: query sweep diverged");
+}
+
+/// Populate `work` as a crash image: base files and (optionally damaged)
+/// journal/checkpoint.
+fn stage(work: &Path, hist: &Path, journal: &[u8], checkpoint: Option<&[u8]>) {
+    fs::copy(hist.join(BASE_NET_FILE), work.join(BASE_NET_FILE)).unwrap();
+    fs::copy(hist.join(BASE_OBJ_FILE), work.join(BASE_OBJ_FILE)).unwrap();
+    fs::write(work.join(JOURNAL_FILE), journal).unwrap();
+    let cp = work.join(CHECKPOINT_FILE);
+    let _ = fs::remove_file(&cp);
+    if let Some(bytes) = checkpoint {
+        fs::write(&cp, bytes).unwrap();
+    }
+}
+
+#[test]
+fn journal_truncated_at_every_boundary_recovers_consistently() {
+    let hist = scratch_dir("hist_journal");
+    let batch = run_history(&hist);
+    let journal = fs::read(hist.join(JOURNAL_FILE)).unwrap();
+    assert_eq!(journal.len(), 8 + TOTAL_UPDATES * RECORD_LEN);
+    let checkpoint = fs::read(hist.join(CHECKPOINT_FILE)).unwrap();
+
+    let work = scratch_dir("cut_journal");
+    for cut in (0..=journal.len()).step_by(4) {
+        stage(&work, &hist, &journal[..cut], Some(&checkpoint));
+        let (recovered, report) =
+            QueryService::recover(&work, &SignatureConfig::default(), &service_cfg()).unwrap();
+        let survived = decode_journal(&journal[..cut]).len();
+        assert_eq!(report.journal_records, survived as u64, "cut at byte {cut}");
+        // The checkpoint reflects 6 records; it may only be trusted once
+        // the surviving journal covers them.
+        assert_eq!(
+            report.from_checkpoint,
+            survived >= CHECKPOINT_AT,
+            "cut at byte {cut}"
+        );
+        let reference = reference_for(&work, &journal[..cut]);
+        assert_same_answers(
+            &recovered,
+            &reference,
+            &batch,
+            &format!("journal cut at byte {cut}"),
+        );
+    }
+}
+
+#[test]
+fn checkpoint_truncated_anywhere_is_ignored_not_trusted() {
+    let hist = scratch_dir("hist_ckpt");
+    let batch = run_history(&hist);
+    let journal = fs::read(hist.join(JOURNAL_FILE)).unwrap();
+    let checkpoint = fs::read(hist.join(CHECKPOINT_FILE)).unwrap();
+
+    let work = scratch_dir("cut_ckpt");
+    // Every boundary would re-run a full index build per cut; a stride plus
+    // the edges (empty file, lone magic, one-short) covers each format
+    // section without that cost.
+    let mut cuts: Vec<usize> = (0..checkpoint.len()).step_by(97).collect();
+    cuts.extend([1, 4, 7, 8, 12, checkpoint.len() - 1]);
+    for cut in cuts {
+        stage(&work, &hist, &journal, Some(&checkpoint[..cut]));
+        let (recovered, report) =
+            QueryService::recover(&work, &SignatureConfig::default(), &service_cfg()).unwrap();
+        assert!(!report.from_checkpoint, "cut at byte {cut} was trusted");
+        assert_eq!(report.replayed, TOTAL_UPDATES as u64);
+        let reference = reference_for(&work, &journal);
+        assert_same_answers(
+            &recovered,
+            &reference,
+            &batch,
+            &format!("checkpoint cut at byte {cut}"),
+        );
+    }
+
+    // A flipped bit inside the framed payload is likewise rejected.
+    let mut flipped = checkpoint.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x10;
+    stage(&work, &hist, &journal, Some(&flipped));
+    let (recovered, report) =
+        QueryService::recover(&work, &SignatureConfig::default(), &service_cfg()).unwrap();
+    assert!(!report.from_checkpoint, "flipped checkpoint was trusted");
+    assert_same_answers(
+        &recovered,
+        &reference_for(&work, &journal),
+        &batch,
+        "flipped checkpoint",
+    );
+}
+
+#[test]
+fn intact_checkpoint_shortcuts_replay_and_agrees() {
+    let hist = scratch_dir("hist_intact");
+    let batch = run_history(&hist);
+    let journal = fs::read(hist.join(JOURNAL_FILE)).unwrap();
+
+    let (recovered, report) =
+        QueryService::recover(&hist, &SignatureConfig::default(), &service_cfg()).unwrap();
+    assert!(report.from_checkpoint);
+    assert_eq!(report.journal_records, TOTAL_UPDATES as u64);
+    assert_eq!(report.replayed, (TOTAL_UPDATES - CHECKPOINT_AT) as u64);
+    let reference = reference_for(&hist, &journal);
+    assert_same_answers(&recovered, &reference, &batch, "intact checkpoint");
+}
+
+#[test]
+fn recovered_service_keeps_journaling_and_survives_a_second_crash() {
+    let hist = scratch_dir("hist_twice");
+    let batch = run_history(&hist);
+    // Tear the final append in half.
+    let journal = fs::read(hist.join(JOURNAL_FILE)).unwrap();
+    fs::write(
+        hist.join(JOURNAL_FILE),
+        &journal[..journal.len() - RECORD_LEN / 2],
+    )
+    .unwrap();
+
+    let (mut recovered, report) =
+        QueryService::recover(&hist, &SignatureConfig::default(), &service_cfg()).unwrap();
+    assert_eq!(report.journal_records, (TOTAL_UPDATES - 1) as u64);
+
+    // The re-attached journal accepts new history at the repaired tail...
+    let more = edge_updates(&recovered, 3);
+    recovered.apply_updates(&more);
+    assert_eq!(
+        recovered.journal_len(),
+        Some((TOTAL_UPDATES - 1 + 3) as u64)
+    );
+    drop(recovered);
+
+    // ...and a second crash-recovery sees old + new history seamlessly.
+    let after = fs::read(hist.join(JOURNAL_FILE)).unwrap();
+    let (again, report) =
+        QueryService::recover(&hist, &SignatureConfig::default(), &service_cfg()).unwrap();
+    assert_eq!(report.journal_records, (TOTAL_UPDATES - 1 + 3) as u64);
+    assert_same_answers(
+        &again,
+        &reference_for(&hist, &after),
+        &batch,
+        "second recovery",
+    );
+}
+
+#[test]
+fn attach_refuses_to_shadow_existing_history() {
+    let hist = scratch_dir("hist_shadow");
+    run_history(&hist);
+    let mut svc = build_base();
+    let err = svc.attach_maintenance_log(&hist).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}

@@ -177,6 +177,16 @@ pub struct SignatureIndex {
     pub(crate) compress: bool,
     pub(crate) scheme: crate::compress::CompressionScheme,
     pub(crate) pool_pages: usize,
+    /// Bumped by every maintenance mutation ([`reencode_node`],
+    /// [`set_obj_dist`]); parked session states record the generation they
+    /// cached decodes under, and `Session::resume` clears a cache whose
+    /// generation lags. A `SessionState` belongs to one index's lineage —
+    /// resuming it against a *different* index is undefined regardless of
+    /// generations.
+    ///
+    /// [`reencode_node`]: Self::reencode_node
+    /// [`set_obj_dist`]: Self::set_obj_dist
+    pub(crate) generation: u64,
     pub report: SizeReport,
 }
 
@@ -293,6 +303,7 @@ impl SignatureIndex {
             compress: config.compress,
             scheme: config.scheme,
             pool_pages: config.pool_pages,
+            generation: 0,
             report,
         }
     }
@@ -416,6 +427,7 @@ impl SignatureIndex {
         );
         let bytes = blob.byte_len();
         self.blobs[n.index()] = blob;
+        self.generation += 1;
         bytes
     }
 
@@ -423,6 +435,14 @@ impl SignatureIndex {
     /// removes the pair (it moved into the last category).
     pub fn set_obj_dist(&mut self, a: ObjectId, b: ObjectId, d: Option<Dist>) {
         self.obj_dist.set(a, b, d);
+        self.generation += 1;
+    }
+
+    /// Maintenance generation: incremented by every mutation. Parked
+    /// [`SessionState`](crate::ops::SessionState)s use it to detect (and
+    /// self-heal from) stale decode caches on resume.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Open a query session over this index. The session owns a buffer pool

@@ -40,6 +40,6 @@ pub mod update;
 pub use category::{CategoryPartition, DistRange};
 pub use cross::CrossNodeIndex;
 pub use index::{SignatureConfig, SignatureIndex, SizeReport};
-pub use ops::{OpStats, Session, SessionState};
+pub use ops::{OpResult, OpStats, Session, SessionState};
 pub use query::knn::{KnnResult, KnnType};
 pub use update::SignatureMaintainer;

@@ -20,10 +20,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dsi_graph::{Dist, NodeId, ObjectId, RoadNetwork};
-use dsi_storage::{BufferPool, IoStats};
+use dsi_storage::{BufferPool, FaultPlan, IoStats, StorageError};
 
 use crate::category::{DistRange, RangeOrdering};
 use crate::index::{DecodedSignature, SignatureIndex};
+
+/// Result of a signature operation that charges page reads: with a
+/// [`FaultPlan`] installed on the session's pool, any physical read may
+/// fail with a [`StorageError`]. Without a plan, the error is impossible.
+pub type OpResult<T> = Result<T, StorageError>;
 
 /// Operation counters (CPU-side cost proxies).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -38,6 +43,11 @@ pub struct OpStats {
     pub approx_comparisons: u64,
     /// Observer votes cast.
     pub votes: u64,
+    /// Query attempts re-run after an injected storage fault.
+    pub retries: u64,
+    /// Queries answered by the exact fallback backend after exhausting
+    /// their retry budget (results stay exact; the fast path was skipped).
+    pub degraded: u64,
 }
 
 impl std::ops::Add for OpStats {
@@ -50,6 +60,8 @@ impl std::ops::Add for OpStats {
             exact_comparisons: self.exact_comparisons + rhs.exact_comparisons,
             approx_comparisons: self.approx_comparisons + rhs.approx_comparisons,
             votes: self.votes + rhs.votes,
+            retries: self.retries + rhs.retries,
+            degraded: self.degraded + rhs.degraded,
         }
     }
 }
@@ -70,6 +82,8 @@ impl std::ops::Sub for OpStats {
             exact_comparisons: self.exact_comparisons - rhs.exact_comparisons,
             approx_comparisons: self.approx_comparisons - rhs.approx_comparisons,
             votes: self.votes - rhs.votes,
+            retries: self.retries - rhs.retries,
+            degraded: self.degraded - rhs.degraded,
         }
     }
 }
@@ -77,6 +91,29 @@ impl std::ops::Sub for OpStats {
 impl std::iter::Sum for OpStats {
     fn sum<I: Iterator<Item = OpStats>>(iter: I) -> OpStats {
         iter.fold(OpStats::default(), |a, b| a + b)
+    }
+}
+
+/// One-line summary for stats dumps; retry/degraded counters appear only
+/// when fault handling actually fired.
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sig reads, {} hops, {} exact cmp, {} approx cmp, {} votes",
+            self.signature_reads,
+            self.hops,
+            self.exact_comparisons,
+            self.approx_comparisons,
+            self.votes
+        )?;
+        if self.retries > 0 {
+            write!(f, ", {} retries", self.retries)?;
+        }
+        if self.degraded > 0 {
+            write!(f, ", {} degraded", self.degraded)?;
+        }
+        Ok(())
     }
 }
 
@@ -160,6 +197,11 @@ pub struct SessionState {
     pool: BufferPool,
     cache: DecodeCache,
     stats: OpStats,
+    /// Index generation the decode cache was filled under; compared against
+    /// [`SignatureIndex::generation`] on [`Session::resume`], which clears
+    /// the cache itself if the index was maintained while this state was
+    /// parked. A missed invalidation is therefore impossible, not silent.
+    generation: u64,
 }
 
 impl SessionState {
@@ -170,7 +212,16 @@ impl SessionState {
             pool: BufferPool::new(pool_pages),
             cache: DecodeCache::new(pool_pages.max(16) * 4),
             stats: OpStats::default(),
+            generation: 0,
         }
+    }
+
+    /// Fresh state whose buffer pool injects faults per `plan` (see
+    /// [`FaultPlan`]).
+    pub fn with_fault_plan(pool_pages: usize, plan: FaultPlan) -> Self {
+        let mut s = SessionState::new(pool_pages);
+        s.pool.set_fault_plan(plan);
+        s
     }
 
     /// I/O counters of the parked buffer pool.
@@ -184,9 +235,29 @@ impl SessionState {
     }
 
     /// Drop cached decodes (the pool keeps its pages — page *identity* is
-    /// still valid after maintenance, decoded *content* may not be). Called
-    /// by the service when a shard resumes under a newer index epoch.
+    /// still valid after maintenance, decoded *content* may not be).
+    /// [`Session::resume`] does this automatically when the index
+    /// generation moved; the method remains for callers that want to force
+    /// a cold decode cache.
     pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Count one fault-triggered retry of a query attempt.
+    pub fn note_retry(&mut self) {
+        self.stats.retries += 1;
+    }
+
+    /// Count one query answered by the exact fallback backend.
+    pub fn note_degraded(&mut self) {
+        self.stats.degraded += 1;
+    }
+
+    /// Quarantine support: drop cached pages *and* cached decodes but keep
+    /// every counter — a poisoned shard restarts with a cold working set
+    /// while batch deltas (computed from monotone counters) stay valid.
+    pub fn quarantine(&mut self) {
+        self.pool.drop_pages();
         self.cache.clear();
     }
 
@@ -213,10 +284,21 @@ impl<'a> Session<'a> {
     }
 
     /// Re-attach a detached [`SessionState`] to the index: caches stay
-    /// warm, counters keep accumulating. The caller is responsible for
-    /// [`SessionState::invalidate_cache`] if the index was maintained while
-    /// the state was parked (the service's epoch check does exactly this).
-    pub fn resume(index: &'a SignatureIndex, net: &'a RoadNetwork, state: SessionState) -> Self {
+    /// warm, counters keep accumulating.
+    ///
+    /// If the index was maintained while the state was parked (its
+    /// [`generation`](SignatureIndex::generation) moved past the one the
+    /// cache was filled under), the stale decode cache is cleared *here* —
+    /// a caller forgetting to invalidate can no longer cause silent stale
+    /// reads.
+    pub fn resume(
+        index: &'a SignatureIndex,
+        net: &'a RoadNetwork,
+        mut state: SessionState,
+    ) -> Self {
+        if state.generation != index.generation() {
+            state.cache.clear();
+        }
         Session {
             index,
             net,
@@ -232,6 +314,9 @@ impl<'a> Session<'a> {
             pool: self.pool,
             cache: self.cache,
             stats: self.stats,
+            // Every decode cached in this session came from the index as it
+            // is *now* (resume cleared anything older).
+            generation: self.index.generation(),
         }
     }
 
@@ -264,15 +349,24 @@ impl<'a> Session<'a> {
     }
 
     /// Read (and decode) node `n`'s signature, charging the page accesses.
-    pub fn read_signature(&mut self, n: NodeId) -> Arc<DecodedSignature> {
-        self.index.store().read(n.index(), &mut self.pool);
+    /// With a fault plan installed on the pool, the physical read may fail;
+    /// nothing is decoded or cached in that case.
+    pub fn try_read_signature(&mut self, n: NodeId) -> OpResult<Arc<DecodedSignature>> {
+        self.index.store().try_read(n.index(), &mut self.pool)?;
         self.stats.signature_reads += 1;
         if let Some(sig) = self.cache.get(n) {
-            return sig;
+            return Ok(sig);
         }
         let sig = Arc::new(self.index.decode_node(n));
         self.cache.insert(n, Arc::clone(&sig));
-        sig
+        Ok(sig)
+    }
+
+    /// Infallible [`try_read_signature`](Self::try_read_signature) for
+    /// perfect-disk sessions (the default: no fault plan, no failures).
+    pub fn read_signature(&mut self, n: NodeId) -> Arc<DecodedSignature> {
+        self.try_read_signature(n)
+            .expect("storage fault on a session without a fault plan")
     }
 
     /// Invalidate the decode cache (after index maintenance).
@@ -283,13 +377,13 @@ impl<'a> Session<'a> {
     /// §3.2.1 exact retrieval: follow the backtracking links from `n` to the
     /// object, accumulating edge weights — "the exact value of `d(n, a)` can
     /// be gradually approached and finally retrieved".
-    pub fn retrieve_exact(&mut self, n: NodeId, a: ObjectId) -> Dist {
+    pub fn try_retrieve_exact(&mut self, n: NodeId, a: ObjectId) -> OpResult<Dist> {
         let host = self.index.host(a);
         let mut cur = n;
         let mut acc: Dist = 0;
         let mut hops = 0usize;
         while cur != host {
-            let sig = self.read_signature(cur);
+            let sig = self.try_read_signature(cur)?;
             let (next, w) = self.net.neighbor_at(cur, sig.links[a.index()]);
             acc += w;
             cur = next;
@@ -300,19 +394,25 @@ impl<'a> Session<'a> {
                 "backtracking links do not reach {a} from {n}: index is stale"
             );
         }
-        acc
+        Ok(acc)
+    }
+
+    /// Infallible [`try_retrieve_exact`](Self::try_retrieve_exact).
+    pub fn retrieve_exact(&mut self, n: NodeId, a: ObjectId) -> Dist {
+        self.try_retrieve_exact(n, a)
+            .expect("storage fault on a session without a fault plan")
     }
 
     /// Reconstruct the full shortest path from `n` to object `a` by
     /// following backtracking links (what "kNN queries with path
     /// information returned" need — the capability §1 faults NN lists for
     /// lacking). Returns the node sequence including both endpoints.
-    pub fn path_to_object(&mut self, n: NodeId, a: ObjectId) -> Vec<NodeId> {
+    pub fn try_path_to_object(&mut self, n: NodeId, a: ObjectId) -> OpResult<Vec<NodeId>> {
         let host = self.index.host(a);
         let mut path = vec![n];
         let mut cur = n;
         while cur != host {
-            let sig = self.read_signature(cur);
+            let sig = self.try_read_signature(cur)?;
             let (next, _) = self.net.neighbor_at(cur, sig.links[a.index()]);
             path.push(next);
             cur = next;
@@ -322,29 +422,40 @@ impl<'a> Session<'a> {
                 "backtracking links do not reach {a} from {n}: index is stale"
             );
         }
-        path
+        Ok(path)
+    }
+
+    /// Infallible [`try_path_to_object`](Self::try_path_to_object).
+    pub fn path_to_object(&mut self, n: NodeId, a: ObjectId) -> Vec<NodeId> {
+        self.try_path_to_object(n, a)
+            .expect("storage fault on a session without a fault plan")
     }
 
     /// §3.2.1 approximate retrieval `d̃(n, a, ∆)`: refine the distance range
     /// along the backtracking path just until it no longer *partially*
     /// intersects `delta` (it may end up inside `delta`, or disjoint from
     /// it, or exact).
-    pub fn retrieve_approx(&mut self, n: NodeId, a: ObjectId, delta: DistRange) -> DistRange {
+    pub fn try_retrieve_approx(
+        &mut self,
+        n: NodeId,
+        a: ObjectId,
+        delta: DistRange,
+    ) -> OpResult<DistRange> {
         let host = self.index.host(a);
         let mut cur = n;
         let mut acc: Dist = 0;
         loop {
             if cur == host {
-                return DistRange::exact(acc);
+                return Ok(DistRange::exact(acc));
             }
-            let sig = self.read_signature(cur);
+            let sig = self.try_read_signature(cur)?;
             let r = self
                 .index
                 .partition()
                 .range_of(sig.cats[a.index()])
                 .offset(acc);
             if !r.partially_intersects(&delta) {
-                return r;
+                return Ok(r);
             }
             let (next, w) = self.net.neighbor_at(cur, sig.links[a.index()]);
             acc += w;
@@ -353,50 +464,78 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Infallible [`try_retrieve_approx`](Self::try_retrieve_approx).
+    pub fn retrieve_approx(&mut self, n: NodeId, a: ObjectId, delta: DistRange) -> DistRange {
+        self.try_retrieve_approx(n, a, delta)
+            .expect("storage fault on a session without a fault plan")
+    }
+
     /// §3.2.2 exact comparison (Algorithm 2): compare `d(n, a)` with
     /// `d(n, b)`, backtracking each side *in batches* only as far as needed
     /// to disambiguate.
-    pub fn compare_exact(&mut self, n: NodeId, a: ObjectId, b: ObjectId) -> std::cmp::Ordering {
+    pub fn try_compare_exact(
+        &mut self,
+        n: NodeId,
+        a: ObjectId,
+        b: ObjectId,
+    ) -> OpResult<std::cmp::Ordering> {
         self.stats.exact_comparisons += 1;
-        let sig = self.read_signature(n);
+        let sig = self.try_read_signature(n)?;
         let (ca, cb) = (sig.cats[a.index()], sig.cats[b.index()]);
         if ca != cb {
             // Algorithm 2, line 1–2: distinct categories decide directly.
-            return ca.cmp(&cb);
+            return Ok(ca.cmp(&cb));
         }
-        let mut wa = Walker::start(self, n, a);
-        let mut wb = Walker::start(self, n, b);
+        let mut wa = Walker::start(self, n, a)?;
+        let mut wb = Walker::start(self, n, b)?;
         loop {
             match wa.range.compare(&wb.range) {
-                RangeOrdering::Less => return std::cmp::Ordering::Less,
-                RangeOrdering::Greater => return std::cmp::Ordering::Greater,
-                RangeOrdering::Equal => return std::cmp::Ordering::Equal,
+                RangeOrdering::Less => return Ok(std::cmp::Ordering::Less),
+                RangeOrdering::Greater => return Ok(std::cmp::Ordering::Greater),
+                RangeOrdering::Equal => return Ok(std::cmp::Ordering::Equal),
                 RangeOrdering::Ambiguous => {
                     // Refine whichever side still can, in a batch (I/O
                     // efficiency note of §3.2.2).
                     if !wa.range.is_exact() {
                         let target = wb.range;
-                        wa.refine_until(self, &target);
+                        wa.refine_until(self, &target)?;
                     } else {
                         let target = wa.range;
-                        wb.refine_until(self, &target);
+                        wb.refine_until(self, &target)?;
                     }
                 }
             }
         }
     }
 
+    /// Infallible [`try_compare_exact`](Self::try_compare_exact).
+    pub fn compare_exact(&mut self, n: NodeId, a: ObjectId, b: ObjectId) -> std::cmp::Ordering {
+        self.try_compare_exact(n, a, b)
+            .expect("storage fault on a session without a fault plan")
+    }
+
     /// §3.2.2 approximate comparison (Algorithm 3): decide the order of
     /// `d(n, a)` vs `d(n, b)` from `s(n)` alone by letting closer objects
     /// ("observers") vote in a 2-D embedding. Returns
     /// [`RangeOrdering::Equal`] when undecided.
-    pub fn compare_approx(&mut self, n: NodeId, a: ObjectId, b: ObjectId) -> RangeOrdering {
-        let sig = self.read_signature(n);
+    pub fn try_compare_approx(
+        &mut self,
+        n: NodeId,
+        a: ObjectId,
+        b: ObjectId,
+    ) -> OpResult<RangeOrdering> {
+        let sig = self.try_read_signature(n)?;
         let ca = sig.cats[a.index()].min(sig.cats[b.index()]);
         let observers: Vec<u32> = (0..self.index.num_objects() as u32)
             .filter(|&i| sig.cats[i as usize] < ca)
             .collect();
         self.compare_approx_with(n, a, b, &observers)
+    }
+
+    /// Infallible [`try_compare_approx`](Self::try_compare_approx).
+    pub fn compare_approx(&mut self, n: NodeId, a: ObjectId, b: ObjectId) -> RangeOrdering {
+        self.try_compare_approx(n, a, b)
+            .expect("storage fault on a session without a fault plan")
     }
 
     /// [`compare_approx`](Self::compare_approx) with a precomputed observer
@@ -409,27 +548,27 @@ impl<'a> Session<'a> {
         a: ObjectId,
         b: ObjectId,
         observers: &[u32],
-    ) -> RangeOrdering {
+    ) -> OpResult<RangeOrdering> {
         self.stats.approx_comparisons += 1;
-        let sig = self.read_signature(n);
+        let sig = self.try_read_signature(n)?;
         let (ca, cb) = (sig.cats[a.index()], sig.cats[b.index()]);
         if ca != cb {
-            return if ca < cb {
+            return Ok(if ca < cb {
                 RangeOrdering::Less
             } else {
                 RangeOrdering::Greater
-            };
+            });
         }
         let part = self.index.partition();
         let shared = part.range_of(ca);
         if shared.hi == dsi_graph::INFINITY {
-            return RangeOrdering::Equal; // open-ended category: no geometry
+            return Ok(RangeOrdering::Equal); // open-ended category: no geometry
         }
         let Some(dab) = self.index.obj_dist().get(a, b) else {
-            return RangeOrdering::Equal;
+            return Ok(RangeOrdering::Equal);
         };
         if dab == 0 {
-            return RangeOrdering::Equal;
+            return Ok(RangeOrdering::Equal);
         }
         // Embed a at the origin and b on the x-axis; n, if it were
         // equidistant, would sit on the bisector x = dab/2 within the
@@ -439,7 +578,7 @@ impl<'a> Session<'a> {
         let xm = dab / 2.0;
         let (lb, ub) = (shared.lo as f64, shared.hi as f64);
         if ub < xm {
-            return RangeOrdering::Equal; // bisector unreachable within range
+            return Ok(RangeOrdering::Equal); // bisector unreachable within range
         }
         let h_min = (lb * lb - xm * xm).max(0.0).sqrt();
         let h_max = (ub * ub - xm * xm).sqrt();
@@ -489,11 +628,11 @@ impl<'a> Session<'a> {
                 }
             }
         }
-        match votes_a.cmp(&votes_b) {
+        Ok(match votes_a.cmp(&votes_b) {
             std::cmp::Ordering::Greater => RangeOrdering::Less,
             std::cmp::Ordering::Less => RangeOrdering::Greater,
             std::cmp::Ordering::Equal => RangeOrdering::Equal,
-        }
+        })
     }
 
     /// §3.2.3 distance sorting (Algorithm 4): an initial approximate order
@@ -506,16 +645,16 @@ impl<'a> Session<'a> {
     /// I/O-efficient. Without it, same-category objects would re-walk their
     /// shortest paths once per comparison and sorting a large boundary
     /// bucket would degrade quadratically.
-    pub fn sort_objects(&mut self, n: NodeId, objs: &mut [ObjectId]) {
+    pub fn try_sort_objects(&mut self, n: NodeId, objs: &mut [ObjectId]) -> OpResult<()> {
         // Observer candidates: objects strictly closer than every operand.
         // Computed once — bucket sorts pass same-category objects, so this
         // is exactly Algorithm 3's observer set for every pair.
         let min_cat = {
-            let sig = self.read_signature(n);
+            let sig = self.try_read_signature(n)?;
             objs.iter().map(|o| sig.cats[o.index()]).min().unwrap_or(0)
         };
         let observers: Vec<u32> = {
-            let sig = self.read_signature(n);
+            let sig = self.try_read_signature(n)?;
             (0..self.index.num_objects() as u32)
                 .filter(|&i| sig.cats[i as usize] < min_cat)
                 .collect()
@@ -525,7 +664,7 @@ impl<'a> Session<'a> {
         for i in 1..objs.len() {
             let mut j = i;
             while j > 0 {
-                if self.compare_approx_with(n, objs[j - 1], objs[j], &observers)
+                if self.compare_approx_with(n, objs[j - 1], objs[j], &observers)?
                     == RangeOrdering::Greater
                 {
                     objs.swap(j - 1, j);
@@ -537,13 +676,13 @@ impl<'a> Session<'a> {
         }
         // Refinement: exact confirmation with backward bubbling, sharing
         // one walker per object.
-        let mut walkers: HashMap<ObjectId, Walker> = objs
-            .iter()
-            .map(|&o| (o, Walker::start(self, n, o)))
-            .collect();
+        let mut walkers = HashMap::with_capacity(objs.len());
+        for &o in objs.iter() {
+            walkers.insert(o, Walker::start(self, n, o)?);
+        }
         let mut i = 0;
         while i + 1 < objs.len() {
-            if self.compare_walkers(&mut walkers, objs[i], objs[i + 1])
+            if self.compare_walkers(&mut walkers, objs[i], objs[i + 1])?
                 == std::cmp::Ordering::Greater
             {
                 objs.swap(i, i + 1);
@@ -554,6 +693,13 @@ impl<'a> Session<'a> {
             }
             i += 1;
         }
+        Ok(())
+    }
+
+    /// Infallible [`try_sort_objects`](Self::try_sort_objects).
+    pub fn sort_objects(&mut self, n: NodeId, objs: &mut [ObjectId]) {
+        self.try_sort_objects(n, objs)
+            .expect("storage fault on a session without a fault plan")
     }
 
     /// Rearrange `objs` so that its first `j` elements are the `j` nearest
@@ -563,14 +709,19 @@ impl<'a> Session<'a> {
     /// persistent walkers: only objects near the cut-off distance refine
     /// deeply; clearly-in and clearly-out objects separate from the pivot
     /// after a few backtracking steps.
-    pub fn select_nearest(&mut self, n: NodeId, objs: &mut [ObjectId], j: usize) {
+    pub fn try_select_nearest(
+        &mut self,
+        n: NodeId,
+        objs: &mut [ObjectId],
+        j: usize,
+    ) -> OpResult<()> {
         if j == 0 || j >= objs.len() {
-            return;
+            return Ok(());
         }
-        let mut walkers: HashMap<ObjectId, Walker> = objs
-            .iter()
-            .map(|&o| (o, Walker::start(self, n, o)))
-            .collect();
+        let mut walkers = HashMap::with_capacity(objs.len());
+        for &o in objs.iter() {
+            walkers.insert(o, Walker::start(self, n, o)?);
+        }
         let mut slice_start = 0usize;
         let mut slice_end = objs.len();
         let mut want = j;
@@ -580,7 +731,8 @@ impl<'a> Session<'a> {
             let pivot = objs[slice_end - 1];
             let mut store = slice_start;
             for i in slice_start..slice_end - 1 {
-                if self.compare_walkers(&mut walkers, objs[i], pivot) != std::cmp::Ordering::Greater
+                if self.compare_walkers(&mut walkers, objs[i], pivot)?
+                    != std::cmp::Ordering::Greater
                 {
                     objs.swap(i, store);
                     store += 1;
@@ -591,12 +743,19 @@ impl<'a> Session<'a> {
             if want <= left {
                 slice_end = store;
             } else if want == left + 1 {
-                return; // pivot closes the set exactly
+                return Ok(()); // pivot closes the set exactly
             } else {
                 want -= left + 1;
                 slice_start = store + 1;
             }
         }
+        Ok(())
+    }
+
+    /// Infallible [`try_select_nearest`](Self::try_select_nearest).
+    pub fn select_nearest(&mut self, n: NodeId, objs: &mut [ObjectId], j: usize) {
+        self.try_select_nearest(n, objs, j)
+            .expect("storage fault on a session without a fault plan")
     }
 
     /// Exact comparison over persistent walkers (each retains its
@@ -606,20 +765,26 @@ impl<'a> Session<'a> {
         walkers: &mut HashMap<ObjectId, Walker>,
         a: ObjectId,
         b: ObjectId,
-    ) -> std::cmp::Ordering {
+    ) -> OpResult<std::cmp::Ordering> {
         self.stats.exact_comparisons += 1;
         loop {
             let ra = walkers[&a].range;
             let rb = walkers[&b].range;
             match ra.compare(&rb) {
-                RangeOrdering::Less => return std::cmp::Ordering::Less,
-                RangeOrdering::Greater => return std::cmp::Ordering::Greater,
-                RangeOrdering::Equal => return std::cmp::Ordering::Equal,
+                RangeOrdering::Less => return Ok(std::cmp::Ordering::Less),
+                RangeOrdering::Greater => return Ok(std::cmp::Ordering::Greater),
+                RangeOrdering::Equal => return Ok(std::cmp::Ordering::Equal),
                 RangeOrdering::Ambiguous => {
                     if !ra.is_exact() {
-                        walkers.get_mut(&a).expect("walker").refine_until(self, &rb);
+                        walkers
+                            .get_mut(&a)
+                            .expect("walker")
+                            .refine_until(self, &rb)?;
                     } else {
-                        walkers.get_mut(&b).expect("walker").refine_until(self, &ra);
+                        walkers
+                            .get_mut(&b)
+                            .expect("walker")
+                            .refine_until(self, &ra)?;
                     }
                 }
             }
@@ -641,8 +806,8 @@ struct Walker {
 }
 
 impl Walker {
-    fn start(sess: &mut Session<'_>, n: NodeId, obj: ObjectId) -> Self {
-        let sig = sess.read_signature(n);
+    fn start(sess: &mut Session<'_>, n: NodeId, obj: ObjectId) -> OpResult<Self> {
+        let sig = sess.try_read_signature(n)?;
         let range = sess.index.partition().range_of(sig.cats[obj.index()]);
         let host = sess.index.host(obj);
         let mut w = Walker {
@@ -656,7 +821,7 @@ impl Walker {
         if n == host {
             w.range = DistRange::exact(0);
         }
-        w
+        Ok(w)
     }
 
     /// Refine this side's range until it no longer partially intersects
@@ -664,16 +829,16 @@ impl Walker {
     /// comparison loop always makes progress (two objects sharing the same
     /// category have mutually contained ranges, which must not stall the
     /// refinement).
-    fn refine_until(&mut self, sess: &mut Session<'_>, target: &DistRange) {
+    fn refine_until(&mut self, sess: &mut Session<'_>, target: &DistRange) -> OpResult<()> {
         loop {
             if self.range.is_exact() {
-                return;
+                return Ok(());
             }
             if self.cur == self.host {
                 self.range = DistRange::exact(self.acc);
-                return;
+                return Ok(());
             }
-            let sig = sess.read_signature(self.cur);
+            let sig = sess.try_read_signature(self.cur)?;
             let (next, w) = sess.net.neighbor_at(self.cur, sig.links[self.obj.index()]);
             self.acc += w;
             self.cur = next;
@@ -688,7 +853,7 @@ impl Walker {
             if self.cur == self.host {
                 self.range = DistRange::exact(self.acc);
             } else {
-                let sig = sess.read_signature(self.cur);
+                let sig = sess.try_read_signature(self.cur)?;
                 self.range = sess
                     .index
                     .partition()
@@ -696,7 +861,7 @@ impl Walker {
                     .offset(self.acc);
             }
             if !self.range.partially_intersects(target) {
-                return;
+                return Ok(());
             }
         }
     }

@@ -5,13 +5,19 @@
 //! from the network at load time (CCAM order is deterministic), so a loaded
 //! index is bit-identical in content and I/O accounting to the one that was
 //! saved.
+//!
+//! Format v2: after a plaintext `[MAGIC][version]` preamble, the entire
+//! payload is chopped into CRC-32-checksummed frames
+//! ([`dsi_storage::FrameWriter`]). Truncation surfaces as an I/O error and
+//! any bit flip as a checksum mismatch — a corrupted snapshot is *detected*,
+//! never served as a plausible-but-wrong index.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use dsi_graph::io::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64, LoadError};
 use dsi_graph::{NodeId, RoadNetwork};
-use dsi_storage::{ccam_order, PagedStore};
+use dsi_storage::{ccam_order, FrameReader, FrameWriter, PagedStore};
 
 use crate::bits::BitBox;
 use crate::category::CategoryPartition;
@@ -20,13 +26,27 @@ use crate::encode::ReverseZeroPadding;
 use crate::index::{ObjDistTable, SignatureIndex, SizeReport};
 
 const MAGIC: &[u8; 4] = b"DSSI";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Ceiling on any single up-front reservation while decoding. Length fields
+/// come from disk; a corrupt one must not translate into a giant allocation
+/// before the (checksummed) data that would back it is ever read.
+const MAX_RESERVE: usize = 1 << 16;
+
+/// `Vec::with_capacity` for a disk-supplied length: reserve at most
+/// [`MAX_RESERVE`] slots up front and let pushes grow the rest.
+fn capped_vec<T>(len: usize) -> Vec<T> {
+    Vec::with_capacity(len.min(MAX_RESERVE))
+}
 
 /// Write the index snapshot.
 pub fn write_index<W: Write>(idx: &SignatureIndex, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
     w.write_all(MAGIC)?;
     put_u32(&mut w, VERSION)?;
+
+    // Everything after the preamble goes through checksummed frames.
+    let mut w = FrameWriter::new(w);
 
     // Partition.
     put_f64(&mut w, idx.partition.c())?;
@@ -83,11 +103,17 @@ pub fn write_index<W: Write>(idx: &SignatureIndex, w: W) -> io::Result<()> {
     for &c in &r.category_counts {
         put_u64(&mut w, c)?;
     }
-    w.flush()
+
+    w.finish()?.flush()
 }
 
 /// Read an index snapshot; `net` must be the network it was built on (the
 /// page layout is re-derived from it).
+///
+/// Every failure mode of a damaged file — truncation anywhere, any bit flip
+/// past the preamble — comes back as a [`LoadError`]; this function never
+/// panics on malformed input and never returns an index whose content was
+/// not checksum-verified.
 pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, LoadError> {
     let mut r = BufReader::new(r);
     let mut magic = [0u8; 4];
@@ -100,10 +126,13 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         return Err(LoadError::Format(format!("unsupported index version {v}")));
     }
 
+    // The rest of the stream is framed and CRC-checked.
+    let mut r = FrameReader::new(r);
+
     let c = get_f64(&mut r)?;
     let t = get_u32(&mut r)?;
     let nb = get_u32(&mut r)? as usize;
-    let mut bounds = Vec::with_capacity(nb);
+    let mut bounds = capped_vec(nb);
     for _ in 0..nb {
         bounds.push(get_u32(&mut r)?);
     }
@@ -125,7 +154,13 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
     let pool_pages = get_u32(&mut r)? as usize;
 
     let d = get_u32(&mut r)? as usize;
-    let mut hosts = Vec::with_capacity(d);
+    if d > net.num_nodes() {
+        return Err(LoadError::Format(format!(
+            "{d} objects cannot occupy {} distinct nodes",
+            net.num_nodes()
+        )));
+    }
+    let mut hosts = capped_vec(d);
     for _ in 0..d {
         let h = get_u32(&mut r)?;
         if h as usize >= net.num_nodes() {
@@ -137,7 +172,7 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
     let mut obj_dist = ObjDistTable::with_rows(d);
     for row in obj_dist.rows.iter_mut() {
         let len = get_u32(&mut r)? as usize;
-        row.reserve(len);
+        row.reserve(len.min(MAX_RESERVE));
         for _ in 0..len {
             let o = get_u32(&mut r)?;
             let dist = get_u32(&mut r)?;
@@ -152,11 +187,11 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
             net.num_nodes()
         )));
     }
-    let mut blobs = Vec::with_capacity(n);
+    let mut blobs = capped_vec(n);
     for _ in 0..n {
         let bits = get_u64(&mut r)? as usize;
         let words = bits.div_ceil(64);
-        let mut ws = Vec::with_capacity(words);
+        let mut ws = capped_vec(words);
         for _ in 0..words {
             ws.push(get_u64(&mut r)?);
         }
@@ -174,6 +209,7 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         category_counts: Vec::new(),
     };
     let cc = get_u32(&mut r)? as usize;
+    report.category_counts.reserve(cc.min(MAX_RESERVE));
     for _ in 0..cc {
         report.category_counts.push(get_u64(&mut r)?);
     }
@@ -208,6 +244,7 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         scheme,
         pool_pages,
         report,
+        generation: 0,
     })
 }
 
@@ -309,9 +346,38 @@ mod tests {
     }
 
     #[test]
+    fn every_bit_flip_in_the_file_head_is_detected() {
+        let (net, idx) = fixture(CompressionScheme::GlobalAnchor);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        // Flip each bit of the preamble and the first frame's header and
+        // leading payload; the randomized whole-file sweep lives in the
+        // proptest suite.
+        for byte in 0..buf.len().min(64) {
+            for bit in 0..8 {
+                let mut bad = buf.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    read_index(&bad[..], &net).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let (net, _) = fixture(CompressionScheme::GlobalAnchor);
         assert!(read_index(&b"OOPS\0\0\0\0"[..], &net).is_err());
+    }
+
+    #[test]
+    fn loaded_index_starts_at_generation_zero() {
+        let (net, idx) = fixture(CompressionScheme::GlobalAnchor);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let back = read_index(&buf[..], &net).unwrap();
+        assert_eq!(back.generation(), 0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use dsi_graph::{Dist, NodeId};
 
-use crate::ops::Session;
-use crate::query::range::range_query;
+use crate::ops::{OpResult, Session};
+use crate::query::range::{range_query, try_range_query};
 
 /// Aggregates over the objects within distance `eps` of the query node.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,20 +32,30 @@ pub fn count_within(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> usize {
     range_query(sess, n, eps).len()
 }
 
-/// Full aggregate (count / sum / min / max of exact distances) over the
-/// objects within `eps`. Exact distances are only retrieved for confirmed
-/// results, following the two-phase paradigm of §4.3.
-pub fn aggregate_within(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> RangeAggregate {
-    let members = range_query(sess, n, eps);
+/// Fallible [`aggregate_within`]: with a fault plan on the session's pool,
+/// a failed page read aborts the query with the error instead of panicking.
+pub fn try_aggregate_within(
+    sess: &mut Session<'_>,
+    n: NodeId,
+    eps: Dist,
+) -> OpResult<RangeAggregate> {
+    let members = try_range_query(sess, n, eps)?;
     let mut agg = RangeAggregate::default();
     for o in members {
-        let d = sess.retrieve_exact(n, o);
+        let d = sess.try_retrieve_exact(n, o)?;
         agg.count += 1;
         agg.sum += d as u64;
         agg.min = Some(agg.min.map_or(d, |m| m.min(d)));
         agg.max = Some(agg.max.map_or(d, |m| m.max(d)));
     }
-    agg
+    Ok(agg)
+}
+
+/// Full aggregate (count / sum / min / max of exact distances) over the
+/// objects within `eps`. Exact distances are only retrieved for confirmed
+/// results, following the two-phase paradigm of §4.3.
+pub fn aggregate_within(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> RangeAggregate {
+    try_aggregate_within(sess, n, eps).expect("storage fault on a session without a fault plan")
 }
 
 #[cfg(test)]

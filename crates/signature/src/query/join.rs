@@ -8,8 +8,24 @@
 
 use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet};
 
-use crate::ops::Session;
-use crate::query::range::range_query;
+use crate::ops::{OpResult, Session};
+use crate::query::range::try_range_query;
+
+/// Fallible [`epsilon_join`]: with a fault plan on the session's pool, a
+/// failed page read aborts the join with the error instead of panicking.
+pub fn try_epsilon_join(
+    sess: &mut Session<'_>,
+    outer: &ObjectSet,
+    eps: Dist,
+) -> OpResult<Vec<(ObjectId, ObjectId)>> {
+    let mut out = Vec::new();
+    for (a, host) in outer.iter() {
+        for b in try_range_query(sess, host, eps)? {
+            out.push((a, b));
+        }
+    }
+    Ok(out)
+}
 
 /// ε-join: all pairs `(a, b)` with `a` from `outer` (any object set placed
 /// on the same network), `b` indexed by `sess`, and `d(a, b) ≤ eps`.
@@ -19,28 +35,30 @@ pub fn epsilon_join(
     outer: &ObjectSet,
     eps: Dist,
 ) -> Vec<(ObjectId, ObjectId)> {
-    let mut out = Vec::new();
-    for (a, host) in outer.iter() {
-        for b in range_query(sess, host, eps) {
-            out.push((a, b));
-        }
-    }
-    out
+    try_epsilon_join(sess, outer, eps).expect("storage fault on a session without a fault plan")
 }
 
-/// Self ε-join over the indexed dataset itself: unordered distinct pairs
-/// `(a, b)`, `a < b`, with `d(a, b) ≤ eps`.
-pub fn self_epsilon_join(sess: &mut Session<'_>, eps: Dist) -> Vec<(ObjectId, ObjectId)> {
+/// Fallible [`self_epsilon_join`].
+pub fn try_self_epsilon_join(
+    sess: &mut Session<'_>,
+    eps: Dist,
+) -> OpResult<Vec<(ObjectId, ObjectId)>> {
     let mut out = Vec::new();
     for a in sess.index().objects() {
         let host: NodeId = sess.index().host(a);
-        for b in range_query(sess, host, eps) {
+        for b in try_range_query(sess, host, eps)? {
             if a < b {
                 out.push((a, b));
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Self ε-join over the indexed dataset itself: unordered distinct pairs
+/// `(a, b)`, `a < b`, with `d(a, b) ≤ eps`.
+pub fn self_epsilon_join(sess: &mut Session<'_>, eps: Dist) -> Vec<(ObjectId, ObjectId)> {
+    try_self_epsilon_join(sess, eps).expect("storage fault on a session without a fault plan")
 }
 
 #[cfg(test)]

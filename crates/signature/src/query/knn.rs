@@ -2,7 +2,7 @@
 
 use dsi_graph::{Dist, NodeId, ObjectId};
 
-use crate::ops::Session;
+use crate::ops::{OpResult, Session};
 
 /// What a kNN query must return about its results (§4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,13 +30,18 @@ pub struct KnnResult {
 /// are discarded. Type 2 additionally sorts the confirmed buckets (bucket
 /// concatenation is already globally ordered since category ranges are
 /// disjoint); Type 1 retrieves exact distances instead.
-pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<KnnResult> {
+pub fn try_knn(
+    sess: &mut Session<'_>,
+    n: NodeId,
+    k: usize,
+    typ: KnnType,
+) -> OpResult<Vec<KnnResult>> {
     let d = sess.index().num_objects();
     let k = k.min(d);
     if k == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let sig = sess.read_signature(n);
+    let sig = sess.try_read_signature(n)?;
     let m_cats = sess.index().partition().num_categories();
     let mut buckets: Vec<Vec<ObjectId>> = vec![Vec::new(); m_cats];
     for o in sess.index().objects() {
@@ -62,10 +67,12 @@ pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<Knn
             match typ {
                 // Types 3 and 1 need the correct result *set* at the cut;
                 // type 1 then orders it by the retrieved exact distances.
-                KnnType::Type3 | KnnType::Type1 => sess.select_nearest(n, &mut boundary, keep),
+                KnnType::Type3 | KnnType::Type1 => {
+                    sess.try_select_nearest(n, &mut boundary, keep)?
+                }
                 // Type 2's answer is an ordering, so the boundary bucket is
                 // distance-sorted (Algorithm 4).
-                KnnType::Type2 => sess.sort_objects(n, &mut boundary),
+                KnnType::Type2 => sess.try_sort_objects(n, &mut boundary)?,
             }
             boundary.truncate(keep);
             confirmed.push(boundary);
@@ -73,7 +80,7 @@ pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<Knn
         }
     }
 
-    match typ {
+    Ok(match typ {
         KnnType::Type3 => confirmed
             .into_iter()
             .flatten()
@@ -84,7 +91,7 @@ pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<Knn
             // (hence distance-range) order.
             let mut out = Vec::with_capacity(k);
             for mut bucket in confirmed {
-                sess.sort_objects(n, &mut bucket);
+                sess.try_sort_objects(n, &mut bucket)?;
                 out.extend(
                     bucket
                         .into_iter()
@@ -94,18 +101,22 @@ pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<Knn
             out
         }
         KnnType::Type1 => {
-            let mut with_d: Vec<KnnResult> = confirmed
-                .into_iter()
-                .flatten()
-                .map(|object| KnnResult {
+            let mut with_d = Vec::with_capacity(k);
+            for object in confirmed.into_iter().flatten() {
+                with_d.push(KnnResult {
                     object,
-                    dist: Some(sess.retrieve_exact(n, object)),
-                })
-                .collect();
+                    dist: Some(sess.try_retrieve_exact(n, object)?),
+                });
+            }
             with_d.sort_by_key(|r| (r.dist, r.object));
             with_d
         }
-    }
+    })
+}
+
+/// Infallible [`try_knn`] for perfect-disk sessions.
+pub fn knn(sess: &mut Session<'_>, n: NodeId, k: usize, typ: KnnType) -> Vec<KnnResult> {
+    try_knn(sess, n, k, typ).expect("storage fault on a session without a fault plan")
 }
 
 /// A kNN result with the full shortest path to the object.
@@ -122,15 +133,26 @@ pub struct KnnPathResult {
 /// store the path to the NN objects, it does not even support kNN queries
 /// with path information returned"). Backtracking links make it a free
 /// by-product here.
-pub fn knn_with_paths(sess: &mut Session<'_>, n: NodeId, k: usize) -> Vec<KnnPathResult> {
-    knn(sess, n, k, KnnType::Type1)
-        .into_iter()
-        .map(|r| KnnPathResult {
+pub fn try_knn_with_paths(
+    sess: &mut Session<'_>,
+    n: NodeId,
+    k: usize,
+) -> OpResult<Vec<KnnPathResult>> {
+    let results = try_knn(sess, n, k, KnnType::Type1)?;
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(KnnPathResult {
             object: r.object,
             dist: r.dist.expect("type-1 results carry distances"),
-            path: sess.path_to_object(n, r.object),
-        })
-        .collect()
+            path: sess.try_path_to_object(n, r.object)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Infallible [`try_knn_with_paths`] for perfect-disk sessions.
+pub fn knn_with_paths(sess: &mut Session<'_>, n: NodeId, k: usize) -> Vec<KnnPathResult> {
+    try_knn_with_paths(sess, n, k).expect("storage fault on a session without a fault plan")
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@ pub mod range;
 
 use dsi_graph::{Dist, NodeId, ObjectId};
 
+use crate::ops::OpResult;
+
 /// Inherent convenience methods mirroring the free query functions.
 impl crate::ops::Session<'_> {
     /// [`range::range_query`]: objects within `eps` of `n`.
@@ -20,9 +22,24 @@ impl crate::ops::Session<'_> {
         range::range_query(self, n, eps)
     }
 
+    /// [`range::try_range_query`]: fallible range query (fault plans).
+    pub fn try_range(&mut self, n: NodeId, eps: Dist) -> OpResult<Vec<ObjectId>> {
+        range::try_range_query(self, n, eps)
+    }
+
     /// [`knn::knn`]: the `k` nearest objects to `n`.
     pub fn knn(&mut self, n: NodeId, k: usize, typ: knn::KnnType) -> Vec<knn::KnnResult> {
         knn::knn(self, n, k, typ)
+    }
+
+    /// [`knn::try_knn`]: fallible kNN query (fault plans).
+    pub fn try_knn(
+        &mut self,
+        n: NodeId,
+        k: usize,
+        typ: knn::KnnType,
+    ) -> OpResult<Vec<knn::KnnResult>> {
+        knn::try_knn(self, n, k, typ)
     }
 
     /// [`knn::knn_with_paths`]: type-1 kNN with full shortest paths.
@@ -33,6 +50,11 @@ impl crate::ops::Session<'_> {
     /// [`aggregate::aggregate_within`]: count/sum/min/max over a range.
     pub fn aggregate(&mut self, n: NodeId, eps: Dist) -> aggregate::RangeAggregate {
         aggregate::aggregate_within(self, n, eps)
+    }
+
+    /// [`aggregate::try_aggregate_within`]: fallible aggregate (fault plans).
+    pub fn try_aggregate(&mut self, n: NodeId, eps: Dist) -> OpResult<aggregate::RangeAggregate> {
+        aggregate::try_aggregate_within(self, n, eps)
     }
 
     /// [`cnn::continuous_knn`]: kNN valid scopes along a path.

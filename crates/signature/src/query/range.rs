@@ -4,15 +4,17 @@
 use dsi_graph::{Dist, NodeId, ObjectId};
 
 use crate::category::DistRange;
-use crate::ops::Session;
+use crate::ops::{OpResult, Session};
 
-/// Objects `o` with `d(n, o) ≤ eps`, in object-id order.
+/// Objects `o` with `d(n, o) ≤ eps`, in object-id order. Fallible variant:
+/// with a fault plan on the session's pool, a failed page read aborts the
+/// query with the error instead of panicking.
 ///
 /// Objects whose category upper bound is below `eps` are accepted and ones
 /// whose lower bound exceeds `eps` rejected straight from `s(n)`; only the
 /// straddling candidates pay approximate retrieval with `∆ = [ε, ε]`.
-pub fn range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> Vec<ObjectId> {
-    let sig = sess.read_signature(n);
+pub fn try_range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> OpResult<Vec<ObjectId>> {
+    let sig = sess.try_read_signature(n)?;
     let part = sess.index().partition();
     let delta = DistRange::exact(eps);
     let mut out = Vec::new();
@@ -23,14 +25,19 @@ pub fn range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> Vec<ObjectId
         } else if r.lo > eps {
             continue;
         } else {
-            let refined = sess.retrieve_approx(n, o, delta);
+            let refined = sess.try_retrieve_approx(n, o, delta)?;
             debug_assert!(!refined.partially_intersects(&delta));
             if refined.hi <= eps {
                 out.push(o);
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Infallible [`try_range_query`] for perfect-disk sessions.
+pub fn range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> Vec<ObjectId> {
+    try_range_query(sess, n, eps).expect("storage fault on a session without a fault plan")
 }
 
 #[cfg(test)]

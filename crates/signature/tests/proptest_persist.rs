@@ -1,0 +1,70 @@
+//! Robustness fuzzing for the binary snapshot format (`persist`): any
+//! truncation or single-bit flip of a valid snapshot must surface as a
+//! `LoadError` — never a panic, never a falsely-valid index. The CRC-framed
+//! payload (see `dsi_storage::checksum`) is what makes the bit-flip
+//! property hold everywhere, not just in the length words.
+
+use std::sync::OnceLock;
+
+use dsi_graph::generate::grid;
+use dsi_graph::{NodeId, ObjectSet, RoadNetwork};
+use dsi_signature::persist::{read_index, write_index};
+use dsi_signature::{SignatureConfig, SignatureIndex};
+use proptest::prelude::*;
+
+/// One snapshot, built once: a 12×12 grid with four objects, serialized.
+fn fixture() -> &'static (RoadNetwork, Vec<u8>) {
+    static FIX: OnceLock<(RoadNetwork, Vec<u8>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let net = grid(12, 12);
+        let objects =
+            ObjectSet::from_nodes(&net, vec![NodeId(3), NodeId(40), NodeId(77), NodeId(130)]);
+        let index = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+        let mut bytes = Vec::new();
+        write_index(&index, &mut bytes).expect("serialize fixture");
+        assert!(
+            read_index(&bytes[..], &net).is_ok(),
+            "pristine snapshot must parse"
+        );
+        (net, bytes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn truncation_always_surfaces_as_load_error(cut_frac in 0.0f64..1.0) {
+        let (net, bytes) = fixture();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        prop_assert!(
+            read_index(&bytes[..cut], net).is_err(),
+            "snapshot truncated to {cut}/{} bytes parsed as valid",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_always_surface_as_load_error(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (net, bytes) = fixture();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        let mut bad = bytes.clone();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            read_index(&bad[..], net).is_err(),
+            "bit {bit} of byte {pos}/{} flipped, snapshot still parsed",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn random_garbage_is_rejected_without_panicking(
+        garbage in collection::vec(0u8..=255u8, 0..2048),
+    ) {
+        let (net, _) = fixture();
+        prop_assert!(read_index(&garbage[..], net).is_err());
+    }
+}

@@ -1,7 +1,9 @@
-//! LRU buffer pool with logical/physical access counters.
+//! LRU buffer pool with logical/physical access counters and optional
+//! deterministic fault injection.
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::fault::{FaultOutcome, FaultPlan, FaultState, StorageError};
 use crate::layout::PageId;
 
 /// Page-access counters collected by a [`BufferPool`].
@@ -12,6 +14,12 @@ pub struct IoStats {
     /// Page reads that missed the buffer — "disk page accesses", the
     /// paper's reported metric.
     pub faults: u64,
+    /// Physical reads that an installed [`FaultPlan`] made fail (read
+    /// failure or detected corruption). Zero on a perfect disk.
+    pub injected: u64,
+    /// Physical reads that an installed [`FaultPlan`] stalled with a
+    /// latency spike (the read still succeeded).
+    pub spikes: u64,
 }
 
 impl IoStats {
@@ -41,6 +49,8 @@ impl std::ops::Add for IoStats {
         IoStats {
             logical: self.logical + rhs.logical,
             faults: self.faults + rhs.faults,
+            injected: self.injected + rhs.injected,
+            spikes: self.spikes + rhs.spikes,
         }
     }
 }
@@ -53,12 +63,14 @@ impl std::ops::AddAssign for IoStats {
 
 impl std::ops::Sub for IoStats {
     type Output = IoStats;
-    /// Counter delta (`later - earlier`); both counters are monotone, so
+    /// Counter delta (`later - earlier`); all counters are monotone, so
     /// this is the traffic between two snapshots.
     fn sub(self, rhs: IoStats) -> IoStats {
         IoStats {
             logical: self.logical - rhs.logical,
             faults: self.faults - rhs.faults,
+            injected: self.injected - rhs.injected,
+            spikes: self.spikes - rhs.spikes,
         }
     }
 }
@@ -69,7 +81,9 @@ impl std::iter::Sum for IoStats {
     }
 }
 
-/// One-line summary for stats dumps: `"1234 logical, 56 faults (95.5% hit)"`.
+/// One-line summary for stats dumps: `"1234 logical, 56 faults (95.5% hit)"`,
+/// extended with `, N injected` / `, N spikes` only when fault injection
+/// actually fired (so fault-free dumps read exactly as before).
 impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -78,7 +92,14 @@ impl std::fmt::Display for IoStats {
             self.logical,
             self.faults,
             self.hit_ratio() * 100.0
-        )
+        )?;
+        if self.injected > 0 {
+            write!(f, ", {} injected", self.injected)?;
+        }
+        if self.spikes > 0 {
+            write!(f, ", {} spikes", self.spikes)?;
+        }
+        Ok(())
     }
 }
 
@@ -89,6 +110,12 @@ impl std::fmt::Display for IoStats {
 /// Recency is tracked with the classic lazy-deletion queue: every access
 /// pushes `(page, tick)` and bumps the page's tick in the map; eviction pops
 /// stale queue entries until it finds one whose tick is current.
+///
+/// With a [`FaultPlan`] installed (see [`set_fault_plan`](Self::set_fault_plan)),
+/// *physical* reads — buffer misses — can fail deterministically; use
+/// [`try_access`](Self::try_access) on paths that can degrade gracefully.
+/// A failed read is charged (logical + fault + injected) but the page is
+/// **not** cached, so a retry is a fresh physical attempt.
 #[derive(Clone, Debug)]
 pub struct BufferPool {
     capacity: usize,
@@ -98,6 +125,7 @@ pub struct BufferPool {
     queue: VecDeque<(PageId, u64)>,
     tick: u64,
     stats: IoStats,
+    fault: Option<FaultState>,
 }
 
 impl BufferPool {
@@ -110,36 +138,90 @@ impl BufferPool {
             queue: VecDeque::with_capacity(capacity * 2),
             tick: 0,
             stats: IoStats::default(),
+            fault: None,
         }
     }
 
-    /// Record an access to `page`.
+    /// Install (or, with an inactive plan, remove) a fault plan. The
+    /// injector's outcome stream restarts from the plan's seed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan.is_active().then(|| FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any is active.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan)
+    }
+
+    /// Record an access to `page`, ignoring any injected fault (legacy
+    /// infallible path — construction and baselines run on a perfect disk).
     pub fn access(&mut self, page: PageId) {
-        self.stats.logical += 1;
-        self.tick += 1;
-        if self.capacity == 0 {
-            self.stats.faults += 1;
-            return;
-        }
-        let was_resident = self.resident.contains_key(&page);
-        if !was_resident {
-            self.stats.faults += 1;
-            if self.resident.len() >= self.capacity {
-                self.evict_lru();
-            }
-        }
-        self.resident.insert(page, self.tick);
-        self.queue.push_back((page, self.tick));
-        // Keep the lazy queue from growing unboundedly.
-        if self.queue.len() > 8 * self.capacity.max(16) {
-            self.compact_queue();
-        }
+        let _ = self.try_access(page);
     }
 
     /// Record accesses to a contiguous page range (a multi-page record).
     pub fn access_range(&mut self, pages: std::ops::Range<PageId>) {
         for p in pages {
             self.access(p);
+        }
+    }
+
+    /// Record an access to `page`; with a fault plan installed the physical
+    /// read may fail. Accounting is charged either way.
+    pub fn try_access(&mut self, page: PageId) -> Result<(), StorageError> {
+        self.stats.logical += 1;
+        self.tick += 1;
+        if self.capacity != 0 && self.resident.contains_key(&page) {
+            // Buffer hit: no disk trip, cannot fault.
+            self.note_use(page);
+            return Ok(());
+        }
+        self.stats.faults += 1;
+        if let Some(f) = self.fault.as_mut() {
+            match f.draw() {
+                FaultOutcome::Clean => {}
+                FaultOutcome::Fail => {
+                    self.stats.injected += 1;
+                    return Err(StorageError::ReadFailed { page });
+                }
+                FaultOutcome::Corrupt => {
+                    self.stats.injected += 1;
+                    return Err(StorageError::Corrupted { page });
+                }
+                FaultOutcome::Spike => {
+                    self.stats.spikes += 1;
+                    let delay = f.plan.spike_delay;
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+        if self.capacity != 0 {
+            if self.resident.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.note_use(page);
+        }
+        Ok(())
+    }
+
+    /// Record accesses to a contiguous page range, stopping at the first
+    /// injected fault (the record read aborts there).
+    pub fn try_access_range(&mut self, pages: std::ops::Range<PageId>) -> Result<(), StorageError> {
+        for p in pages {
+            self.try_access(p)?;
+        }
+        Ok(())
+    }
+
+    /// Mark `page` resident at the current tick.
+    fn note_use(&mut self, page: PageId) {
+        self.resident.insert(page, self.tick);
+        self.queue.push_back((page, self.tick));
+        // Keep the lazy queue from growing unboundedly.
+        if self.queue.len() > 8 * self.capacity.max(16) {
+            self.compact_queue();
         }
     }
 
@@ -179,6 +261,14 @@ impl BufferPool {
         self.tick = 0;
     }
 
+    /// Drop cached pages but **keep** counters — quarantine support: a
+    /// poisoned shard rebuilds its working set from scratch without losing
+    /// the monotone counters that batch deltas are computed from.
+    pub fn drop_pages(&mut self) {
+        self.resident.clear();
+        self.queue.clear();
+    }
+
     /// Number of currently resident pages.
     pub fn resident_pages(&self) -> usize {
         self.resident.len()
@@ -194,19 +284,21 @@ impl BufferPool {
 mod tests {
     use super::*;
 
+    fn io(logical: u64, faults: u64) -> IoStats {
+        IoStats {
+            logical,
+            faults,
+            ..IoStats::default()
+        }
+    }
+
     #[test]
     fn cold_accesses_fault() {
         let mut p = BufferPool::new(4);
         for i in 0..4 {
             p.access(i);
         }
-        assert_eq!(
-            p.stats(),
-            IoStats {
-                logical: 4,
-                faults: 4
-            }
-        );
+        assert_eq!(p.stats(), io(4, 4));
     }
 
     #[test]
@@ -215,13 +307,7 @@ mod tests {
         p.access(1);
         p.access(1);
         p.access(1);
-        assert_eq!(
-            p.stats(),
-            IoStats {
-                logical: 3,
-                faults: 1
-            }
-        );
+        assert_eq!(p.stats(), io(3, 1));
     }
 
     #[test]
@@ -244,13 +330,7 @@ mod tests {
         for _ in 0..5 {
             p.access(7);
         }
-        assert_eq!(
-            p.stats(),
-            IoStats {
-                logical: 5,
-                faults: 5
-            }
-        );
+        assert_eq!(p.stats(), io(5, 5));
     }
 
     #[test]
@@ -259,13 +339,7 @@ mod tests {
         p.access(9);
         p.reset_stats();
         p.access(9);
-        assert_eq!(
-            p.stats(),
-            IoStats {
-                logical: 1,
-                faults: 0
-            }
-        );
+        assert_eq!(p.stats(), io(1, 0));
     }
 
     #[test]
@@ -274,26 +348,26 @@ mod tests {
         p.access(9);
         p.clear();
         p.access(9);
-        assert_eq!(
-            p.stats(),
-            IoStats {
-                logical: 1,
-                faults: 1
-            }
-        );
+        assert_eq!(p.stats(), io(1, 1));
+    }
+
+    #[test]
+    fn drop_pages_keeps_counters() {
+        let mut p = BufferPool::new(4);
+        p.access(9);
+        p.access(9);
+        p.drop_pages();
+        assert_eq!(p.resident_pages(), 0);
+        assert_eq!(p.stats(), io(2, 1), "counters survive the page drop");
+        p.access(9);
+        assert_eq!(p.stats(), io(3, 2), "re-read faults after the drop");
     }
 
     #[test]
     fn access_range_counts_each_page() {
         let mut p = BufferPool::new(8);
         p.access_range(3..6);
-        assert_eq!(
-            p.stats(),
-            IoStats {
-                logical: 3,
-                faults: 3
-            }
-        );
+        assert_eq!(p.stats(), io(3, 3));
     }
 
     #[test]
@@ -314,16 +388,22 @@ mod tests {
         let a = IoStats {
             logical: 10,
             faults: 4,
+            injected: 2,
+            spikes: 1,
         };
         let b = IoStats {
             logical: 5,
             faults: 1,
+            injected: 1,
+            spikes: 0,
         };
         assert_eq!(
             a + b,
             IoStats {
                 logical: 15,
-                faults: 5
+                faults: 5,
+                injected: 3,
+                spikes: 1,
             }
         );
         assert_eq!((a + b) - b, a);
@@ -336,14 +416,21 @@ mod tests {
 
     #[test]
     fn stats_display_summary() {
-        let s = IoStats {
-            logical: 200,
-            faults: 50,
-        };
+        let s = io(200, 50);
         assert_eq!(s.to_string(), "200 logical, 50 faults (75.0% hit)");
         assert_eq!(
             IoStats::default().to_string(),
             "0 logical, 0 faults (0.0% hit)"
+        );
+        let f = IoStats {
+            logical: 200,
+            faults: 50,
+            injected: 3,
+            spikes: 2,
+        };
+        assert_eq!(
+            f.to_string(),
+            "200 logical, 50 faults (75.0% hit), 3 injected, 2 spikes"
         );
     }
 
@@ -355,5 +442,86 @@ mod tests {
         }
         assert!(p.resident_pages() <= 8);
         assert_eq!(p.stats().logical, 10_000);
+    }
+
+    #[test]
+    fn injected_failures_surface_and_are_counted() {
+        let mut p = BufferPool::new(4);
+        p.set_fault_plan(FaultPlan::failures(3, 1.0, 0.0));
+        assert_eq!(p.try_access(7), Err(StorageError::ReadFailed { page: 7 }));
+        // Charged, counted, and NOT cached (a retry is a fresh miss).
+        assert_eq!(
+            p.stats(),
+            IoStats {
+                logical: 1,
+                faults: 1,
+                injected: 1,
+                spikes: 0
+            }
+        );
+        assert!(!p.is_resident(7));
+    }
+
+    #[test]
+    fn buffer_hits_never_fault() {
+        let mut p = BufferPool::new(4);
+        p.access(7); // cached while fault-free
+        p.set_fault_plan(FaultPlan::failures(3, 1.0, 0.0));
+        // Hit: no physical read, no draw, no failure.
+        assert_eq!(p.try_access(7), Ok(()));
+        assert_eq!(p.stats().injected, 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_served() {
+        let mut p = BufferPool::new(4);
+        p.set_fault_plan(FaultPlan::failures(3, 0.0, 1.0));
+        assert_eq!(p.try_access(9), Err(StorageError::Corrupted { page: 9 }));
+        assert!(!p.is_resident(9));
+    }
+
+    #[test]
+    fn try_access_range_stops_at_first_fault() {
+        let mut p = BufferPool::new(8);
+        p.set_fault_plan(FaultPlan::failures(3, 1.0, 0.0));
+        assert!(p.try_access_range(0..5).is_err());
+        // Only the first page was charged before the abort.
+        assert_eq!(p.stats().logical, 1);
+    }
+
+    #[test]
+    fn same_plan_same_trace_same_outcomes() {
+        let plan = FaultPlan::failures(11, 0.2, 0.1);
+        let run = |plan| {
+            let mut p = BufferPool::new(4);
+            p.set_fault_plan(plan);
+            (0..500u32)
+                .map(|i| p.try_access(i % 37))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(plan), run(plan));
+    }
+
+    #[test]
+    fn retry_can_succeed_after_transient_failure() {
+        // Capacity 0: every access is a physical read, so every attempt
+        // draws a fresh outcome.
+        let mut p = BufferPool::new(0);
+        p.set_fault_plan(FaultPlan::failures(5, 0.5, 0.0));
+        let results: Vec<bool> = (0..64).map(|_| p.try_access(3).is_ok()).collect();
+        assert!(
+            results.iter().any(|&ok| ok),
+            "retries kept failing deterministically"
+        );
+        assert!(p.stats().injected > 0, "and some attempts did fail");
+    }
+
+    #[test]
+    fn inactive_plan_is_not_installed() {
+        let mut p = BufferPool::new(4);
+        p.set_fault_plan(FaultPlan::none());
+        assert_eq!(p.fault_plan(), None);
+        p.set_fault_plan(FaultPlan::failures(1, 0.5, 0.0));
+        assert!(p.fault_plan().is_some());
     }
 }

@@ -1,0 +1,243 @@
+//! Deterministic storage fault injection.
+//!
+//! The disk model in this crate is *perfect* by default: every page access
+//! succeeds. Real disks are not — reads fail transiently, sectors rot, and
+//! tail latencies spike. [`FaultPlan`] describes a seeded, reproducible
+//! schedule of such faults; installed into a [`BufferPool`] it makes the
+//! pool's *physical* reads (buffer misses) probabilistically fail with a
+//! [`StorageError`], while buffer hits — which never touch the disk — stay
+//! infallible, exactly as on real hardware.
+//!
+//! Determinism: outcomes are drawn from a SplitMix64 stream seeded by
+//! [`FaultPlan::seed`], one draw per physical read. The *sequence* of draws
+//! is therefore a pure function of the pool's miss sequence; two identical
+//! access traces over pools with the same plan observe identical faults.
+//! Retrying a failed page is a fresh miss and thus a fresh draw, so a retry
+//! models an independent second attempt rather than deterministically
+//! re-failing forever.
+//!
+//! [`BufferPool`]: crate::buffer::BufferPool
+
+use std::time::Duration;
+
+use crate::layout::PageId;
+
+/// A seeded description of how a storage device misbehaves.
+///
+/// Rates are probabilities in `[0, 1]` applied per *physical* page read
+/// (buffer miss). At most one outcome fires per read, checked in order:
+/// read failure, then corruption, then a latency spike.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic outcome stream.
+    pub seed: u64,
+    /// Probability a physical read fails outright
+    /// ([`StorageError::ReadFailed`]).
+    pub read_fail: f64,
+    /// Probability a physical read returns bit-flipped bytes; the per-page
+    /// checksum catches it and the pool reports
+    /// [`StorageError::Corrupted`] instead of serving garbage.
+    pub corrupt: f64,
+    /// Probability a physical read stalls for [`spike_delay`](Self::spike_delay)
+    /// before succeeding (accounted in [`IoStats::spikes`], and slept if the
+    /// delay is nonzero so latency percentiles show the tail).
+    pub spike: f64,
+    /// Stall duration of a latency spike.
+    pub spike_delay: Duration,
+}
+
+impl FaultPlan {
+    /// The perfect-disk plan: nothing ever fires.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            read_fail: 0.0,
+            corrupt: 0.0,
+            spike: 0.0,
+            spike_delay: Duration::ZERO,
+        }
+    }
+
+    /// A plan with the given failure/corruption rates and no latency spikes.
+    pub fn failures(seed: u64, read_fail: f64, corrupt: f64) -> Self {
+        FaultPlan {
+            seed,
+            read_fail,
+            corrupt,
+            spike: 0.0,
+            spike_delay: Duration::ZERO,
+        }
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.read_fail > 0.0 || self.corrupt > 0.0 || self.spike > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A failed page access. The pool's accounting (logical read + fault) is
+/// already charged when this is returned — the trip to the disk happened,
+/// it just didn't deliver usable bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The device returned an error for this page (transient by default:
+    /// a retry draws a fresh outcome).
+    ReadFailed {
+        /// Page whose read failed.
+        page: PageId,
+    },
+    /// The device returned bytes whose per-page checksum did not match —
+    /// detected corruption, never silently served.
+    Corrupted {
+        /// Page whose content failed its checksum.
+        page: PageId,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::ReadFailed { page } => write!(f, "read of page {page} failed"),
+            StorageError::Corrupted { page } => {
+                write!(f, "page {page} failed its checksum (corrupted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Outcome of one physical read under a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FaultOutcome {
+    Clean,
+    Fail,
+    Corrupt,
+    Spike,
+}
+
+/// Live injector state: the plan plus the position in its outcome stream.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    /// Precomputed thresholds on the u64 draw: `x < fail_t` → fail,
+    /// `x < corrupt_t` → corrupt, `x < spike_t` → spike.
+    fail_t: u64,
+    corrupt_t: u64,
+    spike_t: u64,
+    rng: u64,
+}
+
+fn threshold(rate: f64) -> u64 {
+    // Saturating conversion: rate ≥ 1.0 maps to u64::MAX ("always").
+    (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let fail_t = threshold(plan.read_fail);
+        let corrupt_t = fail_t.saturating_add(threshold(plan.corrupt));
+        let spike_t = corrupt_t.saturating_add(threshold(plan.spike));
+        FaultState {
+            plan,
+            fail_t,
+            corrupt_t,
+            spike_t,
+            // SplitMix64 seeding; the +golden-ratio step keeps seed 0 usable.
+            rng: plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 — tiny, statistically solid for rate thresholds.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draw the outcome for the next physical read.
+    pub(crate) fn draw(&mut self) -> FaultOutcome {
+        let x = self.next_u64();
+        if x < self.fail_t {
+            FaultOutcome::Fail
+        } else if x < self.corrupt_t {
+            FaultOutcome::Corrupt
+        } else if x < self.spike_t {
+            FaultOutcome::Spike
+        } else {
+            FaultOutcome::Clean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_never_fires() {
+        let mut s = FaultState::new(FaultPlan::none());
+        for _ in 0..10_000 {
+            assert_eq!(s.draw(), FaultOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let mut s = FaultState::new(FaultPlan::failures(7, 0.10, 0.05));
+        let (mut fails, mut corrupts) = (0u32, 0u32);
+        let n = 100_000;
+        for _ in 0..n {
+            match s.draw() {
+                FaultOutcome::Fail => fails += 1,
+                FaultOutcome::Corrupt => corrupts += 1,
+                _ => {}
+            }
+        }
+        let fail_rate = fails as f64 / n as f64;
+        let corrupt_rate = corrupts as f64 / n as f64;
+        assert!((fail_rate - 0.10).abs() < 0.01, "fail rate {fail_rate}");
+        assert!(
+            (corrupt_rate - 0.05).abs() < 0.01,
+            "corrupt rate {corrupt_rate}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let plan = FaultPlan::failures(42, 0.3, 0.2);
+        let mut a = FaultState::new(plan);
+        let mut b = FaultState::new(plan);
+        for _ in 0..1000 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn always_fail_threshold_saturates() {
+        let mut s = FaultState::new(FaultPlan::failures(1, 1.0, 0.0));
+        for _ in 0..100 {
+            assert_eq!(s.draw(), FaultOutcome::Fail);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            StorageError::ReadFailed { page: 3 }.to_string(),
+            "read of page 3 failed"
+        );
+        assert_eq!(
+            StorageError::Corrupted { page: 9 }.to_string(),
+            "page 9 failed its checksum (corrupted)"
+        );
+    }
+}

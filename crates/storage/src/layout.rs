@@ -134,6 +134,19 @@ impl PagedStore {
         pool.access_range(self.pages_of(id));
     }
 
+    /// Charge a read of record `id` to `pool`; with a fault plan installed
+    /// on the pool, the read may fail with a [`StorageError`]
+    /// (see [`BufferPool::try_access`]).
+    ///
+    /// [`StorageError`]: crate::fault::StorageError
+    pub fn try_read(
+        &self,
+        id: usize,
+        pool: &mut BufferPool,
+    ) -> Result<(), crate::fault::StorageError> {
+        pool.try_access_range(self.pages_of(id))
+    }
+
     /// Number of pages this store occupies.
     pub fn num_pages(&self) -> u32 {
         self.layout.num_pages()

@@ -23,10 +23,14 @@
 
 pub mod buffer;
 pub mod ccam;
+pub mod checksum;
+pub mod fault;
 pub mod layout;
 pub mod striped;
 
 pub use buffer::{BufferPool, IoStats};
 pub use ccam::ccam_order;
+pub use checksum::{crc32, FrameReader, FrameWriter, MAX_FRAME};
+pub use fault::{FaultPlan, StorageError};
 pub use layout::{PageId, PageLayout, PagedStore, PAGE_SIZE};
 pub use striped::{Striped, StripedPool};

@@ -18,4 +18,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== fault matrix (service equivalence under injected storage faults) =="
+# Re-run the dsi-service fault suite under a matrix of fixed fault seeds:
+# the answers must stay element-wise identical to a fault-free run no
+# matter which deterministic fault schedule fires.
+for seed in 1 2 3; do
+    echo "-- DSI_FAULT_SEED=$seed --"
+    DSI_FAULT_SEED=$seed cargo test -q -p dsi-service --test faults
+done
+
 echo "ci: all checks passed"
