@@ -5,15 +5,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dsi_bench::{paper_network, Scale};
+use dsi_bench::{paper_dataset, paper_network, Scale};
 use dsi_graph::dijkstra::{sssp, sssp_bounded};
 use dsi_graph::{
-    multi_source_with, sssp_bounded_with_backend, sssp_into, sssp_with_backend, NodeId,
+    multi_source_with, sssp_bounded_with_backend, sssp_into, sssp_with_backend, NodeId, ObjectId,
     QueueBackend, SsspWorkspace,
 };
 use dsi_rtree::{RTree, Rect};
 use dsi_signature::bits::BitWriter;
 use dsi_signature::encode::ReverseZeroPadding;
+use dsi_signature::{SignatureConfig, SignatureIndex};
 use dsi_storage::{ccam_order, BufferPool, PagedStore};
 
 fn bench_substrates(c: &mut Criterion) {
@@ -170,6 +171,43 @@ fn bench_substrates(c: &mut Criterion) {
             sum
         })
     });
+
+    // Entry-granular decode through the skip directory: one random entry at
+    // the default stride, and the worst-case run replay (last entry of a
+    // run) at K=4 and K=16.
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+    let idx = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
+    let d = idx.num_objects() as u32;
+    group.bench_function("decode_single_entry", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let n = NodeId(i.wrapping_mul(997) % net.num_nodes() as u32);
+            let o = ObjectId(i.wrapping_mul(31) % d);
+            idx.decode_entry(n, o)
+        })
+    });
+    for k in [4usize, 16] {
+        let idx = SignatureIndex::build(
+            &net,
+            &objects,
+            &SignatureConfig {
+                skip_stride: k,
+                ..Default::default()
+            },
+        );
+        group.bench_function(format!("decode_entry_run_k{k}").as_str(), |b| {
+            let runs = (d as usize).div_ceil(k) as u32;
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let n = NodeId(i.wrapping_mul(997) % net.num_nodes() as u32);
+                // Last entry of a run — the full K-entry replay.
+                let o = ObjectId((i.wrapping_mul(31) % runs * k as u32 + k as u32 - 1).min(d - 1));
+                idx.decode_entry(n, o)
+            })
+        });
+    }
     group.finish();
 }
 

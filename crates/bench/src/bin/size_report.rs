@@ -1,0 +1,31 @@
+//! Index size accounting with the entry-decode skip directory broken out,
+//! as one JSON object on stdout — `scripts/bench_snapshot.sh` merges it
+//! into the benchmark snapshot under `.skip_directory`.
+//!
+//! Scale comes from the usual `DSI_NODES` / `DSI_SEED` environment knobs.
+
+use dsi_bench::{paper_dataset, paper_network, Scale};
+use dsi_signature::{SignatureConfig, SignatureIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    let net = paper_network(&scale);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+    let config = SignatureConfig::default();
+    let idx = SignatureIndex::build(&net, &objects, &config);
+
+    let disk = idx.disk_bytes();
+    let dir_bytes = idx.report.directory_bits.div_ceil(8);
+    println!(
+        "{{\"nodes\": {}, \"objects\": {}, \"skip_stride\": {}, \
+         \"disk_bytes\": {}, \"directory_bytes\": {}, \
+         \"directory_bytes_per_node\": {:.2}, \"directory_frac_of_disk\": {:.4}}}",
+        net.num_nodes(),
+        idx.num_objects(),
+        idx.skip_stride(),
+        disk,
+        dir_bytes,
+        dir_bytes as f64 / net.num_nodes() as f64,
+        dir_bytes as f64 / disk as f64,
+    );
+}

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::ObjectSet;
 use dsi_service::{generate, QueryService, ServiceConfig, Skew, WorkloadConfig};
-use dsi_signature::SignatureConfig;
+use dsi_signature::{EntryDecodeMode, SignatureConfig};
 use dsi_storage::FaultPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +37,7 @@ struct Args {
     fault_rate: f64,
     corrupt_rate: f64,
     fault_seed: u64,
+    entry_decode: EntryDecodeMode,
 }
 
 impl Default for Args {
@@ -55,6 +56,7 @@ impl Default for Args {
             fault_rate: 0.0,
             corrupt_rate: 0.0,
             fault_seed: 0xFA01,
+            entry_decode: EntryDecodeMode::default(),
         }
     }
 }
@@ -76,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--fault-rate" => args.fault_rate = parse(&value("--fault-rate")?)?,
             "--corrupt-rate" => args.corrupt_rate = parse(&value("--corrupt-rate")?)?,
             "--fault-seed" => args.fault_seed = parse(&value("--fault-seed")?)?,
+            "--entry-decode" => args.entry_decode = parse(&value("--entry-decode")?)?,
             "--sweep" => args.sweep = true,
             "--skew" => {
                 let v = value("--skew")?;
@@ -93,14 +96,22 @@ fn parse_args() -> Result<Args, String> {
                      \x20               [--shards N] [--pool-pages N] [--skew uniform|zipf:THETA]\n\
                      \x20               [--seed N] [--sweep] [--updates N]\n\
                      \x20               [--fault-rate F] [--corrupt-rate F] [--fault-seed N]\n\
+                     \x20               [--entry-decode on|off|auto]\n\
                      \n\
                      --fault-rate F    inject read failures on fraction F of physical reads\n\
                      --corrupt-rate F  inject page corruption on fraction F of physical reads\n\
-                     --fault-seed N    seed for the deterministic fault stream"
+                     --fault-seed N    seed for the deterministic fault stream\n\
+                     --entry-decode M  entry-granular decode: on, off (full decode), or\n\
+                     \x20                 auto (default; per-request crossover heuristic)"
                 );
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag {other:?} (try --help)")),
+            other => match other.split_once('=') {
+                // Long flags also accept the `--flag=value` spelling; feed
+                // the split pieces back through the same machinery.
+                Some(("--entry-decode", v)) => args.entry_decode = parse(v)?,
+                _ => return Err(format!("unknown flag {other:?} (try --help)")),
+            },
         }
     }
     Ok(args)
@@ -154,9 +165,11 @@ fn main() -> ExitCode {
             shards: args.shards,
             pool_pages: args.pool_pages,
             fault_plan,
+            entry_decode: args.entry_decode,
             ..Default::default()
         },
     );
+    println!("entry decode: {:?}", args.entry_decode);
     let batch = generate(
         service.net(),
         &WorkloadConfig {

@@ -65,8 +65,8 @@ use dsi_signature::query::aggregate::RangeAggregate;
 use dsi_signature::query::join::try_self_epsilon_join;
 use dsi_signature::update::UpdateReport;
 use dsi_signature::{
-    KnnResult, KnnType, OpResult, OpStats, Session, SessionState, SignatureConfig, SignatureIndex,
-    SignatureMaintainer,
+    EntryDecodeMode, KnnResult, KnnType, OpResult, OpStats, Session, SessionState, SignatureConfig,
+    SignatureIndex, SignatureMaintainer,
 };
 use dsi_storage::{FaultPlan, IoStats, Striped};
 
@@ -108,6 +108,11 @@ pub struct ServiceConfig {
     /// before the service gives up on the fast path and answers via the
     /// exact Dijkstra fallback.
     pub retry_budget: u32,
+    /// Whether shard sessions serve point lookups through entry-granular
+    /// decode ([`EntryDecodeMode::Auto`] by default). `Off` forces the
+    /// pre-skip-directory full-decode path — the A/B lever for the workload
+    /// driver's `--entry-decode` switch.
+    pub entry_decode: EntryDecodeMode,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +122,7 @@ impl Default for ServiceConfig {
             pool_pages: 64,
             fault_plan: FaultPlan::none(),
             retry_budget: 2,
+            entry_decode: EntryDecodeMode::default(),
         }
     }
 }
@@ -160,6 +166,7 @@ pub struct QueryService {
     pool_pages: usize,
     fault_plan: FaultPlan,
     retry_budget: u32,
+    entry_decode: EntryDecodeMode,
     /// Shards quarantined so far (cold-restarted after repeated degraded
     /// queries).
     quarantines: AtomicU64,
@@ -204,6 +211,7 @@ impl QueryService {
             pool_pages: cfg.pool_pages,
             fault_plan: cfg.fault_plan,
             retry_budget: cfg.retry_budget,
+            entry_decode: cfg.entry_decode,
             quarantines: AtomicU64::new(0),
             wal: None,
             log_dir: None,
@@ -315,11 +323,13 @@ impl QueryService {
     /// A cold session for a shard that has none yet, wired to the service's
     /// fault plan.
     fn fresh_state(&self) -> SessionState {
-        if self.fault_plan.is_active() {
+        let mut state = if self.fault_plan.is_active() {
             SessionState::with_fault_plan(self.pool_pages, self.fault_plan)
         } else {
             SessionState::new(self.pool_pages)
-        }
+        };
+        state.set_entry_decode(self.entry_decode);
+        state
     }
 
     /// Execute one query under its shard's lock on the signature index,

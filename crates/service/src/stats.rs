@@ -93,17 +93,26 @@ impl BatchReport {
     /// Multi-line human-readable summary (workload driver, service logs).
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "{} queries, {} workers: {:.1} q/s over {:.3} ms\n  io: {}\n  ops: {} sig reads, {} hops, {} exact + {} approx comparisons\n",
+            "{} queries, {} workers: {:.1} q/s over {:.3} ms\n  io: {}\n  ops: {} sig reads, {} entry reads, {} hops, {} exact + {} approx comparisons\n",
             self.outputs.len(),
             self.workers,
             self.throughput_qps(),
             self.wall.as_secs_f64() * 1e3,
             self.io,
             self.ops.signature_reads,
+            self.ops.entry_reads,
             self.ops.hops,
             self.ops.exact_comparisons,
             self.ops.approx_comparisons,
         );
+        let decode_probes = self.ops.decode_cache_hits + self.ops.decode_cache_misses;
+        let entry_probes = self.ops.entry_cache_hits + self.ops.entry_cache_misses;
+        if decode_probes > 0 || entry_probes > 0 {
+            out.push_str(&format!(
+                "  cache: decode {}/{} hits, entry {}/{} hits\n",
+                self.ops.decode_cache_hits, decode_probes, self.ops.entry_cache_hits, entry_probes,
+            ));
+        }
         if self.ops.retries > 0 || self.degraded_count() > 0 {
             out.push_str(&format!(
                 "  faults: {} retries, {} degraded of {} queries\n",

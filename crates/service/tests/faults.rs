@@ -5,12 +5,14 @@
 //! never change, only the counters do.
 //!
 //! The fault seed honours `DSI_FAULT_SEED` so CI can re-run the suite
-//! under a matrix of fixed seeds (see `scripts/ci.sh`).
+//! under a matrix of fixed seeds, and the session decode path honours
+//! `DSI_ENTRY_DECODE` (`on`/`off`/`auto`) so the same matrix covers both
+//! the entry-granular and the full-decode read paths (see `scripts/ci.sh`).
 
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::{sssp, ObjectSet};
 use dsi_service::{generate, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
-use dsi_signature::SignatureConfig;
+use dsi_signature::{EntryDecodeMode, SignatureConfig};
 use dsi_storage::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,12 +24,23 @@ fn fault_seed() -> u64 {
         .unwrap_or(0xFA01)
 }
 
+fn entry_mode() -> EntryDecodeMode {
+    std::env::var("DSI_ENTRY_DECODE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_default()
+}
+
 /// A deterministic 300-node service. `pool_pages` is kept *below* the
 /// index's working set on purpose: faults fire only on physical reads, and
 /// an LRU pool smaller than the page set thrashs, keeping the miss (and
 /// therefore fault) stream busy. `retry_budget: 1` makes degradation
 /// reachable without a pathological fault rate.
 fn build(plan: FaultPlan) -> QueryService {
+    build_with(plan, entry_mode())
+}
+
+fn build_with(plan: FaultPlan, entry_decode: EntryDecodeMode) -> QueryService {
     let mut rng = StdRng::seed_from_u64(7);
     let net = random_planar(
         &PlanarConfig {
@@ -46,6 +59,7 @@ fn build(plan: FaultPlan) -> QueryService {
             pool_pages: 2,
             fault_plan: plan,
             retry_budget: 1,
+            entry_decode,
         },
     )
 }
@@ -151,5 +165,38 @@ fn sustained_faults_quarantine_shards_without_changing_answers() {
         got.ops.signature_reads < 1 << 40,
         "ops delta wrapped: {:?}",
         got.ops
+    );
+}
+
+#[test]
+fn entry_decode_on_and_off_answer_identically() {
+    // The A/B pair behind `workload --entry-decode`: the entry-granular
+    // path and the legacy full-decode path must be element-wise equal on a
+    // mixed batch, fault-free and under the same logical page accounting.
+    let on = build_with(FaultPlan::none(), EntryDecodeMode::On);
+    let off = build_with(FaultPlan::none(), EntryDecodeMode::Off);
+    let batch = mixed_batch(&on, 600);
+
+    let got_on = on.serve_batch(&batch, 4);
+    let got_off = off.serve_batch(&batch, 4);
+
+    for (i, (a, b)) in got_on.outputs.iter().zip(&got_off.outputs).enumerate() {
+        assert_eq!(
+            a, b,
+            "query {i} ({:?}) diverged across decode modes",
+            batch[i]
+        );
+    }
+    assert_eq!(
+        got_on.io.logical, got_off.io.logical,
+        "entry decode changed the logical page-access charge"
+    );
+    assert!(
+        got_on.ops.entry_reads > 0,
+        "On mode never took the entry path"
+    );
+    assert_eq!(
+        got_off.ops.entry_reads, 0,
+        "Off mode must stay on full decode"
     );
 }

@@ -82,6 +82,17 @@ impl BitBox {
         BitReader { bits: self, pos: 0 }
     }
 
+    /// Sequential reader starting at absolute bit offset `pos` — random
+    /// access for skip-directory decoding, where `pos` is a recorded entry
+    /// boundary.
+    ///
+    /// # Panics
+    /// If `pos` lies past the end of the buffer.
+    pub fn reader_at(&self, pos: usize) -> BitReader<'_> {
+        assert!(pos <= self.len, "seek past end of bit string");
+        BitReader { bits: self, pos }
+    }
+
     /// Backing words (persistence support).
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -142,6 +153,11 @@ impl<'a> BitReader<'a> {
     /// Bits remaining.
     pub fn remaining(&self) -> usize {
         self.bits.len() - self.pos
+    }
+
+    /// Absolute bit position of the cursor.
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 }
 
@@ -210,6 +226,36 @@ mod tests {
         let mut r = bb.reader();
         r.read_bit();
         r.read_bit();
+    }
+
+    #[test]
+    fn reader_at_resumes_mid_stream() {
+        let mut w = BitWriter::new();
+        for i in 0..100u64 {
+            w.push_bits(i % 32, 5);
+        }
+        let bb = w.finish();
+        for start in [0usize, 7, 64, 65, 499] {
+            let mut seek = bb.reader_at(start);
+            let mut seq = bb.reader();
+            for _ in 0..start {
+                seq.read_bit();
+            }
+            assert_eq!(seek.pos(), seq.pos());
+            while seq.remaining() > 0 {
+                assert_eq!(seek.read_bit(), seq.read_bit());
+            }
+        }
+        assert_eq!(bb.reader_at(bb.len()).remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reader_at_past_end_panics() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        let bb = w.finish();
+        let _ = bb.reader_at(2);
     }
 
     #[test]

@@ -110,6 +110,47 @@ pub fn compression_flags(
     }
 }
 
+/// The anchors a skip directory must carry so a compressed entry resolves
+/// without replaying the signature prefix: the global anchor, or one per
+/// distinct link that actually governs a flagged entry. Anchors are never
+/// flagged themselves, so the minimum over uncompressed entries (what
+/// [`resolve`] re-derives at decode time) equals the minimum over all
+/// entries — the carried anchors are exactly the resolve-time ones.
+pub(crate) fn entry_anchors(
+    scheme: CompressionScheme,
+    cats: &[u8],
+    links: &[Slot],
+    flags: &[bool],
+) -> Vec<crate::skip::EntryAnchor> {
+    if !flags.contains(&true) {
+        return Vec::new();
+    }
+    let anchor_at = |u: usize| crate::skip::EntryAnchor {
+        link: links[u],
+        obj: u as u32,
+        cat: cats[u],
+    };
+    match scheme {
+        CompressionScheme::GlobalAnchor => {
+            let u = global_anchor(cats, |v| !flags[v]).expect("flagged entry without anchor");
+            vec![anchor_at(u)]
+        }
+        CompressionScheme::PerLinkAnchor => {
+            let needed: std::collections::HashSet<Slot> = (0..flags.len())
+                .filter(|&v| flags[v])
+                .map(|v| links[v])
+                .collect();
+            let map = anchors(cats, links, |v| !flags[v]);
+            let mut out: Vec<crate::skip::EntryAnchor> = needed
+                .into_iter()
+                .map(|l| anchor_at(*map.get(&l).expect("compressed link without anchor")))
+                .collect();
+            out.sort_unstable_by_key(|a| a.link);
+            out
+        }
+    }
+}
+
 /// Decompression: rewrite flagged entries of `cats` (and, for the global
 /// scheme, `links`) from the anchor and the object-distance table.
 pub fn resolve(
@@ -302,6 +343,39 @@ mod tests {
         );
         assert_eq!(stored, cats);
         assert_eq!(stored_links, links, "links recovered from the anchor");
+    }
+
+    #[test]
+    fn entry_anchors_cover_all_flagged_entries() {
+        let p = partition();
+        let t = table(&[(0, 1, 45), (0, 2, 25), (1, 2, 30)], 3);
+        let cats = vec![1u8, 3, 2];
+        for (scheme, links) in [
+            (CompressionScheme::PerLinkAnchor, vec![0u8, 0, 0]),
+            (CompressionScheme::GlobalAnchor, vec![4u8, 4, 4]),
+        ] {
+            let flags = compression_flags(scheme, &p, &t, &cats, &links);
+            assert!(flags.iter().any(|&f| f), "{scheme:?}: something must flag");
+            let anchors = entry_anchors(scheme, &cats, &links, &flags);
+            for v in 0..cats.len() {
+                if flags[v] {
+                    let a = anchors
+                        .iter()
+                        .find(|a| a.link == links[v])
+                        .expect("anchor for flagged link");
+                    assert!(!flags[a.obj as usize], "anchor must be uncompressed");
+                    assert_eq!(a.cat, cats[a.obj as usize]);
+                }
+            }
+        }
+        // No flags → no anchor carriage.
+        let none = entry_anchors(
+            CompressionScheme::GlobalAnchor,
+            &cats,
+            &[0, 1, 2],
+            &[false; 3],
+        );
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -35,11 +35,13 @@ pub mod index;
 pub mod ops;
 pub mod persist;
 pub mod query;
+pub mod skip;
 pub mod update;
 
 pub use category::{CategoryPartition, DistRange};
 pub use cross::CrossNodeIndex;
 pub use index::{SignatureConfig, SignatureIndex, SizeReport};
-pub use ops::{OpResult, OpStats, Session, SessionState};
+pub use ops::{EntryDecodeMode, OpResult, OpStats, Session, SessionState};
 pub use query::knn::{KnnResult, KnnType};
+pub use skip::{EntryAnchor, SkipDirectory};
 pub use update::SignatureMaintainer;

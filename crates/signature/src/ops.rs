@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dsi_graph::network::Slot;
 use dsi_graph::{Dist, NodeId, ObjectId, RoadNetwork};
 use dsi_storage::{BufferPool, FaultPlan, IoStats, StorageError};
 
@@ -30,11 +31,50 @@ use crate::index::{DecodedSignature, SignatureIndex};
 /// fail with a [`StorageError`]. Without a plan, the error is impossible.
 pub type OpResult<T> = Result<T, StorageError>;
 
+/// How a session serves single-entry signature lookups
+/// ([`Session::try_read_entry`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EntryDecodeMode {
+    /// Always decode through the skip directory, however wide the request.
+    On,
+    /// Always decode the whole signature (the pre-directory behavior) —
+    /// the A/B baseline.
+    Off,
+    /// Entry decode for narrow lookups; fall back to a whole-signature
+    /// decode when one request covers `≥ D / K` objects, at which point a
+    /// full pass decodes fewer entries than the per-run replays would.
+    #[default]
+    Auto,
+}
+
+impl std::str::FromStr for EntryDecodeMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "on" => Ok(EntryDecodeMode::On),
+            "off" => Ok(EntryDecodeMode::Off),
+            "auto" => Ok(EntryDecodeMode::Auto),
+            _ => Err(format!("unknown entry-decode mode {s:?} (on|off|auto)")),
+        }
+    }
+}
+
 /// Operation counters (CPU-side cost proxies).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpStats {
-    /// Signature records read (logical).
+    /// Signature records read and decoded in full (logical).
     pub signature_reads: u64,
+    /// Signature records read for an entry-granular decode (logical): same
+    /// page charge as a full read, but only the target run is decoded.
+    pub entry_reads: u64,
+    /// Whole-node decode cache hits (tier 2), from either access path.
+    pub decode_cache_hits: u64,
+    /// Whole-node decode cache misses.
+    pub decode_cache_misses: u64,
+    /// Per-(node, object) entry cache hits (tier 1, entry path only).
+    pub entry_cache_hits: u64,
+    /// Per-(node, object) entry cache misses.
+    pub entry_cache_misses: u64,
     /// Backtracking hops taken by retrievals.
     pub hops: u64,
     /// Exact comparisons performed.
@@ -56,6 +96,11 @@ impl std::ops::Add for OpStats {
     fn add(self, rhs: OpStats) -> OpStats {
         OpStats {
             signature_reads: self.signature_reads + rhs.signature_reads,
+            entry_reads: self.entry_reads + rhs.entry_reads,
+            decode_cache_hits: self.decode_cache_hits + rhs.decode_cache_hits,
+            decode_cache_misses: self.decode_cache_misses + rhs.decode_cache_misses,
+            entry_cache_hits: self.entry_cache_hits + rhs.entry_cache_hits,
+            entry_cache_misses: self.entry_cache_misses + rhs.entry_cache_misses,
             hops: self.hops + rhs.hops,
             exact_comparisons: self.exact_comparisons + rhs.exact_comparisons,
             approx_comparisons: self.approx_comparisons + rhs.approx_comparisons,
@@ -78,6 +123,11 @@ impl std::ops::Sub for OpStats {
     fn sub(self, rhs: OpStats) -> OpStats {
         OpStats {
             signature_reads: self.signature_reads - rhs.signature_reads,
+            entry_reads: self.entry_reads - rhs.entry_reads,
+            decode_cache_hits: self.decode_cache_hits - rhs.decode_cache_hits,
+            decode_cache_misses: self.decode_cache_misses - rhs.decode_cache_misses,
+            entry_cache_hits: self.entry_cache_hits - rhs.entry_cache_hits,
+            entry_cache_misses: self.entry_cache_misses - rhs.entry_cache_misses,
             hops: self.hops - rhs.hops,
             exact_comparisons: self.exact_comparisons - rhs.exact_comparisons,
             approx_comparisons: self.approx_comparisons - rhs.approx_comparisons,
@@ -107,6 +157,25 @@ impl std::fmt::Display for OpStats {
             self.approx_comparisons,
             self.votes
         )?;
+        if self.entry_reads > 0 {
+            write!(f, ", {} entry reads", self.entry_reads)?;
+        }
+        if self.decode_cache_hits + self.decode_cache_misses > 0 {
+            write!(
+                f,
+                ", decode cache {}/{}",
+                self.decode_cache_hits,
+                self.decode_cache_hits + self.decode_cache_misses
+            )?;
+        }
+        if self.entry_cache_hits + self.entry_cache_misses > 0 {
+            write!(
+                f,
+                ", entry cache {}/{}",
+                self.entry_cache_hits,
+                self.entry_cache_hits + self.entry_cache_misses
+            )?;
+        }
         if self.retries > 0 {
             write!(f, ", {} retries", self.retries)?;
         }
@@ -185,6 +254,51 @@ impl DecodeCache {
     }
 }
 
+/// Tier-1 entry cache for the entry-decode path: a fixed, direct-mapped
+/// array of decoded `(node, object) → (category, link)` entries. A
+/// collision simply overwrites — no probing, no allocation, no eviction
+/// bookkeeping on the hot path. Backtracking walks alternate between a
+/// handful of (node, object) pairs, which is exactly the access pattern a
+/// direct-mapped cache serves well.
+struct EntryCache {
+    slots: Vec<Option<(NodeId, ObjectId, u8, Slot)>>,
+    mask: usize,
+}
+
+impl EntryCache {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(64);
+        EntryCache {
+            slots: vec![None; cap],
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, n: NodeId, o: ObjectId) -> usize {
+        let h = ((n.0 as u64) << 32 | o.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h ^ (h >> 32)) as usize) & self.mask
+    }
+
+    #[inline]
+    fn get(&self, n: NodeId, o: ObjectId) -> Option<(u8, Slot)> {
+        match self.slots[self.slot_of(n, o)] {
+            Some((cn, co, cat, link)) if cn == n && co == o => Some((cat, link)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, n: NodeId, o: ObjectId, cat: u8, link: Slot) {
+        let s = self.slot_of(n, o);
+        self.slots[s] = Some((n, o, cat, link));
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
 /// A [`Session`]'s mutable state, detached from the index borrow: buffer
 /// pool, decode cache, and counters.
 ///
@@ -196,6 +310,8 @@ impl DecodeCache {
 pub struct SessionState {
     pool: BufferPool,
     cache: DecodeCache,
+    entries: EntryCache,
+    mode: EntryDecodeMode,
     stats: OpStats,
     /// Index generation the decode cache was filled under; compared against
     /// [`SignatureIndex::generation`] on [`Session::resume`], which clears
@@ -211,9 +327,21 @@ impl SessionState {
         SessionState {
             pool: BufferPool::new(pool_pages),
             cache: DecodeCache::new(pool_pages.max(16) * 4),
+            entries: EntryCache::new(pool_pages.max(16) * 64),
+            mode: EntryDecodeMode::default(),
             stats: OpStats::default(),
             generation: 0,
         }
+    }
+
+    /// Choose how entry lookups are served (see [`EntryDecodeMode`]).
+    pub fn set_entry_decode(&mut self, mode: EntryDecodeMode) {
+        self.mode = mode;
+    }
+
+    /// The entry-decode mode in force.
+    pub fn entry_decode(&self) -> EntryDecodeMode {
+        self.mode
     }
 
     /// Fresh state whose buffer pool injects faults per `plan` (see
@@ -241,6 +369,7 @@ impl SessionState {
     /// a cold decode cache.
     pub fn invalidate_cache(&mut self) {
         self.cache.clear();
+        self.entries.clear();
     }
 
     /// Count one fault-triggered retry of a query attempt.
@@ -259,6 +388,7 @@ impl SessionState {
     pub fn quarantine(&mut self) {
         self.pool.drop_pages();
         self.cache.clear();
+        self.entries.clear();
     }
 
     /// Zero I/O and operation counters, keeping caches warm.
@@ -274,6 +404,8 @@ pub struct Session<'a> {
     net: &'a RoadNetwork,
     pool: BufferPool,
     cache: DecodeCache,
+    entries: EntryCache,
+    mode: EntryDecodeMode,
     pub stats: OpStats,
 }
 
@@ -298,12 +430,15 @@ impl<'a> Session<'a> {
     ) -> Self {
         if state.generation != index.generation() {
             state.cache.clear();
+            state.entries.clear();
         }
         Session {
             index,
             net,
             pool: state.pool,
             cache: state.cache,
+            entries: state.entries,
+            mode: state.mode,
             stats: state.stats,
         }
     }
@@ -313,6 +448,8 @@ impl<'a> Session<'a> {
         SessionState {
             pool: self.pool,
             cache: self.cache,
+            entries: self.entries,
+            mode: self.mode,
             stats: self.stats,
             // Every decode cached in this session came from the index as it
             // is *now* (resume cleared anything older).
@@ -345,7 +482,18 @@ impl<'a> Session<'a> {
     pub fn cold_reset(&mut self) {
         self.pool.clear();
         self.cache.clear();
+        self.entries.clear();
         self.stats = OpStats::default();
+    }
+
+    /// Choose how entry lookups are served (see [`EntryDecodeMode`]).
+    pub fn set_entry_decode(&mut self, mode: EntryDecodeMode) {
+        self.mode = mode;
+    }
+
+    /// The entry-decode mode in force.
+    pub fn entry_decode(&self) -> EntryDecodeMode {
+        self.mode
     }
 
     /// Read (and decode) node `n`'s signature, charging the page accesses.
@@ -355,11 +503,90 @@ impl<'a> Session<'a> {
         self.index.store().try_read(n.index(), &mut self.pool)?;
         self.stats.signature_reads += 1;
         if let Some(sig) = self.cache.get(n) {
+            self.stats.decode_cache_hits += 1;
             return Ok(sig);
         }
+        self.stats.decode_cache_misses += 1;
         let sig = Arc::new(self.index.decode_node(n));
         self.cache.insert(n, Arc::clone(&sig));
         Ok(sig)
+    }
+
+    /// Read the single signature entry `(n, o)` — `(category, link)` —
+    /// charging the same record read as [`try_read_signature`] but decoding
+    /// only the ≤K-entry run containing `o` (the skip-directory hot path).
+    /// Serves from the per-entry cache (tier 1), then the whole-node decode
+    /// cache (tier 2), before touching the blob; the entry path never
+    /// *populates* tier 2 — point lookups must not evict whole-node decodes
+    /// that classification scans rely on.
+    pub fn try_read_entry(&mut self, n: NodeId, o: ObjectId) -> OpResult<(u8, Slot)> {
+        if self.mode == EntryDecodeMode::Off {
+            let sig = self.try_read_signature(n)?;
+            return Ok((sig.cats[o.index()], sig.links[o.index()]));
+        }
+        self.index.store().try_read(n.index(), &mut self.pool)?;
+        self.stats.entry_reads += 1;
+        if let Some(v) = self.entries.get(n, o) {
+            self.stats.entry_cache_hits += 1;
+            return Ok(v);
+        }
+        self.stats.entry_cache_misses += 1;
+        if let Some(sig) = self.cache.get(n) {
+            self.stats.decode_cache_hits += 1;
+            let v = (sig.cats[o.index()], sig.links[o.index()]);
+            self.entries.put(n, o, v.0, v.1);
+            return Ok(v);
+        }
+        self.stats.decode_cache_misses += 1;
+        let v = self.index.decode_entry(n, o);
+        self.entries.put(n, o, v.0, v.1);
+        Ok(v)
+    }
+
+    /// Batched [`try_read_entry`](Self::try_read_entry): one record read
+    /// charges the whole request, targets sharing a run share decode work.
+    /// Under [`EntryDecodeMode::Auto`], a request covering `≥ D / K`
+    /// objects falls back to a full decode — at that density a single
+    /// sequential pass is cheaper than the per-run replays.
+    pub fn try_read_entries(&mut self, n: NodeId, objs: &[ObjectId]) -> OpResult<Vec<(u8, Slot)>> {
+        let wide = objs.len() * self.index.skip_stride() >= self.index.num_objects();
+        if self.mode == EntryDecodeMode::Off || (self.mode == EntryDecodeMode::Auto && wide) {
+            let sig = self.try_read_signature(n)?;
+            return Ok(objs
+                .iter()
+                .map(|o| (sig.cats[o.index()], sig.links[o.index()]))
+                .collect());
+        }
+        self.index.store().try_read(n.index(), &mut self.pool)?;
+        self.stats.entry_reads += 1;
+        if let Some(sig) = self.cache.get(n) {
+            self.stats.decode_cache_hits += 1;
+            return Ok(objs
+                .iter()
+                .map(|o| (sig.cats[o.index()], sig.links[o.index()]))
+                .collect());
+        }
+        self.stats.decode_cache_misses += 1;
+        let mut out = vec![(0u8, 0 as Slot); objs.len()];
+        let mut missing = Vec::new();
+        for (i, &o) in objs.iter().enumerate() {
+            if let Some(v) = self.entries.get(n, o) {
+                self.stats.entry_cache_hits += 1;
+                out[i] = v;
+            } else {
+                self.stats.entry_cache_misses += 1;
+                missing.push(i);
+            }
+        }
+        if !missing.is_empty() {
+            let req: Vec<ObjectId> = missing.iter().map(|&i| objs[i]).collect();
+            let got = self.index.decode_entries(n, &req);
+            for (j, &i) in missing.iter().enumerate() {
+                out[i] = got[j];
+                self.entries.put(n, objs[i], got[j].0, got[j].1);
+            }
+        }
+        Ok(out)
     }
 
     /// Infallible [`try_read_signature`](Self::try_read_signature) for
@@ -369,9 +596,10 @@ impl<'a> Session<'a> {
             .expect("storage fault on a session without a fault plan")
     }
 
-    /// Invalidate the decode cache (after index maintenance).
+    /// Invalidate the decode and entry caches (after index maintenance).
     pub fn invalidate_cache(&mut self) {
         self.cache.clear();
+        self.entries.clear();
     }
 
     /// §3.2.1 exact retrieval: follow the backtracking links from `n` to the
@@ -383,8 +611,10 @@ impl<'a> Session<'a> {
         let mut acc: Dist = 0;
         let mut hops = 0usize;
         while cur != host {
-            let sig = self.try_read_signature(cur)?;
-            let (next, w) = self.net.neighbor_at(cur, sig.links[a.index()]);
+            // Only `a`'s link matters per hop — an entry read, not a full
+            // signature decode.
+            let (_, link) = self.try_read_entry(cur, a)?;
+            let (next, w) = self.net.neighbor_at(cur, link);
             acc += w;
             cur = next;
             self.stats.hops += 1;
@@ -412,8 +642,8 @@ impl<'a> Session<'a> {
         let mut path = vec![n];
         let mut cur = n;
         while cur != host {
-            let sig = self.try_read_signature(cur)?;
-            let (next, _) = self.net.neighbor_at(cur, sig.links[a.index()]);
+            let (_, link) = self.try_read_entry(cur, a)?;
+            let (next, _) = self.net.neighbor_at(cur, link);
             path.push(next);
             cur = next;
             self.stats.hops += 1;
@@ -448,16 +678,12 @@ impl<'a> Session<'a> {
             if cur == host {
                 return Ok(DistRange::exact(acc));
             }
-            let sig = self.try_read_signature(cur)?;
-            let r = self
-                .index
-                .partition()
-                .range_of(sig.cats[a.index()])
-                .offset(acc);
+            let (cat, link) = self.try_read_entry(cur, a)?;
+            let r = self.index.partition().range_of(cat).offset(acc);
             if !r.partially_intersects(&delta) {
                 return Ok(r);
             }
-            let (next, w) = self.net.neighbor_at(cur, sig.links[a.index()]);
+            let (next, w) = self.net.neighbor_at(cur, link);
             acc += w;
             cur = next;
             self.stats.hops += 1;
@@ -480,8 +706,8 @@ impl<'a> Session<'a> {
         b: ObjectId,
     ) -> OpResult<std::cmp::Ordering> {
         self.stats.exact_comparisons += 1;
-        let sig = self.try_read_signature(n)?;
-        let (ca, cb) = (sig.cats[a.index()], sig.cats[b.index()]);
+        let ent = self.try_read_entries(n, &[a, b])?;
+        let (ca, cb) = (ent[0].0, ent[1].0);
         if ca != cb {
             // Algorithm 2, line 1–2: distinct categories decide directly.
             return Ok(ca.cmp(&cb));
@@ -550,8 +776,15 @@ impl<'a> Session<'a> {
         observers: &[u32],
     ) -> OpResult<RangeOrdering> {
         self.stats.approx_comparisons += 1;
-        let sig = self.try_read_signature(n)?;
-        let (ca, cb) = (sig.cats[a.index()], sig.cats[b.index()]);
+        // One batched entry read covers both operands and every observer
+        // candidate; under a wide observer set the Auto crossover turns
+        // this into the old whole-signature decode.
+        let mut req: Vec<ObjectId> = Vec::with_capacity(observers.len() + 2);
+        req.push(a);
+        req.push(b);
+        req.extend(observers.iter().map(|&i| ObjectId(i)));
+        let ent = self.try_read_entries(n, &req)?;
+        let (ca, cb) = (ent[0].0, ent[1].0);
         if ca != cb {
             return Ok(if ca < cb {
                 RangeOrdering::Less
@@ -584,11 +817,11 @@ impl<'a> Session<'a> {
         let h_max = (ub * ub - xm * xm).sqrt();
 
         let (mut votes_a, mut votes_b) = (0u32, 0u32);
-        for &i in observers {
-            let i = i as usize;
-            let obs = ObjectId(i as u32);
+        for (j, &i) in observers.iter().enumerate() {
+            let obs = ObjectId(i);
+            let obs_cat = ent[j + 2].0;
             // Observers are the objects closer to n than a and b (line 3).
-            if sig.cats[i] >= ca || obs == a || obs == b {
+            if obs_cat >= ca || obs == a || obs == b {
                 continue;
             }
             let (Some(dai), Some(dbi)) = (
@@ -600,7 +833,7 @@ impl<'a> Session<'a> {
             if dai == dbi {
                 continue; // observer on the bisector itself: no information
             }
-            let obs_range = part.range_of(sig.cats[i]);
+            let obs_range = part.range_of(obs_cat);
             if obs_range.hi == dsi_graph::INFINITY {
                 continue;
             }
@@ -649,12 +882,12 @@ impl<'a> Session<'a> {
         // Observer candidates: objects strictly closer than every operand.
         // Computed once — bucket sorts pass same-category objects, so this
         // is exactly Algorithm 3's observer set for every pair.
-        let min_cat = {
-            let sig = self.try_read_signature(n)?;
-            objs.iter().map(|o| sig.cats[o.index()]).min().unwrap_or(0)
-        };
+        // Observer discovery scans every object's category, so this is the
+        // documented entry-decode crossover: one full signature read (which
+        // also warms the tier-2 cache for the per-pair comparisons below).
         let observers: Vec<u32> = {
             let sig = self.try_read_signature(n)?;
+            let min_cat = objs.iter().map(|o| sig.cats[o.index()]).min().unwrap_or(0);
             (0..self.index.num_objects() as u32)
                 .filter(|&i| sig.cats[i as usize] < min_cat)
                 .collect()
@@ -800,6 +1033,10 @@ struct Walker {
     cur: NodeId,
     acc: Dist,
     range: DistRange,
+    /// Backtracking link out of `cur` for `obj`, cached from the entry read
+    /// that produced `range` — each refinement step then needs exactly one
+    /// entry read (at the *next* node) instead of two signature reads.
+    link: Slot,
     /// Steps taken; bounded by the node count to catch stale links (e.g.
     /// querying an object made unreachable by edge removals).
     steps: usize,
@@ -807,8 +1044,8 @@ struct Walker {
 
 impl Walker {
     fn start(sess: &mut Session<'_>, n: NodeId, obj: ObjectId) -> OpResult<Self> {
-        let sig = sess.try_read_signature(n)?;
-        let range = sess.index.partition().range_of(sig.cats[obj.index()]);
+        let (cat, link) = sess.try_read_entry(n, obj)?;
+        let range = sess.index.partition().range_of(cat);
         let host = sess.index.host(obj);
         let mut w = Walker {
             obj,
@@ -816,6 +1053,7 @@ impl Walker {
             cur: n,
             acc: 0,
             range,
+            link,
             steps: 0,
         };
         if n == host {
@@ -838,8 +1076,7 @@ impl Walker {
                 self.range = DistRange::exact(self.acc);
                 return Ok(());
             }
-            let sig = sess.try_read_signature(self.cur)?;
-            let (next, w) = sess.net.neighbor_at(self.cur, sig.links[self.obj.index()]);
+            let (next, w) = sess.net.neighbor_at(self.cur, self.link);
             self.acc += w;
             self.cur = next;
             sess.stats.hops += 1;
@@ -853,12 +1090,9 @@ impl Walker {
             if self.cur == self.host {
                 self.range = DistRange::exact(self.acc);
             } else {
-                let sig = sess.try_read_signature(self.cur)?;
-                self.range = sess
-                    .index
-                    .partition()
-                    .range_of(sig.cats[self.obj.index()])
-                    .offset(self.acc);
+                let (cat, link) = sess.try_read_entry(self.cur, self.obj)?;
+                self.link = link;
+                self.range = sess.index.partition().range_of(cat).offset(self.acc);
             }
             if !self.range.partially_intersects(target) {
                 return Ok(());
@@ -1161,10 +1395,12 @@ mod tests {
         let o = objects.objects().next().unwrap();
         sess.retrieve_exact(NodeId(1), o);
         assert!(sess.io_stats().logical > 0);
-        assert!(sess.stats.signature_reads > 0);
+        // The retrieval hot path charges entry reads (full signature reads
+        // under EntryDecodeMode::Off).
+        assert!(sess.stats.signature_reads + sess.stats.entry_reads > 0);
         sess.reset_stats();
         assert_eq!(sess.io_stats().logical, 0);
-        assert_eq!(sess.stats.signature_reads, 0);
+        assert_eq!(sess.stats.signature_reads + sess.stats.entry_reads, 0);
     }
 
     fn dummy_sig() -> Arc<DecodedSignature> {
@@ -1264,6 +1500,132 @@ mod tests {
         let b = sess.read_signature(NodeId(5));
         assert!(!Arc::ptr_eq(&a, &b), "invalidation forces a re-decode");
         assert_eq!(a.cats, b.cats);
+    }
+
+    #[test]
+    fn entry_reads_carry_same_io_charge_as_signature_reads() {
+        let (net, objects, idx) = fixture();
+        let o = objects.objects().next().unwrap();
+        let mut on = idx.session(&net);
+        on.set_entry_decode(EntryDecodeMode::On);
+        let mut off = idx.session(&net);
+        off.set_entry_decode(EntryDecodeMode::Off);
+        for n in net.nodes().step_by(37) {
+            assert_eq!(on.retrieve_exact(n, o), off.retrieve_exact(n, o));
+        }
+        // Identical logical record reads either way: the directory buys CPU,
+        // not unaccounted I/O.
+        assert_eq!(on.io_stats().logical, off.io_stats().logical);
+        assert!(on.stats.entry_reads > 0 && on.stats.signature_reads == 0);
+        assert!(off.stats.entry_reads == 0 && off.stats.signature_reads > 0);
+        assert_eq!(on.stats.hops, off.stats.hops);
+    }
+
+    #[test]
+    fn entry_decode_modes_agree_on_all_operations() {
+        let (net, objects, idx) = fixture();
+        let objs: Vec<ObjectId> = objects.objects().collect();
+        for mode in [
+            EntryDecodeMode::On,
+            EntryDecodeMode::Off,
+            EntryDecodeMode::Auto,
+        ] {
+            let mut sess = idx.session(&net);
+            sess.set_entry_decode(mode);
+            let mut baseline = idx.session(&net);
+            baseline.set_entry_decode(EntryDecodeMode::Off);
+            for n in net.nodes().step_by(53) {
+                for &o in objs.iter().take(4) {
+                    assert_eq!(sess.retrieve_exact(n, o), baseline.retrieve_exact(n, o));
+                }
+                assert_eq!(
+                    sess.compare_exact(n, objs[0], objs[objs.len() - 1]),
+                    baseline.compare_exact(n, objs[0], objs[objs.len() - 1]),
+                );
+                assert_eq!(
+                    sess.compare_approx(n, objs[0], objs[1]),
+                    baseline.compare_approx(n, objs[0], objs[1]),
+                );
+                let mut a = objs.clone();
+                let mut b = objs.clone();
+                sess.sort_objects(n, &mut a);
+                baseline.sort_objects(n, &mut b);
+                assert_eq!(a, b, "sort under {mode:?} at {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_cache_serves_repeat_lookups() {
+        let (net, objects, idx) = fixture();
+        let o = objects.objects().next().unwrap();
+        let mut sess = idx.session(&net);
+        sess.set_entry_decode(EntryDecodeMode::On);
+        let a = sess.try_read_entry(NodeId(2), o).unwrap();
+        assert_eq!(sess.stats.entry_cache_misses, 1);
+        let b = sess.try_read_entry(NodeId(2), o).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sess.stats.entry_cache_hits, 1);
+        // Invalidation empties tier 1 as well as tier 2.
+        sess.invalidate_cache();
+        let c = sess.try_read_entry(NodeId(2), o).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(sess.stats.entry_cache_misses, 2);
+    }
+
+    #[test]
+    fn entry_path_reads_through_tier2_decode_cache() {
+        let (net, objects, idx) = fixture();
+        let o = objects.objects().next().unwrap();
+        let mut sess = idx.session(&net);
+        sess.set_entry_decode(EntryDecodeMode::On);
+        let sig = sess.read_signature(NodeId(9)); // populates tier 2
+        let before = sess.stats.decode_cache_hits;
+        let got = sess.try_read_entry(NodeId(9), o).unwrap();
+        assert_eq!(got, (sig.cats[o.index()], sig.links[o.index()]));
+        assert_eq!(sess.stats.decode_cache_hits, before + 1);
+    }
+
+    #[test]
+    fn auto_mode_falls_back_to_full_decode_on_wide_requests() {
+        let (net, objects, idx) = fixture();
+        let objs: Vec<ObjectId> = objects.objects().collect();
+        let mut sess = idx.session(&net);
+        sess.set_entry_decode(EntryDecodeMode::Auto);
+        // A request covering every object crosses the D/K threshold.
+        let got = sess.try_read_entries(NodeId(4), &objs).unwrap();
+        assert!(sess.stats.signature_reads > 0, "wide request decodes fully");
+        let sig = idx.decode_node(NodeId(4));
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(got[i], (sig.cats[o.index()], sig.links[o.index()]));
+        }
+    }
+
+    #[test]
+    fn entry_decode_mode_parses_from_str() {
+        assert_eq!("on".parse::<EntryDecodeMode>(), Ok(EntryDecodeMode::On));
+        assert_eq!("off".parse::<EntryDecodeMode>(), Ok(EntryDecodeMode::Off));
+        assert_eq!("auto".parse::<EntryDecodeMode>(), Ok(EntryDecodeMode::Auto));
+        assert!("fast".parse::<EntryDecodeMode>().is_err());
+    }
+
+    #[test]
+    fn suspend_resume_preserves_entry_mode_and_cache() {
+        let (net, objects, idx) = fixture();
+        let o = objects.objects().next().unwrap();
+        let mut sess = idx.session(&net);
+        sess.set_entry_decode(EntryDecodeMode::On);
+        sess.try_read_entry(NodeId(2), o).unwrap();
+        let misses = sess.stats.entry_cache_misses;
+        let state = sess.suspend();
+        assert_eq!(state.entry_decode(), EntryDecodeMode::On);
+        let mut sess = Session::resume(&idx, &net, state);
+        assert_eq!(sess.entry_decode(), EntryDecodeMode::On);
+        sess.try_read_entry(NodeId(2), o).unwrap();
+        assert_eq!(
+            sess.stats.entry_cache_misses, misses,
+            "warm entry cache survives the round trip"
+        );
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! index is bit-identical in content and I/O accounting to the one that was
 //! saved.
 //!
-//! Format v2: after a plaintext `[MAGIC][version]` preamble, the entire
+//! Format v3: after a plaintext `[MAGIC][version]` preamble, the entire
 //! payload is chopped into CRC-32-checksummed frames
 //! ([`dsi_storage::FrameWriter`]). Truncation surfaces as an I/O error and
 //! any bit flip as a checksum mismatch — a corrupted snapshot is *detected*,
 //! never served as a plausible-but-wrong index.
+//!
+//! v3 adds the entry-decode skip directories: the stride after the pool
+//! size, and per node the run-boundary offsets plus carried anchors after
+//! the blobs. Older (v2) snapshots are rejected — rebuild or re-save.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -24,9 +28,10 @@ use crate::category::CategoryPartition;
 use crate::compress::CompressionScheme;
 use crate::encode::ReverseZeroPadding;
 use crate::index::{ObjDistTable, SignatureIndex, SizeReport};
+use crate::skip::{EntryAnchor, SkipDirectory};
 
 const MAGIC: &[u8; 4] = b"DSSI";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Ceiling on any single up-front reservation while decoding. Length fields
 /// come from disk; a corrupt one must not translate into a giant allocation
@@ -67,6 +72,7 @@ pub fn write_index<W: Write>(idx: &SignatureIndex, w: W) -> io::Result<()> {
     ])?;
     put_u32(&mut w, idx.link_bits)?;
     put_u32(&mut w, idx.pool_pages as u32)?;
+    put_u32(&mut w, idx.skip_stride as u32)?;
 
     // Objects.
     put_u32(&mut w, idx.hosts.len() as u32)?;
@@ -92,6 +98,19 @@ pub fn write_index<W: Write>(idx: &SignatureIndex, w: W) -> io::Result<()> {
         }
     }
 
+    // Skip directories (v3): run-boundary offsets + carried anchors.
+    for dir in &idx.dirs {
+        put_u32(&mut w, dir.offsets().len() as u32)?;
+        for &off in dir.offsets() {
+            put_u32(&mut w, off)?;
+        }
+        put_u32(&mut w, dir.anchors().len() as u32)?;
+        for a in dir.anchors() {
+            put_u32(&mut w, a.obj)?;
+            w.write_all(&[a.cat, a.link])?;
+        }
+    }
+
     // Size report.
     let r = &idx.report;
     put_u64(&mut w, r.raw_bits)?;
@@ -99,6 +118,7 @@ pub fn write_index<W: Write>(idx: &SignatureIndex, w: W) -> io::Result<()> {
     put_u64(&mut w, r.compressed_bits)?;
     put_u64(&mut w, r.compressed_entries)?;
     put_u64(&mut w, r.obj_table_bytes)?;
+    put_u64(&mut w, r.directory_bits)?;
     put_u32(&mut w, r.category_counts.len() as u32)?;
     for &c in &r.category_counts {
         put_u64(&mut w, c)?;
@@ -152,6 +172,10 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
     };
     let link_bits = get_u32(&mut r)?;
     let pool_pages = get_u32(&mut r)? as usize;
+    let skip_stride = get_u32(&mut r)? as usize;
+    if skip_stride == 0 {
+        return Err(LoadError::Format("skip stride must be positive".into()));
+    }
 
     let d = get_u32(&mut r)? as usize;
     if d > net.num_nodes() {
@@ -198,6 +222,46 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         blobs.push(BitBox::from_words(ws, bits));
     }
 
+    // Skip directories, validated against the blobs they index into.
+    let expected_offsets = d.div_ceil(skip_stride).saturating_sub(1);
+    let mut dirs = capped_vec(n);
+    for blob in blobs.iter() {
+        let no = get_u32(&mut r)? as usize;
+        if no != expected_offsets {
+            return Err(LoadError::Format(format!(
+                "skip directory has {no} offsets, expected {expected_offsets}"
+            )));
+        }
+        let mut offsets = capped_vec(no);
+        for _ in 0..no {
+            offsets.push(get_u32(&mut r)?);
+        }
+        if offsets.windows(2).any(|w| w[0] >= w[1])
+            || offsets.iter().any(|&o| o as usize >= blob.len().max(1))
+        {
+            return Err(LoadError::Format("invalid skip offsets".into()));
+        }
+        let na = get_u32(&mut r)? as usize;
+        let mut anchors: Vec<EntryAnchor> = capped_vec(na);
+        for _ in 0..na {
+            let obj = get_u32(&mut r)?;
+            let mut cl = [0u8; 2];
+            r.read_exact(&mut cl)?;
+            if obj as usize >= d || cl[0] as usize >= partition.num_categories() {
+                return Err(LoadError::Format("invalid skip anchor".into()));
+            }
+            anchors.push(EntryAnchor {
+                link: cl[1],
+                obj,
+                cat: cl[0],
+            });
+        }
+        if anchors.windows(2).any(|w| w[0].link >= w[1].link) {
+            return Err(LoadError::Format("skip anchors not sorted by link".into()));
+        }
+        dirs.push(SkipDirectory::from_parts(offsets, anchors));
+    }
+
     let mut report = SizeReport {
         num_nodes: n,
         num_objects: d,
@@ -206,6 +270,7 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         compressed_bits: get_u64(&mut r)?,
         compressed_entries: get_u64(&mut r)?,
         obj_table_bytes: get_u64(&mut r)?,
+        directory_bits: get_u64(&mut r)?,
         category_counts: Vec::new(),
     };
     let cc = get_u32(&mut r)? as usize;
@@ -214,9 +279,15 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         report.category_counts.push(get_u64(&mut r)?);
     }
 
-    // Re-derive the page layout (deterministic from the network).
+    // Re-derive the page layout (deterministic from the network), charging
+    // each record for its skip directory exactly as the build does.
+    let (off_b, obj_b, cat_b) = crate::index::dir_widths(&blobs, d, partition.num_categories());
     let sizes: Vec<usize> = (0..n)
-        .map(|i| net.adjacency_record_bytes(NodeId(i as u32)) + blobs[i].byte_len())
+        .map(|i| {
+            net.adjacency_record_bytes(NodeId(i as u32))
+                + blobs[i].byte_len()
+                + dirs[i].modeled_bytes(off_b, obj_b, cat_b, link_bits)
+        })
         .collect();
     let store = PagedStore::new(&ccam_order(net), &sizes, 0);
 
@@ -238,6 +309,8 @@ pub fn read_index<R: Read>(r: R, net: &RoadNetwork) -> Result<SignatureIndex, Lo
         hosts,
         object_at,
         blobs,
+        dirs,
+        skip_stride,
         obj_dist,
         store,
         compress,
@@ -303,8 +376,15 @@ mod tests {
             assert_eq!(back.num_objects(), idx.num_objects());
             assert_eq!(back.scheme(), idx.scheme());
             assert_eq!(back.report.compressed_bits, idx.report.compressed_bits);
+            assert_eq!(back.report.directory_bits, idx.report.directory_bits);
+            assert_eq!(back.skip_stride(), idx.skip_stride());
+            assert_eq!(back.disk_bytes(), idx.disk_bytes());
             for n in net.nodes() {
                 assert_eq!(back.decode_node(n), idx.decode_node(n), "{scheme:?} {n}");
+                assert_eq!(back.skip_dir(n), idx.skip_dir(n), "{scheme:?} {n}");
+                for o in idx.objects() {
+                    assert_eq!(back.decode_entry(n, o), idx.decode_entry(n, o));
+                }
             }
             // Queries and I/O accounting agree.
             let mut s1 = idx.session(&net);

@@ -378,11 +378,11 @@ mod tests {
         let mut s1 = idx.session(&net);
         s1.reset_stats();
         let fast = continuous_knn(&mut s1, &path, 2);
-        let fast_reads = s1.stats.signature_reads;
+        let fast_reads = s1.stats.signature_reads + s1.stats.entry_reads;
         let mut s2 = idx.session(&net);
         s2.reset_stats();
         let naive = continuous_knn_naive(&mut s2, &path, 2);
-        let naive_reads = s2.stats.signature_reads;
+        let naive_reads = s2.stats.signature_reads + s2.stats.entry_reads;
         assert_eq!(fast, naive, "comb network has no distance ties");
         // The fast path runs kNN only at sub-path endpoints and two exact
         // retrievals per candidate; the naive path runs a full kNN per node.

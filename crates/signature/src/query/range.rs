@@ -120,10 +120,12 @@ mod tests {
         let mut sess = idx.session(&net);
         sess.reset_stats();
         let _ = range_query(&mut sess, NodeId(0), 5);
+        // Refinement now runs over entry-granular reads; both kinds of
+        // record access count against the locality bound.
+        let touched = sess.stats.signature_reads + sess.stats.entry_reads;
         assert!(
-            (sess.stats.signature_reads as usize) < net.num_nodes() / 4,
-            "read {} signatures out of {} nodes",
-            sess.stats.signature_reads,
+            (touched as usize) < net.num_nodes() / 4,
+            "read {touched} records out of {} nodes",
             net.num_nodes()
         );
     }

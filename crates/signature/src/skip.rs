@@ -1,0 +1,172 @@
+//! Per-node skip directories: entry-granular random access into the
+//! bit-packed signature stream.
+//!
+//! A node's signature is a self-delimiting sequence of variable-length
+//! entries (flag bit, category code, link — §5.2/§5.3), so decoding entry
+//! `o` normally means replaying entries `0..o`. The skip directory records
+//! the absolute bit offset of every `K`-th entry; a point lookup seeks to
+//! the start of the ≤K-entry *run* containing the target and replays only
+//! that run. Because the stream grammar is position-independent, the offset
+//! *is* the full decoder resume state — except under compression, where a
+//! flagged entry resolves against its anchor, an object found by scanning
+//! the whole signature. The directory therefore also carries the governing
+//! anchors (§5.3): the global `(category, position)`-minimum for
+//! [`CompressionScheme::GlobalAnchor`], one per distinct link for
+//! [`CompressionScheme::PerLinkAnchor`]. Anchors are never flagged, so the
+//! anchor over *all* entries equals the anchor over *uncompressed* entries
+//! — the carried anchors coincide exactly with what a full
+//! [`resolve`](crate::compress::resolve) pass would re-derive.
+//!
+//! [`CompressionScheme::GlobalAnchor`]: crate::compress::CompressionScheme::GlobalAnchor
+//! [`CompressionScheme::PerLinkAnchor`]: crate::compress::CompressionScheme::PerLinkAnchor
+
+use dsi_graph::network::Slot;
+
+/// A carried anchor: enough to resolve any compressed entry governed by it
+/// without replaying the signature prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryAnchor {
+    /// The anchor's backtracking link (the key under the per-link scheme;
+    /// what compressed entries inherit under the global scheme).
+    pub link: Slot,
+    /// The anchor object `u` — the object-distance table row used by the
+    /// Definition 5.1 category summation.
+    pub obj: u32,
+    /// The anchor's (uncompressed) category.
+    pub cat: u8,
+}
+
+/// One node's skip directory: run boundaries plus anchor carriage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkipDirectory {
+    /// Bit offset of entry `j · K` for `j ≥ 1` (entry 0 starts at bit 0, so
+    /// run 0 needs no offset). Strictly increasing.
+    offsets: Vec<u32>,
+    /// Governing anchors, sorted by link: empty when nothing compressed,
+    /// one entry under the global scheme, one per distinct *compressed*
+    /// link under the per-link scheme.
+    anchors: Vec<EntryAnchor>,
+}
+
+impl SkipDirectory {
+    /// Assemble from parts (construction and persistence).
+    pub fn from_parts(offsets: Vec<u32>, anchors: Vec<EntryAnchor>) -> Self {
+        debug_assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(anchors.windows(2).all(|w| w[0].link < w[1].link));
+        SkipDirectory { offsets, anchors }
+    }
+
+    /// Recorded run boundaries (entry `(j+1) · K` starts at `offsets[j]`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Carried anchors, sorted by link.
+    pub fn anchors(&self) -> &[EntryAnchor] {
+        &self.anchors
+    }
+
+    /// Bit offset at which run `run` starts.
+    pub fn run_start(&self, run: usize) -> usize {
+        if run == 0 {
+            0
+        } else {
+            self.offsets[run - 1] as usize
+        }
+    }
+
+    /// The anchor governing compressed entries with backtracking link
+    /// `link` (per-link scheme lookup).
+    pub fn anchor_for(&self, link: Slot) -> Option<&EntryAnchor> {
+        self.anchors
+            .binary_search_by_key(&link, |a| a.link)
+            .ok()
+            .map(|i| &self.anchors[i])
+    }
+
+    /// Modeled storage cost in bits under global field widths: each offset
+    /// costs `offset_bits`, each anchor `obj_bits + cat_bits + link_bits`.
+    /// This is what the size accounting charges against `disk_bytes` — the
+    /// directory is index metadata living next to the blob in the record.
+    pub fn modeled_bits(
+        &self,
+        offset_bits: u32,
+        obj_bits: u32,
+        cat_bits: u32,
+        link_bits: u32,
+    ) -> u64 {
+        self.offsets.len() as u64 * offset_bits as u64
+            + self.anchors.len() as u64 * (obj_bits + cat_bits + link_bits) as u64
+    }
+
+    /// Modeled storage cost in whole bytes (what the paged record carries).
+    pub fn modeled_bytes(
+        &self,
+        offset_bits: u32,
+        obj_bits: u32,
+        cat_bits: u32,
+        link_bits: u32,
+    ) -> usize {
+        (self.modeled_bits(offset_bits, obj_bits, cat_bits, link_bits) as usize).div_ceil(8)
+    }
+}
+
+/// `⌈log2 (n + 1)⌉` bits, at least 1 — width to address any value `≤ n`.
+pub fn bits_for(n: u64) -> u32 {
+    (u64::BITS - n.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_start_and_anchor_lookup() {
+        let dir = SkipDirectory::from_parts(
+            vec![40, 95],
+            vec![
+                EntryAnchor {
+                    link: 1,
+                    obj: 7,
+                    cat: 2,
+                },
+                EntryAnchor {
+                    link: 3,
+                    obj: 0,
+                    cat: 0,
+                },
+            ],
+        );
+        assert_eq!(dir.run_start(0), 0);
+        assert_eq!(dir.run_start(1), 40);
+        assert_eq!(dir.run_start(2), 95);
+        assert_eq!(dir.anchor_for(3).unwrap().obj, 0);
+        assert_eq!(dir.anchor_for(1).unwrap().cat, 2);
+        assert!(dir.anchor_for(2).is_none());
+    }
+
+    #[test]
+    fn modeled_size_counts_offsets_and_anchors() {
+        let dir = SkipDirectory::from_parts(
+            vec![40, 95],
+            vec![EntryAnchor {
+                link: 0,
+                obj: 1,
+                cat: 1,
+            }],
+        );
+        // 2 offsets × 10 bits + 1 anchor × (6 + 3 + 2) bits = 31 bits.
+        assert_eq!(dir.modeled_bits(10, 6, 3, 2), 31);
+        assert_eq!(dir.modeled_bytes(10, 6, 3, 2), 4);
+        assert_eq!(SkipDirectory::default().modeled_bits(10, 6, 3, 2), 0);
+    }
+
+    #[test]
+    fn bits_for_widths() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Randomized equivalence between entry-granular decode and full-node
+//! decode: for every compression state (uncompressed, global-anchor,
+//! per-link-anchor) and every skip stride in {1, 4, 16, 64},
+//! `decode_entry(n, o)` must reproduce position `o` of `decode_node(n)` —
+//! category AND backtracking link — and `decode_entries(n, objs)` must
+//! equal the per-entry loop, for arbitrary nodes and request shapes
+//! (unsorted, duplicated, empty).
+
+use std::sync::OnceLock;
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::{NodeId, ObjectId, ObjectSet, RoadNetwork};
+use dsi_signature::compress::CompressionScheme;
+use dsi_signature::{SignatureConfig, SignatureIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STRIDES: [usize; 4] = [1, 4, 16, 64];
+
+/// `(compress, scheme)` states under test; the scheme is irrelevant when
+/// compression is off but pinned anyway so the matrix is explicit.
+const STATES: [(bool, CompressionScheme); 3] = [
+    (false, CompressionScheme::GlobalAnchor),
+    (true, CompressionScheme::GlobalAnchor),
+    (true, CompressionScheme::PerLinkAnchor),
+];
+
+/// One index per (state, stride) cell over a shared 200-node network,
+/// built once across all proptest cases.
+fn fixtures() -> &'static (RoadNetwork, Vec<SignatureIndex>) {
+    static FIX: OnceLock<(RoadNetwork, Vec<SignatureIndex>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x5155);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 200,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.06, &mut rng);
+        assert!(objects.len() >= 8, "fixture needs a non-trivial object set");
+        let mut indexes = Vec::new();
+        for &(compress, scheme) in &STATES {
+            for &stride in &STRIDES {
+                indexes.push(SignatureIndex::build(
+                    &net,
+                    &objects,
+                    &SignatureConfig {
+                        compress,
+                        scheme,
+                        skip_stride: stride,
+                        ..Default::default()
+                    },
+                ));
+            }
+        }
+        (net, indexes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn decode_entry_matches_full_decode(
+        cell in 0usize..STATES.len() * STRIDES.len(),
+        node_frac in 0.0f64..1.0,
+        obj_frac in 0.0f64..1.0,
+    ) {
+        let (net, indexes) = fixtures();
+        let idx = &indexes[cell];
+        let n = NodeId(((net.num_nodes() as f64 * node_frac) as u32)
+            .min(net.num_nodes() as u32 - 1));
+        let o = ObjectId(((idx.num_objects() as f64 * obj_frac) as u32)
+            .min(idx.num_objects() as u32 - 1));
+        let full = idx.decode_node(n);
+        let (cat, link) = idx.decode_entry(n, o);
+        prop_assert_eq!(cat, full.cats[o.index()], "category at {:?}/{:?}", n, o);
+        prop_assert_eq!(link, full.links[o.index()], "link at {:?}/{:?}", n, o);
+    }
+
+    #[test]
+    fn decode_entries_matches_per_entry_loop(
+        cell in 0usize..STATES.len() * STRIDES.len(),
+        node_frac in 0.0f64..1.0,
+        // Arbitrary request shape: unsorted, possibly duplicated, 0..=12
+        // object picks by fraction.
+        picks in collection::vec(0.0f64..1.0, 0..12),
+    ) {
+        let (net, indexes) = fixtures();
+        let idx = &indexes[cell];
+        let n = NodeId(((net.num_nodes() as f64 * node_frac) as u32)
+            .min(net.num_nodes() as u32 - 1));
+        let objs: Vec<ObjectId> = picks
+            .iter()
+            .map(|&f| ObjectId(((idx.num_objects() as f64 * f) as u32)
+                .min(idx.num_objects() as u32 - 1)))
+            .collect();
+        let batched = idx.decode_entries(n, &objs);
+        let looped: Vec<_> = objs.iter().map(|&o| idx.decode_entry(n, o)).collect();
+        prop_assert_eq!(batched, looped, "batch vs loop at {:?}, request {:?}", n, objs);
+    }
+}
+
+/// Exhaustive sweep of the full matrix on every (node, object) pair —
+/// deterministic backstop under the randomized cases above.
+#[test]
+fn every_cell_agrees_on_every_position() {
+    let (net, indexes) = fixtures();
+    for idx in indexes {
+        for n in net.nodes().step_by(7) {
+            let full = idx.decode_node(n);
+            let all: Vec<ObjectId> = idx.objects().collect();
+            let got = idx.decode_entries(n, &all);
+            for (o, &(cat, link)) in idx.objects().zip(&got) {
+                assert_eq!(cat, full.cats[o.index()], "cat {n:?}/{o:?}");
+                assert_eq!(link, full.links[o.index()], "link {n:?}/{o:?}");
+            }
+        }
+    }
+}

@@ -13,7 +13,9 @@
 # sorted by key, so diffs between snapshots are stable. When the service
 # group is present, a derived "service_scaling" object records the
 # w1/w2/w4 batch medians and the speedup of each over one worker (≈1.0 on
-# a single-CPU container; see DESIGN.md).
+# a single-CPU container; see DESIGN.md). A "skip_directory" object
+# (from the size_report binary) records the entry-decode directory's
+# bytes/node and its fraction of the on-disk index at the default stride.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,6 +63,12 @@ jq '
         }
       else . end
     ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+# Skip-directory size overhead at the default stride (bytes/node and
+# fraction of disk_bytes; the PR5 acceptance line is frac ≤ 0.10).
+SIZE_JSON="$(DSI_NODES="${DSI_NODES:-3000}" cargo run --release -q -p dsi-bench --bin size_report)"
+jq --argjson size "$SIZE_JSON" '.skip_directory = $size' \
+   "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
 
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.benches | length' "$OUT") benches)"

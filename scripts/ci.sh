@@ -18,13 +18,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo bench --no-run (benches must keep compiling) =="
+cargo bench --workspace --no-run
+
 echo "== fault matrix (service equivalence under injected storage faults) =="
-# Re-run the dsi-service fault suite under a matrix of fixed fault seeds:
-# the answers must stay element-wise identical to a fault-free run no
-# matter which deterministic fault schedule fires.
+# Re-run the dsi-service fault suite under a matrix of fixed fault seeds
+# crossed with both signature read paths (entry-granular decode on and
+# off): the answers must stay element-wise identical to a fault-free run
+# no matter which deterministic fault schedule fires or which decode path
+# serves the queries.
 for seed in 1 2 3; do
-    echo "-- DSI_FAULT_SEED=$seed --"
-    DSI_FAULT_SEED=$seed cargo test -q -p dsi-service --test faults
+    for decode in on off; do
+        echo "-- DSI_FAULT_SEED=$seed DSI_ENTRY_DECODE=$decode --"
+        DSI_FAULT_SEED=$seed DSI_ENTRY_DECODE=$decode \
+            cargo test -q -p dsi-service --test faults
+    done
 done
 
 echo "ci: all checks passed"
