@@ -10,6 +10,7 @@
 use dsi_graph::{
     sssp_into, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
 };
+use dsi_hierarchy::{ContractionHierarchy, PhastWorkspace};
 use dsi_storage::{ccam_order, BufferPool, IoStats, PagedStore};
 
 /// The full distance index.
@@ -32,7 +33,6 @@ impl FullIndex {
         assert!(!objects.is_empty());
         let n = net.num_nodes();
         let d = objects.len();
-        let mut dists = vec![INFINITY; n * d];
 
         let columns: Vec<Vec<Dist>> = {
             // One workspace per worker: all |D| Dijkstras on a thread share
@@ -77,6 +77,36 @@ impl FullIndex {
                 out.into_iter().map(|c| c.expect("all columns")).collect()
             }
         };
+        Self::from_columns(net, columns, pool_pages)
+    }
+
+    /// Build from a prebuilt contraction hierarchy: one PHAST sweep per
+    /// object instead of one flat Dijkstra — identical distances, the
+    /// preprocessing amortized across builds (and across the service's
+    /// query backend, which holds the same hierarchy).
+    pub fn build_with_hierarchy(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        pool_pages: usize,
+        ch: &ContractionHierarchy,
+    ) -> Self {
+        assert!(!objects.is_empty());
+        assert_eq!(ch.num_nodes(), net.num_nodes());
+        let mut ws = PhastWorkspace::new();
+        let columns: Vec<Vec<Dist>> = objects
+            .iter()
+            .map(|(_, host)| {
+                ch.sssp_phast(host, &mut ws);
+                ws.dists().to_vec()
+            })
+            .collect();
+        Self::from_columns(net, columns, pool_pages)
+    }
+
+    fn from_columns(net: &RoadNetwork, columns: Vec<Vec<Dist>>, pool_pages: usize) -> Self {
+        let n = net.num_nodes();
+        let d = columns.len();
+        let mut dists = vec![INFINITY; n * d];
         for (o, col) in columns.iter().enumerate() {
             for (ni, &dist) in col.iter().enumerate() {
                 assert!(dist != INFINITY, "network must be connected");
@@ -217,6 +247,29 @@ mod tests {
         let record_pages = 1 + (4 * idx.num_objects) / dsi_storage::PAGE_SIZE;
         assert!(idx.io_stats().logical as usize <= record_pages + 1);
         let _ = net;
+    }
+
+    #[test]
+    fn hierarchy_build_matches_flat_build() {
+        use dsi_hierarchy::ChConfig;
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 200,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.07, &mut rng);
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let mut flat = FullIndex::build(&net, &objects, 8, false);
+        let mut hier = FullIndex::build_with_hierarchy(&net, &objects, 8, &ch);
+        assert_eq!(flat.disk_bytes(), hier.disk_bytes());
+        for n in net.nodes() {
+            for o in objects.objects() {
+                assert_eq!(flat.dist(n, o), hier.dist(n, o));
+            }
+        }
     }
 
     #[test]

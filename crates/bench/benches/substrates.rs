@@ -8,9 +8,10 @@ use rand::{Rng, SeedableRng};
 use dsi_bench::{paper_dataset, paper_network, Scale};
 use dsi_graph::dijkstra::{sssp, sssp_bounded};
 use dsi_graph::{
-    multi_source_with, sssp_bounded_with_backend, sssp_into, sssp_with_backend, NodeId, ObjectId,
-    QueueBackend, SsspWorkspace,
+    multi_source_with, sssp_bounded_with_backend, sssp_into, sssp_with_backend, DijkstraExpansion,
+    NodeId, ObjectId, QueueBackend, SsspWorkspace, INFINITY,
 };
+use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy, PhastWorkspace};
 use dsi_rtree::{RTree, Rect};
 use dsi_signature::bits::BitWriter;
 use dsi_signature::encode::ReverseZeroPadding;
@@ -92,6 +93,55 @@ fn bench_substrates(c: &mut Criterion) {
             b.iter(|| multi_source_with(&net, &sources, backend))
         });
     }
+
+    // Point-to-point head-to-head: incremental network expansion (Dijkstra
+    // run until the target settles) vs the bidirectional upward search over
+    // the contraction hierarchy. Same deterministic pair sequence for both;
+    // the hierarchy is built once, outside the timed region.
+    let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x9E37);
+        (0..64)
+            .map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n))))
+            .collect()
+    };
+    group.bench_function("ine_p2p", |b| {
+        let mut ws = SsspWorkspace::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            let mut exp = DijkstraExpansion::in_workspace(&net, s, &mut ws);
+            loop {
+                match exp.next_settled() {
+                    Some((v, d)) if v == t => break d,
+                    Some(_) => {}
+                    None => break INFINITY,
+                }
+            }
+        })
+    });
+    group.bench_function("ch_p2p", |b| {
+        let mut ws = ChWorkspace::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            ch.p2p(s, t, &mut ws)
+        })
+    });
+    // One-to-all over the hierarchy (PHAST): upward search plus one linear
+    // descending-rank sweep — the distance-column substrate index builds use.
+    group.bench_function("ch_phast_sssp_5k", |b| {
+        let mut ws = PhastWorkspace::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 997) % net.num_nodes() as u32;
+            ch.sssp_phast(NodeId(i), &mut ws);
+            ws.dists()[0]
+        })
+    });
     group.finish();
 
     let mut group = c.benchmark_group("storage");

@@ -39,7 +39,7 @@ pub use dijkstra::{
     sssp_bounded_with_backend, sssp_into, sssp_with_backend, DijkstraExpansion, MultiSourceResult,
     SsspTree,
 };
-pub use ids::{Dist, NodeId, ObjectId, INFINITY};
+pub use ids::{Dist, NodeId, ObjectId, INFINITY, NO_NODE};
 pub use network::{NetworkBuilder, RoadNetwork};
 pub use point::Point;
 pub use queue::{BucketQueue, MonotonePq, QueueBackend, MAX_BUCKET_WEIGHT};

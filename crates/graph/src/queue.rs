@@ -200,6 +200,22 @@ impl<T: Ord> MonotonePq<T> {
         }
     }
 
+    /// Empty the queue for a fresh run whose maximum key step is `bound`,
+    /// without a [`RoadNetwork`] to resolve against. Callers running
+    /// Dijkstra over an overlay graph (e.g. a contraction hierarchy, whose
+    /// shortcut weights exceed the base network's edge-weight bound) size
+    /// the substrate by their own step bound: Dial buckets while the bound
+    /// stays within [`MAX_BUCKET_WEIGHT`], binary heap otherwise.
+    pub fn reset_with_bound(&mut self, bound: Dist) {
+        let bucket = (1..=MAX_BUCKET_WEIGHT).contains(&bound);
+        match (bucket, &mut *self) {
+            (true, MonotonePq::Bucket(q)) => q.reset(bound),
+            (false, MonotonePq::Heap(h)) => h.clear(),
+            (true, slot) => *slot = MonotonePq::Bucket(BucketQueue::new(bound)),
+            (false, slot) => *slot = MonotonePq::Heap(BinaryHeap::new()),
+        }
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         match self {

@@ -64,13 +64,18 @@ impl ForestDelta {
 impl SpanningForest {
     /// Build the forest by running one Dijkstra per object, through a single
     /// reused workspace (arrays and queue allocated once for all `|D|` runs).
+    ///
+    /// Parents are rewritten to the *canonical link rule* — see
+    /// [`canonicalize_parents`].
     pub fn build(net: &RoadNetwork, objects: &ObjectSet) -> Self {
         let mut ws = SsspWorkspace::new();
         let trees = objects
             .iter()
             .map(|(_, host)| {
                 sssp_into(net, host, &mut ws);
-                ws.to_tree(host)
+                let mut tree = ws.to_tree(host);
+                canonicalize_parents(net, &mut tree);
+                tree
             })
             .collect();
         SpanningForest { trees }
@@ -201,6 +206,35 @@ impl SpanningForest {
             }
         }
         Ok(())
+    }
+}
+
+/// Rewrite every parent to the canonical link rule: the **first** adjacency
+/// slot `s` of `v` whose neighbor `u` satisfies `dist[u] + w(u,v) =
+/// dist[v]`. Shortest paths are not unique, so Dijkstra's parent choice
+/// depends on heap tie-breaking; the canonical rule is a pure function of
+/// the distance labels. Index constructions that never run a per-object
+/// Dijkstra (PHAST sweeps over a contraction hierarchy yield bare
+/// distances) recover their backtracking links by the same rule, so a
+/// canonical forest starts link-identical to *any* such index — the
+/// invariant incremental maintenance relies on. Positive edge weights make
+/// canonical parents strictly distance-decreasing, hence still a tree.
+pub fn canonicalize_parents(net: &RoadNetwork, tree: &mut SsspTree) {
+    for v in net.nodes() {
+        let dv = tree.dist[v.index()];
+        if dv == INFINITY || tree.parent[v.index()] == NO_NODE {
+            continue;
+        }
+        for (slot, u, w) in net.neighbors(v) {
+            if w != INFINITY
+                && tree.dist[u.index()] != INFINITY
+                && dist_add(tree.dist[u.index()], w) == dv
+            {
+                tree.parent[v.index()] = u;
+                tree.parent_slot[v.index()] = slot;
+                break;
+            }
+        }
     }
 }
 

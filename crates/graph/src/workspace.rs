@@ -63,7 +63,24 @@ impl SsspWorkspace {
     /// stale label in O(1)), size the arrays, and reset the queue on the
     /// substrate `backend` resolves to.
     pub(crate) fn begin(&mut self, net: &RoadNetwork, backend: QueueBackend) {
-        let n = net.num_nodes();
+        self.begin_arrays(net.num_nodes());
+        self.pq.reset_for(net, backend);
+    }
+
+    /// Start a fresh run over an *external* graph of `n` nodes whose
+    /// maximum key step is `step_bound` — no [`RoadNetwork`] involved.
+    ///
+    /// This is the entry point for callers that run Dijkstra over their own
+    /// adjacency (the contraction-hierarchy overlay and its upward search
+    /// graphs) while reusing this workspace's epoch-stamped arrays and
+    /// queue. Drive the search with [`Self::improve`] and
+    /// [`Self::pop_settled`]; the caller owns edge relaxation.
+    pub fn begin_external(&mut self, n: usize, step_bound: Dist) {
+        self.begin_arrays(n);
+        self.pq.reset_with_bound(step_bound);
+    }
+
+    fn begin_arrays(&mut self, n: usize) {
         if n > self.dist.len() {
             self.dist.resize(n, INFINITY);
             self.parent.resize(n, NO_NODE);
@@ -81,7 +98,36 @@ impl SsspWorkspace {
             self.epoch += 1;
         }
         self.settled = 0;
-        self.pq.reset_for(net, backend);
+    }
+
+    /// Offer the tentative distance `d` for `v` in an external run: labels
+    /// `v` and enqueues it iff `d` beats the current label and `v` is not
+    /// yet settled. Returns whether the label improved. Stale queue entries
+    /// left behind by an improvement are skipped by [`Self::pop_settled`]
+    /// (lazy deletion).
+    #[inline]
+    pub fn improve(&mut self, v: NodeId, d: Dist) -> bool {
+        if self.is_settled(v) || self.dist(v) <= d {
+            return false;
+        }
+        self.label(v, d, NO_NODE, 0);
+        self.pq.push(d, v);
+        true
+    }
+
+    /// Pop and settle the nearest unsettled labeled node of an external
+    /// run, skipping stale (lazily deleted) queue entries. Returns `None`
+    /// when the frontier is exhausted.
+    #[inline]
+    pub fn pop_settled(&mut self) -> Option<(NodeId, Dist)> {
+        while let Some((d, v)) = self.pq.pop() {
+            if self.is_settled(v) || self.dist(v) != d {
+                continue;
+            }
+            self.settle(v);
+            return Some((v, d));
+        }
+        None
     }
 
     /// Number of nodes of the current run.
@@ -226,6 +272,40 @@ mod tests {
         // Shrinking back is fine too: the arrays stay big, `n` tracks.
         sssp_into(&small, NodeId(4), &mut ws);
         assert_eq!(ws.to_tree(NodeId(4)).dist, sssp(&small, NodeId(4)).dist);
+    }
+
+    #[test]
+    fn external_run_matches_network_dijkstra() {
+        // Drive the external API by hand over a grid's own adjacency: the
+        // caller-relaxed search must reproduce `sssp` exactly.
+        let g = grid(6, 6);
+        let mut ws = SsspWorkspace::new();
+        ws.begin_external(g.num_nodes(), g.edge_weight_bound());
+        ws.improve(NodeId(0), 0);
+        while let Some((v, d)) = ws.pop_settled() {
+            for (_, u, w) in g.neighbors(v) {
+                if w != INFINITY {
+                    ws.improve(u, d + w);
+                }
+            }
+        }
+        let fresh = sssp(&g, NodeId(0));
+        for v in g.nodes() {
+            assert_eq!(ws.dist(v), fresh.dist[v.index()]);
+            assert!(ws.is_settled(v));
+        }
+        // Wide step bound (beyond the bucket window) flips to the heap and
+        // still agrees.
+        ws.begin_external(g.num_nodes(), crate::MAX_BUCKET_WEIGHT + 10);
+        ws.improve(NodeId(7), 0);
+        while let Some((v, d)) = ws.pop_settled() {
+            for (_, u, w) in g.neighbors(v) {
+                if w != INFINITY {
+                    ws.improve(u, d + w);
+                }
+            }
+        }
+        assert_eq!(ws.to_tree(NodeId(7)).dist, sssp(&g, NodeId(7)).dist);
     }
 
     #[test]

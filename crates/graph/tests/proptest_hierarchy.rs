@@ -1,0 +1,148 @@
+//! Property tests for contraction-hierarchy preprocessing invariants,
+//! run against the same random network families as the engine proptests:
+//!
+//! * **Shortcut correctness** — every upward arc (original or shortcut)
+//!   unpacks to a path of original road-network edges whose weights sum
+//!   to the arc's weight, i.e. each shortcut stands for exactly the
+//!   witness-free path it replaced.
+//! * **Distance equality** — bidirectional upward queries and PHAST
+//!   sweeps reproduce flat Dijkstra bit-for-bit, including under
+//!   truncated witness searches (which may only *add* shortcuts, never
+//!   change answers).
+
+use dsi_graph::generate::{random_planar, PlanarConfig};
+use dsi_graph::{sssp, NetworkBuilder, NodeId, Point, RoadNetwork};
+use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy, PhastWorkspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ring + random chords: always connected, arbitrary weights.
+fn arb_ring_network() -> impl Strategy<Value = RoadNetwork> {
+    (
+        3usize..24,
+        proptest::collection::vec((0usize..24, 0usize..24, 1u32..30), 0..30),
+        proptest::collection::vec(1u32..30, 24),
+    )
+        .prop_map(|(n, chords, ring_w)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Point::new(i as f64, (i * i % 7) as f64)))
+                .collect();
+            for i in 0..n {
+                b.add_edge(ids[i], ids[(i + 1) % n], ring_w[i]);
+            }
+            for (u, v, w) in chords {
+                let (u, v) = (u % n, v % n);
+                if u != v && !b.has_edge(ids[u], ids[v]) {
+                    b.add_edge(ids[u], ids[v], w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Random planar networks — the paper's §6 topology, driven by a seed.
+fn arb_planar_network() -> impl Strategy<Value = RoadNetwork> {
+    (0u64..1_000_000, 30usize..120).prop_map(|(seed, n)| {
+        random_planar(
+            &PlanarConfig {
+                num_nodes: n,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        )
+    })
+}
+
+/// Every upward arc must unpack into a contiguous original-edge path from
+/// one endpoint to the other whose weights are real edge weights summing
+/// to the arc weight.
+fn assert_shortcuts_unpack(net: &RoadNetwork, ch: &ContractionHierarchy) {
+    for v in net.nodes() {
+        for arc in ch.up_arcs_of(v) {
+            let segs = ch.unpack_arc(v, arc.to);
+            assert!(!segs.is_empty());
+            assert_eq!(segs.first().unwrap().0, v, "path starts at {v}");
+            assert_eq!(segs.last().unwrap().1, arc.to, "path ends at {}", arc.to);
+            let mut total = 0u64;
+            for i in 0..segs.len() {
+                let (a, b, w) = segs[i];
+                if i > 0 {
+                    assert_eq!(segs[i - 1].1, a, "path is contiguous");
+                }
+                assert_eq!(
+                    net.edge_weight(a, b),
+                    Some(w),
+                    "unpacked segment {a}–{b} is not an original edge of weight {w}"
+                );
+                total += w as u64;
+            }
+            assert_eq!(
+                total, arc.weight as u64,
+                "shortcut {v}–{} weight differs from its unpacked path",
+                arc.to
+            );
+        }
+    }
+}
+
+/// Queries and PHAST sweeps must match flat Dijkstra from sampled sources.
+fn assert_distances_match(net: &RoadNetwork, ch: &ContractionHierarchy) {
+    let mut p2p = ChWorkspace::new();
+    let mut phast = PhastWorkspace::new();
+    let step = (net.num_nodes() / 7).max(1);
+    for s in net.nodes().step_by(step) {
+        let tree = sssp(net, s);
+        ch.sssp_phast(s, &mut phast);
+        assert_eq!(phast.dists(), &tree.dist[..], "PHAST from {s}");
+        for t in net.nodes().step_by(3) {
+            assert_eq!(
+                ch.p2p(s, t, &mut p2p),
+                tree.dist[t.index()],
+                "p2p({s}, {t})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shortcuts_unpack_to_their_witness_paths_on_rings(net in arb_ring_network()) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        assert_shortcuts_unpack(&net, &ch);
+    }
+
+    #[test]
+    fn shortcuts_unpack_to_their_witness_paths_on_planar(net in arb_planar_network()) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        assert_shortcuts_unpack(&net, &ch);
+    }
+
+    #[test]
+    fn hierarchy_matches_dijkstra_on_rings(net in arb_ring_network()) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        assert_distances_match(&net, &ch);
+    }
+
+    #[test]
+    fn hierarchy_matches_dijkstra_on_planar(net in arb_planar_network()) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        assert_distances_match(&net, &ch);
+    }
+
+    #[test]
+    fn truncated_witness_searches_stay_exact(
+        net in arb_ring_network(),
+        cap in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Brutally small witness caps force conservative shortcuts under
+        // every ordering the seed produces; answers must not move.
+        let ch = ContractionHierarchy::build(&net, &ChConfig { seed, witness_cap: cap });
+        assert_shortcuts_unpack(&net, &ch);
+        assert_distances_match(&net, &ch);
+    }
+}

@@ -1,0 +1,40 @@
+//! Contraction-hierarchy distance oracle over [`dsi_graph::RoadNetwork`].
+//!
+//! The signature index (the paper's contribution) buys IO-efficient range /
+//! kNN / CNN processing, but two things stay bounded by flat Dijkstra over
+//! the whole network: raw point-to-point distance, and index *construction*,
+//! which runs one full SSSP per object (§5.2). A contraction hierarchy
+//! (Geisberger et al.; see "Towards Bridging Theory and Practice in Route
+//! Planning", arXiv 1304.2576) fixes both:
+//!
+//! * **Preprocessing** ([`build`]): contract nodes one at a time in
+//!   edge-difference order, inserting a shortcut for every neighbor pair
+//!   whose shortest path ran through the contracted node and has no witness
+//!   avoiding it. The result assigns every node a *rank* and keeps, per
+//!   node, only its **upward** arcs (toward higher rank).
+//! * **Point-to-point** ([`ContractionHierarchy::p2p`]): a bidirectional
+//!   Dijkstra where both sides only climb upward arcs — search spaces are
+//!   a few hundred nodes where flat Dijkstra settles the whole network.
+//! * **Full SSSP** ([`ContractionHierarchy::sssp_phast`]): PHAST — one tiny
+//!   upward search, then a single linear sweep down the ranks with no
+//!   priority queue. This is the construction accelerator: per-object
+//!   distance vectors for index builds without per-object full Dijkstra.
+//!
+//! Witness searches, upward searches, and the PHAST upward phase all run on
+//! [`dsi_graph::SsspWorkspace`] through its external-search API
+//! (`begin_external` / `improve` / `pop_settled`), so the epoch-stamped
+//! arrays and queue substrates are shared with the flat engine rather than
+//! reimplemented.
+//!
+//! The oracle is persistable ([`persist`]) in the same framed, CRC-32
+//! checksummed container as the signature index's format v3.
+
+pub mod build;
+pub mod persist;
+pub mod phast;
+pub mod query;
+
+pub use build::{ChConfig, ContractionHierarchy, UpArc};
+pub use persist::{load_hierarchy, read_hierarchy, save_hierarchy, write_hierarchy};
+pub use phast::PhastWorkspace;
+pub use query::ChWorkspace;

@@ -1,0 +1,173 @@
+//! Bidirectional upward point-to-point queries.
+//!
+//! Both search frontiers only climb upward arcs; on an undirected network
+//! the forward and backward upward graphs coincide, so the two sides run
+//! the same relaxation. Correctness is the CH meeting-node property: for
+//! any shortest `s–t` path there is a highest-ranked node `p` on it such
+//! that the `s→p` prefix and the `t→p` suffix are both upward paths in
+//! the hierarchy, so `d(s,t) = min_p (d_up(s,p) + d_up(t,p))`.
+//!
+//! A direction stops once the key it pops is no better than the best
+//! meeting seen (popped keys are monotone, so nothing beyond can help);
+//! the query ends when both directions have stopped. Meetings are scored
+//! against the other side's *tentative* labels too — a tentative label is
+//! the length of a real upward path, hence a valid upper bound, and
+//! scoring it early tightens the stopping bound.
+
+use dsi_graph::{Dist, NodeId, SsspWorkspace, INFINITY};
+
+use crate::build::ContractionHierarchy;
+
+/// Reusable state for one query worker: the two directional searches.
+/// Like [`SsspWorkspace`], starting a query is O(1) — no per-query
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ChWorkspace {
+    pub(crate) fwd: SsspWorkspace,
+    pub(crate) bwd: SsspWorkspace,
+}
+
+impl ChWorkspace {
+    pub fn new() -> ChWorkspace {
+        ChWorkspace::default()
+    }
+}
+
+impl ContractionHierarchy {
+    /// Exact network distance from `s` to `t` ([`INFINITY`] if
+    /// disconnected), by bidirectional upward Dijkstra.
+    pub fn p2p(&self, s: NodeId, t: NodeId, ws: &mut ChWorkspace) -> Dist {
+        if s == t {
+            return 0;
+        }
+        ws.fwd.begin_external(self.n, self.up_step_bound);
+        ws.bwd.begin_external(self.n, self.up_step_bound);
+        ws.fwd.improve(s, 0);
+        ws.bwd.improve(t, 0);
+
+        let mut best = INFINITY;
+        let mut fwd_done = false;
+        let mut bwd_done = false;
+        let mut take_fwd = true;
+        while !(fwd_done && bwd_done) {
+            let forward = if fwd_done {
+                false
+            } else if bwd_done {
+                true
+            } else {
+                take_fwd
+            };
+            take_fwd = !take_fwd;
+            let (side, other, done) = if forward {
+                (&mut ws.fwd, &ws.bwd, &mut fwd_done)
+            } else {
+                (&mut ws.bwd, &ws.fwd, &mut bwd_done)
+            };
+            let Some((v, d)) = side.pop_settled() else {
+                *done = true;
+                continue;
+            };
+            if d >= best {
+                *done = true;
+                continue;
+            }
+            let o = other.dist(v);
+            if o != INFINITY {
+                best = best.min(d.saturating_add(o));
+            }
+            for a in self.up_arcs_of(v) {
+                side.improve(a.to, d + a.weight);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    use dsi_graph::{sssp, ObjectSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::build::ChConfig;
+
+    #[test]
+    fn p2p_matches_dijkstra_exhaustively_on_a_grid() {
+        let g = grid(7, 7);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let mut ws = ChWorkspace::new();
+        for s in g.nodes() {
+            let tree = sssp(&g, s);
+            for t in g.nodes() {
+                assert_eq!(ch.p2p(s, t, &mut ws), tree.dist[t.index()], "p2p({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_matches_dijkstra_on_a_random_planar_network() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 400,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let mut ws = ChWorkspace::new();
+        for s in net.nodes().step_by(37) {
+            let tree = sssp(&net, s);
+            for t in net.nodes().step_by(11) {
+                assert_eq!(ch.p2p(s, t, &mut ws), tree.dist[t.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_report_infinity() {
+        // Two 2x2 grids glued into one node set without inter-edges.
+        let mut b = dsi_graph::NetworkBuilder::new();
+        let p = dsi_graph::Point::new(0.0, 0.0);
+        let ids: Vec<NodeId> = (0..6).map(|_| b.add_node(p)).collect();
+        b.add_edge(ids[0], ids[1], 3);
+        b.add_edge(ids[1], ids[2], 4);
+        b.add_edge(ids[3], ids[4], 1);
+        b.add_edge(ids[4], ids[5], 2);
+        let net = b.build();
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let mut ws = ChWorkspace::new();
+        assert_eq!(ch.p2p(ids[0], ids[2], &mut ws), 7);
+        assert_eq!(ch.p2p(ids[0], ids[4], &mut ws), INFINITY);
+        assert_eq!(ch.p2p(ids[5], ids[1], &mut ws), INFINITY);
+    }
+
+    #[test]
+    fn search_space_is_a_small_fraction_of_the_network() {
+        // The point of the hierarchy: upward searches settle far fewer
+        // nodes than flat Dijkstra's n.
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 2000,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.01, &mut rng);
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let mut ws = ChWorkspace::new();
+        let mut max_settled = 0usize;
+        for (_, host) in objects.iter() {
+            ch.p2p(NodeId(0), host, &mut ws);
+            max_settled = max_settled.max(ws.fwd.settled_count() + ws.bwd.settled_count());
+        }
+        assert!(
+            max_settled * 4 < net.num_nodes(),
+            "upward search settled {max_settled} of {} nodes",
+            net.num_nodes()
+        );
+    }
+}

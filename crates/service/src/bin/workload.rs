@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::ObjectSet;
-use dsi_service::{generate, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_service::{generate, Backend, QueryService, ServiceConfig, Skew, WorkloadConfig};
 use dsi_signature::{EntryDecodeMode, SignatureConfig};
 use dsi_storage::FaultPlan;
 use rand::rngs::StdRng;
@@ -38,6 +38,7 @@ struct Args {
     corrupt_rate: f64,
     fault_seed: u64,
     entry_decode: EntryDecodeMode,
+    backend: Backend,
 }
 
 impl Default for Args {
@@ -57,12 +58,18 @@ impl Default for Args {
             corrupt_rate: 0.0,
             fault_seed: 0xFA01,
             entry_decode: EntryDecodeMode::default(),
+            backend: Backend::Signature,
         }
     }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
+    // `DSI_BACKEND` pre-selects the backend; an explicit `--backend` flag
+    // still wins.
+    if let Ok(v) = std::env::var("DSI_BACKEND") {
+        args.backend = v.parse().map_err(|e| format!("DSI_BACKEND: {e}"))?;
+    }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
@@ -79,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
             "--corrupt-rate" => args.corrupt_rate = parse(&value("--corrupt-rate")?)?,
             "--fault-seed" => args.fault_seed = parse(&value("--fault-seed")?)?,
             "--entry-decode" => args.entry_decode = parse(&value("--entry-decode")?)?,
+            "--backend" => args.backend = value("--backend")?.parse()?,
             "--sweep" => args.sweep = true,
             "--skew" => {
                 let v = value("--skew")?;
@@ -96,13 +104,16 @@ fn parse_args() -> Result<Args, String> {
                      \x20               [--shards N] [--pool-pages N] [--skew uniform|zipf:THETA]\n\
                      \x20               [--seed N] [--sweep] [--updates N]\n\
                      \x20               [--fault-rate F] [--corrupt-rate F] [--fault-seed N]\n\
-                     \x20               [--entry-decode on|off|auto]\n\
+                     \x20               [--entry-decode on|off|auto] [--backend B]\n\
                      \n\
                      --fault-rate F    inject read failures on fraction F of physical reads\n\
                      --corrupt-rate F  inject page corruption on fraction F of physical reads\n\
                      --fault-seed N    seed for the deterministic fault stream\n\
                      --entry-decode M  entry-granular decode: on, off (full decode), or\n\
-                     \x20                 auto (default; per-request crossover heuristic)"
+                     \x20                 auto (default; per-request crossover heuristic)\n\
+                     --backend B       query engine: signature (default), ine (Dijkstra\n\
+                     \x20                 expansion), or ch (contraction hierarchy); the\n\
+                     \x20                 DSI_BACKEND env var pre-selects it"
                 );
                 std::process::exit(0);
             }
@@ -110,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
                 // Long flags also accept the `--flag=value` spelling; feed
                 // the split pieces back through the same machinery.
                 Some(("--entry-decode", v)) => args.entry_decode = parse(v)?,
+                Some(("--backend", v)) => args.backend = v.parse()?,
                 _ => return Err(format!("unknown flag {other:?} (try --help)")),
             },
         }
@@ -170,6 +182,7 @@ fn main() -> ExitCode {
         },
     );
     println!("entry decode: {:?}", args.entry_decode);
+    println!("backend: {}", args.backend.label());
     let batch = generate(
         service.net(),
         &WorkloadConfig {
@@ -194,7 +207,7 @@ fn main() -> ExitCode {
 
     for &workers in &worker_counts {
         service.reset_stats();
-        let report = service.serve_batch(&batch, workers);
+        let report = service.serve_batch_on(args.backend, &batch, workers);
         println!("\n== {workers} worker(s) ==\n{}", report.summary());
     }
 
@@ -215,7 +228,7 @@ fn main() -> ExitCode {
             service.epoch(),
             changed
         );
-        let report = service.serve_batch(&batch, args.workers);
+        let report = service.serve_batch_on(args.backend, &batch, args.workers);
         println!(
             "\n== post-update, {} worker(s) ==\n{}",
             args.workers,

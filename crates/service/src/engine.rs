@@ -29,7 +29,12 @@
 //! [`Backend::Dijkstra`] backend answers the same queries by incremental
 //! network expansion (the paper's INE baseline) with one reusable
 //! [`SsspWorkspace`] per worker — no paging, no shared state — used for
-//! cross-checking results and as a CPU-cost yardstick.
+//! cross-checking results and as a CPU-cost yardstick. The
+//! [`Backend::Hierarchy`] backend answers them on the service's prebuilt
+//! contraction hierarchy — each distance is one bidirectional upward
+//! search in a per-worker [`ChWorkspace`] — an exact, memory-resident
+//! oracle whose search space is a small fraction of the network. All three
+//! return element-wise identical results.
 //!
 //! # Graceful degradation
 //!
@@ -37,8 +42,10 @@
 //! injects deterministic read failures and corruptions on physical reads.
 //! A failed query attempt is retried (with bounded backoff) up to the
 //! configured retry budget; a query that exhausts its budget falls back to
-//! the exact Dijkstra backend — the answer is still exact, only the fast
-//! path was skipped — and is tagged *degraded* in the [`BatchReport`]. A
+//! an exact in-memory engine — the contraction hierarchy when the service
+//! holds one (it never touches the faulty storage layer), else the
+//! Dijkstra backend — so the answer is still exact, only the fast path was
+//! skipped — and is tagged *degraded* in the [`BatchReport`]. A
 //! shard that degrades several queries in a row is *quarantined*: its
 //! cached pages and decodes are dropped (counters survive, so batch deltas
 //! stay monotone) and it restarts with a cold working set.
@@ -60,7 +67,10 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use dsi_graph::io::{load_network, read_objects, write_network, write_objects, LoadError};
-use dsi_graph::{DijkstraExpansion, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace};
+use dsi_graph::{
+    DijkstraExpansion, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
+};
+use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy};
 use dsi_signature::query::aggregate::RangeAggregate;
 use dsi_signature::query::join::try_self_epsilon_join;
 use dsi_signature::update::UpdateReport;
@@ -88,6 +98,35 @@ pub enum Backend {
     /// Incremental network expansion from the query node (INE baseline);
     /// per-worker workspace, no paging model.
     Dijkstra,
+    /// Contraction-hierarchy distance oracle: every distance is a
+    /// bidirectional upward search over the service's prebuilt hierarchy;
+    /// per-worker workspace, memory-resident (no paging model). Requires
+    /// [`ServiceConfig::hierarchy`].
+    Hierarchy,
+}
+
+impl Backend {
+    /// Short label for reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Signature => "signature",
+            Backend::Dijkstra => "ine",
+            Backend::Hierarchy => "ch",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "signature" | "sig" => Ok(Backend::Signature),
+            "ine" | "dijkstra" => Ok(Backend::Dijkstra),
+            "ch" | "hierarchy" => Ok(Backend::Hierarchy),
+            _ => Err(format!("unknown backend {s:?} (signature | ine | ch)")),
+        }
+    }
 }
 
 /// Service sizing knobs.
@@ -113,6 +152,12 @@ pub struct ServiceConfig {
     /// pre-skip-directory full-decode path — the A/B lever for the workload
     /// driver's `--entry-decode` switch.
     pub entry_decode: EntryDecodeMode,
+    /// Whether the service builds (and maintains) a contraction hierarchy
+    /// over the network. On by default: it backs [`Backend::Hierarchy`],
+    /// accelerates signature construction (the index build receives the
+    /// prebuilt hierarchy), and is the preferred degraded-fallback engine —
+    /// memory-resident, so immune to injected storage faults.
+    pub hierarchy: bool,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +168,7 @@ impl Default for ServiceConfig {
             fault_plan: FaultPlan::none(),
             retry_budget: 2,
             entry_decode: EntryDecodeMode::default(),
+            hierarchy: true,
         }
     }
 }
@@ -161,6 +207,10 @@ pub struct QueryService {
     objects: ObjectSet,
     index: SignatureIndex,
     maint: SignatureMaintainer,
+    /// Contraction hierarchy over `net` (when [`ServiceConfig::hierarchy`]):
+    /// query backend, construction accelerator, and preferred degraded
+    /// fallback. Rebuilt whenever the network changes.
+    ch: Option<ContractionHierarchy>,
     shards: Striped<Shard>,
     epoch: u64,
     pool_pages: usize,
@@ -170,6 +220,9 @@ pub struct QueryService {
     /// Shards quarantined so far (cold-restarted after repeated degraded
     /// queries).
     quarantines: AtomicU64,
+    /// Degraded queries answered by the hierarchy oracle (as opposed to the
+    /// Dijkstra fallback of last resort).
+    ch_fallbacks: AtomicU64,
     /// Write-ahead journal + its directory, when a maintenance log is
     /// attached.
     wal: Option<UpdateJournal>,
@@ -177,24 +230,50 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Build the index over `net`/`objects` and wrap it in a service.
+    /// Build the index over `net`/`objects` and wrap it in a service. With
+    /// [`ServiceConfig::hierarchy`] (the default) the contraction hierarchy
+    /// is built first and handed to the signature construction, which uses
+    /// it for its distance evaluations
+    /// ([`dsi_signature::BuildDistanceMode::Auto`] always picks a prebuilt
+    /// hierarchy) — one preprocessing pass amortized across index build,
+    /// query backend, and fallback path.
     pub fn new(
         net: RoadNetwork,
         objects: ObjectSet,
         sig: &SignatureConfig,
         cfg: &ServiceConfig,
     ) -> Self {
-        let index = SignatureIndex::build(&net, &objects, sig);
-        QueryService::from_parts(net, objects, index, cfg)
+        let ch = cfg
+            .hierarchy
+            .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
+        let index = match &ch {
+            Some(ch) => SignatureIndex::build_with_hierarchy(&net, &objects, sig, ch),
+            None => SignatureIndex::build(&net, &objects, sig),
+        };
+        QueryService::assemble(net, objects, index, ch, cfg)
     }
 
     /// Wrap an already-built index (e.g. one loaded from a checkpoint) in a
-    /// service. The maintainer's spanning forest is rebuilt from `net`, so
-    /// `index` must be consistent with `net`/`objects` as given.
+    /// service. The maintainer's spanning forest (and the contraction
+    /// hierarchy, when configured) is rebuilt from `net`, so `index` must be
+    /// consistent with `net`/`objects` as given.
     pub fn from_parts(
         net: RoadNetwork,
         objects: ObjectSet,
         index: SignatureIndex,
+        cfg: &ServiceConfig,
+    ) -> Self {
+        let ch = cfg
+            .hierarchy
+            .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
+        QueryService::assemble(net, objects, index, ch, cfg)
+    }
+
+    fn assemble(
+        net: RoadNetwork,
+        objects: ObjectSet,
+        index: SignatureIndex,
+        ch: Option<ContractionHierarchy>,
         cfg: &ServiceConfig,
     ) -> Self {
         let maint = SignatureMaintainer::new(&net, &objects);
@@ -203,6 +282,7 @@ impl QueryService {
             objects,
             index,
             maint,
+            ch,
             shards: Striped::new(cfg.shards, |_| Shard {
                 state: None,
                 strikes: 0,
@@ -213,6 +293,7 @@ impl QueryService {
             retry_budget: cfg.retry_budget,
             entry_decode: cfg.entry_decode,
             quarantines: AtomicU64::new(0),
+            ch_fallbacks: AtomicU64::new(0),
             wal: None,
             log_dir: None,
         }
@@ -231,6 +312,11 @@ impl QueryService {
     /// The signature index being served.
     pub fn index(&self) -> &SignatureIndex {
         &self.index
+    }
+
+    /// The contraction hierarchy, when [`ServiceConfig::hierarchy`] is on.
+    pub fn hierarchy(&self) -> Option<&ContractionHierarchy> {
+        self.ch.as_ref()
     }
 
     /// Current maintenance epoch (bumped by [`Self::apply_updates`]).
@@ -265,6 +351,12 @@ impl QueryService {
         workers: usize,
     ) -> BatchReport {
         let workers = workers.max(1);
+        if backend == Backend::Hierarchy {
+            assert!(
+                self.ch.is_some(),
+                "Backend::Hierarchy requires ServiceConfig::hierarchy"
+            );
+        }
         let io_before = self.merged_io_stats();
         let ops_before = self.merged_op_stats();
         let cursor = AtomicUsize::new(0);
@@ -275,17 +367,27 @@ impl QueryService {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 scope.spawn(move || {
-                    // One reusable Dijkstra workspace per worker: allocated
-                    // once, reset in O(touched) between queries.
+                    // One reusable workspace of each kind per worker:
+                    // allocated once, reset in O(touched) between queries.
                     let mut ws = SsspWorkspace::new();
+                    let mut chws = ChWorkspace::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(q) = queries.get(i) else { break };
                         let t0 = Instant::now();
                         let (out, degraded) = match backend {
-                            Backend::Signature => self.execute_sharded(q, &mut ws),
+                            Backend::Signature => self.execute_sharded(q, &mut ws, &mut chws),
                             Backend::Dijkstra => (
                                 execute_dijkstra(&self.net, &self.objects, &mut ws, q),
+                                false,
+                            ),
+                            Backend::Hierarchy => (
+                                execute_hierarchy(
+                                    &self.objects,
+                                    self.ch.as_ref().expect("checked above"),
+                                    &mut chws,
+                                    q,
+                                ),
                                 false,
                             ),
                         };
@@ -307,6 +409,7 @@ impl QueryService {
             degraded[i] = deg;
         }
         BatchReport {
+            backend: backend.label(),
             outputs: outputs
                 .into_iter()
                 .map(|o| o.expect("every query executed"))
@@ -340,10 +443,17 @@ impl QueryService {
     /// query is retried (bounded backoff; failed reads are never cached, so
     /// a retry re-draws the fault stream while keeping the pages it did
     /// read) up to the retry budget; past the budget the query is answered
-    /// exactly via incremental network expansion in `ws`. Repeated
-    /// degradation quarantines the shard: pages and decodes are dropped,
-    /// counters survive.
-    fn execute_sharded(&self, q: &Query, ws: &mut SsspWorkspace) -> (QueryOutput, bool) {
+    /// exactly off the fast paths — by the contraction hierarchy in `chws`
+    /// when the service holds one (memory-resident, so immune to the
+    /// injected storage faults), else by incremental network expansion in
+    /// `ws`. Repeated degradation quarantines the shard: pages and decodes
+    /// are dropped, counters survive.
+    fn execute_sharded(
+        &self,
+        q: &Query,
+        ws: &mut SsspWorkspace,
+        chws: &mut ChWorkspace,
+    ) -> (QueryOutput, bool) {
         let mut shard = self.shards.lock(q.route_key());
         let mut state = shard.state.take().unwrap_or_else(|| self.fresh_state());
         let mut attempt = 0u32;
@@ -374,7 +484,14 @@ impl QueryService {
                         self.quarantines.fetch_add(1, Ordering::Relaxed);
                     }
                     shard.state = Some(state);
-                    return (execute_dijkstra(&self.net, &self.objects, ws, q), true);
+                    let out = match &self.ch {
+                        Some(ch) => {
+                            self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            execute_hierarchy(&self.objects, ch, chws, q)
+                        }
+                        None => execute_dijkstra(&self.net, &self.objects, ws, q),
+                    };
+                    return (out, true);
                 }
             }
         }
@@ -407,8 +524,20 @@ impl QueryService {
                     .update_edge(&mut self.net, &mut self.index, a, b, w)
             })
             .collect();
+        self.rebuild_hierarchy();
         self.epoch += 1;
         Ok(reports)
+    }
+
+    /// Re-derive the contraction hierarchy from the (just-mutated) network,
+    /// when the service maintains one. The hierarchy has no incremental
+    /// maintenance story — a weight change can invalidate shortcuts
+    /// anywhere above it — so maintenance rebuilds it wholesale, inside the
+    /// same `&mut self` window that patches the index.
+    fn rebuild_hierarchy(&mut self) {
+        if self.ch.is_some() {
+            self.ch = Some(ContractionHierarchy::build(&self.net, &ChConfig::default()));
+        }
     }
 
     /// Attach a maintenance log at `dir`: the base network/object snapshot
@@ -503,6 +632,7 @@ impl QueryService {
             svc.maint.update_edge(&mut svc.net, &mut svc.index, a, b, w);
         }
         if !replay.is_empty() {
+            svc.rebuild_hierarchy();
             svc.epoch += 1;
         }
         svc.wal = Some(wal);
@@ -520,6 +650,14 @@ impl QueryService {
     /// Shards quarantined (cold-restarted) since the service was built.
     pub fn quarantine_count(&self) -> u64 {
         self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Degraded queries answered by the hierarchy oracle since the service
+    /// was built. With a hierarchy configured this equals the total
+    /// degraded count — the Dijkstra fallback is reached only when no
+    /// hierarchy exists.
+    pub fn hierarchy_fallback_count(&self) -> u64 {
+        self.ch_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Updates journaled so far, when a maintenance log is attached.
@@ -568,9 +706,21 @@ impl QueryService {
             self.merged_io_stats(),
             self.merged_op_stats()
         );
+        match &self.ch {
+            Some(ch) => s.push_str(&format!(
+                " | hierarchy: {} arcs ({} shortcuts)",
+                ch.num_up_arcs(),
+                ch.num_shortcuts()
+            )),
+            None => s.push_str(" | hierarchy: off"),
+        }
         let quarantines = self.quarantine_count();
         if quarantines > 0 {
             s.push_str(&format!(" | {quarantines} quarantines"));
+        }
+        let ch_fallbacks = self.hierarchy_fallback_count();
+        if ch_fallbacks > 0 {
+            s.push_str(&format!(" | {ch_fallbacks} ch-fallbacks"));
         }
         s
     }
@@ -609,6 +759,82 @@ fn try_execute_signature(sess: &mut Session<'_>, q: &Query) -> OpResult<QueryOut
         Query::Aggregate { node, eps } => QueryOutput::Aggregate(sess.try_aggregate(node, eps)?),
         Query::Join { eps } => QueryOutput::Join(try_self_epsilon_join(sess, eps)?),
     })
+}
+
+/// Answer one query on the contraction-hierarchy oracle: every needed
+/// distance is one bidirectional upward search in `ws`.
+///
+/// Results are element-wise identical to [`execute_dijkstra`]: ranges list
+/// qualifying objects in id order, kNN keeps the `k` smallest `(distance,
+/// object)` pairs (same deterministic tie cut), joins list `a < b` pairs in
+/// order. Unreachable objects (`INFINITY`) never qualify, matching an
+/// expansion that never settles them.
+fn execute_hierarchy(
+    objects: &ObjectSet,
+    ch: &ContractionHierarchy,
+    ws: &mut ChWorkspace,
+    q: &Query,
+) -> QueryOutput {
+    match *q {
+        Query::Range { node, eps } => QueryOutput::Range(
+            objects
+                .iter()
+                .filter(|&(_, host)| {
+                    let d = ch.p2p(node, host, ws);
+                    d != INFINITY && d <= eps
+                })
+                .map(|(o, _)| o)
+                .collect(),
+        ),
+        Query::Knn { node, k } => {
+            let k = k.min(objects.len());
+            let mut found: Vec<(Dist, ObjectId)> = objects
+                .iter()
+                .filter_map(|(o, host)| {
+                    let d = ch.p2p(node, host, ws);
+                    (d != INFINITY).then_some((d, o))
+                })
+                .collect();
+            found.sort_unstable();
+            found.truncate(k);
+            QueryOutput::Knn(
+                found
+                    .into_iter()
+                    .map(|(d, o)| KnnResult {
+                        object: o,
+                        dist: Some(d),
+                    })
+                    .collect(),
+            )
+        }
+        Query::Aggregate { node, eps } => {
+            let mut agg = RangeAggregate::default();
+            for (_, host) in objects.iter() {
+                let d = ch.p2p(node, host, ws);
+                if d != INFINITY && d <= eps {
+                    agg.count += 1;
+                    agg.sum += d as u64;
+                    agg.min = Some(agg.min.map_or(d, |m| m.min(d)));
+                    agg.max = Some(agg.max.map_or(d, |m| m.max(d)));
+                }
+            }
+            QueryOutput::Aggregate(agg)
+        }
+        Query::Join { eps } => {
+            let hosts: Vec<(ObjectId, NodeId)> = objects.iter().collect();
+            let mut pairs = Vec::new();
+            for (i, &(a, ha)) in hosts.iter().enumerate() {
+                for &(b, hb) in &hosts[i + 1..] {
+                    let d = ch.p2p(ha, hb, ws);
+                    if d != INFINITY && d <= eps {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            QueryOutput::Join(pairs)
+        }
+    }
 }
 
 /// Answer one query by incremental network expansion in `ws`.

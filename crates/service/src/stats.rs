@@ -55,10 +55,14 @@ impl ClassStats {
 /// outputs plus cost accounting for the whole batch.
 #[derive(Debug)]
 pub struct BatchReport {
+    /// Label of the backend that served the batch
+    /// ([`crate::Backend::label`]).
+    pub backend: &'static str,
     /// One output per input query, in input order.
     pub outputs: Vec<QueryOutput>,
-    /// Per query, in input order: whether it was answered by the exact
-    /// Dijkstra fallback after exhausting its storage-fault retry budget.
+    /// Per query, in input order: whether it was answered by an exact
+    /// fallback engine (the hierarchy oracle when the service holds one,
+    /// else Dijkstra) after exhausting its storage-fault retry budget.
     /// Degraded answers are still exact — only the fast path was skipped.
     pub degraded: Vec<bool>,
     /// Wall-clock time for the whole batch.
@@ -93,8 +97,9 @@ impl BatchReport {
     /// Multi-line human-readable summary (workload driver, service logs).
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "{} queries, {} workers: {:.1} q/s over {:.3} ms\n  io: {}\n  ops: {} sig reads, {} entry reads, {} hops, {} exact + {} approx comparisons\n",
+            "{} queries on {}, {} workers: {:.1} q/s over {:.3} ms\n  io: {}\n  ops: {} sig reads, {} entry reads, {} hops, {} exact + {} approx comparisons\n",
             self.outputs.len(),
+            self.backend,
             self.workers,
             self.throughput_qps(),
             self.wall.as_secs_f64() * 1e3,

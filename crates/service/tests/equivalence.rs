@@ -142,6 +142,45 @@ fn signature_and_dijkstra_backends_agree() {
 }
 
 #[test]
+fn all_three_backends_agree_element_wise() {
+    let service = build_service(19);
+    let batch = mixed_batch(&service, 150, 5);
+
+    let sig = service.serve_batch_on(Backend::Signature, &batch, 2);
+    let ine = service.serve_batch_on(Backend::Dijkstra, &batch, 2);
+    let ch = service.serve_batch_on(Backend::Hierarchy, &batch, 2);
+    assert_eq!(
+        (sig.backend, ine.backend, ch.backend),
+        ("signature", "ine", "ch")
+    );
+
+    // INE and the hierarchy oracle both emit canonical orderings (id-sorted
+    // ranges, `(dist, object)`-sorted kNN, sorted join pairs): strictly
+    // equal outputs, including at kNN distance ties.
+    assert_eq!(ch.outputs.len(), ine.outputs.len());
+    for (i, (a, b)) in ch.outputs.iter().zip(&ine.outputs).enumerate() {
+        assert_eq!(a, b, "query {i} ({:?}): ch vs ine", batch[i]);
+    }
+    // The signature path may legitimately keep a different tied kNN object:
+    // tie-aware comparison against both.
+    assert_backends_agree(&sig.outputs, &ine.outputs, "signature vs ine");
+    assert_backends_agree(&sig.outputs, &ch.outputs, "signature vs ch");
+}
+
+#[test]
+fn hierarchy_backend_serial_matches_parallel() {
+    let service = build_service(13);
+    let batch = mixed_batch(&service, 200, 21);
+
+    let r1 = service.serve_batch_on(Backend::Hierarchy, &batch, 1);
+    let r4 = service.serve_batch_on(Backend::Hierarchy, &batch, 4);
+    assert_eq!(r1.outputs.len(), batch.len());
+    for (i, (a, b)) in r1.outputs.iter().zip(&r4.outputs).enumerate() {
+        assert_eq!(a, b, "query {i} ({:?}) diverged under 4 workers", batch[i]);
+    }
+}
+
+#[test]
 fn epoch_update_between_batches_is_visible() {
     let mut service = build_service(23);
     let batch = mixed_batch(&service, 150, 17);
@@ -178,4 +217,12 @@ fn epoch_update_between_batches_is_visible() {
     // had served stale decodes, the signature outputs would diverge.
     let truth = service.serve_batch_on(Backend::Dijkstra, &batch, 4);
     assert_backends_agree(&after.outputs, &truth.outputs, "post-update");
+
+    // The hierarchy was rebuilt by the same maintenance call; the oracle
+    // must serve the updated network, not the contraction of the old one.
+    let ch_truth = service.serve_batch_on(Backend::Hierarchy, &batch, 4);
+    assert_eq!(
+        ch_truth.outputs, truth.outputs,
+        "hierarchy oracle diverged from INE post-update"
+    );
 }

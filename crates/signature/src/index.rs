@@ -5,6 +5,7 @@ use dsi_graph::network::Slot;
 use dsi_graph::{
     sssp, sssp_into, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
 };
+use dsi_hierarchy::{ChConfig, ContractionHierarchy, PhastWorkspace};
 use dsi_storage::{ccam_order, PagedStore};
 
 use crate::bits::{BitBox, BitReader, BitWriter};
@@ -42,6 +43,44 @@ pub struct SignatureConfig {
     /// directory; `K = 16` keeps the overhead well under 10 % of
     /// `disk_bytes` on the paper's datasets. Clamped to ≥ 1.
     pub skip_stride: usize,
+    /// How per-object distance vectors are computed during construction
+    /// (§5.2's "one Dijkstra per object" step).
+    pub build_distance: BuildDistanceMode,
+}
+
+/// Distance substrate for index construction.
+///
+/// The per-object distance vector can come from flat Dijkstra over the
+/// road network (the paper's §5.2 build) or from a PHAST sweep over a
+/// contraction hierarchy — identical distances, the latter replacing one
+/// priority-queue Dijkstra per object with one tiny upward search plus a
+/// linear rank sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BuildDistanceMode {
+    /// Decide per build (the default): use the hierarchy when the caller
+    /// supplies a prebuilt one ([`SignatureIndex::build_with_hierarchy`]),
+    /// or when the build is big enough (`|D| ≥ 64` objects on `n ≥ 1024`
+    /// nodes) that constructing a throwaway hierarchy amortizes over the
+    /// per-object sweeps; flat Dijkstra otherwise.
+    #[default]
+    Auto,
+    /// Always flat Dijkstra, one full SSSP per object.
+    Flat,
+    /// Always CH-accelerated: PHAST sweeps over a hierarchy, building a
+    /// seeded-default one on the spot if none was supplied.
+    Hierarchy,
+}
+
+impl BuildDistanceMode {
+    /// Resolve to "use the hierarchy?" for a build of `d` objects on `n`
+    /// nodes, with (`have_ch`) or without a prebuilt hierarchy on hand.
+    pub fn use_hierarchy(self, n: usize, d: usize, have_ch: bool) -> bool {
+        match self {
+            BuildDistanceMode::Flat => false,
+            BuildDistanceMode::Hierarchy => true,
+            BuildDistanceMode::Auto => have_ch || (d >= 64 && n >= 1024),
+        }
+    }
 }
 
 impl Default for SignatureConfig {
@@ -55,6 +94,7 @@ impl Default for SignatureConfig {
             pool_pages: 64,
             parallel: true,
             skip_stride: 16,
+            build_distance: BuildDistanceMode::default(),
         }
     }
 }
@@ -218,14 +258,42 @@ struct Column {
 }
 
 impl SignatureIndex {
-    /// Build the index: one Dijkstra per object fills the per-node
-    /// signatures (§5.2 — "all the distances computed are necessary"), then
-    /// each node's signature is encoded and compressed.
+    /// Build the index: one SSSP per object fills the per-node signatures
+    /// (§5.2 — "all the distances computed are necessary"), then each
+    /// node's signature is encoded and compressed. The SSSP substrate is
+    /// picked by [`SignatureConfig::build_distance`].
     ///
     /// # Panics
     /// If the network is disconnected (signatures require every
     /// node-object distance to exist) or the dataset is empty.
     pub fn build(net: &RoadNetwork, objects: &ObjectSet, config: &SignatureConfig) -> Self {
+        Self::build_inner(net, objects, config, None)
+    }
+
+    /// [`build`](Self::build) with a prebuilt contraction hierarchy over
+    /// `net`: under `Auto` or `Hierarchy` distance mode the per-object
+    /// SSSPs run as PHAST sweeps on `ch` (preprocessing amortized across
+    /// builds); under `Flat` the hierarchy is ignored.
+    pub fn build_with_hierarchy(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        config: &SignatureConfig,
+        ch: &ContractionHierarchy,
+    ) -> Self {
+        assert_eq!(
+            ch.num_nodes(),
+            net.num_nodes(),
+            "hierarchy was built for a different network"
+        );
+        Self::build_inner(net, objects, config, Some(ch))
+    }
+
+    fn build_inner(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        config: &SignatureConfig,
+        ch: Option<&ContractionHierarchy>,
+    ) -> Self {
         assert!(!objects.is_empty(), "dataset must be non-empty");
         let n = net.num_nodes();
         let d = objects.len();
@@ -244,7 +312,19 @@ impl SignatureIndex {
         let link_bits = link_bits_for(net.max_degree());
 
         // Per-object shortest-path trees → category/link columns.
-        let columns = build_columns(net, objects, &partition, last_lb, config.parallel);
+        let built_ch;
+        let distance = if config.build_distance.use_hierarchy(n, d, ch.is_some()) {
+            Some(match ch {
+                Some(ch) => ch,
+                None => {
+                    built_ch = ContractionHierarchy::build(net, &ChConfig::default());
+                    &built_ch
+                }
+            })
+        } else {
+            None
+        };
+        let columns = build_columns(net, objects, &partition, last_lb, config.parallel, distance);
 
         let mut obj_dist = ObjDistTable::with_rows(d);
         for (o, col) in columns.iter().enumerate() {
@@ -669,42 +749,98 @@ pub(crate) fn dir_widths(blobs: &[BitBox], num_objects: usize, num_cats: usize) 
     )
 }
 
-/// Build per-object category/link columns, optionally in parallel.
+/// Per-worker construction state: one workspace per substrate, each
+/// allocated once per thread regardless of how many objects it builds.
+#[derive(Default)]
+struct BuildWs {
+    flat: SsspWorkspace,
+    phast: PhastWorkspace,
+}
+
+/// The adjacency slot of a neighbor on a shortest path toward the distance
+/// source: the **first** slot `u` with `d(u) + w(u,v) = d(v)`. Shortest
+/// paths are not unique and queries only need descent, but the choice must
+/// be *canonical* (a pure function of the distance labels, not of Dijkstra
+/// tie-breaking): incremental maintenance patches only entries the
+/// spanning-forest delta names, which is sound exactly because the index
+/// links and the (canonicalized) forest parents start out identical —
+/// whatever substrate produced the distances. See
+/// `dsi_graph::spanning::canonicalize_parents`, the same rule.
+fn descent_slot(net: &RoadNetwork, dist_of: impl Fn(NodeId) -> Dist, v: NodeId, dv: Dist) -> Slot {
+    if dv == 0 {
+        // The source itself: its link is never followed; record the default.
+        return 0;
+    }
+    for (slot, u, w) in net.neighbors(v) {
+        let du = dist_of(u);
+        if w != INFINITY && du != INFINITY && du + w == dv {
+            return slot;
+        }
+    }
+    panic!("no descending neighbor at {v} — distances inconsistent");
+}
+
+/// Build per-object category/link columns, optionally in parallel. With a
+/// hierarchy, each object's SSSP is a PHAST sweep instead of flat
+/// Dijkstra — identical distances, links recovered by descent scan.
 fn build_columns(
     net: &RoadNetwork,
     objects: &ObjectSet,
     partition: &CategoryPartition,
     last_lb: Dist,
     parallel: bool,
+    hierarchy: Option<&ContractionHierarchy>,
 ) -> Vec<Column> {
     let d = objects.len();
-    // Each worker keeps one workspace for all its SSSPs: the dist/parent
-    // arrays and the queue are allocated once per thread, not per object.
-    let run = |o: usize, ws: &mut SsspWorkspace| -> Column {
-        let host = objects.node_of(ObjectId(o as u32));
-        sssp_into(net, host, ws);
-        let n = net.num_nodes();
-        let mut cats = vec![0u8; n];
-        let mut links = vec![0 as Slot; n];
-        for v in 0..n {
-            let node = NodeId(v as u32);
-            let dist = ws.dist(node);
-            assert!(
-                dist != INFINITY,
-                "network must be connected to build signatures"
-            );
-            cats[v] = partition.category_of(dist);
-            links[v] = ws.parent_slot(node);
-        }
-        let mut obj_row: Vec<(u32, Dist)> = objects
+    let obj_row_from = |o: usize, dist_of: &dyn Fn(NodeId) -> Dist| -> Vec<(u32, Dist)> {
+        let mut row: Vec<(u32, Dist)> = objects
             .iter()
             .filter(|&(b, _)| b.index() != o)
             .filter_map(|(b, host_b)| {
-                let dist = ws.dist(host_b);
+                let dist = dist_of(host_b);
                 (dist < last_lb).then_some((b.0, dist))
             })
             .collect();
-        obj_row.sort_unstable_by_key(|&(b, _)| b);
+        row.sort_unstable_by_key(|&(b, _)| b);
+        row
+    };
+    let run = |o: usize, ws: &mut BuildWs| -> Column {
+        let host = objects.node_of(ObjectId(o as u32));
+        let n = net.num_nodes();
+        let mut cats = vec![0u8; n];
+        let mut links = vec![0 as Slot; n];
+        let obj_row;
+        match hierarchy {
+            None => {
+                sssp_into(net, host, &mut ws.flat);
+                for v in 0..n {
+                    let node = NodeId(v as u32);
+                    let dist = ws.flat.dist(node);
+                    assert!(
+                        dist != INFINITY,
+                        "network must be connected to build signatures"
+                    );
+                    cats[v] = partition.category_of(dist);
+                    links[v] = descent_slot(net, |u| ws.flat.dist(u), node, dist);
+                }
+                obj_row = obj_row_from(o, &|v| ws.flat.dist(v));
+            }
+            Some(ch) => {
+                ch.sssp_phast(host, &mut ws.phast);
+                let dists = ws.phast.dists();
+                for v in 0..n {
+                    let node = NodeId(v as u32);
+                    let dist = dists[v];
+                    assert!(
+                        dist != INFINITY,
+                        "network must be connected to build signatures"
+                    );
+                    cats[v] = partition.category_of(dist);
+                    links[v] = descent_slot(net, |u| dists[u.index()], node, dist);
+                }
+                obj_row = obj_row_from(o, &|v| dists[v.index()]);
+            }
+        }
         Column {
             cats,
             links,
@@ -718,7 +854,7 @@ fn build_columns(
         1
     };
     if threads <= 1 || d < 4 {
-        let mut ws = SsspWorkspace::new();
+        let mut ws = BuildWs::default();
         return (0..d).map(|o| run(o, &mut ws)).collect();
     }
     let mut out: Vec<Option<Column>> = (0..d).map(|_| None).collect();
@@ -730,7 +866,7 @@ fn build_columns(
             let next = &next;
             let run = &run;
             s.spawn(move || {
-                let mut ws = SsspWorkspace::new();
+                let mut ws = BuildWs::default();
                 loop {
                     let o = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if o >= d {
@@ -945,6 +1081,91 @@ mod tests {
             assert_eq!(par.decode_node(n), ser.decode_node(n));
         }
         assert_eq!(par.report.compressed_bits, ser.report.compressed_bits);
+    }
+
+    #[test]
+    fn hierarchy_build_matches_flat_build() {
+        let net = grid(11, 11);
+        let mut rng = StdRng::seed_from_u64(31);
+        let objects = ObjectSet::uniform(&net, 0.08, &mut rng);
+        let flat = SignatureIndex::build(
+            &net,
+            &objects,
+            &SignatureConfig {
+                build_distance: BuildDistanceMode::Flat,
+                ..Default::default()
+            },
+        );
+        let hier = SignatureIndex::build(
+            &net,
+            &objects,
+            &SignatureConfig {
+                build_distance: BuildDistanceMode::Hierarchy,
+                ..Default::default()
+            },
+        );
+        let trees: Vec<_> = objects.iter().map(|(_, h)| sssp(&net, h)).collect();
+        for n in net.nodes() {
+            let a = flat.decode_node(n);
+            let b = hier.decode_node(n);
+            // Categories are a pure function of exact distances: equal.
+            assert_eq!(a.cats, b.cats, "node {n}");
+            // Links are canonical (first descending slot) regardless of the
+            // distance substrate: bit-identical, and they must descend.
+            assert_eq!(a.links, b.links, "node {n}");
+            for (o, host) in objects.iter() {
+                if n == host {
+                    continue;
+                }
+                let (next, w) = net.neighbor_at(n, b.links[o.index()]);
+                let dn = trees[o.index()].dist[n.index()];
+                let dnext = trees[o.index()].dist[next.index()];
+                assert_eq!(dnext + w, dn, "CH-derived link at {n} for {o}");
+            }
+        }
+        // Same object-distance side table, bit for bit.
+        for a in objects.objects() {
+            for b in objects.objects() {
+                assert_eq!(flat.obj_dist().get(a, b), hier.obj_dist().get(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_resolution_thresholds() {
+        use BuildDistanceMode::*;
+        assert!(
+            !Auto.use_hierarchy(300, 20, false),
+            "small builds stay flat"
+        );
+        assert!(
+            Auto.use_hierarchy(300, 20, true),
+            "prebuilt CH is always used"
+        );
+        assert!(
+            Auto.use_hierarchy(2000, 64, false),
+            "big builds self-amortize"
+        );
+        assert!(!Flat.use_hierarchy(2000, 64, true));
+        assert!(Hierarchy.use_hierarchy(10, 2, false));
+    }
+
+    #[test]
+    fn prebuilt_hierarchy_build_agrees_with_internal_one() {
+        let net = grid(9, 9);
+        let mut rng = StdRng::seed_from_u64(47);
+        let objects = ObjectSet::uniform(&net, 0.1, &mut rng);
+        let ch =
+            dsi_hierarchy::ContractionHierarchy::build(&net, &dsi_hierarchy::ChConfig::default());
+        let cfg = SignatureConfig {
+            build_distance: BuildDistanceMode::Hierarchy,
+            ..Default::default()
+        };
+        let supplied = SignatureIndex::build_with_hierarchy(&net, &objects, &cfg, &ch);
+        let internal = SignatureIndex::build(&net, &objects, &cfg);
+        for n in net.nodes() {
+            assert_eq!(supplied.decode_node(n), internal.decode_node(n));
+        }
     }
 
     #[test]

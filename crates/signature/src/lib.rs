@@ -40,7 +40,7 @@ pub mod update;
 
 pub use category::{CategoryPartition, DistRange};
 pub use cross::CrossNodeIndex;
-pub use index::{SignatureConfig, SignatureIndex, SizeReport};
+pub use index::{BuildDistanceMode, SignatureConfig, SignatureIndex, SizeReport};
 pub use ops::{EntryDecodeMode, OpResult, OpStats, Session, SessionState};
 pub use query::knn::{KnnResult, KnnType};
 pub use skip::{EntryAnchor, SkipDirectory};

@@ -20,6 +20,10 @@
 //! * [`signature`] — the distance-signature index itself: categories,
 //!   encoding, compression, query processing, updates, and the analytical
 //!   cost model.
+//! * [`hierarchy`] — contraction-hierarchy distance oracle: edge-difference
+//!   ordering, shortcut insertion, bidirectional upward p2p queries, and
+//!   PHAST one-to-all sweeps (third query backend and the fast-construction
+//!   substrate for index builds).
 //! * [`baselines`] — INE, full index, NVD/VN3, and IER comparators.
 //! * [`service`] — multi-threaded query service: lock-striped sessions,
 //!   worker-pool batch execution, workload generation, and latency stats.
@@ -45,6 +49,7 @@
 
 pub use dsi_baselines as baselines;
 pub use dsi_graph as graph;
+pub use dsi_hierarchy as hierarchy;
 pub use dsi_rtree as rtree;
 pub use dsi_service as service;
 pub use dsi_signature as signature;

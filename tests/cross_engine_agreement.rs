@@ -1,13 +1,18 @@
-//! Cross-crate integration: every engine (signature, full, NVD, INE, IER)
-//! must return identical answers on identical workloads — distances are
-//! exact in all of them, so agreement is bitwise, not approximate.
+//! Cross-crate integration: every engine (signature, full, NVD, INE, IER,
+//! and the contraction-hierarchy oracle) must return identical answers on
+//! identical workloads — distances are exact in all of them, so agreement
+//! is bitwise, not approximate.
 
 use distance_signature::baselines::{FullIndex, Ier, Ine, NvdIndex};
 use distance_signature::graph::generate::{random_planar, PlanarConfig};
 use distance_signature::graph::{Dist, NodeId, ObjectId, ObjectSet, RoadNetwork};
+use distance_signature::hierarchy::{ChConfig, ContractionHierarchy};
+use distance_signature::service::{generate, Backend, QueryOutput, QueryService, ServiceConfig};
+use distance_signature::service::{Skew, WorkloadConfig};
 use distance_signature::signature::query::knn::{knn, KnnType};
 use distance_signature::signature::query::range::range_query;
 use distance_signature::signature::{SignatureConfig, SignatureIndex};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,6 +36,8 @@ fn all_engines_agree_on_range_queries() {
     let sig = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
     let mut sess = sig.session(&net);
     let mut full = FullIndex::build(&net, &objects, 32, true);
+    let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+    let mut full_ch = FullIndex::build_with_hierarchy(&net, &objects, 32, &ch);
     let mut nvd = NvdIndex::build(&net, &objects, 32);
     let mut ine = Ine::new(&net, 32);
 
@@ -38,9 +45,11 @@ fn all_engines_agree_on_range_queries() {
         for eps in [0u32, 7, 45, 200, 2000] {
             let a = range_query(&mut sess, q, eps);
             let b = full.range(q, eps);
+            let b2 = full_ch.range(q, eps);
             let c = nvd.range(&net, q, eps);
             let d = ine.range(&net, &objects, q, eps);
             assert_eq!(a, b, "signature vs full at {q}, eps {eps}");
+            assert_eq!(a, b2, "signature vs CH-built full at {q}, eps {eps}");
             assert_eq!(a, c, "signature vs NVD at {q}, eps {eps}");
             assert_eq!(a, d, "signature vs INE at {q}, eps {eps}");
         }
@@ -135,6 +144,101 @@ fn uncompressed_and_compressed_indexes_answer_identically() {
         on.report.compressed_bits
             < off.report.encoded_bits + (on.num_nodes() * on.num_objects()) as u64
     );
+}
+
+/// Tie-aware comparison of one signature output against a canonical
+/// backend's: kNN answers are unique only up to ties at the k-th distance
+/// (both sort by `(dist, object)`, but the signature path may keep a
+/// different tied object), everything else must be bitwise equal.
+fn assert_output_agrees(s: &QueryOutput, canon: &QueryOutput, ctx: &str) {
+    match (s, canon) {
+        (QueryOutput::Knn(a), QueryOutput::Knn(b)) => {
+            let dists = |rs: &[distance_signature::signature::KnnResult]| {
+                rs.iter().map(|r| r.dist).collect::<Vec<_>>()
+            };
+            assert_eq!(dists(a), dists(b), "{ctx}: kNN distance profile");
+            let kth = a.last().and_then(|r| r.dist);
+            let strict = |rs: &[distance_signature::signature::KnnResult]| {
+                rs.iter()
+                    .filter(|r| r.dist < kth)
+                    .map(|r| r.object)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(strict(a), strict(b), "{ctx}: objects below the cut");
+        }
+        (QueryOutput::Range(a), QueryOutput::Range(b)) => {
+            let mut a = a.clone();
+            a.sort_unstable();
+            assert_eq!(&a, b, "{ctx}: range");
+        }
+        (a, b) => assert_eq!(a, b, "{ctx}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Three-way element-wise agreement on random planar networks: the
+    /// signature index, incremental network expansion, and the contraction
+    /// hierarchy all serve the same mixed batch through the query service.
+    /// INE and the hierarchy both emit canonical orderings and must be
+    /// strictly equal; the signature path is compared tie-aware.
+    #[test]
+    fn three_backends_agree_on_random_networks(
+        seed in 0u64..1 << 32,
+        nodes in 60usize..180,
+        density in 0.03f64..0.10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: nodes,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, density, &mut rng);
+        if objects.len() < 2 {
+            return; // degenerate draw: nothing to cross-check
+        }
+        let service = QueryService::new(
+            net,
+            objects,
+            &SignatureConfig::default(),
+            &ServiceConfig {
+                shards: 4,
+                pool_pages: 32,
+                ..Default::default()
+            },
+        );
+        let batch = generate(
+            service.net(),
+            &WorkloadConfig {
+                count: 40,
+                seed: seed ^ 0xA5A5,
+                skew: Skew::Uniform,
+                ..Default::default()
+            },
+        );
+
+        let sig = service.serve_batch_on(Backend::Signature, &batch, 2);
+        let ine = service.serve_batch_on(Backend::Dijkstra, &batch, 2);
+        let ch = service.serve_batch_on(Backend::Hierarchy, &batch, 2);
+        for (i, q) in batch.iter().enumerate() {
+            prop_assert_eq!(
+                &ch.outputs[i],
+                &ine.outputs[i],
+                "query {} ({:?}): ch vs ine",
+                i,
+                q
+            );
+            assert_output_agrees(
+                &sig.outputs[i],
+                &ine.outputs[i],
+                &format!("query {i} ({q:?}): signature vs canonical"),
+            );
+        }
+    }
 }
 
 #[test]
