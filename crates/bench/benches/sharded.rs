@@ -1,0 +1,76 @@
+//! Partitioned-index benchmarks on a network 10× the service bench:
+//! per-K build wall-clock (the headline: K-way partitioned construction
+//! does ~1/K of the single index's SSSP work plus a boundary surcharge,
+//! so it wins even on one CPU) and per-K query medians through the shard
+//! router (the price of boundary stitching at query time).
+//!
+//! `scripts/bench_snapshot.sh sharded` folds these medians into
+//! `BENCH_PR7.json` with a derived `sharded_scaling` section recording
+//! the build speedup of each K over the single index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsi_bench::{paper_dataset, paper_network, Scale};
+use dsi_graph::{Dist, NodeId};
+use dsi_partition::{PartitionedIndex, ShardedSessions};
+use dsi_signature::{KnnType, SignatureConfig, SignatureIndex};
+
+const POOL_PAGES: usize = 64;
+
+fn bench_sharded(c: &mut Criterion) {
+    // 10× the 5000-node service bench; ~500 objects at the paper's 0.01
+    // density.
+    let scale = Scale {
+        nodes: 50_000,
+        queries: 0,
+        seed: 13,
+    };
+    let net = paper_network(&scale);
+    let objects = paper_dataset(&net, "0.01", scale.seed);
+    let config = SignatureConfig::default();
+
+    // A fixed point-query sweep (range + kNN per node) spread over the
+    // network; eps sits in the service bench's mixed-workload band.
+    let query_nodes: Vec<NodeId> = net.nodes().step_by(net.num_nodes() / 100 + 1).collect();
+    const EPS: Dist = 60;
+    const K_NN: usize = 8;
+
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(10);
+
+    group.bench_function("build_single", |b| {
+        b.iter(|| SignatureIndex::build(&net, &objects, &config))
+    });
+    for k in [2usize, 4, 8] {
+        group.bench_function(&format!("build_k{k}"), |b| {
+            b.iter(|| PartitionedIndex::build(&net, &objects, &config, k))
+        });
+    }
+
+    let single = SignatureIndex::build(&net, &objects, &config);
+    group.bench_function("query_single", |b| {
+        let mut sess = single.session(&net);
+        b.iter(|| {
+            for &q in &query_nodes {
+                std::hint::black_box(sess.range(q, EPS));
+                std::hint::black_box(sess.knn(q, K_NN, KnnType::Type1));
+            }
+        })
+    });
+    for k in [2usize, 4, 8] {
+        let pidx = PartitionedIndex::build(&net, &objects, &config, k);
+        group.bench_function(&format!("query_k{k}"), |b| {
+            let mut sharded = ShardedSessions::new(&pidx, POOL_PAGES);
+            b.iter(|| {
+                for &q in &query_nodes {
+                    std::hint::black_box(sharded.range(q, EPS));
+                    std::hint::black_box(sharded.knn(q, K_NN));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -78,6 +78,26 @@ impl ContractionHierarchy {
             }
         }
     }
+
+    /// Exact distance table `sources × targets`: one PHAST sweep per
+    /// source, reading only the target slots out of each dense result.
+    /// This is the boundary-overlay primitive for partitioned indexes
+    /// (`dsi-partition`): with sources = a region's boundary nodes it
+    /// yields the remote-hop glue rows a shard router needs.
+    pub fn many_to_many(
+        &self,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        ws: &mut PhastWorkspace,
+    ) -> Vec<Vec<Dist>> {
+        sources
+            .iter()
+            .map(|&s| {
+                self.sssp_phast(s, ws);
+                targets.iter().map(|&t| ws.dist(t)).collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,245 @@
+//! Binary persistence for a [`PartitionedIndex`].
+//!
+//! A sharded snapshot is one file: a plaintext `[MAGIC][version]` preamble,
+//! then a single CRC-32-framed stream ([`dsi_storage::FrameWriter`])
+//! holding the region assignment, the boundary overlay, the per-region
+//! glue rows, and finally each region's signature index as a
+//! length-prefixed v3 snapshot (the exact byte stream
+//! [`dsi_signature::persist::write_index`] produces — skip directories and
+//! all, so [`EntryDecodeMode::Auto`](dsi_signature::EntryDecodeMode) keeps
+//! working under sharding).
+//!
+//! Region subgraphs, object rosters, and page layouts are *not* stored:
+//! they are re-derived deterministically from the network + assignment at
+//! load time, exactly as [`read_index`](dsi_signature::persist::read_index)
+//! re-derives the single-index layout. A loaded sharded index is therefore
+//! bit-identical in content and I/O accounting to the one that was saved.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dsi_graph::io::{get_u32, get_u64, put_u32, put_u64, LoadError};
+use dsi_graph::{ObjectSet, RoadNetwork, INFINITY};
+use dsi_storage::{FrameReader, FrameWriter};
+
+use crate::index::{region_shape, PartitionedIndex, Region, Shape};
+use crate::partitioner::Partitioning;
+
+const MAGIC: &[u8; 4] = b"DSPX";
+const VERSION: u32 = 1;
+
+/// Ceiling on any single up-front reservation while decoding (lengths come
+/// from disk; a corrupt one must not become a giant allocation).
+const MAX_RESERVE: usize = 1 << 16;
+
+fn capped_vec<T>(len: usize) -> Vec<T> {
+    Vec::with_capacity(len.min(MAX_RESERVE))
+}
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, LoadError> {
+    Err(LoadError::Format(msg.into()))
+}
+
+/// Write the sharded snapshot.
+pub fn write_partitioned<W: Write>(pidx: &PartitionedIndex, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+
+    let mut w = FrameWriter::new(w);
+    let k = pidx.num_parts();
+    let assignment = pidx.partitioning.assignment();
+    put_u32(&mut w, k as u32)?;
+    put_u64(&mut w, assignment.len() as u64)?;
+    for &p in assignment {
+        put_u32(&mut w, p)?;
+    }
+
+    // Boundary overlay (global boundary indexes; the index → node mapping
+    // is re-derived from the assignment).
+    put_u64(&mut w, pidx.overlay.len() as u64)?;
+    for adj in &pidx.overlay {
+        put_u32(&mut w, adj.len() as u32)?;
+        for &(to, wt) in adj {
+            put_u32(&mut w, to)?;
+            put_u32(&mut w, wt)?;
+        }
+    }
+
+    // Glue rows: per region, boundary × real-object exact distances.
+    for rows in &pidx.obj_rows {
+        put_u64(&mut w, rows.len() as u64)?;
+        let width = rows.first().map_or(0, Vec::len);
+        put_u64(&mut w, width as u64)?;
+        for row in rows {
+            debug_assert_eq!(row.len(), width);
+            for &d in row {
+                put_u32(&mut w, d)?;
+            }
+        }
+    }
+
+    // Region indexes: each a self-contained v3 signature snapshot,
+    // length-prefixed so the reader can hand each one to
+    // `dsi_signature::persist::read_index` from an exact-sized buffer.
+    for part in &pidx.parts {
+        let mut blob = Vec::new();
+        dsi_signature::persist::write_index(&part.index, &mut blob)?;
+        put_u64(&mut w, blob.len() as u64)?;
+        w.write_all(&blob)?;
+    }
+
+    w.finish()?.flush()
+}
+
+/// Read a sharded snapshot; `net` and `objects` must be the network and
+/// dataset it was built on (region subgraphs and page layouts are
+/// re-derived from them).
+///
+/// Like the single-index loader, every failure mode of a damaged file
+/// surfaces as a [`LoadError`] — never a panic, never an unverified index.
+pub fn read_partitioned<R: Read>(
+    r: R,
+    net: &RoadNetwork,
+    objects: &ObjectSet,
+) -> Result<PartitionedIndex, LoadError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return format_err("not a partitioned index file");
+    }
+    let v = get_u32(&mut r)?;
+    if v != VERSION {
+        return format_err(format!("unsupported partitioned index version {v}"));
+    }
+
+    let mut r = FrameReader::new(r);
+
+    let k = get_u32(&mut r)? as usize;
+    if k == 0 {
+        return format_err("zero regions");
+    }
+    let n = get_u64(&mut r)? as usize;
+    if n != net.num_nodes() {
+        return format_err(format!(
+            "assignment covers {n} nodes but network has {}",
+            net.num_nodes()
+        ));
+    }
+    let mut part_of = capped_vec(n);
+    for _ in 0..n {
+        let p = get_u32(&mut r)?;
+        if p as usize >= k {
+            return format_err("region id out of range");
+        }
+        part_of.push(p);
+    }
+    let partitioning = Partitioning::from_part_of(net, k, part_of);
+    let shape = Shape::of(net, &partitioning);
+    let num_boundary = shape.all_boundary.len();
+
+    let nb = get_u64(&mut r)? as usize;
+    if nb != num_boundary {
+        return format_err(format!(
+            "overlay has {nb} boundary nodes, derived {num_boundary}"
+        ));
+    }
+    let mut overlay = capped_vec(num_boundary);
+    for _ in 0..num_boundary {
+        let deg = get_u32(&mut r)? as usize;
+        let mut adj = capped_vec(deg);
+        for _ in 0..deg {
+            let to = get_u32(&mut r)?;
+            let wt = get_u32(&mut r)?;
+            if to as usize >= num_boundary || wt == INFINITY {
+                return format_err("invalid overlay edge");
+            }
+            adj.push((to, wt));
+        }
+        overlay.push(adj);
+    }
+
+    // Region shapes first (pure derivation), then glue rows validated
+    // against them, then the index blobs.
+    let shapes: Vec<_> = (0..k)
+        .map(|p| region_shape(net, objects, &partitioning, &shape, p))
+        .collect();
+
+    let mut obj_rows = Vec::with_capacity(k);
+    for (p, rs) in shapes.iter().enumerate() {
+        let nrows = get_u64(&mut r)? as usize;
+        let width = get_u64(&mut r)? as usize;
+        if nrows != rs.boundary_objs.len() || (nrows > 0 && width != rs.real_objs.len()) {
+            return format_err(format!("glue rows of region {p} have the wrong shape"));
+        }
+        let mut rows = capped_vec(nrows);
+        for _ in 0..nrows {
+            let mut row = capped_vec(width);
+            for _ in 0..width {
+                row.push(get_u32(&mut r)?);
+            }
+            rows.push(row);
+        }
+        obj_rows.push(rows);
+    }
+
+    let mut parts = Vec::with_capacity(k);
+    let mut base = 0;
+    for (p, rs) in shapes.into_iter().enumerate() {
+        let len = get_u64(&mut r)? as usize;
+        let mut blob = capped_vec(len);
+        let copied = std::io::copy(&mut (&mut r).take(len as u64), &mut blob)?;
+        if copied as usize != len {
+            return format_err(format!("region {p} index blob truncated"));
+        }
+        let mut index = dsi_signature::persist::read_index(&blob[..], &rs.subnet)?;
+        if index.num_objects() != rs.part_objects.len()
+            || rs
+                .part_objects
+                .iter()
+                .any(|(o, host)| index.host(o) != host)
+        {
+            return format_err(format!("region {p} index does not match its roster"));
+        }
+        index.rebase_store(base);
+        base = index.store().end_page();
+        parts.push(Region {
+            net: rs.subnet,
+            objects: rs.part_objects,
+            index,
+            real_objs: rs.real_objs,
+            boundary_objs: rs.boundary_objs,
+        });
+    }
+
+    let placed: usize = parts.iter().map(|r| r.real_objs.len()).sum();
+    if placed != objects.len() {
+        return format_err("dataset does not match the stored assignment");
+    }
+
+    Ok(PartitionedIndex {
+        partitioning,
+        parts,
+        local_node: shape.local_node,
+        all_boundary: shape.all_boundary,
+        boundary_base: shape.boundary_base,
+        overlay,
+        obj_rows,
+        num_objects: objects.len(),
+    })
+}
+
+/// Save the sharded snapshot to `path`.
+pub fn save_partitioned(pidx: &PartitionedIndex, path: impl AsRef<Path>) -> io::Result<()> {
+    write_partitioned(pidx, std::fs::File::create(path)?)
+}
+
+/// Load a sharded snapshot from `path`, validated against `net`/`objects`.
+pub fn load_partitioned(
+    path: impl AsRef<Path>,
+    net: &RoadNetwork,
+    objects: &ObjectSet,
+) -> Result<PartitionedIndex, LoadError> {
+    read_partitioned(std::fs::File::open(path)?, net, objects)
+}

@@ -1,0 +1,357 @@
+//! Cross-partition query routing: region-local operators + boundary
+//! frontier expansion over the overlay.
+//!
+//! Every query runs the *local* region's signature operator first (range
+//! candidates, exact retrievals — all charged to the caller's session, IO
+//! accounting included), then expands a **boundary frontier**: the exact
+//! region-local distances to the region's boundary pseudo-objects seed a
+//! Dijkstra over the boundary overlay (see `index.rs`), whose settled
+//! labels are exact full-graph distances `d_G(q, b)` for every boundary
+//! node `b` of every region. Remote (and locally-detouring) object
+//! distances then close via the precomputed glue rows:
+//! `d_G(q, o) = min(d_local, min_{b' ∈ ∂region(o)} label(b') + row(b', o))`.
+//!
+//! Each settled overlay node is one **frontier hop**, counted in
+//! [`OpStats::frontier_hops`](dsi_signature::OpStats) on the session.
+//!
+//! Bounded queries (range, aggregate) only seed the frontier with boundary
+//! pseudo-objects the local range operator certified within `ε` — any
+//! qualifying remote path must leave through one of those — and prune
+//! whole regions whose nearest boundary label exceeds `ε`.
+
+use crate::index::PartitionedIndex;
+use dsi_graph::{Dist, NodeId, ObjectId, INFINITY};
+use dsi_signature::query::aggregate::RangeAggregate;
+use dsi_signature::{merge_segments, CnnSegment, KnnResult, OpResult, Session, SessionState};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+impl PartitionedIndex {
+    /// Attach a parked state to region `p`'s index as a live session. The
+    /// state must come from this region's lineage (fresh, or previously
+    /// suspended from the same region).
+    pub fn resume(&self, p: usize, state: SessionState) -> Session<'_> {
+        let r = &self.parts[p];
+        Session::resume(&r.index, &r.net, state)
+    }
+
+    /// Objects with `d_G(q, o) ≤ eps`, ascending object id — element-wise
+    /// equal to the single-index range answer. `sess` must be a session on
+    /// `part = part_of(q)`.
+    pub fn try_range(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        q: NodeId,
+        eps: Dist,
+    ) -> OpResult<Vec<ObjectId>> {
+        let within = self.within_local(sess, part, self.local_node(q), eps)?;
+        Ok(within.into_iter().map(|(o, _)| o).collect())
+    }
+
+    /// Count/sum/min/max over the exact distances of qualifying objects.
+    pub fn try_aggregate(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        q: NodeId,
+        eps: Dist,
+    ) -> OpResult<RangeAggregate> {
+        let within = self.within_local(sess, part, self.local_node(q), eps)?;
+        let mut agg = RangeAggregate::default();
+        for (_, d) in within {
+            agg.count += 1;
+            agg.sum += d as u64;
+            agg.min = Some(agg.min.map_or(d, |m| m.min(d)));
+            agg.max = Some(agg.max.map_or(d, |m| m.max(d)));
+        }
+        Ok(agg)
+    }
+
+    /// The k nearest objects by `(distance, object id)` with exact
+    /// distances.
+    pub fn try_knn(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        q: NodeId,
+        k: usize,
+    ) -> OpResult<Vec<KnnResult>> {
+        let dists = self.try_all_dists(sess, part, q)?;
+        let mut pairs: Vec<(Dist, ObjectId)> = dists
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != INFINITY)
+            .map(|(o, &d)| (d, ObjectId(o as u32)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.truncate(k.min(pairs.len()));
+        Ok(pairs
+            .into_iter()
+            .map(|(d, o)| KnnResult {
+                object: o,
+                dist: Some(d),
+            })
+            .collect())
+    }
+
+    /// The id-sorted k-nearest *set* at `q` (ties at the cut broken by
+    /// object id) — one path node's CNN answer.
+    pub fn try_cnn_set(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        q: NodeId,
+        k: usize,
+    ) -> OpResult<Vec<ObjectId>> {
+        let knn = self.try_knn(sess, part, q, k)?;
+        let mut set: Vec<ObjectId> = knn.into_iter().map(|r| r.object).collect();
+        set.sort_unstable();
+        Ok(set)
+    }
+
+    /// This region's contribution to a self ε-join: every pair `(a, b)`
+    /// with `a` hosted here, `a < b`, and `d_G(host a, host b) ≤ eps`. A
+    /// cross-region pair is emitted only by the region hosting the smaller
+    /// object id, so concatenating all regions' rows yields each pair once.
+    pub fn try_join_rows(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        eps: Dist,
+    ) -> OpResult<Vec<(ObjectId, ObjectId)>> {
+        let r = &self.parts[part];
+        let mut pairs = Vec::new();
+        for &(lo, ga) in &r.real_objs {
+            let host = r.objects.node_of(lo);
+            for (gb, _) in self.within_local(sess, part, host, eps)? {
+                if gb > ga {
+                    pairs.push((ga, gb));
+                }
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// Exact `d_G(q, o)` for **every** global object, indexed by object id.
+    /// `q` is a global node; `sess` must belong to `part = part_of(q)`.
+    pub fn try_all_dists(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        q: NodeId,
+    ) -> OpResult<Vec<Dist>> {
+        debug_assert_eq!(self.part_of(q), part);
+        let ql = self.local_node(q);
+        let r = &self.parts[part];
+        let mut dists = vec![INFINITY; self.num_objects];
+        for &(lo, go) in &r.real_objs {
+            dists[go.index()] = sess.try_retrieve_exact(ql, lo)?;
+        }
+        let mut init = Vec::with_capacity(r.boundary_objs.len());
+        for &(lo, b) in &r.boundary_objs {
+            init.push((b, sess.try_retrieve_exact(ql, lo)?));
+        }
+        let labels = self.expand_frontier(sess, &init, INFINITY);
+        self.apply_remote(&labels, INFINITY, &mut dists);
+        Ok(dists)
+    }
+
+    /// Exact `(object, d_G)` pairs with `d_G ≤ eps`, ascending object id,
+    /// from a region-local query node.
+    fn within_local(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        ql: NodeId,
+        eps: Dist,
+    ) -> OpResult<Vec<(ObjectId, Dist)>> {
+        let r = &self.parts[part];
+        let cand = sess.try_range(ql, eps)?;
+        let mut dists = vec![INFINITY; self.num_objects];
+        let mut init = Vec::new();
+        for lo in cand {
+            // One exact retrieval serves both roles of a host that is real
+            // and boundary at once.
+            let d = sess.try_retrieve_exact(ql, lo)?;
+            if let Ok(i) = r.real_objs.binary_search_by_key(&lo, |&(l, _)| l) {
+                dists[r.real_objs[i].1.index()] = d;
+            }
+            if let Ok(i) = r.boundary_objs.binary_search_by_key(&lo, |&(l, _)| l) {
+                init.push((r.boundary_objs[i].1, d));
+            }
+        }
+        let labels = self.expand_frontier(sess, &init, eps);
+        self.apply_remote(&labels, eps, &mut dists);
+        Ok(dists
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d <= eps)
+            .map(|(o, &d)| (ObjectId(o as u32), d))
+            .collect())
+    }
+
+    /// Multi-source Dijkstra over the boundary overlay: `init` holds
+    /// `(global boundary index, exact region-local distance)` seeds; the
+    /// returned labels are exact `d_G(q, b)` for every boundary node whose
+    /// distance is ≤ `bound` (INFINITY otherwise). Each settled overlay
+    /// node counts as one frontier hop on the session.
+    fn expand_frontier(
+        &self,
+        sess: &mut Session<'_>,
+        init: &[(u32, Dist)],
+        bound: Dist,
+    ) -> Vec<Dist> {
+        let mut labels = vec![INFINITY; self.all_boundary.len()];
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        for &(b, d) in init {
+            if d <= bound && d < labels[b as usize] {
+                labels[b as usize] = d;
+                heap.push(Reverse((d, b)));
+            }
+        }
+        let mut settled = 0u64;
+        while let Some(Reverse((d, b))) = heap.pop() {
+            if d > labels[b as usize] {
+                continue;
+            }
+            settled += 1;
+            for &(to, w) in &self.overlay[b as usize] {
+                let nd = d.saturating_add(w);
+                if nd <= bound && nd < labels[to as usize] {
+                    labels[to as usize] = nd;
+                    heap.push(Reverse((nd, to)));
+                }
+            }
+        }
+        sess.stats.frontier_hops += settled;
+        labels
+    }
+
+    /// Close every object's distance through the glue rows:
+    /// `dists[o] = min(dists[o], min_{b' ∈ ∂region(o)} label(b') + row(b', o))`.
+    /// Regions whose nearest boundary label exceeds `bound` cannot improve
+    /// any in-bound answer and are skipped whole.
+    fn apply_remote(&self, labels: &[Dist], bound: Dist, dists: &mut [Dist]) {
+        for p2 in 0..self.parts.len() {
+            let (b0, b1) = (self.boundary_base[p2], self.boundary_base[p2 + 1]);
+            let lmin = labels[b0..b1].iter().copied().min().unwrap_or(INFINITY);
+            if lmin == INFINITY || lmin > bound {
+                continue;
+            }
+            let rows = &self.obj_rows[p2];
+            for (rk, &(_, go)) in self.parts[p2].real_objs.iter().enumerate() {
+                let mut best = dists[go.index()];
+                for (bi, row) in rows.iter().enumerate() {
+                    let l = labels[b0 + bi];
+                    if l >= best {
+                        continue;
+                    }
+                    let t = l.saturating_add(row[rk]);
+                    if t < best {
+                        best = t;
+                    }
+                }
+                dists[go.index()] = best;
+            }
+        }
+    }
+}
+
+/// A serial session pool over a [`PartitionedIndex`]: one detachable
+/// [`SessionState`] per region, resumed on demand. This is the standalone
+/// (single-threaded) face of the shard router — tests, benches and tools
+/// use it directly; `dsi-service` wires the same per-region operators into
+/// its lock-striped shards instead.
+pub struct ShardedSessions<'a> {
+    pidx: &'a PartitionedIndex,
+    states: Vec<Option<SessionState>>,
+}
+
+impl<'a> ShardedSessions<'a> {
+    /// One fresh state per region with `pool_pages` buffer pages each.
+    pub fn new(pidx: &'a PartitionedIndex, pool_pages: usize) -> Self {
+        let states = (0..pidx.num_parts())
+            .map(|_| Some(SessionState::new(pool_pages)))
+            .collect();
+        ShardedSessions { pidx, states }
+    }
+
+    fn on_part<T>(
+        &mut self,
+        p: usize,
+        f: impl FnOnce(&PartitionedIndex, &mut Session<'_>) -> OpResult<T>,
+    ) -> T {
+        let pidx = self.pidx;
+        let state = self.states[p].take().expect("state parked");
+        let mut sess = pidx.resume(p, state);
+        let out = f(pidx, &mut sess);
+        self.states[p] = Some(sess.suspend());
+        out.expect("storage fault on a session without a fault plan")
+    }
+
+    /// Range query from a global node.
+    pub fn range(&mut self, q: NodeId, eps: Dist) -> Vec<ObjectId> {
+        let p = self.pidx.part_of(q);
+        self.on_part(p, |pidx, sess| pidx.try_range(sess, p, q, eps))
+    }
+
+    /// kNN query from a global node.
+    pub fn knn(&mut self, q: NodeId, k: usize) -> Vec<KnnResult> {
+        let p = self.pidx.part_of(q);
+        self.on_part(p, |pidx, sess| pidx.try_knn(sess, p, q, k))
+    }
+
+    /// Range aggregate from a global node.
+    pub fn aggregate(&mut self, q: NodeId, eps: Dist) -> RangeAggregate {
+        let p = self.pidx.part_of(q);
+        self.on_part(p, |pidx, sess| pidx.try_aggregate(sess, p, q, eps))
+    }
+
+    /// Self ε-join over all regions, pairs `(a, b)` with `a < b`, sorted.
+    pub fn join(&mut self, eps: Dist) -> Vec<(ObjectId, ObjectId)> {
+        let mut pairs = Vec::new();
+        for p in 0..self.pidx.num_parts() {
+            pairs.extend(self.on_part(p, |pidx, sess| pidx.try_join_rows(sess, p, eps)));
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Continuous kNN along a (global) path: per-node k-nearest sets
+    /// computed through each node's own region session, merged into
+    /// maximal equal-answer segments.
+    pub fn continuous_knn(&mut self, path: &[NodeId], k: usize) -> Vec<CnnSegment> {
+        let sets: Vec<Vec<ObjectId>> = path
+            .iter()
+            .map(|&q| {
+                let p = self.pidx.part_of(q);
+                self.on_part(p, |pidx, sess| pidx.try_cnn_set(sess, p, q, k))
+            })
+            .collect();
+        merge_segments(sets.into_iter())
+    }
+
+    /// Set the entry-granular decode policy on every region session.
+    pub fn set_entry_decode(&mut self, mode: dsi_signature::EntryDecodeMode) {
+        for s in self.states.iter_mut() {
+            s.as_mut().expect("state parked").set_entry_decode(mode);
+        }
+    }
+
+    /// Merged IO counters across all region sessions.
+    pub fn io_stats(&self) -> dsi_storage::IoStats {
+        self.states
+            .iter()
+            .map(|s| s.as_ref().expect("state parked").io_stats())
+            .sum()
+    }
+
+    /// Merged operation counters across all region sessions.
+    pub fn op_stats(&self) -> dsi_signature::OpStats {
+        self.states
+            .iter()
+            .map(|s| s.as_ref().expect("state parked").op_stats())
+            .sum()
+    }
+}

@@ -39,6 +39,10 @@ struct Args {
     fault_seed: u64,
     entry_decode: EntryDecodeMode,
     backend: Backend,
+    partitions: usize,
+    /// Whether `--backend` / `DSI_BACKEND` explicitly picked the backend
+    /// (a `--partitions` > 1 auto-selects the sharded router otherwise).
+    backend_explicit: bool,
 }
 
 impl Default for Args {
@@ -59,6 +63,8 @@ impl Default for Args {
             fault_seed: 0xFA01,
             entry_decode: EntryDecodeMode::default(),
             backend: Backend::Signature,
+            partitions: 1,
+            backend_explicit: false,
         }
     }
 }
@@ -69,6 +75,12 @@ fn parse_args() -> Result<Args, String> {
     // still wins.
     if let Ok(v) = std::env::var("DSI_BACKEND") {
         args.backend = v.parse().map_err(|e| format!("DSI_BACKEND: {e}"))?;
+        args.backend_explicit = true;
+    }
+    // Likewise `DSI_PARTITIONS` pre-selects the partition count; an
+    // explicit `--partitions` flag still wins.
+    if let Ok(v) = std::env::var("DSI_PARTITIONS") {
+        args.partitions = parse(&v).map_err(|e| format!("DSI_PARTITIONS: {e}"))?;
     }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,7 +98,11 @@ fn parse_args() -> Result<Args, String> {
             "--corrupt-rate" => args.corrupt_rate = parse(&value("--corrupt-rate")?)?,
             "--fault-seed" => args.fault_seed = parse(&value("--fault-seed")?)?,
             "--entry-decode" => args.entry_decode = parse(&value("--entry-decode")?)?,
-            "--backend" => args.backend = value("--backend")?.parse()?,
+            "--backend" => {
+                args.backend = value("--backend")?.parse()?;
+                args.backend_explicit = true;
+            }
+            "--partitions" => args.partitions = parse(&value("--partitions")?)?,
             "--sweep" => args.sweep = true,
             "--skew" => {
                 let v = value("--skew")?;
@@ -105,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20               [--seed N] [--sweep] [--updates N]\n\
                      \x20               [--fault-rate F] [--corrupt-rate F] [--fault-seed N]\n\
                      \x20               [--entry-decode on|off|auto] [--backend B]\n\
+                     \x20               [--partitions K]\n\
                      \n\
                      --fault-rate F    inject read failures on fraction F of physical reads\n\
                      --corrupt-rate F  inject page corruption on fraction F of physical reads\n\
@@ -112,8 +129,14 @@ fn parse_args() -> Result<Args, String> {
                      --entry-decode M  entry-granular decode: on, off (full decode), or\n\
                      \x20                 auto (default; per-request crossover heuristic)\n\
                      --backend B       query engine: signature (default), ine (Dijkstra\n\
-                     \x20                 expansion), or ch (contraction hierarchy); the\n\
-                     \x20                 DSI_BACKEND env var pre-selects it"
+                     \x20                 expansion), ch (contraction hierarchy), or\n\
+                     \x20                 sharded (partition router); the DSI_BACKEND env\n\
+                     \x20                 var pre-selects it\n\
+                     --partitions K    split the network into K regions with one signature\n\
+                     \x20                 index each (default 1 = single index); K > 1\n\
+                     \x20                 auto-selects the sharded backend unless --backend\n\
+                     \x20                 says otherwise; the DSI_PARTITIONS env var\n\
+                     \x20                 pre-selects it"
                 );
                 std::process::exit(0);
             }
@@ -121,7 +144,11 @@ fn parse_args() -> Result<Args, String> {
                 // Long flags also accept the `--flag=value` spelling; feed
                 // the split pieces back through the same machinery.
                 Some(("--entry-decode", v)) => args.entry_decode = parse(v)?,
-                Some(("--backend", v)) => args.backend = v.parse()?,
+                Some(("--backend", v)) => {
+                    args.backend = v.parse()?;
+                    args.backend_explicit = true;
+                }
+                Some(("--partitions", v)) => args.partitions = parse(v)?,
                 _ => return Err(format!("unknown flag {other:?} (try --help)")),
             },
         }
@@ -134,13 +161,19 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("workload: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Partitioned runs route through the shard router unless the user
+    // explicitly pinned another backend (e.g. to A/B against `signature`).
+    if args.partitions > 1 && !args.backend_explicit {
+        args.backend = Backend::Sharded;
+    }
+    let args = args;
 
     let mut rng = StdRng::seed_from_u64(args.seed);
     let net = random_planar(
@@ -178,11 +211,15 @@ fn main() -> ExitCode {
             pool_pages: args.pool_pages,
             fault_plan,
             entry_decode: args.entry_decode,
+            partitions: args.partitions,
             ..Default::default()
         },
     );
     println!("entry decode: {:?}", args.entry_decode);
     println!("backend: {}", args.backend.label());
+    if service.num_partitions() > 1 {
+        println!("partitions: {}", service.num_partitions());
+    }
     let batch = generate(
         service.net(),
         &WorkloadConfig {

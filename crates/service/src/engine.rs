@@ -71,6 +71,7 @@ use dsi_graph::{
     DijkstraExpansion, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
 };
 use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy};
+use dsi_partition::PartitionedIndex;
 use dsi_signature::query::aggregate::RangeAggregate;
 use dsi_signature::query::join::try_self_epsilon_join;
 use dsi_signature::update::UpdateReport;
@@ -84,7 +85,7 @@ use crate::journal::{
     read_checkpoint, write_checkpoint, EdgeUpdate, UpdateJournal, BASE_NET_FILE, BASE_OBJ_FILE,
     CHECKPOINT_FILE, JOURNAL_FILE,
 };
-use crate::stats::{per_class_stats, BatchReport};
+use crate::stats::{per_class_stats, BatchReport, PartStats};
 use crate::workload::Query;
 
 /// Consecutive degraded queries on one shard before it is quarantined.
@@ -103,6 +104,12 @@ pub enum Backend {
     /// per-worker workspace, memory-resident (no paging model). Requires
     /// [`ServiceConfig::hierarchy`].
     Hierarchy,
+    /// The shard router over K partitioned signature indexes
+    /// ([`ServiceConfig::partitions`]): each query runs its home region's
+    /// operators and expands a boundary frontier across the cut for the
+    /// remote share of the answer. With `partitions ≤ 1` this degenerates
+    /// to the plain signature path.
+    Sharded,
 }
 
 impl Backend {
@@ -112,6 +119,7 @@ impl Backend {
             Backend::Signature => "signature",
             Backend::Dijkstra => "ine",
             Backend::Hierarchy => "ch",
+            Backend::Sharded => "sharded",
         }
     }
 }
@@ -124,7 +132,10 @@ impl std::str::FromStr for Backend {
             "signature" | "sig" => Ok(Backend::Signature),
             "ine" | "dijkstra" => Ok(Backend::Dijkstra),
             "ch" | "hierarchy" => Ok(Backend::Hierarchy),
-            _ => Err(format!("unknown backend {s:?} (signature | ine | ch)")),
+            "sharded" | "partitioned" => Ok(Backend::Sharded),
+            _ => Err(format!(
+                "unknown backend {s:?} (signature | ine | ch | sharded)"
+            )),
         }
     }
 }
@@ -158,6 +169,14 @@ pub struct ServiceConfig {
     /// prebuilt hierarchy), and is the preferred degraded-fallback engine —
     /// memory-resident, so immune to injected storage faults.
     pub hierarchy: bool,
+    /// Horizontal partitions. With `partitions > 1` the service
+    /// additionally builds a [`dsi_partition::PartitionedIndex`] — K
+    /// per-region signature indexes constructed in parallel — and
+    /// [`Backend::Sharded`] routes queries across them; each partition gets
+    /// its own session stripe with its own retry → degrade → quarantine
+    /// ladder, so a fault storm in one region quarantines only that shard.
+    /// `1` (the default) serves everything from the single index.
+    pub partitions: usize,
 }
 
 impl Default for ServiceConfig {
@@ -169,6 +188,7 @@ impl Default for ServiceConfig {
             retry_budget: 2,
             entry_decode: EntryDecodeMode::default(),
             hierarchy: true,
+            partitions: 1,
         }
     }
 }
@@ -197,6 +217,35 @@ struct Shard {
     strikes: u32,
 }
 
+/// One partition's session stripe: the parked state (over that region's
+/// index), the same strike ladder a plain shard runs, and a query counter
+/// for per-partition reporting.
+struct PartShard {
+    state: Option<SessionState>,
+    strikes: u32,
+    queries: u64,
+}
+
+/// The sharded-backend state: K per-region signature indexes plus one
+/// session stripe per partition. Locking is by partition id, so a fault
+/// storm (or quarantine) in one region never stalls or cools the others.
+struct PartitionedEngine {
+    pidx: PartitionedIndex,
+    shards: Striped<PartShard>,
+}
+
+impl PartitionedEngine {
+    fn build(net: &RoadNetwork, objects: &ObjectSet, sig: &SignatureConfig, k: usize) -> Self {
+        let pidx = PartitionedIndex::build(net, objects, sig, k);
+        let shards = Striped::new(pidx.num_parts(), |_| PartShard {
+            state: None,
+            strikes: 0,
+            queries: 0,
+        });
+        PartitionedEngine { pidx, shards }
+    }
+}
+
 /// Thread-safe query engine over one road network + object set.
 ///
 /// Owns the network, the signature index and its maintainer; serves read
@@ -212,6 +261,14 @@ pub struct QueryService {
     /// fallback. Rebuilt whenever the network changes.
     ch: Option<ContractionHierarchy>,
     shards: Striped<Shard>,
+    /// Partitioned indexes + per-partition session stripes, when
+    /// [`ServiceConfig::partitions`] > 1. Rebuilt wholesale (and every
+    /// parked partition state dropped — fresh region indexes restart at
+    /// generation 0, so stale caches would not self-invalidate) on
+    /// maintenance and recovery.
+    parted: Option<PartitionedEngine>,
+    /// Signature build configuration, kept for partitioned rebuilds.
+    sig: SignatureConfig,
     epoch: u64,
     pool_pages: usize,
     fault_plan: FaultPlan,
@@ -250,13 +307,16 @@ impl QueryService {
             Some(ch) => SignatureIndex::build_with_hierarchy(&net, &objects, sig, ch),
             None => SignatureIndex::build(&net, &objects, sig),
         };
-        QueryService::assemble(net, objects, index, ch, cfg)
+        QueryService::assemble(net, objects, index, ch, cfg, sig.clone())
     }
 
     /// Wrap an already-built index (e.g. one loaded from a checkpoint) in a
     /// service. The maintainer's spanning forest (and the contraction
     /// hierarchy, when configured) is rebuilt from `net`, so `index` must be
-    /// consistent with `net`/`objects` as given.
+    /// consistent with `net`/`objects` as given. Partitioned indexes (when
+    /// [`ServiceConfig::partitions`] > 1) are built with the default
+    /// signature configuration; build through [`Self::new`] (or
+    /// [`Self::recover`]) to carry a custom one.
     pub fn from_parts(
         net: RoadNetwork,
         objects: ObjectSet,
@@ -266,7 +326,7 @@ impl QueryService {
         let ch = cfg
             .hierarchy
             .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
-        QueryService::assemble(net, objects, index, ch, cfg)
+        QueryService::assemble(net, objects, index, ch, cfg, SignatureConfig::default())
     }
 
     fn assemble(
@@ -275,8 +335,11 @@ impl QueryService {
         index: SignatureIndex,
         ch: Option<ContractionHierarchy>,
         cfg: &ServiceConfig,
+        sig: SignatureConfig,
     ) -> Self {
         let maint = SignatureMaintainer::new(&net, &objects);
+        let parted = (cfg.partitions > 1)
+            .then(|| PartitionedEngine::build(&net, &objects, &sig, cfg.partitions));
         QueryService {
             net,
             objects,
@@ -287,6 +350,8 @@ impl QueryService {
                 state: None,
                 strikes: 0,
             }),
+            parted,
+            sig,
             epoch: 0,
             pool_pages: cfg.pool_pages,
             fault_plan: cfg.fault_plan,
@@ -359,6 +424,7 @@ impl QueryService {
         }
         let io_before = self.merged_io_stats();
         let ops_before = self.merged_op_stats();
+        let parts_before = self.per_partition_stats();
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
         let start = Instant::now();
@@ -377,6 +443,7 @@ impl QueryService {
                         let t0 = Instant::now();
                         let (out, degraded) = match backend {
                             Backend::Signature => self.execute_sharded(q, &mut ws, &mut chws),
+                            Backend::Sharded => self.execute_partitioned(q, &mut ws, &mut chws),
                             Backend::Dijkstra => (
                                 execute_dijkstra(&self.net, &self.objects, &mut ws, q),
                                 false,
@@ -419,6 +486,12 @@ impl QueryService {
             workers,
             io: self.merged_io_stats() - io_before,
             ops: self.merged_op_stats() - ops_before,
+            per_part: self
+                .per_partition_stats()
+                .into_iter()
+                .zip(parts_before)
+                .map(|(after, before)| after - before)
+                .collect(),
             per_class: per_class_stats(samples),
         }
     }
@@ -497,6 +570,162 @@ impl QueryService {
         }
     }
 
+    /// Execute one query on the shard router over the partitioned indexes.
+    ///
+    /// A node-anchored query locks its home partition's stripe only: the
+    /// region operators plus the boundary frontier run entirely on that
+    /// partition's session (remote regions contribute through the
+    /// precomputed overlay and glue rows — no remote pages are touched). A
+    /// join visits every partition in turn, each under its own lock and
+    /// ladder, so a degraded partition falls back alone while the healthy
+    /// ones still answer off their indexes.
+    ///
+    /// With [`ServiceConfig::partitions`] ≤ 1 there is nothing to route
+    /// across and the query takes the literal single-index path.
+    fn execute_partitioned(
+        &self,
+        q: &Query,
+        ws: &mut SsspWorkspace,
+        chws: &mut ChWorkspace,
+    ) -> (QueryOutput, bool) {
+        let Some(pe) = &self.parted else {
+            return self.execute_sharded(q, ws, chws);
+        };
+        match *q {
+            Query::Join { eps } => {
+                let mut pairs = Vec::new();
+                let mut any_degraded = false;
+                for p in 0..pe.pidx.num_parts() {
+                    match self.part_ladder(pe, p, |pidx, sess| pidx.try_join_rows(sess, p, eps)) {
+                        Ok(rows) => pairs.extend(rows),
+                        Err(()) => {
+                            any_degraded = true;
+                            self.fallback_join_rows(pe, p, eps, ws, chws, &mut pairs);
+                        }
+                    }
+                }
+                pairs.sort_unstable();
+                (QueryOutput::Join(pairs), any_degraded)
+            }
+            _ => {
+                let node = match *q {
+                    Query::Range { node, .. }
+                    | Query::Knn { node, .. }
+                    | Query::Aggregate { node, .. } => node,
+                    Query::Join { .. } => unreachable!("handled above"),
+                };
+                let p = pe.pidx.part_of(node);
+                let attempt = |pidx: &PartitionedIndex, sess: &mut Session<'_>| match *q {
+                    Query::Range { node, eps } => {
+                        pidx.try_range(sess, p, node, eps).map(QueryOutput::Range)
+                    }
+                    Query::Knn { node, k } => pidx.try_knn(sess, p, node, k).map(QueryOutput::Knn),
+                    Query::Aggregate { node, eps } => pidx
+                        .try_aggregate(sess, p, node, eps)
+                        .map(QueryOutput::Aggregate),
+                    Query::Join { .. } => unreachable!("handled above"),
+                };
+                match self.part_ladder(pe, p, attempt) {
+                    Ok(out) => (out, false),
+                    // The whole query re-runs on the exact in-memory
+                    // fallback — same ladder top as the single-index path.
+                    Err(()) => (
+                        match &self.ch {
+                            Some(ch) => {
+                                self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                                execute_hierarchy(&self.objects, ch, chws, q)
+                            }
+                            None => execute_dijkstra(&self.net, &self.objects, ws, q),
+                        },
+                        true,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Run one attempt ladder on partition `p`'s session stripe: retry with
+    /// bounded backoff up to the budget, then surface `Err(())` for the
+    /// caller's exact fallback. Strikes and quarantines are per partition —
+    /// the counters and caches of every other region are untouched.
+    fn part_ladder<T>(
+        &self,
+        pe: &PartitionedEngine,
+        p: usize,
+        mut attempt: impl FnMut(&PartitionedIndex, &mut Session<'_>) -> OpResult<T>,
+    ) -> Result<T, ()> {
+        let mut shard = pe.shards.lock_shard(p);
+        shard.queries += 1;
+        let mut state = shard.state.take().unwrap_or_else(|| self.fresh_state());
+        let mut tries = 0u32;
+        loop {
+            let mut sess = pe.pidx.resume(p, state);
+            match attempt(&pe.pidx, &mut sess) {
+                Ok(out) => {
+                    shard.strikes = 0;
+                    shard.state = Some(sess.suspend());
+                    return Ok(out);
+                }
+                Err(_fault) => {
+                    state = sess.suspend();
+                    if tries < self.retry_budget {
+                        tries += 1;
+                        state.note_retry();
+                        std::thread::sleep(Duration::from_micros(20u64 << tries.min(6)));
+                        continue;
+                    }
+                    state.note_degraded();
+                    shard.strikes += 1;
+                    if shard.strikes >= QUARANTINE_STRIKES {
+                        state.quarantine();
+                        shard.strikes = 0;
+                        self.quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shard.state = Some(state);
+                    return Err(());
+                }
+            }
+        }
+    }
+
+    /// Exact fallback for one partition's share of a self ε-join: pairs
+    /// `(a, b)` with `a` hosted in partition `p`, `a < b`, `d ≤ eps`,
+    /// computed on the full network (hierarchy oracle when available, else
+    /// network expansion) without touching the partition's faulty storage.
+    fn fallback_join_rows(
+        &self,
+        pe: &PartitionedEngine,
+        p: usize,
+        eps: Dist,
+        ws: &mut SsspWorkspace,
+        chws: &mut ChWorkspace,
+        pairs: &mut Vec<(ObjectId, ObjectId)>,
+    ) {
+        if let Some(ch) = &self.ch {
+            self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
+            for a in pe.pidx.part(p).real_objects() {
+                let host = self.objects.node_of(a);
+                for (b, hb) in self.objects.iter() {
+                    if b > a {
+                        let d = ch.p2p(host, hb, chws);
+                        if d != INFINITY && d <= eps {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+            }
+        } else {
+            for a in pe.pidx.part(p).real_objects() {
+                let host = self.objects.node_of(a);
+                for (b, _) in expand_range(&self.net, &self.objects, ws, host, eps) {
+                    if b > a {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+
     /// Apply edge-weight updates (§5.4) and bump the epoch. Requires
     /// `&mut self`: the borrow checker keeps maintenance out of any
     /// in-flight batch. With a maintenance log attached, the updates are
@@ -525,8 +754,28 @@ impl QueryService {
             })
             .collect();
         self.rebuild_hierarchy();
+        self.rebuild_partitions();
         self.epoch += 1;
         Ok(reports)
+    }
+
+    /// Rebuild the partitioned indexes from the (just-mutated) network, when
+    /// the service routes across partitions. Like the hierarchy, the
+    /// per-region indexes have no cross-region incremental maintenance
+    /// story — a weight change moves boundary glue distances arbitrarily far
+    /// away — so maintenance rebuilds them wholesale. The session stripes
+    /// are replaced too: fresh region indexes restart at generation 0, so a
+    /// parked state's stale-cache check would not fire against them.
+    fn rebuild_partitions(&mut self) {
+        if let Some(pe) = &self.parted {
+            let k = pe.pidx.num_parts();
+            self.parted = Some(PartitionedEngine::build(
+                &self.net,
+                &self.objects,
+                &self.sig,
+                k,
+            ));
+        }
     }
 
     /// Re-derive the contraction hierarchy from the (just-mutated) network,
@@ -626,7 +875,17 @@ impl QueryService {
                 (net, objects, index, 0)
             }
         };
-        let mut svc = QueryService::from_parts(net, objects, index, cfg);
+        // Assemble without partitions first: the partitioned indexes must
+        // reflect the *replayed* network, so they are built once, after the
+        // journal suffix lands (with the caller's real signature config).
+        let ch = cfg
+            .hierarchy
+            .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
+        let unparted = ServiceConfig {
+            partitions: 1,
+            ..*cfg
+        };
+        let mut svc = QueryService::assemble(net, objects, index, ch, &unparted, sig.clone());
         let replay = &updates[start..];
         for &(a, b, w) in replay {
             svc.maint.update_edge(&mut svc.net, &mut svc.index, a, b, w);
@@ -634,6 +893,14 @@ impl QueryService {
         if !replay.is_empty() {
             svc.rebuild_hierarchy();
             svc.epoch += 1;
+        }
+        if cfg.partitions > 1 {
+            svc.parted = Some(PartitionedEngine::build(
+                &svc.net,
+                &svc.objects,
+                &svc.sig,
+                cfg.partitions,
+            ));
         }
         svc.wal = Some(wal);
         svc.log_dir = Some(dir.to_path_buf());
@@ -665,7 +932,8 @@ impl QueryService {
         self.wal.as_ref().map(|j| j.len())
     }
 
-    /// Page-access counters summed over all shards.
+    /// Page-access counters summed over all shards (partition stripes
+    /// included).
     pub fn merged_io_stats(&self) -> IoStats {
         let mut total = IoStats::default();
         self.shards.for_each(|_, shard| {
@@ -673,10 +941,18 @@ impl QueryService {
                 total += state.io_stats();
             }
         });
+        if let Some(pe) = &self.parted {
+            pe.shards.for_each(|_, shard| {
+                if let Some(state) = shard.state.as_ref() {
+                    total += state.io_stats();
+                }
+            });
+        }
         total
     }
 
-    /// Operation counters summed over all shards.
+    /// Operation counters summed over all shards (partition stripes
+    /// included).
     pub fn merged_op_stats(&self) -> OpStats {
         let mut total = OpStats::default();
         self.shards.for_each(|_, shard| {
@@ -684,16 +960,65 @@ impl QueryService {
                 total += state.op_stats();
             }
         });
+        if let Some(pe) = &self.parted {
+            pe.shards.for_each(|_, shard| {
+                if let Some(state) = shard.state.as_ref() {
+                    total += state.op_stats();
+                }
+            });
+        }
         total
     }
 
-    /// Zero every shard's counters, keeping caches warm.
+    /// Per-partition query, I/O, and boundary-frontier counters, in
+    /// partition order. Empty when the service holds no partitioned indexes
+    /// ([`ServiceConfig::partitions`] ≤ 1).
+    pub fn per_partition_stats(&self) -> Vec<PartStats> {
+        let Some(pe) = &self.parted else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(pe.shards.num_shards());
+        pe.shards.for_each(|_, shard| {
+            let (io, hops) = shard.state.as_ref().map_or_else(Default::default, |s| {
+                (s.io_stats(), s.op_stats().frontier_hops)
+            });
+            out.push(PartStats {
+                queries: shard.queries,
+                io,
+                frontier_hops: hops,
+            });
+        });
+        out
+    }
+
+    /// Partitions the sharded backend routes across (1 when the service
+    /// serves a single index).
+    pub fn num_partitions(&self) -> usize {
+        self.parted.as_ref().map_or(1, |pe| pe.pidx.num_parts())
+    }
+
+    /// Partition owning `node` under the sharded backend, `None` when the
+    /// service serves a single index.
+    pub fn partition_of(&self, node: NodeId) -> Option<usize> {
+        self.parted.as_ref().map(|pe| pe.pidx.part_of(node))
+    }
+
+    /// Zero every shard's counters, keeping caches warm. Partition stripes
+    /// keep their cumulative query counts (they are deltas in
+    /// [`BatchReport::per_part`] anyway) but zero their I/O and op counters.
     pub fn reset_stats(&self) {
         self.shards.for_each(|_, shard| {
             if let Some(state) = shard.state.as_mut() {
                 state.reset_stats();
             }
         });
+        if let Some(pe) = &self.parted {
+            pe.shards.for_each(|_, shard| {
+                if let Some(state) = shard.state.as_mut() {
+                    state.reset_stats();
+                }
+            });
+        }
     }
 
     /// One-line stats dump: epoch, shards, merged I/O and op counters (via
@@ -721,6 +1046,19 @@ impl QueryService {
         let ch_fallbacks = self.hierarchy_fallback_count();
         if ch_fallbacks > 0 {
             s.push_str(&format!(" | {ch_fallbacks} ch-fallbacks"));
+        }
+        if let Some(pe) = &self.parted {
+            s.push_str(&format!(
+                " | {} partitions ({} boundary nodes)",
+                pe.pidx.num_parts(),
+                pe.pidx.num_boundary()
+            ));
+            for (p, ps) in self.per_partition_stats().iter().enumerate() {
+                s.push_str(&format!(
+                    "\n  partition p{p}: {} queries | io: {} | {} frontier hops",
+                    ps.queries, ps.io, ps.frontier_hops
+                ));
+            }
         }
         s
     }

@@ -8,8 +8,11 @@
 //!
 //! * [`engine`] — [`QueryService`]: lock-striped per-shard sessions
 //!   (buffer pool + decode cache + counters), a `std::thread::scope`
-//!   worker pool pulling queries off a shared cursor, and a read/write
-//!   epoch separating query batches from index maintenance;
+//!   worker pool pulling queries off a shared cursor, a read/write
+//!   epoch separating query batches from index maintenance, and (with
+//!   [`ServiceConfig::partitions`] > 1) a shard router over K partitioned
+//!   signature indexes ([`Backend::Sharded`]) with a per-partition
+//!   retry → degrade → quarantine ladder;
 //! * [`journal`] — crash safety for maintenance: a checksummed write-ahead
 //!   journal of edge updates plus atomic full-state checkpoints, replayed
 //!   by [`QueryService::recover`];
@@ -27,5 +30,5 @@ pub mod workload;
 
 pub use engine::{Backend, QueryOutput, QueryService, RecoveryReport, ServiceConfig};
 pub use journal::{EdgeUpdate, UpdateJournal};
-pub use stats::{BatchReport, ClassStats};
+pub use stats::{BatchReport, ClassStats, PartStats};
 pub use workload::{generate, Query, QueryClass, Skew, WorkloadConfig, WorkloadMix};

@@ -51,6 +51,35 @@ impl ClassStats {
     }
 }
 
+/// Per-partition counters for the sharded backend: queries routed to the
+/// partition, its session stripe's page accesses, and boundary-frontier
+/// nodes settled while stitching cross-partition answers. Appears both as a
+/// cumulative snapshot ([`crate::QueryService::per_partition_stats`]) and as
+/// a per-batch delta ([`BatchReport::per_part`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartStats {
+    /// Queries whose ladder ran on this partition's stripe (joins count
+    /// once per partition they visit).
+    pub queries: u64,
+    /// Page accesses charged to this partition's session.
+    pub io: IoStats,
+    /// Boundary-overlay nodes settled by this partition's frontier
+    /// expansions — the per-partition share of [`OpStats::frontier_hops`].
+    pub frontier_hops: u64,
+}
+
+impl std::ops::Sub for PartStats {
+    type Output = PartStats;
+
+    fn sub(self, rhs: PartStats) -> PartStats {
+        PartStats {
+            queries: self.queries - rhs.queries,
+            io: self.io - rhs.io,
+            frontier_hops: self.frontier_hops - rhs.frontier_hops,
+        }
+    }
+}
+
 /// Everything a [`crate::QueryService::serve_batch`] call produces: ordered
 /// outputs plus cost accounting for the whole batch.
 #[derive(Debug)]
@@ -74,6 +103,11 @@ pub struct BatchReport {
     pub io: IoStats,
     /// Operation-counter delta over the batch, merged across shards.
     pub ops: OpStats,
+    /// Per-partition deltas over the batch, in partition order — queries
+    /// routed, page accesses, boundary-frontier hops. Empty unless the
+    /// service routes across partitions
+    /// ([`crate::ServiceConfig::partitions`] > 1).
+    pub per_part: Vec<PartStats>,
     /// Latency percentiles per query class (classes absent from the batch
     /// are omitted).
     pub per_class: BTreeMap<&'static str, ClassStats>,
@@ -125,6 +159,14 @@ impl BatchReport {
                 self.degraded_count(),
                 self.outputs.len(),
             ));
+        }
+        for (p, ps) in self.per_part.iter().enumerate() {
+            if ps.queries > 0 || ps.io.logical > 0 {
+                out.push_str(&format!(
+                    "  partition p{p}: {} queries | io: {} | {} frontier hops\n",
+                    ps.queries, ps.io, ps.frontier_hops,
+                ));
+            }
         }
         for class in QueryClass::ALL {
             if let Some(s) = self.per_class.get(class.label()) {

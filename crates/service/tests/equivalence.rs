@@ -226,3 +226,84 @@ fn epoch_update_between_batches_is_visible() {
         "hierarchy oracle diverged from INE post-update"
     );
 }
+
+#[test]
+fn sharded_backend_agrees_and_maintenance_rebuilds_partitions() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let net = random_planar(
+        &PlanarConfig {
+            num_nodes: 300,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+    let mut service = QueryService::new(
+        net,
+        objects,
+        &SignatureConfig::default(),
+        &ServiceConfig {
+            shards: 8,
+            pool_pages: 128,
+            partitions: 3,
+            ..Default::default()
+        },
+    );
+    assert_eq!(service.num_partitions(), 3);
+    let batch = mixed_batch(&service, 150, 5);
+
+    // The router emits the same canonical orderings as INE (id-sorted
+    // ranges, `(dist, object)`-sorted kNN with the deterministic tie cut,
+    // sorted join pairs): strict equality, not just tie-aware.
+    let ine = service.serve_batch_on(Backend::Dijkstra, &batch, 2);
+    let sh = service.serve_batch_on(Backend::Sharded, &batch, 2);
+    assert_eq!(sh.backend, "sharded");
+    for (i, (a, b)) in sh.outputs.iter().zip(&ine.outputs).enumerate() {
+        assert_eq!(a, b, "query {i} ({:?}): sharded vs ine", batch[i]);
+    }
+    // Tie-aware against the single signature index too.
+    let sig = service.serve_batch_on(Backend::Signature, &batch, 2);
+    assert_backends_agree(&sh.outputs, &sig.outputs, "sharded vs signature");
+
+    // Per-partition accounting: every partition served something under the
+    // Zipf mix, and cross-partition stitching actually expanded frontiers.
+    assert_eq!(sh.per_part.len(), 3);
+    assert!(
+        sh.per_part.iter().all(|p| p.queries > 0),
+        "a partition served no queries: {:?}",
+        sh.per_part
+    );
+    assert!(
+        sh.per_part.iter().map(|p| p.frontier_hops).sum::<u64>() > 0,
+        "no boundary frontier was ever expanded"
+    );
+    let point_queries = batch
+        .iter()
+        .filter(|q| !matches!(q, Query::Join { .. }))
+        .count() as u64;
+    let joins = batch.len() as u64 - point_queries;
+    assert_eq!(
+        sh.per_part.iter().map(|p| p.queries).sum::<u64>(),
+        point_queries + 3 * joins,
+        "each point query visits one partition, each join all three"
+    );
+
+    // Maintenance rebuilds the partitioned indexes along with the
+    // hierarchy: post-update sharded answers must match post-update INE.
+    let host = service.objects().iter().next().expect("objects exist").1;
+    let updates: Vec<_> = service
+        .net()
+        .neighbors(host)
+        .map(|(_, b, w)| (host, b, w + 5_000))
+        .collect();
+    service.apply_updates(&updates);
+    let truth = service.serve_batch_on(Backend::Dijkstra, &batch, 4);
+    let after = service.serve_batch_on(Backend::Sharded, &batch, 4);
+    for (i, (a, b)) in after.outputs.iter().zip(&truth.outputs).enumerate() {
+        assert_eq!(
+            a, b,
+            "query {i} ({:?}): sharded stale post-update",
+            batch[i]
+        );
+    }
+}

@@ -14,7 +14,7 @@
 
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::{sssp, ObjectSet};
-use dsi_service::{generate, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_service::{generate, Backend, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
 use dsi_signature::{EntryDecodeMode, SignatureConfig};
 use dsi_storage::FaultPlan;
 use rand::rngs::StdRng;
@@ -38,6 +38,25 @@ fn ch_fallback() -> bool {
     std::env::var("DSI_CH_FALLBACK").map_or(true, |s| s != "off")
 }
 
+fn partitions() -> usize {
+    std::env::var("DSI_PARTITIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Serve on the backend the configuration implies: the shard router when
+/// the service holds partitioned indexes, else the plain signature path —
+/// so the `DSI_PARTITIONS` matrix axis exercises the router end to end.
+fn serve(service: &QueryService, batch: &[Query], workers: usize) -> dsi_service::BatchReport {
+    let backend = if service.num_partitions() > 1 {
+        Backend::Sharded
+    } else {
+        Backend::Signature
+    };
+    service.serve_batch_on(backend, batch, workers)
+}
+
 /// A deterministic 300-node service. `pool_pages` is kept *below* the
 /// index's working set on purpose: faults fire only on physical reads, and
 /// an LRU pool smaller than the page set thrashs, keeping the miss (and
@@ -51,7 +70,12 @@ fn build_with(plan: FaultPlan, entry_decode: EntryDecodeMode, hierarchy: bool) -
     let mut rng = StdRng::seed_from_u64(7);
     let net = random_planar(
         &PlanarConfig {
-            num_nodes: 300,
+            // Scale with the partition axis so each *region's* index keeps
+            // a working set larger than the 2-page pool: on a fixed-size
+            // network a K-way split shrinks every region to about one page,
+            // which caches after a single cold read and starves the fault
+            // stream of physical reads to fire on.
+            num_nodes: 300 * partitions(),
             ..Default::default()
         },
         &mut rng,
@@ -68,6 +92,7 @@ fn build_with(plan: FaultPlan, entry_decode: EntryDecodeMode, hierarchy: bool) -
             retry_budget: 1,
             entry_decode,
             hierarchy,
+            partitions: partitions(),
         },
     )
 }
@@ -119,7 +144,7 @@ fn drop_knn_cut_ties(service: &QueryService, batch: Vec<Query>) -> Vec<Query> {
 fn faulty_run_matches_fault_free_element_wise() {
     let clean = build(FaultPlan::none());
     let batch = drop_knn_cut_ties(&clean, mixed_batch(&clean, 1000));
-    let want = clean.serve_batch(&batch, 4);
+    let want = serve(&clean, &batch, 4);
 
     // Whether a marginal fault rate pushes some query past its retry budget
     // depends on the exact page-access sequence, which shifts with the
@@ -129,7 +154,7 @@ fn faulty_run_matches_fault_free_element_wise() {
     let mut rate = 0.01;
     let got = loop {
         let faulty = build(FaultPlan::failures(fault_seed(), rate, 0.001));
-        let got = faulty.serve_batch(&batch, 4);
+        let got = serve(&faulty, &batch, 4);
         if got.ops.degraded > 0 || rate >= 0.32 {
             break got;
         }
@@ -147,11 +172,22 @@ fn faulty_run_matches_fault_free_element_wise() {
     assert!(got.io.injected > 0, "no faults injected — tune rates/pool");
     assert!(got.ops.retries > 0, "no attempt was ever retried");
     assert!(got.ops.degraded > 0, "no query exhausted its retry budget");
-    assert_eq!(
-        got.degraded.iter().filter(|&&d| d).count() as u64,
-        got.ops.degraded,
-        "per-query degraded flags disagree with the merged counter"
-    );
+    let flagged = got.degraded.iter().filter(|&&d| d).count() as u64;
+    if clean.num_partitions() > 1 {
+        // A join that degrades in several partitions notes once per
+        // partition but flags the query once.
+        assert!(
+            flagged <= got.ops.degraded,
+            "per-query degraded flags ({flagged}) exceed the merged counter ({})",
+            got.ops.degraded
+        );
+        assert!(flagged > 0, "counter moved but no query was flagged");
+    } else {
+        assert_eq!(
+            flagged, got.ops.degraded,
+            "per-query degraded flags disagree with the merged counter"
+        );
+    }
 }
 
 #[test]
@@ -162,8 +198,8 @@ fn sustained_faults_quarantine_shards_without_changing_answers() {
     let faulty = build(FaultPlan::failures(fault_seed() ^ 0x5EED, 0.35, 0.0));
     let batch = drop_knn_cut_ties(&clean, mixed_batch(&clean, 250));
 
-    let want = clean.serve_batch(&batch, 4);
-    let got = faulty.serve_batch(&batch, 4);
+    let want = serve(&clean, &batch, 4);
+    let got = serve(&faulty, &batch, 4);
     for (i, (a, b)) in want.outputs.iter().zip(&got.outputs).enumerate() {
         assert_eq!(
             a, b,
@@ -201,9 +237,9 @@ fn degradation_prefers_the_hierarchy_then_dijkstra() {
     let without_ch = build_with(plan, entry_mode(), false);
     let batch = drop_knn_cut_ties(&clean, mixed_batch(&clean, 600));
 
-    let want = clean.serve_batch(&batch, 4);
-    let got_ch = with_ch.serve_batch(&batch, 4);
-    let got_dij = without_ch.serve_batch(&batch, 4);
+    let want = serve(&clean, &batch, 4);
+    let got_ch = serve(&with_ch, &batch, 4);
+    let got_dij = serve(&without_ch, &batch, 4);
     for (i, q) in batch.iter().enumerate() {
         assert_eq!(
             want.outputs[i], got_ch.outputs[i],
@@ -232,6 +268,91 @@ fn degradation_prefers_the_hierarchy_then_dijkstra() {
 }
 
 #[test]
+fn faults_in_one_partition_quarantine_only_that_shard() {
+    // Partition isolation: aim every query at nodes owned by partition 0.
+    // Under a heavy fault plan, only partition 0's stripe may degrade and
+    // quarantine — the other partitions' sessions are never even resumed,
+    // so their per-partition counters stay identically zero.
+    let build_k4 = |plan: FaultPlan| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = random_planar(
+            &PlanarConfig {
+                // ~300 nodes per region, matching the single-index fixture
+                // (see `build_with` on why regions must outgrow the pool).
+                num_nodes: 1200,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
+        QueryService::new(
+            net,
+            objects,
+            &SignatureConfig::default(),
+            &ServiceConfig {
+                shards: 8,
+                pool_pages: 2,
+                fault_plan: plan,
+                retry_budget: 1,
+                entry_decode: entry_mode(),
+                hierarchy: ch_fallback(),
+                partitions: 4,
+            },
+        )
+    };
+    let clean = build_k4(FaultPlan::none());
+    assert_eq!(clean.num_partitions(), 4);
+
+    // Point queries only (a join visits every partition by design), all
+    // anchored in partition 0.
+    let batch: Vec<Query> = drop_knn_cut_ties(&clean, mixed_batch(&clean, 1000))
+        .into_iter()
+        .filter(|q| match *q {
+            Query::Range { node, .. } | Query::Knn { node, .. } | Query::Aggregate { node, .. } => {
+                clean.partition_of(node) == Some(0)
+            }
+            Query::Join { .. } => false,
+        })
+        .collect();
+    assert!(
+        batch.len() > 50,
+        "too few partition-0 queries: {}",
+        batch.len()
+    );
+
+    let want = clean.serve_batch_on(Backend::Sharded, &batch, 4);
+    // Escalate the fault rate until quarantine actually fires: the small
+    // per-region working set means how many physical reads (and thus fault
+    // draws) each query makes shifts with the matrix axes.
+    let mut rate = 0.2;
+    let (faulty, got) = loop {
+        let faulty = build_k4(FaultPlan::failures(fault_seed() ^ 0x150, rate, 0.0));
+        let got = faulty.serve_batch_on(Backend::Sharded, &batch, 4);
+        if faulty.quarantine_count() > 0 || rate >= 0.9 {
+            break (faulty, got);
+        }
+        rate = (rate * 2.0).min(0.9);
+    };
+    for (i, (a, b)) in want.outputs.iter().zip(&got.outputs).enumerate() {
+        assert_eq!(a, b, "query {i} ({:?}) diverged under faults", batch[i]);
+    }
+    assert!(got.ops.degraded > 0, "fault plan never degraded a query");
+    assert!(
+        faulty.quarantine_count() > 0,
+        "sustained degradation never quarantined the partition stripe"
+    );
+
+    // The blast radius stayed inside partition 0.
+    assert_eq!(got.per_part.len(), 4);
+    assert_eq!(got.per_part[0].queries, batch.len() as u64);
+    for (p, ps) in got.per_part.iter().enumerate().skip(1) {
+        assert_eq!(ps.queries, 0, "partition {p} served foreign queries");
+        assert_eq!(ps.io.logical, 0, "partition {p} touched its pages");
+        assert_eq!(ps.frontier_hops, 0, "partition {p} expanded a frontier");
+    }
+}
+
+#[test]
 fn entry_decode_on_and_off_answer_identically() {
     // The A/B pair behind `workload --entry-decode`: the entry-granular
     // path and the legacy full-decode path must be element-wise equal on a
@@ -240,8 +361,8 @@ fn entry_decode_on_and_off_answer_identically() {
     let off = build_with(FaultPlan::none(), EntryDecodeMode::Off, ch_fallback());
     let batch = mixed_batch(&on, 600);
 
-    let got_on = on.serve_batch(&batch, 4);
-    let got_off = off.serve_batch(&batch, 4);
+    let got_on = serve(&on, &batch, 4);
+    let got_off = serve(&off, &batch, 4);
 
     for (i, (a, b)) in got_on.outputs.iter().zip(&got_off.outputs).enumerate() {
         assert_eq!(

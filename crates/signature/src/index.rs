@@ -267,7 +267,7 @@ impl SignatureIndex {
     /// If the network is disconnected (signatures require every
     /// node-object distance to exist) or the dataset is empty.
     pub fn build(net: &RoadNetwork, objects: &ObjectSet, config: &SignatureConfig) -> Self {
-        Self::build_inner(net, objects, config, None)
+        Self::build_inner(net, objects, config, None, None, &[]).0
     }
 
     /// [`build`](Self::build) with a prebuilt contraction hierarchy over
@@ -285,7 +285,36 @@ impl SignatureIndex {
             net.num_nodes(),
             "hierarchy was built for a different network"
         );
-        Self::build_inner(net, objects, config, Some(ch))
+        Self::build_inner(net, objects, config, Some(ch), None, &[]).0
+    }
+
+    /// Serial build that reuses a caller-owned workspace and can capture
+    /// full distance vectors for selected objects.
+    ///
+    /// This is the per-region entry point for partitioned construction
+    /// (`dsi-partition`): each build worker owns one
+    /// [`SignatureBuildWorkspace`] for its entire run — regions reuse it
+    /// instead of reallocating per build — and the partitioner reads each
+    /// boundary pseudo-object's exact distance vector off the same SSSP
+    /// that filled the signatures rather than re-running it. Captured rows
+    /// come back in `capture` order, each `net.num_nodes()` entries long.
+    /// `config.parallel` is ignored: the caller owns the parallelism.
+    pub fn build_serial(
+        net: &RoadNetwork,
+        objects: &ObjectSet,
+        config: &SignatureConfig,
+        ch: Option<&ContractionHierarchy>,
+        ws: &mut SignatureBuildWorkspace,
+        capture: &[ObjectId],
+    ) -> (Self, Vec<Vec<Dist>>) {
+        if let Some(ch) = ch {
+            assert_eq!(
+                ch.num_nodes(),
+                net.num_nodes(),
+                "hierarchy was built for a different network"
+            );
+        }
+        Self::build_inner(net, objects, config, ch, Some(&mut ws.inner), capture)
     }
 
     fn build_inner(
@@ -293,7 +322,9 @@ impl SignatureIndex {
         objects: &ObjectSet,
         config: &SignatureConfig,
         ch: Option<&ContractionHierarchy>,
-    ) -> Self {
+        ext_ws: Option<&mut BuildWs>,
+        capture: &[ObjectId],
+    ) -> (Self, Vec<Vec<Dist>>) {
         assert!(!objects.is_empty(), "dataset must be non-empty");
         let n = net.num_nodes();
         let d = objects.len();
@@ -324,7 +355,16 @@ impl SignatureIndex {
         } else {
             None
         };
-        let columns = build_columns(net, objects, &partition, last_lb, config.parallel, distance);
+        let (columns, captured) = build_columns(
+            net,
+            objects,
+            &partition,
+            last_lb,
+            config.parallel && ext_ws.is_none(),
+            distance,
+            ext_ws,
+            capture,
+        );
 
         let mut obj_dist = ObjDistTable::with_rows(d);
         for (o, col) in columns.iter().enumerate() {
@@ -407,7 +447,7 @@ impl SignatureIndex {
             })
             .collect();
 
-        SignatureIndex {
+        let index = SignatureIndex {
             partition,
             code,
             link_bits,
@@ -423,7 +463,8 @@ impl SignatureIndex {
             pool_pages: config.pool_pages,
             generation: 0,
             report,
-        }
+        };
+        (index, captured)
     }
 
     /// The category partition in force.
@@ -462,6 +503,15 @@ impl SignatureIndex {
     /// The object-distance side table.
     pub fn obj_dist(&self) -> &ObjDistTable {
         &self.obj_dist
+    }
+
+    /// Move the backing store to a new first page id (see
+    /// [`PagedStore::rebase`]). Partitioned builds construct each region's
+    /// index independently at base 0, then rebase the stores onto disjoint
+    /// global page ranges. Call before any session is created: page ids
+    /// already charged to a pool are not remapped.
+    pub fn rebase_store(&mut self, base: dsi_storage::PageId) {
+        self.store.rebase(base);
     }
 
     /// The paged store holding the merged adjacency+signature records.
@@ -757,6 +807,14 @@ struct BuildWs {
     phast: PhastWorkspace,
 }
 
+/// Caller-owned construction workspace for [`SignatureIndex::build_serial`]:
+/// the epoch-stamped flat-SSSP workspace plus the PHAST sweep buffer, reused
+/// across every region a partitioned-build worker constructs.
+#[derive(Default)]
+pub struct SignatureBuildWorkspace {
+    inner: BuildWs,
+}
+
 /// The adjacency slot of a neighbor on a shortest path toward the distance
 /// source: the **first** slot `u` with `d(u) + w(u,v) = d(v)`. Shortest
 /// paths are not unique and queries only need descent, but the choice must
@@ -783,6 +841,7 @@ fn descent_slot(net: &RoadNetwork, dist_of: impl Fn(NodeId) -> Dist, v: NodeId, 
 /// Build per-object category/link columns, optionally in parallel. With a
 /// hierarchy, each object's SSSP is a PHAST sweep instead of flat
 /// Dijkstra — identical distances, links recovered by descent scan.
+#[allow(clippy::too_many_arguments)]
 fn build_columns(
     net: &RoadNetwork,
     objects: &ObjectSet,
@@ -790,8 +849,14 @@ fn build_columns(
     last_lb: Dist,
     parallel: bool,
     hierarchy: Option<&ContractionHierarchy>,
-) -> Vec<Column> {
+    ext_ws: Option<&mut BuildWs>,
+    capture: &[ObjectId],
+) -> (Vec<Column>, Vec<Vec<Dist>>) {
     let d = objects.len();
+    let mut want = vec![false; d];
+    for o in capture {
+        want[o.index()] = true;
+    }
     let obj_row_from = |o: usize, dist_of: &dyn Fn(NodeId) -> Dist| -> Vec<(u32, Dist)> {
         let mut row: Vec<(u32, Dist)> = objects
             .iter()
@@ -804,12 +869,13 @@ fn build_columns(
         row.sort_unstable_by_key(|&(b, _)| b);
         row
     };
-    let run = |o: usize, ws: &mut BuildWs| -> Column {
+    let run = |o: usize, ws: &mut BuildWs| -> (Column, Option<Vec<Dist>>) {
         let host = objects.node_of(ObjectId(o as u32));
         let n = net.num_nodes();
         let mut cats = vec![0u8; n];
         let mut links = vec![0 as Slot; n];
         let obj_row;
+        let full;
         match hierarchy {
             None => {
                 sssp_into(net, host, &mut ws.flat);
@@ -824,6 +890,7 @@ fn build_columns(
                     links[v] = descent_slot(net, |u| ws.flat.dist(u), node, dist);
                 }
                 obj_row = obj_row_from(o, &|v| ws.flat.dist(v));
+                full = want[o].then(|| (0..n).map(|v| ws.flat.dist(NodeId(v as u32))).collect());
             }
             Some(ch) => {
                 ch.sssp_phast(host, &mut ws.phast);
@@ -839,13 +906,17 @@ fn build_columns(
                     links[v] = descent_slot(net, |u| dists[u.index()], node, dist);
                 }
                 obj_row = obj_row_from(o, &|v| dists[v.index()]);
+                full = want[o].then(|| dists[..n].to_vec());
             }
         }
-        Column {
-            cats,
-            links,
-            obj_row,
-        }
+        (
+            Column {
+                cats,
+                links,
+                obj_row,
+            },
+            full,
+        )
     };
 
     let threads = if parallel {
@@ -853,10 +924,23 @@ fn build_columns(
     } else {
         1
     };
-    if threads <= 1 || d < 4 {
-        let mut ws = BuildWs::default();
-        return (0..d).map(|o| run(o, &mut ws)).collect();
+    if ext_ws.is_some() || threads <= 1 || d < 4 {
+        let mut own = BuildWs::default();
+        let ws = ext_ws.unwrap_or(&mut own);
+        let mut cols = Vec::with_capacity(d);
+        let mut rows_by_obj: Vec<Option<Vec<Dist>>> = (0..d).map(|_| None).collect();
+        for (o, row_slot) in rows_by_obj.iter_mut().enumerate() {
+            let (col, full) = run(o, ws);
+            cols.push(col);
+            *row_slot = full;
+        }
+        let captured = capture
+            .iter()
+            .map(|o| rows_by_obj[o.index()].take().expect("captured row built"))
+            .collect();
+        return (cols, captured);
     }
+    assert!(capture.is_empty(), "capture requires the serial build path");
     let mut out: Vec<Option<Column>> = (0..d).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
@@ -872,7 +956,7 @@ fn build_columns(
                     if o >= d {
                         break;
                     }
-                    tx.send((o, run(o, &mut ws))).expect("collector alive");
+                    tx.send((o, run(o, &mut ws).0)).expect("collector alive");
                 }
             });
         }
@@ -881,9 +965,11 @@ fn build_columns(
             out[o] = Some(col);
         }
     });
-    out.into_iter()
+    let cols = out
+        .into_iter()
         .map(|c| c.expect("all columns built"))
-        .collect()
+        .collect();
+    (cols, Vec::new())
 }
 
 #[cfg(test)]

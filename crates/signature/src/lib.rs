@@ -40,8 +40,11 @@ pub mod update;
 
 pub use category::{CategoryPartition, DistRange};
 pub use cross::CrossNodeIndex;
-pub use index::{BuildDistanceMode, SignatureConfig, SignatureIndex, SizeReport};
+pub use index::{
+    BuildDistanceMode, SignatureBuildWorkspace, SignatureConfig, SignatureIndex, SizeReport,
+};
 pub use ops::{EntryDecodeMode, OpResult, OpStats, Session, SessionState};
+pub use query::cnn::{merge_segments, CnnSegment};
 pub use query::knn::{KnnResult, KnnType};
 pub use skip::{EntryAnchor, SkipDirectory};
 pub use update::SignatureMaintainer;

@@ -88,6 +88,10 @@ pub struct OpStats {
     /// Queries answered by the exact fallback backend after exhausting
     /// their retry budget (results stay exact; the fast path was skipped).
     pub degraded: u64,
+    /// Boundary nodes settled by the cross-partition frontier expansion of
+    /// a sharded query (`dsi-partition` router): each hop is one remote
+    /// boundary node whose distance label was resolved through the overlay.
+    pub frontier_hops: u64,
 }
 
 impl std::ops::Add for OpStats {
@@ -107,6 +111,7 @@ impl std::ops::Add for OpStats {
             votes: self.votes + rhs.votes,
             retries: self.retries + rhs.retries,
             degraded: self.degraded + rhs.degraded,
+            frontier_hops: self.frontier_hops + rhs.frontier_hops,
         }
     }
 }
@@ -134,6 +139,7 @@ impl std::ops::Sub for OpStats {
             votes: self.votes - rhs.votes,
             retries: self.retries - rhs.retries,
             degraded: self.degraded - rhs.degraded,
+            frontier_hops: self.frontier_hops - rhs.frontier_hops,
         }
     }
 }
@@ -175,6 +181,9 @@ impl std::fmt::Display for OpStats {
                 self.entry_cache_hits,
                 self.entry_cache_hits + self.entry_cache_misses
             )?;
+        }
+        if self.frontier_hops > 0 {
+            write!(f, ", {} frontier hops", self.frontier_hops)?;
         }
         if self.retries > 0 {
             write!(f, ", {} retries", self.retries)?;

@@ -176,7 +176,11 @@ pub fn continuous_knn(sess: &mut Session<'_>, path: &[NodeId], k: usize) -> Vec<
     merge_segments(sets.into_iter())
 }
 
-fn merge_segments(sets: impl Iterator<Item = Vec<ObjectId>>) -> Vec<CnnSegment> {
+/// Collapse a per-path-node sequence of (id-sorted) kNN sets into maximal
+/// runs of equal answer — the CNN result shape. Public so the sharded
+/// router (`dsi-partition`) can merge per-node sets it computed across
+/// partitions into the same segment representation.
+pub fn merge_segments(sets: impl Iterator<Item = Vec<ObjectId>>) -> Vec<CnnSegment> {
     let mut out: Vec<CnnSegment> = Vec::new();
     for (i, set) in sets.enumerate() {
         match out.last_mut() {

@@ -10,28 +10,60 @@
 //! the relevant locality.)
 
 use dsi_graph::{NodeId, RoadNetwork};
+use std::collections::VecDeque;
+
+/// Grow one connectivity-clustered region by breadth-first expansion.
+///
+/// Pops up to `budget` nodes off `queue`, appends each popped node's index
+/// to `out`, and enqueues its unseen neighbours (marking them seen **on
+/// enqueue**, so ownership is decided by whichever region enqueues a node
+/// first). Returns how many nodes were emitted.
+///
+/// This is the single BFS packing loop shared by [`ccam_order`] (one seed
+/// per connected component, unlimited budget) and the network partitioner
+/// in `dsi-partition` (K seeds grown round-robin under a budget). Because
+/// a node is claimed when enqueued by an already-claimed neighbour, every
+/// region this grows is connected in the underlying network.
+///
+/// Edges whose weight is [`dsi_graph::INFINITY`] (removed by maintenance)
+/// are not traversed.
+pub fn grow_region(
+    net: &RoadNetwork,
+    queue: &mut VecDeque<NodeId>,
+    seen: &mut [bool],
+    budget: usize,
+    out: &mut Vec<usize>,
+) -> usize {
+    let mut grown = 0;
+    while grown < budget {
+        let Some(u) = queue.pop_front() else {
+            break;
+        };
+        out.push(u.index());
+        grown += 1;
+        for (_, v, w) in net.neighbors(u) {
+            if w != dsi_graph::INFINITY && !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    grown
+}
 
 /// Connectivity-clustered order of all node records.
 pub fn ccam_order(net: &RoadNetwork) -> Vec<usize> {
     let n = net.num_nodes();
     let mut order = Vec::with_capacity(n);
     let mut seen = vec![false; n];
-    let mut queue = std::collections::VecDeque::new();
+    let mut queue = VecDeque::new();
     for start in 0..n {
         if seen[start] {
             continue;
         }
         seen[start] = true;
         queue.push_back(NodeId(start as u32));
-        while let Some(u) = queue.pop_front() {
-            order.push(u.index());
-            for (_, v, _) in net.neighbors(u) {
-                if !seen[v.index()] {
-                    seen[v.index()] = true;
-                    queue.push_back(v);
-                }
-            }
-        }
+        grow_region(net, &mut queue, &mut seen, usize::MAX, &mut order);
     }
     order
 }

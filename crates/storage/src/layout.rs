@@ -152,6 +152,13 @@ impl PagedStore {
         self.layout.num_pages()
     }
 
+    /// Move the store to a new first page id. Partitioned builds construct
+    /// each region's store independently at base 0, then rebase them onto
+    /// disjoint global page ranges once all region sizes are known.
+    pub fn rebase(&mut self, new_base: PageId) {
+        self.base = new_base;
+    }
+
     /// First page id after this store — use as the next store's `base`.
     pub fn end_page(&self) -> PageId {
         self.base + self.layout.num_pages()

@@ -29,7 +29,7 @@ pub mod layout;
 pub mod striped;
 
 pub use buffer::{BufferPool, IoStats};
-pub use ccam::ccam_order;
+pub use ccam::{ccam_order, grow_region};
 pub use checksum::{crc32, FrameReader, FrameWriter, MAX_FRAME};
 pub use fault::{FaultPlan, StorageError};
 pub use layout::{PageId, PageLayout, PagedStore, PAGE_SIZE};

@@ -13,9 +13,12 @@
 # sorted by key, so diffs between snapshots are stable. When the service
 # group is present, a derived "service_scaling" object records the
 # w1/w2/w4 batch medians and the speedup of each over one worker (≈1.0 on
-# a single-CPU container; see DESIGN.md). A "skip_directory" object
-# (from the size_report binary) records the entry-decode directory's
-# bytes/node and its fraction of the on-disk index at the default stride.
+# a single-CPU container; see DESIGN.md). When the sharded group is
+# present, a derived "sharded_scaling" object records per-K partitioned
+# build/query medians and each K's build speedup over the single index.
+# A "skip_directory" object (from the size_report binary) records the
+# entry-decode directory's bytes/node and its fraction of the on-disk
+# index at the default stride.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,6 +64,22 @@ jq '
           speedup_w2: (if $b["service/mixed_w2"] then ($w1 / $b["service/mixed_w2"].median_ns) else null end),
           speedup_w4: (if $b["service/mixed_w4"] then ($w1 / $b["service/mixed_w4"].median_ns) else null end)
         }
+      else . end
+    ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+# Derived per-K build/query scaling when the sharded group was benched:
+# the PR7 acceptance line is build_speedup_kK > 1.0 for some K (K-way
+# partitioned construction beating the single-index build wall-clock).
+jq '
+    .benches as $b
+    | ($b["sharded/build_single"].median_ns // null) as $bs
+    | if $bs then
+        .sharded_scaling = (
+          reduce (2, 4, 8) as $k ({build_single_ns: $bs,
+                                   query_single_ns: ($b["sharded/query_single"].median_ns // null)};
+            . + {("build_k\($k)_ns"): ($b["sharded/build_k\($k)"].median_ns // null),
+                 ("build_speedup_k\($k)"): (if $b["sharded/build_k\($k)"] then ($bs / $b["sharded/build_k\($k)"].median_ns) else null end),
+                 ("query_k\($k)_ns"): ($b["sharded/query_k\($k)"].median_ns // null)}))
       else . end
     ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
 

@@ -39,4 +39,17 @@ for seed in 1 2 3; do
     done
 done
 
+echo "== partition fault matrix (sharded router under injected storage faults) =="
+# The same fault suite served through the shard router over K partitioned
+# indexes: answers stay element-wise identical, and (the isolation test)
+# faults aimed at one partition degrade and quarantine only that
+# partition's stripe — the other regions' counters stay zero.
+for parts in 2 4; do
+    for seed in 1 2; do
+        echo "-- DSI_PARTITIONS=$parts DSI_FAULT_SEED=$seed --"
+        DSI_PARTITIONS=$parts DSI_FAULT_SEED=$seed \
+            cargo test -q -p dsi-service --test faults
+    done
+done
+
 echo "ci: all checks passed"
