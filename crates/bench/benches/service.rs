@@ -29,7 +29,7 @@ fn bench_service(c: &mut Criterion) {
     );
     let workload = |skew| {
         generate(
-            service.net(),
+            &service.net(),
             &WorkloadConfig {
                 count: scale.queries,
                 seed: scale.seed,

@@ -5,7 +5,12 @@
 //! per-class latency percentiles, throughput and I/O counters. With
 //! `--sweep`, serves the same batch at 1/2/4/... workers for a scaling
 //! table; with `--updates N`, applies N random edge updates between two
-//! batches to exercise the maintenance epoch.
+//! batches to exercise the maintenance epoch; with `--update-rate F`,
+//! runs the mixed read/update mode — an updater thread applies
+//! `round(F × rounds)` edge-update batches *while* the reader rounds run,
+//! and the summary reports how much of the maintenance latency the
+//! double-buffered epoch swap hid from the reader tail (p99 with vs.
+//! without concurrent maintenance).
 //!
 //! Example:
 //! ```text
@@ -14,14 +19,17 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::ObjectSet;
-use dsi_service::{generate, Backend, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_service::{
+    generate, generate_updates, Backend, QueryService, ServiceConfig, Skew, WorkloadConfig,
+};
 use dsi_signature::{EntryDecodeMode, SignatureConfig};
 use dsi_storage::FaultPlan;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 struct Args {
     nodes: usize,
@@ -34,6 +42,7 @@ struct Args {
     seed: u64,
     sweep: bool,
     updates: usize,
+    update_rate: f64,
     fault_rate: f64,
     corrupt_rate: f64,
     fault_seed: u64,
@@ -58,6 +67,7 @@ impl Default for Args {
             seed: 42,
             sweep: false,
             updates: 0,
+            update_rate: 0.0,
             fault_rate: 0.0,
             corrupt_rate: 0.0,
             fault_seed: 0xFA01,
@@ -82,6 +92,11 @@ fn parse_args() -> Result<Args, String> {
     if let Ok(v) = std::env::var("DSI_PARTITIONS") {
         args.partitions = parse(&v).map_err(|e| format!("DSI_PARTITIONS: {e}"))?;
     }
+    // `DSI_UPDATE_RATE` pre-selects the mixed read/update rate; an explicit
+    // `--update-rate` flag still wins.
+    if let Ok(v) = std::env::var("DSI_UPDATE_RATE") {
+        args.update_rate = parse(&v).map_err(|e| format!("DSI_UPDATE_RATE: {e}"))?;
+    }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
@@ -94,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
             "--pool-pages" => args.pool_pages = parse(&value("--pool-pages")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--updates" => args.updates = parse(&value("--updates")?)?,
+            "--update-rate" => args.update_rate = parse(&value("--update-rate")?)?,
             "--fault-rate" => args.fault_rate = parse(&value("--fault-rate")?)?,
             "--corrupt-rate" => args.corrupt_rate = parse(&value("--corrupt-rate")?)?,
             "--fault-seed" => args.fault_seed = parse(&value("--fault-seed")?)?,
@@ -118,11 +134,17 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: workload [--nodes N] [--density F] [--queries N] [--workers N]\n\
                      \x20               [--shards N] [--pool-pages N] [--skew uniform|zipf:THETA]\n\
-                     \x20               [--seed N] [--sweep] [--updates N]\n\
+                     \x20               [--seed N] [--sweep] [--updates N] [--update-rate F]\n\
                      \x20               [--fault-rate F] [--corrupt-rate F] [--fault-seed N]\n\
                      \x20               [--entry-decode on|off|auto] [--backend B]\n\
                      \x20               [--partitions K]\n\
                      \n\
+                     --update-rate F   mixed read/update mode: run the batch twice (read-only\n\
+                     \x20                 baseline, then with a concurrent updater thread\n\
+                     \x20                 publishing round(F x 8) epoch swaps) and report how\n\
+                     \x20                 much maintenance latency the double-buffered swap hid\n\
+                     \x20                 from reader p99; the DSI_UPDATE_RATE env var\n\
+                     \x20                 pre-selects it\n\
                      --fault-rate F    inject read failures on fraction F of physical reads\n\
                      --corrupt-rate F  inject page corruption on fraction F of physical reads\n\
                      --fault-seed N    seed for the deterministic fault stream\n\
@@ -149,6 +171,7 @@ fn parse_args() -> Result<Args, String> {
                     args.backend_explicit = true;
                 }
                 Some(("--partitions", v)) => args.partitions = parse(v)?,
+                Some(("--update-rate", v)) => args.update_rate = parse(v)?,
                 _ => return Err(format!("unknown flag {other:?} (try --help)")),
             },
         }
@@ -202,7 +225,7 @@ fn main() -> ExitCode {
     } else {
         FaultPlan::none()
     };
-    let mut service = QueryService::new(
+    let service = QueryService::new(
         net,
         objects,
         &SignatureConfig::default(),
@@ -220,8 +243,9 @@ fn main() -> ExitCode {
     if service.num_partitions() > 1 {
         println!("partitions: {}", service.num_partitions());
     }
+    let net = service.net();
     let batch = generate(
-        service.net(),
+        &net,
         &WorkloadConfig {
             skew: args.skew,
             count: args.queries,
@@ -249,15 +273,17 @@ fn main() -> ExitCode {
     }
 
     if args.updates > 0 {
-        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xDEAD_BEEF);
-        let updates: Vec<_> = (0..args.updates)
-            .filter_map(|_| {
-                let a = dsi_graph::NodeId(rng.gen_range(0..service.net().num_nodes()) as u32);
-                let (_, b, w) = service.net().neighbors(a).next()?;
-                Some((a, b, w + rng.gen_range(1u32..100)))
-            })
-            .collect();
-        let reports = service.apply_updates(&updates);
+        let updates = generate_updates(&net, args.updates, args.seed ^ 0xDEAD_BEEF);
+        // Surface a journal/publish I/O failure instead of panicking — the
+        // updates may still be durable (see `try_apply_updates` docs), but
+        // a driver run that hit one should fail loudly.
+        let reports = match service.try_apply_updates(&updates) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("workload: applying updates failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let changed: usize = reports.iter().map(|r| r.entries_changed).sum();
         println!(
             "\napplied {} edge updates (epoch {}): {} signature entries changed",
@@ -273,6 +299,118 @@ fn main() -> ExitCode {
         );
     }
 
+    if args.update_rate > 0.0 {
+        if let Err(e) = run_mixed(&service, &batch, &args) {
+            eprintln!("workload: mixed read/update mode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     println!("\n{}", service.stats_dump());
     ExitCode::SUCCESS
+}
+
+/// Minimum reader rounds per mixed pass; the pass keeps serving rounds
+/// until the updater thread has drained its batches (bounded by
+/// `MIXED_ROUND_CAP`), so the tail is actually measured *during* catch-up.
+const MIXED_ROUNDS: usize = 8;
+/// Edge updates per concurrent update batch in mixed mode.
+const MIXED_BATCH_EDGES: usize = 8;
+/// Safety valve on reader rounds (the updater observes the readers
+/// stopping and cuts its remaining batches short).
+const MIXED_ROUND_CAP: usize = 256;
+
+/// The mixed read/update mode (`--update-rate`): serve the query batch in
+/// repeated reader rounds while an updater thread drives double-buffered
+/// epoch publishes, then replay the *same number* of read-only rounds for
+/// a baseline, and report the update-latency-hiding ratio (worst per-round
+/// reader p99 with maintenance over without). Zero-pause maintenance keeps
+/// that ratio near CPU-sharing noise; stop-the-world maintenance would put
+/// whole rebuild latencies (hundreds of ms) into the reader tail.
+fn run_mixed(
+    service: &QueryService,
+    batch: &[dsi_service::Query],
+    args: &Args,
+) -> Result<(), String> {
+    let net = service.net();
+    let update_batches = ((args.update_rate * MIXED_ROUNDS as f64).round() as usize).max(1);
+
+    // Warm round so neither pass pays the cold-start tail.
+    service.serve_batch_on(args.backend, batch, args.workers);
+
+    // Mixed pass: reader rounds run until the updater has drained.
+    let epoch_before = service.epoch();
+    let updater_done = AtomicBool::new(false);
+    let readers_stopped = AtomicBool::new(false);
+    let mut mixed_rounds: Vec<u64> = Vec::new();
+    let mut swaps = 0u64;
+    let mut stale = 0u64;
+    let update_err = std::thread::scope(|scope| {
+        let updater = scope.spawn(|| {
+            for i in 0..update_batches {
+                if readers_stopped.load(Ordering::Acquire) {
+                    break; // readers hit the round cap; stop measuring
+                }
+                let ups =
+                    generate_updates(&net, MIXED_BATCH_EDGES, args.seed ^ 0xBEEF_0000 ^ i as u64);
+                service.try_apply_updates(&ups).map_err(|e| e.to_string())?;
+            }
+            updater_done.store(true, Ordering::Release);
+            Ok::<(), String>(())
+        });
+        while !updater_done.load(Ordering::Acquire) || mixed_rounds.len() < MIXED_ROUNDS {
+            let r = service.serve_batch_on(args.backend, batch, args.workers);
+            mixed_rounds.push(r.worst_p99_ns());
+            swaps += r.ops.epoch_swaps;
+            stale += r.ops.stale_epoch_reads;
+            if mixed_rounds.len() >= MIXED_ROUND_CAP {
+                break;
+            }
+        }
+        readers_stopped.store(true, Ordering::Release);
+        updater.join().expect("updater thread")
+    });
+    update_err?;
+    let applied = service.epoch() - epoch_before;
+
+    // Baseline: the same number of read-only rounds on the settled state.
+    let base_rounds: Vec<u64> = (0..mixed_rounds.len())
+        .map(|_| {
+            service
+                .serve_batch_on(args.backend, batch, args.workers)
+                .worst_p99_ns()
+        })
+        .collect();
+
+    // Median round rather than max: the tiniest class's per-round p99 is a
+    // max of ~20 samples, so a max-of-rounds aggregate measures scheduler
+    // jitter, not maintenance. The median round *during catch-up* is the
+    // tail a steady reader actually sees while epochs publish behind it.
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v.get(v.len() / 2).copied().unwrap_or(0)
+    };
+    let mixed_p99 = median(mixed_rounds.clone());
+    let base_p99 = median(base_rounds);
+    let ratio = if base_p99 > 0 {
+        mixed_p99 as f64 / base_p99 as f64
+    } else {
+        1.0
+    };
+    println!(
+        "\n== mixed read/update ({applied}/{update_batches} update batches x {MIXED_BATCH_EDGES} edges, {} reader rounds) ==",
+        mixed_rounds.len()
+    );
+    println!(
+        "  epochs {} -> {} ({swaps} swaps observed in-batch, {stale} stale-epoch reads)",
+        epoch_before,
+        service.epoch()
+    );
+    println!(
+        "  reader p99 (median round): {:.1}\u{b5}s baseline -> {:.1}\u{b5}s under maintenance (ratio {ratio:.2}x)",
+        base_p99 as f64 / 1e3,
+        mixed_p99 as f64 / 1e3
+    );
+    println!("p99_baseline_ns={base_p99} p99_concurrent_ns={mixed_p99} p99_ratio={ratio:.4} epoch_swaps={swaps}");
+    Ok(())
 }

@@ -1,5 +1,5 @@
 //! The concurrent query engine: sharded session state, a worker-pool batch
-//! executor, and epoch-guarded index maintenance.
+//! executor, and zero-pause double-buffered index maintenance.
 //!
 //! # Sharding
 //!
@@ -13,15 +13,49 @@
 //! state back. Taking the state outside the lock would let a second worker
 //! on the same shard spin up a fresh state and fork the counters.
 //!
-//! # Epochs
+//! # Epochs: double-buffered maintenance
 //!
-//! Reads and writes are phased by construction: [`QueryService::serve_batch`]
-//! takes `&self` (any number of concurrent readers within a batch), while
-//! [`QueryService::apply_updates`] takes `&mut self` — the borrow checker
-//! guarantees no batch is in flight while the index is maintained. Each
-//! maintenance call bumps the service epoch; a shard resumed under a newer
-//! epoch than it last saw lazily drops its decoded-signature cache (stale
-//! decodes) before serving, so the next batch observes the updated index.
+//! All index state a query can touch — network, signature index,
+//! contraction hierarchy, partitioned indexes, and the session stripes over
+//! them — lives in one immutable [`EpochIndex`] behind
+//! `RwLock<Arc<EpochIndex>>`. [`QueryService::serve_batch`] clones the Arc
+//! (a microsecond read-lock) and runs the *whole batch* against that pinned
+//! snapshot: every query in the batch observes one consistent index state
+//! end-to-end, no matter what maintenance does meanwhile.
+//!
+//! [`QueryService::apply_updates`] now takes `&self`: it journals the
+//! updates, patches a *canonical* mutable copy of the state (held apart
+//! from any epoch, under the maintenance mutex), then constructs the next
+//! epoch off to the side — clone-and-patch for the signature index,
+//! wholesale contraction-hierarchy and partition rebuilds — **with the
+//! maintenance lock dropped**, so further update batches keep landing while
+//! the shadow epoch builds. A bounded catch-up loop re-checks for updates
+//! that arrived during the build (retry with backoff, then cede to the
+//! fresher writer), and the finished epoch is published with an atomic swap
+//! (`Arc` flip + epoch bump). Readers never block on maintenance; at worst
+//! they keep answering from the previous epoch — the PR 3 degradation
+//! discipline, now applied to staleness: every answer is element-wise equal
+//! to *some* single serialized order of update batches.
+//!
+//! Session stripes are per-epoch: a new epoch starts with cold stripes, so
+//! a stale decode of a retired index is unreachable by construction (the
+//! generation machinery in [`Session::resume`] remains as defense in
+//! depth). An in-flight batch keeps its pinned epoch — and that epoch's
+//! stripes — alive through the Arc until it completes.
+//!
+//! # Crash-safe publish
+//!
+//! With a maintenance log attached, the publish itself is a protocol, not
+//! just a pointer swap: maintenance appends a *publish-intent* record to
+//! the journal, writes the full-state checkpoint (temp + sync + atomic
+//! rename), appends *publish-done*, and only then flips the Arc. Every
+//! step is synced before the next. A crash anywhere in that sequence leaves
+//! the journal's update records — the source of truth — intact, so
+//! [`QueryService::recover`] always lands on exactly one epoch: the markers
+//! tell it how far publishing got, the updates tell it what the state is,
+//! and a checkpoint is only trusted when the surviving journal covers it.
+//! Kill-point instrumentation ([`QueryService::arm_publish_kill_point`])
+//! lets tests cut the protocol at each boundary.
 //!
 //! # Backends
 //!
@@ -30,7 +64,7 @@
 //! network expansion (the paper's INE baseline) with one reusable
 //! [`SsspWorkspace`] per worker — no paging, no shared state — used for
 //! cross-checking results and as a CPU-cost yardstick. The
-//! [`Backend::Hierarchy`] backend answers them on the service's prebuilt
+//! [`Backend::Hierarchy`] backend answers them on the epoch's prebuilt
 //! contraction hierarchy — each distance is one bidirectional upward
 //! search in a per-worker [`ChWorkspace`] — an exact, memory-resident
 //! oracle whose search space is a small fraction of the network. All three
@@ -42,28 +76,18 @@
 //! injects deterministic read failures and corruptions on physical reads.
 //! A failed query attempt is retried (with bounded backoff) up to the
 //! configured retry budget; a query that exhausts its budget falls back to
-//! an exact in-memory engine — the contraction hierarchy when the service
+//! an exact in-memory engine — the contraction hierarchy when the epoch
 //! holds one (it never touches the faulty storage layer), else the
 //! Dijkstra backend — so the answer is still exact, only the fast path was
 //! skipped — and is tagged *degraded* in the [`BatchReport`]. A
 //! shard that degrades several queries in a row is *quarantined*: its
 //! cached pages and decodes are dropped (counters survive, so batch deltas
 //! stay monotone) and it restarts with a cold working set.
-//!
-//! # Crash-safe maintenance
-//!
-//! With a maintenance log attached ([`QueryService::attach_maintenance_log`]),
-//! [`QueryService::apply_updates`] appends every edge update to a
-//! checksummed write-ahead journal (synced *before* the index is patched),
-//! and [`QueryService::checkpoint`] snapshots the full service state
-//! atomically. [`QueryService::recover`] rebuilds a consistent service from
-//! whatever survives a crash: the journal's longest valid prefix is the
-//! source of truth, a parseable checkpoint merely shortcuts the replay.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use dsi_graph::io::{load_network, read_objects, write_network, write_objects, LoadError};
@@ -82,14 +106,20 @@ use dsi_signature::{
 use dsi_storage::{FaultPlan, IoStats, Striped};
 
 use crate::journal::{
-    read_checkpoint, write_checkpoint, EdgeUpdate, UpdateJournal, BASE_NET_FILE, BASE_OBJ_FILE,
-    CHECKPOINT_FILE, JOURNAL_FILE,
+    read_checkpoint, write_checkpoint, EdgeUpdate, JournalRecord, UpdateJournal, BASE_NET_FILE,
+    BASE_OBJ_FILE, CHECKPOINT_FILE, JOURNAL_FILE,
 };
 use crate::stats::{per_class_stats, BatchReport, PartStats};
 use crate::workload::Query;
 
 /// Consecutive degraded queries on one shard before it is quarantined.
 const QUARANTINE_STRIKES: u32 = 3;
+
+/// Rounds the shadow-epoch builder re-snapshots and rebuilds when update
+/// batches land faster than it can catch up, before it cedes publishing to
+/// the fresher writer (readers keep the old epoch meanwhile — the
+/// degradation is staleness, never blocking).
+const CATCHUP_ROUNDS: u32 = 4;
 
 /// Which engine answers the queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,7 +130,7 @@ pub enum Backend {
     /// per-worker workspace, no paging model.
     Dijkstra,
     /// Contraction-hierarchy distance oracle: every distance is a
-    /// bidirectional upward search over the service's prebuilt hierarchy;
+    /// bidirectional upward search over the epoch's prebuilt hierarchy;
     /// per-worker workspace, memory-resident (no paging model). Requires
     /// [`ServiceConfig::hierarchy`].
     Hierarchy,
@@ -169,8 +199,8 @@ pub struct ServiceConfig {
     /// prebuilt hierarchy), and is the preferred degraded-fallback engine —
     /// memory-resident, so immune to injected storage faults.
     pub hierarchy: bool,
-    /// Horizontal partitions. With `partitions > 1` the service
-    /// additionally builds a [`dsi_partition::PartitionedIndex`] — K
+    /// Horizontal partitions. With `partitions > 1` every epoch
+    /// additionally holds a [`dsi_partition::PartitionedIndex`] — K
     /// per-region signature indexes constructed in parallel — and
     /// [`Backend::Sharded`] routes queries across them; each partition gets
     /// its own session stripe with its own retry → degrade → quarantine
@@ -207,9 +237,6 @@ pub enum QueryOutput {
 }
 
 /// A parked per-shard session plus its fault-handling strike counter.
-/// (Stale-cache handling needs no per-shard bookkeeping: [`Session::resume`]
-/// compares the state's generation against the index and clears stale
-/// decodes itself.)
 struct Shard {
     state: Option<SessionState>,
     /// Consecutive queries this shard answered via the degraded fallback;
@@ -246,44 +273,210 @@ impl PartitionedEngine {
     }
 }
 
-/// Thread-safe query engine over one road network + object set.
-///
-/// Owns the network, the signature index and its maintainer; serves read
-/// batches through sharded sessions and applies edge updates between
-/// batches (see module docs for the epoch rules).
-pub struct QueryService {
+/// One immutable index generation: everything a query batch touches,
+/// published wholesale by an `Arc` swap. Batches pin an epoch for their
+/// entire run; the stripes (and the counters inside them) are per-epoch.
+pub struct EpochIndex {
+    epoch: u64,
+    net: Arc<RoadNetwork>,
+    objects: Arc<ObjectSet>,
+    index: Arc<SignatureIndex>,
+    ch: Option<Arc<ContractionHierarchy>>,
+    parted: Option<PartitionedEngine>,
+    shards: Striped<Shard>,
+}
+
+impl EpochIndex {
+    /// The epoch number (0 for the initial build, bumped by each publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The road network this epoch serves.
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The indexed object set (shared by every epoch — objects never move).
+    pub fn objects(&self) -> &ObjectSet {
+        &self.objects
+    }
+
+    /// The signature index this epoch serves.
+    pub fn index(&self) -> &SignatureIndex {
+        &self.index
+    }
+
+    /// The contraction hierarchy, when [`ServiceConfig::hierarchy`] is on.
+    pub fn hierarchy(&self) -> Option<&ContractionHierarchy> {
+        self.ch.as_deref()
+    }
+
+    /// Partitions the sharded backend routes across (1 for a single index).
+    pub fn num_partitions(&self) -> usize {
+        self.parted.as_ref().map_or(1, |pe| pe.pidx.num_parts())
+    }
+
+    /// Partition owning `node`, `None` when this epoch serves a single
+    /// index.
+    pub fn partition_of(&self, node: NodeId) -> Option<usize> {
+        self.parted.as_ref().map(|pe| pe.pidx.part_of(node))
+    }
+
+    /// Page-access counters summed over this epoch's shards (partition
+    /// stripes included).
+    pub fn merged_io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        self.shards.for_each(|_, shard| {
+            if let Some(state) = shard.state.as_ref() {
+                total += state.io_stats();
+            }
+        });
+        if let Some(pe) = &self.parted {
+            pe.shards.for_each(|_, shard| {
+                if let Some(state) = shard.state.as_ref() {
+                    total += state.io_stats();
+                }
+            });
+        }
+        total
+    }
+
+    /// Operation counters summed over this epoch's shards (partition
+    /// stripes included).
+    pub fn merged_op_stats(&self) -> OpStats {
+        let mut total = OpStats::default();
+        self.shards.for_each(|_, shard| {
+            if let Some(state) = shard.state.as_ref() {
+                total += state.op_stats();
+            }
+        });
+        if let Some(pe) = &self.parted {
+            pe.shards.for_each(|_, shard| {
+                if let Some(state) = shard.state.as_ref() {
+                    total += state.op_stats();
+                }
+            });
+        }
+        total
+    }
+
+    /// Per-partition query, I/O, and boundary-frontier counters, in
+    /// partition order. Empty when this epoch holds no partitioned indexes.
+    pub fn per_partition_stats(&self) -> Vec<PartStats> {
+        let Some(pe) = &self.parted else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(pe.shards.num_shards());
+        pe.shards.for_each(|_, shard| {
+            let (io, hops) = shard.state.as_ref().map_or_else(Default::default, |s| {
+                (s.io_stats(), s.op_stats().frontier_hops)
+            });
+            out.push(PartStats {
+                queries: shard.queries,
+                io,
+                frontier_hops: hops,
+            });
+        });
+        out
+    }
+}
+
+/// The canonical mutable state behind the maintenance mutex: the copy the
+/// maintainer patches incrementally, from which shadow epochs are cloned.
+/// Epochs published to readers are immutable snapshots of this.
+struct MaintState {
     net: RoadNetwork,
-    objects: ObjectSet,
     index: SignatureIndex,
     maint: SignatureMaintainer,
-    /// Contraction hierarchy over `net` (when [`ServiceConfig::hierarchy`]):
-    /// query backend, construction accelerator, and preferred degraded
-    /// fallback. Rebuilt whenever the network changes.
-    ch: Option<ContractionHierarchy>,
-    shards: Striped<Shard>,
-    /// Partitioned indexes + per-partition session stripes, when
-    /// [`ServiceConfig::partitions`] > 1. Rebuilt wholesale (and every
-    /// parked partition state dropped — fresh region indexes restart at
-    /// generation 0, so stale caches would not self-invalidate) on
-    /// maintenance and recovery.
-    parted: Option<PartitionedEngine>,
+    /// Update batches applied to the canonical state so far (process-local;
+    /// the shadow builder uses it to detect falling behind).
+    seq: u64,
+    /// Highest `seq` whose epoch has been published (or claimed by a
+    /// publishing writer) — prevents double-publishing one state.
+    published_seq: u64,
+    /// Write-ahead journal + its directory, when a maintenance log is
+    /// attached.
+    wal: Option<UpdateJournal>,
+    log_dir: Option<PathBuf>,
+}
+
+/// The cloned snapshot a shadow epoch is built from.
+struct ShadowState {
+    seq: u64,
+    net: Arc<RoadNetwork>,
+    index: Arc<SignatureIndex>,
+}
+
+impl ShadowState {
+    fn of(m: &MaintState) -> Self {
+        ShadowState {
+            seq: m.seq,
+            net: Arc::new(m.net.clone()),
+            index: Arc::new(m.index.clone()),
+        }
+    }
+}
+
+/// Boundaries of the crash-safe publish protocol where test instrumentation
+/// can simulate a crash (see [`QueryService::arm_publish_kill_point`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PublishKillPoint {
+    /// Die after the publish-intent record is synced, before the checkpoint
+    /// temp file is renamed into place.
+    AfterIntent,
+    /// Die after the checkpoint rename, before publish-done is appended.
+    AfterRename,
+    /// Die after publish-done is synced, before the in-memory `Arc` swap.
+    AfterDone,
+}
+
+/// Thread-safe query engine over one road network + object set.
+///
+/// Owns the live [`EpochIndex`] plus the canonical maintenance state;
+/// serves read batches against pinned epoch snapshots and applies edge
+/// updates concurrently through double-buffered epoch construction (see
+/// module docs).
+pub struct QueryService {
+    /// The live epoch. Readers clone the Arc under a momentary read lock;
+    /// the publish path swaps it under a momentary write lock. Nothing
+    /// slow ever happens under this lock.
+    live: RwLock<Arc<EpochIndex>>,
+    /// Lock-free mirror of the live epoch number, for per-query staleness
+    /// checks and `epoch()` without touching the RwLock.
+    live_epoch: AtomicU64,
+    /// The object set. Objects never move under edge-weight maintenance, so
+    /// one shared copy serves every epoch.
+    objects: Arc<ObjectSet>,
+    maint: Mutex<MaintState>,
     /// Signature build configuration, kept for partitioned rebuilds.
     sig: SignatureConfig,
-    epoch: u64,
+    num_shards: usize,
     pool_pages: usize,
     fault_plan: FaultPlan,
     retry_budget: u32,
     entry_decode: EntryDecodeMode,
+    hierarchy_on: bool,
+    partitions: usize,
     /// Shards quarantined so far (cold-restarted after repeated degraded
     /// queries).
     quarantines: AtomicU64,
     /// Degraded queries answered by the hierarchy oracle (as opposed to the
     /// Dijkstra fallback of last resort).
     ch_fallbacks: AtomicU64,
-    /// Write-ahead journal + its directory, when a maintenance log is
-    /// attached.
-    wal: Option<UpdateJournal>,
-    log_dir: Option<PathBuf>,
+    /// Epochs published by the double-buffered maintenance path.
+    epoch_swaps: AtomicU64,
+    /// Queries that completed against a superseded epoch snapshot.
+    stale_epoch_reads: AtomicU64,
+    /// Times the shadow builder re-snapshotted because updates landed
+    /// mid-build.
+    catchup_retries: AtomicU64,
+    /// Builds that exhausted [`CATCHUP_ROUNDS`] and ceded publishing to a
+    /// fresher writer.
+    publish_cedes: AtomicU64,
+    /// Armed test kill point (consumed by the next publish that reaches
+    /// it).
+    kill_point: Mutex<Option<PublishKillPoint>>,
 }
 
 impl QueryService {
@@ -307,7 +500,7 @@ impl QueryService {
             Some(ch) => SignatureIndex::build_with_hierarchy(&net, &objects, sig, ch),
             None => SignatureIndex::build(&net, &objects, sig),
         };
-        QueryService::assemble(net, objects, index, ch, cfg, sig.clone())
+        QueryService::assemble(net, objects, index, ch, cfg, sig.clone(), 0)
     }
 
     /// Wrap an already-built index (e.g. one loaded from a checkpoint) in a
@@ -326,7 +519,7 @@ impl QueryService {
         let ch = cfg
             .hierarchy
             .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
-        QueryService::assemble(net, objects, index, ch, cfg, SignatureConfig::default())
+        QueryService::assemble(net, objects, index, ch, cfg, SignatureConfig::default(), 0)
     }
 
     fn assemble(
@@ -336,62 +529,94 @@ impl QueryService {
         ch: Option<ContractionHierarchy>,
         cfg: &ServiceConfig,
         sig: SignatureConfig,
+        epoch: u64,
     ) -> Self {
         let maint = SignatureMaintainer::new(&net, &objects);
+        let objects = Arc::new(objects);
         let parted = (cfg.partitions > 1)
             .then(|| PartitionedEngine::build(&net, &objects, &sig, cfg.partitions));
-        QueryService {
-            net,
-            objects,
-            index,
-            maint,
-            ch,
+        let net_arc = Arc::new(net.clone());
+        let index_arc = Arc::new(index.clone());
+        let epoch0 = Arc::new(EpochIndex {
+            epoch,
+            net: net_arc,
+            objects: objects.clone(),
+            index: index_arc,
+            ch: ch.map(Arc::new),
+            parted,
             shards: Striped::new(cfg.shards, |_| Shard {
                 state: None,
                 strikes: 0,
             }),
-            parted,
+        });
+        QueryService {
+            live: RwLock::new(epoch0),
+            live_epoch: AtomicU64::new(epoch),
+            objects,
+            maint: Mutex::new(MaintState {
+                net,
+                index,
+                maint,
+                seq: 0,
+                published_seq: 0,
+                wal: None,
+                log_dir: None,
+            }),
             sig,
-            epoch: 0,
+            num_shards: cfg.shards,
             pool_pages: cfg.pool_pages,
             fault_plan: cfg.fault_plan,
             retry_budget: cfg.retry_budget,
             entry_decode: cfg.entry_decode,
+            hierarchy_on: cfg.hierarchy,
+            partitions: cfg.partitions,
             quarantines: AtomicU64::new(0),
             ch_fallbacks: AtomicU64::new(0),
-            wal: None,
-            log_dir: None,
+            epoch_swaps: AtomicU64::new(0),
+            stale_epoch_reads: AtomicU64::new(0),
+            catchup_retries: AtomicU64::new(0),
+            publish_cedes: AtomicU64::new(0),
+            kill_point: Mutex::new(None),
         }
     }
 
-    /// The road network being served.
-    pub fn net(&self) -> &RoadNetwork {
-        &self.net
+    /// Pin the live epoch: the returned snapshot (and everything reachable
+    /// from it) stays consistent for as long as the Arc is held, regardless
+    /// of concurrent maintenance.
+    pub fn snapshot(&self) -> Arc<EpochIndex> {
+        self.live.read().expect("live epoch lock").clone()
     }
 
-    /// The indexed object set.
+    /// The live epoch's road network (pin via [`Self::snapshot`] to keep a
+    /// batch on one network).
+    pub fn net(&self) -> Arc<RoadNetwork> {
+        self.snapshot().net.clone()
+    }
+
+    /// The indexed object set (immutable across epochs).
     pub fn objects(&self) -> &ObjectSet {
         &self.objects
     }
 
-    /// The signature index being served.
-    pub fn index(&self) -> &SignatureIndex {
-        &self.index
+    /// The live epoch's signature index.
+    pub fn index(&self) -> Arc<SignatureIndex> {
+        self.snapshot().index.clone()
     }
 
-    /// The contraction hierarchy, when [`ServiceConfig::hierarchy`] is on.
-    pub fn hierarchy(&self) -> Option<&ContractionHierarchy> {
-        self.ch.as_ref()
+    /// The live epoch's contraction hierarchy, when
+    /// [`ServiceConfig::hierarchy`] is on.
+    pub fn hierarchy(&self) -> Option<Arc<ContractionHierarchy>> {
+        self.snapshot().ch.clone()
     }
 
-    /// Current maintenance epoch (bumped by [`Self::apply_updates`]).
+    /// Current maintenance epoch (bumped by every publish).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.live_epoch.load(Ordering::Acquire)
     }
 
-    /// Session shards.
+    /// Session shards per epoch.
     pub fn num_shards(&self) -> usize {
-        self.shards.num_shards()
+        self.num_shards
     }
 
     /// Serve a batch on the signature backend. See [`Self::serve_batch_on`].
@@ -402,13 +627,16 @@ impl QueryService {
     /// Execute `queries` on `workers` threads and return outputs in input
     /// order plus cost accounting.
     ///
-    /// Workers pull queries off a shared atomic cursor (dynamic load
-    /// balancing: a worker stuck on a join doesn't stall the rest of the
-    /// batch), execute each under its shard's lock, and report
-    /// `(index, class, latency, output)` over a channel. Query *results*
-    /// and merged *logical* page counts are schedule-independent (routing
-    /// is deterministic and the index is immutable for the batch); page
-    /// *faults* and latencies depend on interleaving.
+    /// The batch pins the live epoch once, up front: every query executes
+    /// against that one snapshot even if maintenance publishes newer epochs
+    /// mid-batch (such completions are tallied in
+    /// [`OpStats::stale_epoch_reads`]). Workers pull queries off a shared
+    /// atomic cursor (dynamic load balancing: a worker stuck on a join
+    /// doesn't stall the rest of the batch), execute each under its shard's
+    /// lock, and report `(index, class, latency, output)` over a channel.
+    /// Query *results* and merged *logical* page counts are
+    /// schedule-independent (routing is deterministic and the pinned epoch
+    /// is immutable); page *faults* and latencies depend on interleaving.
     pub fn serve_batch_on(
         &self,
         backend: Backend,
@@ -416,15 +644,18 @@ impl QueryService {
         workers: usize,
     ) -> BatchReport {
         let workers = workers.max(1);
+        let ep = self.snapshot();
         if backend == Backend::Hierarchy {
             assert!(
-                self.ch.is_some(),
+                ep.ch.is_some(),
                 "Backend::Hierarchy requires ServiceConfig::hierarchy"
             );
         }
-        let io_before = self.merged_io_stats();
-        let ops_before = self.merged_op_stats();
-        let parts_before = self.per_partition_stats();
+        let io_before = ep.merged_io_stats();
+        let ops_before = ep.merged_op_stats();
+        let parts_before = ep.per_partition_stats();
+        let swaps_before = self.epoch_swaps.load(Ordering::Acquire);
+        let stale_before = self.stale_epoch_reads.load(Ordering::Acquire);
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
         let start = Instant::now();
@@ -432,6 +663,7 @@ impl QueryService {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
+                let ep = &ep;
                 scope.spawn(move || {
                     // One reusable workspace of each kind per worker:
                     // allocated once, reset in O(touched) between queries.
@@ -442,22 +674,26 @@ impl QueryService {
                         let Some(q) = queries.get(i) else { break };
                         let t0 = Instant::now();
                         let (out, degraded) = match backend {
-                            Backend::Signature => self.execute_sharded(q, &mut ws, &mut chws),
-                            Backend::Sharded => self.execute_partitioned(q, &mut ws, &mut chws),
-                            Backend::Dijkstra => (
-                                execute_dijkstra(&self.net, &self.objects, &mut ws, q),
-                                false,
-                            ),
+                            Backend::Signature => self.execute_sharded(ep, q, &mut ws, &mut chws),
+                            Backend::Sharded => self.execute_partitioned(ep, q, &mut ws, &mut chws),
+                            Backend::Dijkstra => {
+                                (execute_dijkstra(&ep.net, &ep.objects, &mut ws, q), false)
+                            }
                             Backend::Hierarchy => (
                                 execute_hierarchy(
-                                    &self.objects,
-                                    self.ch.as_ref().expect("checked above"),
+                                    &ep.objects,
+                                    ep.ch.as_ref().expect("checked above"),
                                     &mut chws,
                                     q,
                                 ),
                                 false,
                             ),
                         };
+                        if self.live_epoch.load(Ordering::Relaxed) > ep.epoch {
+                            // The pinned snapshot was superseded while this
+                            // query ran: still consistent, just stale.
+                            self.stale_epoch_reads.fetch_add(1, Ordering::Relaxed);
+                        }
                         let ns = t0.elapsed().as_nanos() as u64;
                         tx.send((i, q.class(), ns, out, degraded))
                             .expect("collector alive");
@@ -475,6 +711,9 @@ impl QueryService {
             outputs[i] = Some(out);
             degraded[i] = deg;
         }
+        let mut ops = ep.merged_op_stats() - ops_before;
+        ops.epoch_swaps = self.epoch_swaps.load(Ordering::Acquire) - swaps_before;
+        ops.stale_epoch_reads = self.stale_epoch_reads.load(Ordering::Acquire) - stale_before;
         BatchReport {
             backend: backend.label(),
             outputs: outputs
@@ -484,9 +723,9 @@ impl QueryService {
             degraded,
             wall,
             workers,
-            io: self.merged_io_stats() - io_before,
-            ops: self.merged_op_stats() - ops_before,
-            per_part: self
+            io: ep.merged_io_stats() - io_before,
+            ops,
+            per_part: ep
                 .per_partition_stats()
                 .into_iter()
                 .zip(parts_before)
@@ -508,30 +747,31 @@ impl QueryService {
         state
     }
 
-    /// Execute one query under its shard's lock on the signature index,
-    /// returning the output and whether it was answered by the degraded
-    /// fallback.
+    /// Execute one query under its shard's lock on the pinned epoch's
+    /// signature index, returning the output and whether it was answered by
+    /// the degraded fallback.
     ///
     /// The fault-handling ladder: a storage fault aborts the attempt; the
     /// query is retried (bounded backoff; failed reads are never cached, so
     /// a retry re-draws the fault stream while keeping the pages it did
     /// read) up to the retry budget; past the budget the query is answered
     /// exactly off the fast paths — by the contraction hierarchy in `chws`
-    /// when the service holds one (memory-resident, so immune to the
+    /// when the epoch holds one (memory-resident, so immune to the
     /// injected storage faults), else by incremental network expansion in
     /// `ws`. Repeated degradation quarantines the shard: pages and decodes
     /// are dropped, counters survive.
     fn execute_sharded(
         &self,
+        ep: &EpochIndex,
         q: &Query,
         ws: &mut SsspWorkspace,
         chws: &mut ChWorkspace,
     ) -> (QueryOutput, bool) {
-        let mut shard = self.shards.lock(q.route_key());
+        let mut shard = ep.shards.lock(q.route_key());
         let mut state = shard.state.take().unwrap_or_else(|| self.fresh_state());
         let mut attempt = 0u32;
         loop {
-            let mut sess = Session::resume(&self.index, &self.net, state);
+            let mut sess = Session::resume(&ep.index, &ep.net, state);
             match try_execute_signature(&mut sess, q) {
                 Ok(out) => {
                     shard.strikes = 0;
@@ -557,12 +797,12 @@ impl QueryService {
                         self.quarantines.fetch_add(1, Ordering::Relaxed);
                     }
                     shard.state = Some(state);
-                    let out = match &self.ch {
+                    let out = match &ep.ch {
                         Some(ch) => {
                             self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
-                            execute_hierarchy(&self.objects, ch, chws, q)
+                            execute_hierarchy(&ep.objects, ch, chws, q)
                         }
-                        None => execute_dijkstra(&self.net, &self.objects, ws, q),
+                        None => execute_dijkstra(&ep.net, &ep.objects, ws, q),
                     };
                     return (out, true);
                 }
@@ -570,7 +810,8 @@ impl QueryService {
         }
     }
 
-    /// Execute one query on the shard router over the partitioned indexes.
+    /// Execute one query on the shard router over the pinned epoch's
+    /// partitioned indexes.
     ///
     /// A node-anchored query locks its home partition's stripe only: the
     /// region operators plus the boundary frontier run entirely on that
@@ -584,12 +825,13 @@ impl QueryService {
     /// across and the query takes the literal single-index path.
     fn execute_partitioned(
         &self,
+        ep: &EpochIndex,
         q: &Query,
         ws: &mut SsspWorkspace,
         chws: &mut ChWorkspace,
     ) -> (QueryOutput, bool) {
-        let Some(pe) = &self.parted else {
-            return self.execute_sharded(q, ws, chws);
+        let Some(pe) = &ep.parted else {
+            return self.execute_sharded(ep, q, ws, chws);
         };
         match *q {
             Query::Join { eps } => {
@@ -600,7 +842,7 @@ impl QueryService {
                         Ok(rows) => pairs.extend(rows),
                         Err(()) => {
                             any_degraded = true;
-                            self.fallback_join_rows(pe, p, eps, ws, chws, &mut pairs);
+                            self.fallback_join_rows(ep, pe, p, eps, ws, chws, &mut pairs);
                         }
                     }
                 }
@@ -630,12 +872,12 @@ impl QueryService {
                     // The whole query re-runs on the exact in-memory
                     // fallback — same ladder top as the single-index path.
                     Err(()) => (
-                        match &self.ch {
+                        match &ep.ch {
                             Some(ch) => {
                                 self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
-                                execute_hierarchy(&self.objects, ch, chws, q)
+                                execute_hierarchy(&ep.objects, ch, chws, q)
                             }
-                            None => execute_dijkstra(&self.net, &self.objects, ws, q),
+                            None => execute_dijkstra(&ep.net, &ep.objects, ws, q),
                         },
                         true,
                     ),
@@ -692,8 +934,10 @@ impl QueryService {
     /// `(a, b)` with `a` hosted in partition `p`, `a < b`, `d ≤ eps`,
     /// computed on the full network (hierarchy oracle when available, else
     /// network expansion) without touching the partition's faulty storage.
+    #[allow(clippy::too_many_arguments)]
     fn fallback_join_rows(
         &self,
+        ep: &EpochIndex,
         pe: &PartitionedEngine,
         p: usize,
         eps: Dist,
@@ -701,11 +945,11 @@ impl QueryService {
         chws: &mut ChWorkspace,
         pairs: &mut Vec<(ObjectId, ObjectId)>,
     ) {
-        if let Some(ch) = &self.ch {
+        if let Some(ch) = &ep.ch {
             self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
             for a in pe.pidx.part(p).real_objects() {
-                let host = self.objects.node_of(a);
-                for (b, hb) in self.objects.iter() {
+                let host = ep.objects.node_of(a);
+                for (b, hb) in ep.objects.iter() {
                     if b > a {
                         let d = ch.p2p(host, hb, chws);
                         if d != INFINITY && d <= eps {
@@ -716,8 +960,8 @@ impl QueryService {
             }
         } else {
             for a in pe.pidx.part(p).real_objects() {
-                let host = self.objects.node_of(a);
-                for (b, _) in expand_range(&self.net, &self.objects, ws, host, eps) {
+                let host = ep.objects.node_of(a);
+                for (b, _) in expand_range(&ep.net, &ep.objects, ws, host, eps) {
                     if b > a {
                         pairs.push((a, b));
                     }
@@ -726,82 +970,205 @@ impl QueryService {
         }
     }
 
-    /// Apply edge-weight updates (§5.4) and bump the epoch. Requires
-    /// `&mut self`: the borrow checker keeps maintenance out of any
-    /// in-flight batch. With a maintenance log attached, the updates are
-    /// journaled (and synced) *before* the index is patched; a journal
-    /// write failure panics — use [`Self::try_apply_updates`] to handle it.
-    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Vec<UpdateReport> {
+    /// Apply edge-weight updates (§5.4) without ever blocking readers.
+    /// With a maintenance log attached, the updates are journaled (and
+    /// synced) *before* any state is patched; a journal write failure
+    /// panics — use [`Self::try_apply_updates`] to handle it.
+    pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Vec<UpdateReport> {
         self.try_apply_updates(updates)
             .expect("write-ahead journal append failed")
     }
 
-    /// [`Self::apply_updates`] with journal I/O errors surfaced. When the
-    /// append fails, the index is left untouched — the service keeps
-    /// serving its pre-update state.
-    pub fn try_apply_updates(&mut self, updates: &[EdgeUpdate]) -> io::Result<Vec<UpdateReport>> {
+    /// [`Self::apply_updates`] with maintenance I/O errors surfaced.
+    ///
+    /// Three phases (see module docs):
+    ///
+    /// 1. **Acknowledge** (brief maintenance lock): journal the updates,
+    ///    patch the canonical mutable state incrementally, snapshot it.
+    ///    A journal failure aborts here — the canonical state is left
+    ///    untouched and the service keeps serving its pre-update epochs.
+    /// 2. **Build** (no locks): construct the shadow epoch from the
+    ///    snapshot — wholesale contraction-hierarchy and partition rebuilds
+    ///    — while readers keep serving the live epoch and further update
+    ///    batches keep acknowledging.
+    /// 3. **Publish** (bounded catch-up): if newer batches landed
+    ///    mid-build, re-snapshot and rebuild (with backoff) up to
+    ///    [`CATCHUP_ROUNDS`]; then run the crash-safe publish protocol and
+    ///    swap the live epoch. A builder that cannot catch up cedes to the
+    ///    fresher writer — its updates are already acknowledged and will be
+    ///    in that writer's epoch.
+    ///
+    /// On success the published (or superseding) epoch reflects these
+    /// updates; an `Err` past phase 1 means the updates are durable and
+    /// applied but the publish protocol hit an I/O failure — recovery
+    /// replays them.
+    pub fn try_apply_updates(&self, updates: &[EdgeUpdate]) -> io::Result<Vec<UpdateReport>> {
         if updates.is_empty() {
             return Ok(Vec::new());
         }
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append(updates)?;
-        }
-        let reports = updates
-            .iter()
-            .map(|&(a, b, w)| {
-                self.maint
-                    .update_edge(&mut self.net, &mut self.index, a, b, w)
-            })
-            .collect();
-        self.rebuild_hierarchy();
-        self.rebuild_partitions();
-        self.epoch += 1;
+        let (reports, shadow) = {
+            let mut m = self.maint.lock().expect("maint lock");
+            if let Some(wal) = m.wal.as_mut() {
+                wal.append(updates)?;
+            }
+            let reports = updates
+                .iter()
+                .map(|&(a, b, w)| {
+                    let MaintState {
+                        net, index, maint, ..
+                    } = &mut *m;
+                    maint.update_edge(net, index, a, b, w)
+                })
+                .collect();
+            m.seq += 1;
+            (reports, ShadowState::of(&m))
+        };
+        self.build_and_publish(shadow)?;
         Ok(reports)
     }
 
-    /// Rebuild the partitioned indexes from the (just-mutated) network, when
-    /// the service routes across partitions. Like the hierarchy, the
-    /// per-region indexes have no cross-region incremental maintenance
-    /// story — a weight change moves boundary glue distances arbitrarily far
-    /// away — so maintenance rebuilds them wholesale. The session stripes
-    /// are replaced too: fresh region indexes restart at generation 0, so a
-    /// parked state's stale-cache check would not fire against them.
-    fn rebuild_partitions(&mut self) {
-        if let Some(pe) = &self.parted {
-            let k = pe.pidx.num_parts();
-            self.parted = Some(PartitionedEngine::build(
-                &self.net,
-                &self.objects,
-                &self.sig,
-                k,
-            ));
+    /// Phase 2+3 of maintenance: build the shadow epoch off to the side,
+    /// catch up if update batches landed mid-build, publish atomically.
+    fn build_and_publish(&self, mut shadow: ShadowState) -> io::Result<()> {
+        for round in 0..CATCHUP_ROUNDS {
+            // Expensive rebuilds happen with no lock held: readers serve the
+            // live epoch, writers acknowledge into the canonical state.
+            let ch = self.hierarchy_on.then(|| {
+                Arc::new(ContractionHierarchy::build(
+                    &shadow.net,
+                    &ChConfig::default(),
+                ))
+            });
+            let parted = (self.partitions > 1).then(|| {
+                PartitionedEngine::build(&shadow.net, &self.objects, &self.sig, self.partitions)
+            });
+
+            let mut m = self.maint.lock().expect("maint lock");
+            if m.published_seq >= shadow.seq {
+                // A fresher writer already published an epoch containing
+                // this batch (its snapshot was taken after ours was
+                // acknowledged). Nothing to do.
+                return Ok(());
+            }
+            if m.seq != shadow.seq {
+                // Batches landed while we built: re-snapshot and retry.
+                self.catchup_retries.fetch_add(1, Ordering::Relaxed);
+                if round + 1 == CATCHUP_ROUNDS {
+                    // Catch-up exhausted: cede publishing to the writer
+                    // whose updates superseded ours. Readers stay on the
+                    // old epoch (stale-but-consistent) until it lands.
+                    self.publish_cedes.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                shadow = ShadowState::of(&m);
+                drop(m);
+                std::thread::sleep(Duration::from_micros(100 << round.min(6)));
+                continue;
+            }
+            m.published_seq = shadow.seq;
+            let next_epoch = self.live_epoch.load(Ordering::Acquire) + 1;
+
+            // Crash-safe publish protocol (only when a maintenance log is
+            // attached): intent → checkpoint rename → done, each synced.
+            let protocol = self.publish_files(&mut m, next_epoch);
+            if let Err(e) = &protocol {
+                if e.kind() == io::ErrorKind::Interrupted {
+                    // Armed kill point: simulate the crash — no swap.
+                    return protocol;
+                }
+            }
+
+            let ep = Arc::new(EpochIndex {
+                epoch: next_epoch,
+                net: shadow.net,
+                objects: self.objects.clone(),
+                index: shadow.index,
+                ch,
+                parted,
+                shards: Striped::new(self.num_shards, |_| Shard {
+                    state: None,
+                    strikes: 0,
+                }),
+            });
+            *self.live.write().expect("live epoch lock") = ep;
+            self.live_epoch.store(next_epoch, Ordering::Release);
+            self.epoch_swaps.fetch_add(1, Ordering::Release);
+            // A protocol I/O failure (not a kill point) still swaps: the
+            // updates are journaled, so recovery replays them; only the
+            // checkpoint shortcut is degraded. Surface the error.
+            return protocol;
         }
+        unreachable!("catch-up loop returns from within");
     }
 
-    /// Re-derive the contraction hierarchy from the (just-mutated) network,
-    /// when the service maintains one. The hierarchy has no incremental
-    /// maintenance story — a weight change can invalidate shortcuts
-    /// anywhere above it — so maintenance rebuilds it wholesale, inside the
-    /// same `&mut self` window that patches the index.
-    fn rebuild_hierarchy(&mut self) {
-        if self.ch.is_some() {
-            self.ch = Some(ContractionHierarchy::build(&self.net, &ChConfig::default()));
+    /// The durable half of a publish: journal `publish-intent`, write the
+    /// checkpoint (temp + sync + atomic rename), journal `publish-done`.
+    /// No-op without an attached maintenance log. Honors an armed kill
+    /// point by returning `ErrorKind::Interrupted` at the boundary.
+    fn publish_files(&self, m: &mut MaintState, epoch: u64) -> io::Result<()> {
+        let MaintState {
+            net,
+            index,
+            wal,
+            log_dir,
+            ..
+        } = m;
+        let (Some(wal), Some(dir)) = (wal.as_mut(), log_dir.as_ref()) else {
+            return Ok(());
+        };
+        wal.append_control(JournalRecord::PublishIntent(epoch as u32))?;
+        self.check_kill(PublishKillPoint::AfterIntent)?;
+        write_checkpoint(
+            dir.join(CHECKPOINT_FILE),
+            wal.len(),
+            net,
+            &self.objects,
+            index,
+        )?;
+        self.check_kill(PublishKillPoint::AfterRename)?;
+        wal.append_control(JournalRecord::PublishDone(epoch as u32))?;
+        self.check_kill(PublishKillPoint::AfterDone)?;
+        Ok(())
+    }
+
+    /// Arm a one-shot crash simulation: the next publish that reaches `kp`
+    /// stops there — files on disk are exactly what a process killed at
+    /// that boundary would leave (every prior step is synced), and the
+    /// in-memory swap never happens. The interrupted
+    /// [`Self::try_apply_updates`] returns `ErrorKind::Interrupted`. Test
+    /// instrumentation for the recovery suite.
+    pub fn arm_publish_kill_point(&self, kp: PublishKillPoint) {
+        *self.kill_point.lock().expect("kill point lock") = Some(kp);
+    }
+
+    /// Consume the armed kill point if it matches this boundary.
+    fn check_kill(&self, at: PublishKillPoint) -> io::Result<()> {
+        let mut armed = self.kill_point.lock().expect("kill point lock");
+        if *armed == Some(at) {
+            *armed = None;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("publish kill point {at:?}"),
+            ));
         }
+        Ok(())
     }
 
     /// Attach a maintenance log at `dir`: the base network/object snapshot
     /// is (re)written atomically and an empty write-ahead journal is
     /// created. From here on, [`Self::apply_updates`] journals before
-    /// patching and [`Self::checkpoint`] may snapshot the full state.
+    /// patching and every publish checkpoints the full state inside the
+    /// intent/done protocol.
     ///
     /// Fails if `dir` already holds journaled history — that history is not
     /// reflected in this service; recover from it with [`Self::recover`]
     /// instead of silently shadowing it.
-    pub fn attach_maintenance_log(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
+    pub fn attach_maintenance_log(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        let mut m = self.maint.lock().expect("maint lock");
         let mut net_bytes = Vec::new();
-        write_network(&self.net, &mut net_bytes)?;
+        write_network(&m.net, &mut net_bytes)?;
         atomic_write(&dir.join(BASE_NET_FILE), &net_bytes)?;
         let mut obj_bytes = Vec::new();
         write_objects(&self.objects, &mut obj_bytes)?;
@@ -810,19 +1177,21 @@ impl QueryService {
         if !existing.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                "journal already holds updates; use QueryService::recover",
+                "journal already holds records; use QueryService::recover",
             ));
         }
-        self.wal = Some(wal);
-        self.log_dir = Some(dir.to_path_buf());
+        m.wal = Some(wal);
+        m.log_dir = Some(dir.to_path_buf());
         Ok(())
     }
 
-    /// Snapshot the full service state (network, objects, index) into the
-    /// attached maintenance log, atomically (write-temp-then-rename). After
-    /// a crash, recovery replays only the journal suffix past this point.
+    /// Snapshot the canonical service state (network, objects, index) into
+    /// the attached maintenance log, atomically (write-temp-then-rename),
+    /// outside the publish protocol. After a crash, recovery replays only
+    /// the journal suffix past this point.
     pub fn checkpoint(&self) -> io::Result<()> {
-        let (dir, wal) = match (&self.log_dir, &self.wal) {
+        let m = self.maint.lock().expect("maint lock");
+        let (dir, wal) = match (&m.log_dir, &m.wal) {
             (Some(d), Some(j)) => (d, j),
             _ => {
                 return Err(io::Error::new(
@@ -834,10 +1203,26 @@ impl QueryService {
         write_checkpoint(
             dir.join(CHECKPOINT_FILE),
             wal.len(),
-            &self.net,
+            &m.net,
             &self.objects,
-            &self.index,
+            &m.index,
         )
+    }
+
+    /// Write the live epoch's partitioned indexes as a `DSPX` snapshot at
+    /// `path` — the per-region unit of placement for multi-process shards.
+    /// Because the epoch is pinned for the duration of the write, the
+    /// snapshot is consistent even while maintenance publishes new epochs.
+    /// Errors with `InvalidInput` when the service holds no partitions.
+    pub fn snapshot_partitions(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let ep = self.snapshot();
+        let Some(pe) = &ep.parted else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "service holds no partitioned indexes",
+            ));
+        };
+        dsi_partition::persist::save_partitioned(&pe.pidx, path)
     }
 
     /// Rebuild a consistent service from whatever survives in a maintenance
@@ -845,71 +1230,104 @@ impl QueryService {
     /// recovered service keeps journaling.
     ///
     /// The journal's longest valid prefix defines the recovered history —
-    /// a torn tail is truncated, updates past the tear are lost *as a
+    /// a torn tail is truncated, records past the tear are lost *as a
     /// whole* (never half-applied). If a checkpoint parses and does not
     /// claim more history than the journal holds, recovery starts from it
     /// and replays only the suffix; otherwise it rebuilds the index from
     /// the base snapshot and replays everything. Either way the result is
     /// identical to a from-scratch rebuild over the surviving history
-    /// (absolute-weight updates make replay idempotent).
+    /// (absolute-weight updates make replay idempotent), and the service
+    /// lands on exactly one epoch: the last durably published one, plus one
+    /// if acknowledged updates survived past it (a publish the crash tore —
+    /// detectable as an `intent` without its `done` — never splits the
+    /// state: the updates, not the markers, define it).
     pub fn recover(
         dir: impl AsRef<Path>,
         sig: &SignatureConfig,
         cfg: &ServiceConfig,
     ) -> Result<(Self, RecoveryReport), LoadError> {
         let dir = dir.as_ref();
-        let (wal, updates) = UpdateJournal::open(dir.join(JOURNAL_FILE))?;
-        let total = updates.len() as u64;
+        let (wal, records) = UpdateJournal::open(dir.join(JOURNAL_FILE))?;
+        // Walk the survived prefix: updates define the state; publish
+        // markers locate the durable epoch and any torn publish.
+        let mut updates: Vec<EdgeUpdate> = Vec::new();
+        let mut last_done_epoch = 0u64;
+        let mut publishes = 0u64;
+        let mut updates_since_done = 0u64;
+        let mut intent_since_done = false;
+        for rec in &records {
+            match *rec {
+                JournalRecord::Update(u) => {
+                    updates.push(u);
+                    updates_since_done += 1;
+                }
+                JournalRecord::PublishIntent(_) => intent_since_done = true,
+                JournalRecord::PublishDone(e) => {
+                    last_done_epoch = e as u64;
+                    publishes += 1;
+                    updates_since_done = 0;
+                    intent_since_done = false;
+                }
+            }
+        }
+        let total_updates = updates.len() as u64;
         let mut from_checkpoint = false;
-        let (net, objects, index, start) = match read_checkpoint(dir.join(CHECKPOINT_FILE)) {
-            Ok(c) if c.journal_len <= total => {
+        let (net, objects, index, replayed) = match read_checkpoint(dir.join(CHECKPOINT_FILE)) {
+            Ok(c) if c.journal_len <= records.len() as u64 => {
                 from_checkpoint = true;
-                (c.net, c.objects, c.index, c.journal_len as usize)
+                let mut net = c.net;
+                let mut index = c.index;
+                let mut maint = SignatureMaintainer::new(&net, &c.objects);
+                let suffix: Vec<EdgeUpdate> = records[c.journal_len as usize..]
+                    .iter()
+                    .filter_map(|r| match r {
+                        JournalRecord::Update(u) => Some(*u),
+                        _ => None,
+                    })
+                    .collect();
+                for &(a, b, w) in &suffix {
+                    maint.update_edge(&mut net, &mut index, a, b, w);
+                }
+                (net, c.objects, index, suffix.len() as u64)
             }
             _ => {
                 // No usable checkpoint (absent, damaged, or ahead of the
                 // surviving journal): base + full replay.
                 let net = load_network(dir.join(BASE_NET_FILE))?;
                 let objects = read_objects(std::fs::File::open(dir.join(BASE_OBJ_FILE))?, &net)?;
-                let index = SignatureIndex::build(&net, &objects, sig);
-                (net, objects, index, 0)
+                let mut net = net;
+                let mut index = SignatureIndex::build(&net, &objects, sig);
+                let mut maint = SignatureMaintainer::new(&net, &objects);
+                for &(a, b, w) in &updates {
+                    maint.update_edge(&mut net, &mut index, a, b, w);
+                }
+                (net, objects, index, total_updates)
             }
         };
-        // Assemble without partitions first: the partitioned indexes must
-        // reflect the *replayed* network, so they are built once, after the
-        // journal suffix lands (with the caller's real signature config).
-        let ch = cfg
-            .hierarchy
-            .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
-        let unparted = ServiceConfig {
-            partitions: 1,
-            ..*cfg
+        // Land on exactly one epoch: the last durably published one, plus
+        // one when acknowledged updates survived past it (they are part of
+        // the recovered state, so the epoch must move).
+        let epoch = last_done_epoch + u64::from(updates_since_done > 0);
+        let svc = {
+            let ch = cfg
+                .hierarchy
+                .then(|| ContractionHierarchy::build(&net, &ChConfig::default()));
+            QueryService::assemble(net, objects, index, ch, cfg, sig.clone(), epoch)
         };
-        let mut svc = QueryService::assemble(net, objects, index, ch, &unparted, sig.clone());
-        let replay = &updates[start..];
-        for &(a, b, w) in replay {
-            svc.maint.update_edge(&mut svc.net, &mut svc.index, a, b, w);
+        {
+            let mut m = svc.maint.lock().expect("maint lock");
+            m.wal = Some(wal);
+            m.log_dir = Some(dir.to_path_buf());
         }
-        if !replay.is_empty() {
-            svc.rebuild_hierarchy();
-            svc.epoch += 1;
-        }
-        if cfg.partitions > 1 {
-            svc.parted = Some(PartitionedEngine::build(
-                &svc.net,
-                &svc.objects,
-                &svc.sig,
-                cfg.partitions,
-            ));
-        }
-        svc.wal = Some(wal);
-        svc.log_dir = Some(dir.to_path_buf());
         Ok((
             svc,
             RecoveryReport {
-                journal_records: total,
-                replayed: replay.len() as u64,
+                journal_records: total_updates,
+                replayed,
                 from_checkpoint,
+                epoch,
+                publishes,
+                torn_publish: intent_since_done,
             },
         ))
     }
@@ -927,92 +1345,82 @@ impl QueryService {
         self.ch_fallbacks.load(Ordering::Relaxed)
     }
 
-    /// Updates journaled so far, when a maintenance log is attached.
+    /// Epochs published (atomic swaps) since the service was built.
+    pub fn epoch_swap_count(&self) -> u64 {
+        self.epoch_swaps.load(Ordering::Acquire)
+    }
+
+    /// Queries that completed against a superseded epoch snapshot since the
+    /// service was built.
+    pub fn stale_epoch_read_count(&self) -> u64 {
+        self.stale_epoch_reads.load(Ordering::Acquire)
+    }
+
+    /// Times a shadow build re-snapshotted because update batches landed
+    /// mid-build (catch-up retries), and builds that exhausted the bounded
+    /// loop and ceded publishing to a fresher writer.
+    pub fn catchup_counts(&self) -> (u64, u64) {
+        (
+            self.catchup_retries.load(Ordering::Relaxed),
+            self.publish_cedes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Records journaled so far (updates and publish markers), when a
+    /// maintenance log is attached.
     pub fn journal_len(&self) -> Option<u64> {
-        self.wal.as_ref().map(|j| j.len())
+        self.maint
+            .lock()
+            .expect("maint lock")
+            .wal
+            .as_ref()
+            .map(|j| j.len())
     }
 
-    /// Page-access counters summed over all shards (partition stripes
-    /// included).
+    /// Page-access counters summed over the live epoch's shards (partition
+    /// stripes included). Counters are per-epoch: a publish starts the new
+    /// epoch's stripes cold.
     pub fn merged_io_stats(&self) -> IoStats {
-        let mut total = IoStats::default();
-        self.shards.for_each(|_, shard| {
-            if let Some(state) = shard.state.as_ref() {
-                total += state.io_stats();
-            }
-        });
-        if let Some(pe) = &self.parted {
-            pe.shards.for_each(|_, shard| {
-                if let Some(state) = shard.state.as_ref() {
-                    total += state.io_stats();
-                }
-            });
-        }
-        total
+        self.snapshot().merged_io_stats()
     }
 
-    /// Operation counters summed over all shards (partition stripes
-    /// included).
+    /// Operation counters summed over the live epoch's shards (partition
+    /// stripes included). Per-epoch, like [`Self::merged_io_stats`].
     pub fn merged_op_stats(&self) -> OpStats {
-        let mut total = OpStats::default();
-        self.shards.for_each(|_, shard| {
-            if let Some(state) = shard.state.as_ref() {
-                total += state.op_stats();
-            }
-        });
-        if let Some(pe) = &self.parted {
-            pe.shards.for_each(|_, shard| {
-                if let Some(state) = shard.state.as_ref() {
-                    total += state.op_stats();
-                }
-            });
-        }
-        total
+        self.snapshot().merged_op_stats()
     }
 
-    /// Per-partition query, I/O, and boundary-frontier counters, in
-    /// partition order. Empty when the service holds no partitioned indexes
-    /// ([`ServiceConfig::partitions`] ≤ 1).
+    /// Per-partition query, I/O, and boundary-frontier counters for the
+    /// live epoch, in partition order. Empty when the service holds no
+    /// partitioned indexes ([`ServiceConfig::partitions`] ≤ 1).
     pub fn per_partition_stats(&self) -> Vec<PartStats> {
-        let Some(pe) = &self.parted else {
-            return Vec::new();
-        };
-        let mut out = Vec::with_capacity(pe.shards.num_shards());
-        pe.shards.for_each(|_, shard| {
-            let (io, hops) = shard.state.as_ref().map_or_else(Default::default, |s| {
-                (s.io_stats(), s.op_stats().frontier_hops)
-            });
-            out.push(PartStats {
-                queries: shard.queries,
-                io,
-                frontier_hops: hops,
-            });
-        });
-        out
+        self.snapshot().per_partition_stats()
     }
 
     /// Partitions the sharded backend routes across (1 when the service
     /// serves a single index).
     pub fn num_partitions(&self) -> usize {
-        self.parted.as_ref().map_or(1, |pe| pe.pidx.num_parts())
+        self.snapshot().num_partitions()
     }
 
     /// Partition owning `node` under the sharded backend, `None` when the
     /// service serves a single index.
     pub fn partition_of(&self, node: NodeId) -> Option<usize> {
-        self.parted.as_ref().map(|pe| pe.pidx.part_of(node))
+        self.snapshot().partition_of(node)
     }
 
-    /// Zero every shard's counters, keeping caches warm. Partition stripes
-    /// keep their cumulative query counts (they are deltas in
-    /// [`BatchReport::per_part`] anyway) but zero their I/O and op counters.
+    /// Zero every live-epoch shard's counters, keeping caches warm.
+    /// Partition stripes keep their cumulative query counts (they are
+    /// deltas in [`BatchReport::per_part`] anyway) but zero their I/O and
+    /// op counters.
     pub fn reset_stats(&self) {
-        self.shards.for_each(|_, shard| {
+        let ep = self.snapshot();
+        ep.shards.for_each(|_, shard| {
             if let Some(state) = shard.state.as_mut() {
                 state.reset_stats();
             }
         });
-        if let Some(pe) = &self.parted {
+        if let Some(pe) = &ep.parted {
             pe.shards.for_each(|_, shard| {
                 if let Some(state) = shard.state.as_mut() {
                     state.reset_stats();
@@ -1022,22 +1430,32 @@ impl QueryService {
     }
 
     /// One-line stats dump: epoch, shards, merged I/O and op counters (via
-    /// their `Display` summaries), plus quarantines when any occurred.
+    /// their `Display` summaries), plus maintenance and quarantine counters
+    /// when any moved.
     pub fn stats_dump(&self) -> String {
+        let ep = self.snapshot();
         let mut s = format!(
             "epoch {} | {} shards | io: {} | ops: {}",
-            self.epoch,
+            ep.epoch,
             self.num_shards(),
-            self.merged_io_stats(),
-            self.merged_op_stats()
+            ep.merged_io_stats(),
+            ep.merged_op_stats()
         );
-        match &self.ch {
+        match &ep.ch {
             Some(ch) => s.push_str(&format!(
                 " | hierarchy: {} arcs ({} shortcuts)",
                 ch.num_up_arcs(),
                 ch.num_shortcuts()
             )),
             None => s.push_str(" | hierarchy: off"),
+        }
+        let swaps = self.epoch_swap_count();
+        if swaps > 0 {
+            let (retries, cedes) = self.catchup_counts();
+            s.push_str(&format!(
+                " | {swaps} epoch swaps ({} stale reads, {retries} catch-up retries, {cedes} cedes)",
+                self.stale_epoch_read_count()
+            ));
         }
         let quarantines = self.quarantine_count();
         if quarantines > 0 {
@@ -1047,13 +1465,13 @@ impl QueryService {
         if ch_fallbacks > 0 {
             s.push_str(&format!(" | {ch_fallbacks} ch-fallbacks"));
         }
-        if let Some(pe) = &self.parted {
+        if let Some(pe) = &ep.parted {
             s.push_str(&format!(
                 " | {} partitions ({} boundary nodes)",
                 pe.pidx.num_parts(),
                 pe.pidx.num_boundary()
             ));
-            for (p, ps) in self.per_partition_stats().iter().enumerate() {
+            for (p, ps) in ep.per_partition_stats().iter().enumerate() {
                 s.push_str(&format!(
                     "\n  partition p{p}: {} queries | io: {} | {} frontier hops",
                     ps.queries, ps.io, ps.frontier_hops
@@ -1069,11 +1487,21 @@ impl QueryService {
 pub struct RecoveryReport {
     /// Valid update records surviving in the journal (after tail repair).
     pub journal_records: u64,
-    /// Records replayed onto the starting state (all of them when starting
+    /// Updates replayed onto the starting state (all of them when starting
     /// from the base snapshot, only the suffix when from a checkpoint).
     pub replayed: u64,
     /// Whether a usable checkpoint shortcut the replay.
     pub from_checkpoint: bool,
+    /// The single epoch the recovered service landed on: the last durably
+    /// published epoch, plus one when acknowledged updates survived past
+    /// it.
+    pub epoch: u64,
+    /// Completed publishes (`publish-done` markers) in the surviving
+    /// journal.
+    pub publishes: u64,
+    /// Whether the tail holds a `publish-intent` without its `done` — a
+    /// publish the crash tore. The recovered state is whole either way.
+    pub torn_publish: bool,
 }
 
 /// Write `bytes` to `path` atomically: temp file in the same directory,

@@ -1,17 +1,31 @@
-//! Crash-safe maintenance: a checksummed write-ahead journal of edge
-//! updates plus atomic full-state checkpoints.
+//! Crash-safe maintenance: a checksummed write-ahead journal of typed
+//! records (edge updates + publish-protocol markers) plus atomic full-state
+//! checkpoints.
 //!
 //! # Journal
 //!
 //! The journal is an append-only file: an 8-byte header (`DSIJ` + version)
-//! followed by fixed-size 16-byte records, one per edge update —
-//! `[a u32][b u32][w u32][crc u32]`, all little-endian. The CRC-32 covers
-//! the record's *sequence number* as well as its payload, so a record is
-//! only valid at the position it was written: stale bytes left over from an
-//! earlier file generation, swapped records, and torn tails all fail
-//! verification. Readers take the longest valid prefix and ignore the rest
-//! ([`decode_journal`]), which makes a crash mid-append harmless — the torn
-//! record was never acknowledged.
+//! followed by fixed-size 16-byte records — `[w0 u32][w1 u32][w2 u32]
+//! [crc u32]`, all little-endian. Two record kinds share the layout:
+//!
+//! * **update** — `w0` is the edge's first node (never [`CONTROL_TAG`]),
+//!   `w1` the second, `w2` the new absolute weight;
+//! * **control** — `w0` is [`CONTROL_TAG`] (`u32::MAX`, never a valid node
+//!   id), `w1` the marker kind ([`PublishIntent`](JournalRecord::PublishIntent)
+//!   or [`PublishDone`](JournalRecord::PublishDone)), `w2` the epoch being
+//!   published. The pair brackets the checkpoint rename inside the
+//!   double-buffered publish protocol (see the engine docs): recovery can
+//!   tell a completed publish (`intent … done`) from one the crash tore in
+//!   half (`intent` with no matching `done`) and still lands on exactly one
+//!   epoch either way, because the *updates* in the journal — not the
+//!   markers — define the recovered state.
+//!
+//! The CRC-32 covers the record's *sequence number* as well as its payload,
+//! so a record is only valid at the position it was written: stale bytes
+//! left over from an earlier file generation, swapped records, and torn
+//! tails all fail verification. Readers take the longest valid prefix and
+//! ignore the rest ([`decode_records`]), which makes a crash mid-append
+//! harmless — the torn record was never acknowledged.
 //!
 //! Updates carry *absolute* weights (`update_edge` semantics), so replaying
 //! a prefix that was already applied is idempotent: recovery never needs to
@@ -20,7 +34,7 @@
 //! # Checkpoint
 //!
 //! A checkpoint snapshots the entire service state — network, object set,
-//! signature index — together with the journal length it reflects, so
+//! signature index — together with the journal record count it reflects, so
 //! recovery can skip replaying history the snapshot already contains. The
 //! file is a plaintext `DSIC` preamble followed by a CRC-framed stream
 //! ([`dsi_storage::FrameWriter`]) of length-prefixed blobs. It is written
@@ -48,8 +62,18 @@ pub type EdgeUpdate = (NodeId, NodeId, Dist);
 /// Journal record size on disk: three `u32` payload words plus the CRC.
 pub const RECORD_LEN: usize = 16;
 
-/// Journal file header: magic + format version, little-endian.
-const JOURNAL_HEADER: [u8; 8] = *b"DSIJ\x01\x00\x00\x00";
+/// First payload word marking a control record. `u32::MAX` is never a valid
+/// node id (networks are indexed contiguously from 0), so update and
+/// control records cannot be confused.
+pub const CONTROL_TAG: u32 = u32::MAX;
+
+/// Journal file header: magic + format version, little-endian. Version 2
+/// added control records; version-1 files (updates only) still decode.
+const JOURNAL_HEADER: [u8; 8] = *b"DSIJ\x02\x00\x00\x00";
+const JOURNAL_HEADER_V1: [u8; 8] = *b"DSIJ\x01\x00\x00\x00";
+
+const KIND_PUBLISH_INTENT: u32 = 1;
+const KIND_PUBLISH_DONE: u32 = 2;
 
 const CHECKPOINT_MAGIC: &[u8; 4] = b"DSIC";
 const CHECKPOINT_VERSION: u32 = 1;
@@ -63,45 +87,89 @@ pub const JOURNAL_FILE: &str = "journal.wal";
 /// The full-state checkpoint inside a maintenance-log directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.dsi";
 
+/// One decoded journal record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// An acknowledged edge-weight update.
+    Update(EdgeUpdate),
+    /// The double-buffered publish protocol is about to rename a checkpoint
+    /// for this epoch into place.
+    PublishIntent(u32),
+    /// The checkpoint rename for this epoch completed; the epoch is the
+    /// durable restart point.
+    PublishDone(u32),
+}
+
 /// Encode the `seq`-th journal record. The CRC binds the payload to its
 /// position, so records only verify where they were written.
-pub fn encode_record(seq: u64, (a, b, w): EdgeUpdate) -> [u8; RECORD_LEN] {
-    let mut rec = [0u8; RECORD_LEN];
-    rec[0..4].copy_from_slice(&a.0.to_le_bytes());
-    rec[4..8].copy_from_slice(&b.0.to_le_bytes());
-    rec[8..12].copy_from_slice(&w.to_le_bytes());
+pub fn encode_record(seq: u64, rec: JournalRecord) -> [u8; RECORD_LEN] {
+    let (w0, w1, w2) = match rec {
+        JournalRecord::Update((a, b, w)) => {
+            assert_ne!(a.0, CONTROL_TAG, "node id collides with the control tag");
+            (a.0, b.0, w)
+        }
+        JournalRecord::PublishIntent(epoch) => (CONTROL_TAG, KIND_PUBLISH_INTENT, epoch),
+        JournalRecord::PublishDone(epoch) => (CONTROL_TAG, KIND_PUBLISH_DONE, epoch),
+    };
+    let mut out = [0u8; RECORD_LEN];
+    out[0..4].copy_from_slice(&w0.to_le_bytes());
+    out[4..8].copy_from_slice(&w1.to_le_bytes());
+    out[8..12].copy_from_slice(&w2.to_le_bytes());
     let mut covered = [0u8; 20];
     covered[..8].copy_from_slice(&seq.to_le_bytes());
-    covered[8..].copy_from_slice(&rec[..12]);
-    rec[12..16].copy_from_slice(&crc32(&covered).to_le_bytes());
-    rec
+    covered[8..].copy_from_slice(&out[..12]);
+    out[12..16].copy_from_slice(&crc32(&covered).to_le_bytes());
+    out
 }
 
 /// Decode the longest valid prefix of a journal image: header, then records
-/// until the first missing, torn, or corrupt one. Never fails — a damaged
-/// journal simply yields the updates that verifiably survived.
-pub fn decode_journal(bytes: &[u8]) -> Vec<EdgeUpdate> {
-    if bytes.len() < JOURNAL_HEADER.len() || bytes[..JOURNAL_HEADER.len()] != JOURNAL_HEADER {
+/// until the first missing, torn, corrupt, or malformed one. Never fails —
+/// a damaged journal simply yields the records that verifiably survived.
+pub fn decode_records(bytes: &[u8]) -> Vec<JournalRecord> {
+    let header_ok = bytes.len() >= JOURNAL_HEADER.len()
+        && (bytes[..JOURNAL_HEADER.len()] == JOURNAL_HEADER
+            || bytes[..JOURNAL_HEADER.len()] == JOURNAL_HEADER_V1);
+    if !header_ok {
         return Vec::new();
     }
     let mut out = Vec::new();
     let mut off = JOURNAL_HEADER.len();
     while off + RECORD_LEN <= bytes.len() {
-        let rec = &bytes[off..off + RECORD_LEN];
-        let word = |i: usize| u32::from_le_bytes(rec[i..i + 4].try_into().expect("4 bytes"));
-        let update = (NodeId(word(0)), NodeId(word(4)), word(8));
-        if encode_record(out.len() as u64, update) != *rec {
+        let raw = &bytes[off..off + RECORD_LEN];
+        let word = |i: usize| u32::from_le_bytes(raw[i..i + 4].try_into().expect("4 bytes"));
+        let rec = if word(0) == CONTROL_TAG {
+            match word(4) {
+                KIND_PUBLISH_INTENT => JournalRecord::PublishIntent(word(8)),
+                KIND_PUBLISH_DONE => JournalRecord::PublishDone(word(8)),
+                _ => break, // unknown control kind: treat as damage
+            }
+        } else {
+            JournalRecord::Update((NodeId(word(0)), NodeId(word(4)), word(8)))
+        };
+        if encode_record(out.len() as u64, rec) != *raw {
             break;
         }
-        out.push(update);
+        out.push(rec);
         off += RECORD_LEN;
     }
     out
 }
 
+/// The edge updates in a journal image's longest valid prefix, in order.
+/// Control records are skipped — they carry no state.
+pub fn decode_journal(bytes: &[u8]) -> Vec<EdgeUpdate> {
+    decode_records(bytes)
+        .into_iter()
+        .filter_map(|r| match r {
+            JournalRecord::Update(u) => Some(u),
+            _ => None,
+        })
+        .collect()
+}
+
 /// The append handle over a journal file. Opening repairs a torn tail
 /// (truncates past the last valid record) and returns the surviving
-/// updates; appends are synced before they are acknowledged.
+/// records; appends are synced before they are acknowledged.
 pub struct UpdateJournal {
     file: File,
     seq: u64,
@@ -109,10 +177,10 @@ pub struct UpdateJournal {
 
 impl UpdateJournal {
     /// Open (or create) the journal at `path`, returning the handle plus
-    /// every update that survives verification. Bytes past the valid
+    /// every record that survives verification. Bytes past the valid
     /// prefix — a torn append, flipped bits — are truncated away so the
     /// file is clean for further appends.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, Vec<EdgeUpdate>)> {
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, Vec<JournalRecord>)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -121,14 +189,17 @@ impl UpdateJournal {
             .open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let updates = decode_journal(&bytes);
-        if bytes.get(..JOURNAL_HEADER.len()) != Some(JOURNAL_HEADER.as_slice()) {
+        let records = decode_records(&bytes);
+        let header_ok = bytes
+            .get(..JOURNAL_HEADER.len())
+            .is_some_and(|h| h == JOURNAL_HEADER.as_slice() || h == JOURNAL_HEADER_V1.as_slice());
+        if !header_ok {
             // Empty, torn-header, or foreign file: restart it.
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
             file.write_all(&JOURNAL_HEADER)?;
         } else {
-            let valid = (JOURNAL_HEADER.len() + updates.len() * RECORD_LEN) as u64;
+            let valid = (JOURNAL_HEADER.len() + records.len() * RECORD_LEN) as u64;
             if valid < bytes.len() as u64 {
                 file.set_len(valid)?;
             }
@@ -138,9 +209,9 @@ impl UpdateJournal {
         Ok((
             UpdateJournal {
                 file,
-                seq: updates.len() as u64,
+                seq: records.len() as u64,
             },
-            updates,
+            records,
         ))
     }
 
@@ -153,7 +224,10 @@ impl UpdateJournal {
         }
         let mut buf = Vec::with_capacity(updates.len() * RECORD_LEN);
         for (k, &u) in updates.iter().enumerate() {
-            buf.extend_from_slice(&encode_record(self.seq + k as u64, u));
+            buf.extend_from_slice(&encode_record(
+                self.seq + k as u64,
+                JournalRecord::Update(u),
+            ));
         }
         self.file.write_all(&buf)?;
         self.file.sync_data()?;
@@ -161,12 +235,24 @@ impl UpdateJournal {
         Ok(())
     }
 
-    /// Records in the journal (== updates acknowledged so far).
+    /// Append one publish-protocol marker as a synced write.
+    pub fn append_control(&mut self, rec: JournalRecord) -> io::Result<()> {
+        debug_assert!(
+            !matches!(rec, JournalRecord::Update(_)),
+            "updates go through append()"
+        );
+        self.file.write_all(&encode_record(self.seq, rec))?;
+        self.file.sync_data()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Records in the journal (updates and control markers).
     pub fn len(&self) -> u64 {
         self.seq
     }
 
-    /// Whether no update has ever been journaled.
+    /// Whether no record has ever been journaled.
     pub fn is_empty(&self) -> bool {
         self.seq == 0
     }
@@ -174,7 +260,8 @@ impl UpdateJournal {
 
 /// A parsed checkpoint: full service state as of `journal_len` records.
 pub struct Checkpoint {
-    /// Journal records already reflected in this snapshot.
+    /// Journal records (updates *and* control markers) already reflected in
+    /// this snapshot.
     pub journal_len: u64,
     pub net: RoadNetwork,
     pub objects: ObjectSet,
@@ -277,48 +364,77 @@ mod tests {
             .collect()
     }
 
-    fn journal_image(updates: &[EdgeUpdate]) -> Vec<u8> {
+    /// A history shaped like real maintenance: updates bracketed by
+    /// publish markers.
+    fn sample_records(n: usize) -> Vec<JournalRecord> {
+        let mut recs: Vec<JournalRecord> = sample_updates(n)
+            .into_iter()
+            .map(JournalRecord::Update)
+            .collect();
+        recs.push(JournalRecord::PublishIntent(1));
+        recs.push(JournalRecord::PublishDone(1));
+        recs
+    }
+
+    fn journal_image(records: &[JournalRecord]) -> Vec<u8> {
         let mut bytes = JOURNAL_HEADER.to_vec();
-        for (seq, &u) in updates.iter().enumerate() {
-            bytes.extend_from_slice(&encode_record(seq as u64, u));
+        for (seq, &r) in records.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(seq as u64, r));
         }
         bytes
     }
 
     #[test]
     fn journal_round_trip() {
-        let updates = sample_updates(9);
-        assert_eq!(decode_journal(&journal_image(&updates)), updates);
-        assert!(decode_journal(&[]).is_empty());
-        assert!(decode_journal(b"garbage!").is_empty());
+        let records = sample_records(9);
+        assert_eq!(decode_records(&journal_image(&records)), records);
+        assert_eq!(decode_journal(&journal_image(&records)), sample_updates(9));
+        assert!(decode_records(&[]).is_empty());
+        assert!(decode_records(b"garbage!").is_empty());
+    }
+
+    #[test]
+    fn v1_journals_still_decode() {
+        let updates = sample_updates(4);
+        let mut bytes = JOURNAL_HEADER_V1.to_vec();
+        for (seq, &u) in updates.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(seq as u64, JournalRecord::Update(u)));
+        }
+        assert_eq!(decode_journal(&bytes), updates);
     }
 
     #[test]
     fn truncation_at_every_boundary_keeps_the_floor_prefix() {
-        let updates = sample_updates(6);
-        let bytes = journal_image(&updates);
+        let records = sample_records(6);
+        let bytes = journal_image(&records);
         for cut in 0..=bytes.len() {
-            let got = decode_journal(&bytes[..cut]);
+            let got = decode_records(&bytes[..cut]);
             let expect = cut.saturating_sub(JOURNAL_HEADER.len()) / RECORD_LEN;
             assert_eq!(got.len(), expect, "cut at byte {cut}");
-            assert_eq!(got, updates[..expect], "cut at byte {cut}");
+            assert_eq!(got, records[..expect], "cut at byte {cut}");
         }
     }
 
     #[test]
     fn any_bit_flip_cuts_the_journal_at_the_damaged_record() {
-        let updates = sample_updates(4);
-        let bytes = journal_image(&updates);
+        let records = sample_records(4);
+        let bytes = journal_image(&records);
         for byte in 0..bytes.len() {
             for bit in 0..8 {
                 let mut bad = bytes.clone();
                 bad[byte] ^= 1 << bit;
-                let got = decode_journal(&bad);
+                let got = decode_records(&bad);
                 if byte < JOURNAL_HEADER.len() {
-                    assert!(got.is_empty(), "header flip at {byte}:{bit}");
+                    // Flipping the version byte from 2 to 1 (bits 0/1) just
+                    // produces a valid v1 header; anything else kills it.
+                    if bad[..JOURNAL_HEADER.len()] == JOURNAL_HEADER_V1 {
+                        assert_eq!(got, records, "v1 header flip at {byte}:{bit}");
+                    } else {
+                        assert!(got.is_empty(), "header flip at {byte}:{bit}");
+                    }
                 } else {
                     let damaged = (byte - JOURNAL_HEADER.len()) / RECORD_LEN;
-                    assert_eq!(got, updates[..damaged], "flip at {byte}:{bit}");
+                    assert_eq!(got, records[..damaged], "flip at {byte}:{bit}");
                 }
             }
         }
@@ -326,15 +442,15 @@ mod tests {
 
     #[test]
     fn swapped_records_do_not_verify() {
-        let updates = sample_updates(3);
-        let mut bytes = journal_image(&updates);
+        let records = sample_records(3);
+        let mut bytes = journal_image(&records);
         let (h, r) = (JOURNAL_HEADER.len(), RECORD_LEN);
         let (first, second): (Vec<u8>, Vec<u8>) =
             (bytes[h..h + r].to_vec(), bytes[h + r..h + 2 * r].to_vec());
         bytes[h..h + r].copy_from_slice(&second);
         bytes[h + r..h + 2 * r].copy_from_slice(&first);
         // The position-bound CRC rejects record 1 sitting at position 0.
-        assert!(decode_journal(&bytes).is_empty());
+        assert!(decode_records(&bytes).is_empty());
     }
 
     #[test]
@@ -349,22 +465,30 @@ mod tests {
             let (mut j, existing) = UpdateJournal::open(&path).unwrap();
             assert!(existing.is_empty());
             j.append(&updates).unwrap();
-            assert_eq!(j.len(), 5);
+            j.append_control(JournalRecord::PublishIntent(1)).unwrap();
+            j.append_control(JournalRecord::PublishDone(1)).unwrap();
+            assert_eq!(j.len(), 7);
         }
-        // Tear the last record in half.
+        // Tear the publish-done record in half.
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - RECORD_LEN / 2]).unwrap();
 
         let (mut j, survived) = UpdateJournal::open(&path).unwrap();
-        assert_eq!(survived, updates[..4]);
-        assert_eq!(j.len(), 4);
-        // The torn bytes were truncated; a new append lands at seq 4 and
+        assert_eq!(j.len(), 6);
+        assert_eq!(survived[5], JournalRecord::PublishIntent(1));
+        // The torn bytes were truncated; a new append lands at seq 6 and
         // verifies on the next open.
         j.append(&sample_updates(1)).unwrap();
         drop(j);
         let (_, after) = UpdateJournal::open(&path).unwrap();
-        assert_eq!(after.len(), 5);
-        assert_eq!(after[..4], updates[..4]);
+        assert_eq!(after.len(), 7);
+        assert_eq!(
+            after[..5],
+            updates
+                .iter()
+                .map(|&u| JournalRecord::Update(u))
+                .collect::<Vec<_>>()[..]
+        );
         std::fs::remove_file(&path).ok();
     }
 }

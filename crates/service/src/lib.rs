@@ -2,33 +2,46 @@
 //!
 //! The paper evaluates the index one query at a time; a deployed distance
 //! server sees *traffic* — mixed batches of range / kNN / aggregate / join
-//! queries from many clients, interleaved with occasional edge-weight
+//! queries from many clients, interleaved with continuous edge-weight
 //! updates. This crate wraps the single-threaded index machinery in a
-//! thread-safe façade built from three pieces:
+//! thread-safe façade built from four pieces:
 //!
-//! * [`engine`] — [`QueryService`]: lock-striped per-shard sessions
-//!   (buffer pool + decode cache + counters), a `std::thread::scope`
-//!   worker pool pulling queries off a shared cursor, a read/write
-//!   epoch separating query batches from index maintenance, and (with
-//!   [`ServiceConfig::partitions`] > 1) a shard router over K partitioned
-//!   signature indexes ([`Backend::Sharded`]) with a per-partition
-//!   retry → degrade → quarantine ladder;
+//! * [`engine`] — [`QueryService`]: a double-buffered epoch index
+//!   ([`EpochIndex`] behind `RwLock<Arc<_>>`) where query batches pin one
+//!   immutable snapshot end-to-end and maintenance publishes the next
+//!   epoch with an atomic swap — readers never block behind updates;
+//!   lock-striped per-epoch sessions (buffer pool + decode cache +
+//!   counters), a `std::thread::scope` worker pool pulling queries off a
+//!   shared cursor, and (with [`ServiceConfig::partitions`] > 1) a shard
+//!   router over K partitioned signature indexes ([`Backend::Sharded`])
+//!   with a per-partition retry → degrade → quarantine ladder;
 //! * [`journal`] — crash safety for maintenance: a checksummed write-ahead
-//!   journal of edge updates plus atomic full-state checkpoints, replayed
-//!   by [`QueryService::recover`];
+//!   journal of edge updates and publish-protocol markers
+//!   ([`JournalRecord`]) plus atomic full-state checkpoints, replayed by
+//!   [`QueryService::recover`] onto exactly one epoch no matter where a
+//!   crash cut the publish ([`PublishKillPoint`] instruments every
+//!   boundary);
 //! * [`workload`] — deterministic batch generation with configurable class
-//!   mixes and uniform/Zipfian query-node skew;
+//!   mixes, uniform/Zipfian query-node skew, and seeded edge-update
+//!   batches ([`generate_updates`]) for mixed read/write runs;
 //! * [`stats`] — per-class latency percentiles (p50/p95/p99) and batch
-//!   throughput/IO reporting.
+//!   throughput/IO reporting, including maintenance counters
+//!   (`epoch_swaps` / `stale_epoch_reads`).
 //!
-//! The `workload` binary drives all of it from the command line.
+//! The `workload` binary drives all of it from the command line, including
+//! the mixed read/update mode (`--update-rate`) that measures how well
+//! concurrent maintenance hides behind reader tails.
 
 pub mod engine;
 pub mod journal;
 pub mod stats;
 pub mod workload;
 
-pub use engine::{Backend, QueryOutput, QueryService, RecoveryReport, ServiceConfig};
-pub use journal::{EdgeUpdate, UpdateJournal};
+pub use engine::{
+    Backend, EpochIndex, PublishKillPoint, QueryOutput, QueryService, RecoveryReport, ServiceConfig,
+};
+pub use journal::{EdgeUpdate, JournalRecord, UpdateJournal};
 pub use stats::{BatchReport, ClassStats, PartStats};
-pub use workload::{generate, Query, QueryClass, Skew, WorkloadConfig, WorkloadMix};
+pub use workload::{
+    generate, generate_updates, Query, QueryClass, Skew, WorkloadConfig, WorkloadMix,
+};

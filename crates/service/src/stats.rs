@@ -128,6 +128,12 @@ impl BatchReport {
         self.degraded.iter().filter(|&&d| d).count()
     }
 
+    /// Worst per-class p99 latency in the batch, nanoseconds — the
+    /// single-number "reader tail" the mixed-maintenance comparisons use.
+    pub fn worst_p99_ns(&self) -> u64 {
+        self.per_class.values().map(|s| s.p99_ns).max().unwrap_or(0)
+    }
+
     /// Multi-line human-readable summary (workload driver, service logs).
     pub fn summary(&self) -> String {
         let mut out = format!(
@@ -150,6 +156,12 @@ impl BatchReport {
             out.push_str(&format!(
                 "  cache: decode {}/{} hits, entry {}/{} hits\n",
                 self.ops.decode_cache_hits, decode_probes, self.ops.entry_cache_hits, entry_probes,
+            ));
+        }
+        if self.ops.epoch_swaps > 0 || self.ops.stale_epoch_reads > 0 {
+            out.push_str(&format!(
+                "  maintenance: {} epoch swaps, {} stale-epoch reads (consistent, pinned snapshots)\n",
+                self.ops.epoch_swaps, self.ops.stale_epoch_reads,
             ));
         }
         if self.ops.retries > 0 || self.degraded_count() > 0 {

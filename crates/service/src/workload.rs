@@ -236,6 +236,23 @@ pub fn generate(net: &RoadNetwork, cfg: &WorkloadConfig) -> Vec<Query> {
         .collect()
 }
 
+/// Generate a deterministic edge-update batch: `count` existing edges
+/// re-weighted to fresh absolute values in `[1, 200]`. Absolute weights
+/// (not deltas) keep replay and re-application idempotent, matching the
+/// journal's recovery contract. Distinct seeds give distinct batches; the
+/// same seed always gives the same batch.
+pub fn generate_updates(net: &RoadNetwork, count: usize, seed: u64) -> Vec<crate::EdgeUpdate> {
+    assert!(net.num_nodes() > 0, "updates need a non-empty network");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .filter_map(|_| {
+            let a = NodeId(rng.gen_range(0..net.num_nodes()) as u32);
+            let (_, b, _) = net.neighbors(a).next()?;
+            Some((a, b, rng.gen_range(1u32..=200)))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,7 +43,7 @@ fn build_service(seed: u64) -> QueryService {
 
 fn mixed_batch(service: &QueryService, count: usize, seed: u64) -> Vec<Query> {
     generate(
-        service.net(),
+        &service.net(),
         &WorkloadConfig {
             count,
             seed,
@@ -129,6 +129,10 @@ fn four_workers_match_serial_exactly() {
     };
     assert_eq!(scrub(r1.ops), scrub(r4.ops), "merged operation counters");
     assert!(r1.io.logical > 0, "batch charged no page accesses");
+    // No maintenance ran: the epoch counters must not move in a pure-read
+    // batch, serial or parallel.
+    assert_eq!((r1.ops.epoch_swaps, r1.ops.stale_epoch_reads), (0, 0));
+    assert_eq!((r4.ops.epoch_swaps, r4.ops.stale_epoch_reads), (0, 0));
 }
 
 #[test]
@@ -182,7 +186,7 @@ fn hierarchy_backend_serial_matches_parallel() {
 
 #[test]
 fn epoch_update_between_batches_is_visible() {
-    let mut service = build_service(23);
+    let service = build_service(23);
     let batch = mixed_batch(&service, 150, 17);
 
     // Warm every shard's decode cache so stale decodes *would* be served if
@@ -201,6 +205,11 @@ fn epoch_update_between_batches_is_visible() {
     assert!(!updates.is_empty());
     let reports = service.apply_updates(&updates);
     assert_eq!(service.epoch(), 1);
+    assert_eq!(
+        service.epoch_swap_count(),
+        1,
+        "one update batch = one published epoch"
+    );
     assert!(
         reports.iter().any(|r| r.entries_changed > 0),
         "update changed no signature entries — test network too forgiving"
@@ -211,6 +220,9 @@ fn epoch_update_between_batches_is_visible() {
         before.outputs, after.outputs,
         "a 5000-unit detour around an object's host must change some result"
     );
+    // The swap happened *between* batches, so the post-update batch saw no
+    // in-flight maintenance and no superseded snapshot.
+    assert_eq!((after.ops.epoch_swaps, after.ops.stale_epoch_reads), (0, 0));
 
     // Ground truth: the Dijkstra backend reads the (updated) network
     // directly and shares no caches with the signature path. If any shard
@@ -238,7 +250,7 @@ fn sharded_backend_agrees_and_maintenance_rebuilds_partitions() {
         &mut rng,
     );
     let objects = ObjectSet::uniform(&net, 0.05, &mut rng);
-    let mut service = QueryService::new(
+    let service = QueryService::new(
         net,
         objects,
         &SignatureConfig::default(),

@@ -8,9 +8,10 @@
 //! The fault seed honours `DSI_FAULT_SEED` so CI can re-run the suite
 //! under a matrix of fixed seeds; the session decode path honours
 //! `DSI_ENTRY_DECODE` (`on`/`off`/`auto`) so the same matrix covers both
-//! the entry-granular and the full-decode read paths; and the fallback
+//! the entry-granular and the full-decode read paths; the fallback
 //! engine honours `DSI_CH_FALLBACK` (`on`/`off`) so the matrix covers both
-//! rungs of the degradation ladder (see `scripts/ci.sh`).
+//! rungs of the degradation ladder; and `DSI_MAINT=double-buffer` scales up
+//! the concurrent-maintenance-under-faults cell (see `scripts/ci.sh`).
 
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::{sssp, ObjectSet};
@@ -99,7 +100,7 @@ fn build_with(plan: FaultPlan, entry_decode: EntryDecodeMode, hierarchy: bool) -
 
 fn mixed_batch(service: &QueryService, count: usize) -> Vec<Query> {
     generate(
-        service.net(),
+        &service.net(),
         &WorkloadConfig {
             count,
             seed: 99,
@@ -123,7 +124,7 @@ fn drop_knn_cut_ties(service: &QueryService, batch: Vec<Query>) -> Vec<Query> {
             let &Query::Knn { node, k } = q else {
                 return true;
             };
-            let tree = sssp(service.net(), node);
+            let tree = sssp(&service.net(), node);
             let mut dists: Vec<_> = service
                 .objects()
                 .iter()
@@ -383,4 +384,103 @@ fn entry_decode_on_and_off_answer_identically() {
         got_off.ops.entry_reads, 0,
         "Off mode must stay on full decode"
     );
+}
+
+#[test]
+fn concurrent_maintenance_under_faults_stays_exact() {
+    // The fault ladder and the double-buffered maintenance path composed:
+    // update batches publish epochs *while* a faulty service answers
+    // queries. Every concurrent batch must equal the fault-free answers on
+    // one of the serialized states S0..Sn — degraded queries included
+    // (both rungs of the fallback ladder run on the batch's pinned epoch,
+    // so even a mid-swap degradation stays on one consistent state). The
+    // `DSI_MAINT=double-buffer` CI axis re-runs this cell across the fault
+    // seed / decode / partition matrix with more reader rounds.
+    let deep = std::env::var("DSI_MAINT").is_ok_and(|s| s == "double-buffer");
+    let min_reads = if deep { 8 } else { 4 };
+
+    // Two deterministic update batches with large detours around object
+    // hosts, so successive serialized states answer differently.
+    let scratch = build(FaultPlan::none());
+    let net = scratch.net();
+    let hosts: Vec<_> = scratch.objects().iter().map(|(_, h)| h).collect();
+    let update_batches: Vec<Vec<dsi_service::EdgeUpdate>> = (0..2)
+        .map(|k| {
+            hosts
+                .iter()
+                .skip(k)
+                .step_by(2)
+                .take(3)
+                .filter_map(|&host| {
+                    let (_, b, w) = net.neighbors(host).next()?;
+                    Some((host, b, w + 4_000 * (k as u32 + 1)))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Element-wise identity must hold on *every* state a reader can pin, so
+    // the kNN cut-tie filter runs against each serialized state in turn
+    // (the scratch twin walks the states; a tie on any of them drops the
+    // query).
+    let mut batch = mixed_batch(&scratch, 300);
+    batch = drop_knn_cut_ties(&scratch, batch);
+    for ups in &update_batches {
+        scratch.apply_updates(ups);
+        batch = drop_knn_cut_ties(&scratch, batch);
+    }
+
+    // Fault-free reference outputs on each serialized state S0..Sn.
+    let clean = build(FaultPlan::none());
+    let mut references = vec![serve(&clean, &batch, 2).outputs];
+    for ups in &update_batches {
+        clean.apply_updates(ups);
+        references.push(serve(&clean, &batch, 2).outputs);
+    }
+    assert_ne!(
+        references.first(),
+        references.last(),
+        "updates changed no answer — oracle is vacuous"
+    );
+
+    let faulty = build(FaultPlan::failures(fault_seed() ^ 0xEB0C, 0.08, 0.001));
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let observed: Vec<Vec<dsi_service::QueryOutput>> = std::thread::scope(|scope| {
+        let updater = scope.spawn(|| {
+            for ups in &update_batches {
+                faulty.apply_updates(ups);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        });
+        let mut observed = Vec::new();
+        while !done.load(std::sync::atomic::Ordering::Acquire) || observed.len() < min_reads {
+            observed.push(serve(&faulty, &batch, 2).outputs);
+            if observed.len() > 100 {
+                break; // safety valve; the updater can't take this long
+            }
+        }
+        updater.join().expect("updater thread");
+        observed
+    });
+
+    // Membership in the serialized-state family, with a monotone floor:
+    // the live epoch only advances, so no batch may observe an older state
+    // than its predecessor did.
+    let mut floor = 0usize;
+    for (run, outputs) in observed.iter().enumerate() {
+        floor = references
+            .iter()
+            .enumerate()
+            .position(|(k, r)| k >= floor && r == outputs)
+            .unwrap_or_else(|| {
+                panic!("faulty concurrent batch {run} matched no serialized state ≥ {floor}")
+            });
+    }
+    assert_eq!(
+        serve(&faulty, &batch, 2).outputs,
+        *references.last().expect("non-empty"),
+        "after maintenance quiesces, the faulty service must serve the final state"
+    );
+    assert_eq!(faulty.epoch(), update_batches.len() as u64);
 }

@@ -1,9 +1,12 @@
 //! Crash-safe maintenance: kill-point tests. A maintenance history (attach
 //! → updates → checkpoint → more updates) is driven to disk, then the
 //! journal and checkpoint files are truncated at every write boundary to
-//! simulate a crash at that instant. `QueryService::recover` must always
-//! agree — on a full mixed query sweep — with a from-scratch rebuild over
-//! whatever history verifiably survived, no matter where the tear landed.
+//! simulate a crash at that instant — plus in-process kill points that cut
+//! the publish protocol itself at each of its three boundaries.
+//! `QueryService::recover` must always agree — on a full mixed query sweep
+//! — with a from-scratch rebuild over whatever history verifiably
+//! survived, land on exactly one epoch, and lose no acknowledged updates,
+//! no matter where the tear landed.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -12,15 +15,21 @@ use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::io::{load_network, read_objects};
 use dsi_graph::{NodeId, ObjectSet};
 use dsi_service::journal::{
-    decode_journal, BASE_NET_FILE, BASE_OBJ_FILE, CHECKPOINT_FILE, JOURNAL_FILE, RECORD_LEN,
+    decode_journal, decode_records, read_checkpoint, BASE_NET_FILE, BASE_OBJ_FILE, CHECKPOINT_FILE,
+    JOURNAL_FILE, RECORD_LEN,
 };
-use dsi_service::{generate, EdgeUpdate, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
+use dsi_service::{
+    generate, EdgeUpdate, JournalRecord, PublishKillPoint, Query, QueryService, ServiceConfig,
+    Skew, WorkloadConfig,
+};
 use dsi_signature::{SignatureConfig, SignatureIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const CHECKPOINT_AT: usize = 6;
 const TOTAL_UPDATES: usize = 12;
+/// Journal records per publish: the `publish-intent` / `publish-done` pair.
+const PUBLISH_MARKERS: usize = 2;
 
 fn scratch_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dsi_recovery_{name}_{}", std::process::id()));
@@ -55,28 +64,35 @@ fn build_base() -> QueryService {
 /// state. Some edges are hit more than once with different weights, which
 /// is exactly what makes journal ordering observable.
 fn edge_updates(svc: &QueryService, n: usize) -> Vec<EdgeUpdate> {
+    let net = svc.net();
     (0..n)
         .map(|i| {
-            let a = NodeId(((i * 31 + 7) % svc.net().num_nodes()) as u32);
-            let (_, b, w) = svc.net().neighbors(a).next().expect("connected node");
+            let a = NodeId(((i * 31 + 7) % net.num_nodes()) as u32);
+            let (_, b, w) = net.neighbors(a).next().expect("connected node");
             (a, b, w + 40 + (i as u32 % 5) * 23)
         })
         .collect()
 }
 
 /// Drive a full maintenance history into `dir` and "crash" (drop the
-/// service): attach, 6 journaled updates, checkpoint, 6 more updates.
-/// Returns the query sweep used for all comparisons.
+/// service): attach, 6 journaled updates (publish #1), explicit
+/// checkpoint, 6 more updates (publish #2). Each publish journals its
+/// intent/done marker pair and checkpoints inside the protocol. Returns
+/// the query sweep used for all comparisons.
 fn run_history(dir: &Path) -> Vec<Query> {
-    let mut svc = build_base();
+    let svc = build_base();
     svc.attach_maintenance_log(dir).unwrap();
     let all = edge_updates(&svc, TOTAL_UPDATES);
     svc.apply_updates(&all[..CHECKPOINT_AT]);
     svc.checkpoint().unwrap();
     svc.apply_updates(&all[CHECKPOINT_AT..]);
-    assert_eq!(svc.journal_len(), Some(TOTAL_UPDATES as u64));
+    assert_eq!(svc.epoch(), 2, "two update batches = two published epochs");
+    assert_eq!(
+        svc.journal_len(),
+        Some((TOTAL_UPDATES + 2 * PUBLISH_MARKERS) as u64)
+    );
     generate(
-        svc.net(),
+        &svc.net(),
         &WorkloadConfig {
             count: 80,
             seed: 4242,
@@ -92,7 +108,7 @@ fn reference_for(dir: &Path, journal_bytes: &[u8]) -> QueryService {
     let net = load_network(dir.join(BASE_NET_FILE)).unwrap();
     let objects = read_objects(fs::File::open(dir.join(BASE_OBJ_FILE)).unwrap(), &net).unwrap();
     let index = SignatureIndex::build(&net, &objects, &SignatureConfig::default());
-    let mut svc = QueryService::from_parts(net, objects, index, &service_cfg());
+    let svc = QueryService::from_parts(net, objects, index, &service_cfg());
     svc.apply_updates(&decode_journal(journal_bytes));
     svc
 }
@@ -103,6 +119,26 @@ fn assert_same_answers(a: &QueryService, b: &QueryService, batch: &[Query], ctx:
     let ra = a.serve_batch(batch, 2);
     let rb = b.serve_batch(batch, 2);
     assert_eq!(ra.outputs, rb.outputs, "{ctx}: query sweep diverged");
+}
+
+/// The single epoch the surviving journal *demands*: the last durable
+/// `publish-done`, plus one if acknowledged updates follow it. Recomputed
+/// here independently of the recovery code so the contract is pinned from
+/// both sides.
+fn expected_epoch(records: &[JournalRecord]) -> u64 {
+    let mut done = 0u64;
+    let mut tail_updates = false;
+    for r in records {
+        match r {
+            JournalRecord::Update(_) => tail_updates = true,
+            JournalRecord::PublishDone(e) => {
+                done = *e as u64;
+                tail_updates = false;
+            }
+            JournalRecord::PublishIntent(_) => {}
+        }
+    }
+    done + u64::from(tail_updates)
 }
 
 /// Populate `work` as a crash image: base files and (optionally damaged)
@@ -123,23 +159,35 @@ fn journal_truncated_at_every_boundary_recovers_consistently() {
     let hist = scratch_dir("hist_journal");
     let batch = run_history(&hist);
     let journal = fs::read(hist.join(JOURNAL_FILE)).unwrap();
-    assert_eq!(journal.len(), 8 + TOTAL_UPDATES * RECORD_LEN);
+    assert_eq!(
+        journal.len(),
+        8 + (TOTAL_UPDATES + 2 * PUBLISH_MARKERS) * RECORD_LEN
+    );
     let checkpoint = fs::read(hist.join(CHECKPOINT_FILE)).unwrap();
+    // The last publish checkpointed after journaling its intent: the
+    // surviving checkpoint claims that much history.
+    let ckpt_covers = read_checkpoint(hist.join(CHECKPOINT_FILE))
+        .unwrap()
+        .journal_len;
 
     let work = scratch_dir("cut_journal");
     for cut in (0..=journal.len()).step_by(4) {
         stage(&work, &hist, &journal[..cut], Some(&checkpoint));
         let (recovered, report) =
             QueryService::recover(&work, &SignatureConfig::default(), &service_cfg()).unwrap();
+        let records = decode_records(&journal[..cut]);
         let survived = decode_journal(&journal[..cut]).len();
         assert_eq!(report.journal_records, survived as u64, "cut at byte {cut}");
-        // The checkpoint reflects 6 records; it may only be trusted once
-        // the surviving journal covers them.
+        // The checkpoint may only be trusted once the surviving journal
+        // covers everything it claims.
         assert_eq!(
             report.from_checkpoint,
-            survived >= CHECKPOINT_AT,
+            records.len() as u64 >= ckpt_covers,
             "cut at byte {cut}"
         );
+        // Exactly one epoch, derived from the surviving markers + updates.
+        assert_eq!(report.epoch, expected_epoch(&records), "cut at byte {cut}");
+        assert_eq!(recovered.epoch(), report.epoch, "cut at byte {cut}");
         let reference = reference_for(&work, &journal[..cut]);
         assert_same_answers(
             &recovered,
@@ -169,6 +217,7 @@ fn checkpoint_truncated_anywhere_is_ignored_not_trusted() {
             QueryService::recover(&work, &SignatureConfig::default(), &service_cfg()).unwrap();
         assert!(!report.from_checkpoint, "cut at byte {cut} was trusted");
         assert_eq!(report.replayed, TOTAL_UPDATES as u64);
+        assert_eq!(report.epoch, 2, "full journal survived: epoch is fixed");
         let reference = reference_for(&work, &journal);
         assert_same_answers(
             &recovered,
@@ -204,7 +253,12 @@ fn intact_checkpoint_shortcuts_replay_and_agrees() {
         QueryService::recover(&hist, &SignatureConfig::default(), &service_cfg()).unwrap();
     assert!(report.from_checkpoint);
     assert_eq!(report.journal_records, TOTAL_UPDATES as u64);
-    assert_eq!(report.replayed, (TOTAL_UPDATES - CHECKPOINT_AT) as u64);
+    // The final publish checkpointed right before its `done` marker: the
+    // only journal suffix past it is that marker — nothing to replay.
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.epoch, 2);
+    assert_eq!(report.publishes, 2);
+    assert!(!report.torn_publish);
     let reference = reference_for(&hist, &journal);
     assert_same_answers(&recovered, &reference, &batch, "intact checkpoint");
 }
@@ -213,7 +267,8 @@ fn intact_checkpoint_shortcuts_replay_and_agrees() {
 fn recovered_service_keeps_journaling_and_survives_a_second_crash() {
     let hist = scratch_dir("hist_twice");
     let batch = run_history(&hist);
-    // Tear the final append in half.
+    // Tear the final append in half: the record lost is publish #2's
+    // `done` marker — every acknowledged update survives.
     let journal = fs::read(hist.join(JOURNAL_FILE)).unwrap();
     fs::write(
         hist.join(JOURNAL_FILE),
@@ -221,16 +276,20 @@ fn recovered_service_keeps_journaling_and_survives_a_second_crash() {
     )
     .unwrap();
 
-    let (mut recovered, report) =
+    let (recovered, report) =
         QueryService::recover(&hist, &SignatureConfig::default(), &service_cfg()).unwrap();
-    assert_eq!(report.journal_records, (TOTAL_UPDATES - 1) as u64);
+    assert_eq!(report.journal_records, TOTAL_UPDATES as u64);
+    assert!(report.torn_publish, "the torn record was a publish-done");
+    assert_eq!(report.epoch, 2, "updates past publish #1 move the epoch");
 
-    // The re-attached journal accepts new history at the repaired tail...
+    // The re-attached journal accepts new history at the repaired tail
+    // (3 updates + the new publish's marker pair)...
+    let before = recovered.journal_len().unwrap();
     let more = edge_updates(&recovered, 3);
     recovered.apply_updates(&more);
     assert_eq!(
         recovered.journal_len(),
-        Some((TOTAL_UPDATES - 1 + 3) as u64)
+        Some(before + 3 + PUBLISH_MARKERS as u64)
     );
     drop(recovered);
 
@@ -238,7 +297,8 @@ fn recovered_service_keeps_journaling_and_survives_a_second_crash() {
     let after = fs::read(hist.join(JOURNAL_FILE)).unwrap();
     let (again, report) =
         QueryService::recover(&hist, &SignatureConfig::default(), &service_cfg()).unwrap();
-    assert_eq!(report.journal_records, (TOTAL_UPDATES - 1 + 3) as u64);
+    assert_eq!(report.journal_records, (TOTAL_UPDATES + 3) as u64);
+    assert!(!report.torn_publish, "the new publish completed durably");
     assert_same_answers(
         &again,
         &reference_for(&hist, &after),
@@ -251,9 +311,77 @@ fn recovered_service_keeps_journaling_and_survives_a_second_crash() {
 fn attach_refuses_to_shadow_existing_history() {
     let hist = scratch_dir("hist_shadow");
     run_history(&hist);
-    let mut svc = build_base();
+    let svc = build_base();
     let err = svc.attach_maintenance_log(&hist).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+/// Cut the publish protocol itself at each boundary (intent journaled /
+/// checkpoint renamed / done journaled) via the in-process kill points:
+/// the files left behind are byte-for-byte what a process killed at that
+/// instant leaves (every prior step is synced). Recovery must land on
+/// exactly one epoch and lose none of the 12 acknowledged updates.
+#[test]
+fn publish_kill_points_recover_to_exactly_one_epoch() {
+    for kp in [
+        PublishKillPoint::AfterIntent,
+        PublishKillPoint::AfterRename,
+        PublishKillPoint::AfterDone,
+    ] {
+        let dir = scratch_dir(&format!("kill_{kp:?}"));
+        let svc = build_base();
+        svc.attach_maintenance_log(&dir).unwrap();
+        let all = edge_updates(&svc, TOTAL_UPDATES);
+        // One clean publish first, so the kill lands on non-trivial history.
+        svc.apply_updates(&all[..CHECKPOINT_AT]);
+        assert_eq!(svc.epoch(), 1);
+
+        svc.arm_publish_kill_point(kp);
+        let err = svc.try_apply_updates(&all[CHECKPOINT_AT..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted, "{kp:?}");
+        // The "crashed" publish never swapped the live epoch in memory.
+        assert_eq!(svc.epoch(), 1, "{kp:?}: swap must not precede durability");
+        drop(svc); // the crash
+
+        let (recovered, report) =
+            QueryService::recover(&dir, &SignatureConfig::default(), &service_cfg()).unwrap();
+        // No lost acknowledged updates: both batches are in the state.
+        assert_eq!(report.journal_records, TOTAL_UPDATES as u64, "{kp:?}");
+        // Exactly one epoch — number 2, whether the marker pair completed
+        // (AfterDone) or the surviving tail updates force the bump.
+        assert_eq!(report.epoch, 2, "{kp:?}");
+        assert_eq!(recovered.epoch(), 2, "{kp:?}");
+        assert_eq!(
+            report.torn_publish,
+            kp != PublishKillPoint::AfterDone,
+            "{kp:?}: intent without done iff the protocol was cut before done"
+        );
+
+        // The recovered state must equal a from-scratch rebuild over the
+        // full surviving history — i.e. all 12 updates applied once.
+        let journal = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        let records = decode_records(&journal);
+        assert_eq!(report.epoch, expected_epoch(&records), "{kp:?}");
+        let batch = generate(
+            &recovered.net(),
+            &WorkloadConfig {
+                count: 80,
+                seed: 4242,
+                skew: Skew::Uniform,
+                ..Default::default()
+            },
+        );
+        assert_same_answers(
+            &recovered,
+            &reference_for(&dir, &journal),
+            &batch,
+            &format!("{kp:?}"),
+        );
+
+        // And the recovered service publishes cleanly from there.
+        recovered.apply_updates(&edge_updates(&recovered, 2));
+        assert_eq!(recovered.epoch(), 3, "{kp:?}: next publish lands on 3");
+    }
 }
 
 #[test]
@@ -268,6 +396,8 @@ fn recovery_rebuilds_partitions_over_the_replayed_network() {
         partitions: 2,
         ..service_cfg()
     };
+    // Force a replay by discarding the checkpoint shortcut.
+    fs::remove_file(hist.join(CHECKPOINT_FILE)).unwrap();
     let (recovered, report) =
         QueryService::recover(&hist, &SignatureConfig::default(), &parted_cfg).unwrap();
     assert!(report.replayed > 0, "history must force a replay");

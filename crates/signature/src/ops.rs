@@ -92,6 +92,17 @@ pub struct OpStats {
     /// a sharded query (`dsi-partition` router): each hop is one remote
     /// boundary node whose distance label was resolved through the overlay.
     pub frontier_hops: u64,
+    /// Index epochs published by double-buffered maintenance (`dsi-service`
+    /// engine): each swap atomically replaced the live index snapshot while
+    /// readers kept serving. Populated at the service layer — sessions never
+    /// touch it.
+    pub epoch_swaps: u64,
+    /// Queries that completed against an epoch snapshot which had already
+    /// been superseded by a newer publish (`dsi-service` engine). Such reads
+    /// are still consistent — they observe one serialized batch order — the
+    /// counter just measures how much traffic overlapped maintenance.
+    /// Populated at the service layer.
+    pub stale_epoch_reads: u64,
 }
 
 impl std::ops::Add for OpStats {
@@ -112,6 +123,8 @@ impl std::ops::Add for OpStats {
             retries: self.retries + rhs.retries,
             degraded: self.degraded + rhs.degraded,
             frontier_hops: self.frontier_hops + rhs.frontier_hops,
+            epoch_swaps: self.epoch_swaps + rhs.epoch_swaps,
+            stale_epoch_reads: self.stale_epoch_reads + rhs.stale_epoch_reads,
         }
     }
 }
@@ -140,6 +153,8 @@ impl std::ops::Sub for OpStats {
             retries: self.retries - rhs.retries,
             degraded: self.degraded - rhs.degraded,
             frontier_hops: self.frontier_hops - rhs.frontier_hops,
+            epoch_swaps: self.epoch_swaps - rhs.epoch_swaps,
+            stale_epoch_reads: self.stale_epoch_reads - rhs.stale_epoch_reads,
         }
     }
 }
@@ -190,6 +205,12 @@ impl std::fmt::Display for OpStats {
         }
         if self.degraded > 0 {
             write!(f, ", {} degraded", self.degraded)?;
+        }
+        if self.epoch_swaps > 0 {
+            write!(f, ", {} epoch swaps", self.epoch_swaps)?;
+        }
+        if self.stale_epoch_reads > 0 {
+            write!(f, ", {} stale-epoch reads", self.stale_epoch_reads)?;
         }
         Ok(())
     }

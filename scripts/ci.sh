@@ -52,4 +52,25 @@ for parts in 2 4; do
     done
 done
 
+echo "== maintenance matrix (double-buffered epochs under faults and sharding) =="
+# The zero-pause maintenance axis: update batches publish epochs while a
+# faulty (and, in the partitioned cells, sharded) service answers queries.
+# DSI_MAINT=double-buffer scales up the concurrent-maintenance cell in the
+# faults suite and re-runs the serialized-order oracle (all backends) plus
+# the publish kill-point recovery tests across the same seed and partition
+# axes: answers stay element-wise equal to one serialized state, and every
+# torn publish recovers to exactly one epoch.
+for seed in 1 2; do
+    for parts in 1 3; do
+        echo "-- DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed DSI_PARTITIONS=$parts --"
+        DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed DSI_PARTITIONS=$parts \
+            cargo test -q -p dsi-service --test faults \
+                concurrent_maintenance_under_faults_stays_exact
+    done
+    DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed \
+        cargo test -q -p dsi-service --test concurrent_maintenance
+    DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed \
+        cargo test -q -p dsi-service --test recovery publish_kill_points
+done
+
 echo "ci: all checks passed"

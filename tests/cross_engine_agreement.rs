@@ -212,7 +212,7 @@ proptest! {
             },
         );
         let batch = generate(
-            service.net(),
+            &service.net(),
             &WorkloadConfig {
                 count: 40,
                 seed: seed ^ 0xA5A5,
