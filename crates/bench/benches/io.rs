@@ -1,0 +1,104 @@
+//! Physical IO micro-benchmarks: the file-backed page store's coalesced
+//! `read_run` vs page-at-a-time reads, over both the `pread` and mmap
+//! paths, and the buffer pool's batched fetch vs demand misses. These are
+//! the syscall-amplification numbers behind the batched-prefetch figures:
+//! one coalesced run replaces up to `window` single-page reads, each of
+//! which pays its own syscall and checksum-table walk.
+
+use std::fs;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsi_storage::{BufferPool, PageFile, PAGE_SIZE};
+
+const PAGES: u32 = 1024;
+const WINDOW: usize = 64;
+
+fn bench_io(c: &mut Criterion) {
+    // A deterministic page image: every page carries its own id pattern so
+    // checksums differ page to page.
+    let mut image = vec![0u8; PAGES as usize * PAGE_SIZE];
+    for (p, chunk) in image.chunks_mut(PAGE_SIZE).enumerate() {
+        for (i, b) in chunk.iter_mut().enumerate() {
+            *b = (p as u8).wrapping_mul(31).wrapping_add(i as u8);
+        }
+    }
+    let path = PageFile::scratch_path("bench-io");
+    PageFile::create(&path, &image).expect("create scratch page file");
+
+    let mut group = c.benchmark_group("pagefile");
+    group.sample_size(30);
+    for (label, use_mmap) in [("pread", false), ("mmap", true)] {
+        let file = match PageFile::open(&path, use_mmap) {
+            Ok(f) => f,
+            // mmap is a cargo feature; fall back silently when compiled out.
+            Err(_) => continue,
+        };
+        if use_mmap && !file.is_mapped() {
+            continue;
+        }
+        // WINDOW single-page reads: one syscall (or mapped copy + checksum)
+        // per page.
+        group.bench_function(format!("{label}_read_page_x{WINDOW}").as_str(), |b| {
+            let mut buf = [0u8; PAGE_SIZE];
+            let mut start = 0u32;
+            b.iter(|| {
+                start = (start + 97) % (PAGES - WINDOW as u32);
+                let mut acc = 0u8;
+                for p in start..start + WINDOW as u32 {
+                    file.read_page(p, &mut buf).expect("clean read");
+                    acc = acc.wrapping_add(buf[0]);
+                }
+                acc
+            })
+        });
+        // The same WINDOW pages as one coalesced run: a single syscall, then
+        // per-page checksum verification over the buffer.
+        group.bench_function(format!("{label}_read_run_{WINDOW}").as_str(), |b| {
+            let mut buf = vec![0u8; WINDOW * PAGE_SIZE];
+            let mut start = 0u32;
+            b.iter(|| {
+                start = (start + 97) % (PAGES - WINDOW as u32);
+                file.read_run(start, &mut buf).expect("clean run");
+                buf[0]
+            })
+        });
+    }
+    group.finish();
+
+    // End-to-end through the pool: a cold working set faulted in page by
+    // page vs fetched by one batch call (which coalesces adjacent pages
+    // into runs and caches all-or-nothing).
+    let mut group = c.benchmark_group("bufferpool");
+    group.sample_size(30);
+    let file = Arc::new(PageFile::open(&path, false).expect("open scratch"));
+    let window: Vec<u32> = (0..WINDOW as u32).collect();
+    group.bench_function("demand_miss_x64", |b| {
+        let mut pool = BufferPool::new(WINDOW * 2);
+        pool.attach_file(Arc::clone(&file));
+        b.iter(|| {
+            pool.drop_pages();
+            for &p in &window {
+                pool.try_access(p).expect("clean read");
+            }
+            pool.stats().faults
+        })
+    });
+    group.bench_function("batched_fetch_64", |b| {
+        let mut pool = BufferPool::new(WINDOW * 2);
+        pool.attach_file(Arc::clone(&file));
+        b.iter(|| {
+            pool.drop_pages();
+            pool.try_read_batch(&window).expect("clean batch");
+            pool.stats().batched_reads
+        })
+    });
+    group.finish();
+
+    drop(file);
+    let _ = fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

@@ -27,7 +27,7 @@ use dsi_service::{
     generate, generate_updates, Backend, QueryService, ServiceConfig, Skew, WorkloadConfig,
 };
 use dsi_signature::{EntryDecodeMode, SignatureConfig};
-use dsi_storage::FaultPlan;
+use dsi_storage::{FaultPlan, StoreMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,6 +52,11 @@ struct Args {
     /// Whether `--backend` / `DSI_BACKEND` explicitly picked the backend
     /// (a `--partitions` > 1 auto-selects the sharded router otherwise).
     backend_explicit: bool,
+    store: StoreMode,
+    readahead: u32,
+    deadline_us: u64,
+    spike_rate: f64,
+    spike_us: u64,
 }
 
 impl Default for Args {
@@ -75,6 +80,11 @@ impl Default for Args {
             backend: Backend::Signature,
             partitions: 1,
             backend_explicit: false,
+            store: StoreMode::Mem,
+            readahead: 0,
+            deadline_us: 0,
+            spike_rate: 0.0,
+            spike_us: 200,
         }
     }
 }
@@ -96,6 +106,10 @@ fn parse_args() -> Result<Args, String> {
     // `--update-rate` flag still wins.
     if let Ok(v) = std::env::var("DSI_UPDATE_RATE") {
         args.update_rate = parse(&v).map_err(|e| format!("DSI_UPDATE_RATE: {e}"))?;
+    }
+    // `DSI_STORE` pre-selects the page-store backend; `--store` still wins.
+    if let Ok(v) = std::env::var("DSI_STORE") {
+        args.store = v.parse().map_err(|e| format!("DSI_STORE: {e}"))?;
     }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -119,6 +133,18 @@ fn parse_args() -> Result<Args, String> {
                 args.backend_explicit = true;
             }
             "--partitions" => args.partitions = parse(&value("--partitions")?)?,
+            "--store" => args.store = value("--store")?.parse()?,
+            "--readahead" => args.readahead = parse(&value("--readahead")?)?,
+            "--batch" => {
+                args.readahead = match value("--batch")?.as_str() {
+                    "on" => 8,
+                    "off" => 0,
+                    other => return Err(format!("bad --batch {other:?} (on | off)")),
+                }
+            }
+            "--deadline-us" => args.deadline_us = parse(&value("--deadline-us")?)?,
+            "--spike-rate" => args.spike_rate = parse(&value("--spike-rate")?)?,
+            "--spike-us" => args.spike_us = parse(&value("--spike-us")?)?,
             "--sweep" => args.sweep = true,
             "--skew" => {
                 let v = value("--skew")?;
@@ -137,7 +163,9 @@ fn parse_args() -> Result<Args, String> {
                      \x20               [--seed N] [--sweep] [--updates N] [--update-rate F]\n\
                      \x20               [--fault-rate F] [--corrupt-rate F] [--fault-seed N]\n\
                      \x20               [--entry-decode on|off|auto] [--backend B]\n\
-                     \x20               [--partitions K]\n\
+                     \x20               [--partitions K] [--store mem|file|mmap] [--batch on|off]\n\
+                     \x20               [--readahead N] [--deadline-us N] [--spike-rate F]\n\
+                     \x20               [--spike-us N]\n\
                      \n\
                      --update-rate F   mixed read/update mode: run the batch twice (read-only\n\
                      \x20                 baseline, then with a concurrent updater thread\n\
@@ -158,7 +186,18 @@ fn parse_args() -> Result<Args, String> {
                      \x20                 index each (default 1 = single index); K > 1\n\
                      \x20                 auto-selects the sharded backend unless --backend\n\
                      \x20                 says otherwise; the DSI_PARTITIONS env var\n\
-                     \x20                 pre-selects it"
+                     \x20                 pre-selects it\n\
+                     --store M         physical page store: mem (default, accounting-only),\n\
+                     \x20                 file (pread from a checksummed page file), or mmap;\n\
+                     \x20                 the DSI_STORE env var pre-selects it\n\
+                     --batch on|off    batched prefetch: on = readahead window of 8 pages +\n\
+                     \x20                 frontier prefetch, off (default) = single-page reads\n\
+                     --readahead N     explicit readahead window in pages (overrides --batch)\n\
+                     --deadline-us N   per-query latency deadline for SLO admission control;\n\
+                     \x20                 over-deadline load is shed onto the exact in-memory\n\
+                     \x20                 backend (0 = off)\n\
+                     --spike-rate F    inject latency spikes on fraction F of physical reads\n\
+                     --spike-us N      spike stall duration in microseconds (default 200)"
                 );
                 std::process::exit(0);
             }
@@ -172,6 +211,18 @@ fn parse_args() -> Result<Args, String> {
                 }
                 Some(("--partitions", v)) => args.partitions = parse(v)?,
                 Some(("--update-rate", v)) => args.update_rate = parse(v)?,
+                Some(("--store", v)) => args.store = v.parse()?,
+                Some(("--readahead", v)) => args.readahead = parse(v)?,
+                Some(("--batch", v)) => {
+                    args.readahead = match v {
+                        "on" => 8,
+                        "off" => 0,
+                        other => return Err(format!("bad --batch {other:?} (on | off)")),
+                    }
+                }
+                Some(("--deadline-us", v)) => args.deadline_us = parse(v)?,
+                Some(("--spike-rate", v)) => args.spike_rate = parse(v)?,
+                Some(("--spike-us", v)) => args.spike_us = parse(v)?,
                 _ => return Err(format!("unknown flag {other:?} (try --help)")),
             },
         }
@@ -214,14 +265,22 @@ fn main() -> ExitCode {
         objects.len()
     );
 
-    let fault_plan = if args.fault_rate > 0.0 || args.corrupt_rate > 0.0 {
+    let fault_plan = if args.fault_rate > 0.0 || args.corrupt_rate > 0.0 || args.spike_rate > 0.0 {
         println!(
-            "faults: {:.3}% read-fail, {:.3}% corrupt (seed {})",
+            "faults: {:.3}% read-fail, {:.3}% corrupt, {:.3}% spike x {}µs (seed {})",
             args.fault_rate * 100.0,
             args.corrupt_rate * 100.0,
+            args.spike_rate * 100.0,
+            args.spike_us,
             args.fault_seed
         );
-        FaultPlan::failures(args.fault_seed, args.fault_rate, args.corrupt_rate)
+        FaultPlan {
+            seed: args.fault_seed,
+            read_fail: args.fault_rate,
+            corrupt: args.corrupt_rate,
+            spike: args.spike_rate,
+            spike_delay: std::time::Duration::from_micros(args.spike_us),
+        }
     } else {
         FaultPlan::none()
     };
@@ -235,11 +294,22 @@ fn main() -> ExitCode {
             fault_plan,
             entry_decode: args.entry_decode,
             partitions: args.partitions,
+            store: args.store,
+            readahead: args.readahead,
+            deadline_us: args.deadline_us,
             ..Default::default()
         },
     );
     println!("entry decode: {:?}", args.entry_decode);
     println!("backend: {}", args.backend.label());
+    println!(
+        "store: {} (readahead {})",
+        args.store.label(),
+        args.readahead
+    );
+    if args.deadline_us > 0 {
+        println!("deadline: {}µs", args.deadline_us);
+    }
     if service.num_partitions() > 1 {
         println!("partitions: {}", service.num_partitions());
     }
@@ -270,6 +340,29 @@ fn main() -> ExitCode {
         service.reset_stats();
         let report = service.serve_batch_on(args.backend, &batch, workers);
         println!("\n== {workers} worker(s) ==\n{}", report.summary());
+        // Machine-readable counters for scripts (scripts/bench_io.sh).
+        let io = &report.io;
+        let pages_per_call = if io.batched_reads > 0 {
+            io.batch_pages as f64 / io.batched_reads as f64
+        } else {
+            0.0
+        };
+        println!(
+            "io_logical={} io_faults={} physical_reads={} batched_reads={} batch_pages={} \
+             pages_per_call={pages_per_call:.2} prefetch_hits={} prefetch_wasted={} shed={} \
+             deadline_miss={} worst_p99_ns={} qps={:.1}",
+            io.logical,
+            io.faults,
+            io.physical_reads(),
+            io.batched_reads,
+            io.batch_pages,
+            io.prefetch_hits,
+            io.prefetch_wasted,
+            report.shed,
+            report.deadline_misses,
+            report.worst_p99_ns(),
+            report.throughput_qps()
+        );
     }
 
     if args.updates > 0 {

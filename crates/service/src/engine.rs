@@ -103,14 +103,14 @@ use dsi_signature::{
     EntryDecodeMode, KnnResult, KnnType, OpResult, OpStats, Session, SessionState, SignatureConfig,
     SignatureIndex, SignatureMaintainer,
 };
-use dsi_storage::{FaultPlan, IoStats, Striped};
+use dsi_storage::{FaultPlan, IoStats, PageFile, StoreMode, Striped, PAGE_SIZE};
 
 use crate::journal::{
     read_checkpoint, write_checkpoint, EdgeUpdate, JournalRecord, UpdateJournal, BASE_NET_FILE,
     BASE_OBJ_FILE, CHECKPOINT_FILE, JOURNAL_FILE,
 };
 use crate::stats::{per_class_stats, BatchReport, PartStats};
-use crate::workload::Query;
+use crate::workload::{Query, QueryClass};
 
 /// Consecutive degraded queries on one shard before it is quarantined.
 const QUARANTINE_STRIKES: u32 = 3;
@@ -207,6 +207,27 @@ pub struct ServiceConfig {
     /// ladder, so a fault storm in one region quarantines only that shard.
     /// `1` (the default) serves everything from the single index.
     pub partitions: usize,
+    /// Physical page-store backend. [`StoreMode::Mem`] (the default) keeps
+    /// the page model accounting-only; `File` materialises every epoch's
+    /// page image as a real checksummed file and serves buffer misses with
+    /// positioned reads; `Mmap` maps that file read-only instead. All three
+    /// return element-wise identical answers and draw the same
+    /// deterministic fault stream.
+    pub store: StoreMode,
+    /// Readahead window in pages for batched prefetch: a demand miss
+    /// fetches the record's pages plus up to this many following pages in
+    /// one coalesced physical read, and query operators prefetch their
+    /// next frontier hop. `0` (the default) disables batching — every miss
+    /// is a single-page read.
+    pub readahead: u32,
+    /// Per-query latency deadline in microseconds for SLO-aware admission
+    /// control. When nonzero, the signature/sharded paths estimate each
+    /// query's completion time (per-class EWMA + queue depth) and *shed*
+    /// queries that would blow the deadline straight onto the exact
+    /// in-memory fallback (hierarchy oracle, else Dijkstra) — the answer
+    /// stays exact, only the paged fast path is skipped. `0` (the default)
+    /// admits everything.
+    pub deadline_us: u64,
 }
 
 impl Default for ServiceConfig {
@@ -219,6 +240,9 @@ impl Default for ServiceConfig {
             entry_decode: EntryDecodeMode::default(),
             hierarchy: true,
             partitions: 1,
+            store: StoreMode::Mem,
+            readahead: 0,
+            deadline_us: 0,
         }
     }
 }
@@ -273,6 +297,65 @@ impl PartitionedEngine {
     }
 }
 
+/// An epoch's materialised page files (file and mmap store modes): the
+/// main index image, plus one shared file covering the partitioned
+/// indexes' disjoint page ranges when the epoch routes across partitions.
+/// Dropping the epoch unlinks the files — sessions still holding open
+/// descriptors keep reading the unlinked inodes until they retire, so an
+/// in-flight batch on a superseded epoch never sees a vanished file.
+struct EpochPages {
+    index: Arc<PageFile>,
+    parted: Option<Arc<PageFile>>,
+}
+
+impl EpochPages {
+    /// Write (and reopen) the epoch's page images under the scratch
+    /// directory. `None` when `store` is memory-only.
+    fn materialize(
+        store: StoreMode,
+        epoch: u64,
+        net: &RoadNetwork,
+        index: &SignatureIndex,
+        parted: Option<&PartitionedEngine>,
+    ) -> Option<EpochPages> {
+        if !store.is_backed() {
+            return None;
+        }
+        let mapped = store == StoreMode::Mmap;
+        let open = |tag: String, image: &[u8]| {
+            let path = PageFile::scratch_path(&tag);
+            PageFile::create(&path, image).expect("write epoch page file");
+            Arc::new(PageFile::open(&path, mapped).expect("reopen epoch page file"))
+        };
+        let mut image = vec![0u8; index.page_image_bytes()];
+        index.fill_page_image(net, &mut image);
+        let main = open(format!("epoch{epoch}"), &image);
+        let parted = parted.map(|pe| {
+            // Region stores are rebased onto disjoint ranges of one shared
+            // page-id space, so all K regions fill one image/file.
+            let mut image = vec![0u8; pe.pidx.total_pages() as usize * PAGE_SIZE];
+            for p in 0..pe.pidx.num_parts() {
+                let region = pe.pidx.part(p);
+                region.index.fill_page_image(&region.net, &mut image);
+            }
+            open(format!("epoch{epoch}p"), &image)
+        });
+        Some(EpochPages {
+            index: main,
+            parted,
+        })
+    }
+}
+
+impl Drop for EpochPages {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(self.index.path());
+        if let Some(pf) = &self.parted {
+            let _ = std::fs::remove_file(pf.path());
+        }
+    }
+}
+
 /// One immutable index generation: everything a query batch touches,
 /// published wholesale by an `Arc` swap. Batches pin an epoch for their
 /// entire run; the stripes (and the counters inside them) are per-epoch.
@@ -284,6 +367,8 @@ pub struct EpochIndex {
     ch: Option<Arc<ContractionHierarchy>>,
     parted: Option<PartitionedEngine>,
     shards: Striped<Shard>,
+    /// Backing page files, when the service runs a file-backed store mode.
+    pages: Option<EpochPages>,
 }
 
 impl EpochIndex {
@@ -458,6 +543,18 @@ pub struct QueryService {
     entry_decode: EntryDecodeMode,
     hierarchy_on: bool,
     partitions: usize,
+    store: StoreMode,
+    readahead: u32,
+    /// Per-query latency deadline in nanoseconds (0 = admission off).
+    deadline_ns: u64,
+    /// Queries shed by admission control onto the exact in-memory backend
+    /// (still exact answers — distinct from fault-degraded queries).
+    shed: AtomicU64,
+    /// Completed queries whose measured latency exceeded the deadline.
+    deadline_misses: AtomicU64,
+    /// Per-class EWMA of fast-path latency in nanoseconds, indexed by
+    /// [`QueryClass`] declaration order; 0 means no estimate yet.
+    class_ewma: [AtomicU64; 4],
     /// Shards quarantined so far (cold-restarted after repeated degraded
     /// queries).
     quarantines: AtomicU64,
@@ -537,6 +634,7 @@ impl QueryService {
             .then(|| PartitionedEngine::build(&net, &objects, &sig, cfg.partitions));
         let net_arc = Arc::new(net.clone());
         let index_arc = Arc::new(index.clone());
+        let pages = EpochPages::materialize(cfg.store, epoch, &net, &index, parted.as_ref());
         let epoch0 = Arc::new(EpochIndex {
             epoch,
             net: net_arc,
@@ -548,6 +646,7 @@ impl QueryService {
                 state: None,
                 strikes: 0,
             }),
+            pages,
         });
         QueryService {
             live: RwLock::new(epoch0),
@@ -570,6 +669,17 @@ impl QueryService {
             entry_decode: cfg.entry_decode,
             hierarchy_on: cfg.hierarchy,
             partitions: cfg.partitions,
+            store: cfg.store,
+            readahead: cfg.readahead,
+            deadline_ns: cfg.deadline_us.saturating_mul(1_000),
+            shed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            class_ewma: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
             quarantines: AtomicU64::new(0),
             ch_fallbacks: AtomicU64::new(0),
             epoch_swaps: AtomicU64::new(0),
@@ -673,21 +783,43 @@ impl QueryService {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(q) = queries.get(i) else { break };
                         let t0 = Instant::now();
-                        let (out, degraded) = match backend {
-                            Backend::Signature => self.execute_sharded(ep, q, &mut ws, &mut chws),
-                            Backend::Sharded => self.execute_partitioned(ep, q, &mut ws, &mut chws),
-                            Backend::Dijkstra => {
-                                (execute_dijkstra(&ep.net, &ep.objects, &mut ws, q), false)
-                            }
-                            Backend::Hierarchy => (
-                                execute_hierarchy(
-                                    &ep.objects,
-                                    ep.ch.as_ref().expect("checked above"),
-                                    &mut chws,
-                                    q,
-                                ),
+                        // SLO-aware admission: on the paged backends, a
+                        // query whose estimated completion time blows the
+                        // deadline is shed straight onto the exact
+                        // in-memory fallback instead of queueing behind a
+                        // slow storage path.
+                        let paged = matches!(backend, Backend::Signature | Backend::Sharded);
+                        let queued = queries.len() - i - 1;
+                        let shed = paged && self.should_shed(q.class(), queued, workers);
+                        let (out, degraded) = if shed {
+                            (
+                                match &ep.ch {
+                                    Some(ch) => execute_hierarchy(&ep.objects, ch, &mut chws, q),
+                                    None => execute_dijkstra(&ep.net, &ep.objects, &mut ws, q),
+                                },
                                 false,
-                            ),
+                            )
+                        } else {
+                            match backend {
+                                Backend::Signature => {
+                                    self.execute_sharded(ep, q, &mut ws, &mut chws)
+                                }
+                                Backend::Sharded => {
+                                    self.execute_partitioned(ep, q, &mut ws, &mut chws)
+                                }
+                                Backend::Dijkstra => {
+                                    (execute_dijkstra(&ep.net, &ep.objects, &mut ws, q), false)
+                                }
+                                Backend::Hierarchy => (
+                                    execute_hierarchy(
+                                        &ep.objects,
+                                        ep.ch.as_ref().expect("checked above"),
+                                        &mut chws,
+                                        q,
+                                    ),
+                                    false,
+                                ),
+                            }
                         };
                         if self.live_epoch.load(Ordering::Relaxed) > ep.epoch {
                             // The pinned snapshot was superseded while this
@@ -695,7 +827,13 @@ impl QueryService {
                             self.stale_epoch_reads.fetch_add(1, Ordering::Relaxed);
                         }
                         let ns = t0.elapsed().as_nanos() as u64;
-                        tx.send((i, q.class(), ns, out, degraded))
+                        if paged && !shed {
+                            // Only fast-path completions train the
+                            // estimator; shed queries ran in memory and
+                            // would drag the estimate below reality.
+                            self.note_latency(q.class(), ns);
+                        }
+                        tx.send((i, q.class(), ns, out, degraded, shed))
                             .expect("collector alive");
                     }
                 });
@@ -706,11 +844,18 @@ impl QueryService {
         let mut outputs: Vec<Option<QueryOutput>> = (0..queries.len()).map(|_| None).collect();
         let mut degraded = vec![false; queries.len()];
         let mut samples = Vec::with_capacity(queries.len());
-        for (i, class, ns, out, deg) in rx {
+        let mut shed_count = 0usize;
+        let mut deadline_misses = 0usize;
+        for (i, class, ns, out, deg, sh) in rx {
             samples.push((class, ns));
             outputs[i] = Some(out);
             degraded[i] = deg;
+            shed_count += usize::from(sh);
+            deadline_misses += usize::from(self.deadline_ns > 0 && ns > self.deadline_ns);
         }
+        self.shed.fetch_add(shed_count as u64, Ordering::Relaxed);
+        self.deadline_misses
+            .fetch_add(deadline_misses as u64, Ordering::Relaxed);
         let mut ops = ep.merged_op_stats() - ops_before;
         ops.epoch_swaps = self.epoch_swaps.load(Ordering::Acquire) - swaps_before;
         ops.stale_epoch_reads = self.stale_epoch_reads.load(Ordering::Acquire) - stale_before;
@@ -732,18 +877,61 @@ impl QueryService {
                 .map(|(after, before)| after - before)
                 .collect(),
             per_class: per_class_stats(samples),
+            shed: shed_count,
+            deadline_misses,
+            deadline_ns: self.deadline_ns,
         }
     }
 
+    /// Whether the admission estimator predicts a `class` query pulled now,
+    /// with `queued` queries still waiting behind it on `workers` threads,
+    /// would finish past the deadline. Conservative on cold estimators: a
+    /// class with no completed fast-path sample yet is always admitted.
+    fn should_shed(&self, class: QueryClass, queued: usize, workers: usize) -> bool {
+        if self.deadline_ns == 0 {
+            return false;
+        }
+        let mine = self.class_ewma[class as usize].load(Ordering::Relaxed);
+        if mine == 0 {
+            return false;
+        }
+        // Queue-depth term: the mean tracked fast-path latency is the drain
+        // rate of the work still ahead of this query's completion.
+        let (sum, n) = self.class_ewma.iter().fold((0u64, 0u64), |(s, n), e| {
+            let v = e.load(Ordering::Relaxed);
+            if v > 0 {
+                (s + v, n + 1)
+            } else {
+                (s, n)
+            }
+        });
+        let wait = (queued as u64 / workers.max(1) as u64).saturating_mul(sum / n.max(1));
+        mine.saturating_add(wait) > self.deadline_ns
+    }
+
+    /// Fold one fast-path completion into the per-class latency EWMA
+    /// (quarter-weight on the new sample; races just lose an update).
+    fn note_latency(&self, class: QueryClass, ns: u64) {
+        let slot = &self.class_ewma[class as usize];
+        let old = slot.load(Ordering::Relaxed);
+        let next = if old == 0 { ns } else { (3 * old + ns) / 4 };
+        slot.store(next, Ordering::Relaxed);
+    }
+
     /// A cold session for a shard that has none yet, wired to the service's
-    /// fault plan.
-    fn fresh_state(&self) -> SessionState {
+    /// fault plan, readahead window, and (when file-backed) the epoch's
+    /// page file.
+    fn fresh_state(&self, file: Option<&Arc<PageFile>>) -> SessionState {
         let mut state = if self.fault_plan.is_active() {
             SessionState::with_fault_plan(self.pool_pages, self.fault_plan)
         } else {
             SessionState::new(self.pool_pages)
         };
         state.set_entry_decode(self.entry_decode);
+        state.set_readahead(self.readahead);
+        if let Some(file) = file {
+            state.attach_file(Arc::clone(file));
+        }
         state
     }
 
@@ -768,7 +956,10 @@ impl QueryService {
         chws: &mut ChWorkspace,
     ) -> (QueryOutput, bool) {
         let mut shard = ep.shards.lock(q.route_key());
-        let mut state = shard.state.take().unwrap_or_else(|| self.fresh_state());
+        let mut state = shard
+            .state
+            .take()
+            .unwrap_or_else(|| self.fresh_state(ep.pages.as_ref().map(|pg| &pg.index)));
         let mut attempt = 0u32;
         loop {
             let mut sess = Session::resume(&ep.index, &ep.net, state);
@@ -838,7 +1029,8 @@ impl QueryService {
                 let mut pairs = Vec::new();
                 let mut any_degraded = false;
                 for p in 0..pe.pidx.num_parts() {
-                    match self.part_ladder(pe, p, |pidx, sess| pidx.try_join_rows(sess, p, eps)) {
+                    match self.part_ladder(ep, pe, p, |pidx, sess| pidx.try_join_rows(sess, p, eps))
+                    {
                         Ok(rows) => pairs.extend(rows),
                         Err(()) => {
                             any_degraded = true;
@@ -867,7 +1059,7 @@ impl QueryService {
                         .map(QueryOutput::Aggregate),
                     Query::Join { .. } => unreachable!("handled above"),
                 };
-                match self.part_ladder(pe, p, attempt) {
+                match self.part_ladder(ep, pe, p, attempt) {
                     Ok(out) => (out, false),
                     // The whole query re-runs on the exact in-memory
                     // fallback — same ladder top as the single-index path.
@@ -892,13 +1084,16 @@ impl QueryService {
     /// the counters and caches of every other region are untouched.
     fn part_ladder<T>(
         &self,
+        ep: &EpochIndex,
         pe: &PartitionedEngine,
         p: usize,
         mut attempt: impl FnMut(&PartitionedIndex, &mut Session<'_>) -> OpResult<T>,
     ) -> Result<T, ()> {
         let mut shard = pe.shards.lock_shard(p);
         shard.queries += 1;
-        let mut state = shard.state.take().unwrap_or_else(|| self.fresh_state());
+        let mut state = shard.state.take().unwrap_or_else(|| {
+            self.fresh_state(ep.pages.as_ref().and_then(|pg| pg.parted.as_ref()))
+        });
         let mut tries = 0u32;
         loop {
             let mut sess = pe.pidx.resume(p, state);
@@ -1078,6 +1273,13 @@ impl QueryService {
                 }
             }
 
+            let pages = EpochPages::materialize(
+                self.store,
+                next_epoch,
+                &shadow.net,
+                &shadow.index,
+                parted.as_ref(),
+            );
             let ep = Arc::new(EpochIndex {
                 epoch: next_epoch,
                 net: shadow.net,
@@ -1089,6 +1291,7 @@ impl QueryService {
                     state: None,
                     strikes: 0,
                 }),
+                pages,
             });
             *self.live.write().expect("live epoch lock") = ep;
             self.live_epoch.store(next_epoch, Ordering::Release);
@@ -1337,6 +1540,22 @@ impl QueryService {
         self.quarantines.load(Ordering::Relaxed)
     }
 
+    /// The physical page-store backend this service runs.
+    pub fn store_mode(&self) -> StoreMode {
+        self.store
+    }
+
+    /// Queries shed by admission control since the service was built.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Completed queries that missed the deadline since the service was
+    /// built (0 when no deadline is configured).
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
     /// Degraded queries answered by the hierarchy oracle since the service
     /// was built. With a hierarchy configured this equals the total
     /// degraded count — the Dijkstra fallback is reached only when no
@@ -1464,6 +1683,17 @@ impl QueryService {
         let ch_fallbacks = self.hierarchy_fallback_count();
         if ch_fallbacks > 0 {
             s.push_str(&format!(" | {ch_fallbacks} ch-fallbacks"));
+        }
+        if self.store.is_backed() {
+            s.push_str(&format!(" | store: {}", self.store.label()));
+        }
+        if self.deadline_ns > 0 {
+            s.push_str(&format!(
+                " | admission: {} shed, {} deadline misses (deadline {}µs)",
+                self.shed_count(),
+                self.deadline_miss_count(),
+                self.deadline_ns / 1_000
+            ));
         }
         if let Some(pe) = &ep.parted {
             s.push_str(&format!(

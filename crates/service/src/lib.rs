@@ -37,6 +37,7 @@ pub mod journal;
 pub mod stats;
 pub mod workload;
 
+pub use dsi_storage::StoreMode;
 pub use engine::{
     Backend, EpochIndex, PublishKillPoint, QueryOutput, QueryService, RecoveryReport, ServiceConfig,
 };

@@ -111,6 +111,15 @@ pub struct BatchReport {
     /// Latency percentiles per query class (classes absent from the batch
     /// are omitted).
     pub per_class: BTreeMap<&'static str, ClassStats>,
+    /// Queries admission control shed onto the exact in-memory backend
+    /// (still exact answers; distinct from fault-degraded queries). Always
+    /// 0 without a configured deadline.
+    pub shed: usize,
+    /// Completed queries whose measured latency exceeded the deadline
+    /// (shed queries included). Always 0 without a configured deadline.
+    pub deadline_misses: usize,
+    /// The deadline the batch ran under, nanoseconds (0 = admission off).
+    pub deadline_ns: u64,
 }
 
 impl BatchReport {
@@ -162,6 +171,15 @@ impl BatchReport {
             out.push_str(&format!(
                 "  maintenance: {} epoch swaps, {} stale-epoch reads (consistent, pinned snapshots)\n",
                 self.ops.epoch_swaps, self.ops.stale_epoch_reads,
+            ));
+        }
+        if self.deadline_ns > 0 {
+            out.push_str(&format!(
+                "  admission: {} shed, {} deadline misses of {} queries (deadline {})\n",
+                self.shed,
+                self.deadline_misses,
+                self.outputs.len(),
+                fmt_ns(self.deadline_ns),
             ));
         }
         if self.ops.retries > 0 || self.degraded_count() > 0 {

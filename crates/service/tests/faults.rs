@@ -17,7 +17,7 @@ use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::{sssp, ObjectSet};
 use dsi_service::{generate, Backend, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
 use dsi_signature::{EntryDecodeMode, SignatureConfig};
-use dsi_storage::FaultPlan;
+use dsi_storage::{FaultPlan, StoreMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,6 +44,24 @@ fn partitions() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+/// `DSI_STORE` (`mem`/`file`/`mmap`) picks the physical page store, so the
+/// CI matrix re-runs the whole fault ladder against real checksummed files
+/// — injected faults fire on the same deterministic schedule either way.
+fn store_mode() -> StoreMode {
+    std::env::var("DSI_STORE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(StoreMode::Mem)
+}
+
+/// `DSI_READAHEAD` adds batched prefetch to the matrix (0 = off).
+fn readahead() -> u32 {
+    std::env::var("DSI_READAHEAD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Serve on the backend the configuration implies: the shard router when
@@ -94,6 +112,9 @@ fn build_with(plan: FaultPlan, entry_decode: EntryDecodeMode, hierarchy: bool) -
             entry_decode,
             hierarchy,
             partitions: partitions(),
+            store: store_mode(),
+            readahead: readahead(),
+            ..ServiceConfig::default()
         },
     )
 }
@@ -298,6 +319,9 @@ fn faults_in_one_partition_quarantine_only_that_shard() {
                 entry_decode: entry_mode(),
                 hierarchy: ch_fallback(),
                 partitions: 4,
+                store: store_mode(),
+                readahead: readahead(),
+                ..ServiceConfig::default()
             },
         )
     };

@@ -519,6 +519,58 @@ impl SignatureIndex {
         &self.store
     }
 
+    /// Materialise this index's on-disk image into `image`, whose length
+    /// must cover the store's page span in bytes (for a rebased store,
+    /// `image` is the whole shared page space and this index's records
+    /// land at their global byte offsets — partitioned builds call this
+    /// once per region into one image).
+    ///
+    /// Each record is §3.1's merged node record, in CCAM order: the
+    /// adjacency list (2-byte degree, then 4-byte target id + 4-byte
+    /// weight per slot, little-endian — exactly
+    /// [`RoadNetwork::adjacency_record_bytes`]'s accounting), followed by
+    /// the signature blob's bytes; the skip directory's modeled bytes are
+    /// zero-filled. Decoding still runs off the in-memory structures — the
+    /// file realises the physical *cost* (the exact bytes a `pread` must
+    /// move and CRC-check per page), not a second decode path.
+    pub fn fill_page_image(&self, net: &RoadNetwork, image: &mut [u8]) {
+        for i in 0..self.num_nodes() {
+            let n = NodeId(i as u32);
+            let range = self.store.byte_range_of(i);
+            let rec = &mut image[range.start as usize..range.end as usize];
+            let deg = net.degree(n) as u16;
+            rec[0..2].copy_from_slice(&deg.to_le_bytes());
+            let mut off = 2;
+            for (_, target, w) in net.neighbors(n) {
+                rec[off..off + 4].copy_from_slice(&target.0.to_le_bytes());
+                rec[off + 4..off + 8].copy_from_slice(&w.to_le_bytes());
+                off += 8;
+            }
+            let blob = &self.blobs[i];
+            // Maintenance can re-encode a blob past the record length the
+            // layout fixed at build time; the image realises the *modeled*
+            // record, so the overflow is clipped (decode never reads the
+            // image — it only carries the physical read/checksum cost).
+            let bytes = blob.byte_len().min(rec.len() - off);
+            let mut bi = 0;
+            'words: for word in blob.words() {
+                for b in word.to_le_bytes() {
+                    if bi == bytes {
+                        break 'words;
+                    }
+                    rec[off + bi] = b;
+                    bi += 1;
+                }
+            }
+        }
+    }
+
+    /// Bytes of the page image [`fill_page_image`](Self::fill_page_image)
+    /// needs for a store based at page 0 (single-index case).
+    pub fn page_image_bytes(&self) -> usize {
+        self.store.end_page() as usize * dsi_storage::PAGE_SIZE
+    }
+
     /// Total on-disk size in bytes (pages × 4 KiB).
     pub fn disk_bytes(&self) -> u64 {
         self.store.disk_bytes()

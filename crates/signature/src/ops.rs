@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use dsi_graph::network::Slot;
 use dsi_graph::{Dist, NodeId, ObjectId, RoadNetwork};
-use dsi_storage::{BufferPool, FaultPlan, IoStats, StorageError};
+use dsi_storage::{BufferPool, FaultPlan, IoStats, PageFile, PageId, StorageError};
 
 use crate::category::{DistRange, RangeOrdering};
 use crate::index::{DecodedSignature, SignatureIndex};
@@ -343,6 +343,8 @@ pub struct SessionState {
     entries: EntryCache,
     mode: EntryDecodeMode,
     stats: OpStats,
+    /// Readahead window in pages (0 = batched prefetch off).
+    readahead: u32,
     /// Index generation the decode cache was filled under; compared against
     /// [`SignatureIndex::generation`] on [`Session::resume`], which clears
     /// the cache itself if the index was maintained while this state was
@@ -360,6 +362,7 @@ impl SessionState {
             entries: EntryCache::new(pool_pages.max(16) * 64),
             mode: EntryDecodeMode::default(),
             stats: OpStats::default(),
+            readahead: 0,
             generation: 0,
         }
     }
@@ -367,6 +370,22 @@ impl SessionState {
     /// Choose how entry lookups are served (see [`EntryDecodeMode`]).
     pub fn set_entry_decode(&mut self, mode: EntryDecodeMode) {
         self.mode = mode;
+    }
+
+    /// Enable batched prefetch with a `pages`-page readahead window (0
+    /// disables it — the default). With a window, record reads that miss
+    /// the buffer fetch their pages plus the next `pages` store pages in
+    /// coalesced physical calls, and the frontier hints
+    /// ([`Session::prefetch_nodes`]) become active.
+    pub fn set_readahead(&mut self, pages: u32) {
+        self.readahead = pages;
+    }
+
+    /// Attach a real [`PageFile`] to the session's pool: every buffer miss
+    /// now performs the physical read and CRC check (see
+    /// [`BufferPool::attach_file`]).
+    pub fn attach_file(&mut self, file: Arc<PageFile>) {
+        self.pool.attach_file(file);
     }
 
     /// The entry-decode mode in force.
@@ -436,6 +455,7 @@ pub struct Session<'a> {
     cache: DecodeCache,
     entries: EntryCache,
     mode: EntryDecodeMode,
+    readahead: u32,
     pub stats: OpStats,
 }
 
@@ -469,6 +489,7 @@ impl<'a> Session<'a> {
             cache: state.cache,
             entries: state.entries,
             mode: state.mode,
+            readahead: state.readahead,
             stats: state.stats,
         }
     }
@@ -480,6 +501,7 @@ impl<'a> Session<'a> {
             cache: self.cache,
             entries: self.entries,
             mode: self.mode,
+            readahead: self.readahead,
             stats: self.stats,
             // Every decode cached in this session came from the index as it
             // is *now* (resume cleared anything older).
@@ -526,11 +548,59 @@ impl<'a> Session<'a> {
         self.mode
     }
 
+    /// Enable batched prefetch with a `pages`-page readahead window (0
+    /// disables it; see [`SessionState::set_readahead`]).
+    pub fn set_readahead(&mut self, pages: u32) {
+        self.readahead = pages;
+    }
+
+    /// Charge the record read for store record `id`, batching when a
+    /// readahead window is configured: if any of the record's pages miss
+    /// the buffer, the record's pages plus the next `readahead` pages of
+    /// the store (the CCAM neighborhood the frontier is likely to touch)
+    /// are fetched in coalesced physical calls first, and the demand read
+    /// then hits. Batch failures propagate exactly like a failed demand
+    /// read — one injected-fault draw per physical call, nothing cached —
+    /// so the service's retry ladder sees the same error surface.
+    fn fetch_record(&mut self, id: usize) -> Result<(), StorageError> {
+        if self.readahead > 0 {
+            let pages = self.index.store().pages_of(id);
+            if pages.clone().any(|p| !self.pool.is_resident(p)) {
+                let span = self.index.store().page_range();
+                let end = pages.end.saturating_add(self.readahead).min(span.end);
+                let want: Vec<PageId> = (pages.start..end).collect();
+                self.pool.try_read_batch(&want)?;
+            }
+        }
+        self.index.store().try_read(id, &mut self.pool)
+    }
+
+    /// Hint that the query frontier will touch `nodes` next: batch-fetch
+    /// their records' non-resident pages in coalesced physical calls.
+    /// Purely advisory — a no-op without a readahead window, and failures
+    /// are swallowed (a failed batch caches nothing, and the demand read
+    /// that follows draws its own fault outcome, so error surfacing is
+    /// unchanged). Pages are sorted and deduplicated, making the physical
+    /// schedule deterministic even when callers iterate hash maps.
+    pub fn prefetch_nodes<I: IntoIterator<Item = NodeId>>(&mut self, nodes: I) {
+        if self.readahead == 0 {
+            return;
+        }
+        let store = self.index.store();
+        let mut want: Vec<PageId> = nodes
+            .into_iter()
+            .flat_map(|n| store.pages_of(n.index()))
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        let _ = self.pool.try_read_batch(&want);
+    }
+
     /// Read (and decode) node `n`'s signature, charging the page accesses.
     /// With a fault plan installed on the pool, the physical read may fail;
     /// nothing is decoded or cached in that case.
     pub fn try_read_signature(&mut self, n: NodeId) -> OpResult<Arc<DecodedSignature>> {
-        self.index.store().try_read(n.index(), &mut self.pool)?;
+        self.fetch_record(n.index())?;
         self.stats.signature_reads += 1;
         if let Some(sig) = self.cache.get(n) {
             self.stats.decode_cache_hits += 1;
@@ -554,7 +624,7 @@ impl<'a> Session<'a> {
             let sig = self.try_read_signature(n)?;
             return Ok((sig.cats[o.index()], sig.links[o.index()]));
         }
-        self.index.store().try_read(n.index(), &mut self.pool)?;
+        self.fetch_record(n.index())?;
         self.stats.entry_reads += 1;
         if let Some(v) = self.entries.get(n, o) {
             self.stats.entry_cache_hits += 1;
@@ -587,7 +657,7 @@ impl<'a> Session<'a> {
                 .map(|o| (sig.cats[o.index()], sig.links[o.index()]))
                 .collect());
         }
-        self.index.store().try_read(n.index(), &mut self.pool)?;
+        self.fetch_record(n.index())?;
         self.stats.entry_reads += 1;
         if let Some(sig) = self.cache.get(n) {
             self.stats.decode_cache_hits += 1;
@@ -943,6 +1013,7 @@ impl<'a> Session<'a> {
         for &o in objs.iter() {
             walkers.insert(o, Walker::start(self, n, o)?);
         }
+        self.prefetch_frontier(&walkers);
         let mut i = 0;
         while i + 1 < objs.len() {
             if self.compare_walkers(&mut walkers, objs[i], objs[i + 1])?
@@ -985,6 +1056,7 @@ impl<'a> Session<'a> {
         for &o in objs.iter() {
             walkers.insert(o, Walker::start(self, n, o)?);
         }
+        self.prefetch_frontier(&walkers);
         let mut slice_start = 0usize;
         let mut slice_end = objs.len();
         let mut want = j;
@@ -1019,6 +1091,22 @@ impl<'a> Session<'a> {
     pub fn select_nearest(&mut self, n: NodeId, objs: &mut [ObjectId], j: usize) {
         self.try_select_nearest(n, objs, j)
             .expect("storage fault on a session without a fault plan")
+    }
+
+    /// Prefetch the node each unfinished walker will backtrack to next —
+    /// the refinement frontier is known one hop ahead (every walker caches
+    /// its outgoing link), so the whole frontier's pages coalesce into one
+    /// batched read instead of one fault per walker step.
+    fn prefetch_frontier(&mut self, walkers: &HashMap<ObjectId, Walker>) {
+        if self.readahead == 0 {
+            return;
+        }
+        let next: Vec<NodeId> = walkers
+            .values()
+            .filter(|w| !w.range.is_exact() && w.cur != w.host)
+            .map(|w| self.net.neighbor_at(w.cur, w.link).0)
+            .collect();
+        self.prefetch_nodes(next);
     }
 
     /// Exact comparison over persistent walkers (each retains its

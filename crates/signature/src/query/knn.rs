@@ -101,8 +101,17 @@ pub fn try_knn(
             out
         }
         KnnType::Type1 => {
+            let confirmed: Vec<ObjectId> = confirmed.into_iter().flatten().collect();
+            // Each exact retrieval backtracks one hop from `n` first; batch
+            // those records ahead of the per-object walks.
+            let hops: Vec<NodeId> = confirmed
+                .iter()
+                .filter(|&&o| sess.index().host(o) != n)
+                .map(|&o| sess.net().neighbor_at(n, sig.links[o.index()]).0)
+                .collect();
+            sess.prefetch_nodes(hops);
             let mut with_d = Vec::with_capacity(k);
-            for object in confirmed.into_iter().flatten() {
+            for object in confirmed {
                 with_d.push(KnnResult {
                     object,
                     dist: Some(sess.try_retrieve_exact(n, object)?),

@@ -18,6 +18,7 @@ pub fn try_range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> OpResult
     let part = sess.index().partition();
     let delta = DistRange::exact(eps);
     let mut out = Vec::new();
+    let mut straddling = Vec::new();
     for o in sess.index().objects() {
         let r = part.range_of(sig.cats[o.index()]);
         if r.hi <= eps {
@@ -25,13 +26,25 @@ pub fn try_range_query(sess: &mut Session<'_>, n: NodeId, eps: Dist) -> OpResult
         } else if r.lo > eps {
             continue;
         } else {
-            let refined = sess.try_retrieve_approx(n, o, delta)?;
-            debug_assert!(!refined.partially_intersects(&delta));
-            if refined.hi <= eps {
-                out.push(o);
-            }
+            straddling.push(o);
         }
     }
+    // Every straddler's retrieval starts by backtracking one hop from `n`;
+    // batch those first-hop records before paying the per-object walks.
+    let hops: Vec<NodeId> = straddling
+        .iter()
+        .filter(|&&o| sess.index().host(o) != n)
+        .map(|&o| sess.net().neighbor_at(n, sig.links[o.index()]).0)
+        .collect();
+    sess.prefetch_nodes(hops);
+    for o in straddling {
+        let refined = sess.try_retrieve_approx(n, o, delta)?;
+        debug_assert!(!refined.partially_intersects(&delta));
+        if refined.hi <= eps {
+            out.push(o);
+        }
+    }
+    out.sort_unstable();
     Ok(out)
 }
 

@@ -1,10 +1,18 @@
-//! LRU buffer pool with logical/physical access counters and optional
-//! deterministic fault injection.
+//! LRU buffer pool with logical/physical access counters, optional
+//! deterministic fault injection, and an optional real file backend.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::fault::{FaultOutcome, FaultPlan, FaultState, StorageError};
-use crate::layout::PageId;
+use crate::layout::{PageId, PAGE_SIZE};
+use crate::pagefile::PageFile;
+
+/// Pages a batched read may bridge over to merge two runs into one
+/// physical call. With a CCAM-clustered layout the bridged pages are likely
+/// useful soon, and one longer `pread` beats two short ones; bridged pages
+/// that go unused are counted in [`IoStats::prefetch_wasted`].
+const BATCH_GAP: PageId = 2;
 
 /// Page-access counters collected by a [`BufferPool`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -12,7 +20,9 @@ pub struct IoStats {
     /// Page reads requested (buffer hits included).
     pub logical: u64,
     /// Page reads that missed the buffer — "disk page accesses", the
-    /// paper's reported metric.
+    /// paper's reported metric. Batched prefetches charge every page they
+    /// fetch here, so `faults` stays the page-granular cost metric no
+    /// matter how pages were grouped into physical calls.
     pub faults: u64,
     /// Physical reads that an installed [`FaultPlan`] made fail (read
     /// failure or detected corruption). Zero on a perfect disk.
@@ -20,18 +30,39 @@ pub struct IoStats {
     /// Physical reads that an installed [`FaultPlan`] stalled with a
     /// latency spike (the read still succeeded).
     pub spikes: u64,
+    /// Physical read calls issued by [`BufferPool::try_read_batch`] — each
+    /// fetches a coalesced run of pages in one syscall.
+    pub batched_reads: u64,
+    /// Pages fetched by those batched calls (`batch_pages /
+    /// batched_reads` = pages per physical call, the coalescing win).
+    pub batch_pages: u64,
+    /// Prefetched pages that a later demand read found resident.
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted or dropped without ever being used.
+    pub prefetch_wasted: u64,
 }
 
 impl IoStats {
     /// Buffer hit ratio in `[0, 1]`; `0.0` when nothing was accessed (an
     /// idle pool has earned no hits — and a `NaN`-free value keeps stats
-    /// dumps and JSON snapshots well-formed).
+    /// dumps and JSON snapshots well-formed). Clamped at 0: batched
+    /// prefetches charge `faults` without `logical`, so a wasteful
+    /// prefetcher can drive faults past logical.
     pub fn hit_ratio(&self) -> f64 {
         if self.logical == 0 {
             0.0
         } else {
-            1.0 - self.faults as f64 / self.logical as f64
+            (1.0 - self.faults as f64 / self.logical as f64).max(0.0)
         }
+    }
+
+    /// Physical read *calls* issued: every single-page fault is one call,
+    /// and each batched run replaces its `batch_pages` single-page calls
+    /// with one. The admission/prefetch benches compare this across
+    /// configurations — fewer calls for the same `faults` is the batching
+    /// win.
+    pub fn physical_reads(&self) -> u64 {
+        (self.faults - self.batch_pages) + self.batched_reads
     }
 
     /// Counter-wise sum — merging per-shard counters into a service-wide
@@ -51,6 +82,10 @@ impl std::ops::Add for IoStats {
             faults: self.faults + rhs.faults,
             injected: self.injected + rhs.injected,
             spikes: self.spikes + rhs.spikes,
+            batched_reads: self.batched_reads + rhs.batched_reads,
+            batch_pages: self.batch_pages + rhs.batch_pages,
+            prefetch_hits: self.prefetch_hits + rhs.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted + rhs.prefetch_wasted,
         }
     }
 }
@@ -71,6 +106,10 @@ impl std::ops::Sub for IoStats {
             faults: self.faults - rhs.faults,
             injected: self.injected - rhs.injected,
             spikes: self.spikes - rhs.spikes,
+            batched_reads: self.batched_reads - rhs.batched_reads,
+            batch_pages: self.batch_pages - rhs.batch_pages,
+            prefetch_hits: self.prefetch_hits - rhs.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted - rhs.prefetch_wasted,
         }
     }
 }
@@ -82,8 +121,9 @@ impl std::iter::Sum for IoStats {
 }
 
 /// One-line summary for stats dumps: `"1234 logical, 56 faults (95.5% hit)"`,
-/// extended with `, N injected` / `, N spikes` only when fault injection
-/// actually fired (so fault-free dumps read exactly as before).
+/// extended with `, N injected` / `, N spikes` / batching segments only
+/// when those features actually fired (so fault-free unbatched dumps read
+/// exactly as before).
 impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -99,13 +139,35 @@ impl std::fmt::Display for IoStats {
         if self.spikes > 0 {
             write!(f, ", {} spikes", self.spikes)?;
         }
+        if self.batched_reads > 0 {
+            write!(
+                f,
+                ", {} batched ({} pages)",
+                self.batched_reads, self.batch_pages
+            )?;
+        }
+        if self.prefetch_hits > 0 || self.prefetch_wasted > 0 {
+            write!(
+                f,
+                ", prefetch {}/{} used",
+                self.prefetch_hits,
+                self.prefetch_hits + self.prefetch_wasted
+            )?;
+        }
         Ok(())
     }
 }
 
-/// An LRU page cache that only does accounting: `access(page)` records a
-/// logical read and, if the page is not resident, a fault plus an eviction
-/// when full.
+/// A resident page: its latest access tick and whether it was placed by a
+/// batched prefetch and not yet touched by a demand read.
+#[derive(Clone, Copy, Debug)]
+struct Residency {
+    tick: u64,
+    prefetched: bool,
+}
+
+/// An LRU page cache: `access(page)` records a logical read and, if the
+/// page is not resident, a fault plus an eviction when full.
 ///
 /// Recency is tracked with the classic lazy-deletion queue: every access
 /// pushes `(page, tick)` and bumps the page's tick in the map; eviction pops
@@ -116,16 +178,33 @@ impl std::fmt::Display for IoStats {
 /// [`try_access`](Self::try_access) on paths that can degrade gracefully.
 /// A failed read is charged (logical + fault + injected) but the page is
 /// **not** cached, so a retry is a fresh physical attempt.
+///
+/// With a [`PageFile`] attached (see [`attach_file`](Self::attach_file)),
+/// every buffer miss additionally performs the real positioned read and
+/// CRC check, so the accounting metric and the physical IO coincide. The
+/// fault draw happens *before* the physical read: mem and file stores see
+/// the identical injected-fault schedule for the same miss sequence.
+///
+/// [`try_read_batch`](Self::try_read_batch) prefetches a page set in
+/// coalesced runs — one fault draw and one physical call per run — with
+/// all-or-nothing caching: a failed batch caches nothing, not even its
+/// already-read runs, so a retry re-draws every run.
 #[derive(Clone, Debug)]
 pub struct BufferPool {
     capacity: usize,
-    /// Resident pages → latest access tick.
-    resident: HashMap<PageId, u64>,
+    /// Resident pages → latest access tick + prefetch flag.
+    resident: HashMap<PageId, Residency>,
     /// Access history (may contain stale entries).
     queue: VecDeque<(PageId, u64)>,
     tick: u64,
     stats: IoStats,
     fault: Option<FaultState>,
+    /// Real file behind the page ids, if any. Pages at or past the file's
+    /// end stay on the accounting-only path (a pool may span several
+    /// stores of which only a prefix is materialised).
+    backing: Option<Arc<PageFile>>,
+    /// Reusable destination for physical reads.
+    scratch: Vec<u8>,
 }
 
 impl BufferPool {
@@ -139,6 +218,8 @@ impl BufferPool {
             tick: 0,
             stats: IoStats::default(),
             fault: None,
+            backing: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -151,6 +232,17 @@ impl BufferPool {
     /// The installed fault plan, if any is active.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         self.fault.as_ref().map(|f| f.plan)
+    }
+
+    /// Attach a real page file: from now on every buffer miss performs the
+    /// physical read (positioned read or mmap copy) and CRC check.
+    pub fn attach_file(&mut self, file: Arc<PageFile>) {
+        self.backing = Some(file);
+    }
+
+    /// The attached page file, if any.
+    pub fn backing(&self) -> Option<&Arc<PageFile>> {
+        self.backing.as_ref()
     }
 
     /// Record an access to `page`, ignoring any injected fault (legacy
@@ -171,32 +263,20 @@ impl BufferPool {
     pub fn try_access(&mut self, page: PageId) -> Result<(), StorageError> {
         self.stats.logical += 1;
         self.tick += 1;
-        if self.capacity != 0 && self.resident.contains_key(&page) {
-            // Buffer hit: no disk trip, cannot fault.
-            self.note_use(page);
-            return Ok(());
-        }
-        self.stats.faults += 1;
-        if let Some(f) = self.fault.as_mut() {
-            match f.draw() {
-                FaultOutcome::Clean => {}
-                FaultOutcome::Fail => {
-                    self.stats.injected += 1;
-                    return Err(StorageError::ReadFailed { page });
+        if self.capacity != 0 {
+            if let Some(r) = self.resident.get_mut(&page) {
+                // Buffer hit: no disk trip, cannot fault.
+                if r.prefetched {
+                    r.prefetched = false;
+                    self.stats.prefetch_hits += 1;
                 }
-                FaultOutcome::Corrupt => {
-                    self.stats.injected += 1;
-                    return Err(StorageError::Corrupted { page });
-                }
-                FaultOutcome::Spike => {
-                    self.stats.spikes += 1;
-                    let delay = f.plan.spike_delay;
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
-                    }
-                }
+                self.note_use(page);
+                return Ok(());
             }
         }
+        self.stats.faults += 1;
+        self.draw_fault(page)?;
+        self.physical_read_run(page, 1)?;
         if self.capacity != 0 {
             if self.resident.len() >= self.capacity {
                 self.evict_lru();
@@ -215,9 +295,134 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Mark `page` resident at the current tick.
+    /// Prefetch every non-resident page of `pages`, coalescing adjacent
+    /// pages (bridging gaps of up to [`BATCH_GAP`]) into runs fetched with
+    /// **one** fault draw and one physical read call each. Returns the
+    /// number of pages made resident.
+    ///
+    /// Semantics:
+    /// * no `logical` charge — prefetching is not a record read; the
+    ///   demand reads that follow hit the now-resident pages and charge
+    ///   `logical` exactly as the unbatched path would;
+    /// * every fetched page (bridged ones included) is charged to `faults`
+    ///   and `batch_pages`, and each run to `batched_reads`;
+    /// * **all-or-nothing caching**: if any run fails (injected or real),
+    ///   nothing from the batch is cached — not even runs already read —
+    ///   so a retry is a fresh physical attempt with fresh draws.
+    pub fn try_read_batch(&mut self, pages: &[PageId]) -> Result<usize, StorageError> {
+        if self.capacity == 0 || pages.is_empty() {
+            return Ok(0);
+        }
+        let mut want: Vec<PageId> = pages
+            .iter()
+            .copied()
+            .filter(|p| !self.resident.contains_key(p))
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        // Never fetch more than fits: a batch larger than the pool would
+        // evict its own head.
+        want.truncate(self.capacity);
+        if want.is_empty() {
+            return Ok(0);
+        }
+        let mut runs: Vec<(PageId, PageId)> = Vec::new();
+        for &p in &want {
+            match runs.last_mut() {
+                Some((_, end)) if p <= *end + 1 + BATCH_GAP => *end = p,
+                _ => runs.push((p, p)),
+            }
+        }
+        // Phase 1: physical reads, one draw + one call per run. Abort on
+        // the first failure with nothing cached.
+        for &(s, e) in &runs {
+            let len = (e - s + 1) as u64;
+            self.stats.faults += len;
+            self.stats.batch_pages += len;
+            self.stats.batched_reads += 1;
+            self.draw_fault(s)?;
+            self.physical_read_run(s, (e - s) as usize + 1)?;
+        }
+        // Phase 2: commit residency, flagged as prefetched.
+        self.tick += 1;
+        let tick = self.tick;
+        let mut fetched = 0;
+        for &(s, e) in &runs {
+            for p in s..=e {
+                if self.resident.contains_key(&p) {
+                    continue;
+                }
+                if self.resident.len() >= self.capacity {
+                    self.evict_lru();
+                }
+                self.resident.insert(
+                    p,
+                    Residency {
+                        tick,
+                        prefetched: true,
+                    },
+                );
+                self.queue.push_back((p, tick));
+                fetched += 1;
+            }
+        }
+        if self.queue.len() > 8 * self.capacity.max(16) {
+            self.compact_queue();
+        }
+        Ok(fetched)
+    }
+
+    /// One injected-fault draw for a physical read starting at `page`.
+    fn draw_fault(&mut self, page: PageId) -> Result<(), StorageError> {
+        let Some(f) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        match f.draw() {
+            FaultOutcome::Clean => Ok(()),
+            FaultOutcome::Fail => {
+                self.stats.injected += 1;
+                Err(StorageError::ReadFailed { page })
+            }
+            FaultOutcome::Corrupt => {
+                self.stats.injected += 1;
+                Err(StorageError::Corrupted { page })
+            }
+            FaultOutcome::Spike => {
+                self.stats.spikes += 1;
+                let delay = f.plan.spike_delay;
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Perform the real read of `len` pages starting at `start` when a file
+    /// is attached. Pages outside the file stay accounting-only; a run
+    /// straddling the end reads only its in-file prefix.
+    fn physical_read_run(&mut self, start: PageId, len: usize) -> Result<(), StorageError> {
+        let Some(file) = self.backing.clone() else {
+            return Ok(());
+        };
+        if start >= file.num_pages() {
+            return Ok(());
+        }
+        let len = len.min((file.num_pages() - start) as usize);
+        self.scratch.resize(len * PAGE_SIZE, 0);
+        file.read_run(start, &mut self.scratch[..len * PAGE_SIZE])
+    }
+
+    /// Mark `page` resident at the current tick (demand use: clears any
+    /// prefetch flag).
     fn note_use(&mut self, page: PageId) {
-        self.resident.insert(page, self.tick);
+        self.resident.insert(
+            page,
+            Residency {
+                tick: self.tick,
+                prefetched: false,
+            },
+        );
         self.queue.push_back((page, self.tick));
         // Keep the lazy queue from growing unboundedly.
         if self.queue.len() > 8 * self.capacity.max(16) {
@@ -227,9 +432,14 @@ impl BufferPool {
 
     fn evict_lru(&mut self) {
         while let Some((page, tick)) = self.queue.pop_front() {
-            if self.resident.get(&page) == Some(&tick) {
-                self.resident.remove(&page);
-                return;
+            if let Some(r) = self.resident.get(&page) {
+                if r.tick == tick {
+                    if r.prefetched {
+                        self.stats.prefetch_wasted += 1;
+                    }
+                    self.resident.remove(&page);
+                    return;
+                }
             }
         }
         // Queue exhausted without a current entry — resident must be empty.
@@ -238,7 +448,8 @@ impl BufferPool {
 
     fn compact_queue(&mut self) {
         let resident = &self.resident;
-        self.queue.retain(|(p, t)| resident.get(p) == Some(t));
+        self.queue
+            .retain(|(p, t)| resident.get(p).map(|r| r.tick) == Some(*t));
     }
 
     /// Counters accumulated since construction or the last
@@ -253,7 +464,8 @@ impl BufferPool {
         self.stats = IoStats::default();
     }
 
-    /// Drop all cached pages and counters (cold start).
+    /// Drop all cached pages and counters (cold start). The attached file,
+    /// if any, stays attached.
     pub fn clear(&mut self) {
         self.resident.clear();
         self.queue.clear();
@@ -263,8 +475,11 @@ impl BufferPool {
 
     /// Drop cached pages but **keep** counters — quarantine support: a
     /// poisoned shard rebuilds its working set from scratch without losing
-    /// the monotone counters that batch deltas are computed from.
+    /// the monotone counters that batch deltas are computed from. Dropped
+    /// never-used prefetches count as wasted.
     pub fn drop_pages(&mut self) {
+        let wasted = self.resident.values().filter(|r| r.prefetched).count();
+        self.stats.prefetch_wasted += wasted as u64;
         self.resident.clear();
         self.queue.clear();
     }
@@ -381,6 +596,13 @@ mod tests {
         // No accesses → 0.0, never NaN.
         assert_eq!(IoStats::default().hit_ratio(), 0.0);
         assert!(!IoStats::default().hit_ratio().is_nan());
+        // Prefetch-only traffic (faults > logical) clamps at 0.
+        let wasteful = IoStats {
+            logical: 1,
+            faults: 5,
+            ..IoStats::default()
+        };
+        assert_eq!(wasteful.hit_ratio(), 0.0);
     }
 
     #[test]
@@ -390,12 +612,20 @@ mod tests {
             faults: 4,
             injected: 2,
             spikes: 1,
+            batched_reads: 1,
+            batch_pages: 3,
+            prefetch_hits: 2,
+            prefetch_wasted: 1,
         };
         let b = IoStats {
             logical: 5,
             faults: 1,
             injected: 1,
             spikes: 0,
+            batched_reads: 0,
+            batch_pages: 0,
+            prefetch_hits: 1,
+            prefetch_wasted: 0,
         };
         assert_eq!(
             a + b,
@@ -404,6 +634,10 @@ mod tests {
                 faults: 5,
                 injected: 3,
                 spikes: 1,
+                batched_reads: 1,
+                batch_pages: 3,
+                prefetch_hits: 3,
+                prefetch_wasted: 1,
             }
         );
         assert_eq!((a + b) - b, a);
@@ -427,11 +661,41 @@ mod tests {
             faults: 50,
             injected: 3,
             spikes: 2,
+            ..IoStats::default()
         };
         assert_eq!(
             f.to_string(),
             "200 logical, 50 faults (75.0% hit), 3 injected, 2 spikes"
         );
+        let b = IoStats {
+            logical: 200,
+            faults: 50,
+            batched_reads: 10,
+            batch_pages: 40,
+            prefetch_hits: 30,
+            prefetch_wasted: 10,
+            ..IoStats::default()
+        };
+        assert_eq!(
+            b.to_string(),
+            "200 logical, 50 faults (75.0% hit), 10 batched (40 pages), prefetch 30/40 used"
+        );
+    }
+
+    #[test]
+    fn physical_read_calls_account_batching() {
+        // 10 single-page faults + 2 batched runs covering 8 pages:
+        // 10 + 2 calls, 18 faults.
+        let s = IoStats {
+            logical: 20,
+            faults: 18,
+            batched_reads: 2,
+            batch_pages: 8,
+            ..IoStats::default()
+        };
+        assert_eq!(s.physical_reads(), 12);
+        // Unbatched: calls == faults.
+        assert_eq!(io(20, 18).physical_reads(), 18);
     }
 
     #[test]
@@ -456,7 +720,7 @@ mod tests {
                 logical: 1,
                 faults: 1,
                 injected: 1,
-                spikes: 0
+                ..IoStats::default()
             }
         );
         assert!(!p.is_resident(7));
@@ -523,5 +787,151 @@ mod tests {
         assert_eq!(p.fault_plan(), None);
         p.set_fault_plan(FaultPlan::failures(1, 0.5, 0.0));
         assert!(p.fault_plan().is_some());
+    }
+
+    #[test]
+    fn batch_coalesces_runs_and_counts_pages() {
+        let mut p = BufferPool::new(16);
+        // 0..=2 plus 5 bridges (gap 2) into one run 0..=5; 9 starts a new
+        // run.
+        let n = p.try_read_batch(&[9, 0, 2, 1, 5]).unwrap();
+        assert_eq!(n, 7);
+        let s = p.stats();
+        assert_eq!(s.logical, 0, "prefetch is not a record read");
+        assert_eq!(s.faults, 7);
+        assert_eq!(s.batched_reads, 2);
+        assert_eq!(s.batch_pages, 7);
+        for pg in 0..=5 {
+            assert!(p.is_resident(pg), "page {pg}");
+        }
+        assert!(p.is_resident(9));
+        assert_eq!(s.physical_reads(), 2);
+    }
+
+    #[test]
+    fn demand_read_after_batch_is_a_hit() {
+        let mut p = BufferPool::new(16);
+        p.try_read_batch(&[3, 4]).unwrap();
+        assert_eq!(p.try_access(3), Ok(()));
+        assert_eq!(p.try_access(3), Ok(()));
+        let s = p.stats();
+        assert_eq!((s.logical, s.faults), (2, 2));
+        // First demand touch of a prefetched page counts once.
+        assert_eq!(s.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn batch_of_resident_pages_is_a_noop() {
+        let mut p = BufferPool::new(8);
+        p.access(1);
+        p.access(2);
+        let before = p.stats();
+        assert_eq!(p.try_read_batch(&[1, 2]), Ok(0));
+        assert_eq!(p.stats(), before);
+    }
+
+    #[test]
+    fn zero_capacity_batch_is_a_noop() {
+        let mut p = BufferPool::new(0);
+        assert_eq!(p.try_read_batch(&[1, 2, 3]), Ok(0));
+        assert_eq!(p.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn batch_truncates_to_capacity() {
+        let mut p = BufferPool::new(2);
+        let pages: Vec<PageId> = (0..10).map(|i| i * 10).collect(); // no bridging
+        let n = p.try_read_batch(&pages).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(p.resident_pages(), 2);
+    }
+
+    #[test]
+    fn one_draw_per_run_not_per_page() {
+        let mut p = BufferPool::new(16);
+        p.set_fault_plan(FaultPlan::failures(3, 1.0, 0.0));
+        // One run of 3 pages: exactly one draw, one injection.
+        assert!(p.try_read_batch(&[0, 1, 2]).is_err());
+        assert_eq!(p.stats().injected, 1);
+    }
+
+    #[test]
+    fn failed_batch_caches_nothing_from_the_batch() {
+        // Find a seed whose draw sequence is Clean then Fail: the batch's
+        // first run succeeds physically, the second fails mid-batch —
+        // nothing may be cached, including the successful first run.
+        let seed = (0..1000)
+            .find(|&s| {
+                let mut f = FaultState::new(FaultPlan::failures(s, 0.5, 0.0));
+                matches!(f.draw(), FaultOutcome::Clean) && matches!(f.draw(), FaultOutcome::Fail)
+            })
+            .expect("some seed draws Clean then Fail");
+        let mut p = BufferPool::new(16);
+        p.set_fault_plan(FaultPlan::failures(seed, 0.5, 0.0));
+        // Two runs: {0,1} and {10,11} (gap too wide to bridge).
+        let err = p.try_read_batch(&[0, 1, 10, 11]);
+        assert_eq!(err, Err(StorageError::ReadFailed { page: 10 }));
+        for pg in [0, 1, 10, 11] {
+            assert!(!p.is_resident(pg), "page {pg} cached by a failed batch");
+        }
+        assert_eq!(p.resident_pages(), 0);
+        assert_eq!(p.stats().injected, 1);
+        // Charges for both runs still recorded (the reads happened).
+        assert_eq!(p.stats().faults, 4);
+    }
+
+    #[test]
+    fn wasted_prefetch_counted_on_eviction_and_drop() {
+        let mut p = BufferPool::new(2);
+        p.try_read_batch(&[0, 1]).unwrap();
+        // Demand-read two other pages: both prefetched pages evict unused.
+        p.access(50);
+        p.access(60);
+        assert_eq!(p.stats().prefetch_wasted, 2);
+        // And drop_pages counts still-flagged pages as wasted.
+        p.try_read_batch(&[70, 71]).unwrap();
+        p.access(70); // used → not wasted
+        p.drop_pages();
+        assert_eq!(p.stats().prefetch_wasted, 3);
+    }
+
+    #[test]
+    fn batch_outcomes_are_deterministic() {
+        let plan = FaultPlan::failures(17, 0.3, 0.2);
+        let run = |plan| {
+            let mut p = BufferPool::new(8);
+            p.set_fault_plan(plan);
+            (0..100u32)
+                .map(|i| {
+                    let base = (i * 7) % 90;
+                    let r = p.try_read_batch(&[base, base + 1, base + 20]);
+                    p.drop_pages();
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(plan), run(plan));
+    }
+
+    #[test]
+    fn file_backed_misses_read_real_pages() {
+        use crate::pagefile::PageFile;
+        let path = PageFile::scratch_path("pool");
+        let image: Vec<u8> = (0..4 * PAGE_SIZE).map(|i| (i % 241) as u8).collect();
+        PageFile::create(&path, &image).unwrap();
+        let pf = Arc::new(PageFile::open(&path, false).unwrap());
+        let mut p = BufferPool::new(8);
+        p.attach_file(Arc::clone(&pf));
+        assert!(p.backing().is_some());
+        for pg in 0..4 {
+            assert_eq!(p.try_access(pg), Ok(()));
+        }
+        // Pages past the file's end stay accounting-only.
+        assert_eq!(p.try_access(100), Ok(()));
+        assert_eq!(p.try_read_batch(&[200, 201]), Ok(2));
+        assert_eq!(p.stats().faults, 7);
+        drop(p);
+        drop(pf);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -67,6 +67,13 @@ impl PageLayout {
         first..last + 1
     }
 
+    /// Byte addresses of record `r` within the packed image
+    /// (`start..start + len`).
+    pub fn byte_range_of(&self, r: usize) -> std::ops::Range<u64> {
+        let s = self.start[r];
+        s..s + self.len[r] as u64
+    }
+
     /// Total pages occupied.
     pub fn num_pages(&self) -> u32 {
         self.num_pages
@@ -127,6 +134,20 @@ impl PagedStore {
     pub fn pages_of(&self, id: usize) -> std::ops::Range<PageId> {
         let r = self.layout.pages_of(self.slot_of[id] as usize);
         (r.start + self.base)..(r.end + self.base)
+    }
+
+    /// Byte addresses of record `id` in the shared page-id space's byte
+    /// image (page 0 of the space is byte 0) — where a physical page file
+    /// materialising this store puts the record.
+    pub fn byte_range_of(&self, id: usize) -> std::ops::Range<u64> {
+        let r = self.layout.byte_range_of(self.slot_of[id] as usize);
+        let off = self.base as u64 * PAGE_SIZE as u64;
+        (r.start + off)..(r.end + off)
+    }
+
+    /// The page-id range this store occupies (`base..end_page`).
+    pub fn page_range(&self) -> std::ops::Range<PageId> {
+        self.base..self.end_page()
     }
 
     /// Charge a read of record `id` to `pool`.

@@ -16,16 +16,20 @@
 //!   so a multi-threaded read path can charge page accesses without a
 //!   global lock, with per-shard [`IoStats`] merged on demand.
 //!
-//! The actual data stays in ordinary in-memory structures — the disk model
-//! only *accounts* for where each byte would live and what a query would
-//! have to read, which is exactly the deterministic part of the paper's
-//! metric.
+//! Decoded query data stays in ordinary in-memory structures, but the IO
+//! cost no longer has to be simulated: [`PageFile`] (module [`pagefile`])
+//! materialises a store's page image as a real checksummed file, and a
+//! pool with a file attached performs the actual `pread`/mmap read (plus
+//! CRC verification) on every buffer miss — including coalesced batched
+//! prefetches via [`BufferPool::try_read_batch`], which fetch a run of
+//! adjacent pages in one physical call.
 
 pub mod buffer;
 pub mod ccam;
 pub mod checksum;
 pub mod fault;
 pub mod layout;
+pub mod pagefile;
 pub mod striped;
 
 pub use buffer::{BufferPool, IoStats};
@@ -33,4 +37,5 @@ pub use ccam::{ccam_order, grow_region};
 pub use checksum::{crc32, FrameReader, FrameWriter, MAX_FRAME};
 pub use fault::{FaultPlan, StorageError};
 pub use layout::{PageId, PageLayout, PagedStore, PAGE_SIZE};
+pub use pagefile::{PageFile, StoreMode};
 pub use striped::{Striped, StripedPool};

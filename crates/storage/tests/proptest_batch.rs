@@ -1,0 +1,115 @@
+//! Property tests for batched reads: a `try_read_batch` must leave the
+//! pool answering demand reads exactly like reading the same pages singly
+//! would — including under injected corruption faults, where a failed
+//! batch must cache nothing.
+
+use std::sync::Arc;
+
+use dsi_storage::{BufferPool, FaultPlan, PageFile, PageId, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batch_equals_singles_for_demand_reads(
+        pages in proptest::collection::vec(0u32..64, 1..24),
+        probes in proptest::collection::vec(0u32..64, 1..40),
+    ) {
+        // Capacity large enough that neither path evicts: after the warmup
+        // (batched vs singly), every later demand read must hit/miss
+        // identically and yield identical logical/fault deltas.
+        let mut batched = BufferPool::new(128);
+        batched.try_read_batch(&pages).unwrap();
+        let mut single = BufferPool::new(128);
+        for &p in &pages {
+            single.access(p);
+        }
+        // Every requested page is resident on both paths.
+        for &p in &pages {
+            prop_assert!(batched.is_resident(p), "page {p} not resident after batch");
+            prop_assert!(single.is_resident(p));
+        }
+        let (b0, s0) = (batched.stats(), single.stats());
+        for &p in &probes {
+            batched.access(p);
+            single.access(p);
+        }
+        let bd = batched.stats() - b0;
+        let sd = single.stats() - s0;
+        prop_assert_eq!(bd.logical, sd.logical);
+        // The batch may have pre-fetched bridge pages the single path did
+        // not touch, so the batched pool can only fault less.
+        prop_assert!(bd.faults <= sd.faults, "batched {} vs single {}", bd.faults, sd.faults);
+    }
+
+    #[test]
+    fn failed_batches_cache_nothing_under_corruption(
+        pages in proptest::collection::vec(0u32..200, 1..24),
+        seed in 0u64..500,
+        corrupt in 0.05f64..0.9,
+    ) {
+        let mut pool = BufferPool::new(256);
+        pool.set_fault_plan(FaultPlan::failures(seed, 0.0, corrupt));
+        match pool.try_read_batch(&pages) {
+            Ok(n) => {
+                // A clean batch behaves like the fault-free one.
+                let mut requested: Vec<PageId> = pages.clone();
+                requested.sort_unstable();
+                requested.dedup();
+                prop_assert!(n >= requested.len());
+                for &p in &requested {
+                    prop_assert!(pool.is_resident(p));
+                }
+            }
+            Err(_) => {
+                // All-or-nothing: a failed batch must not cache any page.
+                prop_assert_eq!(pool.resident_pages(), 0);
+                prop_assert!(pool.stats().injected >= 1);
+            }
+        }
+        // Either way the draw schedule is deterministic: replay matches.
+        let replay = |pages: &[PageId]| {
+            let mut p = BufferPool::new(256);
+            p.set_fault_plan(FaultPlan::failures(seed, 0.0, corrupt));
+            (p.try_read_batch(pages), p.stats())
+        };
+        prop_assert_eq!(replay(&pages), replay(&pages));
+    }
+
+    #[test]
+    fn file_backed_batch_equals_singles(
+        pages in proptest::collection::vec(0u32..16, 1..12),
+        probes in proptest::collection::vec(0u32..16, 1..20),
+    ) {
+        // Same property as the mem case, but with every physical read
+        // actually hitting a checksummed file.
+        let path = PageFile::scratch_path("proptest");
+        let image: Vec<u8> = (0..16 * PAGE_SIZE).map(|i| (i % 239) as u8).collect();
+        PageFile::create(&path, &image).unwrap();
+        let pf = Arc::new(PageFile::open(&path, false).unwrap());
+
+        let mut batched = BufferPool::new(64);
+        batched.attach_file(Arc::clone(&pf));
+        batched.try_read_batch(&pages).unwrap();
+        let mut single = BufferPool::new(64);
+        single.attach_file(Arc::clone(&pf));
+        for &p in &pages {
+            single.access(p);
+        }
+        let (b0, s0) = (batched.stats(), single.stats());
+        for &p in &probes {
+            batched.access(p);
+            single.access(p);
+        }
+        let bd = batched.stats() - b0;
+        let sd = single.stats() - s0;
+        prop_assert_eq!(bd.logical, sd.logical);
+        prop_assert!(bd.faults <= sd.faults);
+
+        drop(batched);
+        drop(single);
+        drop(pf);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Snapshot the physical-IO numbers for the file-backed page store into a
+# machine-readable JSON file (default: BENCH_PR9.json at the repo root).
+#
+# Usage:
+#   scripts/bench_io.sh
+#   OUT=BENCH_smoke.json QUERIES=100 scripts/bench_io.sh
+#
+# Two experiments, both driven through the workload CLI's machine-readable
+# counter line (`io_logical=... physical_reads=... pages_per_call=...`):
+#
+# * batched prefetch — the store matrix {mem,file} x {batch off,on} on a
+#   dense-record index (records span ~4 pages) with a pool that holds the
+#   working set, so every counter movement is coalescing, not thrash. The
+#   acceptance line is physical read *calls* reduced >= 3x by batching,
+#   with > 3 pages served per coalesced call, and identical fault totals
+#   (modulo the readahead tail) between mem and file: the physical path
+#   changes the syscall pattern, never the page schedule.
+#
+# * SLO admission — a deterministic latency storm (every other physical
+#   read stalls 200us) against a tiny pool, with and without a 1ms
+#   deadline. With the deadline, over-budget queries shed onto the exact
+#   in-memory backend: worst-class p99 must come out strictly below the
+#   no-deadline run's (bounded tail), with most of the batch shed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR9.json}"
+WORKERS="${WORKERS:-2}"
+SEED="${SEED:-13}"
+# Batched-prefetch cell: dense records, resident working set.
+IO_NODES="${IO_NODES:-2000}"
+IO_DENSITY="${IO_DENSITY:-0.2}"
+IO_QUERIES="${IO_QUERIES:-200}"
+IO_POOL="${IO_POOL:-16384}"
+# Admission cell: default-density index, starved pool, spike storm.
+ADM_NODES="${ADM_NODES:-3000}"
+ADM_QUERIES="${ADM_QUERIES:-600}"
+ADM_POOL="${ADM_POOL:-32}"
+DEADLINE_US="${DEADLINE_US:-1000}"
+
+cargo build --release -q -p dsi-service --bin workload
+
+# Run one workload cell and fold its `k=v k=v ...` counter line into JSON.
+cell() {
+    local line
+    line="$(target/release/workload "$@" | grep '^io_logical=' | tail -1)"
+    printf '%s\n' "$line" | tr ' ' '\n' | \
+        jq -Rn '[inputs | split("=") | {(.[0]): (.[1] | tonumber)}] | add'
+}
+
+jq -n --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      --arg host "$(uname -sm)" \
+      --argjson workers "$WORKERS" \
+      '{generated: $date, host: $host, config: {workers: $workers},
+        io: {}, admission: {}}' > "$OUT.tmp"
+
+io_args=(--nodes "$IO_NODES" --density "$IO_DENSITY" --queries "$IO_QUERIES" \
+         --workers "$WORKERS" --seed "$SEED" --skew zipf:0.8 \
+         --pool-pages "$IO_POOL")
+for store in mem file; do
+    for batch in off on; do
+        echo "-- io cell: store=$store batch=$batch --"
+        obj="$(cell "${io_args[@]}" --store "$store" --batch "$batch")"
+        jq --arg k "${store}_batch_${batch}" --argjson obj "$obj" \
+           '.io[$k] = $obj' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+    done
+done
+
+adm_args=(--nodes "$ADM_NODES" --queries "$ADM_QUERIES" --workers "$WORKERS" \
+          --seed "$SEED" --skew zipf:0.8 --pool-pages "$ADM_POOL" \
+          --store file --spike-rate 0.5 --spike-us 200)
+echo "-- admission cell: storm, no deadline --"
+obj="$(cell "${adm_args[@]}")"
+jq --argjson obj "$obj" '.admission.storm = $obj' \
+   "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+echo "-- admission cell: storm, deadline ${DEADLINE_US}us --"
+obj="$(cell "${adm_args[@]}" --deadline-us "$DEADLINE_US")"
+jq --argjson obj "$obj" '.admission.storm_deadline = $obj' \
+   "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+# Acceptance summary: batching must cut physical read calls >= 3x with
+# > 3 pages per coalesced call and zero wasted prefetch; the deadline run
+# must bound the storm's p99 while shedding most of the batch.
+jq --argjson deadline_us "$DEADLINE_US" '
+    .io as $io | .admission as $a
+    | (($io.file_batch_off.physical_reads / $io.file_batch_on.physical_reads)
+       * 1000 | round / 1000) as $reduction
+    | (($a.storm.worst_p99_ns / $a.storm_deadline.worst_p99_ns)
+       * 1000 | round / 1000) as $tail
+    | .batched_prefetch = {
+        physical_read_reduction: $reduction,
+        pages_per_call: $io.file_batch_on.pages_per_call,
+        prefetch_wasted: $io.file_batch_on.prefetch_wasted,
+        mem_file_same_schedule:
+          ($io.mem_batch_on.io_faults == $io.file_batch_on.io_faults),
+        accepted: ($reduction >= 3
+                   and $io.file_batch_on.pages_per_call > 3)
+      }
+    | .slo_admission = {
+        deadline_us: $deadline_us,
+        p99_storm_ns: $a.storm.worst_p99_ns,
+        p99_deadline_ns: $a.storm_deadline.worst_p99_ns,
+        p99_bound_ratio: $tail,
+        shed: $a.storm_deadline.shed,
+        bounded: ($tail > 1.0 and $a.storm_deadline.shed > 0)
+      }' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+mv "$OUT.tmp" "$OUT"
+jq '{batched_prefetch, slo_admission}' "$OUT"
+echo "wrote $OUT"

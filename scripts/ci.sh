@@ -52,6 +52,39 @@ for parts in 2 4; do
     done
 done
 
+echo "== store matrix (physical page stores under injected faults) =="
+# The same fault suite with the physical page store swapped in: answers
+# must be element-wise identical whether a buffer miss is accounting-only
+# (mem), a checksummed pread (file), or a mapped copy (mmap), and whether
+# misses are served one page at a time or through the batched readahead
+# window — the store mode changes the syscall pattern, never the answers
+# or the deterministic fault schedule.
+for store in mem file; do
+    for seed in 1 2; do
+        echo "-- DSI_STORE=$store DSI_FAULT_SEED=$seed --"
+        DSI_STORE=$store DSI_FAULT_SEED=$seed \
+            cargo test -q -p dsi-service --test faults
+    done
+done
+echo "-- DSI_STORE=mmap DSI_FAULT_SEED=1 DSI_READAHEAD=4 --"
+DSI_STORE=mmap DSI_FAULT_SEED=1 DSI_READAHEAD=4 \
+    cargo test -q -p dsi-service --test faults
+echo "-- DSI_STORE=file DSI_FAULT_SEED=2 DSI_READAHEAD=8 DSI_PARTITIONS=2 --"
+DSI_STORE=file DSI_FAULT_SEED=2 DSI_READAHEAD=8 DSI_PARTITIONS=2 \
+    cargo test -q -p dsi-service --test faults
+
+echo "== tmpdir hygiene (epoch page files unlinked after every run) =="
+# Every file-backed epoch materialises a scratch page file and unlinks it
+# when the epoch retires (open descriptors keep reading the unlinked
+# inode). Anything matching the scratch prefix after the suites above is
+# a leak.
+stray="$(find "${TMPDIR:-/tmp}" -maxdepth 1 -name 'dsi-pages-*' 2>/dev/null || true)"
+if [ -n "$stray" ]; then
+    echo "stray page files left behind:"
+    echo "$stray"
+    exit 1
+fi
+
 echo "== maintenance matrix (double-buffered epochs under faults and sharding) =="
 # The zero-pause maintenance axis: update batches publish epochs while a
 # faulty (and, in the partitioned cells, sharded) service answers queries.
