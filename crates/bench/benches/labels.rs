@@ -1,0 +1,82 @@
+//! Hub-label micro-benchmarks: the merge-scan p2p against the CH upward
+//! search the labels were extracted from, and the one-to-many bucket scan
+//! behind the join fallback. Network, seed, and pair sequence match the
+//! `substrates` p2p head-to-head so the two snapshots are comparable.
+//!
+//! `scripts/bench_labels.sh` folds these medians into `BENCH_PR10.json`;
+//! the PR 10 acceptance line is `hl_p2p` ≥ 3× faster than `ch_p2p`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsi_bench::{paper_network, Scale};
+use dsi_graph::NodeId;
+use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy, HubLabels};
+
+fn bench_labels(c: &mut Criterion) {
+    let scale = Scale {
+        nodes: 5000,
+        queries: 0,
+        seed: 23,
+    };
+    let net = paper_network(&scale);
+    let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+    let hl = HubLabels::build(&ch);
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x9E37);
+        (0..64)
+            .map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n))))
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("labels");
+    group.sample_size(20);
+    group.bench_function("ch_p2p", |b| {
+        let mut ws = ChWorkspace::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            ch.p2p(s, t, &mut ws)
+        })
+    });
+    group.bench_function("hl_p2p", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            hl.p2p(s, t)
+        })
+    });
+
+    // One source against a fixed 64-target bucket set — the shape of the
+    // per-partition join fallback. The per-pair baseline runs the same 64
+    // merges without the hub-grouped inversion.
+    let targets: Vec<NodeId> = (0..64u32).map(|i| NodeId(i * 79 % n)).collect();
+    let buckets = hl.buckets(&targets);
+    group.bench_function("hl_p2p_x64", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 997) % n;
+            targets
+                .iter()
+                .map(|&t| u64::from(hl.p2p(NodeId(i), t)))
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("hl_one_to_many_64", |b| {
+        let mut out = Vec::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 997) % n;
+            hl.one_to_many(NodeId(i), &buckets, &mut out);
+            out[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_labels);
+criterion_main!(benches);

@@ -70,6 +70,27 @@ fn bench_sharded(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Cross-partition stitching in isolation: the same sweep at 3× the
+    // range radius, where most queries spill past their home region and
+    // the router's boundary glue (label merges since PR 10, a frontier
+    // Dijkstra before) dominates the wall-clock.
+    const EPS_WIDE: Dist = 3 * EPS;
+    let mut group = c.benchmark_group("sharded_glue");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        let pidx = PartitionedIndex::build(&net, &objects, &config, k);
+        group.bench_function(&format!("glue_k{k}"), |b| {
+            let mut sharded = ShardedSessions::new(&pidx, POOL_PAGES);
+            b.iter(|| {
+                for &q in &query_nodes {
+                    std::hint::black_box(sharded.range(q, EPS_WIDE));
+                    std::hint::black_box(sharded.knn(q, K_NN));
+                }
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_sharded);

@@ -1,10 +1,13 @@
 //! Index size accounting with the entry-decode skip directory broken out,
 //! as one JSON object on stdout — `scripts/bench_snapshot.sh` merges it
-//! into the benchmark snapshot under `.skip_directory`.
+//! into the benchmark snapshot under `.skip_directory`, and
+//! `scripts/bench_labels.sh` reads the `label_*` fields for the hub-label
+//! memory footprint.
 //!
 //! Scale comes from the usual `DSI_NODES` / `DSI_SEED` environment knobs.
 
 use dsi_bench::{paper_dataset, paper_network, Scale};
+use dsi_hierarchy::{ChConfig, ContractionHierarchy, HubLabels};
 use dsi_signature::{SignatureConfig, SignatureIndex};
 
 fn main() {
@@ -16,10 +19,18 @@ fn main() {
 
     let disk = idx.disk_bytes();
     let dir_bytes = idx.report.directory_bits.div_ceil(8);
+
+    // The memory-resident hub-label oracle over the same network: entries,
+    // average label length, and resident bytes (flat CSR).
+    let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+    let hl = HubLabels::build(&ch);
+
     println!(
         "{{\"nodes\": {}, \"objects\": {}, \"skip_stride\": {}, \
          \"disk_bytes\": {}, \"directory_bytes\": {}, \
-         \"directory_bytes_per_node\": {:.2}, \"directory_frac_of_disk\": {:.4}}}",
+         \"directory_bytes_per_node\": {:.2}, \"directory_frac_of_disk\": {:.4}, \
+         \"label_entries\": {}, \"label_avg_len\": {:.2}, \
+         \"label_bytes\": {}, \"label_bytes_per_node\": {:.2}}}",
         net.num_nodes(),
         idx.num_objects(),
         idx.skip_stride(),
@@ -27,5 +38,9 @@ fn main() {
         dir_bytes,
         dir_bytes as f64 / net.num_nodes() as f64,
         dir_bytes as f64 / disk as f64,
+        hl.num_entries(),
+        hl.avg_label_len(),
+        hl.label_bytes(),
+        hl.label_bytes() as f64 / net.num_nodes() as f64,
     );
 }

@@ -1,0 +1,666 @@
+//! Canonical hub labels extracted from the contraction hierarchy.
+//!
+//! A hub label for node `v` is a sorted array of `(hub, distance)` pairs
+//! such that for any pair `(s, t)` some shortest `s–t` path has its
+//! highest-ranked node in **both** labels: `d(s, t)` is the minimum of
+//! `d_s(h) + d_t(h)` over the hubs the two labels share — one linear merge
+//! of two sorted arrays, no graph traversal at all. On an undirected
+//! network the forward and backward upward graphs coincide, so one label
+//! per node serves both query directions.
+//!
+//! Extraction reuses the hierarchy: the upward search space of `v`
+//! (settled by the exact same relaxation loop as one side of
+//! [`ContractionHierarchy::p2p`], run to exhaustion) is a superset of the
+//! canonical label, with upward distances as upper bounds. Candidates are
+//! then pruned with the standard check: processing nodes in descending
+//! rank and each node's candidates in descending hub rank, candidate
+//! `(h, d)` is dropped when the already-kept entries of `v` merged with
+//! the finished label of `h` realise a distance `≤ d` — either `d`
+//! overshoots the true distance (the upward path through `h` is not
+//! shortest) or a higher-ranked hub already covers the pair. What
+//! survives is the canonical label: every entry is exact and no entry is
+//! dominated by another hub.
+//!
+//! Because a node's pruning only consults labels of strictly
+//! higher-ranked nodes, whole *height levels* of the hierarchy (nodes
+//! whose upward search spaces cannot contain one another) are independent
+//! and are built in parallel under `std::thread::scope`, like the
+//! partition builds — one `SsspWorkspace` per worker, results collected
+//! over a channel.
+//!
+//! Storage is a flat CSR: `index[v]..index[v+1]` brackets `v`'s entries in
+//! `hubs`/`dists`, hubs sorted ascending by node id so lookups are sorted
+//! merges. [`LabelBuckets`] inverts a target set's labels (hub →
+//! `(target, dist)` rows) for one-to-many scans: one pass over the source
+//! label touches every target sharing a hub with it.
+
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dsi_graph::ids::dist_add;
+use dsi_graph::{Dist, NodeId, SsspWorkspace, INFINITY};
+
+use crate::build::ContractionHierarchy;
+
+/// Hub labels for every node, in flat CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HubLabels {
+    pub(crate) n: usize,
+    /// Ordering seed of the hierarchy the labels were extracted from.
+    pub(crate) seed: u64,
+    /// CSR over nodes: `hubs[index[v]..index[v+1]]` are `v`'s hubs,
+    /// ascending by node id; `dists` is parallel to `hubs`.
+    pub(crate) index: Vec<u32>,
+    pub(crate) hubs: Vec<NodeId>,
+    pub(crate) dists: Vec<Dist>,
+}
+
+impl HubLabels {
+    /// Extract canonical labels from `ch`, parallelising across hierarchy
+    /// height levels. Deterministic: the same hierarchy always yields the
+    /// same labels, regardless of worker count.
+    pub fn build(ch: &ContractionHierarchy) -> HubLabels {
+        let n = ch.num_nodes();
+
+        // Height of a node = longest upward-arc path above it. Everything
+        // a node's upward search can settle (hence everything its pruning
+        // consults) has strictly smaller height, so equal-height nodes are
+        // independent. Walk descending rank: all up-arc heads are already
+        // assigned.
+        let mut height = vec![0u32; n];
+        let mut max_height = 0u32;
+        for &v in ch.order().iter().rev() {
+            let h = ch
+                .up_arcs_of(v)
+                .iter()
+                .map(|a| height[a.to.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            height[v.index()] = h;
+            max_height = max_height.max(h);
+        }
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); max_height as usize + 1];
+        for v in 0..n {
+            levels[height[v] as usize].push(NodeId(v as u32));
+        }
+
+        let num_workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(8);
+        let mut labels: Vec<Vec<(NodeId, Dist)>> = vec![Vec::new(); n];
+        let mut ws = SsspWorkspace::new();
+        for level in &levels {
+            // Small levels (the hierarchy top is a handful of nodes) are
+            // cheaper serially than a scope spawn.
+            if num_workers <= 1 || level.len() < 32 {
+                for &v in level {
+                    let lab = extract_label(ch, v, &labels, &mut ws);
+                    labels[v.index()] = lab;
+                }
+                continue;
+            }
+            let next = AtomicUsize::new(0);
+            let mut built: Vec<(NodeId, Vec<(NodeId, Dist)>)> = std::thread::scope(|s| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                for _ in 0..num_workers {
+                    let tx = tx.clone();
+                    let (next, labels, level) = (&next, &labels, &level[..]);
+                    s.spawn(move || {
+                        let mut ws = SsspWorkspace::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&v) = level.get(i) else { break };
+                            let lab = extract_label(ch, v, labels, &mut ws);
+                            tx.send((v, lab)).expect("collector alive");
+                        }
+                    });
+                }
+                drop(tx);
+                rx.into_iter().collect()
+            });
+            for (v, lab) in built.drain(..) {
+                labels[v.index()] = lab;
+            }
+        }
+
+        let mut index = Vec::with_capacity(n + 1);
+        index.push(0u32);
+        let mut hubs = Vec::new();
+        let mut dists = Vec::new();
+        for lab in &labels {
+            for &(h, d) in lab {
+                hubs.push(h);
+                dists.push(d);
+            }
+            index.push(hubs.len() as u32);
+        }
+        HubLabels {
+            n,
+            seed: ch.seed(),
+            index,
+            hubs,
+            dists,
+        }
+    }
+
+    /// Build labels by pruned-landmark labelling directly over an
+    /// adjacency list — no hierarchy required. `order` ranks nodes
+    /// hub-first; for each root in order, a pruned Dijkstra adds the root
+    /// as a hub to every node whose pair with the root is not already
+    /// covered by earlier (higher-ranked) hubs, and stops expanding at
+    /// covered nodes. Labels are exact and minimal for the given order.
+    ///
+    /// This is the builder for the partition router's boundary-overlay
+    /// glue: the overlay's per-region *cliques* (metric closures) give
+    /// nodes degrees in the hundreds, where contraction drowns in
+    /// witness searches and fill-in — pruned Dijkstras never contract,
+    /// so density only costs edge scans. Deterministic for a given
+    /// adjacency and order.
+    pub fn build_pruned(adj: &[Vec<(NodeId, Dist)>], order: &[NodeId]) -> HubLabels {
+        let n = adj.len();
+        debug_assert_eq!(order.len(), n);
+        let mut labels: Vec<Vec<(NodeId, Dist)>> = vec![Vec::new(); n];
+        // Dense view of the current root's label for O(|L(u)|) coverage
+        // checks while settling u.
+        let mut root_dist = vec![INFINITY; n];
+        let mut dist = vec![INFINITY; n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        for &root in order {
+            for &(h, d) in &labels[root.index()] {
+                root_dist[h.index()] = d;
+            }
+            dist[root.index()] = 0;
+            touched.push(root);
+            heap.push(Reverse((0u32, root)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u.index()] {
+                    continue;
+                }
+                // Covered by a shared higher-ranked hub? Then every
+                // shortest path through u is too: prune the whole branch.
+                let covered = labels[u.index()]
+                    .iter()
+                    .any(|&(h, hd)| dist_add(root_dist[h.index()], hd) <= d);
+                if covered {
+                    continue;
+                }
+                labels[u.index()].push((root, d));
+                for &(v, w) in &adj[u.index()] {
+                    let nd = dist_add(d, w);
+                    if nd < dist[v.index()] {
+                        if dist[v.index()] == INFINITY {
+                            touched.push(v);
+                        }
+                        dist[v.index()] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            for &(h, _) in &labels[root.index()] {
+                root_dist[h.index()] = INFINITY;
+            }
+            for t in touched.drain(..) {
+                dist[t.index()] = INFINITY;
+            }
+            heap.clear();
+        }
+
+        let mut index = Vec::with_capacity(n + 1);
+        index.push(0u32);
+        let mut hubs = Vec::new();
+        let mut dists = Vec::new();
+        for lab in &mut labels {
+            lab.sort_unstable_by_key(|&(h, _)| h);
+            for &(h, d) in lab.iter() {
+                hubs.push(h);
+                dists.push(d);
+            }
+            index.push(hubs.len() as u32);
+        }
+        HubLabels {
+            n,
+            seed: 0,
+            index,
+            hubs,
+            dists,
+        }
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total `(hub, dist)` entries across all labels.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Mean entries per label.
+    pub fn avg_label_len(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.hubs.len() as f64 / self.n as f64
+    }
+
+    /// In-memory footprint of the CSR arrays, bytes.
+    pub fn label_bytes(&self) -> usize {
+        self.index.len() * std::mem::size_of::<u32>()
+            + self.hubs.len() * std::mem::size_of::<NodeId>()
+            + self.dists.len() * std::mem::size_of::<Dist>()
+    }
+
+    /// Ordering seed of the hierarchy these labels came from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `v`'s label as parallel `(hubs, dists)` slices, hubs ascending.
+    #[inline]
+    pub fn label_of(&self, v: NodeId) -> (&[NodeId], &[Dist]) {
+        let (a, b) = (
+            self.index[v.index()] as usize,
+            self.index[v.index() + 1] as usize,
+        );
+        (&self.hubs[a..b], &self.dists[a..b])
+    }
+
+    /// Exact network distance from `s` to `t` ([`INFINITY`] if no common
+    /// hub, i.e. disconnected) by one sorted merge of the two labels.
+    #[inline]
+    pub fn p2p(&self, s: NodeId, t: NodeId) -> Dist {
+        self.p2p_counted(s, t).0
+    }
+
+    /// [`p2p`](Self::p2p) plus the number of label entries the merge
+    /// advanced over — the unit `OpStats::label_entries_scanned` counts.
+    pub fn p2p_counted(&self, s: NodeId, t: NodeId) -> (Dist, u64) {
+        let (sh, sd) = self.label_of(s);
+        let (th, td) = self.label_of(t);
+        let mut best = INFINITY;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < sh.len() && j < th.len() {
+            match sh[i].cmp(&th[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(dist_add(sd[i], td[j]));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (best, (i + j) as u64)
+    }
+
+    /// Invert `targets`' labels into hub-grouped buckets for repeated
+    /// one-to-many scans against varying sources.
+    pub fn buckets(&self, targets: &[NodeId]) -> LabelBuckets {
+        let mut counts = vec![0u32; self.n + 1];
+        for &t in targets {
+            for h in self.label_of(t).0 {
+                counts[h.index() + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let index = counts;
+        let mut fill = index.clone();
+        let mut entries = vec![(0u32, 0 as Dist); *index.last().unwrap_or(&0) as usize];
+        for (rank, &t) in targets.iter().enumerate() {
+            let (hs, ds) = self.label_of(t);
+            for (h, &d) in hs.iter().zip(ds) {
+                let at = fill[h.index()] as usize;
+                entries[at] = (rank as u32, d);
+                fill[h.index()] += 1;
+            }
+        }
+        LabelBuckets {
+            num_targets: targets.len(),
+            index,
+            entries,
+        }
+    }
+
+    /// One-to-many distances: `out[rank]` = exact distance from `s` to the
+    /// target with that rank in the bucket set ([`INFINITY`] when
+    /// unreachable). One pass over `s`'s label; returns the entries
+    /// scanned (source label + touched bucket rows).
+    pub fn one_to_many(&self, s: NodeId, buckets: &LabelBuckets, out: &mut Vec<Dist>) -> u64 {
+        out.clear();
+        out.resize(buckets.num_targets, INFINITY);
+        let (hs, ds) = self.label_of(s);
+        let mut scanned = hs.len() as u64;
+        for (h, &dv) in hs.iter().zip(ds) {
+            let (a, b) = (
+                buckets.index[h.index()] as usize,
+                buckets.index[h.index() + 1] as usize,
+            );
+            scanned += (b - a) as u64;
+            for &(rank, dt) in &buckets.entries[a..b] {
+                let d = dist_add(dv, dt);
+                let slot = &mut out[rank as usize];
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        }
+        scanned
+    }
+}
+
+/// A target set's labels regrouped by hub: row `h` lists `(target rank,
+/// d(target, h))` for every target whose label contains `h`. Built once
+/// per target set ([`HubLabels::buckets`]), scanned once per source
+/// ([`HubLabels::one_to_many`]).
+#[derive(Clone, Debug)]
+pub struct LabelBuckets {
+    num_targets: usize,
+    /// CSR over hubs: `entries[index[h]..index[h+1]]` is hub `h`'s row.
+    index: Vec<u32>,
+    entries: Vec<(u32, Dist)>,
+}
+
+impl LabelBuckets {
+    /// Number of targets the buckets were built over.
+    #[inline]
+    pub fn num_targets(&self) -> usize {
+        self.num_targets
+    }
+
+    /// Total label entries folded into the buckets (the build cost, and
+    /// the accounting charge for constructing them).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Settle `v`'s full upward search space and prune it to the canonical
+/// label. `labels` must hold finished labels for every strictly
+/// higher-ranked node (guaranteed by level order); the result is sorted
+/// ascending by hub id.
+fn extract_label(
+    ch: &ContractionHierarchy,
+    v: NodeId,
+    labels: &[Vec<(NodeId, Dist)>],
+    ws: &mut SsspWorkspace,
+) -> Vec<(NodeId, Dist)> {
+    ws.begin_external(ch.num_nodes(), ch.up_step_bound());
+    ws.improve(v, 0);
+    let mut cand: Vec<(NodeId, Dist)> = Vec::new();
+    while let Some((x, d)) = ws.pop_settled() {
+        cand.push((x, d));
+        for a in ch.up_arcs_of(x) {
+            ws.improve(a.to, d + a.weight);
+        }
+    }
+    // Descending hub rank: when candidate `h` is tested, every hub that
+    // could cover it is already in `kept`.
+    cand.sort_unstable_by_key(|&(h, _)| Reverse(ch.rank_of(h)));
+
+    let mut kept: Vec<(NodeId, Dist)> = Vec::with_capacity(cand.len());
+    for &(h, d) in &cand {
+        if h != v && merge_min(&kept, &labels[h.index()]) <= d {
+            continue;
+        }
+        let at = kept.partition_point(|&(x, _)| x < h);
+        kept.insert(at, (h, d));
+    }
+    kept
+}
+
+/// Min of `a(x) + b(x)` over hubs `x` the two sorted labels share.
+fn merge_min(a: &[(NodeId, Dist)], b: &[(NodeId, Dist)]) -> Dist {
+    let mut best = INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                best = best.min(dist_add(a[i].1, b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ChConfig;
+    use crate::ChWorkspace;
+    use dsi_graph::generate::{grid, random_planar, PlanarConfig};
+    use dsi_graph::sssp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn label_merge_matches_dijkstra_exhaustively_on_a_grid() {
+        let g = grid(7, 7);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        for s in g.nodes() {
+            let tree = sssp(&g, s);
+            for t in g.nodes() {
+                assert_eq!(hl.p2p(s, t), tree.dist[t.index()], "p2p({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn label_merge_matches_ch_on_a_random_planar_network() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 400,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let mut ws = ChWorkspace::new();
+        for s in net.nodes().step_by(17) {
+            for t in net.nodes().step_by(13) {
+                assert_eq!(hl.p2p(s, t), ch.p2p(s, t, &mut ws));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_landmark_build_matches_dijkstra_including_dense_cliques() {
+        // The glue builder's regime: adjacency lists with clique blocks
+        // (metric closures) whose degrees would overflow the road
+        // network's slot width, plus a sparse bridge. Labels from
+        // pruned Dijkstras must equal ground-truth Dijkstra distances
+        // on every pair — including cross-clique and disconnected ones.
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 120,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let n = net.num_nodes();
+        // Metric closure of the planar net on nodes 0..60 (one clique),
+        // original sparse edges on the rest, one bridge.
+        let mut adj: Vec<Vec<(NodeId, Dist)>> = vec![Vec::new(); n];
+        let trees: Vec<_> = (0..60).map(|s| sssp(&net, NodeId(s as u32))).collect();
+        for u in 0..60 {
+            for v in 0..60 {
+                let d = trees[u].dist[v];
+                if u != v && d != INFINITY {
+                    adj[u].push((NodeId(v as u32), d));
+                }
+            }
+        }
+        for (u, slot) in adj.iter_mut().enumerate().skip(60) {
+            for (_, t, w) in net.neighbors(NodeId(u as u32)) {
+                if t.index() >= 60 {
+                    slot.push((t, w));
+                }
+            }
+        }
+        adj[10].push((NodeId(80), 5));
+        adj[80].push((NodeId(10), 5));
+
+        let mut order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        order.sort_unstable_by_key(|&v| (Reverse(adj[v.index()].len()), v.0));
+        let hl = HubLabels::build_pruned(&adj, &order);
+
+        // Ground truth on the same adjacency.
+        let dij = |s: usize| {
+            let mut dist = vec![INFINITY; n];
+            let mut heap = std::collections::BinaryHeap::new();
+            dist[s] = 0;
+            heap.push(Reverse((0u32, s)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &(v, w) in &adj[u] {
+                    let nd = dist_add(d, w);
+                    if nd < dist[v.index()] {
+                        dist[v.index()] = nd;
+                        heap.push(Reverse((nd, v.index())));
+                    }
+                }
+            }
+            dist
+        };
+        for s in (0..n).step_by(7) {
+            let want = dij(s);
+            for (t, &want_d) in want.iter().enumerate() {
+                assert_eq!(
+                    hl.p2p(NodeId(s as u32), NodeId(t as u32)),
+                    want_d,
+                    "pruned labels p2p({s}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_share_no_hub() {
+        let mut b = dsi_graph::NetworkBuilder::new();
+        let p = dsi_graph::Point::new(0.0, 0.0);
+        let ids: Vec<NodeId> = (0..6).map(|_| b.add_node(p)).collect();
+        b.add_edge(ids[0], ids[1], 3);
+        b.add_edge(ids[1], ids[2], 4);
+        b.add_edge(ids[3], ids[4], 1);
+        b.add_edge(ids[4], ids[5], 2);
+        let net = b.build();
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        assert_eq!(hl.p2p(ids[0], ids[2]), 7);
+        assert_eq!(hl.p2p(ids[0], ids[4]), INFINITY);
+        assert_eq!(hl.p2p(ids[5], ids[1]), INFINITY);
+    }
+
+    #[test]
+    fn labels_are_canonical() {
+        // No entry is prunable by another hub: for every `(h, d)` in
+        // `L(v)`, the best two-hop route through any *other* shared hub of
+        // `L(v)` and `L(h)` is strictly longer than `d`.
+        let g = grid(8, 8);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        for v in g.nodes() {
+            let (hs, ds) = hl.label_of(v);
+            for (&h, &d) in hs.iter().zip(ds) {
+                if h == v {
+                    assert_eq!(d, 0, "self entry of {v}");
+                    continue;
+                }
+                let (hh, hd) = hl.label_of(h);
+                let mut alt = INFINITY;
+                for (&x, &dx) in hs.iter().zip(ds) {
+                    if x == h {
+                        continue;
+                    }
+                    if let Ok(i) = hh.binary_search(&x) {
+                        alt = alt.min(dist_add(dx, hd[i]));
+                    }
+                }
+                assert!(alt > d, "entry ({h}, {d}) of {v} prunable via {alt}");
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_are_sorted_and_labels_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 2000,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        for v in net.nodes() {
+            let (hs, _) = hl.label_of(v);
+            assert!(hs.windows(2).all(|w| w[0] < w[1]), "hubs of {v} unsorted");
+            assert!(hs.binary_search(&v).is_ok(), "{v} missing its self entry");
+        }
+        // The point of labels: entries per node stay tiny relative to n.
+        assert!(
+            hl.avg_label_len() * 16.0 < net.num_nodes() as f64,
+            "avg label {} entries on {} nodes",
+            hl.avg_label_len(),
+            net.num_nodes()
+        );
+    }
+
+    #[test]
+    fn one_to_many_matches_pairwise_merges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = random_planar(
+            &PlanarConfig {
+                num_nodes: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let targets: Vec<NodeId> = net.nodes().step_by(7).collect();
+        let buckets = hl.buckets(&targets);
+        assert_eq!(buckets.num_targets(), targets.len());
+        let mut out = Vec::new();
+        for s in net.nodes().step_by(11) {
+            let scanned = hl.one_to_many(s, &buckets, &mut out);
+            assert!(scanned > 0);
+            for (rank, &t) in targets.iter().enumerate() {
+                assert_eq!(out[rank], hl.p2p(s, t), "one-to-many({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let g = grid(9, 9);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        assert_eq!(HubLabels::build(&ch), HubLabels::build(&ch));
+    }
+
+    #[test]
+    fn empty_hierarchy_builds_empty_labels() {
+        let net = dsi_graph::NetworkBuilder::new().build();
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        assert_eq!(hl.num_nodes(), 0);
+        assert_eq!(hl.num_entries(), 0);
+    }
+}

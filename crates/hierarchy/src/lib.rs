@@ -19,6 +19,11 @@
 //!   upward search, then a single linear sweep down the ranks with no
 //!   priority queue. This is the construction accelerator: per-object
 //!   distance vectors for index builds without per-object full Dijkstra.
+//! * **Hub labels** ([`labels`]): canonical 2-hop labels extracted from the
+//!   hierarchy's upward search spaces — point-to-point becomes one sorted
+//!   merge of two small arrays ([`HubLabels::p2p`]), one-to-many one pass
+//!   over hub-grouped buckets ([`HubLabels::one_to_many`]); no graph
+//!   traversal at query time at all.
 //!
 //! Witness searches, upward searches, and the PHAST upward phase all run on
 //! [`dsi_graph::SsspWorkspace`] through its external-search API
@@ -30,11 +35,16 @@
 //! checksummed container as the signature index's format v3.
 
 pub mod build;
+pub mod labels;
 pub mod persist;
 pub mod phast;
 pub mod query;
 
 pub use build::{ChConfig, ContractionHierarchy, UpArc};
-pub use persist::{load_hierarchy, read_hierarchy, save_hierarchy, write_hierarchy};
+pub use labels::{HubLabels, LabelBuckets};
+pub use persist::{
+    load_hierarchy, load_labels, read_hierarchy, read_labels, save_hierarchy, save_labels,
+    write_hierarchy, write_labels,
+};
 pub use phast::PhastWorkspace;
 pub use query::ChWorkspace;

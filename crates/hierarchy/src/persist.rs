@@ -23,6 +23,7 @@ use dsi_graph::{NodeId, NO_NODE};
 use dsi_storage::{FrameReader, FrameWriter};
 
 use crate::build::{ContractionHierarchy, UpArc};
+use crate::labels::HubLabels;
 
 const MAGIC: &[u8; 4] = b"DSCH";
 const VERSION: u32 = 1;
@@ -151,6 +152,114 @@ pub fn load_hierarchy(path: impl AsRef<Path>) -> Result<ContractionHierarchy, Lo
     read_hierarchy(File::open(path)?)
 }
 
+// ---------------------------------------------------------------------------
+// Hub-label snapshots: same container discipline, own magic. Stored next to
+// the hierarchy they were extracted from (the seed ties the two together so
+// a label file cannot be paired with a foreign hierarchy undetected).
+
+const LABEL_MAGIC: &[u8; 4] = b"DSHL";
+const LABEL_VERSION: u32 = 1;
+
+/// Write a hub-label snapshot.
+pub fn write_labels<W: Write>(hl: &HubLabels, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(LABEL_MAGIC)?;
+    put_u32(&mut w, LABEL_VERSION)?;
+
+    let mut w = FrameWriter::new(w);
+    put_u64(&mut w, hl.seed)?;
+    put_u32(&mut w, hl.n as u32)?;
+    for &i in &hl.index {
+        put_u32(&mut w, i)?;
+    }
+    for (&h, &d) in hl.hubs.iter().zip(&hl.dists) {
+        put_u32(&mut w, h.0)?;
+        put_u32(&mut w, d)?;
+    }
+    w.finish()?.flush()
+}
+
+/// Read a hub-label snapshot. Structural validation mirrors the hierarchy
+/// loader: the CSR index must be monotone from 0 and every label's hubs
+/// strictly ascending in-range with a zero-distance self entry — damage is
+/// detected, never served.
+pub fn read_labels<R: Read>(r: R) -> Result<HubLabels, LoadError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != LABEL_MAGIC {
+        return Err(LoadError::Format("not a hub-label snapshot".into()));
+    }
+    let v = get_u32(&mut r)?;
+    if v != LABEL_VERSION {
+        return Err(LoadError::Format(format!(
+            "label snapshot version {v}, expected {LABEL_VERSION}"
+        )));
+    }
+
+    let mut r = FrameReader::new(r);
+    let seed = get_u64(&mut r)?;
+    let n = get_u32(&mut r)? as usize;
+    let mut index = Vec::with_capacity((n + 1).min(MAX_RESERVE));
+    for i in 0..=n {
+        let off = get_u32(&mut r)?;
+        if i == 0 && off != 0 {
+            return Err(LoadError::Format("label index does not start at 0".into()));
+        }
+        if let Some(&prev) = index.last() {
+            if off < prev {
+                return Err(LoadError::Format("label index not monotone".into()));
+            }
+        }
+        index.push(off);
+    }
+    let num_entries = *index.last().expect("non-empty index") as usize;
+    let mut hubs = Vec::with_capacity(num_entries.min(MAX_RESERVE));
+    let mut dists = Vec::with_capacity(num_entries.min(MAX_RESERVE));
+    for v in 0..n {
+        let mut self_entry = false;
+        for e in index[v]..index[v + 1] {
+            let h = get_u32(&mut r)?;
+            let d = get_u32(&mut r)?;
+            if h as usize >= n {
+                return Err(LoadError::Format(format!("hub n{h} out of range")));
+            }
+            if e > index[v] && hubs.last().is_some_and(|&p: &NodeId| p.0 >= h) {
+                return Err(LoadError::Format(format!("hubs of n{v} not ascending")));
+            }
+            if h as usize == v {
+                if d != 0 {
+                    return Err(LoadError::Format(format!("self entry of n{v} not 0")));
+                }
+                self_entry = true;
+            }
+            hubs.push(NodeId(h));
+            dists.push(d);
+        }
+        if !self_entry {
+            return Err(LoadError::Format(format!("n{v} missing its self entry")));
+        }
+    }
+
+    Ok(HubLabels {
+        n,
+        seed,
+        index,
+        hubs,
+        dists,
+    })
+}
+
+/// [`write_labels`] to a file path.
+pub fn save_labels(hl: &HubLabels, path: impl AsRef<Path>) -> io::Result<()> {
+    write_labels(hl, File::create(path)?)
+}
+
+/// [`read_labels`] from a file path.
+pub fn load_labels(path: impl AsRef<Path>) -> Result<HubLabels, LoadError> {
+    read_labels(File::open(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +325,46 @@ mod tests {
         let mut wrong_magic = buf.clone();
         wrong_magic[0] = b'X';
         assert!(read_hierarchy(&wrong_magic[..]).is_err());
+    }
+
+    fn label_roundtrip(hl: &HubLabels) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_labels(hl, &mut buf).expect("write");
+        buf
+    }
+
+    #[test]
+    fn label_snapshot_roundtrips_identically() {
+        let g = grid(7, 7);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let back = read_labels(&label_roundtrip(&hl)[..]).expect("read");
+        assert_eq!(back, hl);
+        assert_eq!(back.seed(), ch.seed());
+        // And it still answers.
+        let tree = sssp(&g, NodeId(0));
+        assert_eq!(back.p2p(NodeId(0), NodeId(48)), tree.dist[48]);
+    }
+
+    #[test]
+    fn label_bit_flips_and_truncation_are_detected() {
+        let g = grid(4, 4);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let buf = label_roundtrip(&hl);
+        for pos in (8..buf.len()).step_by(7) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                read_labels(&bad[..]).is_err(),
+                "bit flip at byte {pos} went undetected"
+            );
+        }
+        for cut in [0, 3, 9, buf.len() / 2, buf.len() - 1] {
+            assert!(read_labels(&buf[..cut]).is_err(), "truncated at {cut}");
+        }
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(read_labels(&wrong_magic[..]).is_err());
     }
 }

@@ -1,0 +1,137 @@
+//! Property tests pinning the hub-label oracle to ground truth: on random
+//! (possibly disconnected) networks, a label merge must equal both the
+//! contraction-hierarchy p2p search and plain Dijkstra for every sampled
+//! pair — including unreachable pairs, where all three agree on
+//! [`INFINITY`] — and every built label must satisfy the canonicality
+//! invariant (sorted hubs, a zero-distance self entry, no entry prunable
+//! through another shared hub).
+
+use dsi_graph::ids::dist_add;
+use dsi_graph::{sssp, NetworkBuilder, NodeId, Point, RoadNetwork, INFINITY};
+use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy, HubLabels};
+use proptest::prelude::*;
+
+/// One or two ring-with-chords clusters, bridged by zero or more extra
+/// edges. With two clusters and no bridges the network is disconnected —
+/// the case where the oracle must answer `INFINITY`, never a junk merge.
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (
+        3usize..14,
+        0usize..14,
+        proptest::collection::vec((0usize..28, 0usize..28, 1u32..40), 0..24),
+        proptest::collection::vec(1u32..40, 28),
+        proptest::collection::vec((0usize..28, 0usize..28, 1u32..40), 0..3),
+    )
+        .prop_map(|(n1, n2, chords, ring_w, bridges)| {
+            let mut b = NetworkBuilder::new();
+            let n = n1 + n2;
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Point::new(i as f64, (i * i % 5) as f64)))
+                .collect();
+            let mut ring = |lo: usize, len: usize| {
+                if len < 2 {
+                    return;
+                }
+                for i in 0..len {
+                    let (u, v) = (ids[lo + i], ids[lo + (i + 1) % len]);
+                    if u != v && !b.has_edge(u, v) {
+                        b.add_edge(u, v, ring_w[lo + i]);
+                    }
+                }
+            };
+            ring(0, n1);
+            ring(n1, n2);
+            // Chords stay inside their cluster so only `bridges` connect.
+            for (u, v, w) in chords {
+                let (u, v) = if u % 2 == 0 || n2 == 0 {
+                    (u % n1, v % n1)
+                } else {
+                    (n1 + u % n2, n1 + v % n2)
+                };
+                if u != v && !b.has_edge(ids[u], ids[v]) {
+                    b.add_edge(ids[u], ids[v], w);
+                }
+            }
+            if n2 > 0 {
+                // An empty bridge set leaves the two clusters disconnected.
+                for (u, v, w) in bridges {
+                    let (u, v) = (u % n1, n1 + v % n2);
+                    if !b.has_edge(ids[u], ids[v]) {
+                        b.add_edge(ids[u], ids[v], w);
+                    }
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Three oracles, one answer: label merge == CH p2p == Dijkstra on
+    /// every (source, target) pair, reachable or not.
+    #[test]
+    fn label_merge_matches_ch_and_dijkstra(net in arb_network(), src in 0usize..28) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let mut ws = ChWorkspace::new();
+        let s = NodeId((src % net.num_nodes()) as u32);
+        let tree = sssp(&net, s);
+        for t in net.nodes() {
+            let want = tree.dist[t.index()];
+            prop_assert_eq!(hl.p2p(s, t), want, "labels vs dijkstra at ({}, {})", s, t);
+            prop_assert_eq!(ch.p2p(s, t, &mut ws), want, "ch vs dijkstra at ({}, {})", s, t);
+        }
+    }
+
+    /// Built labels are canonical: hubs strictly ascending, a `(v, 0)`
+    /// self entry, and no entry covered by a two-hop route through any
+    /// *other* hub the two labels share.
+    #[test]
+    fn labels_are_canonical(net in arb_network()) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        for v in net.nodes() {
+            let (hs, ds) = hl.label_of(v);
+            prop_assert!(hs.windows(2).all(|w| w[0] < w[1]), "hubs of {} unsorted", v);
+            let self_at = hs.binary_search(&v);
+            prop_assert!(self_at.is_ok(), "{} missing its self entry", v);
+            prop_assert_eq!(ds[self_at.unwrap()], 0, "self entry of {} nonzero", v);
+            for (&h, &d) in hs.iter().zip(ds) {
+                if h == v {
+                    continue;
+                }
+                let (hh, hd) = hl.label_of(h);
+                let mut alt = INFINITY;
+                for (&x, &dx) in hs.iter().zip(ds) {
+                    if x == h {
+                        continue;
+                    }
+                    if let Ok(i) = hh.binary_search(&x) {
+                        alt = alt.min(dist_add(dx, hd[i]));
+                    }
+                }
+                prop_assert!(alt > d, "entry ({}, {}) of {} prunable via {}", h, d, v, alt);
+            }
+        }
+    }
+
+    /// The one-to-many bucket scan returns exactly the pairwise merges.
+    #[test]
+    fn one_to_many_matches_pairwise(net in arb_network(), picks in proptest::collection::vec(0usize..28, 1..8)) {
+        let ch = ContractionHierarchy::build(&net, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let targets: Vec<NodeId> = picks
+            .iter()
+            .map(|&p| NodeId((p % net.num_nodes()) as u32))
+            .collect();
+        let buckets = hl.buckets(&targets);
+        let mut out = Vec::new();
+        for s in net.nodes() {
+            hl.one_to_many(s, &buckets, &mut out);
+            for (i, &t) in targets.iter().enumerate() {
+                prop_assert_eq!(out[i], hl.p2p(s, t), "one-to-many ({}, {})", s, t);
+            }
+        }
+    }
+}

@@ -29,8 +29,10 @@
 
 use crate::partitioner::Partitioning;
 use dsi_graph::{Dist, NodeId, ObjectId, ObjectSet, Point, RoadNetwork, INFINITY};
-use dsi_hierarchy::{ChConfig, ContractionHierarchy};
+use dsi_hierarchy::{ChConfig, ContractionHierarchy, HubLabels};
+
 use dsi_signature::{SignatureBuildWorkspace, SignatureConfig, SignatureIndex};
+use std::cmp::Reverse;
 
 /// One region's built artifacts: the induced subgraph (region-local node
 /// ids), its object set (real hosts first-come, boundary pseudo-objects
@@ -80,7 +82,63 @@ pub struct PartitionedIndex {
     /// `[region][boundary rank][real rank]` = exact in-region distance from
     /// that boundary node to that real object's host.
     pub(crate) obj_rows: Vec<Vec<Vec<Dist>>>,
+    /// Hub labels over the boundary overlay: the router's cross-partition
+    /// glue. A boundary-to-boundary distance is one sorted label merge
+    /// instead of a frontier Dijkstra over the overlay.
+    pub(crate) glue: HubLabels,
+    /// The glue labels inverted hub-first (see [`GlueBuckets`]): the
+    /// router's multi-source expansion only touches buckets of hubs its
+    /// seeds reach, instead of re-reading every boundary node's label.
+    pub(crate) glue_buckets: GlueBuckets,
     pub(crate) num_objects: usize,
+}
+
+/// Inverted glue labels: for each hub, every boundary node whose label
+/// contains it, rows ascending by distance so a bounded scan stops at the
+/// first row past its budget. A pure function of the labels — like them,
+/// re-derived rather than persisted.
+pub(crate) struct GlueBuckets {
+    /// Hub → first row (length `num_boundary + 1`).
+    index: Vec<u32>,
+    /// `(boundary index, dist)` rows grouped by hub, ascending `(dist, b)`.
+    rows: Vec<(u32, Dist)>,
+}
+
+impl GlueBuckets {
+    pub(crate) fn invert(glue: &HubLabels) -> GlueBuckets {
+        let nb = glue.num_nodes();
+        let mut buckets: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); nb];
+        for b in 0..nb {
+            let (hs, ds) = glue.label_of(NodeId(b as u32));
+            for (h, &d) in hs.iter().zip(ds) {
+                buckets[h.index()].push((b as u32, d));
+            }
+        }
+        let mut index = Vec::with_capacity(nb + 1);
+        index.push(0u32);
+        let mut rows = Vec::with_capacity(glue.num_entries());
+        for bucket in &mut buckets {
+            bucket.sort_unstable_by_key(|&(b, d)| (d, b));
+            rows.extend_from_slice(bucket);
+            index.push(rows.len() as u32);
+        }
+        GlueBuckets { index, rows }
+    }
+
+    /// The `(boundary index, dist)` rows of hub `h`, ascending by dist.
+    pub(crate) fn rows_of(&self, h: usize) -> &[(u32, Dist)] {
+        &self.rows[self.index[h] as usize..self.index[h + 1] as usize]
+    }
+
+    /// Number of rows in hub `h`'s bucket.
+    pub(crate) fn len_of(&self, h: usize) -> usize {
+        (self.index[h + 1] - self.index[h]) as usize
+    }
+
+    /// Total rows across all buckets (= total label entries).
+    pub(crate) fn total_rows(&self) -> usize {
+        self.rows.len()
+    }
 }
 
 /// Per-region artifacts a build worker hands back.
@@ -239,6 +297,9 @@ impl PartitionedIndex {
         let placed: usize = parts.iter().map(|r| r.real_objs.len()).sum();
         assert_eq!(placed, objects.len(), "every object in exactly one region");
 
+        let glue = build_glue(&overlay);
+        let glue_buckets = GlueBuckets::invert(&glue);
+
         PartitionedIndex {
             partitioning,
             parts,
@@ -247,6 +308,8 @@ impl PartitionedIndex {
             boundary_base: shape.boundary_base,
             overlay,
             obj_rows,
+            glue,
+            glue_buckets,
             num_objects: objects.len(),
         }
     }
@@ -290,6 +353,32 @@ impl PartitionedIndex {
     pub fn local_node(&self, n: NodeId) -> NodeId {
         NodeId(self.local_node[n.index()])
     }
+
+    /// The boundary-overlay hub labels the router glues with.
+    pub fn glue_labels(&self) -> &HubLabels {
+        &self.glue
+    }
+}
+
+/// Build the router's glue labels: pruned-landmark labels over the
+/// boundary overlay (node ids = global boundary indexes). Shortest paths
+/// in the overlay equal full-graph distances between boundary nodes, so
+/// a label merge answers `d_G(b, b')` exactly. The overlay's per-region
+/// cliques give nodes degrees in the hundreds — far past the road
+/// network's slot width, and dense enough that contraction drowns in
+/// witness searches — so the labels are built by pruned Dijkstras
+/// ([`HubLabels::build_pruned`]), which density only costs edge scans.
+/// Roots are ordered by descending degree (most-connected boundary nodes
+/// make the best hubs), ties by id. Deterministic — derived from the
+/// overlay alone, so build and snapshot load produce identical labels.
+pub(crate) fn build_glue(overlay: &[Vec<(u32, Dist)>]) -> HubLabels {
+    let adj: Vec<Vec<(NodeId, Dist)>> = overlay
+        .iter()
+        .map(|a| a.iter().map(|&(to, w)| (NodeId(to), w)).collect())
+        .collect();
+    let mut order: Vec<NodeId> = (0..adj.len() as u32).map(NodeId).collect();
+    order.sort_unstable_by_key(|&v| (Reverse(adj[v.index()].len()), v.0));
+    HubLabels::build_pruned(&adj, &order)
 }
 
 /// Shared read-only lookup tables every build worker needs.

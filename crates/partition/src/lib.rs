@@ -16,11 +16,12 @@
 //!   *plus boundary pseudo-objects*, the boundary overlay graph, and the
 //!   boundary→object glue rows captured for free from the build SSSPs
 //!   ([`index`]).
-//! * the **shard router** ([`router`]) — region-local operators plus a
-//!   boundary frontier expansion that makes every answer element-wise
-//!   identical to the single-index baseline; [`ShardedSessions`] is its
-//!   standalone session-pool face, `dsi-service` embeds the same operators
-//!   in its lock-striped engine.
+//! * the **shard router** ([`router`]) — region-local operators plus
+//!   hub-label glue over the boundary overlay (sorted label merges instead
+//!   of a frontier Dijkstra) that makes every answer element-wise identical
+//!   to the single-index baseline; [`ShardedSessions`] is its standalone
+//!   session-pool face, `dsi-service` embeds the same operators in its
+//!   lock-striped engine.
 //!
 //! Snapshots ([`persist`]) store the assignment, overlay, glue rows, and
 //! each region's v3 signature snapshot in one checksummed file.

@@ -22,7 +22,7 @@ use dsi_graph::io::{get_u32, get_u64, put_u32, put_u64, LoadError};
 use dsi_graph::{ObjectSet, RoadNetwork, INFINITY};
 use dsi_storage::{FrameReader, FrameWriter};
 
-use crate::index::{region_shape, PartitionedIndex, Region, Shape};
+use crate::index::{build_glue, region_shape, GlueBuckets, PartitionedIndex, Region, Shape};
 use crate::partitioner::Partitioning;
 
 const MAGIC: &[u8; 4] = b"DSPX";
@@ -218,6 +218,12 @@ pub fn read_partitioned<R: Read>(
         return format_err("dataset does not match the stored assignment");
     }
 
+    // The glue labels are a pure function of the (validated) overlay, so
+    // they are re-derived rather than stored — a loaded index glues with
+    // exactly the labels the saved one did.
+    let glue = build_glue(&overlay);
+    let glue_buckets = GlueBuckets::invert(&glue);
+
     Ok(PartitionedIndex {
         partitioning,
         parts,
@@ -226,6 +232,8 @@ pub fn read_partitioned<R: Read>(
         boundary_base: shape.boundary_base,
         overlay,
         obj_rows,
+        glue,
+        glue_buckets,
         num_objects: objects.len(),
     })
 }

@@ -1,30 +1,35 @@
-//! Cross-partition query routing: region-local operators + boundary
-//! frontier expansion over the overlay.
+//! Cross-partition query routing: region-local operators + hub-label glue
+//! over the boundary overlay.
 //!
 //! Every query runs the *local* region's signature operator first (range
 //! candidates, exact retrievals — all charged to the caller's session, IO
-//! accounting included), then expands a **boundary frontier**: the exact
+//! accounting included), then resolves the **boundary labels**: the exact
 //! region-local distances to the region's boundary pseudo-objects seed a
-//! Dijkstra over the boundary overlay (see `index.rs`), whose settled
-//! labels are exact full-graph distances `d_G(q, b)` for every boundary
-//! node `b` of every region. Remote (and locally-detouring) object
-//! distances then close via the precomputed glue rows:
+//! virtual source whose distance to every boundary node `b` of every
+//! region is answered by the overlay's hub labels (see `index.rs`) — the
+//! seeds' labels fold into one hub→distance map, then one pass over each
+//! boundary node's label reads off the exact full-graph distance
+//! `d_G(q, b)`. No overlay traversal runs at query time. Remote (and
+//! locally-detouring) object distances then close via the precomputed glue
+//! rows:
 //! `d_G(q, o) = min(d_local, min_{b' ∈ ∂region(o)} label(b') + row(b', o))`.
 //!
-//! Each settled overlay node is one **frontier hop**, counted in
-//! [`OpStats::frontier_hops`](dsi_signature::OpStats) on the session.
+//! Each label folded or read is one **label lookup** and every `(hub,
+//! dist)` entry it advances over is counted, in
+//! [`OpStats::label_lookups`](dsi_signature::OpStats) /
+//! [`OpStats::label_entries_scanned`](dsi_signature::OpStats) on the
+//! session (the frontier Dijkstra this replaces charged
+//! `OpStats::frontier_hops`, which the router no longer touches).
 //!
-//! Bounded queries (range, aggregate) only seed the frontier with boundary
-//! pseudo-objects the local range operator certified within `ε` — any
-//! qualifying remote path must leave through one of those — and prune
+//! Bounded queries (range, aggregate) only seed the virtual source with
+//! boundary pseudo-objects the local range operator certified within `ε` —
+//! any qualifying remote path must leave through one of those — and prune
 //! whole regions whose nearest boundary label exceeds `ε`.
 
 use crate::index::PartitionedIndex;
 use dsi_graph::{Dist, NodeId, ObjectId, INFINITY};
 use dsi_signature::query::aggregate::RangeAggregate;
 use dsi_signature::{merge_segments, CnnSegment, KnnResult, OpResult, Session, SessionState};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 impl PartitionedIndex {
     /// Attach a parked state to region `p`'s index as a live session. The
@@ -77,7 +82,7 @@ impl PartitionedIndex {
         q: NodeId,
         k: usize,
     ) -> OpResult<Vec<KnnResult>> {
-        let dists = self.try_all_dists(sess, part, q)?;
+        let dists = self.all_dists_bounded(sess, part, q, Some(k))?;
         let mut pairs: Vec<(Dist, ObjectId)> = dists
             .iter()
             .enumerate()
@@ -141,6 +146,24 @@ impl PartitionedIndex {
         part: usize,
         q: NodeId,
     ) -> OpResult<Vec<Dist>> {
+        self.all_dists_bounded(sess, part, q, None)
+    }
+
+    /// [`try_all_dists`](Self::try_all_dists), optionally glue-pruned for a
+    /// kNN caller: with `knn_k = Some(k)`, the k-th smallest *local*
+    /// candidate distance caps the boundary expansion. Remote contributions
+    /// only ever lower a distance, so the final k-th answer is ≤ that cap;
+    /// any path through a boundary label past it can neither reach the
+    /// top k nor change a value that does. Entries past the cap may then
+    /// stay at their unimproved local value (or `INFINITY`) — exactly the
+    /// entries a k-truncation discards.
+    fn all_dists_bounded(
+        &self,
+        sess: &mut Session<'_>,
+        part: usize,
+        q: NodeId,
+        knn_k: Option<usize>,
+    ) -> OpResult<Vec<Dist>> {
         debug_assert_eq!(self.part_of(q), part);
         let ql = self.local_node(q);
         let r = &self.parts[part];
@@ -148,12 +171,28 @@ impl PartitionedIndex {
         for &(lo, go) in &r.real_objs {
             dists[go.index()] = sess.try_retrieve_exact(ql, lo)?;
         }
+        let bound = match knn_k {
+            Some(k) if k > 0 => {
+                let mut local: Vec<Dist> = r
+                    .real_objs
+                    .iter()
+                    .map(|&(_, go)| dists[go.index()])
+                    .filter(|&d| d != INFINITY)
+                    .collect();
+                if local.len() >= k {
+                    *local.select_nth_unstable(k - 1).1
+                } else {
+                    INFINITY
+                }
+            }
+            _ => INFINITY,
+        };
         let mut init = Vec::with_capacity(r.boundary_objs.len());
         for &(lo, b) in &r.boundary_objs {
             init.push((b, sess.try_retrieve_exact(ql, lo)?));
         }
-        let labels = self.expand_frontier(sess, &init, INFINITY);
-        self.apply_remote(&labels, INFINITY, &mut dists);
+        let labels = self.expand_frontier(sess, &init, bound);
+        self.apply_remote(&labels, bound, &mut dists);
         Ok(dists)
     }
 
@@ -191,40 +230,91 @@ impl PartitionedIndex {
             .collect())
     }
 
-    /// Multi-source Dijkstra over the boundary overlay: `init` holds
+    /// Multi-source boundary distances by hub-label merges: `init` holds
     /// `(global boundary index, exact region-local distance)` seeds; the
     /// returned labels are exact `d_G(q, b)` for every boundary node whose
-    /// distance is ≤ `bound` (INFINITY otherwise). Each settled overlay
-    /// node counts as one frontier hop on the session.
+    /// distance is ≤ `bound` (INFINITY otherwise). The seeds' labels fold
+    /// into one hub→distance map for the virtual source; the hubs that map
+    /// touches are then read back through the *inverted* labels
+    /// ([`GlueBuckets`](crate::index)), so only buckets of reached hubs are
+    /// scanned — and each bucket's distance-ascending rows stop at the
+    /// first entry past `bound`. Each label folded or bucket opened is one
+    /// label lookup on the session, each `(hub, dist)` / `(boundary,
+    /// dist)` entry advanced over one scanned entry.
     fn expand_frontier(
         &self,
         sess: &mut Session<'_>,
         init: &[(u32, Dist)],
         bound: Dist,
     ) -> Vec<Dist> {
-        let mut labels = vec![INFINITY; self.all_boundary.len()];
-        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
-        for &(b, d) in init {
-            if d <= bound && d < labels[b as usize] {
-                labels[b as usize] = d;
-                heap.push(Reverse((d, b)));
-            }
-        }
-        let mut settled = 0u64;
-        while let Some(Reverse((d, b))) = heap.pop() {
-            if d > labels[b as usize] {
+        let nb = self.all_boundary.len();
+        let mut labels = vec![INFINITY; nb];
+        let mut hub_min = vec![INFINITY; nb];
+        let mut seeded: Vec<u32> = Vec::new();
+        let mut lookups = 0u64;
+        let mut scanned = 0u64;
+        for &(b, d0) in init {
+            if d0 > bound {
                 continue;
             }
-            settled += 1;
-            for &(to, w) in &self.overlay[b as usize] {
-                let nd = d.saturating_add(w);
-                if nd <= bound && nd < labels[to as usize] {
-                    labels[to as usize] = nd;
-                    heap.push(Reverse((nd, to)));
+            let (hs, ds) = self.glue.label_of(NodeId(b));
+            lookups += 1;
+            scanned += hs.len() as u64;
+            for (h, &dh) in hs.iter().zip(ds) {
+                let d = d0.saturating_add(dh);
+                if d < hub_min[h.index()] {
+                    if hub_min[h.index()] == INFINITY {
+                        seeded.push(h.0);
+                    }
+                    hub_min[h.index()] = d;
                 }
             }
         }
-        sess.stats.frontier_hops += settled;
+        // Two equivalent read-backs. Narrow expansions (kNN capped by the
+        // k-th local candidate, small ε) reach few hubs: scan just those
+        // hubs' buckets, each stopping at the first distance-ascending row
+        // past `bound`. Wide expansions reach most hubs, and the bucket
+        // walk's scattered `labels` writes lose to one cache-friendly
+        // sequential pass over every boundary node's label — switch over
+        // when the seeded buckets cover most rows anyway.
+        let in_buckets: usize = seeded
+            .iter()
+            .map(|&h| self.glue_buckets.len_of(h as usize))
+            .sum();
+        if in_buckets * 2 < self.glue_buckets.total_rows() {
+            for &h in &seeded {
+                let m = hub_min[h as usize];
+                lookups += 1;
+                for &(b, d) in self.glue_buckets.rows_of(h as usize) {
+                    scanned += 1;
+                    let t = m.saturating_add(d);
+                    if t > bound {
+                        break; // rows ascend by dist: nothing further fits
+                    }
+                    if t < labels[b as usize] {
+                        labels[b as usize] = t;
+                    }
+                }
+            }
+        } else if !seeded.is_empty() {
+            for (bi, slot) in labels.iter_mut().enumerate() {
+                let (hs, ds) = self.glue.label_of(NodeId(bi as u32));
+                lookups += 1;
+                scanned += hs.len() as u64;
+                let mut best = INFINITY;
+                for (h, &dh) in hs.iter().zip(ds) {
+                    let m = hub_min[h.index()];
+                    if m < best {
+                        best = best.min(m.saturating_add(dh));
+                    }
+                }
+                if best <= bound {
+                    *slot = best;
+                }
+            }
+        }
+        sess.stats.label_lookups += lookups;
+        sess.stats.label_entries_scanned += scanned;
         labels
     }
 

@@ -98,9 +98,14 @@ fn sharded_answers_match_the_single_index_for_every_k() {
                 );
             }
         }
+        let ops = sharded.op_stats();
         assert!(
-            sharded.op_stats().frontier_hops > 0 || k_parts == 1,
-            "K={k_parts} never expanded a boundary frontier"
+            ops.label_lookups > 0 || k_parts == 1,
+            "K={k_parts} never glued through the boundary labels"
+        );
+        assert_eq!(
+            ops.frontier_hops, 0,
+            "K={k_parts} ran a frontier Dijkstra despite label glue"
         );
     }
 }

@@ -179,7 +179,8 @@ fn parse_args() -> Result<Args, String> {
                      --entry-decode M  entry-granular decode: on, off (full decode), or\n\
                      \x20                 auto (default; per-request crossover heuristic)\n\
                      --backend B       query engine: signature (default), ine (Dijkstra\n\
-                     \x20                 expansion), ch (contraction hierarchy), or\n\
+                     \x20                 expansion), ch (contraction hierarchy), hl (hub\n\
+                     \x20                 labels: one sorted merge per distance), or\n\
                      \x20                 sharded (partition router); the DSI_BACKEND env\n\
                      \x20                 var pre-selects it\n\
                      --partitions K    split the network into K regions with one signature\n\
@@ -350,7 +351,7 @@ fn main() -> ExitCode {
         println!(
             "io_logical={} io_faults={} physical_reads={} batched_reads={} batch_pages={} \
              pages_per_call={pages_per_call:.2} prefetch_hits={} prefetch_wasted={} shed={} \
-             deadline_miss={} worst_p99_ns={} qps={:.1}",
+             deadline_miss={} label_lookups={} label_entries={} worst_p99_ns={} qps={:.1}",
             io.logical,
             io.faults,
             io.physical_reads(),
@@ -360,6 +361,8 @@ fn main() -> ExitCode {
             io.prefetch_wasted,
             report.shed,
             report.deadline_misses,
+            report.ops.label_lookups,
+            report.ops.label_entries_scanned,
             report.worst_p99_ns(),
             report.throughput_qps()
         );

@@ -67,8 +67,13 @@
 //! [`Backend::Hierarchy`] backend answers them on the epoch's prebuilt
 //! contraction hierarchy — each distance is one bidirectional upward
 //! search in a per-worker [`ChWorkspace`] — an exact, memory-resident
-//! oracle whose search space is a small fraction of the network. All three
-//! return element-wise identical results.
+//! oracle whose search space is a small fraction of the network. The
+//! [`Backend::HubLabel`] backend goes one step further: hub labels
+//! extracted from that hierarchy answer each distance with a single
+//! sorted merge of two short label arrays — no graph search at all —
+//! and joins invert the object labels once into hub buckets and answer
+//! each source with one one-to-many scan. All four return element-wise
+//! identical results.
 //!
 //! # Graceful degradation
 //!
@@ -94,7 +99,7 @@ use dsi_graph::io::{load_network, read_objects, write_network, write_objects, Lo
 use dsi_graph::{
     DijkstraExpansion, Dist, NodeId, ObjectId, ObjectSet, RoadNetwork, SsspWorkspace, INFINITY,
 };
-use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy};
+use dsi_hierarchy::{ChConfig, ChWorkspace, ContractionHierarchy, HubLabels};
 use dsi_partition::PartitionedIndex;
 use dsi_signature::query::aggregate::RangeAggregate;
 use dsi_signature::query::join::try_self_epsilon_join;
@@ -134,6 +139,13 @@ pub enum Backend {
     /// per-worker workspace, memory-resident (no paging model). Requires
     /// [`ServiceConfig::hierarchy`].
     Hierarchy,
+    /// Hub-label distance oracle: every distance is one sorted merge of
+    /// two precomputed label arrays (`O(|L(s)| + |L(t)|)`, no graph
+    /// search); joins run as one-to-many bucket scans over inverted
+    /// object labels. Memory-resident, no paging model, no per-query
+    /// workspace. Requires [`ServiceConfig::hierarchy`] (labels are
+    /// extracted from the epoch's contraction hierarchy).
+    HubLabel,
     /// The shard router over K partitioned signature indexes
     /// ([`ServiceConfig::partitions`]): each query runs its home region's
     /// operators and expands a boundary frontier across the cut for the
@@ -149,6 +161,7 @@ impl Backend {
             Backend::Signature => "signature",
             Backend::Dijkstra => "ine",
             Backend::Hierarchy => "ch",
+            Backend::HubLabel => "hl",
             Backend::Sharded => "sharded",
         }
     }
@@ -162,9 +175,10 @@ impl std::str::FromStr for Backend {
             "signature" | "sig" => Ok(Backend::Signature),
             "ine" | "dijkstra" => Ok(Backend::Dijkstra),
             "ch" | "hierarchy" => Ok(Backend::Hierarchy),
+            "hl" | "hub-label" | "labels" => Ok(Backend::HubLabel),
             "sharded" | "partitioned" => Ok(Backend::Sharded),
             _ => Err(format!(
-                "unknown backend {s:?} (signature | ine | ch | sharded)"
+                "unknown backend {s:?} (valid: signature | ine | ch | hl | sharded)"
             )),
         }
     }
@@ -365,6 +379,9 @@ pub struct EpochIndex {
     objects: Arc<ObjectSet>,
     index: Arc<SignatureIndex>,
     ch: Option<Arc<ContractionHierarchy>>,
+    /// Hub labels extracted from `ch` — the top rung of the in-memory
+    /// ladder. Present exactly when `ch` is.
+    hl: Option<Arc<HubLabels>>,
     parted: Option<PartitionedEngine>,
     shards: Striped<Shard>,
     /// Backing page files, when the service runs a file-backed store mode.
@@ -395,6 +412,12 @@ impl EpochIndex {
     /// The contraction hierarchy, when [`ServiceConfig::hierarchy`] is on.
     pub fn hierarchy(&self) -> Option<&ContractionHierarchy> {
         self.ch.as_deref()
+    }
+
+    /// The hub labels extracted from the hierarchy, when
+    /// [`ServiceConfig::hierarchy`] is on.
+    pub fn hub_labels(&self) -> Option<&HubLabels> {
+        self.hl.as_deref()
     }
 
     /// Partitions the sharded backend routes across (1 for a single index).
@@ -446,21 +469,21 @@ impl EpochIndex {
         total
     }
 
-    /// Per-partition query, I/O, and boundary-frontier counters, in
-    /// partition order. Empty when this epoch holds no partitioned indexes.
+    /// Per-partition query, I/O, and label-glue counters, in partition
+    /// order. Empty when this epoch holds no partitioned indexes.
     pub fn per_partition_stats(&self) -> Vec<PartStats> {
         let Some(pe) = &self.parted else {
             return Vec::new();
         };
         let mut out = Vec::with_capacity(pe.shards.num_shards());
         pe.shards.for_each(|_, shard| {
-            let (io, hops) = shard.state.as_ref().map_or_else(Default::default, |s| {
-                (s.io_stats(), s.op_stats().frontier_hops)
+            let (io, lookups) = shard.state.as_ref().map_or_else(Default::default, |s| {
+                (s.io_stats(), s.op_stats().label_lookups)
             });
             out.push(PartStats {
                 queries: shard.queries,
                 io,
-                frontier_hops: hops,
+                label_lookups: lookups,
             });
         });
         out
@@ -558,9 +581,16 @@ pub struct QueryService {
     /// Shards quarantined so far (cold-restarted after repeated degraded
     /// queries).
     quarantines: AtomicU64,
-    /// Degraded queries answered by the hierarchy oracle (as opposed to the
-    /// Dijkstra fallback of last resort).
+    /// Degraded queries answered by an in-memory oracle — hub labels or
+    /// the hierarchy — as opposed to the Dijkstra fallback of last resort.
     ch_fallbacks: AtomicU64,
+    /// Label lookups performed outside any session — the hub-label backend
+    /// and the in-memory fallbacks (labels are memory-resident, so these
+    /// never route through a shard's [`OpStats`]). One per p2p merge, one
+    /// per label folded into or scanned out of a one-to-many bucket scan.
+    hl_lookups: AtomicU64,
+    /// Label entries advanced over by those lookups.
+    hl_entries: AtomicU64,
     /// Epochs published by the double-buffered maintenance path.
     epoch_swaps: AtomicU64,
     /// Queries that completed against a superseded epoch snapshot.
@@ -635,12 +665,17 @@ impl QueryService {
         let net_arc = Arc::new(net.clone());
         let index_arc = Arc::new(index.clone());
         let pages = EpochPages::materialize(cfg.store, epoch, &net, &index, parted.as_ref());
+        let ch = ch.map(Arc::new);
+        // The labels ride on the hierarchy: one extraction pass here backs
+        // the hub-label backend and tops the degraded-fallback ladder.
+        let hl = ch.as_deref().map(|ch| Arc::new(HubLabels::build(ch)));
         let epoch0 = Arc::new(EpochIndex {
             epoch,
             net: net_arc,
             objects: objects.clone(),
             index: index_arc,
-            ch: ch.map(Arc::new),
+            ch,
+            hl,
             parted,
             shards: Striped::new(cfg.shards, |_| Shard {
                 state: None,
@@ -682,6 +717,8 @@ impl QueryService {
             ],
             quarantines: AtomicU64::new(0),
             ch_fallbacks: AtomicU64::new(0),
+            hl_lookups: AtomicU64::new(0),
+            hl_entries: AtomicU64::new(0),
             epoch_swaps: AtomicU64::new(0),
             stale_epoch_reads: AtomicU64::new(0),
             catchup_retries: AtomicU64::new(0),
@@ -761,8 +798,16 @@ impl QueryService {
                 "Backend::Hierarchy requires ServiceConfig::hierarchy"
             );
         }
+        if backend == Backend::HubLabel {
+            assert!(
+                ep.hl.is_some(),
+                "Backend::HubLabel requires ServiceConfig::hierarchy"
+            );
+        }
         let io_before = ep.merged_io_stats();
         let ops_before = ep.merged_op_stats();
+        let hl_lookups_before = self.hl_lookups.load(Ordering::Relaxed);
+        let hl_entries_before = self.hl_entries.load(Ordering::Relaxed);
         let parts_before = ep.per_partition_stats();
         let swaps_before = self.epoch_swaps.load(Ordering::Acquire);
         let stale_before = self.stale_epoch_reads.load(Ordering::Acquire);
@@ -792,13 +837,7 @@ impl QueryService {
                         let queued = queries.len() - i - 1;
                         let shed = paged && self.should_shed(q.class(), queued, workers);
                         let (out, degraded) = if shed {
-                            (
-                                match &ep.ch {
-                                    Some(ch) => execute_hierarchy(&ep.objects, ch, &mut chws, q),
-                                    None => execute_dijkstra(&ep.net, &ep.objects, &mut ws, q),
-                                },
-                                false,
-                            )
+                            (self.execute_in_memory(ep, q, &mut ws, &mut chws), false)
                         } else {
                             match backend {
                                 Backend::Signature => {
@@ -815,6 +854,14 @@ impl QueryService {
                                         &ep.objects,
                                         ep.ch.as_ref().expect("checked above"),
                                         &mut chws,
+                                        q,
+                                    ),
+                                    false,
+                                ),
+                                Backend::HubLabel => (
+                                    self.execute_hub_label(
+                                        &ep.objects,
+                                        ep.hl.as_ref().expect("checked above"),
                                         q,
                                     ),
                                     false,
@@ -859,6 +906,10 @@ impl QueryService {
         let mut ops = ep.merged_op_stats() - ops_before;
         ops.epoch_swaps = self.epoch_swaps.load(Ordering::Acquire) - swaps_before;
         ops.stale_epoch_reads = self.stale_epoch_reads.load(Ordering::Acquire) - stale_before;
+        // Sessionless label work (hub-label backend, in-memory fallbacks)
+        // folds into the same counters the router glue charges per-session.
+        ops.label_lookups += self.hl_lookups.load(Ordering::Relaxed) - hl_lookups_before;
+        ops.label_entries_scanned += self.hl_entries.load(Ordering::Relaxed) - hl_entries_before;
         BatchReport {
             backend: backend.label(),
             outputs: outputs
@@ -935,6 +986,136 @@ impl QueryService {
         state
     }
 
+    /// Answer one query on the epoch's best exact in-memory engine: hub
+    /// labels when present (no graph search at all), else the contraction
+    /// hierarchy, else network expansion. The shed path and the degraded
+    /// ladder both land here — the answer is always exact, only the paged
+    /// fast path is skipped.
+    fn execute_in_memory(
+        &self,
+        ep: &EpochIndex,
+        q: &Query,
+        ws: &mut SsspWorkspace,
+        chws: &mut ChWorkspace,
+    ) -> QueryOutput {
+        if let Some(hl) = &ep.hl {
+            return self.execute_hub_label(&ep.objects, hl, q);
+        }
+        match &ep.ch {
+            Some(ch) => execute_hierarchy(&ep.objects, ch, chws, q),
+            None => execute_dijkstra(&ep.net, &ep.objects, ws, q),
+        }
+    }
+
+    /// [`Self::execute_in_memory`] for the degraded ladder: an oracle
+    /// answer (labels or hierarchy) also counts toward
+    /// [`Self::hierarchy_fallback_count`].
+    fn execute_fallback(
+        &self,
+        ep: &EpochIndex,
+        q: &Query,
+        ws: &mut SsspWorkspace,
+        chws: &mut ChWorkspace,
+    ) -> QueryOutput {
+        if ep.hl.is_some() || ep.ch.is_some() {
+            self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.execute_in_memory(ep, q, ws, chws)
+    }
+
+    /// Answer one query on the epoch's hub labels. Point-to-point
+    /// distances are single sorted label merges; the self ε-join inverts
+    /// every object's label into hub buckets once and answers each source
+    /// object with one one-to-many scan instead of O(objects) pairwise
+    /// merges.
+    ///
+    /// Results are element-wise identical to [`execute_hierarchy`] /
+    /// [`execute_dijkstra`]: ranges in id order, kNN keeps the `k`
+    /// smallest `(distance, object)` pairs, joins list `a < b` pairs in
+    /// order, unreachable objects never qualify. Label work is charged to
+    /// the service-level counters (the labels are memory-resident — there
+    /// is no session to charge).
+    fn execute_hub_label(&self, objects: &ObjectSet, hl: &HubLabels, q: &Query) -> QueryOutput {
+        let mut lookups = 0u64;
+        let mut scanned = 0u64;
+        let mut p2p = |s: NodeId, t: NodeId| -> Dist {
+            let (d, entries) = hl.p2p_counted(s, t);
+            lookups += 1;
+            scanned += entries;
+            d
+        };
+        let out = match *q {
+            Query::Range { node, eps } => QueryOutput::Range(
+                objects
+                    .iter()
+                    .filter(|&(_, host)| {
+                        let d = p2p(node, host);
+                        d != INFINITY && d <= eps
+                    })
+                    .map(|(o, _)| o)
+                    .collect(),
+            ),
+            Query::Knn { node, k } => {
+                let k = k.min(objects.len());
+                let mut found: Vec<(Dist, ObjectId)> = objects
+                    .iter()
+                    .filter_map(|(o, host)| {
+                        let d = p2p(node, host);
+                        (d != INFINITY).then_some((d, o))
+                    })
+                    .collect();
+                found.sort_unstable();
+                found.truncate(k);
+                QueryOutput::Knn(
+                    found
+                        .into_iter()
+                        .map(|(d, o)| KnnResult {
+                            object: o,
+                            dist: Some(d),
+                        })
+                        .collect(),
+                )
+            }
+            Query::Aggregate { node, eps } => {
+                let mut agg = RangeAggregate::default();
+                for (_, host) in objects.iter() {
+                    let d = p2p(node, host);
+                    if d != INFINITY && d <= eps {
+                        agg.count += 1;
+                        agg.sum += d as u64;
+                        agg.min = Some(agg.min.map_or(d, |m| m.min(d)));
+                        agg.max = Some(agg.max.map_or(d, |m| m.max(d)));
+                    }
+                }
+                QueryOutput::Aggregate(agg)
+            }
+            Query::Join { eps } => {
+                let ids: Vec<ObjectId> = objects.iter().map(|(o, _)| o).collect();
+                let hosts: Vec<NodeId> = objects.iter().map(|(_, h)| h).collect();
+                let buckets = hl.buckets(&hosts);
+                lookups += hosts.len() as u64;
+                scanned += buckets.num_entries() as u64;
+                let mut dists = Vec::new();
+                let mut pairs = Vec::new();
+                for (i, &host) in hosts.iter().enumerate() {
+                    scanned += hl.one_to_many(host, &buckets, &mut dists);
+                    lookups += 1;
+                    // `objects.iter()` is id-ascending, so j > i ⇔ b > a.
+                    for (j, &d) in dists.iter().enumerate().skip(i + 1) {
+                        if d != INFINITY && d <= eps {
+                            pairs.push((ids[i], ids[j]));
+                        }
+                    }
+                }
+                pairs.sort_unstable();
+                QueryOutput::Join(pairs)
+            }
+        };
+        self.hl_lookups.fetch_add(lookups, Ordering::Relaxed);
+        self.hl_entries.fetch_add(scanned, Ordering::Relaxed);
+        out
+    }
+
     /// Execute one query under its shard's lock on the pinned epoch's
     /// signature index, returning the output and whether it was answered by
     /// the degraded fallback.
@@ -988,14 +1169,7 @@ impl QueryService {
                         self.quarantines.fetch_add(1, Ordering::Relaxed);
                     }
                     shard.state = Some(state);
-                    let out = match &ep.ch {
-                        Some(ch) => {
-                            self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
-                            execute_hierarchy(&ep.objects, ch, chws, q)
-                        }
-                        None => execute_dijkstra(&ep.net, &ep.objects, ws, q),
-                    };
-                    return (out, true);
+                    return (self.execute_fallback(ep, q, ws, chws), true);
                 }
             }
         }
@@ -1063,16 +1237,7 @@ impl QueryService {
                     Ok(out) => (out, false),
                     // The whole query re-runs on the exact in-memory
                     // fallback — same ladder top as the single-index path.
-                    Err(()) => (
-                        match &ep.ch {
-                            Some(ch) => {
-                                self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
-                                execute_hierarchy(&ep.objects, ch, chws, q)
-                            }
-                            None => execute_dijkstra(&ep.net, &ep.objects, ws, q),
-                        },
-                        true,
-                    ),
+                    Err(()) => (self.execute_fallback(ep, q, ws, chws), true),
                 }
             }
         }
@@ -1127,8 +1292,10 @@ impl QueryService {
 
     /// Exact fallback for one partition's share of a self ε-join: pairs
     /// `(a, b)` with `a` hosted in partition `p`, `a < b`, `d ≤ eps`,
-    /// computed on the full network (hierarchy oracle when available, else
-    /// network expansion) without touching the partition's faulty storage.
+    /// computed on the full network (hub labels when available — one
+    /// one-to-many bucket scan per source object — else the hierarchy
+    /// oracle, else network expansion) without touching the partition's
+    /// faulty storage.
     #[allow(clippy::too_many_arguments)]
     fn fallback_join_rows(
         &self,
@@ -1140,7 +1307,26 @@ impl QueryService {
         chws: &mut ChWorkspace,
         pairs: &mut Vec<(ObjectId, ObjectId)>,
     ) {
-        if let Some(ch) = &ep.ch {
+        if let Some(hl) = &ep.hl {
+            self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
+            let ids: Vec<ObjectId> = ep.objects.iter().map(|(o, _)| o).collect();
+            let hosts: Vec<NodeId> = ep.objects.iter().map(|(_, h)| h).collect();
+            let buckets = hl.buckets(&hosts);
+            let mut lookups = hosts.len() as u64;
+            let mut scanned = buckets.num_entries() as u64;
+            let mut dists = Vec::new();
+            for a in pe.pidx.part(p).real_objects() {
+                scanned += hl.one_to_many(ep.objects.node_of(a), &buckets, &mut dists);
+                lookups += 1;
+                for (j, &d) in dists.iter().enumerate() {
+                    if ids[j] > a && d != INFINITY && d <= eps {
+                        pairs.push((a, ids[j]));
+                    }
+                }
+            }
+            self.hl_lookups.fetch_add(lookups, Ordering::Relaxed);
+            self.hl_entries.fetch_add(scanned, Ordering::Relaxed);
+        } else if let Some(ch) = &ep.ch {
             self.ch_fallbacks.fetch_add(1, Ordering::Relaxed);
             for a in pe.pidx.part(p).real_objects() {
                 let host = ep.objects.node_of(a);
@@ -1234,6 +1420,7 @@ impl QueryService {
                     &ChConfig::default(),
                 ))
             });
+            let hl = ch.as_deref().map(|ch| Arc::new(HubLabels::build(ch)));
             let parted = (self.partitions > 1).then(|| {
                 PartitionedEngine::build(&shadow.net, &self.objects, &self.sig, self.partitions)
             });
@@ -1286,6 +1473,7 @@ impl QueryService {
                 objects: self.objects.clone(),
                 index: shadow.index,
                 ch,
+                hl,
                 parted,
                 shards: Striped::new(self.num_shards, |_| Shard {
                     state: None,
@@ -1556,10 +1744,10 @@ impl QueryService {
         self.deadline_misses.load(Ordering::Relaxed)
     }
 
-    /// Degraded queries answered by the hierarchy oracle since the service
-    /// was built. With a hierarchy configured this equals the total
-    /// degraded count — the Dijkstra fallback is reached only when no
-    /// hierarchy exists.
+    /// Degraded queries answered by an in-memory oracle (hub labels or the
+    /// hierarchy) since the service was built. With a hierarchy configured
+    /// this equals the total degraded count — the Dijkstra fallback is
+    /// reached only when no hierarchy exists.
     pub fn hierarchy_fallback_count(&self) -> u64 {
         self.ch_fallbacks.load(Ordering::Relaxed)
     }
@@ -1609,8 +1797,8 @@ impl QueryService {
         self.snapshot().merged_op_stats()
     }
 
-    /// Per-partition query, I/O, and boundary-frontier counters for the
-    /// live epoch, in partition order. Empty when the service holds no
+    /// Per-partition query, I/O, and label-glue counters for the live
+    /// epoch, in partition order. Empty when the service holds no
     /// partitioned indexes ([`ServiceConfig::partitions`] ≤ 1).
     pub fn per_partition_stats(&self) -> Vec<PartStats> {
         self.snapshot().per_partition_stats()
@@ -1620,6 +1808,13 @@ impl QueryService {
     /// serves a single index).
     pub fn num_partitions(&self) -> usize {
         self.snapshot().num_partitions()
+    }
+
+    /// Whether the live epoch carries hub labels — built whenever
+    /// [`ServiceConfig::hierarchy`] is on, and required by
+    /// [`Backend::HubLabel`].
+    pub fn has_hub_labels(&self) -> bool {
+        self.snapshot().hl.is_some()
     }
 
     /// Partition owning `node` under the sharded backend, `None` when the
@@ -1668,6 +1863,21 @@ impl QueryService {
             )),
             None => s.push_str(" | hierarchy: off"),
         }
+        if let Some(hl) = &ep.hl {
+            s.push_str(&format!(
+                " | labels: {} entries (avg {:.1}/node, {} KiB)",
+                hl.num_entries(),
+                hl.avg_label_len(),
+                hl.label_bytes() / 1024
+            ));
+        }
+        let hl_lookups = self.hl_lookups.load(Ordering::Relaxed);
+        if hl_lookups > 0 {
+            s.push_str(&format!(
+                " | {hl_lookups} label lookups ({} entries)",
+                self.hl_entries.load(Ordering::Relaxed)
+            ));
+        }
         let swaps = self.epoch_swap_count();
         if swaps > 0 {
             let (retries, cedes) = self.catchup_counts();
@@ -1703,8 +1913,8 @@ impl QueryService {
             ));
             for (p, ps) in ep.per_partition_stats().iter().enumerate() {
                 s.push_str(&format!(
-                    "\n  partition p{p}: {} queries | io: {} | {} frontier hops",
-                    ps.queries, ps.io, ps.frontier_hops
+                    "\n  partition p{p}: {} queries | io: {} | {} label lookups",
+                    ps.queries, ps.io, ps.label_lookups
                 ));
             }
         }

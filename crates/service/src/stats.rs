@@ -52,10 +52,10 @@ impl ClassStats {
 }
 
 /// Per-partition counters for the sharded backend: queries routed to the
-/// partition, its session stripe's page accesses, and boundary-frontier
-/// nodes settled while stitching cross-partition answers. Appears both as a
-/// cumulative snapshot ([`crate::QueryService::per_partition_stats`]) and as
-/// a per-batch delta ([`BatchReport::per_part`]).
+/// partition, its session stripe's page accesses, and hub-label glue
+/// lookups performed while stitching cross-partition answers. Appears both
+/// as a cumulative snapshot ([`crate::QueryService::per_partition_stats`])
+/// and as a per-batch delta ([`BatchReport::per_part`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PartStats {
     /// Queries whose ladder ran on this partition's stripe (joins count
@@ -63,9 +63,11 @@ pub struct PartStats {
     pub queries: u64,
     /// Page accesses charged to this partition's session.
     pub io: IoStats,
-    /// Boundary-overlay nodes settled by this partition's frontier
-    /// expansions — the per-partition share of [`OpStats::frontier_hops`].
-    pub frontier_hops: u64,
+    /// Boundary labels read by this partition's glue merges — the
+    /// per-partition share of [`OpStats::label_lookups`]. (The frontier
+    /// Dijkstra this replaced kept its tally in
+    /// [`OpStats::frontier_hops`], which the glue leaves at 0.)
+    pub label_lookups: u64,
 }
 
 impl std::ops::Sub for PartStats {
@@ -75,7 +77,7 @@ impl std::ops::Sub for PartStats {
         PartStats {
             queries: self.queries - rhs.queries,
             io: self.io - rhs.io,
-            frontier_hops: self.frontier_hops - rhs.frontier_hops,
+            label_lookups: self.label_lookups - rhs.label_lookups,
         }
     }
 }
@@ -104,7 +106,7 @@ pub struct BatchReport {
     /// Operation-counter delta over the batch, merged across shards.
     pub ops: OpStats,
     /// Per-partition deltas over the batch, in partition order — queries
-    /// routed, page accesses, boundary-frontier hops. Empty unless the
+    /// routed, page accesses, label-glue lookups. Empty unless the
     /// service routes across partitions
     /// ([`crate::ServiceConfig::partitions`] > 1).
     pub per_part: Vec<PartStats>,
@@ -190,11 +192,17 @@ impl BatchReport {
                 self.outputs.len(),
             ));
         }
+        if self.ops.label_lookups > 0 {
+            out.push_str(&format!(
+                "  labels: {} lookups, {} entries scanned\n",
+                self.ops.label_lookups, self.ops.label_entries_scanned,
+            ));
+        }
         for (p, ps) in self.per_part.iter().enumerate() {
             if ps.queries > 0 || ps.io.logical > 0 {
                 out.push_str(&format!(
-                    "  partition p{p}: {} queries | io: {} | {} frontier hops\n",
-                    ps.queries, ps.io, ps.frontier_hops,
+                    "  partition p{p}: {} queries | io: {} | {} label lookups\n",
+                    ps.queries, ps.io, ps.label_lookups,
                 ));
             }
         }

@@ -191,6 +191,11 @@ fn hierarchy_backend_observes_serialized_states() {
 }
 
 #[test]
+fn hub_label_backend_observes_serialized_states() {
+    oracle_run(Backend::HubLabel, 1);
+}
+
+#[test]
 fn sharded_backend_observes_serialized_states() {
     oracle_run(Backend::Sharded, 3);
 }

@@ -146,29 +146,41 @@ fn signature_and_dijkstra_backends_agree() {
 }
 
 #[test]
-fn all_three_backends_agree_element_wise() {
+fn all_four_backends_agree_element_wise() {
     let service = build_service(19);
     let batch = mixed_batch(&service, 150, 5);
 
     let sig = service.serve_batch_on(Backend::Signature, &batch, 2);
     let ine = service.serve_batch_on(Backend::Dijkstra, &batch, 2);
     let ch = service.serve_batch_on(Backend::Hierarchy, &batch, 2);
+    let hl = service.serve_batch_on(Backend::HubLabel, &batch, 2);
     assert_eq!(
-        (sig.backend, ine.backend, ch.backend),
-        ("signature", "ine", "ch")
+        (sig.backend, ine.backend, ch.backend, hl.backend),
+        ("signature", "ine", "ch", "hl")
     );
 
-    // INE and the hierarchy oracle both emit canonical orderings (id-sorted
-    // ranges, `(dist, object)`-sorted kNN, sorted join pairs): strictly
-    // equal outputs, including at kNN distance ties.
+    // INE, the hierarchy oracle, and the hub labels all emit canonical
+    // orderings (id-sorted ranges, `(dist, object)`-sorted kNN, sorted join
+    // pairs): strictly equal outputs, including at kNN distance ties.
     assert_eq!(ch.outputs.len(), ine.outputs.len());
     for (i, (a, b)) in ch.outputs.iter().zip(&ine.outputs).enumerate() {
         assert_eq!(a, b, "query {i} ({:?}): ch vs ine", batch[i]);
     }
+    for (i, (a, b)) in hl.outputs.iter().zip(&ine.outputs).enumerate() {
+        assert_eq!(a, b, "query {i} ({:?}): hl vs ine", batch[i]);
+    }
+    // The hub-label batch did its work through label merges, and those were
+    // charged to the batch's counters.
+    assert!(hl.ops.label_lookups > 0, "hl batch read no labels");
+    assert!(
+        hl.ops.label_entries_scanned >= hl.ops.label_lookups,
+        "entry accounting below one entry per lookup"
+    );
     // The signature path may legitimately keep a different tied kNN object:
     // tie-aware comparison against both.
     assert_backends_agree(&sig.outputs, &ine.outputs, "signature vs ine");
     assert_backends_agree(&sig.outputs, &ch.outputs, "signature vs ch");
+    assert_backends_agree(&sig.outputs, &hl.outputs, "signature vs hl");
 }
 
 #[test]
@@ -237,6 +249,14 @@ fn epoch_update_between_batches_is_visible() {
         ch_truth.outputs, truth.outputs,
         "hierarchy oracle diverged from INE post-update"
     );
+
+    // The hub labels were re-extracted from that rebuilt hierarchy; stale
+    // labels would resurrect pre-update distances.
+    let hl_truth = service.serve_batch_on(Backend::HubLabel, &batch, 4);
+    assert_eq!(
+        hl_truth.outputs, truth.outputs,
+        "hub labels diverged from INE post-update"
+    );
 }
 
 #[test]
@@ -278,7 +298,8 @@ fn sharded_backend_agrees_and_maintenance_rebuilds_partitions() {
     assert_backends_agree(&sh.outputs, &sig.outputs, "sharded vs signature");
 
     // Per-partition accounting: every partition served something under the
-    // Zipf mix, and cross-partition stitching actually expanded frontiers.
+    // Zipf mix, and cross-partition stitching actually glued through the
+    // boundary hub labels (the frontier Dijkstra it replaced stays idle).
     assert_eq!(sh.per_part.len(), 3);
     assert!(
         sh.per_part.iter().all(|p| p.queries > 0),
@@ -286,9 +307,10 @@ fn sharded_backend_agrees_and_maintenance_rebuilds_partitions() {
         sh.per_part
     );
     assert!(
-        sh.per_part.iter().map(|p| p.frontier_hops).sum::<u64>() > 0,
-        "no boundary frontier was ever expanded"
+        sh.per_part.iter().map(|p| p.label_lookups).sum::<u64>() > 0,
+        "no boundary label was ever read"
     );
+    assert_eq!(sh.ops.frontier_hops, 0, "a frontier Dijkstra still ran");
     let point_queries = batch
         .iter()
         .filter(|q| !matches!(q, Query::Join { .. }))

@@ -10,13 +10,17 @@
 //! `DSI_ENTRY_DECODE` (`on`/`off`/`auto`) so the same matrix covers both
 //! the entry-granular and the full-decode read paths; the fallback
 //! engine honours `DSI_CH_FALLBACK` (`on`/`off`) so the matrix covers both
-//! rungs of the degradation ladder; and `DSI_MAINT=double-buffer` scales up
-//! the concurrent-maintenance-under-faults cell (see `scripts/ci.sh`).
+//! rungs of the degradation ladder; `DSI_MAINT=double-buffer` scales up
+//! the concurrent-maintenance-under-faults cell; and `DSI_BACKEND=hl`
+//! replays every served batch on the memory-resident hub-label backend and
+//! asserts it agrees with the paged answers (see `scripts/ci.sh`).
 
 use dsi_graph::generate::{random_planar, PlanarConfig};
 use dsi_graph::{sssp, ObjectSet};
-use dsi_service::{generate, Backend, Query, QueryService, ServiceConfig, Skew, WorkloadConfig};
-use dsi_signature::{EntryDecodeMode, SignatureConfig};
+use dsi_service::{
+    generate, Backend, Query, QueryOutput, QueryService, ServiceConfig, Skew, WorkloadConfig,
+};
+use dsi_signature::{EntryDecodeMode, KnnResult, SignatureConfig};
 use dsi_storage::{FaultPlan, StoreMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,16 +68,72 @@ fn readahead() -> u32 {
         .unwrap_or(0)
 }
 
+/// `DSI_BACKEND=hl` arms the hub-label replay in [`serve`].
+fn hl_crosscheck() -> bool {
+    std::env::var("DSI_BACKEND").is_ok_and(|s| s == "hl")
+}
+
+/// kNN answers are unique only up to ties at the k-th distance (see
+/// `equivalence.rs`): distance profiles must match exactly, object sets
+/// strictly below the k-th distance.
+fn assert_knn_equivalent(a: &[KnnResult], b: &[KnnResult], ctx: &str) {
+    let dists = |rs: &[KnnResult]| rs.iter().map(|r| r.dist).collect::<Vec<_>>();
+    assert_eq!(dists(a), dists(b), "{ctx}: distance profile");
+    let kth = a.last().and_then(|r| r.dist);
+    let strict = |rs: &[KnnResult]| {
+        rs.iter()
+            .filter(|r| r.dist < kth)
+            .map(|r| r.object)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strict(a),
+        strict(b),
+        "{ctx}: objects below the k-th distance"
+    );
+}
+
 /// Serve on the backend the configuration implies: the shard router when
 /// the service holds partitioned indexes, else the plain signature path —
 /// so the `DSI_PARTITIONS` matrix axis exercises the router end to end.
+///
+/// Under `DSI_BACKEND=hl` the same batch is replayed on the hub-label
+/// backend, which never touches the page store and so never sees a fault:
+/// its answers are the fault-free truth the paged run must reproduce.
+/// The comparison is tie-aware at kNN cuts (the signature path may keep a
+/// different tied object) and skipped when maintenance published an epoch
+/// between the two runs — the replay would be answering a newer state.
 fn serve(service: &QueryService, batch: &[Query], workers: usize) -> dsi_service::BatchReport {
     let backend = if service.num_partitions() > 1 {
         Backend::Sharded
     } else {
         Backend::Signature
     };
-    service.serve_batch_on(backend, batch, workers)
+    let epoch_before = service.epoch();
+    let report = service.serve_batch_on(backend, batch, workers);
+    if hl_crosscheck() && service.has_hub_labels() {
+        let hl = service.serve_batch_on(Backend::HubLabel, batch, workers);
+        if service.epoch() == epoch_before {
+            assert!(hl.ops.label_lookups > 0, "hl replay read no labels");
+            assert_eq!(report.outputs.len(), hl.outputs.len());
+            for (i, (a, b)) in report.outputs.iter().zip(&hl.outputs).enumerate() {
+                let ctx = format!("query {i} ({:?}): {} vs hl", batch[i], report.backend);
+                match (a, b) {
+                    (QueryOutput::Range(a), QueryOutput::Range(b)) => {
+                        let (mut a, mut b) = (a.clone(), b.clone());
+                        a.sort_unstable();
+                        b.sort_unstable();
+                        assert_eq!(a, b, "{ctx}: range members");
+                    }
+                    (QueryOutput::Knn(a), QueryOutput::Knn(b)) => {
+                        assert_knn_equivalent(a, b, &ctx);
+                    }
+                    _ => assert_eq!(a, b, "{ctx}"),
+                }
+            }
+        }
+    }
+    report
 }
 
 /// A deterministic 300-node service. `pool_pages` is kept *below* the
@@ -373,7 +433,7 @@ fn faults_in_one_partition_quarantine_only_that_shard() {
     for (p, ps) in got.per_part.iter().enumerate().skip(1) {
         assert_eq!(ps.queries, 0, "partition {p} served foreign queries");
         assert_eq!(ps.io.logical, 0, "partition {p} touched its pages");
-        assert_eq!(ps.frontier_hops, 0, "partition {p} expanded a frontier");
+        assert_eq!(ps.label_lookups, 0, "partition {p} read glue labels");
     }
 }
 

@@ -91,7 +91,17 @@ pub struct OpStats {
     /// Boundary nodes settled by the cross-partition frontier expansion of
     /// a sharded query (`dsi-partition` router): each hop is one remote
     /// boundary node whose distance label was resolved through the overlay.
+    /// With hub-label glue the frontier Dijkstra never runs, so this stays 0
+    /// and the two label counters below carry the glue cost instead.
     pub frontier_hops: u64,
+    /// Hub-label merges performed: one per point-to-point label lookup and
+    /// one per label folded into or read out of a one-to-many bucket scan
+    /// (`dsi-hierarchy` labels; the router's boundary glue and the service's
+    /// hub-label backend both count here).
+    pub label_lookups: u64,
+    /// Individual `(hub, dist)` entries advanced over by those merges — the
+    /// label-side analogue of `frontier_hops` work.
+    pub label_entries_scanned: u64,
     /// Index epochs published by double-buffered maintenance (`dsi-service`
     /// engine): each swap atomically replaced the live index snapshot while
     /// readers kept serving. Populated at the service layer — sessions never
@@ -123,6 +133,8 @@ impl std::ops::Add for OpStats {
             retries: self.retries + rhs.retries,
             degraded: self.degraded + rhs.degraded,
             frontier_hops: self.frontier_hops + rhs.frontier_hops,
+            label_lookups: self.label_lookups + rhs.label_lookups,
+            label_entries_scanned: self.label_entries_scanned + rhs.label_entries_scanned,
             epoch_swaps: self.epoch_swaps + rhs.epoch_swaps,
             stale_epoch_reads: self.stale_epoch_reads + rhs.stale_epoch_reads,
         }
@@ -153,6 +165,8 @@ impl std::ops::Sub for OpStats {
             retries: self.retries - rhs.retries,
             degraded: self.degraded - rhs.degraded,
             frontier_hops: self.frontier_hops - rhs.frontier_hops,
+            label_lookups: self.label_lookups - rhs.label_lookups,
+            label_entries_scanned: self.label_entries_scanned - rhs.label_entries_scanned,
             epoch_swaps: self.epoch_swaps - rhs.epoch_swaps,
             stale_epoch_reads: self.stale_epoch_reads - rhs.stale_epoch_reads,
         }
@@ -199,6 +213,13 @@ impl std::fmt::Display for OpStats {
         }
         if self.frontier_hops > 0 {
             write!(f, ", {} frontier hops", self.frontier_hops)?;
+        }
+        if self.label_lookups > 0 {
+            write!(
+                f,
+                ", {} label lookups ({} entries)",
+                self.label_lookups, self.label_entries_scanned
+            )?;
         }
         if self.retries > 0 {
             write!(f, ", {} retries", self.retries)?;

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Hub-label bench snapshot → BENCH_PR10.json at the repo root.
+#
+# Usage:
+#   scripts/bench_labels.sh
+#   OUT=BENCH_smoke.json CRITERION_SAMPLE_SIZE=5 scripts/bench_labels.sh
+#
+# Four sections on top of the raw criterion medians:
+#
+# * label_oracle — the merge-scan p2p against the CH upward search it was
+#   extracted from, plus the one-to-many bucket scan against 64 pairwise
+#   merges. The PR 10 acceptance line is hl_speedup >= 3.
+# * sharded_glue — per-K shard-router query medians (K in {2,4,8}) next
+#   to the BENCH_PR7.json baselines, which stitched cross-partition
+#   queries with a boundary-frontier Dijkstra instead of label merges.
+#   The PR7 numbers were recorded two PRs of query-path changes ago
+#   (epoch snapshots, page-file stores), so the apples-to-apples
+#   acceptance line is the *same-day* frontier baseline: run
+#   `cargo bench -p dsi-bench --bench sharded` in a worktree at the
+#   pre-glue commit and point FRONTIER_CRITERION at its criterion dir —
+#   speedup_vs_frontier_kK > 1 at every K. Re-harvest without re-running
+#   the benches via SKIP_BENCH=1.
+# * labels_size — the resident label footprint from the size_report
+#   binary (entries, avg label length, bytes/node).
+# * workload — end-to-end workload cells on the hl and sharded backends,
+#   with the label_lookups / label_entries counters from the CLI's
+#   machine-readable line.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR10.json}"
+BASELINE="${BASELINE:-BENCH_PR7.json}"
+CRIT_DIR="${CARGO_TARGET_DIR:-target}/criterion"
+WORKERS="${WORKERS:-2}"
+SEED="${SEED:-13}"
+WL_NODES="${WL_NODES:-5000}"
+WL_QUERIES="${WL_QUERIES:-2000}"
+
+# A fresh snapshot should not inherit estimates from earlier runs.
+if [ -z "${SKIP_BENCH:-}" ]; then
+    rm -rf "$CRIT_DIR"
+    cargo bench -p dsi-bench --bench labels
+    cargo bench -p dsi-bench --bench sharded
+fi
+
+jq -n --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      --arg host "$(uname -sm)" \
+      --arg samples "${CRITERION_SAMPLE_SIZE:-default}" '
+    {generated: $date, host: $host, sample_size: $samples, benches: {}}
+    ' > "$OUT.tmp"
+
+find "$CRIT_DIR" -path '*/new/estimates.json' | sort | while read -r est; do
+    rel="${est#"$CRIT_DIR"/}"          # <group>/<id>/new/estimates.json
+    key="$(dirname "$(dirname "$rel")")"
+    jq --arg key "$key" --slurpfile e "$est" \
+       '.benches[$key] = {median_ns: $e[0].median.point_estimate,
+                          mean_ns: $e[0].mean.point_estimate}' \
+       "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+done
+
+# Label oracle vs the hierarchy it was extracted from.
+jq '
+    .benches as $b
+    | .label_oracle = {
+        ch_p2p_ns: ($b["labels/ch_p2p"].median_ns // null),
+        hl_p2p_ns: ($b["labels/hl_p2p"].median_ns // null),
+        hl_speedup: (if ($b["labels/ch_p2p"] and $b["labels/hl_p2p"])
+                     then ($b["labels/ch_p2p"].median_ns / $b["labels/hl_p2p"].median_ns)
+                     else null end),
+        hl_p2p_x64_ns: ($b["labels/hl_p2p_x64"].median_ns // null),
+        hl_one_to_many_64_ns: ($b["labels/hl_one_to_many_64"].median_ns // null),
+        one_to_many_speedup: (if ($b["labels/hl_p2p_x64"] and $b["labels/hl_one_to_many_64"])
+                              then ($b["labels/hl_p2p_x64"].median_ns / $b["labels/hl_one_to_many_64"].median_ns)
+                              else null end)
+      }
+    ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+# Per-K shard-router medians against the PR7 (frontier-Dijkstra glue)
+# baselines, when that snapshot is on disk.
+if [ -f "$BASELINE" ]; then
+    jq --slurpfile base "$BASELINE" '
+        .benches as $b
+        | ($base[0].benches // {}) as $bb
+        | .sharded_glue = (reduce (2, 4, 8) as $k ({};
+            . + {("query_k\($k)_ns"): ($b["sharded/query_k\($k)"].median_ns // null),
+                 ("glue_k\($k)_ns"): ($b["sharded_glue/glue_k\($k)"].median_ns // null),
+                 ("baseline_pr7_query_k\($k)_ns"): ($bb["sharded/query_k\($k)"].median_ns // null),
+                 ("speedup_vs_pr7_k\($k)"): (
+                    if ($b["sharded/query_k\($k)"] and $bb["sharded/query_k\($k)"])
+                    then ($bb["sharded/query_k\($k)"].median_ns / $b["sharded/query_k\($k)"].median_ns)
+                    else null end)}))
+        ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+fi
+
+# Same-day frontier-Dijkstra baseline: FRONTIER_CRITERION points at the
+# criterion dir of a sharded bench run at the pre-glue commit (same
+# machine, same day), isolating the router change from everything else.
+if [ -n "${FRONTIER_CRITERION:-}" ]; then
+    for k in 2 4 8; do
+        est="$FRONTIER_CRITERION/sharded/query_k$k/new/estimates.json"
+        [ -f "$est" ] || continue
+        jq --arg k "$k" --slurpfile e "$est" '
+            .sharded_glue["frontier_k\($k)_ns"] = $e[0].median.point_estimate
+            | .sharded_glue["speedup_vs_frontier_k\($k)"] =
+                ($e[0].median.point_estimate / .sharded_glue["query_k\($k)_ns"])
+            ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+    done
+fi
+
+# Resident label footprint.
+SIZE_JSON="$(DSI_NODES="${DSI_NODES:-5000}" cargo run --release -q -p dsi-bench --bin size_report)"
+jq --argjson size "$SIZE_JSON" '
+    .labels_size = {nodes: $size.nodes,
+                    label_entries: $size.label_entries,
+                    label_avg_len: $size.label_avg_len,
+                    label_bytes: $size.label_bytes,
+                    label_bytes_per_node: $size.label_bytes_per_node}
+    ' "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+# End-to-end workload cells: the hub-label backend on a single index and
+# the shard router gluing through labels, label counters included.
+cargo build --release -q -p dsi-service --bin workload
+
+cell() {
+    local line
+    line="$(target/release/workload "$@" | grep '^io_logical=' | tail -1)"
+    printf '%s\n' "$line" | tr ' ' '\n' | \
+        jq -Rn '[inputs | split("=") | {(.[0]): (.[1] | tonumber)}] | add'
+}
+
+wl_args=(--nodes "$WL_NODES" --queries "$WL_QUERIES" --workers "$WORKERS" \
+         --seed "$SEED" --skew zipf:0.8)
+echo "-- workload cell: backend=hl --"
+obj="$(cell "${wl_args[@]}" --backend hl)"
+jq --argjson obj "$obj" '.workload = {hl: $obj}' \
+   "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+echo "-- workload cell: backend=sharded partitions=4 --"
+obj="$(cell "${wl_args[@]}" --backend sharded --partitions 4)"
+jq --argjson obj "$obj" '.workload.sharded_k4 = $obj' \
+   "$OUT.tmp" > "$OUT.tmp2" && mv "$OUT.tmp2" "$OUT.tmp"
+
+mv "$OUT.tmp" "$OUT"
+echo "wrote $OUT ($(jq '.benches | length' "$OUT") benches)"

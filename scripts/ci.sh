@@ -52,6 +52,21 @@ for parts in 2 4; do
     done
 done
 
+echo "== hub-label matrix (label replay agrees with paged answers under faults) =="
+# DSI_BACKEND=hl replays every served batch on the memory-resident
+# hub-label backend, which never touches the page store and so never sees
+# an injected fault: its answers are the fault-free truth every paged
+# (and degraded, and quarantined) run must reproduce, tie-aware at kNN
+# cuts, single-index and sharded alike.
+for seed in 1 2; do
+    echo "-- DSI_BACKEND=hl DSI_FAULT_SEED=$seed --"
+    DSI_BACKEND=hl DSI_FAULT_SEED=$seed \
+        cargo test -q -p dsi-service --test faults
+done
+echo "-- DSI_BACKEND=hl DSI_PARTITIONS=2 DSI_FAULT_SEED=1 --"
+DSI_BACKEND=hl DSI_PARTITIONS=2 DSI_FAULT_SEED=1 \
+    cargo test -q -p dsi-service --test faults
+
 echo "== store matrix (physical page stores under injected faults) =="
 # The same fault suite with the physical page store swapped in: answers
 # must be element-wise identical whether a buffer miss is accounting-only
@@ -89,10 +104,13 @@ echo "== maintenance matrix (double-buffered epochs under faults and sharding) =
 # The zero-pause maintenance axis: update batches publish epochs while a
 # faulty (and, in the partitioned cells, sharded) service answers queries.
 # DSI_MAINT=double-buffer scales up the concurrent-maintenance cell in the
-# faults suite and re-runs the serialized-order oracle (all backends) plus
-# the publish kill-point recovery tests across the same seed and partition
-# axes: answers stay element-wise equal to one serialized state, and every
-# torn publish recovers to exactly one epoch.
+# faults suite and re-runs the serialized-order oracle (all backends,
+# including the hub-label one) plus the publish kill-point recovery tests
+# across the same seed and partition axes: answers stay element-wise equal
+# to one serialized state, and every torn publish recovers to exactly one
+# epoch. The DSI_BACKEND=hl cell adds the label replay to the
+# serialized-order-under-faults oracle: whenever a reader batch and its
+# replay pin the same epoch, the labels must answer identically.
 for seed in 1 2; do
     for parts in 1 3; do
         echo "-- DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed DSI_PARTITIONS=$parts --"
@@ -100,6 +118,10 @@ for seed in 1 2; do
             cargo test -q -p dsi-service --test faults \
                 concurrent_maintenance_under_faults_stays_exact
     done
+    echo "-- DSI_MAINT=double-buffer DSI_BACKEND=hl DSI_FAULT_SEED=$seed --"
+    DSI_MAINT=double-buffer DSI_BACKEND=hl DSI_FAULT_SEED=$seed \
+        cargo test -q -p dsi-service --test faults \
+            concurrent_maintenance_under_faults_stays_exact
     DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed \
         cargo test -q -p dsi-service --test concurrent_maintenance
     DSI_MAINT=double-buffer DSI_FAULT_SEED=$seed \

@@ -148,10 +148,25 @@ fn median_of(samples: &[f64]) -> f64 {
     }
 }
 
+/// Substring filter from `CRITERION_FILTER`: when set, only benches whose
+/// `group/id` contains it run (setup code outside `bench_function` still
+/// executes). Lets a re-measurement target one bench without paying for
+/// the whole suite.
+fn bench_filter() -> Option<String> {
+    std::env::var("CRITERION_FILTER")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 fn run_bench<F>(group: &str, id: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    if let Some(pat) = bench_filter() {
+        if !format!("{group}/{id}").contains(&pat) {
+            return;
+        }
+    }
     let warmup = warmup_samples();
     let mut b = Bencher {
         sample_size,
